@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! FD verification cost, key-FK vs. general mergence, and data-level vs.
+//! query-level PARTITION.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cods::simple_ops::partition_table;
+use cods::{decompose, merge_general, merge_key_fk};
+use cods_bench::experiment_spec;
+use cods_query::{execute, ExecContext, Plan, Predicate};
+use cods_storage::Catalog;
+use cods_workload::GenConfig;
+
+const ROWS: u64 = 50_000;
+
+fn bench_fd_verification(c: &mut Criterion) {
+    let table = cods_workload::generate_table("R", &GenConfig::sweep_point(ROWS, 1_000));
+    let mut group = c.benchmark_group("ablation_fd_verify");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("trusted", |b| {
+        b.iter(|| black_box(decompose(&table, &experiment_spec(false)).unwrap()));
+    });
+    group.bench_function("verified", |b| {
+        b.iter(|| black_box(decompose(&table, &experiment_spec(true)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_merge_strategies(c: &mut Criterion) {
+    let table = cods_workload::generate_table("R", &GenConfig::sweep_point(ROWS, 1_000));
+    let out = decompose(&table, &experiment_spec(false)).unwrap();
+    let (s, t) = (out.unchanged, out.changed);
+    let mut group = c.benchmark_group("ablation_merge_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("key_fk", |b| {
+        b.iter(|| black_box(merge_key_fk(&s, &t, "R", &["entity".into()]).unwrap()));
+    });
+    group.bench_function("general", |b| {
+        b.iter(|| black_box(merge_general(&s, &t, "R", &["entity".into()]).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_partition_levels(c: &mut Criterion) {
+    let table = cods_workload::generate_table("R", &GenConfig::sweep_point(ROWS, 1_000));
+    let pred = Predicate::lt("entity", 500i64);
+    let catalog = Catalog::new();
+    catalog.create(table.renamed("R")).unwrap();
+    let mut group = c.benchmark_group("ablation_partition");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("data_level", |b| {
+        b.iter(|| black_box(partition_table(&table, &pred, "lo", "hi").unwrap()));
+    });
+    group.bench_function("query_level", |b| {
+        // Query level: decompress, filter tuples twice, re-compress.
+        b.iter(|| {
+            let ctx = ExecContext {
+                catalog: Some(&catalog),
+                row_db: None,
+            };
+            let lo = execute(
+                &Plan::ScanColumn { table: "R".into() }.filter(pred.clone()),
+                ctx,
+            )
+            .unwrap();
+            let hi = execute(
+                &Plan::ScanColumn { table: "R".into() }.filter(pred.clone().not()),
+                ctx,
+            )
+            .unwrap();
+            let lo_t =
+                cods_storage::Table::from_rows("lo", lo.schema.clone(), &lo.rows).unwrap();
+            let hi_t =
+                cods_storage::Table::from_rows("hi", hi.schema.clone(), &hi.rows).unwrap();
+            black_box((lo_t, hi_t))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fd_verification,
+    bench_merge_strategies,
+    bench_partition_levels
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the WAH bitmap kernel: logical ops, filtering, and
+//! construction — against the uncompressed `PlainBitmap` baseline where a
+//! comparison is meaningful.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cods_bitmap::{PlainBitmap, Wah};
+
+const BITS: u64 = 1_000_000;
+
+fn sparse(seed: u64, period: u64) -> Wah {
+    Wah::from_sorted_positions((0..BITS).filter(|i| (i + seed).is_multiple_of(period)), BITS)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_ops");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for period in [2u64, 100, 10_000] {
+        let a = sparse(0, period);
+        let b = sparse(1, period);
+        group.bench_with_input(BenchmarkId::new("wah_or", period), &period, |bch, _| {
+            bch.iter(|| black_box(a.or(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("wah_and", period), &period, |bch, _| {
+            bch.iter(|| black_box(a.and(&b)));
+        });
+        let pa = PlainBitmap::from_wah(&a);
+        let pb = PlainBitmap::from_wah(&b);
+        group.bench_with_input(BenchmarkId::new("plain_or", period), &period, |bch, _| {
+            bch.iter(|| black_box(pa.or(&pb)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_filter");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let positions: Vec<u64> = (0..BITS).step_by(5).collect();
+    for period in [2u64, 1_000] {
+        let a = sparse(0, period);
+        group.bench_with_input(
+            BenchmarkId::new("wah_filter", period),
+            &period,
+            |bch, _| {
+                bch.iter(|| black_box(a.filter_positions(&positions)));
+            },
+        );
+        let pa = PlainBitmap::from_wah(&a);
+        group.bench_with_input(
+            BenchmarkId::new("plain_filter", period),
+            &period,
+            |bch, _| {
+                bch.iter(|| black_box(pa.filter_positions(&positions)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_build");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("from_sorted_positions_1pct", |b| {
+        b.iter(|| {
+            black_box(Wah::from_sorted_positions(
+                (0..BITS).step_by(100),
+                BITS,
+            ))
+        });
+    });
+    group.bench_function("ones_run_synthesis", |b| {
+        b.iter(|| black_box(Wah::ones_run(BITS / 4, BITS / 2, BITS)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_filter, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Encoding ablation benches: clustering cost, clustered vs. unclustered
+//! filtering, and RLE ↔ bitmap conversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cods_storage::RleColumn;
+use cods_workload::GenConfig;
+
+const ROWS: u64 = 50_000;
+
+fn bench_encoding(c: &mut Criterion) {
+    let table = cods_workload::generate_table("R", &GenConfig::sweep_point(ROWS, 500));
+    let clustered = table.cluster_by(&["entity"]).unwrap();
+    let col_u = table.column_by_name("entity").unwrap();
+    let col_c = clustered.column_by_name("entity").unwrap();
+    let positions: Vec<u64> = (0..ROWS).step_by(5).collect();
+
+    let mut group = c.benchmark_group("encoding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("cluster_by_entity", |b| {
+        b.iter(|| black_box(table.cluster_by(&["entity"]).unwrap()));
+    });
+    group.bench_function("filter_unclustered_wah", |b| {
+        b.iter(|| black_box(col_u.filter_positions(&positions)));
+    });
+    group.bench_function("filter_clustered_wah", |b| {
+        b.iter(|| black_box(col_c.filter_positions(&positions)));
+    });
+    let rle = RleColumn::from_column(col_c);
+    group.bench_function("filter_clustered_rle", |b| {
+        b.iter(|| black_box(rle.filter_positions(&positions)));
+    });
+    group.bench_function("rle_from_bitmap_column", |b| {
+        b.iter(|| black_box(RleColumn::from_column(col_c)));
+    });
+    group.bench_function("rle_to_bitmap_column", |b| {
+        b.iter(|| black_box(rle.to_column().unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

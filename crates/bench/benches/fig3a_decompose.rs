@@ -1,0 +1,39 @@
+//! Criterion version of Figure 3(a): decomposition time per system, swept
+//! over the number of distinct key values (micro scale; the `fig3` binary
+//! runs the full-scale sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cods_bench::{time_decompose, UNCHANGED_COLS};
+use cods_storage::Table;
+use cods_workload::gen::r_schema;
+use cods_workload::{GenConfig, System};
+
+const ROWS: u64 = 20_000;
+const SWEEP: [u64; 3] = [100, 1_000, 10_000];
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a_decompose");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    assert_eq!(UNCHANGED_COLS, ["entity", "attr"]);
+    for &distinct in &SWEEP {
+        let rows = cods_workload::generate_rows(&GenConfig::sweep_point(ROWS, distinct));
+        let table = Table::from_rows("R", r_schema(), &rows).unwrap();
+        for &sys in System::decomposition_systems() {
+            group.bench_with_input(
+                BenchmarkId::new(sys.label(), distinct),
+                &distinct,
+                |b, _| {
+                    b.iter(|| black_box(time_decompose(sys, &rows, Some(&table))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

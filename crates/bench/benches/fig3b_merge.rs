@@ -1,0 +1,46 @@
+//! Criterion version of Figure 3(b): mergence time per system, swept over
+//! the number of distinct key values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cods_bench::{decomposed_rows, s_schema, t_schema, time_merge};
+use cods_storage::Table;
+use cods_workload::{GenConfig, System};
+
+const ROWS: u64 = 20_000;
+const SWEEP: [u64; 3] = [100, 1_000, 10_000];
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b_merge");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &distinct in &SWEEP {
+        let rows = cods_workload::generate_rows(&GenConfig::sweep_point(ROWS, distinct));
+        let (s_rows, t_rows) = decomposed_rows(&rows);
+        let s_table = Table::from_rows("S", s_schema(), &s_rows).unwrap();
+        let t_table = Table::from_rows("T", t_schema(), &t_rows).unwrap();
+        for &sys in System::mergence_systems() {
+            group.bench_with_input(
+                BenchmarkId::new(sys.label(), distinct),
+                &distinct,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(time_merge(
+                            sys,
+                            &s_rows,
+                            &t_rows,
+                            Some(&s_table),
+                            Some(&t_table),
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Per-operator micro-benchmarks over the full Table 1 catalogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cods::simple_ops::{add_column, drop_column, partition_table, rename_column, union_tables, ColumnFill};
+use cods::{decompose, merge, MergeStrategy};
+use cods_bench::experiment_spec;
+use cods_query::Predicate;
+use cods_storage::{ColumnDef, Value, ValueType};
+use cods_workload::GenConfig;
+
+const ROWS: u64 = 50_000;
+
+fn bench_smos(c: &mut Criterion) {
+    let table = cods_workload::generate_table("R", &GenConfig::sweep_point(ROWS, 1_000));
+    let decomposed = decompose(&table, &experiment_spec(false)).unwrap();
+    let (s, t) = (decomposed.unchanged, decomposed.changed);
+
+    let mut group = c.benchmark_group("smo_micro");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("decompose_table", |b| {
+        b.iter(|| black_box(decompose(&table, &experiment_spec(false)).unwrap()));
+    });
+    group.bench_function("merge_tables_auto", |b| {
+        b.iter(|| black_box(merge(&s, &t, "R", &MergeStrategy::Auto).unwrap()));
+    });
+    group.bench_function("union_tables", |b| {
+        b.iter(|| black_box(union_tables(&table, &table, "u").unwrap()));
+    });
+    group.bench_function("partition_table", |b| {
+        b.iter(|| {
+            black_box(
+                partition_table(&table, &Predicate::lt("entity", 500i64), "lo", "hi").unwrap(),
+            )
+        });
+    });
+    group.bench_function("add_column_default", |b| {
+        b.iter(|| {
+            black_box(
+                add_column(
+                    &table,
+                    ColumnDef::new("flag", ValueType::Int),
+                    &ColumnFill::Default(Value::int(0)),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.bench_function("drop_column", |b| {
+        b.iter(|| black_box(drop_column(&table, "detail").unwrap()));
+    });
+    group.bench_function("rename_column", |b| {
+        b.iter(|| black_box(rename_column(&table, "detail", "info").unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_smos);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # cods-bench
+//!
+//! Benchmark harness reproducing the CODS evaluation. The `fig3` binary
+//! regenerates both panels of the paper's Figure 3 (decomposition and
+//! mergence time vs. number of distinct values, for systems D / C / C+I /
+//! S / M) plus per-SMO timings and ablations; the Criterion benches under
+//! `benches/` cover the same ground at statistically robust micro scale.
+//!
+//! Row count defaults to 1M (the paper uses 10M); override with
+//! `--rows` or the `CODS_BENCH_ROWS` environment variable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod runner;
+
+pub use runner::{
+    decomposed_rows, experiment_spec, median_duration, s_schema, t_schema, time_decompose,
+    time_merge, CHANGED_COLS, COMMON_COLS, UNCHANGED_COLS,
+};

@@ -1,0 +1,360 @@
+//! Iteration over compressed bitmaps: run view and set-bit iterator.
+
+use crate::wah::{lsb_mask, Wah};
+use crate::word::*;
+
+/// One maximal homogeneous piece of a bitmap, as exposed by [`RunIter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Run {
+    /// `len` consecutive copies of `bit` (`len` is a multiple of 63 for fills
+    /// coming from fill words, but arbitrary lengths may appear after
+    /// slicing).
+    Fill {
+        /// The repeated bit value.
+        bit: bool,
+        /// Number of positions covered.
+        len: u64,
+    },
+    /// A literal group: the low `len` bits of `word` (`len <= 63`).
+    Literal {
+        /// The literal bits, LSB-first.
+        word: u64,
+        /// Number of valid bits in `word`.
+        len: u64,
+    },
+}
+
+impl Run {
+    /// Number of bit positions covered by this run.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        match *self {
+            Run::Fill { len, .. } => len,
+            Run::Literal { len, .. } => len,
+        }
+    }
+
+    /// Returns `true` when the run covers no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of set bits in this run.
+    #[inline]
+    pub fn count_ones(&self) -> u64 {
+        match *self {
+            Run::Fill { bit, len } => {
+                if bit {
+                    len
+                } else {
+                    0
+                }
+            }
+            Run::Literal { word, .. } => u64::from(word.count_ones()),
+        }
+    }
+}
+
+/// Streams a bitmap as a sequence of [`Run`]s covering it exactly once, in
+/// order. Fill words come out as one `Run::Fill` each; literal words as
+/// `Run::Literal` of length 63; the partial tail as a final short literal.
+#[derive(Clone)]
+pub struct RunIter<'a> {
+    words: std::slice::Iter<'a, u64>,
+    active: u64,
+    active_bits: u32,
+    active_done: bool,
+}
+
+impl<'a> RunIter<'a> {
+    pub(crate) fn new(w: &'a Wah) -> Self {
+        RunIter {
+            words: w.words.iter(),
+            active: w.active,
+            active_bits: w.active_bits,
+            active_done: w.active_bits == 0,
+        }
+    }
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        if let Some(&w) = self.words.next() {
+            Some(if is_fill(w) {
+                Run::Fill {
+                    bit: fill_bit(w),
+                    len: fill_groups(w) * GROUP_BITS,
+                }
+            } else {
+                Run::Literal {
+                    word: w,
+                    len: GROUP_BITS,
+                }
+            })
+        } else if !self.active_done {
+            self.active_done = true;
+            Some(Run::Literal {
+                word: self.active,
+                len: u64::from(self.active_bits),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Iterator over the positions of set bits, cheapest-first: 1-fills are
+/// enumerated arithmetically, literals by clearing trailing bits.
+pub struct OnesIter<'a> {
+    runs: RunIter<'a>,
+    base: u64,
+    /// Remaining portion of the current run.
+    current: Option<Run>,
+    /// Offset already consumed inside the current run.
+    within: u64,
+}
+
+impl<'a> OnesIter<'a> {
+    pub(crate) fn new(w: &'a Wah) -> Self {
+        OnesIter {
+            runs: RunIter::new(w),
+            base: 0,
+            current: None,
+            within: 0,
+        }
+    }
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            match self.current {
+                None => {
+                    let run = self.runs.next()?;
+                    self.current = Some(run);
+                    self.within = 0;
+                }
+                Some(Run::Fill { bit: false, len }) | Some(Run::Literal { word: 0, len }) => {
+                    self.base += len;
+                    self.current = None;
+                }
+                Some(Run::Fill { bit: true, len }) => {
+                    if self.within < len {
+                        let pos = self.base + self.within;
+                        self.within += 1;
+                        return Some(pos);
+                    }
+                    self.base += len;
+                    self.current = None;
+                }
+                Some(Run::Literal { word, len }) => {
+                    let remaining = word & !lsb_mask(self.within);
+                    if remaining != 0 {
+                        let bit = u64::from(remaining.trailing_zeros());
+                        self.within = bit + 1;
+                        return Some(self.base + bit);
+                    }
+                    self.base += len;
+                    self.current = None;
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over maximal intervals of consecutive ones, as `(start, len)`.
+pub struct IntervalIter<'a> {
+    runs: RunIter<'a>,
+    base: u64,
+    /// Interval under construction: (start, len).
+    open: Option<(u64, u64)>,
+    /// Completed intervals not yet handed out (a single literal can close
+    /// several).
+    ready: std::collections::VecDeque<(u64, u64)>,
+}
+
+impl<'a> IntervalIter<'a> {
+    pub(crate) fn new(w: &'a Wah) -> Self {
+        IntervalIter {
+            runs: RunIter::new(w),
+            base: 0,
+            open: None,
+            ready: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn stretch(&mut self, bit: bool, len: u64) {
+        if bit {
+            match self.open.as_mut() {
+                Some((_, l)) => *l += len,
+                None => self.open = Some((self.base, len)),
+            }
+        } else if let Some(done) = self.open.take() {
+            self.ready.push_back(done);
+        }
+        self.base += len;
+    }
+}
+
+impl Iterator for IntervalIter<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            if let Some(iv) = self.ready.pop_front() {
+                return Some(iv);
+            }
+            match self.runs.next() {
+                None => return self.open.take(),
+                Some(Run::Fill { bit, len }) => self.stretch(bit, len),
+                Some(Run::Literal { word, len }) => {
+                    let mut i = 0u64;
+                    while i < len {
+                        let bit = (word >> i) & 1 == 1;
+                        let mut j = i + 1;
+                        while j < len && ((word >> j) & 1 == 1) == bit {
+                            j += 1;
+                        }
+                        self.stretch(bit, j - i);
+                        i = j;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Wah {
+    /// Iterates the bitmap as maximal homogeneous [`Run`]s.
+    pub fn iter_runs(&self) -> RunIter<'_> {
+        RunIter::new(self)
+    }
+
+    /// Iterates the positions of all set bits in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter::new(self)
+    }
+
+    /// Iterates maximal intervals of consecutive ones as `(start, len)`.
+    pub fn iter_intervals(&self) -> IntervalIter<'_> {
+        IntervalIter::new(self)
+    }
+
+    /// Iterates every bit (decompressing). Intended for tests and small data.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        self.iter_runs().flat_map(|run| {
+            let (len, f): (u64, Box<dyn Fn(u64) -> bool>) = match run {
+                Run::Fill { bit, len } => (len, Box::new(move |_| bit)),
+                Run::Literal { word, len } => (len, Box::new(move |i| (word >> i) & 1 == 1)),
+            };
+            (0..len).map(f)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_cover_bitmap_exactly() {
+        let mut w = Wah::new();
+        w.append_run(false, 200);
+        w.append_run(true, 63);
+        w.push(true);
+        w.push(false);
+        let total: u64 = w.iter_runs().map(|r| r.len()).sum();
+        assert_eq!(total, w.len());
+        let ones: u64 = w.iter_runs().map(|r| r.count_ones()).sum();
+        assert_eq!(ones, w.count_ones());
+    }
+
+    #[test]
+    fn ones_iter_matches_get() {
+        let pos = vec![0u64, 1, 62, 63, 64, 125, 126, 127, 500, 501, 1000];
+        let w = Wah::from_sorted_positions(pos.iter().copied(), 1001);
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), pos);
+    }
+
+    #[test]
+    fn ones_iter_on_dense_fill() {
+        let w = Wah::ones(200);
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ones_iter_empty_and_all_zero() {
+        assert_eq!(Wah::new().iter_ones().count(), 0);
+        assert_eq!(Wah::zeros(5000).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn iter_bits_round_trip() {
+        let pos = [3u64, 64, 65, 130];
+        let w = Wah::from_sorted_positions(pos.iter().copied(), 140);
+        let rebuilt = Wah::from_bits(w.iter_bits());
+        assert_eq!(rebuilt, w);
+    }
+
+    #[test]
+    fn intervals_match_naive_grouping() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 1, 2],
+            vec![5, 6, 7, 100, 101, 500],
+            (0..200).collect(),
+            vec![62, 63, 64, 65, 126, 127],
+        ];
+        for pos in cases {
+            let len = pos.last().map_or(10, |&p| p + 10);
+            let w = Wah::from_sorted_positions(pos.iter().copied(), len);
+            let intervals: Vec<(u64, u64)> = w.iter_intervals().collect();
+            // Naive grouping of consecutive positions.
+            let mut expect: Vec<(u64, u64)> = Vec::new();
+            for &p in &pos {
+                match expect.last_mut() {
+                    Some((s, l)) if *s + *l == p => *l += 1,
+                    _ => expect.push((p, 1)),
+                }
+            }
+            assert_eq!(intervals, expect, "positions {pos:?}");
+            let covered: u64 = intervals.iter().map(|&(_, l)| l).sum();
+            assert_eq!(covered, w.count_ones());
+        }
+    }
+
+    #[test]
+    fn intervals_within_one_literal() {
+        // 101101 → three intervals inside a single literal word.
+        let w = Wah::from_bits([true, false, true, true, false, true]);
+        assert_eq!(
+            w.iter_intervals().collect::<Vec<_>>(),
+            vec![(0, 1), (2, 2), (5, 1)]
+        );
+    }
+
+    #[test]
+    fn intervals_spanning_fill_and_literal() {
+        let mut w = Wah::new();
+        w.append_run(true, 63); // one full group fill
+        w.push(true); // continues into the next literal
+        w.push(false);
+        w.push(true);
+        assert_eq!(
+            w.iter_intervals().collect::<Vec<_>>(),
+            vec![(0, 64), (65, 1)]
+        );
+    }
+
+    #[test]
+    fn run_is_empty() {
+        assert!(Run::Fill { bit: true, len: 0 }.is_empty());
+        assert!(!Run::Literal { word: 1, len: 3 }.is_empty());
+    }
+}

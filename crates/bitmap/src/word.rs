@@ -1,0 +1,118 @@
+//! Word-level encoding of the 64-bit Word-Aligned Hybrid (WAH) scheme.
+//!
+//! A WAH-compressed bitmap is a sequence of 64-bit words, each covering one or
+//! more *groups* of [`GROUP_BITS`] (= 63) bit positions:
+//!
+//! * **Literal word** — most significant bit is `0`; the low 63 bits carry one
+//!   group verbatim (bit `i` of the word is bit `group*63 + i` of the bitmap,
+//!   LSB first).
+//! * **Fill word** — most significant bit is `1`; bit 62 is the fill value;
+//!   the low 62 bits count how many consecutive all-zero / all-one groups the
+//!   word represents.
+//!
+//! This module holds the raw constants and pure word-manipulation helpers on
+//! which [`crate::Wah`] is built.
+
+/// Number of bitmap positions covered by one literal word.
+pub const GROUP_BITS: u64 = 63;
+
+/// Flag bit distinguishing fill words from literal words.
+pub const FILL_FLAG: u64 = 1 << 63;
+
+/// Bit carrying the fill value (0-fill vs. 1-fill) inside a fill word.
+pub const FILL_VALUE: u64 = 1 << 62;
+
+/// Mask selecting the 63 payload bits of a literal word.
+pub const LIT_MASK: u64 = (1 << 63) - 1;
+
+/// Maximum group count representable by a single fill word.
+pub const MAX_FILL_GROUPS: u64 = (1 << 62) - 1;
+
+/// Returns `true` if `w` is a fill word.
+#[inline(always)]
+pub fn is_fill(w: u64) -> bool {
+    w & FILL_FLAG != 0
+}
+
+/// Returns the fill value of a fill word (`true` = run of ones).
+#[inline(always)]
+pub fn fill_bit(w: u64) -> bool {
+    w & FILL_VALUE != 0
+}
+
+/// Returns the number of groups encoded by a fill word.
+#[inline(always)]
+pub fn fill_groups(w: u64) -> u64 {
+    w & MAX_FILL_GROUPS
+}
+
+/// Encodes a fill word covering `groups` groups of value `bit`.
+///
+/// `groups` must be in `1..=MAX_FILL_GROUPS`.
+#[inline(always)]
+pub fn make_fill(bit: bool, groups: u64) -> u64 {
+    debug_assert!((1..=MAX_FILL_GROUPS).contains(&groups));
+    FILL_FLAG | if bit { FILL_VALUE } else { 0 } | groups
+}
+
+/// The literal word whose 63 payload bits are all ones.
+pub const ALL_ONES_LITERAL: u64 = LIT_MASK;
+
+/// Expands a fill value to the literal group it repeats.
+#[inline(always)]
+pub fn fill_as_literal(bit: bool) -> u64 {
+    if bit {
+        ALL_ONES_LITERAL
+    } else {
+        0
+    }
+}
+
+/// Number of ones contributed by one group of a fill word.
+#[inline(always)]
+pub fn fill_ones_per_group(bit: bool) -> u64 {
+    if bit {
+        GROUP_BITS
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_round_trip() {
+        for &bit in &[false, true] {
+            for &groups in &[1u64, 2, 63, 64, 1 << 20, MAX_FILL_GROUPS] {
+                let w = make_fill(bit, groups);
+                assert!(is_fill(w));
+                assert_eq!(fill_bit(w), bit);
+                assert_eq!(fill_groups(w), groups);
+            }
+        }
+    }
+
+    #[test]
+    fn literal_is_not_fill() {
+        assert!(!is_fill(0));
+        assert!(!is_fill(ALL_ONES_LITERAL));
+        assert!(!is_fill(0b1011));
+    }
+
+    #[test]
+    fn fill_literal_expansion() {
+        assert_eq!(fill_as_literal(false), 0);
+        assert_eq!(fill_as_literal(true), LIT_MASK);
+        assert_eq!(ALL_ONES_LITERAL.count_ones(), 63);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(GROUP_BITS, 63);
+        assert_eq!(FILL_FLAG, 0x8000_0000_0000_0000);
+        assert_eq!(FILL_VALUE, 0x4000_0000_0000_0000);
+        assert_eq!(LIT_MASK, 0x7FFF_FFFF_FFFF_FFFF);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests of the RLE sequence encoding against a Vec<u32> model.
+
+use cods_bitmap::RleSeq;
+use proptest::prelude::*;
+
+fn small_ids() -> impl Strategy<Value = Vec<u32>> {
+    // Low-cardinality with runs: realistic for sorted/clustered columns.
+    prop::collection::vec((0u32..6, 1u64..20), 0..30).prop_map(|runs| {
+        runs.into_iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v, n as usize))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn round_trip(ids in small_ids()) {
+        let seq: RleSeq = ids.iter().copied().collect();
+        prop_assert_eq!(seq.iter().collect::<Vec<_>>(), ids.clone());
+        prop_assert_eq!(seq.len(), ids.len() as u64);
+        // Runs never exceed the number of value changes + 1.
+        let changes = ids.windows(2).filter(|w| w[0] != w[1]).count();
+        prop_assert!(seq.num_runs() <= changes + 1);
+    }
+
+    #[test]
+    fn get_matches_model(ids in small_ids()) {
+        prop_assume!(!ids.is_empty());
+        let seq: RleSeq = ids.iter().copied().collect();
+        for (i, &v) in ids.iter().enumerate() {
+            prop_assert_eq!(seq.get(i as u64), v);
+        }
+    }
+
+    #[test]
+    fn filter_matches_model(ids in small_ids(), picks in prop::collection::vec(any::<u16>(), 0..50)) {
+        prop_assume!(!ids.is_empty());
+        let seq: RleSeq = ids.iter().copied().collect();
+        let mut positions: Vec<u64> = picks
+            .iter()
+            .map(|&p| u64::from(p) % ids.len() as u64)
+            .collect();
+        positions.sort_unstable();
+        let filtered = seq.filter_positions(&positions);
+        let expect: Vec<u32> = positions.iter().map(|&p| ids[p as usize]).collect();
+        prop_assert_eq!(filtered.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn slice_concat_identity(ids in small_ids(), cut in any::<prop::sample::Index>()) {
+        prop_assume!(!ids.is_empty());
+        let seq: RleSeq = ids.iter().copied().collect();
+        let c = cut.index(ids.len()) as u64;
+        let mut joined = seq.slice(0, c);
+        joined.append_seq(&seq.slice(c, seq.len()));
+        prop_assert_eq!(joined, seq);
+    }
+
+    #[test]
+    fn codec_round_trip(ids in small_ids()) {
+        let seq: RleSeq = ids.iter().copied().collect();
+        let mut buf = bytes::BytesMut::new();
+        seq.encode(&mut buf);
+        let back = RleSeq::decode(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(back, seq);
+    }
+}

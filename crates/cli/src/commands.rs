@@ -1,0 +1,465 @@
+//! Command parsing and execution for the CODS shell.
+
+use cods::{ColumnFill, Cods, DecomposeSpec, MergeStrategy, Smo};
+use cods_query::{CmpOp, Predicate};
+use cods_storage::persist::{read_catalog, save_catalog};
+use cods_storage::{load_file, ColumnDef, LoadOptions, Schema, Value, ValueType};
+use cods_workload::figure1;
+
+/// Result of running one command line.
+pub enum Outcome {
+    /// Keep reading commands.
+    Continue,
+    /// Exit the shell.
+    Quit,
+}
+
+/// The help text (mirrors the buttons of the demo UI in Figure 4).
+pub const HELP: &str = "\
+commands:
+  create <table> <name:type,...> [key=<col,...>]   create an empty table
+  load <table> <file.csv> <name:type,...>          create and bulk-load from CSV
+  demo                                             load the paper's Figure 1 table R
+  tables                                           list tables
+  display <table> [limit]                          show rows
+  stats <table>                                    storage statistics
+  decompose <in> <out1> <cols> <out2> <cols>       DECOMPOSE TABLE (cols: a,b,c)
+  merge <left> <right> <out>                       MERGE TABLES (auto strategy)
+  partition <in> <col><op><lit> <out1> <out2>      PARTITION TABLE (op: = != < <= > >=)
+  union <left> <right> <out>                       UNION TABLES (keeps inputs)
+  copy <from> <to> | rename <from> <to> | drop <t> COPY/RENAME/DROP TABLE
+  addcol <table> <name:type> <default>             ADD COLUMN
+  dropcol <table> <col>                            DROP COLUMN
+  renamecol <table> <from> <to>                    RENAME COLUMN
+  exec <SMO statement>                             full statement language, e.g.
+                                                   exec MERGE TABLES s, t INTO r
+  run <file.smo>                                   execute an SMO script
+  history                                          executed SMOs with timings
+  save <file> | open <file>                        persist / restore the catalog
+  help | quit
+";
+
+fn parse_type(s: &str) -> Result<ValueType, String> {
+    match s {
+        "int" => Ok(ValueType::Int),
+        "str" | "string" | "text" => Ok(ValueType::Str),
+        "float" => Ok(ValueType::Float),
+        "bool" => Ok(ValueType::Bool),
+        other => Err(format!("unknown type {other:?} (use int/str/float/bool)")),
+    }
+}
+
+fn parse_schema(spec: &str, key: Option<&str>) -> Result<Schema, String> {
+    let mut cols = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("column spec {part:?} must be name:type"))?;
+        cols.push((name.trim(), parse_type(ty.trim())?));
+    }
+    let keys: Vec<&str> = key
+        .map(|k| k.split(',').map(str::trim).collect())
+        .unwrap_or_default();
+    let col_refs: Vec<(&str, ValueType)> = cols.clone();
+    Schema::build(&col_refs, &keys).map_err(|e| e.to_string())
+}
+
+fn parse_predicate(expr: &str, table: &cods_storage::Table) -> Result<Predicate, String> {
+    for op_str in ["!=", "<=", ">=", "=", "<", ">"] {
+        if let Some((col, lit)) = expr.split_once(op_str) {
+            let col = col.trim();
+            let lit = lit.trim();
+            let def = table.schema().column(col).map_err(|e| e.to_string())?;
+            let literal = Value::parse(lit, def.ty).map_err(|e| e.to_string())?;
+            let op = match op_str {
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => unreachable!(),
+            };
+            return Ok(Predicate::Compare {
+                column: col.to_string(),
+                op,
+                literal,
+            });
+        }
+    }
+    Err(format!("cannot parse predicate {expr:?}"))
+}
+
+fn cols_of(spec: &str) -> Vec<String> {
+    spec.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+/// Executes one command line against the platform.
+pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
+    let mut parts = line.split_whitespace();
+    let Some(cmd) = parts.next() else {
+        return Ok(Outcome::Continue);
+    };
+    let args: Vec<&str> = parts.collect();
+    match cmd {
+        "help" => print!("{HELP}"),
+        "quit" | "exit" => return Ok(Outcome::Quit),
+        "demo" => {
+            cods.catalog()
+                .create(figure1::table_r())
+                .map_err(|e| e.to_string())?;
+            println!("loaded Figure 1 table R (7 rows)");
+        }
+        "tables" => {
+            for name in cods.catalog().table_names() {
+                let t = cods.table(&name).map_err(|e| e.to_string())?;
+                println!("  {name}: {} rows, columns [{}]", t.rows(), t.schema().names().join(", "));
+            }
+        }
+        "create" => {
+            let [name, spec, rest @ ..] = args.as_slice() else {
+                return Err("usage: create <table> <name:type,...> [key=cols]".into());
+            };
+            let key = rest
+                .first()
+                .and_then(|s| s.strip_prefix("key="));
+            let schema = parse_schema(spec, key)?;
+            cods.execute(Smo::CreateTable {
+                name: name.to_string(),
+                schema,
+            })
+            .map_err(|e| e.to_string())?;
+            println!("created {name}");
+        }
+        "load" => {
+            let [name, file, spec] = args.as_slice() else {
+                return Err("usage: load <table> <file.csv> <name:type,...>".into());
+            };
+            let schema = parse_schema(spec, None)?;
+            let t = load_file(name, &schema, file, &LoadOptions::default())
+                .map_err(|e| e.to_string())?;
+            let rows = t.rows();
+            cods.catalog().create(t).map_err(|e| e.to_string())?;
+            println!("loaded {rows} rows into {name}");
+        }
+        "display" => {
+            let Some(name) = args.first() else {
+                return Err("usage: display <table> [limit]".into());
+            };
+            let limit: u64 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20);
+            let t = cods.table(name).map_err(|e| e.to_string())?;
+            println!("{}", t.schema().names().join(" | "));
+            for i in 0..t.rows().min(limit) {
+                let cells: Vec<String> = t.row(i).iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(" | "));
+            }
+            if t.rows() > limit {
+                println!("… ({} more rows)", t.rows() - limit);
+            }
+        }
+        "stats" => {
+            let Some(name) = args.first() else {
+                return Err("usage: stats <table>".into());
+            };
+            let t = cods.table(name).map_err(|e| e.to_string())?;
+            let stats = cods_storage::TableStats::of(&t);
+            println!("{name}: {} rows, {} columns, {} bytes compressed", stats.rows, stats.arity, stats.total_bytes);
+            for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
+                println!(
+                    "  {:<12} distinct={:<8} bitmaps={}B ratio={:.1}x",
+                    def.name, c.distinct, c.bitmap_bytes, c.compression_ratio
+                );
+            }
+        }
+        "decompose" => {
+            let [input, out1, cols1, out2, cols2] = args.as_slice() else {
+                return Err("usage: decompose <in> <out1> <a,b> <out2> <a,c>".into());
+            };
+            let status = cods
+                .execute(Smo::DecomposeTable {
+                    input: input.to_string(),
+                    spec: DecomposeSpec {
+                        unchanged_name: out1.to_string(),
+                        unchanged_cols: cols_of(cols1),
+                        changed_name: out2.to_string(),
+                        changed_cols: cols_of(cols2),
+                        verify_fd: true,
+                    },
+                })
+                .map_err(|e| e.to_string())?;
+            print!("{}", status.render());
+        }
+        "merge" => {
+            let [left, right, out] = args.as_slice() else {
+                return Err("usage: merge <left> <right> <out>".into());
+            };
+            let status = cods
+                .execute(Smo::MergeTables {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                    output: out.to_string(),
+                    strategy: MergeStrategy::Auto,
+                })
+                .map_err(|e| e.to_string())?;
+            print!("{}", status.render());
+        }
+        "partition" => {
+            let [input, pred, out1, out2] = args.as_slice() else {
+                return Err("usage: partition <in> <col><op><lit> <out1> <out2>".into());
+            };
+            let t = cods.table(input).map_err(|e| e.to_string())?;
+            let predicate = parse_predicate(pred, &t)?;
+            let status = cods
+                .execute(Smo::PartitionTable {
+                    input: input.to_string(),
+                    predicate,
+                    satisfying: out1.to_string(),
+                    rest: out2.to_string(),
+                })
+                .map_err(|e| e.to_string())?;
+            print!("{}", status.render());
+        }
+        "union" => {
+            let [left, right, out] = args.as_slice() else {
+                return Err("usage: union <left> <right> <out>".into());
+            };
+            let status = cods
+                .execute(Smo::UnionTables {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                    output: out.to_string(),
+                    drop_inputs: false,
+                })
+                .map_err(|e| e.to_string())?;
+            print!("{}", status.render());
+        }
+        "copy" => {
+            let [from, to] = args.as_slice() else {
+                return Err("usage: copy <from> <to>".into());
+            };
+            cods.execute(Smo::CopyTable {
+                from: from.to_string(),
+                to: to.to_string(),
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        "rename" => {
+            let [from, to] = args.as_slice() else {
+                return Err("usage: rename <from> <to>".into());
+            };
+            cods.execute(Smo::RenameTable {
+                from: from.to_string(),
+                to: to.to_string(),
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        "drop" => {
+            let [name] = args.as_slice() else {
+                return Err("usage: drop <table>".into());
+            };
+            cods.execute(Smo::DropTable {
+                name: name.to_string(),
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        "addcol" => {
+            let [table, spec, default] = args.as_slice() else {
+                return Err("usage: addcol <table> <name:type> <default>".into());
+            };
+            let (name, ty) = spec
+                .split_once(':')
+                .ok_or("column spec must be name:type")?;
+            let ty = parse_type(ty)?;
+            let value = Value::parse(default, ty).map_err(|e| e.to_string())?;
+            cods.execute(Smo::AddColumn {
+                table: table.to_string(),
+                column: ColumnDef::new(name, ty),
+                fill: ColumnFill::Default(value),
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        "dropcol" => {
+            let [table, col] = args.as_slice() else {
+                return Err("usage: dropcol <table> <col>".into());
+            };
+            cods.execute(Smo::DropColumn {
+                table: table.to_string(),
+                column: col.to_string(),
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        "renamecol" => {
+            let [table, from, to] = args.as_slice() else {
+                return Err("usage: renamecol <table> <from> <to>".into());
+            };
+            cods.execute(Smo::RenameColumn {
+                table: table.to_string(),
+                from: from.to_string(),
+                to: to.to_string(),
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        "exec" => {
+            // Full SMO statement language (see cods::parser), e.g.
+            //   exec DECOMPOSE TABLE R INTO S (employee, skill), T (employee, address)
+            let stmt = line["exec".len()..].trim();
+            let smo = cods::parse_smo(stmt).map_err(|e| e.to_string())?;
+            let status = cods.execute(smo).map_err(|e| e.to_string())?;
+            print!("{}", status.render());
+        }
+        "run" => {
+            let [file] = args.as_slice() else {
+                return Err("usage: run <script.smo>".into());
+            };
+            let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+            let smos = cods::parse_script(&text).map_err(|e| e.to_string())?;
+            let n = smos.len();
+            cods.execute_all(smos).map_err(|e| e.to_string())?;
+            println!("executed {n} statements from {file}");
+        }
+        "history" => {
+            for rec in cods.history() {
+                println!(
+                    "  {:<60} {:>9.3} ms",
+                    rec.operator,
+                    rec.status.total.as_secs_f64() * 1e3
+                );
+            }
+        }
+        "save" => {
+            let [file] = args.as_slice() else {
+                return Err("usage: save <file>".into());
+            };
+            save_catalog(cods.catalog(), file).map_err(|e| e.to_string())?;
+            println!("saved catalog to {file}");
+        }
+        "open" => {
+            let [file] = args.as_slice() else {
+                return Err("usage: open <file>".into());
+            };
+            let catalog = read_catalog(file).map_err(|e| e.to_string())?;
+            *cods = Cods::with_catalog(catalog);
+            println!("opened catalog from {file}");
+        }
+        other => return Err(format!("unknown command {other:?} (try: help)")),
+    }
+    Ok(Outcome::Continue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> Cods {
+        Cods::new()
+    }
+
+    fn run(cods: &mut Cods, line: &str) {
+        run_command(cods, line).unwrap_or_else(|e| panic!("{line:?} failed: {e}"));
+    }
+
+    #[test]
+    fn demo_decompose_merge_flow() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        run(&mut cods, "decompose R S employee,skill T employee,address");
+        assert!(cods.catalog().contains("S"));
+        assert_eq!(cods.table("T").unwrap().rows(), 4);
+        run(&mut cods, "merge S T R2");
+        assert_eq!(cods.table("R2").unwrap().rows(), 7);
+        assert_eq!(cods.history().len(), 2);
+    }
+
+    #[test]
+    fn create_and_column_commands() {
+        let mut cods = shell();
+        run(&mut cods, "create t id:int,name:str key=id");
+        assert!(cods.catalog().contains("t"));
+        run(&mut cods, "addcol t dept:str eng");
+        assert!(cods.table("t").unwrap().schema().contains("dept"));
+        run(&mut cods, "renamecol t dept division");
+        assert!(cods.table("t").unwrap().schema().contains("division"));
+        run(&mut cods, "dropcol t division");
+        assert_eq!(cods.table("t").unwrap().arity(), 2);
+        run(&mut cods, "copy t t2");
+        run(&mut cods, "rename t2 t3");
+        run(&mut cods, "drop t3");
+        assert_eq!(cods.catalog().table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn partition_and_union_commands() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        run(&mut cods, "partition R employee=Jones jones others");
+        assert_eq!(cods.table("jones").unwrap().rows(), 3);
+        assert_eq!(cods.table("others").unwrap().rows(), 4);
+        run(&mut cods, "union jones others R");
+        assert_eq!(cods.table("R").unwrap().rows(), 7);
+    }
+
+    #[test]
+    fn predicate_operators_parse() {
+        let mut cods = shell();
+        run(&mut cods, "create t v:int");
+        let table = cods.table("t").unwrap();
+        for (expr, op) in [
+            ("v=3", CmpOp::Eq),
+            ("v!=3", CmpOp::Ne),
+            ("v<3", CmpOp::Lt),
+            ("v<=3", CmpOp::Le),
+            ("v>3", CmpOp::Gt),
+            ("v>=3", CmpOp::Ge),
+        ] {
+            match parse_predicate(expr, &table).unwrap() {
+                Predicate::Compare { op: got, .. } => assert_eq!(got, op, "{expr}"),
+                other => panic!("unexpected predicate {other:?}"),
+            }
+        }
+        assert!(parse_predicate("nonsense", &table).is_err());
+        assert!(parse_predicate("missing=1", &table).is_err());
+    }
+
+    #[test]
+    fn exec_statement_language() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        run(
+            &mut cods,
+            "exec DECOMPOSE TABLE R INTO S (employee, skill), T (employee, address)",
+        );
+        assert_eq!(cods.table("T").unwrap().rows(), 4);
+        run(&mut cods, "exec MERGE TABLES S, T INTO R2");
+        assert_eq!(cods.table("R2").unwrap().rows(), 7);
+        assert!(run_command(&mut cods, "exec NONSENSE").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut cods = shell();
+        assert!(run_command(&mut cods, "display nope").is_err());
+        assert!(run_command(&mut cods, "create").is_err());
+        assert!(run_command(&mut cods, "frobnicate").is_err());
+        // Empty lines and comments are no-ops.
+        assert!(matches!(run_command(&mut cods, "").unwrap(), Outcome::Continue));
+        assert!(matches!(run_command(&mut cods, "quit").unwrap(), Outcome::Quit));
+    }
+
+    #[test]
+    fn save_and_open_round_trip() {
+        let dir = std::env::temp_dir().join("cods_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("demo.catalog");
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        run(&mut cods, &format!("save {}", file.display()));
+        let mut fresh = shell();
+        run(&mut fresh, &format!("open {}", file.display()));
+        assert!(fresh.catalog().contains("R"));
+        assert_eq!(fresh.table("R").unwrap().rows(), 7);
+        std::fs::remove_file(&file).ok();
+    }
+}

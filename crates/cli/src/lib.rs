@@ -1,0 +1,12 @@
+//! # cods-cli
+//!
+//! The interactive CODS shell (library part). `commands` implements the
+//! command language the binary REPL drives; exposing it as a library makes
+//! the whole demo workflow scriptable and testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod commands;
+
+pub use commands::{run_command, Outcome, HELP};

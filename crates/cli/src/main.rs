@@ -1,0 +1,63 @@
+//! `cods` — an interactive shell reproducing the CODS demonstration
+//! workflow (Section 3 / Figure 4 of the paper): create tables, load data,
+//! queue and execute schema modification operators, and watch the "Data
+//! Evolution Status" log.
+//!
+//! ```text
+//! cargo run -p cods-cli
+//! cods> demo
+//! cods> decompose R S employee,skill T employee,address
+//! cods> display T
+//! ```
+//!
+//! Non-interactive use: pipe commands on stdin or pass a script file as the
+//! first argument.
+
+use cods::Cods;
+use cods_cli::{run_command, Outcome, HELP};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut cods = Cods::new();
+    let script = std::env::args().nth(1);
+    let interactive = script.is_none();
+
+    println!("CODS — Column Oriented Database Schema update (VLDB 2010 reproduction)");
+    if interactive {
+        print!("{HELP}");
+    }
+
+    let reader: Box<dyn BufRead> = match &script {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }),
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    if interactive {
+        print!("cods> ");
+        std::io::stdout().flush().ok();
+    }
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            match run_command(&mut cods, trimmed) {
+                Ok(Outcome::Quit) => break,
+                Ok(Outcome::Continue) => {}
+                Err(msg) => eprintln!("error: {msg}"),
+            }
+        }
+        if interactive {
+            print!("cods> ");
+            std::io::stdout().flush().ok();
+        }
+    }
+    println!();
+}

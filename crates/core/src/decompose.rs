@@ -1,0 +1,365 @@
+//! **Data-level DECOMPOSE TABLE** (Section 2.4 of the paper).
+//!
+//! A lossless-join decomposition of `R(A1…An)` into `S(A1…Ak, Ak+1…Am)` and
+//! `T(A1…Ak, Am+1…An)`, where the common attributes `A1…Ak` are a key of `T`,
+//! is executed entirely on the compressed representation:
+//!
+//! 1. **Reuse** — `S` is a column subset of `R`; its columns are shared by
+//!    reference (Property 1: "the unchanged output table can be created right
+//!    away using the existing columns in R without any data operation").
+//! 2. **Distinction** — one pass over the key columns' value ids finds, for
+//!    every distinct key combination, the position of its first occurrence
+//!    in `R`. The result is a sorted tuple-position list.
+//! 3. **Bitmap filtering** — every bitmap of every `T` column is shrunk to
+//!    that position list (`Wah::filter_positions`), producing `T`'s
+//!    compressed bitmaps directly: no tuples are materialized, nothing is
+//!    decompressed or re-compressed, and no index needs rebuilding.
+//!
+//! Property 2 (the key functionally determines `T`'s other attributes, so
+//! any representative row suffices) is optionally verified in the same pass.
+
+use crate::error::{EvolutionError, Result};
+use crate::schema_tools::check_decomposition_shape;
+use crate::status::{EvolutionStatus, StatusTracker};
+use cods_storage::{Column, Table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Specification of a decomposition.
+#[derive(Clone, Debug)]
+pub struct DecomposeSpec {
+    /// Name for the unchanged output (the side keeping all rows).
+    pub unchanged_name: String,
+    /// Columns of the unchanged output.
+    pub unchanged_cols: Vec<String>,
+    /// Name for the changed output (shrunk to one row per distinct key).
+    pub changed_name: String,
+    /// Columns of the changed output; the columns shared with
+    /// `unchanged_cols` become its key.
+    pub changed_cols: Vec<String>,
+    /// Verify Property 2 (the FD key → rest) during the pass, failing with
+    /// [`EvolutionError::FdViolation`] if the data would make the
+    /// decomposition lossy. Costs one extra O(rows) id scan per changed
+    /// non-key column.
+    pub verify_fd: bool,
+}
+
+impl DecomposeSpec {
+    /// Builds a spec with FD verification enabled.
+    pub fn new(
+        unchanged_name: impl Into<String>,
+        unchanged_cols: &[&str],
+        changed_name: impl Into<String>,
+        changed_cols: &[&str],
+    ) -> Self {
+        DecomposeSpec {
+            unchanged_name: unchanged_name.into(),
+            unchanged_cols: unchanged_cols.iter().map(|s| s.to_string()).collect(),
+            changed_name: changed_name.into(),
+            changed_cols: changed_cols.iter().map(|s| s.to_string()).collect(),
+            verify_fd: true,
+        }
+    }
+
+    /// Disables FD verification (trusted input).
+    pub fn trusted(mut self) -> Self {
+        self.verify_fd = false;
+        self
+    }
+}
+
+/// Result of a decomposition.
+#[derive(Clone, Debug)]
+pub struct DecomposeOutcome {
+    /// The unchanged output table (columns shared with the input).
+    pub unchanged: Table,
+    /// The changed output table (one row per distinct key).
+    pub changed: Table,
+    /// Number of distinct key combinations found by distinction.
+    pub distinct_keys: u64,
+    /// Step log.
+    pub status: EvolutionStatus,
+}
+
+/// The *distinction* step: the sorted list of first-occurrence positions of
+/// every distinct combination of `key_cols`, plus (when `group_of_row` is
+/// requested) the key-group index of every row for FD verification.
+///
+/// Works purely on value ids — dictionary values are never touched.
+pub fn distinction(
+    table: &Table,
+    key_cols: &[usize],
+    want_groups: bool,
+) -> (Vec<u64>, Option<Vec<u32>>) {
+    let rows = table.rows() as usize;
+    let mut positions: Vec<u64> = Vec::new();
+    let mut groups: Option<Vec<u32>> = want_groups.then(|| Vec::with_capacity(rows));
+    if key_cols.len() == 1 {
+        // Fast path: group identity is the single column's value id.
+        let ids = table.column(key_cols[0]).value_ids();
+        let distinct = table.column(key_cols[0]).distinct_count();
+        let mut group_of_id: Vec<u32> = vec![u32::MAX; distinct];
+        let mut next = 0u32;
+        for (row, &id) in ids.iter().enumerate() {
+            let slot = &mut group_of_id[id as usize];
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+                positions.push(row as u64);
+            }
+            if let Some(g) = groups.as_mut() {
+                g.push(*slot);
+            }
+        }
+    } else {
+        let id_cols: Vec<Vec<u32>> = key_cols
+            .iter()
+            .map(|&c| table.column(c).value_ids())
+            .collect();
+        let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
+        for row in 0..rows {
+            let key: Vec<u32> = id_cols.iter().map(|c| c[row]).collect();
+            let next = seen.len() as u32;
+            let group = *seen.entry(key).or_insert_with(|| {
+                positions.push(row as u64);
+                next
+            });
+            if let Some(g) = groups.as_mut() {
+                g.push(group);
+            }
+        }
+    }
+    (positions, groups)
+}
+
+/// Executes a data-level decomposition of `input`.
+///
+/// Schema keys of the outputs: the changed table is keyed by the common
+/// columns; the unchanged table keeps no key declaration.
+pub fn decompose(input: &Table, spec: &DecomposeSpec) -> Result<DecomposeOutcome> {
+    let mut tracker = StatusTracker::new();
+
+    // Shape validation (coverage, overlap, existence).
+    let common =
+        check_decomposition_shape(input.schema(), &spec.unchanged_cols, &spec.changed_cols)?;
+    tracker.step("validate decomposition shape");
+
+    // Step 0 — reuse: the unchanged table shares the input's columns.
+    let unchanged_names: Vec<&str> = spec.unchanged_cols.iter().map(String::as_str).collect();
+    let unchanged_schema = input.schema().project(&unchanged_names, &[])?;
+    let unchanged_columns: Vec<Arc<Column>> = unchanged_names
+        .iter()
+        .map(|n| Ok(Arc::clone(input.column_by_name(n)?)))
+        .collect::<Result<_>>()?;
+    let unchanged = Table::new(&spec.unchanged_name, unchanged_schema, unchanged_columns)?;
+    tracker.step_items("reuse unchanged columns", unchanged.arity() as u64);
+
+    // Step 1 — distinction over the common (key) columns.
+    let key_idx: Vec<usize> = common
+        .iter()
+        .map(|n| Ok(input.schema().index_of(n)?))
+        .collect::<Result<_>>()?;
+    let (positions, groups) = distinction(input, &key_idx, spec.verify_fd);
+    tracker.step_items("distinction", positions.len() as u64);
+
+    // Property 2 — every row of a key group must agree with its
+    // representative on the changed table's non-key columns.
+    if let Some(groups) = groups {
+        for name in spec.changed_cols.iter().filter(|c| !common.contains(c)) {
+            let ids = input.column_by_name(name)?.value_ids();
+            let rep: Vec<u32> = positions.iter().map(|&p| ids[p as usize]).collect();
+            for (row, &g) in groups.iter().enumerate() {
+                if ids[row] != rep[g as usize] {
+                    return Err(EvolutionError::FdViolation(format!(
+                        "column {name:?} differs within key group at row {row}: \
+                         the decomposition would lose data"
+                    )));
+                }
+            }
+        }
+        tracker.step("verify functional dependency");
+    }
+
+    // Step 2 — bitmap filtering of every changed-side column.
+    let changed_names: Vec<&str> = spec.changed_cols.iter().map(String::as_str).collect();
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let changed_schema = input.schema().project(&changed_names, &common_refs)?;
+    let to_filter: Vec<&Column> = changed_names
+        .iter()
+        .map(|n| Ok(input.column_by_name(n)?.as_ref()))
+        .collect::<Result<_>>()?;
+    let changed_columns: Vec<Arc<Column>> =
+        crate::par::map_maybe_parallel(to_filter, |col| {
+            Arc::new(col.filter_positions(&positions))
+        });
+    let changed = Table::new(&spec.changed_name, changed_schema, changed_columns)?;
+    tracker.step_items("bitmap filtering", (changed.arity() as u64) * positions.len() as u64);
+
+    Ok(DecomposeOutcome {
+        unchanged,
+        changed,
+        distinct_keys: positions.len() as u64,
+        status: tracker.finish(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cods_storage::{Schema, Value, ValueType};
+
+    fn figure1() -> Table {
+        let schema = Schema::build(
+            &[
+                ("employee", ValueType::Str),
+                ("skill", ValueType::Str),
+                ("address", ValueType::Str),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            ("Jones", "Typing", "425 Grant Ave"),
+            ("Jones", "Shorthand", "425 Grant Ave"),
+            ("Roberts", "Light Cleaning", "747 Industrial Way"),
+            ("Ellis", "Alchemy", "747 Industrial Way"),
+            ("Jones", "Whittling", "425 Grant Ave"),
+            ("Ellis", "Juggling", "747 Industrial Way"),
+            ("Harrison", "Light Cleaning", "425 Grant Ave"),
+        ]
+        .iter()
+        .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
+        .collect();
+        Table::from_rows("R", schema, &rows).unwrap()
+    }
+
+    fn figure1_spec() -> DecomposeSpec {
+        DecomposeSpec::new(
+            "S",
+            &["employee", "skill"],
+            "T",
+            &["employee", "address"],
+        )
+    }
+
+    #[test]
+    fn figure1_decomposition() {
+        let r = figure1();
+        let out = decompose(&r, &figure1_spec()).unwrap();
+        assert_eq!(out.unchanged.rows(), 7);
+        assert_eq!(out.changed.rows(), 4);
+        assert_eq!(out.distinct_keys, 4);
+        out.unchanged.check_invariants().unwrap();
+        out.changed.check_invariants().unwrap();
+        out.changed.verify_key().unwrap();
+
+        // T is exactly the employee → address mapping of Figure 1.
+        let mut t_rows = out.changed.to_rows();
+        t_rows.sort();
+        assert_eq!(
+            t_rows,
+            vec![
+                vec![Value::str("Ellis"), Value::str("747 Industrial Way")],
+                vec![Value::str("Harrison"), Value::str("425 Grant Ave")],
+                vec![Value::str("Jones"), Value::str("425 Grant Ave")],
+                vec![Value::str("Roberts"), Value::str("747 Industrial Way")],
+            ]
+        );
+    }
+
+    #[test]
+    fn unchanged_side_shares_columns_with_input() {
+        let r = figure1();
+        let out = decompose(&r, &figure1_spec()).unwrap();
+        assert!(r.shares_column_with(&out.unchanged, "employee"));
+        assert!(r.shares_column_with(&out.unchanged, "skill"));
+    }
+
+    #[test]
+    fn status_reports_paper_steps() {
+        let r = figure1();
+        let out = decompose(&r, &figure1_spec()).unwrap();
+        assert!(out.status.step("distinction").is_some());
+        assert!(out.status.step("bitmap filtering").is_some());
+        assert_eq!(out.status.step("distinction").unwrap().items, Some(4));
+    }
+
+    #[test]
+    fn fd_violation_detected() {
+        // Same employee, two addresses → employee → address does not hold.
+        let schema = Schema::build(
+            &[
+                ("employee", ValueType::Str),
+                ("skill", ValueType::Str),
+                ("address", ValueType::Str),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows = vec![
+            vec![Value::str("Jones"), Value::str("Typing"), Value::str("A")],
+            vec![Value::str("Jones"), Value::str("Welding"), Value::str("B")],
+        ];
+        let r = Table::from_rows("R", schema, &rows).unwrap();
+        let err = decompose(&r, &figure1_spec());
+        assert!(matches!(err, Err(EvolutionError::FdViolation(_))));
+        // Trusted mode silently takes the representative row.
+        let out = decompose(&r, &figure1_spec().trusted()).unwrap();
+        assert_eq!(out.changed.rows(), 1);
+        assert_eq!(out.changed.row(0)[1], Value::str("A"));
+    }
+
+    #[test]
+    fn composite_key_distinction() {
+        let schema = Schema::build(
+            &[
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+                ("c", ValueType::Int),
+            ],
+            &[],
+        )
+        .unwrap();
+        // (a, b) → c holds; 4 distinct (a, b) pairs.
+        let rows: Vec<Vec<Value>> = [
+            (1, 1, 10),
+            (1, 2, 20),
+            (2, 1, 30),
+            (1, 1, 10),
+            (2, 2, 40),
+            (1, 2, 20),
+        ]
+        .iter()
+        .map(|&(a, b, c)| vec![Value::int(a), Value::int(b), Value::int(c)])
+        .collect();
+        let r = Table::from_rows("R", schema, &rows).unwrap();
+        let spec = DecomposeSpec::new("S", &["a", "b"], "T", &["a", "b", "c"]);
+        let out = decompose(&r, &spec).unwrap();
+        assert_eq!(out.distinct_keys, 4);
+        assert_eq!(out.changed.rows(), 4);
+        out.changed.verify_key().unwrap();
+    }
+
+    #[test]
+    fn distinction_positions_are_first_occurrences() {
+        let r = figure1();
+        let (positions, groups) = distinction(&r, &[0], true);
+        assert_eq!(positions, vec![0, 2, 3, 6]); // Jones, Roberts, Ellis, Harrison
+        let g = groups.unwrap();
+        assert_eq!(g, vec![0, 0, 1, 2, 0, 2, 3]);
+    }
+
+    #[test]
+    fn decompose_empty_table() {
+        let schema = Schema::build(
+            &[("a", ValueType::Int), ("b", ValueType::Int)],
+            &[],
+        )
+        .unwrap();
+        let r = Table::from_rows("R", schema, &[]).unwrap();
+        let spec = DecomposeSpec::new("S", &["a"], "T", &["a", "b"]);
+        let out = decompose(&r, &spec).unwrap();
+        assert_eq!(out.unchanged.rows(), 0);
+        assert_eq!(out.changed.rows(), 0);
+    }
+}

@@ -1,0 +1,868 @@
+//! **Data-level MERGE TABLES** (Section 2.5 of the paper).
+//!
+//! Two strategies, chosen by the shape of the join attributes:
+//!
+//! * **Key–foreign-key mergence** (§2.5.1) — the join attributes are the key
+//!   of one input (`T`). The other input (`S`) is *reused wholesale*: its
+//!   columns become the output's columns by reference. Only `T`'s payload
+//!   attributes need new bitmaps, built in one sequential scan of `S`'s key
+//!   ids; the scan works on dictionary ids and compressed bitmaps only.
+//!
+//! * **General mergence** (§2.5.2) — an arbitrary equi-join. A two-pass
+//!   algorithm: pass 1 counts the occurrences `n1(v)`, `n2(v)` of every
+//!   distinct join value in `S` and `T`; each value occupies `n1·n2`
+//!   consecutive output rows (the output is *clustered by join value*), so
+//!   the join-attribute bitmaps are emitted directly as fill runs. Pass 2
+//!   places `S`-side payload values "in a consecutive way" (runs of length
+//!   `n2`) and `T`-side payload values "in a non-consecutive way but with
+//!   the same distance" (stride `n2`), again writing compressed bitmaps
+//!   directly.
+
+use crate::error::{EvolutionError, Result};
+use crate::status::{EvolutionStatus, StatusTracker};
+use cods_bitmap::ValueStreamBuilder;
+use cods_storage::{Column, ColumnDef, Schema, Table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Strategy selection for MERGE TABLES.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Detect: if one side is unique on the join attributes, use key–FK
+    /// mergence with that side as the keyed table (falling back to general
+    /// mergence if a foreign-key value has no match); otherwise general.
+    Auto,
+    /// Force key–FK mergence; `keyed` names the input whose key is the join
+    /// attribute set.
+    KeyForeignKey {
+        /// Name of the keyed (unique) input table.
+        keyed: String,
+    },
+    /// Force the general two-pass algorithm.
+    General,
+}
+
+/// Which algorithm actually ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UsedStrategy {
+    /// §2.5.1 ran, reusing the non-keyed side's columns.
+    KeyForeignKey,
+    /// §2.5.2 ran.
+    General,
+}
+
+/// Result of a mergence.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    /// The joined output table.
+    pub output: Table,
+    /// Which algorithm ran.
+    pub strategy: UsedStrategy,
+    /// Step log.
+    pub status: EvolutionStatus,
+}
+
+/// For each dictionary id of `from`, the id of the same value in `to`
+/// (`None` when absent). Cost: O(distinct values), never O(rows).
+fn id_mapping(from: &Column, to: &Column) -> Vec<Option<u32>> {
+    from.dict()
+        .values()
+        .iter()
+        .map(|v| to.dict().id_of(v))
+        .collect()
+}
+
+fn join_indices(schema: &Schema, join_cols: &[String]) -> Result<Vec<usize>> {
+    join_cols
+        .iter()
+        .map(|n| Ok(schema.index_of(n)?))
+        .collect()
+}
+
+fn validate_join(left: &Table, right: &Table, join_cols: &[String]) -> Result<()> {
+    if join_cols.is_empty() {
+        return Err(EvolutionError::NoCommonColumns(format!(
+            "{} and {}",
+            left.name(),
+            right.name()
+        )));
+    }
+    for n in join_cols {
+        let l = left.schema().column(n)?;
+        let r = right.schema().column(n)?;
+        if l.ty != r.ty {
+            return Err(EvolutionError::InvalidOperator(format!(
+                "join column {n:?} has type {} on one side and {} on the other",
+                l.ty, r.ty
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` if `table` has no duplicate combination of `cols`.
+pub fn is_unique_on(table: &Table, cols: &[usize]) -> bool {
+    let (positions, _) = crate::decompose::distinction(table, cols, false);
+    positions.len() as u64 == table.rows()
+}
+
+/// Output schema of a mergence: the reusable/left columns followed by the
+/// other side's non-join columns.
+fn merged_schema(left: &Schema, right: &Schema, join_cols: &[String]) -> Result<Schema> {
+    let mut defs: Vec<ColumnDef> = left.columns().to_vec();
+    for c in right.columns() {
+        if !join_cols.contains(&c.name) {
+            defs.push(c.clone());
+        }
+    }
+    Schema::new(defs).map_err(EvolutionError::Storage)
+}
+
+// ---------------------------------------------------------------------
+// §2.5.1 — key–foreign-key mergence
+// ---------------------------------------------------------------------
+
+/// Merges `reusable` (the side whose columns carry over) with `keyed` (the
+/// side whose key is the join attribute set).
+///
+/// Fails with [`EvolutionError::ForeignKeyViolation`] if some join value of
+/// `reusable` has no match in `keyed`, and with
+/// [`EvolutionError::InvalidOperator`] if `keyed` is not actually unique on
+/// the join attributes.
+pub fn merge_key_fk(
+    reusable: &Table,
+    keyed: &Table,
+    output_name: &str,
+    join_cols: &[String],
+) -> Result<MergeOutcome> {
+    let mut tracker = StatusTracker::new();
+    validate_join(reusable, keyed, join_cols)?;
+    let r_join = join_indices(reusable.schema(), join_cols)?;
+    let k_join = join_indices(keyed.schema(), join_cols)?;
+
+    if !is_unique_on(keyed, &k_join) {
+        return Err(EvolutionError::InvalidOperator(format!(
+            "table {:?} is not unique on {:?}; use general mergence",
+            keyed.name(),
+            join_cols
+        )));
+    }
+    tracker.step("verify key uniqueness");
+
+    // Dictionary-level id maps, one per join column: reusable id → keyed id.
+    let maps: Vec<Vec<Option<u32>>> = r_join
+        .iter()
+        .zip(&k_join)
+        .map(|(&rc, &kc)| id_mapping(reusable.column(rc), keyed.column(kc)))
+        .collect();
+    tracker.step("map join dictionaries");
+
+    // keyed-side: key combination → its unique row.
+    let k_ids: Vec<Vec<u32>> = k_join.iter().map(|&c| keyed.column(c).value_ids()).collect();
+    let keyed_rows = keyed.rows() as usize;
+    let mut row_of_key: HashMap<Vec<u32>, u64> = HashMap::with_capacity(keyed_rows);
+    for row in 0..keyed_rows {
+        let key: Vec<u32> = k_ids.iter().map(|c| c[row]).collect();
+        row_of_key.insert(key, row as u64);
+    }
+    tracker.step_items("index key rows", keyed_rows as u64);
+
+    // Sequential scan of the reusable side: every row is mapped to the keyed
+    // row providing its payload values.
+    let r_ids: Vec<Vec<u32>> = r_join
+        .iter()
+        .map(|&c| reusable.column(c).value_ids())
+        .collect();
+    let n = reusable.rows() as usize;
+    let mut target_row: Vec<u64> = Vec::with_capacity(n);
+    let mut key_buf: Vec<u32> = vec![0; r_join.len()];
+    for row in 0..n {
+        for (slot, (ids, map)) in key_buf.iter_mut().zip(r_ids.iter().zip(&maps)) {
+            let rid = ids[row];
+            *slot = map[rid as usize].ok_or_else(|| {
+                EvolutionError::ForeignKeyViolation(format!(
+                    "row {row} of {:?} has a join value missing from {:?}",
+                    reusable.name(),
+                    keyed.name()
+                ))
+            })?;
+        }
+        let t_row = row_of_key.get(&key_buf).copied().ok_or_else(|| {
+            EvolutionError::ForeignKeyViolation(format!(
+                "row {row} of {:?} has a join combination missing from {:?}",
+                reusable.name(),
+                keyed.name()
+            ))
+        })?;
+        target_row.push(t_row);
+    }
+    tracker.step_items("sequential scan", n as u64);
+
+    // Build the payload columns (keyed-side non-join attributes) directly as
+    // compressed bitmaps over the reusable side's row space.
+    let payload_cols: Vec<usize> = (0..keyed.arity()).filter(|i| !k_join.contains(i)).collect();
+    let payload_refs: Vec<&Column> = payload_cols.iter().map(|&pc| keyed.column(pc).as_ref()).collect();
+    let built: Vec<crate::error::Result<Arc<Column>>> =
+        crate::par::map_maybe_parallel(payload_refs, |col| {
+            let ids = col.value_ids();
+            let mut builder = ValueStreamBuilder::new(col.distinct_count());
+            for &t_row in &target_row {
+                builder.push_row(ids[t_row as usize] as usize);
+            }
+            let bitmaps = builder.finish();
+            Ok(Arc::new(Column::from_dict_bitmaps_compacting(
+                col.ty(),
+                col.dict().clone(),
+                bitmaps,
+                n as u64,
+            )?))
+        });
+    let new_columns: Vec<Arc<Column>> = built.into_iter().collect::<crate::error::Result<_>>()?;
+    tracker.step_items("build payload bitmaps", payload_cols.len() as u64);
+
+    // Output: reusable columns shared by reference + new payload columns.
+    let schema = merged_schema(reusable.schema(), keyed.schema(), join_cols)?;
+    let mut columns: Vec<Arc<Column>> = reusable.columns().to_vec();
+    columns.extend(new_columns);
+    let output = Table::new(output_name, schema, columns).map_err(EvolutionError::Storage)?;
+    tracker.step("assemble output table");
+
+    Ok(MergeOutcome {
+        output,
+        strategy: UsedStrategy::KeyForeignKey,
+        status: tracker.finish(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// §2.5.2 — general mergence
+// ---------------------------------------------------------------------
+
+/// Merges `left` and `right` on arbitrary (non-key) join attributes with the
+/// two-pass algorithm. The output is clustered by join value.
+pub fn merge_general(
+    left: &Table,
+    right: &Table,
+    output_name: &str,
+    join_cols: &[String],
+) -> Result<MergeOutcome> {
+    let mut tracker = StatusTracker::new();
+    validate_join(left, right, join_cols)?;
+    let l_join = join_indices(left.schema(), join_cols)?;
+    let r_join = join_indices(right.schema(), join_cols)?;
+
+    // ---- Pass 1: occurrence counts of every distinct join combination ----
+    // Left side grouping (combos live in left-id space).
+    let l_ids: Vec<Vec<u32>> = l_join.iter().map(|&c| left.column(c).value_ids()).collect();
+    let l_rows = left.rows() as usize;
+    let mut combo_index: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut combos: Vec<Vec<u32>> = Vec::new();
+    let mut n1: Vec<u64> = Vec::new();
+    let mut l_group: Vec<u32> = Vec::with_capacity(l_rows);
+    for row in 0..l_rows {
+        let key: Vec<u32> = l_ids.iter().map(|c| c[row]).collect();
+        let g = *combo_index.entry(key.clone()).or_insert_with(|| {
+            combos.push(key);
+            n1.push(0);
+            (combos.len() - 1) as u32
+        });
+        n1[g as usize] += 1;
+        l_group.push(g);
+    }
+
+    // Right side: map ids into left-id space, then into the same groups.
+    let maps: Vec<Vec<Option<u32>>> = r_join
+        .iter()
+        .zip(&l_join)
+        .map(|(&rc, &lc)| id_mapping(right.column(rc), left.column(lc)))
+        .collect();
+    let r_ids: Vec<Vec<u32>> = r_join
+        .iter()
+        .map(|&c| right.column(c).value_ids())
+        .collect();
+    let r_rows = right.rows() as usize;
+    const NO_GROUP: u32 = u32::MAX;
+    let mut n2: Vec<u64> = vec![0; combos.len()];
+    let mut r_group: Vec<u32> = Vec::with_capacity(r_rows);
+    let mut key_buf: Vec<u32> = vec![0; r_join.len()];
+    'rows: for row in 0..r_rows {
+        for (slot, (ids, map)) in key_buf.iter_mut().zip(r_ids.iter().zip(&maps)) {
+            match map[ids[row] as usize] {
+                Some(mapped) => *slot = mapped,
+                None => {
+                    r_group.push(NO_GROUP);
+                    continue 'rows;
+                }
+            }
+        }
+        match combo_index.get(&key_buf) {
+            Some(&g) => {
+                n2[g as usize] += 1;
+                r_group.push(g);
+            }
+            None => r_group.push(NO_GROUP),
+        }
+    }
+    tracker.step_items("pass 1: count join occurrences", combos.len() as u64);
+
+    // Offsets: group g occupies rows [off[g], off[g] + n1[g] * n2[g]).
+    let mut offsets: Vec<u64> = Vec::with_capacity(combos.len());
+    let mut total: u64 = 0;
+    for g in 0..combos.len() {
+        offsets.push(total);
+        total += n1[g] * n2[g];
+    }
+    let active: Vec<usize> = (0..combos.len())
+        .filter(|&g| n1[g] > 0 && n2[g] > 0)
+        .collect();
+    tracker.step_items("cluster output by join value", active.len() as u64);
+
+    // Bucket the matching rows of both sides per group.
+    let mut s_rows: Vec<Vec<u64>> = vec![Vec::new(); combos.len()];
+    for (row, &g) in l_group.iter().enumerate() {
+        if n2[g as usize] > 0 {
+            s_rows[g as usize].push(row as u64);
+        }
+    }
+    let mut t_rows: Vec<Vec<u64>> = vec![Vec::new(); combos.len()];
+    for (row, &g) in r_group.iter().enumerate() {
+        if g != NO_GROUP && n1[g as usize] > 0 {
+            t_rows[g as usize].push(row as u64);
+        }
+    }
+
+    // Join columns: each group's value vector is one fill run.
+    let mut out_columns: Vec<Arc<Column>> = Vec::with_capacity(
+        left.arity() + right.arity() - join_cols.len(),
+    );
+    let mut join_col_outputs: HashMap<usize, Arc<Column>> = HashMap::new();
+    for (pos_in_join, &lc) in l_join.iter().enumerate() {
+        let col = left.column(lc);
+        let mut builder = ValueStreamBuilder::new(col.distinct_count());
+        for &g in &active {
+            let size = n1[g] * n2[g];
+            // All rows of the group carry the same join value.
+            debug_assert_eq!(builder.rows(), offsets[g]);
+            builder.push_rows(combos[g][pos_in_join] as usize, size);
+        }
+        let bitmaps = builder.finish_with_len(total);
+        join_col_outputs.insert(
+            lc,
+            Arc::new(
+                Column::from_dict_bitmaps_compacting(
+                    col.ty(),
+                    col.dict().clone(),
+                    bitmaps,
+                    total,
+                )
+                .map_err(EvolutionError::Storage)?,
+            ),
+        );
+    }
+    tracker.step("pass 2: emit join columns as fill runs");
+
+    // Left payload columns: values placed consecutively (runs of n2).
+    for lc in 0..left.arity() {
+        if let Some(col) = join_col_outputs.remove(&lc) {
+            out_columns.push(col);
+            continue;
+        }
+        let col = left.column(lc);
+        let ids = col.value_ids();
+        let mut builder = ValueStreamBuilder::new(col.distinct_count());
+        for &g in &active {
+            let n2g = n2[g];
+            for &srow in &s_rows[g] {
+                builder.push_rows(ids[srow as usize] as usize, n2g);
+            }
+        }
+        let bitmaps = builder.finish_with_len(total);
+        out_columns.push(Arc::new(
+            Column::from_dict_bitmaps_compacting(col.ty(), col.dict().clone(), bitmaps, total)
+                .map_err(EvolutionError::Storage)?,
+        ));
+    }
+    tracker.step("pass 2: left payload (consecutive placement)");
+
+    // Right payload columns: values placed at stride n2 within each group —
+    // emitted in ascending row order so each value's bitmap builder only
+    // ever appends.
+    for rc in 0..right.arity() {
+        if r_join.contains(&rc) {
+            continue;
+        }
+        let col = right.column(rc);
+        let ids = col.value_ids();
+        let mut builder = ValueStreamBuilder::new(col.distinct_count());
+        for &g in &active {
+            let base = offsets[g];
+            let n2g = n2[g];
+            let group_ids: Vec<u32> =
+                t_rows[g].iter().map(|&r| ids[r as usize]).collect();
+            for i in 0..n1[g] {
+                let row0 = base + i * n2g;
+                for (j, &vid) in group_ids.iter().enumerate() {
+                    debug_assert_eq!(builder.rows(), row0 + j as u64);
+                    builder.push_row(vid as usize);
+                }
+            }
+        }
+        let bitmaps = builder.finish_with_len(total);
+        out_columns.push(Arc::new(
+            Column::from_dict_bitmaps_compacting(col.ty(), col.dict().clone(), bitmaps, total)
+                .map_err(EvolutionError::Storage)?,
+        ));
+    }
+    tracker.step("pass 2: right payload (strided placement)");
+
+    let schema = merged_schema(left.schema(), right.schema(), join_cols)?;
+    let output = Table::new(output_name, schema, out_columns).map_err(EvolutionError::Storage)?;
+    tracker.step_items("assemble output table", total);
+
+    Ok(MergeOutcome {
+        output,
+        strategy: UsedStrategy::General,
+        status: tracker.finish(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Strategy dispatch
+// ---------------------------------------------------------------------
+
+/// Merges `left` and `right` into `output_name`, joining on their common
+/// columns, with the given strategy.
+pub fn merge(
+    left: &Table,
+    right: &Table,
+    output_name: &str,
+    strategy: &MergeStrategy,
+) -> Result<MergeOutcome> {
+    let join_cols = crate::schema_tools::common_columns(left.schema(), right.schema());
+    if join_cols.is_empty() {
+        return Err(EvolutionError::NoCommonColumns(format!(
+            "{} and {}",
+            left.name(),
+            right.name()
+        )));
+    }
+    match strategy {
+        MergeStrategy::General => merge_general(left, right, output_name, &join_cols),
+        MergeStrategy::KeyForeignKey { keyed } => {
+            if keyed == right.name() {
+                merge_key_fk(left, right, output_name, &join_cols)
+            } else if keyed == left.name() {
+                // Reuse right's columns; output schema order then differs
+                // from left-first, which callers opting into this explicitly
+                // accept.
+                merge_key_fk(right, left, output_name, &join_cols)
+            } else {
+                Err(EvolutionError::InvalidOperator(format!(
+                    "keyed table {keyed:?} is neither input"
+                )))
+            }
+        }
+        MergeStrategy::Auto => {
+            let r_join = join_indices(right.schema(), &join_cols)?;
+            if is_unique_on(right, &r_join) {
+                match merge_key_fk(left, right, output_name, &join_cols) {
+                    Err(EvolutionError::ForeignKeyViolation(_)) => {
+                        merge_general(left, right, output_name, &join_cols)
+                    }
+                    other => other,
+                }
+            } else {
+                let l_join = join_indices(left.schema(), &join_cols)?;
+                if is_unique_on(left, &l_join) {
+                    match merge_key_fk(right, left, output_name, &join_cols) {
+                        Err(EvolutionError::ForeignKeyViolation(_)) => {
+                            merge_general(left, right, output_name, &join_cols)
+                        }
+                        other => other,
+                    }
+                } else {
+                    merge_general(left, right, output_name, &join_cols)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cods_storage::{Value, ValueType};
+
+    fn s_table() -> Table {
+        let schema = Schema::build(
+            &[("employee", ValueType::Str), ("skill", ValueType::Str)],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            ("Jones", "Typing"),
+            ("Jones", "Shorthand"),
+            ("Roberts", "Light Cleaning"),
+            ("Ellis", "Alchemy"),
+            ("Jones", "Whittling"),
+            ("Ellis", "Juggling"),
+            ("Harrison", "Light Cleaning"),
+        ]
+        .iter()
+        .map(|&(e, s)| vec![Value::str(e), Value::str(s)])
+        .collect();
+        Table::from_rows("S", schema, &rows).unwrap()
+    }
+
+    fn t_table() -> Table {
+        let schema = Schema::build(
+            &[("employee", ValueType::Str), ("address", ValueType::Str)],
+            &["employee"],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            ("Jones", "425 Grant Ave"),
+            ("Roberts", "747 Industrial Way"),
+            ("Ellis", "747 Industrial Way"),
+            ("Harrison", "425 Grant Ave"),
+        ]
+        .iter()
+        .map(|&(e, a)| vec![Value::str(e), Value::str(a)])
+        .collect();
+        Table::from_rows("T", schema, &rows).unwrap()
+    }
+
+    fn expected_r() -> Vec<Vec<Value>> {
+        [
+            ("Jones", "Typing", "425 Grant Ave"),
+            ("Jones", "Shorthand", "425 Grant Ave"),
+            ("Roberts", "Light Cleaning", "747 Industrial Way"),
+            ("Ellis", "Alchemy", "747 Industrial Way"),
+            ("Jones", "Whittling", "425 Grant Ave"),
+            ("Ellis", "Juggling", "747 Industrial Way"),
+            ("Harrison", "Light Cleaning", "425 Grant Ave"),
+        ]
+        .iter()
+        .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
+        .collect()
+    }
+
+    fn multiset(rows: Vec<Vec<Value>>) -> HashMap<Vec<Value>, u64> {
+        let mut m = HashMap::new();
+        for r in rows {
+            *m.entry(r).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn key_fk_reconstructs_figure1() {
+        let s = s_table();
+        let t = t_table();
+        let out = merge_key_fk(&s, &t, "R", &["employee".into()]).unwrap();
+        assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
+        out.output.check_invariants().unwrap();
+        assert_eq!(out.output.rows(), 7);
+        assert_eq!(out.output.schema().names(), vec!["employee", "skill", "address"]);
+        // Row order is preserved from S, so exact row equality holds.
+        assert_eq!(out.output.to_rows(), expected_r());
+    }
+
+    #[test]
+    fn key_fk_reuses_s_columns() {
+        let s = s_table();
+        let t = t_table();
+        let out = merge_key_fk(&s, &t, "R", &["employee".into()]).unwrap();
+        assert!(s.shares_column_with(&out.output, "employee"));
+        assert!(s.shares_column_with(&out.output, "skill"));
+    }
+
+    #[test]
+    fn key_fk_rejects_non_unique_keyed_side() {
+        let s = s_table();
+        let err = merge_key_fk(&s, &s_table(), "R", &["employee".into()]);
+        assert!(matches!(err, Err(EvolutionError::InvalidOperator(_))));
+    }
+
+    #[test]
+    fn key_fk_detects_fk_violation() {
+        let s = s_table();
+        let schema = Schema::build(
+            &[("employee", ValueType::Str), ("address", ValueType::Str)],
+            &["employee"],
+        )
+        .unwrap();
+        // Missing Harrison.
+        let t = Table::from_rows(
+            "T",
+            schema,
+            &[
+                vec![Value::str("Jones"), Value::str("A")],
+                vec![Value::str("Roberts"), Value::str("B")],
+                vec![Value::str("Ellis"), Value::str("C")],
+            ],
+        )
+        .unwrap();
+        let err = merge_key_fk(&s, &t, "R", &["employee".into()]);
+        assert!(matches!(err, Err(EvolutionError::ForeignKeyViolation(_))));
+    }
+
+    #[test]
+    fn general_matches_key_fk_on_fk_data() {
+        let s = s_table();
+        let t = t_table();
+        let fk = merge_key_fk(&s, &t, "R1", &["employee".into()]).unwrap();
+        let gen = merge_general(&s, &t, "R2", &["employee".into()]).unwrap();
+        gen.output.check_invariants().unwrap();
+        assert_eq!(
+            multiset(fk.output.to_rows()),
+            multiset(gen.output.to_rows())
+        );
+    }
+
+    #[test]
+    fn general_handles_many_to_many() {
+        let a = Table::from_rows(
+            "A",
+            Schema::build(&[("k", ValueType::Int), ("x", ValueType::Str)], &[]).unwrap(),
+            &[
+                vec![Value::int(1), Value::str("a1")],
+                vec![Value::int(1), Value::str("a2")],
+                vec![Value::int(2), Value::str("a3")],
+                vec![Value::int(3), Value::str("a4")],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(&[("k", ValueType::Int), ("y", ValueType::Str)], &[]).unwrap(),
+            &[
+                vec![Value::int(1), Value::str("b1")],
+                vec![Value::int(1), Value::str("b2")],
+                vec![Value::int(1), Value::str("b3")],
+                vec![Value::int(2), Value::str("b4")],
+                vec![Value::int(9), Value::str("b5")],
+            ],
+        )
+        .unwrap();
+        let out = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
+        out.output.check_invariants().unwrap();
+        // k=1: 2×3 = 6 rows; k=2: 1×1 = 1 row; k=3 and k=9 unmatched.
+        assert_eq!(out.output.rows(), 7);
+        // Cross-check against a naive tuple join.
+        let mut naive: Vec<Vec<Value>> = Vec::new();
+        for ra in a.to_rows() {
+            for rb in b.to_rows() {
+                if ra[0] == rb[0] {
+                    naive.push(vec![ra[0].clone(), ra[1].clone(), rb[1].clone()]);
+                }
+            }
+        }
+        assert_eq!(multiset(out.output.to_rows()), multiset(naive));
+        // Output is clustered by join value: k column is sorted by group.
+        let k_col: Vec<Value> = out
+            .output
+            .to_rows()
+            .iter()
+            .map(|r| r[0].clone())
+            .collect();
+        let mut seen = Vec::new();
+        for v in k_col {
+            if seen.last() != Some(&v) {
+                assert!(!seen.contains(&v), "join values interleaved");
+                seen.push(v);
+            }
+        }
+    }
+
+    #[test]
+    fn general_composite_join() {
+        let a = Table::from_rows(
+            "A",
+            Schema::build(
+                &[
+                    ("k1", ValueType::Int),
+                    ("k2", ValueType::Str),
+                    ("x", ValueType::Int),
+                ],
+                &[],
+            )
+            .unwrap(),
+            &[
+                vec![Value::int(1), Value::str("p"), Value::int(10)],
+                vec![Value::int(1), Value::str("q"), Value::int(20)],
+                vec![Value::int(1), Value::str("p"), Value::int(30)],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(
+                &[
+                    ("k1", ValueType::Int),
+                    ("k2", ValueType::Str),
+                    ("y", ValueType::Int),
+                ],
+                &[],
+            )
+            .unwrap(),
+            &[
+                vec![Value::int(1), Value::str("p"), Value::int(100)],
+                vec![Value::int(1), Value::str("r"), Value::int(200)],
+            ],
+        )
+        .unwrap();
+        let out = merge_general(&a, &b, "AB", &["k1".into(), "k2".into()]).unwrap();
+        // Only (1, p) matches: 2 left rows × 1 right row.
+        assert_eq!(out.output.rows(), 2);
+        let m = multiset(out.output.to_rows());
+        assert_eq!(
+            m[&vec![Value::int(1), Value::str("p"), Value::int(10), Value::int(100)]],
+            1
+        );
+        assert_eq!(
+            m[&vec![Value::int(1), Value::str("p"), Value::int(30), Value::int(100)]],
+            1
+        );
+    }
+
+    #[test]
+    fn auto_picks_key_fk_when_unique() {
+        let s = s_table();
+        let t = t_table();
+        let out = merge(&s, &t, "R", &MergeStrategy::Auto).unwrap();
+        assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
+        // Swapped inputs: left is unique → key-FK with right reusable.
+        let out = merge(&t, &s, "R2", &MergeStrategy::Auto).unwrap();
+        assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
+    }
+
+    #[test]
+    fn auto_falls_back_to_general() {
+        let a = Table::from_rows(
+            "A",
+            Schema::build(&[("k", ValueType::Int), ("x", ValueType::Int)], &[]).unwrap(),
+            &[
+                vec![Value::int(1), Value::int(10)],
+                vec![Value::int(1), Value::int(20)],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(&[("k", ValueType::Int), ("y", ValueType::Int)], &[]).unwrap(),
+            &[
+                vec![Value::int(1), Value::int(100)],
+                vec![Value::int(1), Value::int(200)],
+            ],
+        )
+        .unwrap();
+        let out = merge(&a, &b, "AB", &MergeStrategy::Auto).unwrap();
+        assert_eq!(out.strategy, UsedStrategy::General);
+        assert_eq!(out.output.rows(), 4);
+    }
+
+    #[test]
+    fn auto_falls_back_on_fk_gap() {
+        // Right side unique on k, but left has an unmatched key → auto must
+        // degrade to general mergence (inner-join semantics) transparently.
+        let a = Table::from_rows(
+            "A",
+            Schema::build(&[("k", ValueType::Int), ("x", ValueType::Int)], &[]).unwrap(),
+            &[
+                vec![Value::int(1), Value::int(10)],
+                vec![Value::int(2), Value::int(20)],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(&[("k", ValueType::Int), ("y", ValueType::Int)], &[]).unwrap(),
+            &[vec![Value::int(1), Value::int(100)]],
+        )
+        .unwrap();
+        let out = merge(&a, &b, "AB", &MergeStrategy::Auto).unwrap();
+        assert_eq!(out.strategy, UsedStrategy::General);
+        assert_eq!(out.output.rows(), 1);
+    }
+
+    #[test]
+    fn no_common_columns_rejected() {
+        let a = Table::from_rows(
+            "A",
+            Schema::build(&[("x", ValueType::Int)], &[]).unwrap(),
+            &[vec![Value::int(1)]],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(&[("y", ValueType::Int)], &[]).unwrap(),
+            &[vec![Value::int(1)]],
+        )
+        .unwrap();
+        assert!(matches!(
+            merge(&a, &b, "AB", &MergeStrategy::Auto),
+            Err(EvolutionError::NoCommonColumns(_))
+        ));
+    }
+
+    #[test]
+    fn join_type_mismatch_rejected() {
+        let a = Table::from_rows(
+            "A",
+            Schema::build(&[("k", ValueType::Int)], &[]).unwrap(),
+            &[vec![Value::int(1)]],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(&[("k", ValueType::Str)], &[]).unwrap(),
+            &[vec![Value::str("1")]],
+        )
+        .unwrap();
+        assert!(matches!(
+            merge(&a, &b, "AB", &MergeStrategy::Auto),
+            Err(EvolutionError::InvalidOperator(_))
+        ));
+    }
+
+    #[test]
+    fn general_empty_result() {
+        let a = Table::from_rows(
+            "A",
+            Schema::build(&[("k", ValueType::Int), ("x", ValueType::Int)], &[]).unwrap(),
+            &[vec![Value::int(1), Value::int(10)]],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            Schema::build(&[("k", ValueType::Int), ("y", ValueType::Int)], &[]).unwrap(),
+            &[vec![Value::int(2), Value::int(100)]],
+        )
+        .unwrap();
+        let out = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
+        assert_eq!(out.output.rows(), 0);
+        out.output.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn explicit_keyed_strategy() {
+        let s = s_table();
+        let t = t_table();
+        let out = merge(
+            &s,
+            &t,
+            "R",
+            &MergeStrategy::KeyForeignKey { keyed: "T".into() },
+        )
+        .unwrap();
+        assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
+        let err = merge(
+            &s,
+            &t,
+            "R2",
+            &MergeStrategy::KeyForeignKey { keyed: "Z".into() },
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Optional intra-operator parallelism (feature `parallel`).
+//!
+//! Bitmap filtering and payload-bitmap construction are embarrassingly
+//! parallel across columns: each column's work touches only its own
+//! dictionary and bitmaps. With the `parallel` feature enabled these
+//! per-column maps run on scoped crossbeam threads; without it they run
+//! sequentially and the dependency is unused.
+
+/// Maps `f` over `items`, in parallel when the `parallel` feature is on and
+/// there is more than one item.
+pub(crate) fn map_maybe_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if items.len() > 1 {
+            let f = &f;
+            return crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .into_iter()
+                    .map(|item| scope.spawn(move |_| f(item)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("column worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+        }
+        items.into_iter().map(f).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        items.into_iter().map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = map_maybe_parallel(vec![1, 2, 3, 4], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<i32> = map_maybe_parallel(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+        assert_eq!(map_maybe_parallel(vec![7], |x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Evolution planning: synthesize the SMO chain that decomposes one table
+//! into *N* target tables.
+//!
+//! The paper notes that "decomposing a table into multiple tables can be
+//! done by recursively executing this operation" — this module automates the
+//! recursion. Given the target column sets, the planner:
+//!
+//! 1. validates coverage (every input column appears in some target);
+//! 2. repeatedly picks a target that can be the *changed* side of a lossless
+//!    binary decomposition of the remaining chain — i.e. the columns it
+//!    shares with the rest functionally determine its other columns
+//!    (Property 2, checked against the input data);
+//! 3. emits the corresponding `DECOMPOSE TABLE` operators with generated
+//!    intermediate names, ending with a `RENAME TABLE` so the final chain
+//!    table carries the last target's name.
+//!
+//! FDs are checked on the *input* table, which is sound because every
+//! intermediate chain table keeps all of the input's rows (only the split-off
+//! changed sides shrink).
+
+use crate::decompose::DecomposeSpec;
+use crate::error::{EvolutionError, Result};
+use crate::schema_tools::fd_holds;
+use crate::smo::Smo;
+use cods_storage::Table;
+use std::collections::BTreeSet;
+
+/// One target table of a multi-way decomposition.
+#[derive(Clone, Debug)]
+pub struct TargetSpec {
+    /// Output table name.
+    pub name: String,
+    /// Its columns (order preserved in the output schema).
+    pub cols: Vec<String>,
+}
+
+impl TargetSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cols: &[&str]) -> Self {
+        TargetSpec {
+            name: name.into(),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Plans a lossless decomposition of `input` into the given targets,
+/// returning the SMO chain to execute on a platform holding `input`.
+///
+/// # Errors
+/// * [`EvolutionError::InvalidOperator`] — unknown/duplicated columns, fewer
+///   than two targets, or duplicate target names;
+/// * [`EvolutionError::LossyDecomposition`] — coverage gaps, disconnected
+///   targets, or no split order whose functional dependencies hold in the
+///   data.
+pub fn plan_decomposition(input: &Table, targets: &[TargetSpec]) -> Result<Vec<Smo>> {
+    if targets.len() < 2 {
+        return Err(EvolutionError::InvalidOperator(
+            "a decomposition needs at least two targets".into(),
+        ));
+    }
+    let mut names = BTreeSet::new();
+    for t in targets {
+        if !names.insert(&t.name) {
+            return Err(EvolutionError::InvalidOperator(format!(
+                "duplicate target name {:?}",
+                t.name
+            )));
+        }
+        for c in &t.cols {
+            if !input.schema().contains(c) {
+                return Err(EvolutionError::InvalidOperator(format!(
+                    "target {:?} references unknown column {c:?}",
+                    t.name
+                )));
+            }
+        }
+    }
+    // Coverage: every input column must appear in some target.
+    for col in input.schema().names() {
+        if !targets.iter().any(|t| t.cols.iter().any(|c| c == col)) {
+            return Err(EvolutionError::LossyDecomposition(format!(
+                "input column {col:?} appears in no target"
+            )));
+        }
+    }
+
+    let mut remaining: Vec<&TargetSpec> = targets.iter().collect();
+    let mut smos = Vec::new();
+    let mut chain_name = input.name().to_string();
+    let mut step = 0usize;
+    while remaining.len() > 1 {
+        // Columns of the rest of the chain = union of all other targets.
+        let pick = (0..remaining.len())
+            .find(|&i| {
+                let t = remaining[i];
+                let rest_cols: BTreeSet<&str> = remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .flat_map(|(_, r)| r.cols.iter().map(String::as_str))
+                    .collect();
+                let common: Vec<&str> = t
+                    .cols
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|c| rest_cols.contains(c))
+                    .collect();
+                if common.is_empty() {
+                    return false;
+                }
+                let dependent: Vec<&str> = t
+                    .cols
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|c| !common.contains(c))
+                    .collect();
+                dependent.is_empty() || fd_holds(input, &common, &dependent).unwrap_or(false)
+            })
+            .ok_or_else(|| {
+                EvolutionError::LossyDecomposition(
+                    "no remaining target's shared columns functionally determine it; \
+                     the requested decomposition cannot be lossless"
+                        .into(),
+                )
+            })?;
+        let target = remaining.remove(pick);
+        // The rest of the chain keeps the union of the remaining targets'
+        // columns, in input-schema order.
+        let rest_set: BTreeSet<&str> = remaining
+            .iter()
+            .flat_map(|r| r.cols.iter().map(String::as_str))
+            .collect();
+        let rest_cols: Vec<String> = input
+            .schema()
+            .names()
+            .into_iter()
+            .filter(|c| rest_set.contains(c))
+            .map(str::to_string)
+            .collect();
+        let rest_name = if remaining.len() == 1 {
+            remaining[0].name.clone()
+        } else {
+            step += 1;
+            format!("__plan_chain_{step}")
+        };
+        smos.push(Smo::DecomposeTable {
+            input: chain_name.clone(),
+            spec: DecomposeSpec {
+                unchanged_name: rest_name.clone(),
+                unchanged_cols: rest_cols,
+                changed_name: target.name.clone(),
+                changed_cols: target.cols.clone(),
+                verify_fd: true,
+            },
+        });
+        chain_name = rest_name;
+    }
+    Ok(smos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Cods;
+    use cods_storage::{Schema, Value, ValueType};
+
+    /// R(e, a, d, z): e → d, e → z; a is free.
+    fn input() -> Table {
+        let schema = Schema::build(
+            &[
+                ("e", ValueType::Int),
+                ("a", ValueType::Int),
+                ("d", ValueType::Int),
+                ("z", ValueType::Int),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|i| {
+                let e = i % 20;
+                vec![Value::int(e), Value::int(i), Value::int(e * 2), Value::int(e * 3)]
+            })
+            .collect();
+        Table::from_rows("R", schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn plans_three_way_split_and_executes() {
+        let r = input();
+        let plan = plan_decomposition(
+            &r,
+            &[
+                TargetSpec::new("S", &["e", "a"]),
+                TargetSpec::new("D", &["e", "d"]),
+                TargetSpec::new("Z", &["e", "z"]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 2);
+        let cods = Cods::new();
+        cods.catalog().create(r).unwrap();
+        cods.execute_all(plan).unwrap();
+        assert_eq!(cods.catalog().table_names(), vec!["D", "S", "Z"]);
+        assert_eq!(cods.table("S").unwrap().rows(), 300);
+        assert_eq!(cods.table("D").unwrap().rows(), 20);
+        assert_eq!(cods.table("Z").unwrap().rows(), 20);
+        cods.table("D").unwrap().verify_key().unwrap();
+    }
+
+    #[test]
+    fn two_way_plan_is_a_single_smo() {
+        let r = input();
+        let plan = plan_decomposition(
+            &r,
+            &[
+                TargetSpec::new("S", &["e", "a", "z"]),
+                TargetSpec::new("D", &["e", "d"]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 1);
+        match &plan[0] {
+            Smo::DecomposeTable { input, spec } => {
+                assert_eq!(input, "R");
+                assert_eq!(spec.unchanged_name, "S");
+                assert_eq!(spec.changed_name, "D");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_coverage_gaps_and_unknowns() {
+        let r = input();
+        let err = plan_decomposition(
+            &r,
+            &[
+                TargetSpec::new("S", &["e", "a"]),
+                TargetSpec::new("D", &["e", "d"]), // z missing everywhere
+            ],
+        );
+        assert!(matches!(err, Err(EvolutionError::LossyDecomposition(_))));
+        let err = plan_decomposition(
+            &r,
+            &[
+                TargetSpec::new("S", &["e", "a", "z"]),
+                TargetSpec::new("D", &["e", "bogus"]),
+            ],
+        );
+        assert!(matches!(err, Err(EvolutionError::InvalidOperator(_))));
+        let err = plan_decomposition(&r, &[TargetSpec::new("S", &["e"])]);
+        assert!(matches!(err, Err(EvolutionError::InvalidOperator(_))));
+    }
+
+    #[test]
+    fn rejects_fd_less_split() {
+        // a does not depend on e, so (e, a) cannot be a changed side when
+        // the rest keeps everything else.
+        let r = input();
+        let err = plan_decomposition(
+            &r,
+            &[
+                TargetSpec::new("X", &["e", "d", "z"]),
+                TargetSpec::new("Y", &["e", "a"]),
+            ],
+        );
+        // Y's dependent column a violates e → a… but X works as the changed
+        // side instead (e → d, z holds), so this plan actually succeeds with
+        // X split off first.
+        let plan = err.unwrap();
+        assert_eq!(plan.len(), 1);
+        match &plan[0] {
+            Smo::DecomposeTable { spec, .. } => {
+                assert_eq!(spec.changed_name, "X");
+                assert_eq!(spec.unchanged_name, "Y");
+            }
+            other => panic!("unexpected {other}"),
+        }
+
+        // But a genuinely FD-less target set must fail: split (e, a) away
+        // from (e, d) with a NOT depending on e and d required too.
+        let schema = Schema::build(
+            &[("e", ValueType::Int), ("a", ValueType::Int), ("b", ValueType::Int)],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::int(i % 5), Value::int(i), Value::int(i * 7)])
+            .collect();
+        let t = Table::from_rows("T", schema, &rows).unwrap();
+        let err = plan_decomposition(
+            &t,
+            &[
+                TargetSpec::new("P", &["e", "a"]),
+                TargetSpec::new("Q", &["e", "b"]),
+            ],
+        );
+        assert!(matches!(err, Err(EvolutionError::LossyDecomposition(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_target_names() {
+        let r = input();
+        let err = plan_decomposition(
+            &r,
+            &[
+                TargetSpec::new("S", &["e", "a", "z"]),
+                TargetSpec::new("S", &["e", "d"]),
+            ],
+        );
+        assert!(matches!(err, Err(EvolutionError::InvalidOperator(_))));
+    }
+}

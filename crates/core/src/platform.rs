@@ -1,0 +1,388 @@
+//! The CODS platform: a catalog plus the SMO executor, with the execution
+//! history / status log the demo exposes (Section 3).
+
+use crate::decompose::decompose;
+use crate::error::{EvolutionError, Result};
+use crate::merge::merge;
+use crate::simple_ops;
+use crate::smo::Smo;
+use crate::status::EvolutionStatus;
+use cods_storage::{Catalog, StorageError, Table};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One executed operator with its status log.
+#[derive(Clone, Debug)]
+pub struct ExecutionRecord {
+    /// Rendered operator (e.g. `DECOMPOSE TABLE R INTO S (…), T (…)`).
+    pub operator: String,
+    /// Step log with timings.
+    pub status: EvolutionStatus,
+}
+
+/// The CODS platform instance.
+///
+/// ```
+/// use cods::{Cods, Smo, DecomposeSpec};
+/// use cods_storage::{Schema, Table, Value, ValueType};
+///
+/// let cods = Cods::new();
+/// let schema = Schema::build(
+///     &[("employee", ValueType::Str), ("skill", ValueType::Str),
+///       ("address", ValueType::Str)], &[]).unwrap();
+/// let rows = vec![
+///     vec![Value::str("Jones"), Value::str("Typing"), Value::str("425 Grant Ave")],
+///     vec![Value::str("Jones"), Value::str("Shorthand"), Value::str("425 Grant Ave")],
+/// ];
+/// cods.catalog().create(Table::from_rows("R", schema, &rows).unwrap()).unwrap();
+///
+/// cods.execute(Smo::DecomposeTable {
+///     input: "R".into(),
+///     spec: DecomposeSpec::new("S", &["employee", "skill"],
+///                              "T", &["employee", "address"]),
+/// }).unwrap();
+/// assert!(cods.catalog().contains("S"));
+/// assert!(cods.catalog().contains("T"));
+/// assert!(!cods.catalog().contains("R")); // input replaced by outputs
+/// ```
+#[derive(Default)]
+pub struct Cods {
+    catalog: Catalog,
+    history: Mutex<Vec<ExecutionRecord>>,
+}
+
+impl Cods {
+    /// Creates a platform with an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a platform around an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        Cods {
+            catalog,
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The execution history.
+    pub fn history(&self) -> Vec<ExecutionRecord> {
+        self.history.lock().clone()
+    }
+
+    fn record(&self, operator: String, status: EvolutionStatus) {
+        self.history.lock().push(ExecutionRecord { operator, status });
+    }
+
+    /// Fetches a table snapshot.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.catalog.get(name)?)
+    }
+
+    /// Executes one schema modification operator, updating the catalog and
+    /// recording the status log. Returns the status.
+    pub fn execute(&self, smo: Smo) -> Result<EvolutionStatus> {
+        let rendered = smo.to_string();
+        let status = self.dispatch(smo)?;
+        self.record(rendered, status.clone());
+        Ok(status)
+    }
+
+    /// Executes a sequence of operators, stopping at the first failure.
+    pub fn execute_all<I: IntoIterator<Item = Smo>>(&self, smos: I) -> Result<Vec<EvolutionStatus>> {
+        smos.into_iter().map(|s| self.execute(s)).collect()
+    }
+
+    fn dispatch(&self, smo: Smo) -> Result<EvolutionStatus> {
+        match smo {
+            Smo::CreateTable { name, schema } => {
+                let t = simple_ops::create_table(&name, schema)?;
+                self.catalog.create(t)?;
+                Ok(EvolutionStatus::default())
+            }
+            Smo::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                Ok(EvolutionStatus::default())
+            }
+            Smo::RenameTable { from, to } => {
+                self.catalog.rename(&from, &to)?;
+                Ok(EvolutionStatus::default())
+            }
+            Smo::CopyTable { from, to } => {
+                self.catalog.copy(&from, &to)?;
+                Ok(EvolutionStatus::default())
+            }
+            Smo::UnionTables {
+                left,
+                right,
+                output,
+                drop_inputs,
+            } => {
+                let l = self.catalog.get(&left)?;
+                let r = self.catalog.get(&right)?;
+                if self.catalog.contains(&output) && output != left && output != right {
+                    return Err(EvolutionError::Storage(StorageError::TableExists(output)));
+                }
+                let (t, status) = simple_ops::union_tables(&l, &r, &output)?;
+                if drop_inputs {
+                    self.catalog.drop_table(&left)?;
+                    if right != left {
+                        self.catalog.drop_table(&right)?;
+                    }
+                }
+                self.catalog.put(t);
+                Ok(status)
+            }
+            Smo::PartitionTable {
+                input,
+                predicate,
+                satisfying,
+                rest,
+            } => {
+                let t = self.catalog.get(&input)?;
+                self.ensure_absent(&satisfying, &input)?;
+                self.ensure_absent(&rest, &input)?;
+                let (sat, others, status) =
+                    simple_ops::partition_table(&t, &predicate, &satisfying, &rest)?;
+                self.catalog.drop_table(&input)?;
+                self.catalog.create(sat)?;
+                self.catalog.create(others)?;
+                Ok(status)
+            }
+            Smo::DecomposeTable { input, spec } => {
+                let t = self.catalog.get(&input)?;
+                self.ensure_absent(&spec.unchanged_name, &input)?;
+                self.ensure_absent(&spec.changed_name, &input)?;
+                let out = decompose(&t, &spec)?;
+                self.catalog.drop_table(&input)?;
+                self.catalog.create(out.unchanged)?;
+                self.catalog.create(out.changed)?;
+                Ok(out.status)
+            }
+            Smo::MergeTables {
+                left,
+                right,
+                output,
+                strategy,
+            } => {
+                let l = self.catalog.get(&left)?;
+                let r = self.catalog.get(&right)?;
+                if self.catalog.contains(&output) {
+                    return Err(EvolutionError::Storage(StorageError::TableExists(output)));
+                }
+                let out = merge(&l, &r, &output, &strategy)?;
+                self.catalog.create(out.output)?;
+                Ok(out.status)
+            }
+            Smo::AddColumn {
+                table,
+                column,
+                fill,
+            } => {
+                let t = self.catalog.get(&table)?;
+                let (out, status) = simple_ops::add_column(&t, column, &fill)?;
+                self.catalog.put(out);
+                Ok(status)
+            }
+            Smo::DropColumn { table, column } => {
+                let t = self.catalog.get(&table)?;
+                let (out, status) = simple_ops::drop_column(&t, &column)?;
+                self.catalog.put(out);
+                Ok(status)
+            }
+            Smo::RenameColumn { table, from, to } => {
+                let t = self.catalog.get(&table)?;
+                let (out, status) = simple_ops::rename_column(&t, &from, &to)?;
+                self.catalog.put(out);
+                Ok(status)
+            }
+        }
+    }
+
+    fn ensure_absent(&self, name: &str, being_dropped: &str) -> Result<()> {
+        if name != being_dropped && self.catalog.contains(name) {
+            return Err(EvolutionError::Storage(StorageError::TableExists(
+                name.to_string(),
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::DecomposeSpec;
+    use crate::merge::MergeStrategy;
+    use crate::simple_ops::ColumnFill;
+    use cods_query::pred::Predicate;
+    use cods_storage::{ColumnDef, Schema, Value, ValueType};
+
+    fn platform_with_figure1() -> Cods {
+        let cods = Cods::new();
+        let schema = Schema::build(
+            &[
+                ("employee", ValueType::Str),
+                ("skill", ValueType::Str),
+                ("address", ValueType::Str),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            ("Jones", "Typing", "425 Grant Ave"),
+            ("Jones", "Shorthand", "425 Grant Ave"),
+            ("Roberts", "Light Cleaning", "747 Industrial Way"),
+            ("Ellis", "Alchemy", "747 Industrial Way"),
+            ("Jones", "Whittling", "425 Grant Ave"),
+            ("Ellis", "Juggling", "747 Industrial Way"),
+            ("Harrison", "Light Cleaning", "425 Grant Ave"),
+        ]
+        .iter()
+        .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
+        .collect();
+        cods.catalog()
+            .create(Table::from_rows("R", schema, &rows).unwrap())
+            .unwrap();
+        cods
+    }
+
+    fn figure1_decompose() -> Smo {
+        Smo::DecomposeTable {
+            input: "R".into(),
+            spec: DecomposeSpec::new(
+                "S",
+                &["employee", "skill"],
+                "T",
+                &["employee", "address"],
+            ),
+        }
+    }
+
+    #[test]
+    fn decompose_then_merge_round_trip() {
+        let cods = platform_with_figure1();
+        let original = cods.table("R").unwrap().tuple_multiset();
+        cods.execute(figure1_decompose()).unwrap();
+        assert!(!cods.catalog().contains("R"));
+        cods.execute(Smo::MergeTables {
+            left: "S".into(),
+            right: "T".into(),
+            output: "R".into(),
+            strategy: MergeStrategy::Auto,
+        })
+        .unwrap();
+        assert_eq!(cods.table("R").unwrap().tuple_multiset(), original);
+        assert_eq!(cods.history().len(), 2);
+        assert!(cods.history()[0].operator.starts_with("DECOMPOSE"));
+    }
+
+    #[test]
+    fn create_rename_copy_drop() {
+        let cods = Cods::new();
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        cods.execute(Smo::CreateTable {
+            name: "t".into(),
+            schema,
+        })
+        .unwrap();
+        cods.execute(Smo::CopyTable {
+            from: "t".into(),
+            to: "t2".into(),
+        })
+        .unwrap();
+        cods.execute(Smo::RenameTable {
+            from: "t2".into(),
+            to: "t3".into(),
+        })
+        .unwrap();
+        cods.execute(Smo::DropTable { name: "t".into() }).unwrap();
+        assert_eq!(cods.catalog().table_names(), vec!["t3"]);
+        assert_eq!(cods.history().len(), 4);
+    }
+
+    #[test]
+    fn partition_then_union_round_trip() {
+        let cods = platform_with_figure1();
+        let original = cods.table("R").unwrap().tuple_multiset();
+        cods.execute(Smo::PartitionTable {
+            input: "R".into(),
+            predicate: Predicate::eq("address", "425 Grant Ave"),
+            satisfying: "grant".into(),
+            rest: "industrial".into(),
+        })
+        .unwrap();
+        assert_eq!(cods.table("grant").unwrap().rows(), 4);
+        assert_eq!(cods.table("industrial").unwrap().rows(), 3);
+        cods.execute(Smo::UnionTables {
+            left: "grant".into(),
+            right: "industrial".into(),
+            output: "R".into(),
+            drop_inputs: true,
+        })
+        .unwrap();
+        assert_eq!(cods.table("R").unwrap().tuple_multiset(), original);
+        assert_eq!(cods.catalog().len(), 1);
+    }
+
+    #[test]
+    fn column_smos() {
+        let cods = platform_with_figure1();
+        cods.execute(Smo::AddColumn {
+            table: "R".into(),
+            column: ColumnDef::new("country", ValueType::Str),
+            fill: ColumnFill::Default(Value::str("US")),
+        })
+        .unwrap();
+        assert_eq!(cods.table("R").unwrap().arity(), 4);
+        cods.execute(Smo::RenameColumn {
+            table: "R".into(),
+            from: "country".into(),
+            to: "nation".into(),
+        })
+        .unwrap();
+        assert!(cods.table("R").unwrap().schema().contains("nation"));
+        cods.execute(Smo::DropColumn {
+            table: "R".into(),
+            column: "nation".into(),
+        })
+        .unwrap();
+        assert_eq!(cods.table("R").unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn output_collisions_are_rejected() {
+        let cods = platform_with_figure1();
+        cods.execute(Smo::CopyTable {
+            from: "R".into(),
+            to: "S".into(),
+        })
+        .unwrap();
+        // Decompose wants to create "S" which exists.
+        let err = cods.execute(figure1_decompose());
+        assert!(err.is_err());
+        // The input R must be untouched after the failure.
+        assert!(cods.catalog().contains("R"));
+    }
+
+    #[test]
+    fn merge_keeps_inputs() {
+        let cods = platform_with_figure1();
+        cods.execute(figure1_decompose()).unwrap();
+        cods.execute(Smo::MergeTables {
+            left: "S".into(),
+            right: "T".into(),
+            output: "R".into(),
+            strategy: MergeStrategy::Auto,
+        })
+        .unwrap();
+        assert!(cods.catalog().contains("S"));
+        assert!(cods.catalog().contains("T"));
+        assert!(cods.catalog().contains("R"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The "relatively straightforward" SMOs of Table 1: CREATE / DROP / RENAME
+//! / COPY TABLE, UNION TABLES, PARTITION TABLE, and the column-level
+//! ADD / DROP / RENAME COLUMN — all executed at data level.
+//!
+//! Even these showcase the column store's advantage: COPY shares columns by
+//! reference, ADD COLUMN with a default is a single fill bitmap regardless
+//! of row count, and PARTITION evaluates its predicate once per *distinct
+//! value* (over dictionaries) instead of once per row, then bitmap-filters.
+
+use crate::error::{EvolutionError, Result};
+use crate::status::{EvolutionStatus, StatusTracker};
+use cods_bitmap::Wah;
+use cods_query::pred::Predicate;
+use cods_storage::{Column, ColumnDef, Schema, Table, Value};
+use std::sync::Arc;
+
+/// How ADD COLUMN fills the new column.
+#[derive(Clone, Debug)]
+pub enum ColumnFill {
+    /// Every row gets the same value. O(1) in the row count: a single fill
+    /// bitmap.
+    Default(Value),
+    /// Explicit per-row values (must match the row count).
+    Values(Vec<Value>),
+}
+
+/// CREATE TABLE: an empty table with the given schema.
+pub fn create_table(name: &str, schema: Schema) -> Result<Table> {
+    let columns = schema
+        .columns()
+        .iter()
+        .map(|c| Ok(Arc::new(Column::from_values(c.ty, &[])?)))
+        .collect::<Result<Vec<_>>>()?;
+    Table::new(name, schema, columns).map_err(EvolutionError::Storage)
+}
+
+/// UNION TABLES: concatenates two union-compatible tables. Unchanged value
+/// bitmaps are extended with zero fills; only dictionaries are merged.
+pub fn union_tables(left: &Table, right: &Table, output_name: &str) -> Result<(Table, EvolutionStatus)> {
+    let mut tracker = StatusTracker::new();
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(EvolutionError::InvalidOperator(format!(
+            "tables {:?} and {:?} are not union-compatible",
+            left.name(),
+            right.name()
+        )));
+    }
+    tracker.step("validate union compatibility");
+    let columns: Vec<Arc<Column>> = left
+        .columns()
+        .iter()
+        .zip(right.columns())
+        .map(|(a, b)| Ok(Arc::new(a.concat(b)?)))
+        .collect::<Result<_>>()?;
+    tracker.step_items("concatenate column bitmaps", columns.len() as u64);
+    let schema = Schema::new(left.schema().columns().to_vec()).map_err(EvolutionError::Storage)?;
+    let table = Table::new(output_name, schema, columns).map_err(EvolutionError::Storage)?;
+    Ok((table, tracker.finish()))
+}
+
+/// Builds the row-selection mask of a predicate *at data level* (delegates
+/// to [`cods_query::bitmap_scan::predicate_mask`]): comparisons are
+/// evaluated once per distinct dictionary value, and the per-value bitmaps
+/// of satisfying values are combined — never touching individual rows.
+pub fn predicate_mask(table: &Table, pred: &Predicate) -> Result<Wah> {
+    Ok(cods_query::bitmap_scan::predicate_mask(table, pred)?)
+}
+
+/// PARTITION TABLE: splits `input` into rows satisfying `pred` and the rest.
+pub fn partition_table(
+    input: &Table,
+    pred: &Predicate,
+    satisfying_name: &str,
+    rest_name: &str,
+) -> Result<(Table, Table, EvolutionStatus)> {
+    let mut tracker = StatusTracker::new();
+    let mask = predicate_mask(input, pred)?;
+    tracker.step_items("build predicate mask over dictionaries", mask.count_ones());
+    let not_mask = mask.not();
+
+    let schema = Schema::new(input.schema().columns().to_vec()).map_err(EvolutionError::Storage)?;
+    let sat_cols: Vec<Arc<Column>> = input
+        .columns()
+        .iter()
+        .map(|c| Arc::new(c.filter_bitmap(&mask)))
+        .collect();
+    let rest_cols: Vec<Arc<Column>> = input
+        .columns()
+        .iter()
+        .map(|c| Arc::new(c.filter_bitmap(&not_mask)))
+        .collect();
+    tracker.step("bitmap filtering into partitions");
+
+    let sat = Table::new(satisfying_name, schema.clone(), sat_cols)
+        .map_err(EvolutionError::Storage)?;
+    let rest = Table::new(rest_name, schema, rest_cols).map_err(EvolutionError::Storage)?;
+    Ok((sat, rest, tracker.finish()))
+}
+
+/// ADD COLUMN: appends a column filled per `fill`. Existing columns are
+/// shared by reference.
+pub fn add_column(
+    table: &Table,
+    def: ColumnDef,
+    fill: &ColumnFill,
+) -> Result<(Table, EvolutionStatus)> {
+    let mut tracker = StatusTracker::new();
+    if table.schema().contains(&def.name) {
+        return Err(EvolutionError::InvalidOperator(format!(
+            "column {:?} already exists",
+            def.name
+        )));
+    }
+    let new_col = match fill {
+        ColumnFill::Default(v) => {
+            if !v.conforms_to(def.ty) {
+                return Err(EvolutionError::InvalidOperator(format!(
+                    "default value {v} does not conform to type {}",
+                    def.ty
+                )));
+            }
+            // One dictionary entry, one all-ones fill bitmap: O(1) in rows.
+            if table.rows() == 0 {
+                Column::from_values(def.ty, &[])?
+            } else {
+                let dict = cods_storage::Dictionary::from_values(vec![v.clone()])
+                    .map_err(cods_storage::StorageError::Corrupt)?;
+                Column::from_parts(def.ty, dict, vec![Wah::ones(table.rows())], table.rows())?
+            }
+        }
+        ColumnFill::Values(vals) => {
+            if vals.len() as u64 != table.rows() {
+                return Err(EvolutionError::InvalidOperator(format!(
+                    "ADD COLUMN got {} values for {} rows",
+                    vals.len(),
+                    table.rows()
+                )));
+            }
+            Column::from_values(def.ty, vals)?
+        }
+    };
+    tracker.step("build new column");
+
+    let mut defs = table.schema().columns().to_vec();
+    defs.push(def);
+    let schema = Schema::new(defs).map_err(EvolutionError::Storage)?;
+    let mut columns = table.columns().to_vec();
+    columns.push(Arc::new(new_col));
+    let out = Table::new(table.name(), schema, columns).map_err(EvolutionError::Storage)?;
+    tracker.step("attach column");
+    Ok((out, tracker.finish()))
+}
+
+/// DROP COLUMN: removes a column; all other columns are shared.
+pub fn drop_column(table: &Table, column: &str) -> Result<(Table, EvolutionStatus)> {
+    let mut tracker = StatusTracker::new();
+    let idx = table.schema().index_of(column)?;
+    if table.arity() == 1 {
+        return Err(EvolutionError::InvalidOperator(
+            "cannot drop the last column".into(),
+        ));
+    }
+    let defs: Vec<ColumnDef> = table
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != idx)
+        .map(|(_, c)| c.clone())
+        .collect();
+    let schema = Schema::new(defs).map_err(EvolutionError::Storage)?;
+    let columns: Vec<Arc<Column>> = table
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != idx)
+        .map(|(_, c)| Arc::clone(c))
+        .collect();
+    let out = Table::new(table.name(), schema, columns).map_err(EvolutionError::Storage)?;
+    tracker.step("detach column");
+    Ok((out, tracker.finish()))
+}
+
+/// RENAME COLUMN: pure metadata.
+pub fn rename_column(table: &Table, from: &str, to: &str) -> Result<(Table, EvolutionStatus)> {
+    let mut tracker = StatusTracker::new();
+    let idx = table.schema().index_of(from)?;
+    if table.schema().contains(to) {
+        return Err(EvolutionError::InvalidOperator(format!(
+            "column {to:?} already exists"
+        )));
+    }
+    let defs: Vec<ColumnDef> = table
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == idx {
+                ColumnDef::new(to, c.ty)
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    let key = table.schema().key().to_vec();
+    let schema = Schema::with_key(defs, key).map_err(EvolutionError::Storage)?;
+    let out = Table::new(table.name(), schema, table.columns().to_vec())
+        .map_err(EvolutionError::Storage)?;
+    tracker.step("rename column metadata");
+    Ok((out, tracker.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cods_storage::ValueType;
+
+    fn sample() -> Table {
+        let schema = Schema::build(
+            &[("id", ValueType::Int), ("grade", ValueType::Int)],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::int(i), Value::int(i % 3)])
+            .collect();
+        Table::from_rows("t", schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn create_empty_table() {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let t = create_table("t", schema).unwrap();
+        assert_eq!(t.rows(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = sample();
+        let b = sample();
+        let (u, _) = union_tables(&a, &b, "u").unwrap();
+        u.check_invariants().unwrap();
+        assert_eq!(u.rows(), 20);
+        assert_eq!(u.row(10), a.row(0));
+    }
+
+    #[test]
+    fn union_rejects_incompatible() {
+        let a = sample();
+        let schema = Schema::build(&[("x", ValueType::Int)], &[]).unwrap();
+        let b = Table::from_rows("b", schema, &[vec![Value::int(1)]]).unwrap();
+        assert!(union_tables(&a, &b, "u").is_err());
+    }
+
+    #[test]
+    fn predicate_mask_is_data_level() {
+        let t = sample();
+        let mask = predicate_mask(&t, &Predicate::eq("grade", 0i64)).unwrap();
+        assert_eq!(mask.len(), 10);
+        assert_eq!(mask.count_ones(), 4); // grades 0 at ids 0,3,6,9
+        assert!(mask.get(0));
+        assert!(mask.get(3));
+        assert!(!mask.get(1));
+        // Combined predicates.
+        let m2 = predicate_mask(
+            &t,
+            &Predicate::eq("grade", 0i64).or(Predicate::eq("grade", 1i64)),
+        )
+        .unwrap();
+        assert_eq!(m2.count_ones(), 7);
+        let m3 = predicate_mask(&t, &Predicate::eq("grade", 0i64).not()).unwrap();
+        assert_eq!(m3.count_ones(), 6);
+        assert_eq!(
+            predicate_mask(&t, &Predicate::True).unwrap().count_ones(),
+            10
+        );
+    }
+
+    #[test]
+    fn partition_splits_and_preserves() {
+        let t = sample();
+        let (sat, rest, status) =
+            partition_table(&t, &Predicate::lt("id", 4i64), "lo", "hi").unwrap();
+        sat.check_invariants().unwrap();
+        rest.check_invariants().unwrap();
+        assert_eq!(sat.rows(), 4);
+        assert_eq!(rest.rows(), 6);
+        assert!(status.step("bitmap filtering into partitions").is_some());
+        // Partition + union = original multiset.
+        let (back, _) = union_tables(&sat, &rest, "back").unwrap();
+        assert_eq!(back.tuple_multiset(), t.tuple_multiset());
+    }
+
+    #[test]
+    fn add_column_default_is_o1() {
+        let t = sample();
+        let (out, _) = add_column(
+            &t,
+            ColumnDef::new("dept", ValueType::Str),
+            &ColumnFill::Default(Value::str("eng")),
+        )
+        .unwrap();
+        out.check_invariants().unwrap();
+        assert_eq!(out.arity(), 3);
+        assert_eq!(out.row(5)[2], Value::str("eng"));
+        // A single fill word regardless of row count.
+        assert!(out.column(2).bitmap(0).words().len() <= 2);
+        // Other columns shared with the input.
+        assert!(t.shares_column_with(&out, "id"));
+    }
+
+    #[test]
+    fn add_column_values_and_errors() {
+        let t = sample();
+        let vals: Vec<Value> = (0..10).map(|i| Value::int(i * 100)).collect();
+        let (out, _) = add_column(
+            &t,
+            ColumnDef::new("salary", ValueType::Int),
+            &ColumnFill::Values(vals),
+        )
+        .unwrap();
+        assert_eq!(out.row(3)[2], Value::int(300));
+        // Wrong length.
+        assert!(add_column(
+            &t,
+            ColumnDef::new("bad", ValueType::Int),
+            &ColumnFill::Values(vec![Value::int(1)])
+        )
+        .is_err());
+        // Duplicate name.
+        assert!(add_column(
+            &t,
+            ColumnDef::new("id", ValueType::Int),
+            &ColumnFill::Default(Value::int(0))
+        )
+        .is_err());
+        // Type mismatch in default.
+        assert!(add_column(
+            &t,
+            ColumnDef::new("oops", ValueType::Int),
+            &ColumnFill::Default(Value::str("nope"))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn drop_and_rename_column() {
+        let t = sample();
+        let (dropped, _) = drop_column(&t, "grade").unwrap();
+        assert_eq!(dropped.arity(), 1);
+        assert!(t.shares_column_with(&dropped, "id"));
+        assert!(drop_column(&dropped, "id").is_err()); // last column
+
+        let (renamed, _) = rename_column(&t, "grade", "level").unwrap();
+        assert!(renamed.schema().contains("level"));
+        assert!(!renamed.schema().contains("grade"));
+        assert!(t.shares_column_with(&renamed, "id"));
+        assert!(rename_column(&t, "grade", "id").is_err()); // collision
+        assert!(rename_column(&t, "zzz", "w").is_err()); // missing
+    }
+}

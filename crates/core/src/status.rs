@@ -1,0 +1,158 @@
+//! Evolution status tracking — the "Data Evolution Status" panel of the
+//! CODS demo (Section 3). Every data-level operator reports its named steps
+//! ("distinction", "bitmap filtering", …) with timings and work counters.
+
+use std::time::{Duration, Instant};
+
+/// One recorded step of an evolution.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Step name (e.g. `"distinction"`).
+    pub name: String,
+    /// Wall time spent.
+    pub elapsed: Duration,
+    /// Optional work counter (rows scanned, positions produced, …).
+    pub items: Option<u64>,
+}
+
+/// Collects the step log of one evolution execution.
+#[derive(Debug)]
+pub struct StatusTracker {
+    started: Instant,
+    last: Instant,
+    steps: Vec<Step>,
+}
+
+impl Default for StatusTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatusTracker {
+    /// Starts tracking.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        StatusTracker {
+            started: now,
+            last: now,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Records a step ending now (timed since the previous step).
+    pub fn step(&mut self, name: impl Into<String>) {
+        self.step_items_opt(name, None);
+    }
+
+    /// Records a step with a work counter.
+    pub fn step_items(&mut self, name: impl Into<String>, items: u64) {
+        self.step_items_opt(name, Some(items));
+    }
+
+    fn step_items_opt(&mut self, name: impl Into<String>, items: Option<u64>) {
+        let now = Instant::now();
+        self.steps.push(Step {
+            name: name.into(),
+            elapsed: now - self.last,
+            items,
+        });
+        self.last = now;
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Total elapsed time since tracking started.
+    pub fn total(&self) -> Duration {
+        self.last - self.started
+    }
+
+    /// Finalizes into an [`EvolutionStatus`].
+    pub fn finish(self) -> EvolutionStatus {
+        EvolutionStatus {
+            total: self.last - self.started,
+            steps: self.steps,
+        }
+    }
+}
+
+/// Completed status log of one evolution.
+#[derive(Clone, Debug, Default)]
+pub struct EvolutionStatus {
+    /// Total wall time.
+    pub total: Duration,
+    /// Steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl EvolutionStatus {
+    /// Renders the log as the demo would display it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            match s.items {
+                Some(n) => out.push_str(&format!(
+                    "  {} ({n} items): {:.3} ms\n",
+                    s.name,
+                    s.elapsed.as_secs_f64() * 1e3
+                )),
+                None => out.push_str(&format!(
+                    "  {}: {:.3} ms\n",
+                    s.name,
+                    s.elapsed.as_secs_f64() * 1e3
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "  total: {:.3} ms\n",
+            self.total.as_secs_f64() * 1e3
+        ));
+        out
+    }
+
+    /// Looks up a step by name.
+    pub fn step(&self, name: &str) -> Option<&Step> {
+        self.steps.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_steps_in_order() {
+        let mut t = StatusTracker::new();
+        t.step("distinction");
+        t.step_items("bitmap filtering", 42);
+        let status = t.finish();
+        assert_eq!(status.steps.len(), 2);
+        assert_eq!(status.steps[0].name, "distinction");
+        assert_eq!(status.steps[1].items, Some(42));
+        assert!(status.total >= status.steps[0].elapsed);
+    }
+
+    #[test]
+    fn render_mentions_every_step() {
+        let mut t = StatusTracker::new();
+        t.step("distinction");
+        t.step_items("bitmap filtering", 7);
+        let s = t.finish();
+        let text = s.render();
+        assert!(text.contains("distinction"));
+        assert!(text.contains("bitmap filtering (7 items)"));
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn step_lookup() {
+        let mut t = StatusTracker::new();
+        t.step("a");
+        let s = t.finish();
+        assert!(s.step("a").is_some());
+        assert!(s.step("b").is_none());
+    }
+}

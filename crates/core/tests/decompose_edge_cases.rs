@@ -1,0 +1,153 @@
+//! Edge-case suite for decomposition: degenerate key layouts, composite
+//! keys equal to the whole table, null keys, and status accounting.
+
+use cods::{decompose, DecomposeSpec, EvolutionError};
+use cods_storage::{Schema, Table, Value, ValueType};
+
+fn t(cols: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> Table {
+    Table::from_rows("R", Schema::build(cols, &[]).unwrap(), &rows).unwrap()
+}
+
+#[test]
+fn key_unique_per_row_changed_side_keeps_all_rows() {
+    // Every key distinct: the "changed" table has as many rows as the input.
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        (0..50).map(|i| vec![Value::int(i), Value::int(i % 7), Value::int(i * 2)]).collect(),
+    );
+    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    assert_eq!(out.changed.rows(), 50);
+    assert_eq!(out.distinct_keys, 50);
+    out.changed.verify_key().unwrap();
+}
+
+#[test]
+fn single_key_value_changed_side_has_one_row() {
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        (0..50).map(|i| vec![Value::int(9), Value::int(i), Value::int(42)]).collect(),
+    );
+    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    assert_eq!(out.changed.rows(), 1);
+    assert_eq!(out.changed.row(0), vec![Value::int(9), Value::int(42)]);
+}
+
+#[test]
+fn null_keys_form_their_own_group() {
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        vec![
+            vec![Value::Null, Value::int(1), Value::int(100)],
+            vec![Value::int(5), Value::int(2), Value::int(200)],
+            vec![Value::Null, Value::int(3), Value::int(100)],
+        ],
+    );
+    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    assert_eq!(out.changed.rows(), 2); // NULL group + key 5
+    let mut rows = out.changed.to_rows();
+    rows.sort();
+    assert_eq!(rows[0], vec![Value::Null, Value::int(100)]);
+}
+
+#[test]
+fn changed_side_may_be_just_the_key() {
+    // T = (k) alone: a pure distinct-values table.
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int)],
+        (0..30).map(|i| vec![Value::int(i % 4), Value::int(i)]).collect(),
+    );
+    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k"])).unwrap();
+    assert_eq!(out.changed.rows(), 4);
+    assert_eq!(out.changed.arity(), 1);
+}
+
+#[test]
+fn overlapping_non_key_columns_are_rejected_only_if_absent() {
+    // Both sides may carry extra shared columns — the shape check accepts
+    // any overlap; the common columns are all shared ones.
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        (0..20).map(|i| vec![Value::int(i % 3), Value::int(i), Value::int((i % 3) * 7)]).collect(),
+    );
+    // Share both k and d: common = {k, d}; FD (k, d) → nothing extra on the
+    // changed side, trivially lossless.
+    let out = decompose(
+        &input,
+        &DecomposeSpec::new("S", &["k", "a", "d"], "T", &["k", "d"]),
+    )
+    .unwrap();
+    assert_eq!(out.changed.rows(), 3); // 3 distinct (k, d) pairs
+}
+
+#[test]
+fn fd_check_reports_offending_column() {
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        vec![
+            vec![Value::int(1), Value::int(1), Value::int(10)],
+            vec![Value::int(1), Value::int(2), Value::int(20)],
+        ],
+    );
+    let err = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]))
+        .unwrap_err();
+    match err {
+        EvolutionError::FdViolation(msg) => assert!(msg.contains("\"d\""), "{msg}"),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn status_counts_match_outputs() {
+    let input = t(
+        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        (0..100).map(|i| vec![Value::int(i % 10), Value::int(i), Value::int(i % 10)]).collect(),
+    );
+    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    assert_eq!(out.status.step("distinction").unwrap().items, Some(10));
+    assert_eq!(
+        out.status.step("reuse unchanged columns").unwrap().items,
+        Some(2)
+    );
+    assert!(out.status.step("verify functional dependency").is_some());
+    assert!(out.status.total.as_nanos() > 0);
+}
+
+#[test]
+fn wide_table_decomposition() {
+    // Ten columns, split 6/5 with one shared key column.
+    let cols: Vec<(String, ValueType)> = (0..10)
+        .map(|i| (format!("c{i}"), ValueType::Int))
+        .collect();
+    let col_refs: Vec<(&str, ValueType)> =
+        cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let rows: Vec<Vec<Value>> = (0..200)
+        .map(|r| {
+            (0..10)
+                .map(|c| {
+                    if c == 0 {
+                        Value::int(r % 8)
+                    } else if c < 6 {
+                        Value::int(r * 10 + c)
+                    } else {
+                        Value::int((r % 8) * 100 + c) // FD c0 → c6..c9
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let input = Table::from_rows("R", Schema::build(&col_refs, &[]).unwrap(), &rows).unwrap();
+    let out = decompose(
+        &input,
+        &DecomposeSpec::new(
+            "S",
+            &["c0", "c1", "c2", "c3", "c4", "c5"],
+            "T",
+            &["c0", "c6", "c7", "c8", "c9"],
+        ),
+    )
+    .unwrap();
+    assert_eq!(out.unchanged.arity(), 6);
+    assert_eq!(out.changed.arity(), 5);
+    assert_eq!(out.changed.rows(), 8);
+    out.changed.verify_key().unwrap();
+}

@@ -1,0 +1,240 @@
+//! Grouped aggregation over materialized rows: COUNT / SUM / MIN / MAX /
+//! COUNT DISTINCT, used by the warehouse examples and exposed through
+//! [`crate::plan::Plan::Aggregate`].
+
+use cods_storage::{OrderedF64, StorageError, Value, ValueType};
+use std::collections::{HashMap, HashSet};
+
+/// An aggregate function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Number of rows in the group (NULLs included).
+    Count,
+    /// Number of distinct non-null values.
+    CountDistinct,
+    /// Sum of non-null numeric values.
+    Sum,
+    /// Minimum non-null value.
+    Min,
+    /// Maximum non-null value.
+    Max,
+}
+
+impl AggOp {
+    /// Result type of the aggregate over a column of type `input`.
+    pub fn output_type(self, input: ValueType) -> ValueType {
+        match self {
+            AggOp::Count | AggOp::CountDistinct => ValueType::Int,
+            AggOp::Sum => input,
+            AggOp::Min | AggOp::Max => input,
+        }
+    }
+}
+
+/// One aggregate expression: `op(column) AS alias`.
+#[derive(Clone, Debug)]
+pub struct AggExpr {
+    /// The function.
+    pub op: AggOp,
+    /// Input column name.
+    pub column: String,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// Convenience constructor.
+    pub fn new(op: AggOp, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            op,
+            column: column.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// Accumulator for one aggregate within one group.
+enum Acc {
+    Count(u64),
+    Distinct(HashSet<Value>),
+    SumInt(i64),
+    SumFloat(f64),
+    MinMax(Option<Value>),
+}
+
+impl Acc {
+    fn new(op: AggOp, ty: ValueType) -> Acc {
+        match op {
+            AggOp::Count => Acc::Count(0),
+            AggOp::CountDistinct => Acc::Distinct(HashSet::new()),
+            AggOp::Sum => match ty {
+                ValueType::Float => Acc::SumFloat(0.0),
+                _ => Acc::SumInt(0),
+            },
+            AggOp::Min | AggOp::Max => Acc::MinMax(None),
+        }
+    }
+
+    fn update(&mut self, op: AggOp, v: &Value) {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Distinct(set) => {
+                if !v.is_null() {
+                    set.insert(v.clone());
+                }
+            }
+            Acc::SumInt(s) => {
+                if let Value::Int(i) = v {
+                    *s += i;
+                }
+            }
+            Acc::SumFloat(s) => {
+                if let Value::Float(OrderedF64(f)) = v {
+                    *s += f;
+                }
+            }
+            Acc::MinMax(cur) => {
+                if v.is_null() {
+                    return;
+                }
+                let better = match (op, cur.as_ref()) {
+                    (_, None) => true,
+                    (AggOp::Min, Some(c)) => v < c,
+                    (AggOp::Max, Some(c)) => v > c,
+                    _ => unreachable!(),
+                };
+                if better {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::int(n as i64),
+            Acc::Distinct(set) => Value::int(set.len() as i64),
+            Acc::SumInt(s) => Value::int(s),
+            Acc::SumFloat(s) => Value::float(s),
+            Acc::MinMax(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Groups `rows` by the columns at `group_by` and evaluates `aggs` (given as
+/// `(op, input position, input type)`), returning one output row per group:
+/// the group key columns followed by the aggregate values. Group order is
+/// first-appearance.
+pub fn aggregate(
+    rows: &[Vec<Value>],
+    group_by: &[usize],
+    aggs: &[(AggOp, usize, ValueType)],
+) -> Result<Vec<Vec<Value>>, StorageError> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = group_by.iter().map(|&g| row[g].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|&(op, _, ty)| Acc::new(op, ty)).collect()
+        });
+        for (acc, &(op, col, _)) in accs.iter_mut().zip(aggs) {
+            acc.update(op, &row[col]);
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group recorded");
+        let mut row = key;
+        row.extend(accs.into_iter().map(Acc::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::str("a"), Value::int(1)],
+            vec![Value::str("b"), Value::int(10)],
+            vec![Value::str("a"), Value::int(2)],
+            vec![Value::str("a"), Value::int(2)],
+            vec![Value::str("b"), Value::Null],
+        ]
+    }
+
+    #[test]
+    fn count_sum_min_max() {
+        let out = aggregate(
+            &rows(),
+            &[0],
+            &[
+                (AggOp::Count, 1, ValueType::Int),
+                (AggOp::Sum, 1, ValueType::Int),
+                (AggOp::Min, 1, ValueType::Int),
+                (AggOp::Max, 1, ValueType::Int),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0],
+            vec![Value::str("a"), Value::int(3), Value::int(5), Value::int(1), Value::int(2)]
+        );
+        assert_eq!(
+            out[1],
+            vec![Value::str("b"), Value::int(2), Value::int(10), Value::int(10), Value::int(10)]
+        );
+    }
+
+    #[test]
+    fn count_distinct_ignores_nulls() {
+        let out = aggregate(
+            &rows(),
+            &[0],
+            &[(AggOp::CountDistinct, 1, ValueType::Int)],
+        )
+        .unwrap();
+        assert_eq!(out[0][1], Value::int(2)); // a: {1, 2}
+        assert_eq!(out[1][1], Value::int(1)); // b: {10}, NULL dropped
+    }
+
+    #[test]
+    fn global_aggregate_empty_group_by() {
+        let out = aggregate(&rows(), &[], &[(AggOp::Count, 0, ValueType::Str)]).unwrap();
+        assert_eq!(out, vec![vec![Value::int(5)]]);
+    }
+
+    #[test]
+    fn empty_input_no_groups() {
+        let out = aggregate(&[], &[0], &[(AggOp::Count, 0, ValueType::Int)]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn float_sum() {
+        let rows = vec![
+            vec![Value::int(1), Value::float(0.5)],
+            vec![Value::int(1), Value::float(1.25)],
+        ];
+        let out = aggregate(&rows, &[0], &[(AggOp::Sum, 1, ValueType::Float)]).unwrap();
+        assert_eq!(out[0][1], Value::float(1.75));
+    }
+
+    #[test]
+    fn min_max_of_all_nulls_is_null() {
+        let rows = vec![vec![Value::int(1), Value::Null]];
+        let out = aggregate(&rows, &[0], &[(AggOp::Min, 1, ValueType::Int)]).unwrap();
+        assert_eq!(out[0][1], Value::Null);
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(AggOp::Count.output_type(ValueType::Str), ValueType::Int);
+        assert_eq!(AggOp::Sum.output_type(ValueType::Float), ValueType::Float);
+        assert_eq!(AggOp::Max.output_type(ValueType::Str), ValueType::Str);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cods-query
+//!
+//! Query execution and **query-level data evolution** for the CODS
+//! reproduction. This crate is the "expensive path" of the paper's Figure 2:
+//! it materializes columns into tuples, runs relational operators on them,
+//! and loads results back — rebuilding indexes (row store) or re-compressing
+//! bitmaps (column store) from scratch.
+//!
+//! * [`tuple`](mod@tuple) — project / distinct / hash join / union over materialized rows;
+//! * [`pred`] — the predicate language shared with PARTITION TABLE;
+//! * [`plan`] — a small logical-plan layer over both storage engines;
+//! * [`evolution`] — the four baseline drivers behind Figure 3:
+//!   row-level decompose/merge (policies C, C+I, S) and column-level
+//!   decompose/merge (M).
+//!
+//! The data-level alternative that avoids all of this lives in the `cods`
+//! crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agg;
+pub mod bitmap_scan;
+pub mod evolution;
+pub mod plan;
+pub mod pred;
+pub mod tuple;
+
+pub use agg::{aggregate, AggExpr, AggOp};
+pub use bitmap_scan::{filter_table, predicate_mask};
+pub use evolution::{
+    decompose_column_level, decompose_row_level, merge_column_level, merge_row_level,
+    EvolutionReport,
+};
+pub use plan::{execute, ExecContext, Plan, ResultSet};
+pub use pred::{CmpOp, CompiledPredicate, Predicate};

@@ -1,0 +1,423 @@
+//! A small logical-plan layer: scans over either storage engine, projection,
+//! selection, DISTINCT, hash join, and union. Query-level evolution is
+//! expressed as plans over this layer, exactly like the SQL statements in
+//! Section 1 of the paper.
+
+use crate::pred::Predicate;
+use crate::tuple;
+use cods_rowstore::RowDb;
+use cods_storage::{Catalog, ColumnDef, Schema, StorageError, Value};
+
+/// A logical query plan node.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Scan a table in the column catalog (decompresses it to tuples).
+    ScanColumn {
+        /// Table name.
+        table: String,
+    },
+    /// Scan a table in the row database (decodes every tuple).
+    ScanRow {
+        /// Table name.
+        table: String,
+    },
+    /// Literal rows (testing / VALUES clauses).
+    Values {
+        /// Output schema.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Keep the named columns, in order.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output column names.
+        columns: Vec<String>,
+    },
+    /// Keep rows satisfying the predicate.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate over input columns.
+        predicate: Predicate,
+    },
+    /// Remove duplicate rows.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Hash equi-join; output = left columns ++ right non-join columns.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// Right (build) input.
+        right: Box<Plan>,
+        /// Join columns on the left.
+        left_keys: Vec<String>,
+        /// Join columns on the right.
+        right_keys: Vec<String>,
+    },
+    /// UNION ALL of two inputs with identical schemas.
+    UnionAll {
+        /// First input.
+        left: Box<Plan>,
+        /// Second input.
+        right: Box<Plan>,
+    },
+    /// GROUP BY + aggregates; output = group columns ++ aggregate aliases.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns (empty = one global group when rows exist).
+        group_by: Vec<String>,
+        /// Aggregate expressions.
+        aggs: Vec<crate::agg::AggExpr>,
+    },
+}
+
+impl Plan {
+    /// Projection helper.
+    pub fn project(self, columns: &[&str]) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Filter helper.
+    pub fn filter(self, predicate: Predicate) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Distinct helper.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+}
+
+/// Sources a plan executes against.
+#[derive(Clone, Copy, Default)]
+pub struct ExecContext<'a> {
+    /// Column-store catalog (for [`Plan::ScanColumn`]).
+    pub catalog: Option<&'a Catalog>,
+    /// Row-store database (for [`Plan::ScanRow`]).
+    pub row_db: Option<&'a RowDb>,
+}
+
+/// A fully materialized query result: schema plus rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    /// Result schema (key metadata cleared).
+    pub schema: Schema,
+    /// Materialized rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Executes a plan to a materialized [`ResultSet`].
+pub fn execute(plan: &Plan, ctx: ExecContext<'_>) -> Result<ResultSet, StorageError> {
+    match plan {
+        Plan::ScanColumn { table } => {
+            let cat = ctx
+                .catalog
+                .ok_or_else(|| StorageError::UnknownTable(format!("{table} (no catalog)")))?;
+            let t = cat.get(table)?;
+            Ok(ResultSet {
+                schema: t.schema().clone(),
+                rows: t.to_rows(),
+            })
+        }
+        Plan::ScanRow { table } => {
+            let db = ctx
+                .row_db
+                .ok_or_else(|| StorageError::UnknownTable(format!("{table} (no row db)")))?;
+            let t = db.table(table)?;
+            Ok(ResultSet {
+                schema: t.schema().clone(),
+                rows: t.scan().map(|(_, r)| r).collect(),
+            })
+        }
+        Plan::Values { schema, rows } => Ok(ResultSet {
+            schema: schema.clone(),
+            rows: rows.clone(),
+        }),
+        Plan::Project { input, columns } => {
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            // Projection pushdown: a projection directly over a column-store
+            // scan only decompresses the named columns.
+            if let Plan::ScanColumn { table } = input.as_ref() {
+                if let Some(cat) = ctx.catalog {
+                    let t = cat.get(table)?;
+                    return Ok(ResultSet {
+                        schema: t.schema().project(&names, &[])?,
+                        rows: t.to_rows_projected(&names)?,
+                    });
+                }
+            }
+            let input = execute(input, ctx)?;
+            let positions: Vec<usize> = names
+                .iter()
+                .map(|n| input.schema.index_of(n))
+                .collect::<Result<_, _>>()?;
+            Ok(ResultSet {
+                schema: input.schema.project(&names, &[])?,
+                rows: tuple::project(&input.rows, &positions),
+            })
+        }
+        Plan::Filter { input, predicate } => {
+            // Data-level pushdown: a filter directly over a column-store
+            // scan evaluates the predicate on dictionaries + compressed
+            // bitmaps and materializes only the selected rows.
+            if let Plan::ScanColumn { table } = input.as_ref() {
+                if let Some(cat) = ctx.catalog {
+                    let t = cat.get(table)?;
+                    let filtered = crate::bitmap_scan::filter_table(&t, predicate)?;
+                    return Ok(ResultSet {
+                        schema: filtered.schema().clone(),
+                        rows: filtered.to_rows(),
+                    });
+                }
+            }
+            let input = execute(input, ctx)?;
+            let compiled = predicate.compile(&input.schema)?;
+            let rows = input
+                .rows
+                .into_iter()
+                .filter(|r| compiled.eval(r))
+                .collect();
+            Ok(ResultSet {
+                schema: input.schema,
+                rows,
+            })
+        }
+        Plan::Distinct { input } => {
+            let input = execute(input, ctx)?;
+            Ok(ResultSet {
+                schema: input.schema,
+                rows: tuple::distinct(input.rows),
+            })
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            let lk: Vec<usize> = left_keys
+                .iter()
+                .map(|n| l.schema.index_of(n))
+                .collect::<Result<_, _>>()?;
+            let rk: Vec<usize> = right_keys
+                .iter()
+                .map(|n| r.schema.index_of(n))
+                .collect::<Result<_, _>>()?;
+            let rows = tuple::hash_join(&l.rows, &r.rows, &lk, &rk);
+            // Output schema: left columns ++ right non-key columns.
+            let mut cols: Vec<ColumnDef> = l.schema.columns().to_vec();
+            for (i, c) in r.schema.columns().iter().enumerate() {
+                if !rk.contains(&i) {
+                    cols.push(c.clone());
+                }
+            }
+            Ok(ResultSet {
+                schema: Schema::new(cols)?,
+                rows,
+            })
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let input = execute(input, ctx)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|n| input.schema.index_of(n))
+                .collect::<Result<_, _>>()?;
+            let mut compiled = Vec::with_capacity(aggs.len());
+            let mut out_cols: Vec<ColumnDef> = group_idx
+                .iter()
+                .map(|&g| input.schema.columns()[g].clone())
+                .collect();
+            for a in aggs {
+                let col = input.schema.index_of(&a.column)?;
+                let in_ty = input.schema.columns()[col].ty;
+                compiled.push((a.op, col, in_ty));
+                out_cols.push(ColumnDef::new(&a.alias, a.op.output_type(in_ty)));
+            }
+            let rows = crate::agg::aggregate(&input.rows, &group_idx, &compiled)?;
+            Ok(ResultSet {
+                schema: Schema::new(out_cols)?,
+                rows,
+            })
+        }
+        Plan::UnionAll { left, right } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            if !l.schema.union_compatible(&r.schema) {
+                return Err(StorageError::InvalidSchema(
+                    "UNION ALL inputs have different schemas".into(),
+                ));
+            }
+            Ok(ResultSet {
+                schema: l.schema,
+                rows: tuple::union_all(l.rows, r.rows),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cods_storage::{Table, ValueType};
+
+    fn setup_catalog() -> Catalog {
+        let cat = Catalog::new();
+        let schema = Schema::build(
+            &[
+                ("employee", ValueType::Str),
+                ("skill", ValueType::Str),
+                ("address", ValueType::Str),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            ("Jones", "Typing", "425 Grant Ave"),
+            ("Jones", "Shorthand", "425 Grant Ave"),
+            ("Ellis", "Alchemy", "747 Industrial Way"),
+        ]
+        .iter()
+        .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
+        .collect();
+        cat.create(Table::from_rows("R", schema, &rows).unwrap()).unwrap();
+        cat
+    }
+
+    #[test]
+    fn scan_project_distinct() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let plan = Plan::ScanColumn { table: "R".into() }
+            .project(&["employee", "address"])
+            .distinct();
+        let rs = execute(&plan, ctx).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.schema.names(), vec!["employee", "address"]);
+    }
+
+    #[test]
+    fn filter_plan() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let plan = Plan::ScanColumn { table: "R".into() }
+            .filter(Predicate::eq("employee", "Jones"));
+        let rs = execute(&plan, ctx).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn join_plan_reconstructs() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let s = Plan::ScanColumn { table: "R".into() }.project(&["employee", "skill"]);
+        let t = Plan::ScanColumn { table: "R".into() }
+            .project(&["employee", "address"])
+            .distinct();
+        let joined = Plan::HashJoin {
+            left: Box::new(s),
+            right: Box::new(t),
+            left_keys: vec!["employee".into()],
+            right_keys: vec!["employee".into()],
+        };
+        let rs = execute(&joined, ctx).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.schema.names(), vec!["employee", "skill", "address"]);
+    }
+
+    #[test]
+    fn row_db_scan() {
+        let mut db = RowDb::new(cods_rowstore::InsertPolicy::Batch);
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        db.create_table("t", schema).unwrap();
+        db.insert("t", &[Value::int(1)]).unwrap();
+        let ctx = ExecContext {
+            catalog: None,
+            row_db: Some(&db),
+        };
+        let rs = execute(&Plan::ScanRow { table: "t".into() }, ctx).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::int(1)]]);
+    }
+
+    #[test]
+    fn missing_context_errors() {
+        let ctx = ExecContext::default();
+        assert!(execute(&Plan::ScanColumn { table: "x".into() }, ctx).is_err());
+        assert!(execute(&Plan::ScanRow { table: "x".into() }, ctx).is_err());
+    }
+
+    #[test]
+    fn aggregate_plan_counts_skills_per_employee() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::ScanColumn { table: "R".into() }),
+            group_by: vec!["employee".into()],
+            aggs: vec![crate::agg::AggExpr::new(
+                crate::agg::AggOp::Count,
+                "skill",
+                "skills",
+            )],
+        };
+        let rs = execute(&plan, ctx).unwrap();
+        assert_eq!(rs.schema.names(), vec!["employee", "skills"]);
+        let m: std::collections::HashMap<_, _> = rs
+            .rows
+            .into_iter()
+            .map(|r| (r[0].clone(), r[1].clone()))
+            .collect();
+        assert_eq!(m[&Value::str("Jones")], Value::int(2));
+        assert_eq!(m[&Value::str("Ellis")], Value::int(1));
+    }
+
+    #[test]
+    fn union_all_requires_compatible_schemas() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let a = Plan::ScanColumn { table: "R".into() }.project(&["employee"]);
+        let b = Plan::ScanColumn { table: "R".into() }.project(&["skill"]);
+        let u = Plan::UnionAll {
+            left: Box::new(a.clone()),
+            right: Box::new(b),
+        };
+        assert!(execute(&u, ctx).is_err());
+        let ok = Plan::UnionAll {
+            left: Box::new(a.clone()),
+            right: Box::new(a),
+        };
+        assert_eq!(execute(&ok, ctx).unwrap().rows.len(), 6);
+    }
+}

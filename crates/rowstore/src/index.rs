@@ -1,0 +1,145 @@
+//! B-tree secondary indexes for the row-store baselines.
+//!
+//! The "C+I" curve of the paper's Figure 3 is the commercial row store *with
+//! indexes*: every tuple inserted into an evolution target table also pays an
+//! ordered-index maintenance cost, and after a bulk load the index must be
+//! built from scratch. Both costs are realized here.
+
+use crate::heap::RowId;
+use cods_storage::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An ordered index from (composite) key values to row ids.
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    /// Indices of the indexed columns within the table schema.
+    key_columns: Vec<usize>,
+    map: BTreeMap<Vec<Value>, Vec<RowId>>,
+    entries: u64,
+}
+
+impl BTreeIndex {
+    /// Creates an empty index over the given column positions.
+    pub fn new(key_columns: Vec<usize>) -> Self {
+        BTreeIndex {
+            key_columns,
+            map: BTreeMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// The indexed column positions.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Extracts this index's key from a full row.
+    pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.key_columns.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Inserts one entry (index maintenance on the insert path).
+    pub fn insert(&mut self, row: &[Value], rid: RowId) {
+        let key = self.key_of(row);
+        self.map.entry(key).or_default().push(rid);
+        self.entries += 1;
+    }
+
+    /// Exact-match lookup.
+    pub fn lookup(&self, key: &[Value]) -> &[RowId] {
+        self.map.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Range scan over `[lo, hi]` (inclusive bounds on present ends).
+    pub fn range<'a>(
+        &'a self,
+        lo: Option<&'a [Value]>,
+        hi: Option<&'a [Value]>,
+    ) -> impl Iterator<Item = (&'a Vec<Value>, &'a [RowId])> + 'a {
+        let lo_bound = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
+        let hi_bound = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
+        self.map
+            .range((lo_bound, hi_bound))
+            .map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Returns `true` when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Iterates all `(key, rids)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &[RowId])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> RowId {
+        RowId { page: n, slot: 0 }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        idx.insert(&[Value::int(5), Value::str("x")], rid(0));
+        idx.insert(&[Value::int(5), Value::str("y")], rid(1));
+        idx.insert(&[Value::int(7), Value::str("z")], rid(2));
+        assert_eq!(idx.lookup(&[Value::int(5)]), &[rid(0), rid(1)]);
+        assert_eq!(idx.lookup(&[Value::int(7)]), &[rid(2)]);
+        assert!(idx.lookup(&[Value::int(9)]).is_empty());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = BTreeIndex::new(vec![1, 0]);
+        idx.insert(&[Value::int(1), Value::str("a")], rid(0));
+        idx.insert(&[Value::int(2), Value::str("a")], rid(1));
+        assert_eq!(
+            idx.lookup(&[Value::str("a"), Value::int(2)]),
+            &[rid(1)]
+        );
+    }
+
+    #[test]
+    fn range_scan_ordered() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        for i in 0..10 {
+            idx.insert(&[Value::int(i)], rid(i as u32));
+        }
+        let lo = [Value::int(3)];
+        let hi = [Value::int(6)];
+        let keys: Vec<i64> = idx
+            .range(Some(&lo), Some(&hi))
+            .map(|(k, _)| match &k[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+        assert_eq!(idx.range(None, None).count(), 10);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BTreeIndex::new(vec![0]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.iter().count(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The database catalog: a thread-safe name → table map with the
+//! schema-level operations (create/drop/rename/copy) that SMOs delegate to.
+
+use crate::error::StorageError;
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named collection of tables. All methods are thread-safe; tables are
+/// immutable snapshots, so readers never block behind evolution.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `table` under its own name.
+    ///
+    /// # Errors
+    /// [`StorageError::TableExists`] if the name is taken.
+    pub fn create(&self, table: Table) -> Result<(), StorageError> {
+        let mut map = self.tables.write();
+        if map.contains_key(table.name()) {
+            return Err(StorageError::TableExists(table.name().to_string()));
+        }
+        map.insert(table.name().to_string(), Arc::new(table));
+        Ok(())
+    }
+
+    /// Registers or replaces `table` under its own name (evolution results).
+    pub fn put(&self, table: Table) {
+        self.tables
+            .write()
+            .insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Removes a table.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownTable`] if absent.
+    pub fn drop_table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Fetches a table snapshot.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Returns `true` if the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Renames a table. Pure metadata: all column data is shared.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), StorageError> {
+        let mut map = self.tables.write();
+        if map.contains_key(to) {
+            return Err(StorageError::TableExists(to.to_string()));
+        }
+        let t = map
+            .remove(from)
+            .ok_or_else(|| StorageError::UnknownTable(from.to_string()))?;
+        map.insert(to.to_string(), Arc::new(t.renamed(to)));
+        Ok(())
+    }
+
+    /// Copies a table under a new name. Column data is shared (`Arc`), so
+    /// this is O(arity), not O(data) — COPY TABLE "requires data movement,
+    /// but no data change", and a column store can defer even the movement.
+    pub fn copy(&self, from: &str, to: &str) -> Result<(), StorageError> {
+        let src = self.get(from)?;
+        let mut map = self.tables.write();
+        if map.contains_key(to) {
+            return Err(StorageError::TableExists(to.to_string()));
+        }
+        map.insert(to.to_string(), Arc::new(src.renamed(to)));
+        Ok(())
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// Returns `true` when the catalog holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+
+    /// Snapshot of all tables (name order).
+    pub fn snapshot(&self) -> Vec<Arc<Table>> {
+        self.tables.read().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn tiny(name: &str) -> Table {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        Table::from_rows(name, schema, &[vec![Value::int(1)]]).unwrap()
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create(tiny("t")).unwrap();
+        assert!(cat.contains("t"));
+        assert_eq!(cat.get("t").unwrap().rows(), 1);
+        assert!(matches!(
+            cat.create(tiny("t")),
+            Err(StorageError::TableExists(_))
+        ));
+        cat.drop_table("t").unwrap();
+        assert!(!cat.contains("t"));
+        assert!(matches!(
+            cat.drop_table("t"),
+            Err(StorageError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn rename_moves_and_shares() {
+        let cat = Catalog::new();
+        cat.create(tiny("old")).unwrap();
+        let before = cat.get("old").unwrap();
+        cat.rename("old", "new").unwrap();
+        assert!(!cat.contains("old"));
+        let after = cat.get("new").unwrap();
+        assert_eq!(after.name(), "new");
+        assert!(Arc::ptr_eq(before.column(0), after.column(0)));
+        // Renaming onto an existing name fails.
+        cat.create(tiny("other")).unwrap();
+        assert!(cat.rename("new", "other").is_err());
+    }
+
+    #[test]
+    fn copy_shares_columns() {
+        let cat = Catalog::new();
+        cat.create(tiny("src")).unwrap();
+        cat.copy("src", "dst").unwrap();
+        let s = cat.get("src").unwrap();
+        let d = cat.get("dst").unwrap();
+        assert!(Arc::ptr_eq(s.column(0), d.column(0)));
+        assert!(cat.copy("src", "dst").is_err());
+        assert!(cat.copy("missing", "x").is_err());
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let cat = Catalog::new();
+        for n in ["zeta", "alpha", "mid"] {
+            cat.create(tiny(n)).unwrap();
+        }
+        assert_eq!(cat.table_names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(cat.len(), 3);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn put_replaces() {
+        let cat = Catalog::new();
+        cat.create(tiny("t")).unwrap();
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let bigger = Table::from_rows(
+            "t",
+            schema,
+            &[vec![Value::int(1)], vec![Value::int(2)]],
+        )
+        .unwrap();
+        cat.put(bigger);
+        assert_eq!(cat.get("t").unwrap().rows(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Row cursors: streaming `row → value id` access over a compressed column
+//! without materializing anything per row.
+//!
+//! The cursor is a k-way merge over the per-value set-bit iterators. Thanks
+//! to the partition invariant exactly one bitmap fires per row, so the merge
+//! yields every row exactly once, in order. The CODS sequential-scan passes
+//! (distinction, mergence) use either this cursor or the materialized
+//! [`crate::Column::value_ids`] array depending on how many passes they need.
+
+use crate::column::Column;
+use cods_bitmap::OnesIter;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Streaming cursor yielding `(row, value_id)` in ascending row order.
+pub struct RowIdCursor<'a> {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    iters: Vec<OnesIter<'a>>,
+    rows: u64,
+    emitted: u64,
+}
+
+impl<'a> RowIdCursor<'a> {
+    /// Opens a cursor over `column`.
+    pub fn new(column: &'a Column) -> Self {
+        let mut iters: Vec<OnesIter<'a>> = column
+            .bitmaps()
+            .iter()
+            .map(|bm| bm.iter_ones())
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(iters.len());
+        for (id, it) in iters.iter_mut().enumerate() {
+            if let Some(pos) = it.next() {
+                heap.push(Reverse((pos, id as u32)));
+            }
+        }
+        RowIdCursor {
+            heap,
+            iters,
+            rows: column.rows(),
+            emitted: 0,
+        }
+    }
+}
+
+impl Iterator for RowIdCursor<'_> {
+    type Item = (u64, u32);
+
+    fn next(&mut self) -> Option<(u64, u32)> {
+        let Reverse((pos, id)) = self.heap.pop()?;
+        debug_assert_eq!(pos, self.emitted, "partition invariant violated");
+        self.emitted += 1;
+        if let Some(next) = self.iters[id as usize].next() {
+            self.heap.push(Reverse((next, id)));
+        }
+        Some((pos, id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.rows - self.emitted) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RowIdCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    #[test]
+    fn cursor_yields_rows_in_order() {
+        let vals: Vec<Value> = [3i64, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+            .iter()
+            .map(|&i| Value::int(i))
+            .collect();
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let expected = col.value_ids();
+        let streamed: Vec<(u64, u32)> = RowIdCursor::new(&col).collect();
+        assert_eq!(streamed.len(), 10);
+        for (i, &(row, id)) in streamed.iter().enumerate() {
+            assert_eq!(row, i as u64);
+            assert_eq!(id, expected[i]);
+        }
+    }
+
+    #[test]
+    fn cursor_on_empty_column() {
+        let col = Column::from_values(ValueType::Int, &[]).unwrap();
+        assert_eq!(RowIdCursor::new(&col).count(), 0);
+    }
+
+    #[test]
+    fn cursor_exact_size() {
+        let vals: Vec<Value> = (0..100).map(|i| Value::int(i % 7)).collect();
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let mut cur = RowIdCursor::new(&col);
+        assert_eq!(cur.len(), 100);
+        cur.next();
+        assert_eq!(cur.len(), 99);
+    }
+
+    #[test]
+    fn cursor_single_value_column() {
+        let vals: Vec<Value> = vec![Value::str("only"); 1000];
+        let col = Column::from_values(ValueType::Str, &vals).unwrap();
+        let ids: Vec<u32> = RowIdCursor::new(&col).map(|(_, id)| id).collect();
+        assert!(ids.iter().all(|&id| id == 0));
+        assert_eq!(ids.len(), 1000);
+    }
+}

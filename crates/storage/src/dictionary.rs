@@ -1,0 +1,187 @@
+//! Per-column dictionaries mapping values to dense integer ids.
+//!
+//! A bitmap-encoded column is a dictionary plus one bitmap per id (the `v × r`
+//! matrix of Section 2.2 of the paper). Ids are assigned in first-appearance
+//! order; evolution operators work on ids and only touch the `Value`s when a
+//! dictionary itself must be rewritten (never for reused columns).
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Interning dictionary: dense `u32` ids for distinct [`Value`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    values: Vec<Value>,
+    ids: HashMap<Value, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no values are interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Interns `v`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, v: Value) -> u32 {
+        if let Some(&id) = self.ids.get(&v) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(v.clone());
+        self.ids.insert(v, id);
+        id
+    }
+
+    /// Looks up the id of `v` without interning.
+    pub fn id_of(&self, v: &Value) -> Option<u32> {
+        self.ids.get(v).copied()
+    }
+
+    /// The value for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// All values in id order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates `(id, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Value)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+
+    /// Builds a dictionary from values in id order (values must be distinct).
+    pub fn from_values(values: Vec<Value>) -> Result<Self, String> {
+        let mut d = Dictionary::new();
+        for v in values {
+            let before = d.len();
+            d.intern(v);
+            if d.len() == before {
+                return Err("duplicate value in dictionary".into());
+            }
+        }
+        Ok(d)
+    }
+
+    /// Keeps only the ids for which `keep(id)` is true, producing the
+    /// compacted dictionary and the old-id → new-id mapping (`None` for
+    /// dropped ids). Used after bitmap filtering drops values that no longer
+    /// occur.
+    pub fn compact(&self, mut keep: impl FnMut(u32) -> bool) -> (Dictionary, Vec<Option<u32>>) {
+        let mut out = Dictionary::new();
+        let mut mapping = Vec::with_capacity(self.values.len());
+        for (id, v) in self.iter() {
+            if keep(id) {
+                mapping.push(Some(out.intern(v.clone())));
+            } else {
+                mapping.push(None);
+            }
+        }
+        (out, mapping)
+    }
+
+    /// Merges `other` into a copy of `self`, returning the merged dictionary
+    /// and the mapping from `other`'s ids to merged ids. Used by UNION TABLES.
+    pub fn merge(&self, other: &Dictionary) -> (Dictionary, Vec<u32>) {
+        let mut merged = self.clone();
+        let mapping = other
+            .values
+            .iter()
+            .map(|v| merged.intern(v.clone()))
+            .collect();
+        (merged, mapping)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let value_bytes: usize = self
+            .values
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => std::mem::size_of::<Value>() + s.len(),
+                _ => std::mem::size_of::<Value>(),
+            })
+            .sum();
+        // Values are stored twice (vec + hash map key) plus the id.
+        value_bytes * 2 + self.values.len() * 4
+    }
+}
+
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+impl Eq for Dictionary {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern(Value::str("a")), 0);
+        assert_eq!(d.intern(Value::str("b")), 1);
+        assert_eq!(d.intern(Value::str("a")), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(1), &Value::str("b"));
+        assert_eq!(d.id_of(&Value::str("b")), Some(1));
+        assert_eq!(d.id_of(&Value::str("zzz")), None);
+    }
+
+    #[test]
+    fn from_values_rejects_duplicates() {
+        assert!(Dictionary::from_values(vec![Value::int(1), Value::int(1)]).is_err());
+        let d = Dictionary::from_values(vec![Value::int(1), Value::int(2)]).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn compaction() {
+        let mut d = Dictionary::new();
+        for i in 0..5 {
+            d.intern(Value::int(i));
+        }
+        let (c, map) = d.compact(|id| id % 2 == 0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(map, vec![Some(0), None, Some(1), None, Some(2)]);
+        assert_eq!(c.value(1), &Value::int(2));
+    }
+
+    #[test]
+    fn merge_maps_other_ids() {
+        let mut a = Dictionary::new();
+        a.intern(Value::str("x"));
+        a.intern(Value::str("y"));
+        let mut b = Dictionary::new();
+        b.intern(Value::str("y"));
+        b.intern(Value::str("z"));
+        let (merged, map) = a.merge(&b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(map, vec![1, 2]); // y → 1 (existing), z → 2 (new)
+    }
+
+    #[test]
+    fn equality_ignores_hash_map_internals() {
+        let mut a = Dictionary::new();
+        a.intern(Value::int(1));
+        let b = Dictionary::from_values(vec![Value::int(1)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types of the storage engine.
+
+use std::fmt;
+
+/// Errors raised by the column store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Schema construction or validation failed.
+    InvalidSchema(String),
+    /// A column name was not found.
+    UnknownColumn(String),
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A row's arity or types do not match the schema.
+    RowMismatch(String),
+    /// Data violates a declared key (duplicate key values).
+    KeyViolation(String),
+    /// Load (CSV/text ingest) failure.
+    LoadError(String),
+    /// Persistence (encode/decode, I/O) failure.
+    PersistError(String),
+    /// Internal invariant violation — indicates a bug.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            StorageError::UnknownColumn(n) => write!(f, "unknown column: {n}"),
+            StorageError::UnknownTable(n) => write!(f, "unknown table: {n}"),
+            StorageError::TableExists(n) => write!(f, "table already exists: {n}"),
+            StorageError::RowMismatch(m) => write!(f, "row does not match schema: {m}"),
+            StorageError::KeyViolation(m) => write!(f, "key violation: {m}"),
+            StorageError::LoadError(m) => write!(f, "load error: {m}"),
+            StorageError::PersistError(m) => write!(f, "persistence error: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::PersistError(e.to_string())
+    }
+}
+
+impl From<cods_bitmap::CodecError> for StorageError {
+    fn from(e: cods_bitmap::CodecError) -> Self {
+        StorageError::PersistError(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownTable("emp".into());
+        assert!(e.to_string().contains("emp"));
+        let e = StorageError::KeyViolation("dup".into());
+        assert!(e.to_string().contains("key violation"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::PersistError(_)));
+    }
+}

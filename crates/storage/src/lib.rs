@@ -1,0 +1,59 @@
+//! # cods-storage
+//!
+//! The column-oriented storage engine underneath the CODS reproduction
+//! (Liu et al., VLDB 2010). Every column is stored as a dictionary plus one
+//! WAH-compressed bitmap per distinct value — the `v × r` bitmap matrix of
+//! Section 2.2 of the paper — and tables share immutable columns by
+//! reference, which is what makes data-level evolution able to "reuse
+//! unchanged columns" for free.
+//!
+//! * [`Value`] / [`ValueType`] — the typed cell values.
+//! * [`Schema`] — named, typed columns plus an optional candidate key.
+//! * [`Column`] / [`ColumnBuilder`] — bitmap-encoded columns with data-level
+//!   primitives (filter, concat, slice) lifted from `cods-bitmap`.
+//! * [`Table`] — schema + `Arc`-shared columns.
+//! * [`Catalog`] — thread-safe table namespace.
+//! * [`RowIdCursor`] — streaming `row → value id` scans over compressed data.
+//! * [`load`] — delimited-text ingest; [`persist`] — binary table files.
+//!
+//! ```
+//! use cods_storage::{Schema, Table, Value, ValueType};
+//!
+//! let schema = Schema::build(
+//!     &[("employee", ValueType::Str), ("skill", ValueType::Str)],
+//!     &[],
+//! ).unwrap();
+//! let t = Table::from_rows("S", schema, &[
+//!     vec![Value::str("Jones"), Value::str("Typing")],
+//!     vec![Value::str("Jones"), Value::str("Shorthand")],
+//! ]).unwrap();
+//! assert_eq!(t.column_by_name("employee").unwrap().distinct_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod column;
+pub mod cursor;
+pub mod dictionary;
+pub mod error;
+pub mod load;
+pub mod persist;
+pub mod rle_column;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::{Column, ColumnBuilder};
+pub use cursor::RowIdCursor;
+pub use dictionary::Dictionary;
+pub use error::StorageError;
+pub use load::{load_file, load_str, LoadOptions};
+pub use rle_column::RleColumn;
+pub use schema::{ColumnDef, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use value::{OrderedF64, Value, ValueType};

@@ -1,0 +1,381 @@
+//! Binary persistence of tables and catalogs.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! file      := magic:u32 version:u16 table
+//! catalog   := magic:u32 version:u16 table_count:u32 table*
+//! table     := name:str schema rows:u64 column*
+//! schema    := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
+//! column    := tag:u8 dict_len:u32 value* bitmap*      (one bitmap per value)
+//! value     := kind:u8 payload
+//! str       := len:u32 utf8-bytes
+//! ```
+
+use crate::column::Column;
+use crate::dictionary::Dictionary;
+use crate::error::StorageError;
+use crate::schema::{ColumnDef, Schema};
+use crate::table::Table;
+use crate::value::{Value, ValueType};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cods_bitmap::Wah;
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: u32 = 0xC0D5_0001;
+const VERSION: u16 = 1;
+
+fn put_str<B: BufMut>(buf: &mut B, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str<B: Buf>(buf: &mut B) -> Result<String, StorageError> {
+    if buf.remaining() < 4 {
+        return Err(eof());
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(eof());
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes)
+        .map_err(|e| StorageError::PersistError(format!("invalid UTF-8: {e}")))
+}
+
+fn eof() -> StorageError {
+    StorageError::PersistError("unexpected end of buffer".into())
+}
+
+fn put_value<B: BufMut>(buf: &mut B, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_f64_le(f.0);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value<B: Buf>(buf: &mut B) -> Result<Value, StorageError> {
+    if buf.remaining() < 1 {
+        return Err(eof());
+    }
+    Ok(match buf.get_u8() {
+        0 => Value::Null,
+        1 => {
+            if buf.remaining() < 1 {
+                return Err(eof());
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(eof());
+            }
+            Value::Int(buf.get_i64_le())
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(eof());
+            }
+            Value::float(buf.get_f64_le())
+        }
+        4 => Value::Str(get_str(buf)?.into()),
+        k => {
+            return Err(StorageError::PersistError(format!(
+                "unknown value kind {k}"
+            )))
+        }
+    })
+}
+
+fn put_schema<B: BufMut>(buf: &mut B, s: &Schema) {
+    buf.put_u16_le(s.arity() as u16);
+    for c in s.columns() {
+        put_str(buf, &c.name);
+        buf.put_u8(c.ty.tag());
+    }
+    buf.put_u16_le(s.key().len() as u16);
+    for &k in s.key() {
+        buf.put_u16_le(k as u16);
+    }
+}
+
+fn get_schema<B: Buf>(buf: &mut B) -> Result<Schema, StorageError> {
+    if buf.remaining() < 2 {
+        return Err(eof());
+    }
+    let arity = buf.get_u16_le() as usize;
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = get_str(buf)?;
+        if buf.remaining() < 1 {
+            return Err(eof());
+        }
+        let ty = ValueType::from_tag(buf.get_u8())
+            .ok_or_else(|| StorageError::PersistError("bad type tag".into()))?;
+        cols.push(ColumnDef::new(name, ty));
+    }
+    if buf.remaining() < 2 {
+        return Err(eof());
+    }
+    let key_len = buf.get_u16_le() as usize;
+    let mut key = Vec::with_capacity(key_len);
+    for _ in 0..key_len {
+        if buf.remaining() < 2 {
+            return Err(eof());
+        }
+        key.push(buf.get_u16_le() as usize);
+    }
+    Schema::with_key(cols, key).map_err(|e| StorageError::PersistError(e.to_string()))
+}
+
+fn put_column<B: BufMut>(buf: &mut B, c: &Column) {
+    buf.put_u8(c.ty().tag());
+    buf.put_u32_le(c.dict().len() as u32);
+    for v in c.dict().values() {
+        put_value(buf, v);
+    }
+    for bm in c.bitmaps() {
+        bm.encode(buf);
+    }
+}
+
+fn get_column<B: Buf>(buf: &mut B, rows: u64) -> Result<Column, StorageError> {
+    if buf.remaining() < 5 {
+        return Err(eof());
+    }
+    let ty = ValueType::from_tag(buf.get_u8())
+        .ok_or_else(|| StorageError::PersistError("bad column type tag".into()))?;
+    let dict_len = buf.get_u32_le() as usize;
+    let mut values = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        values.push(get_value(buf)?);
+    }
+    let dict =
+        Dictionary::from_values(values).map_err(StorageError::PersistError)?;
+    let mut bitmaps = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        bitmaps.push(Wah::decode(buf)?);
+    }
+    let col = Column::from_parts(ty, dict, bitmaps, rows)?;
+    col.check_invariants()?;
+    Ok(col)
+}
+
+/// Serializes one table (with its magic header).
+pub fn encode_table(t: &Table) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    encode_table_body(&mut buf, t);
+    buf.freeze()
+}
+
+fn encode_table_body(buf: &mut BytesMut, t: &Table) {
+    put_str(buf, t.name());
+    put_schema(buf, t.schema());
+    buf.put_u64_le(t.rows());
+    for c in t.columns() {
+        put_column(buf, c);
+    }
+}
+
+/// Deserializes one table.
+pub fn decode_table(mut buf: impl Buf) -> Result<Table, StorageError> {
+    check_header(&mut buf)?;
+    decode_table_body(&mut buf)
+}
+
+fn check_header(buf: &mut impl Buf) -> Result<(), StorageError> {
+    if buf.remaining() < 6 {
+        return Err(eof());
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(StorageError::PersistError(format!(
+            "bad magic 0x{magic:08x}"
+        )));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(StorageError::PersistError(format!(
+            "unsupported version {version}"
+        )));
+    }
+    Ok(())
+}
+
+fn decode_table_body(buf: &mut impl Buf) -> Result<Table, StorageError> {
+    let name = get_str(buf)?;
+    let schema = get_schema(buf)?;
+    if buf.remaining() < 8 {
+        return Err(eof());
+    }
+    let rows = buf.get_u64_le();
+    let mut columns = Vec::with_capacity(schema.arity());
+    for _ in 0..schema.arity() {
+        columns.push(Arc::new(get_column(buf, rows)?));
+    }
+    Table::new(name, schema, columns)
+}
+
+/// Writes a table to a file.
+pub fn save_table(t: &Table, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    std::fs::write(path, encode_table(t))?;
+    Ok(())
+}
+
+/// Reads a table from a file.
+pub fn read_table(path: impl AsRef<Path>) -> Result<Table, StorageError> {
+    let bytes = std::fs::read(path)?;
+    decode_table(Bytes::from(bytes))
+}
+
+/// Serializes all tables of a catalog.
+pub fn encode_catalog(cat: &crate::catalog::Catalog) -> Bytes {
+    let tables = cat.snapshot();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(tables.len() as u32);
+    for t in &tables {
+        encode_table_body(&mut buf, t);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a catalog.
+pub fn decode_catalog(mut buf: impl Buf) -> Result<crate::catalog::Catalog, StorageError> {
+    check_header(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(eof());
+    }
+    let count = buf.get_u32_le();
+    let cat = crate::catalog::Catalog::new();
+    for _ in 0..count {
+        cat.create(decode_table_body(&mut buf)?)?;
+    }
+    Ok(cat)
+}
+
+/// Writes a catalog to a file.
+pub fn save_catalog(
+    cat: &crate::catalog::Catalog,
+    path: impl AsRef<Path>,
+) -> Result<(), StorageError> {
+    std::fs::write(path, encode_catalog(cat))?;
+    Ok(())
+}
+
+/// Reads a catalog from a file.
+pub fn read_catalog(path: impl AsRef<Path>) -> Result<crate::catalog::Catalog, StorageError> {
+    let bytes = std::fs::read(path)?;
+    decode_catalog(Bytes::from(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn sample() -> Table {
+        let schema = Schema::build(
+            &[
+                ("id", ValueType::Int),
+                ("name", ValueType::Str),
+                ("score", ValueType::Float),
+                ("active", ValueType::Bool),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| {
+                vec![
+                    Value::int(i),
+                    Value::str(format!("user{}", i % 10)),
+                    if i % 7 == 0 { Value::Null } else { Value::float(i as f64 / 3.0) },
+                    Value::Bool(i % 2 == 0),
+                ]
+            })
+            .collect();
+        Table::from_rows("users", schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let t = sample();
+        let bytes = encode_table(&t);
+        let back = decode_table(bytes).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(back.rows(), t.rows());
+        assert_eq!(back.to_rows(), t.to_rows());
+    }
+
+    #[test]
+    fn table_file_round_trip() {
+        let t = sample();
+        let path = std::env::temp_dir().join("cods_persist_test.tbl");
+        save_table(&t, &path).unwrap();
+        let back = read_table(&path).unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let cat = Catalog::new();
+        cat.create(sample()).unwrap();
+        cat.create(sample().renamed("users2")).unwrap();
+        let bytes = encode_catalog(&cat);
+        let back = decode_catalog(bytes).unwrap();
+        assert_eq!(back.table_names(), vec!["users", "users2"]);
+        assert_eq!(
+            back.get("users").unwrap().to_rows(),
+            cat.get("users").unwrap().to_rows()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u16_le(VERSION);
+        assert!(decode_table(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_table(&sample());
+        for cut in [0, 3, 6, 10, bytes.len() / 2, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert!(decode_table(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn empty_table_round_trip() {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let t = Table::from_rows("empty", schema, &[]).unwrap();
+        let back = decode_table(encode_table(&t)).unwrap();
+        assert_eq!(back.rows(), 0);
+        assert_eq!(back.name(), "empty");
+    }
+}

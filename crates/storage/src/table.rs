@@ -1,0 +1,434 @@
+//! Column-oriented tables: a schema plus one shared, immutable column per
+//! attribute.
+//!
+//! Columns are `Arc`-shared between tables. This is what lets CODS implement
+//! Property 1 of lossless decompositions — "the unchanged output table can be
+//! created right away using the existing columns … without any data
+//! operation" — as literal pointer sharing.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable column-oriented table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Arc<Column>>,
+    rows: u64,
+}
+
+impl Table {
+    /// Assembles a table from a schema and matching columns.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Arc<Column>>,
+    ) -> Result<Table, StorageError> {
+        if columns.len() != schema.arity() {
+            return Err(StorageError::RowMismatch(format!(
+                "schema has {} columns but {} were supplied",
+                schema.arity(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, |c| c.rows());
+        for (i, c) in columns.iter().enumerate() {
+            if c.rows() != rows {
+                return Err(StorageError::Corrupt(format!(
+                    "column {i} has {} rows, expected {rows}",
+                    c.rows()
+                )));
+            }
+            if c.ty() != schema.columns()[i].ty && c.rows() > 0 {
+                return Err(StorageError::RowMismatch(format!(
+                    "column {:?} has type {}, schema says {}",
+                    schema.columns()[i].name,
+                    c.ty(),
+                    schema.columns()[i].ty
+                )));
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Builds a table from rows of values.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: &[Vec<Value>],
+    ) -> Result<Table, StorageError> {
+        let mut builders: Vec<ColumnBuilder> = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnBuilder::new(c.ty))
+            .collect();
+        for (rno, row) in rows.iter().enumerate() {
+            if row.len() != schema.arity() {
+                return Err(StorageError::RowMismatch(format!(
+                    "row {rno} has {} values, schema has {} columns",
+                    row.len(),
+                    schema.arity()
+                )));
+            }
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v.clone())?;
+            }
+        }
+        let columns = builders
+            .into_iter()
+            .map(|b| Arc::new(b.finish()))
+            .collect();
+        Table::new(name, schema, columns)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by position.
+    pub fn column(&self, idx: usize) -> &Arc<Column> {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Arc<Column>, StorageError> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// Returns a copy with a different name (RENAME TABLE shares all data).
+    pub fn renamed(&self, name: impl Into<String>) -> Table {
+        Table {
+            name: name.into(),
+            ..self.clone()
+        }
+    }
+
+    /// Materializes row `idx` as values (display/test path).
+    pub fn row(&self, idx: u64) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value_at(idx).clone()).collect()
+    }
+
+    /// Materializes all rows (test/display helper; decompresses everything).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        let per_col: Vec<Vec<Value>> = self.columns.iter().map(|c| c.values()).collect();
+        (0..self.rows as usize)
+            .map(|r| per_col.iter().map(|col| col[r].clone()).collect())
+            .collect()
+    }
+
+    /// Materializes only the named columns, in the given order — the
+    /// projection-pushdown scan path of a column store (untouched columns
+    /// are never decompressed).
+    pub fn to_rows_projected(&self, names: &[&str]) -> Result<Vec<Vec<Value>>, StorageError> {
+        let per_col: Vec<Vec<Value>> = names
+            .iter()
+            .map(|n| Ok(self.column_by_name(n)?.values()))
+            .collect::<Result<_, StorageError>>()?;
+        Ok((0..self.rows as usize)
+            .map(|r| per_col.iter().map(|col| col[r].clone()).collect())
+            .collect())
+    }
+
+    /// The multiset of tuples, for order-insensitive equality in tests and
+    /// cross-engine verification.
+    pub fn tuple_multiset(&self) -> HashMap<Vec<Value>, u64> {
+        let mut m = HashMap::new();
+        for row in self.to_rows() {
+            *m.entry(row).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Rewrites the table clustered (stably sorted) by the named columns, in
+    /// value order. Clustering turns each value's bitmap into a single fill
+    /// run, which is where WAH — and the RLE encoding for sorted columns —
+    /// compress best.
+    pub fn cluster_by(&self, names: &[&str]) -> Result<Table, StorageError> {
+        // Rank every sort column's dictionary by value, then sort row
+        // indices by the rank tuple (stable).
+        let mut rank_cols: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(names.len());
+        for n in names {
+            let col = self.column_by_name(n)?;
+            let mut order: Vec<u32> = (0..col.distinct_count() as u32).collect();
+            order.sort_by(|&a, &b| col.dict().value(a).cmp(col.dict().value(b)));
+            let mut rank = vec![0u32; col.distinct_count()];
+            for (r, &id) in order.iter().enumerate() {
+                rank[id as usize] = r as u32;
+            }
+            rank_cols.push((col.value_ids(), rank));
+        }
+        let mut perm: Vec<u64> = (0..self.rows).collect();
+        perm.sort_by_key(|&row| {
+            rank_cols
+                .iter()
+                .map(|(ids, rank)| rank[ids[row as usize] as usize])
+                .collect::<Vec<u32>>()
+        });
+        let columns: Vec<Arc<Column>> = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.gather(&perm)))
+            .collect();
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Checks that the declared key is actually unique.
+    pub fn verify_key(&self) -> Result<(), StorageError> {
+        if self.schema.key().is_empty() {
+            return Ok(());
+        }
+        let key_cols: Vec<Vec<u32>> = self
+            .schema
+            .key()
+            .iter()
+            .map(|&i| self.columns[i].value_ids())
+            .collect();
+        let mut seen: HashMap<Vec<u32>, u64> = HashMap::with_capacity(self.rows as usize);
+        for r in 0..self.rows as usize {
+            let key: Vec<u32> = key_cols.iter().map(|c| c[r]).collect();
+            if let Some(prev) = seen.insert(key, r as u64) {
+                return Err(StorageError::KeyViolation(format!(
+                    "rows {prev} and {r} share the same key in table {:?}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates all column invariants and row-count consistency.
+    pub fn check_invariants(&self) -> Result<(), StorageError> {
+        for (i, c) in self.columns.iter().enumerate() {
+            c.check_invariants()
+                .map_err(|e| StorageError::Corrupt(format!("column {i}: {e}")))?;
+            if c.rows() != self.rows {
+                return Err(StorageError::Corrupt(format!(
+                    "column {i} row count mismatch"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap size of all columns.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.size_bytes()).sum()
+    }
+
+    /// Returns `true` when the named column's data is shared (same `Arc`)
+    /// with `other`'s column of the same name — the zero-copy reuse check
+    /// used by evolution tests.
+    pub fn shares_column_with(&self, other: &Table, name: &str) -> bool {
+        match (self.column_by_name(name), other.column_by_name(name)) {
+            (Ok(a), Ok(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    pub(crate) fn figure1_r() -> Table {
+        let schema = Schema::build(
+            &[
+                ("employee", ValueType::Str),
+                ("skill", ValueType::Str),
+                ("address", ValueType::Str),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = [
+            ("Jones", "Typing", "425 Grant Ave"),
+            ("Jones", "Shorthand", "425 Grant Ave"),
+            ("Roberts", "Light Cleaning", "747 Industrial Way"),
+            ("Ellis", "Alchemy", "747 Industrial Way"),
+            ("Jones", "Whittling", "425 Grant Ave"),
+            ("Ellis", "Juggling", "747 Industrial Way"),
+            ("Harrison", "Light Cleaning", "425 Grant Ave"),
+        ]
+        .iter()
+        .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
+        .collect();
+        Table::from_rows("R", schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn build_figure1() {
+        let r = figure1_r();
+        r.check_invariants().unwrap();
+        assert_eq!(r.rows(), 7);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.column_by_name("employee").unwrap().distinct_count(), 4);
+        assert_eq!(r.column_by_name("skill").unwrap().distinct_count(), 6);
+        assert_eq!(r.column_by_name("address").unwrap().distinct_count(), 2);
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let r = figure1_r();
+        assert_eq!(
+            r.row(3),
+            vec![
+                Value::str("Ellis"),
+                Value::str("Alchemy"),
+                Value::str("747 Industrial Way")
+            ]
+        );
+        assert_eq!(r.to_rows().len(), 7);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let err = Table::from_rows("t", schema, &[vec![Value::int(1), Value::int(2)]]);
+        assert!(matches!(err, Err(StorageError::RowMismatch(_))));
+    }
+
+    #[test]
+    fn key_verification() {
+        let schema = Schema::build(
+            &[("id", ValueType::Int), ("v", ValueType::Str)],
+            &["id"],
+        )
+        .unwrap();
+        let good = Table::from_rows(
+            "t",
+            schema.clone(),
+            &[
+                vec![Value::int(1), Value::str("a")],
+                vec![Value::int(2), Value::str("b")],
+            ],
+        )
+        .unwrap();
+        good.verify_key().unwrap();
+        let bad = Table::from_rows(
+            "t",
+            schema,
+            &[
+                vec![Value::int(1), Value::str("a")],
+                vec![Value::int(1), Value::str("b")],
+            ],
+        )
+        .unwrap();
+        assert!(matches!(bad.verify_key(), Err(StorageError::KeyViolation(_))));
+    }
+
+    #[test]
+    fn rename_shares_columns() {
+        let r = figure1_r();
+        let r2 = r.renamed("R2");
+        assert_eq!(r2.name(), "R2");
+        assert!(r.shares_column_with(&r2, "employee"));
+        assert!(r.shares_column_with(&r2, "skill"));
+    }
+
+    #[test]
+    fn tuple_multiset_counts_duplicates() {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let t = Table::from_rows(
+            "t",
+            schema,
+            &[vec![Value::int(1)], vec![Value::int(1)], vec![Value::int(2)]],
+        )
+        .unwrap();
+        let m = t.tuple_multiset();
+        assert_eq!(m[&vec![Value::int(1)]], 2);
+        assert_eq!(m[&vec![Value::int(2)]], 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let t = Table::from_rows("t", schema, &[]).unwrap();
+        assert_eq!(t.rows(), 0);
+        t.check_invariants().unwrap();
+        t.verify_key().unwrap();
+    }
+
+    #[test]
+    fn cluster_by_sorts_and_preserves_tuples() {
+        let r = figure1_r();
+        let clustered = r.cluster_by(&["employee"]).unwrap();
+        clustered.check_invariants().unwrap();
+        assert_eq!(clustered.tuple_multiset(), r.tuple_multiset());
+        let employees: Vec<Value> = clustered
+            .to_rows()
+            .iter()
+            .map(|row| row[0].clone())
+            .collect();
+        let mut sorted = employees.clone();
+        sorted.sort();
+        assert_eq!(employees, sorted, "not clustered by employee");
+        // Clustered value bitmaps are single fill runs (tiny).
+        let col = clustered.column_by_name("employee").unwrap();
+        for bm in col.bitmaps() {
+            assert!(bm.words().len() <= 3, "bitmap not run-compressed");
+        }
+    }
+
+    #[test]
+    fn cluster_by_composite_is_stable() {
+        let schema = Schema::build(
+            &[("a", ValueType::Int), ("b", ValueType::Int), ("seq", ValueType::Int)],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::int(i % 3), Value::int(i % 2), Value::int(i)])
+            .collect();
+        let t = Table::from_rows("t", schema, &rows).unwrap();
+        let c = t.cluster_by(&["a", "b"]).unwrap();
+        let decoded = c.to_rows();
+        // Sorted by (a, b); within a group, original order (stable via seq).
+        for w in decoded.windows(2) {
+            let ka = (&w[0][0], &w[0][1]);
+            let kb = (&w[1][0], &w[1][1]);
+            assert!(ka <= kb, "not sorted: {ka:?} > {kb:?}");
+            if ka == kb {
+                assert!(w[0][2] < w[1][2], "not stable");
+            }
+        }
+    }
+
+    #[test]
+    fn column_type_checked_against_schema() {
+        let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
+        let col = Arc::new(Column::from_values(ValueType::Str, &[Value::str("x")]).unwrap());
+        assert!(Table::new("t", schema, vec![col]).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of the column store against a plain `Vec<Value>` model.
+
+use cods_storage::{Column, RleColumn, Value, ValueType};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i64..12).prop_map(Value::int),
+            Just(Value::Null),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn column_round_trips(vals in values()) {
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        col.check_invariants().unwrap();
+        prop_assert_eq!(col.values(), vals);
+    }
+
+    #[test]
+    fn filter_positions_matches_model(vals in values(), seed in prop::collection::vec(any::<u16>(), 0..100)) {
+        prop_assume!(!vals.is_empty());
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let mut positions: Vec<u64> = seed
+            .iter()
+            .map(|&s| u64::from(s) % vals.len() as u64)
+            .collect();
+        positions.sort_unstable();
+        let filtered = col.filter_positions(&positions);
+        filtered.check_invariants().unwrap();
+        let expect: Vec<Value> = positions.iter().map(|&p| vals[p as usize].clone()).collect();
+        prop_assert_eq!(filtered.values(), expect);
+    }
+
+    #[test]
+    fn gather_matches_model_with_unsorted_positions(
+        vals in values(),
+        seed in prop::collection::vec(any::<u16>(), 0..100),
+    ) {
+        prop_assume!(!vals.is_empty());
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let positions: Vec<u64> = seed
+            .iter()
+            .map(|&s| u64::from(s) % vals.len() as u64)
+            .collect();
+        let gathered = col.gather(&positions);
+        let expect: Vec<Value> = positions.iter().map(|&p| vals[p as usize].clone()).collect();
+        prop_assert_eq!(gathered.values(), expect);
+    }
+
+    #[test]
+    fn concat_matches_model(a in values(), b in values()) {
+        let ca = Column::from_values(ValueType::Int, &a).unwrap();
+        let cb = Column::from_values(ValueType::Int, &b).unwrap();
+        let joined = ca.concat(&cb).unwrap();
+        joined.check_invariants().unwrap();
+        let mut expect = a;
+        expect.extend(b);
+        prop_assert_eq!(joined.values(), expect);
+    }
+
+    #[test]
+    fn slice_matches_model(vals in values(), a in any::<prop::sample::Index>(), b in any::<prop::sample::Index>()) {
+        prop_assume!(!vals.is_empty());
+        let (mut lo, mut hi) = (a.index(vals.len() + 1) as u64, b.index(vals.len() + 1) as u64);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let sliced = col.slice(lo, hi);
+        prop_assert_eq!(sliced.values(), vals[lo as usize..hi as usize].to_vec());
+    }
+
+    #[test]
+    fn rle_agrees_with_bitmap_encoding(vals in values()) {
+        let bitmap = Column::from_values(ValueType::Int, &vals).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        prop_assert_eq!(rle.values(), bitmap.values());
+        prop_assert_eq!(rle.to_column().unwrap(), bitmap);
+    }
+
+    #[test]
+    fn value_ids_partition_every_row(vals in values()) {
+        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let ids = col.value_ids();
+        prop_assert_eq!(ids.len(), vals.len());
+        for (row, id) in ids.iter().enumerate() {
+            prop_assert_eq!(col.dict().value(*id), &vals[row]);
+        }
+    }
+}

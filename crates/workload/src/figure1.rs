@@ -1,0 +1,52 @@
+//! The exact running example of the paper's Figure 1: employees, skills and
+//! addresses. Used by the quickstart example and many tests.
+
+use cods_storage::{Schema, Table, Value, ValueType};
+
+/// The seven `(employee, skill, address)` tuples of Figure 1.
+pub fn rows() -> Vec<Vec<Value>> {
+    [
+        ("Jones", "Typing", "425 Grant Ave"),
+        ("Jones", "Shorthand", "425 Grant Ave"),
+        ("Roberts", "Light Cleaning", "747 Industrial Way"),
+        ("Ellis", "Alchemy", "747 Industrial Way"),
+        ("Jones", "Whittling", "425 Grant Ave"),
+        ("Ellis", "Juggling", "747 Industrial Way"),
+        ("Harrison", "Light Cleaning", "425 Grant Ave"),
+    ]
+    .iter()
+    .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
+    .collect()
+}
+
+/// Schema of table `R` (schema 1 of Figure 1).
+pub fn r_schema() -> Schema {
+    Schema::build(
+        &[
+            ("employee", ValueType::Str),
+            ("skill", ValueType::Str),
+            ("address", ValueType::Str),
+        ],
+        &[],
+    )
+    .expect("static schema is valid")
+}
+
+/// Table `R` of Figure 1.
+pub fn table_r() -> Table {
+    Table::from_rows("R", r_schema(), &rows()).expect("figure 1 rows are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let r = table_r();
+        assert_eq!(r.rows(), 7);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.column_by_name("employee").unwrap().distinct_count(), 4);
+        assert_eq!(r.column_by_name("address").unwrap().distinct_count(), 2);
+    }
+}

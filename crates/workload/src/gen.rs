@@ -1,0 +1,170 @@
+//! The evaluation workload generator: the three-column table
+//! `R(entity, attr, detail)` of the paper's experiment, with a configurable
+//! row count and number of distinct `entity` values.
+//!
+//! The shape mirrors Figure 1: `entity` plays *employee* (the decomposition
+//! key), `attr` plays *skill* (stays with the unchanged table), `detail`
+//! plays *address* (functionally determined by `entity`, moves to the
+//! changed table). The Figure 3 experiment decomposes
+//! `R → S(entity, attr), T(entity, detail)` and merges back, sweeping the
+//! number of distinct `entity` values from 100 to 1M at 10M rows.
+
+use crate::zipf::Zipf;
+use cods_storage::{Schema, Table, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Value distribution of the key column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    /// Every distinct value equally likely.
+    Uniform,
+    /// Zipf-skewed with the given exponent.
+    Zipf(f64),
+}
+
+/// Configuration of the generated evaluation table.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of rows.
+    pub rows: u64,
+    /// Distinct values of the `entity` (key) column. Every value is
+    /// guaranteed to occur at least once when `rows >= distinct_entities`.
+    pub distinct_entities: u64,
+    /// Distinct values of the `attr` column.
+    pub distinct_attrs: u64,
+    /// Distinct values of the `detail` column (each entity maps to one).
+    pub distinct_details: u64,
+    /// Key distribution.
+    pub distribution: Distribution,
+    /// RNG seed (generation is deterministic).
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// The paper's sweep point: `rows` rows with `distinct` distinct
+    /// entities, uniform, attrs capped at 1000, details at
+    /// `max(distinct / 10, 2)`.
+    pub fn sweep_point(rows: u64, distinct: u64) -> Self {
+        GenConfig {
+            rows,
+            distinct_entities: distinct,
+            distinct_attrs: 1000.min(rows.max(1)),
+            distinct_details: (distinct / 10).max(2),
+            distribution: Distribution::Uniform,
+            seed: 0xC0D5,
+        }
+    }
+}
+
+/// Schema of the generated table (all integer columns; the paper's
+/// experiment concerns cardinalities, not value widths).
+pub fn r_schema() -> Schema {
+    Schema::build(
+        &[
+            ("entity", ValueType::Int),
+            ("attr", ValueType::Int),
+            ("detail", ValueType::Int),
+        ],
+        &[],
+    )
+    .expect("static schema is valid")
+}
+
+/// Generates the raw rows of the evaluation table. The `detail` column is
+/// `f(entity)`, so the functional dependency `entity → detail` holds by
+/// construction and the decomposition into `(entity, attr)` / `(entity,
+/// detail)` is lossless.
+pub fn generate_rows(cfg: &GenConfig) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = match cfg.distribution {
+        Distribution::Zipf(theta) => Some(Zipf::new(cfg.distinct_entities as usize, theta)),
+        Distribution::Uniform => None,
+    };
+    let mut rows = Vec::with_capacity(cfg.rows as usize);
+    for i in 0..cfg.rows {
+        // First `distinct_entities` rows cycle through all entities so every
+        // distinct value occurs; afterwards sample per the distribution.
+        let entity = if i < cfg.distinct_entities {
+            i
+        } else {
+            match &zipf {
+                Some(z) => z.sample(&mut rng) as u64,
+                None => rng.random_range(0..cfg.distinct_entities),
+            }
+        };
+        let attr = rng.random_range(0..cfg.distinct_attrs);
+        let detail = entity_detail(entity, cfg.distinct_details);
+        rows.push(vec![
+            Value::int(entity as i64),
+            Value::int(attr as i64),
+            Value::int(detail as i64),
+        ]);
+    }
+    rows
+}
+
+/// The (deterministic) detail value of an entity.
+pub fn entity_detail(entity: u64, distinct_details: u64) -> u64 {
+    // A cheap mix so details are not trivially clustered by entity id.
+    (entity.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % distinct_details
+}
+
+/// Generates the table directly in bitmap-encoded form.
+pub fn generate_table(name: &str, cfg: &GenConfig) -> Table {
+    Table::from_rows(name, r_schema(), &generate_rows(cfg))
+        .expect("generated rows match the static schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_correct_cardinalities() {
+        let cfg = GenConfig::sweep_point(10_000, 100);
+        let a = generate_rows(&cfg);
+        let b = generate_rows(&cfg);
+        assert_eq!(a, b, "generation must be deterministic");
+        let t = generate_table("R", &cfg);
+        assert_eq!(t.rows(), 10_000);
+        assert_eq!(t.column_by_name("entity").unwrap().distinct_count(), 100);
+        assert!(t.column_by_name("detail").unwrap().distinct_count() <= 10);
+    }
+
+    #[test]
+    fn fd_entity_detail_holds_by_construction() {
+        let cfg = GenConfig::sweep_point(5_000, 50);
+        let rows = generate_rows(&cfg);
+        let mut seen = std::collections::HashMap::new();
+        for r in &rows {
+            let prev = seen.insert(r[0].clone(), r[2].clone());
+            if let Some(p) = prev {
+                assert_eq!(p, r[2], "FD violated for entity {:?}", r[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_entities_present() {
+        let cfg = GenConfig::sweep_point(1_000, 1_000);
+        let t = generate_table("R", &cfg);
+        assert_eq!(t.column_by_name("entity").unwrap().distinct_count(), 1_000);
+    }
+
+    #[test]
+    fn zipf_distribution_skews() {
+        let mut cfg = GenConfig::sweep_point(20_000, 100);
+        cfg.distribution = Distribution::Zipf(1.2);
+        let t = generate_table("R", &cfg);
+        let col = t.column_by_name("entity").unwrap();
+        let max_count = col
+            .bitmaps()
+            .iter()
+            .map(|b| b.count_ones())
+            .max()
+            .unwrap();
+        // The hottest entity must far exceed the uniform share.
+        assert!(max_count > 3 * (20_000 / 100), "max {max_count}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Zipf-distributed sampling for skewed workloads.
+
+use rand::{Rng, RngExt};
+
+/// A Zipf(θ) sampler over `0..n` using an inverse-CDF table.
+///
+/// θ = 0 is uniform; θ around 1 is the classic heavy skew used in database
+/// benchmarks.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(theta >= 0.0, "negative skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples an item index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform counts skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates rank 50 heavily.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+    }
+
+    #[test]
+    fn all_items_reachable() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

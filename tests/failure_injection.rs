@@ -1,0 +1,136 @@
+//! Failure injection: corrupted persistence artifacts, malformed loads and
+//! invalid operator sequences must surface typed errors — never panics, and
+//! never silently wrong data.
+
+use cods::{Cods, DecomposeSpec, EvolutionError, MergeStrategy, Smo};
+use cods_storage::persist::{encode_table, decode_table, read_table, save_table};
+use cods_storage::{load_str, LoadOptions, Schema, StorageError, ValueType};
+use cods_workload::{figure1, GenConfig};
+
+#[test]
+fn corrupted_table_files_are_rejected() {
+    let t = figure1::table_r();
+    let bytes = encode_table(&t);
+
+    // Truncation at any cut point must fail cleanly.
+    for frac in [0.01, 0.3, 0.7, 0.99] {
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let sliced = bytes.slice(0..cut);
+        assert!(decode_table(sliced).is_err(), "cut {frac} accepted");
+    }
+
+    // Flipping a byte either fails or round-trips to a structurally valid
+    // table — it must never panic.
+    for pos in [0usize, 4, 10, 60, bytes.len() / 2, bytes.len() - 2] {
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 0xFF;
+        if let Ok(t) = decode_table(bytes::Bytes::from(corrupt)) { t.check_invariants().unwrap() }
+    }
+}
+
+#[test]
+fn unreadable_files_error() {
+    assert!(matches!(
+        read_table("/nonexistent/path/table.bin"),
+        Err(StorageError::PersistError(_))
+    ));
+    let t = figure1::table_r();
+    assert!(save_table(&t, "/nonexistent/dir/table.bin").is_err());
+}
+
+#[test]
+fn malformed_csv_loads_fail_with_context() {
+    let schema = Schema::build(
+        &[("a", ValueType::Int), ("b", ValueType::Int)],
+        &[],
+    )
+    .unwrap();
+    for (text, needle) in [
+        ("1,2\n3\n", "line 2"),
+        ("1,2\nx,4\n", "line 2"),
+        ("1,2,3\n", "expected 2 fields"),
+    ] {
+        let err = load_str("t", &schema, text, &LoadOptions::default()).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "{text:?} gave {err} (wanted {needle:?})"
+        );
+    }
+}
+
+#[test]
+fn evolution_on_missing_tables_errors() {
+    let cods = Cods::new();
+    let err = cods.execute(Smo::DecomposeTable {
+        input: "ghost".into(),
+        spec: DecomposeSpec::new("a", &["x"], "b", &["x", "y"]),
+    });
+    assert!(matches!(
+        err,
+        Err(EvolutionError::Storage(StorageError::UnknownTable(_)))
+    ));
+    let err = cods.execute(Smo::MergeTables {
+        left: "ghost".into(),
+        right: "ghost2".into(),
+        output: "out".into(),
+        strategy: MergeStrategy::Auto,
+    });
+    assert!(err.is_err());
+}
+
+#[test]
+fn merge_output_collision_keeps_inputs() {
+    let cods = Cods::new();
+    cods.catalog().create(figure1::table_r()).unwrap();
+    cods.execute(Smo::DecomposeTable {
+        input: "R".into(),
+        spec: DecomposeSpec::new("S", &["employee", "skill"], "T", &["employee", "address"]),
+    })
+    .unwrap();
+    // Output name collides with an existing table.
+    let err = cods.execute(Smo::MergeTables {
+        left: "S".into(),
+        right: "T".into(),
+        output: "S".into(),
+        strategy: MergeStrategy::Auto,
+    });
+    assert!(err.is_err());
+    assert!(cods.catalog().contains("S"));
+    assert!(cods.catalog().contains("T"));
+}
+
+#[test]
+fn decompose_rejects_dropping_the_join_column() {
+    let cods = Cods::new();
+    cods.catalog()
+        .create(cods_workload::generate_table(
+            "R",
+            &GenConfig::sweep_point(100, 10),
+        ))
+        .unwrap();
+    // Outputs that do not overlap cannot re-join.
+    let err = cods.execute(Smo::DecomposeTable {
+        input: "R".into(),
+        spec: DecomposeSpec::new("A", &["entity", "attr"], "B", &["detail"]),
+    });
+    assert!(matches!(err, Err(EvolutionError::LossyDecomposition(_))));
+}
+
+#[test]
+fn unknown_columns_in_specs_error() {
+    let cods = Cods::new();
+    cods.catalog().create(figure1::table_r()).unwrap();
+    let err = cods.execute(Smo::DecomposeTable {
+        input: "R".into(),
+        spec: DecomposeSpec::new("S", &["employee", "wages"], "T", &["employee", "address"]),
+    });
+    assert!(matches!(err, Err(EvolutionError::InvalidOperator(_))));
+    let err = cods.execute(Smo::DropColumn {
+        table: "R".into(),
+        column: "wages".into(),
+    });
+    assert!(matches!(
+        err,
+        Err(EvolutionError::Storage(StorageError::UnknownColumn(_)))
+    ));
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the evolution operators over randomly generated
+//! tables: losslessness, cross-engine agreement, and algebraic identities.
+
+use cods::{decompose, merge, merge_general, DecomposeSpec, MergeStrategy};
+use cods::simple_ops::{partition_table, union_tables};
+use cods_query::Predicate;
+use cods_storage::{Schema, Table, Value, ValueType};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random table R(k, a, d) where k → d holds by construction.
+fn fd_table() -> impl Strategy<Value = Table> {
+    (1usize..12, 1usize..400).prop_flat_map(|(distinct, rows)| {
+        prop::collection::vec((0..distinct, 0usize..8), rows).prop_map(move |pairs| {
+            let schema = Schema::build(
+                &[
+                    ("k", ValueType::Int),
+                    ("a", ValueType::Int),
+                    ("d", ValueType::Int),
+                ],
+                &[],
+            )
+            .unwrap();
+            let rows: Vec<Vec<Value>> = pairs
+                .into_iter()
+                .map(|(k, a)| {
+                    vec![
+                        Value::int(k as i64),
+                        Value::int(a as i64),
+                        // d = f(k): FD holds.
+                        Value::int((k as i64) * 7 % 5),
+                    ]
+                })
+                .collect();
+            Table::from_rows("R", schema, &rows).unwrap()
+        })
+    })
+}
+
+/// Any random two-int-column table (no FD guarantee).
+fn any_table(name: &'static str) -> impl Strategy<Value = Table> {
+    prop::collection::vec((0i64..15, 0i64..10), 0usize..200).prop_map(move |pairs| {
+        let schema = Schema::build(
+            &[("k", ValueType::Int), ("v", ValueType::Int)],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = pairs
+            .into_iter()
+            .map(|(k, v)| vec![Value::int(k), Value::int(v)])
+            .collect();
+        Table::from_rows(name, schema, &rows).unwrap()
+    })
+}
+
+fn multiset(t: &Table) -> HashMap<Vec<Value>, u64> {
+    t.tuple_multiset()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decompose_then_merge_is_identity(table in fd_table()) {
+        let spec = DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]);
+        let out = decompose(&table, &spec).unwrap();
+        out.unchanged.check_invariants().unwrap();
+        out.changed.check_invariants().unwrap();
+        out.changed.verify_key().unwrap();
+        let merged = merge(&out.unchanged, &out.changed, "R2", &MergeStrategy::Auto).unwrap();
+        prop_assert_eq!(multiset(&merged.output), multiset(&table));
+    }
+
+    #[test]
+    fn changed_side_has_exactly_distinct_keys(table in fd_table()) {
+        let spec = DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]);
+        let out = decompose(&table, &spec).unwrap();
+        let distinct = table.column_by_name("k").unwrap().distinct_count() as u64;
+        prop_assert_eq!(out.changed.rows(), distinct);
+        prop_assert_eq!(out.distinct_keys, distinct);
+    }
+
+    #[test]
+    fn general_merge_matches_nested_loop_oracle(a in any_table("A"), b in any_table("B2")) {
+        // Rename b's value column so schemas only share "k".
+        let b = {
+            let (renamed, _) = cods::simple_ops::rename_column(&b, "v", "w").unwrap();
+            renamed
+        };
+        let out = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
+        out.output.check_invariants().unwrap();
+        let mut expected: HashMap<Vec<Value>, u64> = HashMap::new();
+        for ra in a.to_rows() {
+            for rb in b.to_rows() {
+                if ra[0] == rb[0] {
+                    *expected
+                        .entry(vec![ra[0].clone(), ra[1].clone(), rb[1].clone()])
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        prop_assert_eq!(multiset(&out.output), expected);
+    }
+
+    #[test]
+    fn partition_union_is_identity(table in any_table("R"), threshold in 0i64..15) {
+        let (sat, rest, _) =
+            partition_table(&table, &Predicate::lt("k", threshold), "lo", "hi").unwrap();
+        sat.check_invariants().unwrap();
+        rest.check_invariants().unwrap();
+        prop_assert_eq!(sat.rows() + rest.rows(), table.rows());
+        let (back, _) = union_tables(&sat, &rest, "back").unwrap();
+        prop_assert_eq!(multiset(&back), multiset(&table));
+    }
+
+    #[test]
+    fn union_is_commutative_on_multisets(a in any_table("A"), b in any_table("B")) {
+        let (ab, _) = union_tables(&a, &b, "ab").unwrap();
+        let (ba, _) = union_tables(&b, &a, "ba").unwrap();
+        prop_assert_eq!(multiset(&ab), multiset(&ba));
+        prop_assert_eq!(ab.rows(), a.rows() + b.rows());
+    }
+
+    #[test]
+    fn data_level_equals_query_level_decompose(table in fd_table()) {
+        let spec = DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]);
+        let out = decompose(&table, &spec).unwrap();
+        let catalog = cods_storage::Catalog::new();
+        catalog.create(table.renamed("R")).unwrap();
+        cods_query::decompose_column_level(
+            &catalog, "R", "S", &["k", "a"], "T", &["k", "d"], &["k"],
+        )
+        .unwrap();
+        prop_assert_eq!(
+            multiset(&catalog.get("S").unwrap()),
+            multiset(&out.unchanged)
+        );
+        prop_assert_eq!(
+            multiset(&catalog.get("T").unwrap()),
+            multiset(&out.changed)
+        );
+    }
+}
