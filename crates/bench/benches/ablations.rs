@@ -75,10 +75,8 @@ fn bench_partition_levels(c: &mut Criterion) {
                 ctx,
             )
             .unwrap();
-            let lo_t =
-                cods_storage::Table::from_rows("lo", lo.schema.clone(), &lo.rows).unwrap();
-            let hi_t =
-                cods_storage::Table::from_rows("hi", hi.schema.clone(), &hi.rows).unwrap();
+            let lo_t = cods_storage::Table::from_rows("lo", lo.schema.clone(), &lo.rows).unwrap();
+            let hi_t = cods_storage::Table::from_rows("hi", hi.schema.clone(), &hi.rows).unwrap();
             black_box((lo_t, hi_t))
         });
     });

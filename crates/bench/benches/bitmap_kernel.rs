@@ -10,7 +10,10 @@ use cods_bitmap::{PlainBitmap, Wah};
 const BITS: u64 = 1_000_000;
 
 fn sparse(seed: u64, period: u64) -> Wah {
-    Wah::from_sorted_positions((0..BITS).filter(|i| (i + seed).is_multiple_of(period)), BITS)
+    Wah::from_sorted_positions(
+        (0..BITS).filter(|i| (i + seed).is_multiple_of(period)),
+        BITS,
+    )
 }
 
 fn bench_ops(c: &mut Criterion) {
@@ -42,13 +45,9 @@ fn bench_filter(c: &mut Criterion) {
     let positions: Vec<u64> = (0..BITS).step_by(5).collect();
     for period in [2u64, 1_000] {
         let a = sparse(0, period);
-        group.bench_with_input(
-            BenchmarkId::new("wah_filter", period),
-            &period,
-            |bch, _| {
-                bch.iter(|| black_box(a.filter_positions(&positions)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("wah_filter", period), &period, |bch, _| {
+            bch.iter(|| black_box(a.filter_positions(&positions)));
+        });
         let pa = PlainBitmap::from_wah(&a);
         group.bench_with_input(
             BenchmarkId::new("plain_filter", period),
@@ -66,12 +65,7 @@ fn bench_build(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.bench_function("from_sorted_positions_1pct", |b| {
-        b.iter(|| {
-            black_box(Wah::from_sorted_positions(
-                (0..BITS).step_by(100),
-                BITS,
-            ))
-        });
+        b.iter(|| black_box(Wah::from_sorted_positions((0..BITS).step_by(100), BITS)));
     });
     group.bench_function("ones_run_synthesis", |b| {
         b.iter(|| black_box(Wah::ones_run(BITS / 4, BITS / 2, BITS)));

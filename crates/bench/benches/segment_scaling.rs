@@ -1,0 +1,167 @@
+//! Segment scaling: decompose + merge on a ≥1M-row table, comparing the
+//! segmented directory (default 64 Ki rows → segment-parallel execution
+//! across the pool) against a single-segment build of the same data (the
+//! monolithic pre-refactor execution shape: one serial pass per column).
+//!
+//! Prints per-configuration medians and the speedup, and cross-checks that
+//! both configurations produce identical evolution results before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use cods::{decompose, merge, MergeStrategy};
+use cods_bench::experiment_spec;
+use cods_storage::Table;
+use cods_workload::gen::r_schema;
+use cods_workload::GenConfig;
+
+const ROWS: u64 = 1 << 20; // 1,048,576
+const DISTINCT: u64 = 10_000;
+const MONO_SEG: u64 = 1 << 40;
+
+fn median_of(mut f: impl FnMut() -> Duration, runs: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..runs).map(|_| f()).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+struct Setup {
+    seg: Table,
+    mono: Table,
+}
+
+fn setup() -> Setup {
+    let rows = cods_workload::generate_rows(&GenConfig::sweep_point(ROWS, DISTINCT));
+    let seg = Table::from_rows("R", r_schema(), &rows).unwrap();
+    let mono = Table::from_rows_with_segment_rows("R", r_schema(), &rows, MONO_SEG).unwrap();
+    assert!(
+        seg.column(0).segment_count() >= 2,
+        "segmented build must emit multiple segments"
+    );
+    assert_eq!(mono.column(0).segment_count(), 1);
+    Setup { seg, mono }
+}
+
+fn verify_identical(s: &Setup) {
+    let spec = experiment_spec(false);
+    let a = decompose(&s.seg, &spec).unwrap();
+    let b = decompose(&s.mono, &spec).unwrap();
+    assert_eq!(a.distinct_keys, b.distinct_keys);
+    assert!(
+        cods::verify::same_tuples(&a.changed, &b.changed).unwrap(),
+        "segmented and monolithic decompose disagree"
+    );
+    let ma = merge(
+        &a.unchanged,
+        &a.changed,
+        "R1",
+        &MergeStrategy::KeyForeignKey { keyed: "T".into() },
+    )
+    .unwrap();
+    assert!(
+        cods::verify::verify_lossless_round_trip(&s.seg, &a.unchanged, &a.changed).unwrap(),
+        "segmented round trip lost tuples"
+    );
+    assert!(
+        cods::verify::same_tuples(&ma.output, &s.seg).unwrap(),
+        "segmented merge disagrees with input"
+    );
+    eprintln!("verify: segmented and single-segment results identical");
+}
+
+fn bench_segment_scaling(c: &mut Criterion) {
+    let s = setup();
+    verify_identical(&s);
+    let spec = experiment_spec(false);
+
+    let time_decompose = |t: &Table| {
+        let start = Instant::now();
+        black_box(decompose(t, &spec).unwrap());
+        start.elapsed()
+    };
+    let d_seg = median_of(|| time_decompose(&s.seg), 5);
+    let d_mono = median_of(|| time_decompose(&s.mono), 5);
+
+    let out_seg = decompose(&s.seg, &spec).unwrap();
+    let out_mono = decompose(&s.mono, &spec).unwrap();
+    let time_merge = |su: &Table, tu: &Table| {
+        let start = Instant::now();
+        black_box(
+            merge(
+                su,
+                tu,
+                "R1",
+                &MergeStrategy::KeyForeignKey { keyed: "T".into() },
+            )
+            .unwrap(),
+        );
+        start.elapsed()
+    };
+    let m_seg = median_of(|| time_merge(&out_seg.unchanged, &out_seg.changed), 5);
+    let m_mono = median_of(|| time_merge(&out_mono.unchanged, &out_mono.changed), 5);
+
+    eprintln!("\n== segment_scaling ({ROWS} rows, {DISTINCT} distinct keys) ==");
+    eprintln!(
+        "decompose   segmented {:>12?}   single-segment {:>12?}   speedup {:.2}x",
+        d_seg,
+        d_mono,
+        d_mono.as_secs_f64() / d_seg.as_secs_f64()
+    );
+    eprintln!(
+        "merge (kfk) segmented {:>12?}   single-segment {:>12?}   speedup {:.2}x",
+        m_seg,
+        m_mono,
+        m_mono.as_secs_f64() / m_seg.as_secs_f64()
+    );
+    let total_seg = d_seg + m_seg;
+    let total_mono = d_mono + m_mono;
+    eprintln!(
+        "decompose+merge segmented {:>12?}   single-segment {:>12?}   speedup {:.2}x",
+        total_seg,
+        total_mono,
+        total_mono.as_secs_f64() / total_seg.as_secs_f64()
+    );
+
+    // Criterion-style groups for the harness record.
+    let mut group = c.benchmark_group("segment_scaling");
+    group.sample_size(5);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("decompose/segmented", |b| {
+        b.iter(|| black_box(decompose(&s.seg, &spec).unwrap()));
+    });
+    group.bench_function("decompose/single_segment", |b| {
+        b.iter(|| black_box(decompose(&s.mono, &spec).unwrap()));
+    });
+    group.bench_function("merge_kfk/segmented", |b| {
+        b.iter(|| {
+            black_box(
+                merge(
+                    &out_seg.unchanged,
+                    &out_seg.changed,
+                    "R1",
+                    &MergeStrategy::KeyForeignKey { keyed: "T".into() },
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.bench_function("merge_kfk/single_segment", |b| {
+        b.iter(|| {
+            black_box(
+                merge(
+                    &out_mono.unchanged,
+                    &out_mono.changed,
+                    "R1",
+                    &MergeStrategy::KeyForeignKey { keyed: "T".into() },
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_segment_scaling);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cods::simple_ops::{add_column, drop_column, partition_table, rename_column, union_tables, ColumnFill};
+use cods::simple_ops::{
+    add_column, drop_column, partition_table, rename_column, union_tables, ColumnFill,
+};
 use cods::{decompose, merge, MergeStrategy};
 use cods_bench::experiment_spec;
 use cods_query::Predicate;

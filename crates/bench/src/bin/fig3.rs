@@ -15,7 +15,7 @@
 //! Row count defaults to `CODS_BENCH_ROWS` or 1,000,000; pass
 //! `--rows 10000000` for the paper's full scale.
 
-use cods::{decompose, merge_general, merge_key_fk, ColumnFill, Cods, MergeStrategy, Smo};
+use cods::{decompose, merge_general, merge_key_fk, Cods, ColumnFill, MergeStrategy, Smo};
 use cods_bench::*;
 use cods_bitmap::PlainBitmap;
 use cods_query::Predicate;
@@ -320,7 +320,7 @@ fn ablations(args: &Args) {
 
     // (3) WAH bitmap filtering vs. naive uncompressed gather.
     let col = table.column_by_name("entity").unwrap();
-    let bm = &col.bitmaps()[0];
+    let bm = &col.value_bitmap(0);
     let positions: Vec<u64> = (0..table.rows()).step_by(7).collect();
     let t0 = Instant::now();
     let filtered = bm.filter_positions(&positions);
@@ -346,9 +346,18 @@ fn ablations(args: &Args) {
         let col_u = unclustered.column_by_name("entity").unwrap();
         let col_c = clustered.column_by_name("entity").unwrap();
         let rle = RleColumn::from_column(col_c);
-        println!("\n  clustering (rows = {rows_n}, sort cost {}):", fmt_dur(cluster_time));
-        println!("  entity column, unclustered WAH: {:>10} bytes", col_u.bitmap_bytes());
-        println!("  entity column, clustered WAH:   {:>10} bytes", col_c.bitmap_bytes());
+        println!(
+            "\n  clustering (rows = {rows_n}, sort cost {}):",
+            fmt_dur(cluster_time)
+        );
+        println!(
+            "  entity column, unclustered WAH: {:>10} bytes",
+            col_u.bitmap_bytes()
+        );
+        println!(
+            "  entity column, clustered WAH:   {:>10} bytes",
+            col_c.bitmap_bytes()
+        );
         println!(
             "  entity column, clustered RLE:   {:>10} bytes ({} runs)",
             rle.seq_bytes(),

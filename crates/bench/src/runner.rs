@@ -163,8 +163,13 @@ pub fn time_merge(
                 }
             };
             let start = Instant::now();
-            let out = merge(s, t, "R", &MergeStrategy::KeyForeignKey { keyed: "T".into() })
-                .unwrap();
+            let out = merge(
+                s,
+                t,
+                "R",
+                &MergeStrategy::KeyForeignKey { keyed: "T".into() },
+            )
+            .unwrap();
             let elapsed = start.elapsed();
             std::hint::black_box(&out.output);
             elapsed

@@ -170,7 +170,10 @@ mod tests {
         b.push_run(100, 63);
         let w = b.finish(200);
         assert_eq!(w.count_ones(), 68);
-        assert_eq!(w, Wah::ones_run(10, 5, 200).or(&Wah::ones_run(100, 63, 200)));
+        assert_eq!(
+            w,
+            Wah::ones_run(10, 5, 200).or(&Wah::ones_run(100, 63, 200))
+        );
     }
 
     #[test]

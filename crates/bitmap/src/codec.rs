@@ -161,7 +161,10 @@ mod tests {
         let mut buf = BytesMut::new();
         w.encode(&mut buf);
         let truncated = buf.freeze().slice(0..10);
-        assert_eq!(Wah::decode(&mut truncated.clone()), Err(CodecError::UnexpectedEof));
+        assert_eq!(
+            Wah::decode(&mut truncated.clone()),
+            Err(CodecError::UnexpectedEof)
+        );
     }
 
     #[test]

@@ -304,7 +304,14 @@ mod tests {
     #[test]
     fn slice_matches_get() {
         let w = sample();
-        for (s, e) in [(0u64, 0u64), (0, 1000), (50, 150), (99, 101), (300, 363), (363, 364)] {
+        for (s, e) in [
+            (0u64, 0u64),
+            (0, 1000),
+            (50, 150),
+            (99, 101),
+            (300, 363),
+            (363, 364),
+        ] {
             let sl = w.slice(s, e);
             sl.check_invariants().unwrap();
             assert_eq!(sl.len(), e - s);
@@ -335,7 +342,11 @@ mod tests {
         let w = Wah::ones(63 * 10_000);
         let positions: Vec<u64> = (0..63 * 10_000).step_by(2).collect();
         let f = w.filter_positions(&positions);
-        assert!(f.words().len() <= 2, "expected pure fill, got {} words", f.words().len());
+        assert!(
+            f.words().len() <= 2,
+            "expected pure fill, got {} words",
+            f.words().len()
+        );
         assert_eq!(f.count_ones(), f.len());
     }
 }

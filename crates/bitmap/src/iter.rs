@@ -284,7 +284,10 @@ mod tests {
     #[test]
     fn ones_iter_on_dense_fill() {
         let w = Wah::ones(200);
-        assert_eq!(w.iter_ones().collect::<Vec<_>>(), (0..200).collect::<Vec<_>>());
+        assert_eq!(
+            w.iter_ones().collect::<Vec<_>>(),
+            (0..200).collect::<Vec<_>>()
+        );
     }
 
     #[test]

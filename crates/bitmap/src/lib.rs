@@ -53,6 +53,7 @@ pub mod iter;
 pub mod ops;
 pub mod plain;
 pub mod rle;
+pub mod segment;
 pub mod synth;
 pub mod wah;
 pub mod word;

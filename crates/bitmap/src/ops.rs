@@ -141,7 +141,10 @@ fn binary(a: &Wah, b: &Wah, op: BinOp) -> Wah {
     }
     let tail_bits = u64::from(a.active_bits);
     if tail_bits > 0 {
-        out.push_bits(op.apply(a.active, b.active) & lsb_mask(tail_bits), tail_bits);
+        out.push_bits(
+            op.apply(a.active, b.active) & lsb_mask(tail_bits),
+            tail_bits,
+        );
     }
     out
 }
@@ -265,7 +268,11 @@ mod tests {
             assert_eq!(bits_of(&and)[i], a_bits[i] & b_bits[i], "and bit {i}");
             assert_eq!(bits_of(&or)[i], a_bits[i] | b_bits[i], "or bit {i}");
             assert_eq!(bits_of(&xor)[i], a_bits[i] ^ b_bits[i], "xor bit {i}");
-            assert_eq!(bits_of(&andnot)[i], a_bits[i] & !b_bits[i], "andnot bit {i}");
+            assert_eq!(
+                bits_of(&andnot)[i],
+                a_bits[i] & !b_bits[i],
+                "andnot bit {i}"
+            );
         }
     }
 

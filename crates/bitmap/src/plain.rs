@@ -82,17 +82,14 @@ impl PlainBitmap {
     pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &w)| {
             let base = i as u64 * 64;
-            std::iter::successors(
-                if w == 0 { None } else { Some(w) },
-                |&w| {
-                    let w = w & (w - 1);
-                    if w == 0 {
-                        None
-                    } else {
-                        Some(w)
-                    }
-                },
-            )
+            std::iter::successors(if w == 0 { None } else { Some(w) }, |&w| {
+                let w = w & (w - 1);
+                if w == 0 {
+                    None
+                } else {
+                    Some(w)
+                }
+            })
             .map(move |w| base + u64::from(w.trailing_zeros()))
         })
     }

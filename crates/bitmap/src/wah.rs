@@ -349,7 +349,11 @@ impl Wah {
 
     /// Number of set bits strictly before `pos`.
     pub fn rank1(&self, pos: u64) -> u64 {
-        assert!(pos <= self.len, "rank index {pos} out of range {}", self.len);
+        assert!(
+            pos <= self.len,
+            "rank index {pos} out of range {}",
+            self.len
+        );
         let mut base = 0u64;
         let mut ones = 0u64;
         for &w in &self.words {
@@ -497,7 +501,10 @@ impl Wah {
             return Err(format!("len mismatch: computed {len}, stored {}", self.len));
         }
         if ones != self.ones {
-            return Err(format!("ones mismatch: computed {ones}, stored {}", self.ones));
+            return Err(format!(
+                "ones mismatch: computed {ones}, stored {}",
+                self.ones
+            ));
         }
         Ok(())
     }

@@ -13,7 +13,10 @@ fn bit_vector() -> impl Strategy<Value = Vec<bool>> {
         prop::collection::vec(any::<bool>(), 0..80),
         // Homogeneous run with length around group boundaries.
         (any::<bool>(), 0usize..200).prop_map(|(b, n)| vec![b; n]),
-        (any::<bool>(), prop_oneof![Just(62usize), Just(63), Just(64), Just(126), Just(189)])
+        (
+            any::<bool>(),
+            prop_oneof![Just(62usize), Just(63), Just(64), Just(126), Just(189)]
+        )
             .prop_map(|(b, n)| vec![b; n]),
     ];
     prop::collection::vec(piece, 0..8).prop_map(|chunks| chunks.concat())

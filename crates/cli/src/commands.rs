@@ -1,6 +1,6 @@
 //! Command parsing and execution for the CODS shell.
 
-use cods::{ColumnFill, Cods, DecomposeSpec, MergeStrategy, Smo};
+use cods::{Cods, ColumnFill, DecomposeSpec, MergeStrategy, Smo};
 use cods_query::{CmpOp, Predicate};
 use cods_storage::persist::{read_catalog, save_catalog};
 use cods_storage::{load_file, ColumnDef, LoadOptions, Schema, Value, ValueType};
@@ -113,16 +113,18 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
         "tables" => {
             for name in cods.catalog().table_names() {
                 let t = cods.table(&name).map_err(|e| e.to_string())?;
-                println!("  {name}: {} rows, columns [{}]", t.rows(), t.schema().names().join(", "));
+                println!(
+                    "  {name}: {} rows, columns [{}]",
+                    t.rows(),
+                    t.schema().names().join(", ")
+                );
             }
         }
         "create" => {
             let [name, spec, rest @ ..] = args.as_slice() else {
                 return Err("usage: create <table> <name:type,...> [key=cols]".into());
             };
-            let key = rest
-                .first()
-                .and_then(|s| s.strip_prefix("key="));
+            let key = rest.first().and_then(|s| s.strip_prefix("key="));
             let schema = parse_schema(spec, key)?;
             cods.execute(Smo::CreateTable {
                 name: name.to_string(),
@@ -146,10 +148,7 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             let Some(name) = args.first() else {
                 return Err("usage: display <table> [limit]".into());
             };
-            let limit: u64 = args
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(20);
+            let limit: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
             let t = cods.table(name).map_err(|e| e.to_string())?;
             println!("{}", t.schema().names().join(" | "));
             for i in 0..t.rows().min(limit) {
@@ -166,11 +165,19 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             };
             let t = cods.table(name).map_err(|e| e.to_string())?;
             let stats = cods_storage::TableStats::of(&t);
-            println!("{name}: {} rows, {} columns, {} bytes compressed", stats.rows, stats.arity, stats.total_bytes);
+            println!(
+                "{name}: {} rows, {} columns, {} bytes compressed",
+                stats.rows, stats.arity, stats.total_bytes
+            );
             for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
                 println!(
-                    "  {:<12} distinct={:<8} bitmaps={}B ratio={:.1}x",
-                    def.name, c.distinct, c.bitmap_bytes, c.compression_ratio
+                    "  {:<12} distinct={:<8} segments={:<5} max-seg-distinct={:<8} bitmaps={}B ratio={:.1}x",
+                    def.name,
+                    c.distinct,
+                    c.segments,
+                    c.max_segment_distinct,
+                    c.bitmap_bytes,
+                    c.compression_ratio
                 );
             }
         }
@@ -444,8 +451,14 @@ mod tests {
         assert!(run_command(&mut cods, "create").is_err());
         assert!(run_command(&mut cods, "frobnicate").is_err());
         // Empty lines and comments are no-ops.
-        assert!(matches!(run_command(&mut cods, "").unwrap(), Outcome::Continue));
-        assert!(matches!(run_command(&mut cods, "quit").unwrap(), Outcome::Quit));
+        assert!(matches!(
+            run_command(&mut cods, "").unwrap(),
+            Outcome::Continue
+        ));
+        assert!(matches!(
+            run_command(&mut cods, "quit").unwrap(),
+            Outcome::Quit
+        ));
     }
 
     #[test]

@@ -132,6 +132,91 @@ pub fn distinction(
     (positions, groups)
 }
 
+/// Bitmap-filters each column to `positions` with one pool task per
+/// (column × segment), then reassembles each column's chunks into a fresh
+/// segment directory. Shared by DECOMPOSE and PARTITION.
+pub(crate) fn filter_columns_by_positions(
+    columns: &[&Column],
+    positions: &[u64],
+) -> Vec<Arc<Column>> {
+    // Task list: (column index, segment index, span of `positions`).
+    let mut tasks = Vec::new();
+    for (ci, col) in columns.iter().enumerate() {
+        for (seg_idx, range) in col.position_spans(positions) {
+            tasks.push((ci, seg_idx, range));
+        }
+    }
+    let chunks = crate::par::map_parallel(tasks, |(ci, seg_idx, range)| {
+        (
+            ci,
+            columns[ci].filter_segment_chunk(seg_idx, &positions[range]),
+        )
+    });
+    // Tasks were generated in ascending (column, segment) order and
+    // map_parallel preserves order, so chunks splice back sequentially.
+    let mut assemblers: Vec<cods_storage::SegmentAssembler> = columns
+        .iter()
+        .map(|c| cods_storage::SegmentAssembler::new(c.nominal_segment_rows()))
+        .collect();
+    for (ci, chunk) in chunks {
+        assemblers[ci].push_chunk(chunk);
+    }
+    columns
+        .iter()
+        .zip(assemblers)
+        .map(|(col, asm)| {
+            Arc::new(Column::from_segments_compacting(
+                col.ty(),
+                col.dict().clone(),
+                asm.finish(),
+                col.nominal_segment_rows(),
+            ))
+        })
+        .collect()
+}
+
+/// Mask-driven variant of [`filter_columns_by_positions`]: splits the
+/// selection mask along each column's segment boundaries (compressed-form,
+/// one pass) and fans out one task per (column × segment). Never
+/// materializes a whole-column position list, so PARTITION's memory stays
+/// O(segment) regardless of table size.
+pub(crate) fn filter_columns_by_mask(
+    columns: &[&Column],
+    mask: &cods_bitmap::Wah,
+) -> Vec<Arc<Column>> {
+    let mut tasks = Vec::new();
+    for (ci, col) in columns.iter().enumerate() {
+        for (seg_idx, mask_seg) in col.split_mask(mask).into_iter().enumerate() {
+            tasks.push((ci, seg_idx, mask_seg));
+        }
+    }
+    let chunks = crate::par::map_parallel(tasks, |(ci, seg_idx, mask_seg)| {
+        (
+            ci,
+            columns[ci].filter_segment_mask_chunk(seg_idx, &mask_seg),
+        )
+    });
+    let mut assemblers: Vec<cods_storage::SegmentAssembler> = columns
+        .iter()
+        .map(|c| cods_storage::SegmentAssembler::new(c.nominal_segment_rows()))
+        .collect();
+    for (ci, chunk) in chunks {
+        assemblers[ci].push_chunk(chunk);
+    }
+    columns
+        .iter()
+        .zip(assemblers)
+        .map(|(col, asm)| {
+            Arc::new(Column::from_segments_compacting(
+                col.ty(),
+                col.dict().clone(),
+                asm.finish(),
+                col.nominal_segment_rows(),
+            ))
+        })
+        .collect()
+}
+
 /// Executes a data-level decomposition of `input`.
 ///
 /// Schema keys of the outputs: the changed table is keyed by the common
@@ -180,7 +265,10 @@ pub fn decompose(input: &Table, spec: &DecomposeSpec) -> Result<DecomposeOutcome
         tracker.step("verify functional dependency");
     }
 
-    // Step 2 — bitmap filtering of every changed-side column.
+    // Step 2 — bitmap filtering of every changed-side column, fanned out as
+    // one task per (column × input segment). Each task shrinks one
+    // segment's bitmaps to the positions falling in its row range; the
+    // chunks are then spliced back into segment directories per column.
     let changed_names: Vec<&str> = spec.changed_cols.iter().map(String::as_str).collect();
     let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
     let changed_schema = input.schema().project(&changed_names, &common_refs)?;
@@ -188,12 +276,12 @@ pub fn decompose(input: &Table, spec: &DecomposeSpec) -> Result<DecomposeOutcome
         .iter()
         .map(|n| Ok(input.column_by_name(n)?.as_ref()))
         .collect::<Result<_>>()?;
-    let changed_columns: Vec<Arc<Column>> =
-        crate::par::map_maybe_parallel(to_filter, |col| {
-            Arc::new(col.filter_positions(&positions))
-        });
+    let changed_columns = filter_columns_by_positions(&to_filter, &positions);
     let changed = Table::new(&spec.changed_name, changed_schema, changed_columns)?;
-    tracker.step_items("bitmap filtering", (changed.arity() as u64) * positions.len() as u64);
+    tracker.step_items(
+        "bitmap filtering",
+        (changed.arity() as u64) * positions.len() as u64,
+    );
 
     Ok(DecomposeOutcome {
         unchanged,
@@ -234,12 +322,7 @@ mod tests {
     }
 
     fn figure1_spec() -> DecomposeSpec {
-        DecomposeSpec::new(
-            "S",
-            &["employee", "skill"],
-            "T",
-            &["employee", "address"],
-        )
+        DecomposeSpec::new("S", &["employee", "skill"], "T", &["employee", "address"])
     }
 
     #[test]
@@ -351,11 +434,7 @@ mod tests {
 
     #[test]
     fn decompose_empty_table() {
-        let schema = Schema::build(
-            &[("a", ValueType::Int), ("b", ValueType::Int)],
-            &[],
-        )
-        .unwrap();
+        let schema = Schema::build(&[("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap();
         let r = Table::from_rows("R", schema, &[]).unwrap();
         let spec = DecomposeSpec::new("S", &["a"], "T", &["a", "b"]);
         let out = decompose(&r, &spec).unwrap();

@@ -21,7 +21,7 @@
 use crate::error::{EvolutionError, Result};
 use crate::status::{EvolutionStatus, StatusTracker};
 use cods_bitmap::ValueStreamBuilder;
-use cods_storage::{Column, ColumnDef, Schema, Table};
+use cods_storage::{Column, ColumnDef, Schema, SegmentAssembler, SegmentChunk, Table};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -73,10 +73,7 @@ fn id_mapping(from: &Column, to: &Column) -> Vec<Option<u32>> {
 }
 
 fn join_indices(schema: &Schema, join_cols: &[String]) -> Result<Vec<usize>> {
-    join_cols
-        .iter()
-        .map(|n| Ok(schema.index_of(n)?))
-        .collect()
+    join_cols.iter().map(|n| Ok(schema.index_of(n)?)).collect()
 }
 
 fn validate_join(left: &Table, right: &Table, join_cols: &[String]) -> Result<()> {
@@ -158,7 +155,10 @@ pub fn merge_key_fk(
     tracker.step("map join dictionaries");
 
     // keyed-side: key combination → its unique row.
-    let k_ids: Vec<Vec<u32>> = k_join.iter().map(|&c| keyed.column(c).value_ids()).collect();
+    let k_ids: Vec<Vec<u32>> = k_join
+        .iter()
+        .map(|&c| keyed.column(c).value_ids())
+        .collect();
     let keyed_rows = keyed.rows() as usize;
     let mut row_of_key: HashMap<Vec<u32>, u64> = HashMap::with_capacity(keyed_rows);
     for row in 0..keyed_rows {
@@ -199,25 +199,37 @@ pub fn merge_key_fk(
     tracker.step_items("sequential scan", n as u64);
 
     // Build the payload columns (keyed-side non-join attributes) directly as
-    // compressed bitmaps over the reusable side's row space.
+    // compressed bitmaps over the reusable side's row space. Columns are
+    // processed one at a time so only one dense id array is alive at once
+    // (peak memory O(rows), not O(rows × payload columns)); within a
+    // column, one task per output segment gathers that segment's rows in
+    // parallel, spliced back in order.
     let payload_cols: Vec<usize> = (0..keyed.arity()).filter(|i| !k_join.contains(i)).collect();
-    let payload_refs: Vec<&Column> = payload_cols.iter().map(|&pc| keyed.column(pc).as_ref()).collect();
-    let built: Vec<crate::error::Result<Arc<Column>>> =
-        crate::par::map_maybe_parallel(payload_refs, |col| {
-            let ids = col.value_ids();
-            let mut builder = ValueStreamBuilder::new(col.distinct_count());
-            for &t_row in &target_row {
-                builder.push_row(ids[t_row as usize] as usize);
-            }
-            let bitmaps = builder.finish();
-            Ok(Arc::new(Column::from_dict_bitmaps_compacting(
-                col.ty(),
-                col.dict().clone(),
-                bitmaps,
-                n as u64,
-            )?))
+    let mut new_columns: Vec<Arc<Column>> = Vec::with_capacity(payload_cols.len());
+    for &pc in &payload_cols {
+        let col = keyed.column(pc).as_ref();
+        let ids = col.value_ids();
+        let step = col.nominal_segment_rows().max(1) as usize;
+        let starts: Vec<usize> = (0..n).step_by(step).collect();
+        let chunks = crate::par::map_parallel(starts, |start| {
+            let end = (start + step).min(n);
+            SegmentChunk::from_ids(
+                target_row[start..end].iter().map(|&t| ids[t as usize]),
+                (end - start) as u64,
+                col.distinct_count(),
+            )
         });
-    let new_columns: Vec<Arc<Column>> = built.into_iter().collect::<crate::error::Result<_>>()?;
+        let mut asm = SegmentAssembler::new(col.nominal_segment_rows());
+        for chunk in chunks {
+            asm.push_chunk(chunk);
+        }
+        new_columns.push(Arc::new(Column::from_segments_compacting(
+            col.ty(),
+            col.dict().clone(),
+            asm.finish(),
+            col.nominal_segment_rows(),
+        )));
+    }
     tracker.step_items("build payload bitmaps", payload_cols.len() as u64);
 
     // Output: reusable columns shared by reference + new payload columns.
@@ -331,89 +343,82 @@ pub fn merge_general(
         }
     }
 
-    // Join columns: each group's value vector is one fill run.
-    let mut out_columns: Vec<Arc<Column>> = Vec::with_capacity(
-        left.arity() + right.arity() - join_cols.len(),
-    );
-    let mut join_col_outputs: HashMap<usize, Arc<Column>> = HashMap::new();
-    for (pos_in_join, &lc) in l_join.iter().enumerate() {
-        let col = left.column(lc);
-        let mut builder = ValueStreamBuilder::new(col.distinct_count());
-        for &g in &active {
-            let size = n1[g] * n2[g];
-            // All rows of the group carry the same join value.
-            debug_assert_eq!(builder.rows(), offsets[g]);
-            builder.push_rows(combos[g][pos_in_join] as usize, size);
-        }
-        let bitmaps = builder.finish_with_len(total);
-        join_col_outputs.insert(
-            lc,
-            Arc::new(
-                Column::from_dict_bitmaps_compacting(
-                    col.ty(),
-                    col.dict().clone(),
-                    bitmaps,
-                    total,
-                )
-                .map_err(EvolutionError::Storage)?,
-            ),
-        );
+    // ---- Pass 2: emit every output column as one parallel task ----
+    // Join columns are pure fill runs; left payloads place values
+    // consecutively (runs of n2); right payloads place values at stride n2
+    // within each group, emitted in ascending row order so each value's
+    // bitmap builder only ever appends. Each task owns exactly one output
+    // column, so the fan-out runs on the shared pool without coordination.
+    #[derive(Clone, Copy)]
+    enum OutCol {
+        Join { pos_in_join: usize, lc: usize },
+        LeftPayload { lc: usize },
+        RightPayload { rc: usize },
     }
-    tracker.step("pass 2: emit join columns as fill runs");
-
-    // Left payload columns: values placed consecutively (runs of n2).
+    let mut plan: Vec<OutCol> = Vec::with_capacity(left.arity() + right.arity() - join_cols.len());
     for lc in 0..left.arity() {
-        if let Some(col) = join_col_outputs.remove(&lc) {
-            out_columns.push(col);
-            continue;
+        match l_join.iter().position(|&j| j == lc) {
+            Some(pos_in_join) => plan.push(OutCol::Join { pos_in_join, lc }),
+            None => plan.push(OutCol::LeftPayload { lc }),
         }
-        let col = left.column(lc);
-        let ids = col.value_ids();
-        let mut builder = ValueStreamBuilder::new(col.distinct_count());
-        for &g in &active {
-            let n2g = n2[g];
-            for &srow in &s_rows[g] {
-                builder.push_rows(ids[srow as usize] as usize, n2g);
-            }
-        }
-        let bitmaps = builder.finish_with_len(total);
-        out_columns.push(Arc::new(
-            Column::from_dict_bitmaps_compacting(col.ty(), col.dict().clone(), bitmaps, total)
-                .map_err(EvolutionError::Storage)?,
-        ));
     }
-    tracker.step("pass 2: left payload (consecutive placement)");
-
-    // Right payload columns: values placed at stride n2 within each group —
-    // emitted in ascending row order so each value's bitmap builder only
-    // ever appends.
     for rc in 0..right.arity() {
-        if r_join.contains(&rc) {
-            continue;
+        if !r_join.contains(&rc) {
+            plan.push(OutCol::RightPayload { rc });
         }
-        let col = right.column(rc);
-        let ids = col.value_ids();
-        let mut builder = ValueStreamBuilder::new(col.distinct_count());
-        for &g in &active {
-            let base = offsets[g];
-            let n2g = n2[g];
-            let group_ids: Vec<u32> =
-                t_rows[g].iter().map(|&r| ids[r as usize]).collect();
-            for i in 0..n1[g] {
-                let row0 = base + i * n2g;
-                for (j, &vid) in group_ids.iter().enumerate() {
-                    debug_assert_eq!(builder.rows(), row0 + j as u64);
-                    builder.push_row(vid as usize);
+    }
+    let built: Vec<crate::error::Result<Arc<Column>>> = crate::par::map_parallel(plan, |task| {
+        let bitmaps_and_col = match task {
+            OutCol::Join { pos_in_join, lc } => {
+                let col = left.column(lc);
+                let mut builder = ValueStreamBuilder::new(col.distinct_count());
+                for &g in &active {
+                    let size = n1[g] * n2[g];
+                    // All rows of the group carry the same join value.
+                    debug_assert_eq!(builder.rows(), offsets[g]);
+                    builder.push_rows(combos[g][pos_in_join] as usize, size);
                 }
+                (builder.finish_with_len(total), col)
             }
-        }
-        let bitmaps = builder.finish_with_len(total);
-        out_columns.push(Arc::new(
+            OutCol::LeftPayload { lc } => {
+                let col = left.column(lc);
+                let ids = col.value_ids();
+                let mut builder = ValueStreamBuilder::new(col.distinct_count());
+                for &g in &active {
+                    let n2g = n2[g];
+                    for &srow in &s_rows[g] {
+                        builder.push_rows(ids[srow as usize] as usize, n2g);
+                    }
+                }
+                (builder.finish_with_len(total), col)
+            }
+            OutCol::RightPayload { rc } => {
+                let col = right.column(rc);
+                let ids = col.value_ids();
+                let mut builder = ValueStreamBuilder::new(col.distinct_count());
+                for &g in &active {
+                    let base = offsets[g];
+                    let n2g = n2[g];
+                    let group_ids: Vec<u32> = t_rows[g].iter().map(|&r| ids[r as usize]).collect();
+                    for i in 0..n1[g] {
+                        let row0 = base + i * n2g;
+                        for (j, &vid) in group_ids.iter().enumerate() {
+                            debug_assert_eq!(builder.rows(), row0 + j as u64);
+                            builder.push_row(vid as usize);
+                        }
+                    }
+                }
+                (builder.finish_with_len(total), col)
+            }
+        };
+        let (bitmaps, col) = bitmaps_and_col;
+        Ok(Arc::new(
             Column::from_dict_bitmaps_compacting(col.ty(), col.dict().clone(), bitmaps, total)
                 .map_err(EvolutionError::Storage)?,
-        ));
-    }
-    tracker.step("pass 2: right payload (strided placement)");
+        ))
+    });
+    let out_columns: Vec<Arc<Column>> = built.into_iter().collect::<crate::error::Result<_>>()?;
+    tracker.step("pass 2: emit output columns (parallel per column)");
 
     let schema = merged_schema(left.schema(), right.schema(), join_cols)?;
     let output = Table::new(output_name, schema, out_columns).map_err(EvolutionError::Storage)?;
@@ -563,7 +568,10 @@ mod tests {
         assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
         out.output.check_invariants().unwrap();
         assert_eq!(out.output.rows(), 7);
-        assert_eq!(out.output.schema().names(), vec!["employee", "skill", "address"]);
+        assert_eq!(
+            out.output.schema().names(),
+            vec!["employee", "skill", "address"]
+        );
         // Row order is preserved from S, so exact row equality holds.
         assert_eq!(out.output.to_rows(), expected_r());
     }
@@ -660,12 +668,7 @@ mod tests {
         }
         assert_eq!(multiset(out.output.to_rows()), multiset(naive));
         // Output is clustered by join value: k column is sorted by group.
-        let k_col: Vec<Value> = out
-            .output
-            .to_rows()
-            .iter()
-            .map(|r| r[0].clone())
-            .collect();
+        let k_col: Vec<Value> = out.output.to_rows().iter().map(|r| r[0].clone()).collect();
         let mut seen = Vec::new();
         for v in k_col {
             if seen.last() != Some(&v) {
@@ -717,11 +720,21 @@ mod tests {
         assert_eq!(out.output.rows(), 2);
         let m = multiset(out.output.to_rows());
         assert_eq!(
-            m[&vec![Value::int(1), Value::str("p"), Value::int(10), Value::int(100)]],
+            m[&vec![
+                Value::int(1),
+                Value::str("p"),
+                Value::int(10),
+                Value::int(100)
+            ]],
             1
         );
         assert_eq!(
-            m[&vec![Value::int(1), Value::str("p"), Value::int(30), Value::int(100)]],
+            m[&vec![
+                Value::int(1),
+                Value::str("p"),
+                Value::int(30),
+                Value::int(100)
+            ]],
             1
         );
     }

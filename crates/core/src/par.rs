@@ -1,41 +1,37 @@
-//! Optional intra-operator parallelism (feature `parallel`).
+//! Intra-operator parallelism on a process-wide worker pool.
 //!
-//! Bitmap filtering and payload-bitmap construction are embarrassingly
-//! parallel across columns: each column's work touches only its own
-//! dictionary and bitmaps. With the `parallel` feature enabled these
-//! per-column maps run on scoped crossbeam threads; without it they run
-//! sequentially and the dependency is unused.
+//! The evolution operators decompose their work into independent tasks —
+//! one per (column × segment) for bitmap filtering and payload
+//! construction — and fan them out here. Tasks run on `rayon`'s persistent
+//! pool (one OS thread per hardware thread, started once per process), so
+//! the fan-out grain can be thousands of tasks without spawning thousands
+//! of threads. With one item (or one hardware thread) the map degenerates
+//! to the serial loop.
 
-/// Maps `f` over `items`, in parallel when the `parallel` feature is on and
-/// there is more than one item.
-pub(crate) fn map_maybe_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Maps `f` over `items` in parallel, preserving order.
+pub(crate) fn map_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    #[cfg(feature = "parallel")]
-    {
-        if items.len() > 1 {
-            let f = &f;
-            return crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = items
-                    .into_iter()
-                    .map(|item| scope.spawn(move |_| f(item)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("column worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope failed");
+    if items.len() <= 1 || rayon::current_num_threads() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    rayon::scope(|scope| {
+        let f = &f;
+        for (slot, item) in out.iter_mut().zip(items) {
+            scope.spawn(move |_| {
+                *slot = Some(f(item));
+            });
         }
-        items.into_iter().map(f).collect()
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        items.into_iter().map(f).collect()
-    }
+    });
+    out.into_iter()
+        .map(|r| r.expect("pool task did not complete"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -44,14 +40,24 @@ mod tests {
 
     #[test]
     fn maps_in_order() {
-        let out = map_maybe_parallel(vec![1, 2, 3, 4], |x| x * 10);
+        let out = map_parallel(vec![1, 2, 3, 4], |x| x * 10);
         assert_eq!(out, vec![10, 20, 30, 40]);
     }
 
     #[test]
     fn empty_and_single() {
-        let out: Vec<i32> = map_maybe_parallel(Vec::<i32>::new(), |x| x);
+        let out: Vec<i32> = map_parallel(Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
-        assert_eq!(map_maybe_parallel(vec![7], |x| x + 1), vec![8]);
+        assert_eq!(map_parallel(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn many_tasks_preserve_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = map_parallel(items, |x| x * 2);
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
     }
 }

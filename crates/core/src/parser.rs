@@ -65,7 +65,9 @@ fn parse_type(s: &str) -> Result<ValueType> {
 fn split_keyword<'a>(s: &'a str, kw: &str) -> Option<(&'a str, &'a str)> {
     let lower = s.to_ascii_lowercase();
     let pat = format!(" {} ", kw.to_ascii_lowercase());
-    lower.find(&pat).map(|i| (s[..i].trim(), s[i + pat.len()..].trim()))
+    lower
+        .find(&pat)
+        .map(|i| (s[..i].trim(), s[i + pat.len()..].trim()))
 }
 
 fn parse_name_cols(part: &str) -> Result<(String, Vec<String>)> {
@@ -102,10 +104,7 @@ fn parse_predicate(s: &str) -> Result<Predicate> {
         return Ok(parse_predicate(&s[..i])?.and(parse_predicate(&s[i + 5..])?));
     }
     let t = s.trim();
-    if let Some(rest) = t
-        .strip_prefix("NOT ")
-        .or_else(|| t.strip_prefix("not "))
-    {
+    if let Some(rest) = t.strip_prefix("NOT ").or_else(|| t.strip_prefix("not ")) {
         return Ok(parse_predicate(rest)?.not());
     }
     for (sym, op) in [
@@ -153,10 +152,7 @@ pub fn parse_smo(stmt: &str) -> Result<Smo> {
         let mut defs = Vec::new();
         let mut keys: Vec<String> = Vec::new();
         for c in cols {
-            if let Some(k) = c
-                .strip_prefix("KEY ")
-                .or_else(|| c.strip_prefix("key "))
-            {
+            if let Some(k) = c.strip_prefix("KEY ").or_else(|| c.strip_prefix("key ")) {
                 keys.extend(k.split_whitespace().map(str::to_string));
                 continue;
             }
@@ -179,8 +175,7 @@ pub fn parse_smo(stmt: &str) -> Result<Smo> {
     }
     if lower.starts_with("rename table ") {
         let rest = s["rename table ".len()..].trim();
-        let (from, to) =
-            split_keyword(rest, "to").ok_or_else(|| err("RENAME TABLE needs `TO`"))?;
+        let (from, to) = split_keyword(rest, "to").ok_or_else(|| err("RENAME TABLE needs `TO`"))?;
         return Ok(Smo::RenameTable {
             from: from.to_string(),
             to: to.to_string(),
@@ -188,8 +183,7 @@ pub fn parse_smo(stmt: &str) -> Result<Smo> {
     }
     if lower.starts_with("copy table ") {
         let rest = s["copy table ".len()..].trim();
-        let (from, to) =
-            split_keyword(rest, "to").ok_or_else(|| err("COPY TABLE needs `TO`"))?;
+        let (from, to) = split_keyword(rest, "to").ok_or_else(|| err("COPY TABLE needs `TO`"))?;
         return Ok(Smo::CopyTable {
             from: from.to_string(),
             to: to.to_string(),
@@ -276,9 +270,7 @@ pub fn parse_smo(stmt: &str) -> Result<Smo> {
             .ok_or_else(|| err("ADD COLUMN needs `name type`"))?;
         let ty = parse_type(ty.trim())?;
         let fill = match default {
-            Some(d) => ColumnFill::Default(
-                Value::parse(d.trim_matches('\''), ty).map_err(err)?,
-            ),
+            Some(d) => ColumnFill::Default(Value::parse(d.trim_matches('\''), ty).map_err(err)?),
             None => ColumnFill::Default(Value::Null),
         };
         return Ok(Smo::AddColumn {
@@ -349,10 +341,8 @@ mod tests {
 
     #[test]
     fn parses_decompose_display_round_trip() {
-        let smo = parse_smo(
-            "DECOMPOSE TABLE R INTO S (employee, skill), T (employee, address)",
-        )
-        .unwrap();
+        let smo =
+            parse_smo("DECOMPOSE TABLE R INTO S (employee, skill), T (employee, address)").unwrap();
         // The Display form of the parsed SMO re-parses to the same operator.
         let rendered = smo.to_string();
         let reparsed = parse_smo(&rendered).unwrap();
@@ -390,7 +380,11 @@ mod tests {
     fn parses_column_smos() {
         let smo = parse_smo("ADD COLUMN dept str DEFAULT eng TO emp").unwrap();
         match smo {
-            Smo::AddColumn { table, column, fill } => {
+            Smo::AddColumn {
+                table,
+                column,
+                fill,
+            } => {
                 assert_eq!(table, "emp");
                 assert_eq!(column.name, "dept");
                 assert!(matches!(fill, ColumnFill::Default(Value::Str(_))));
@@ -409,7 +403,10 @@ mod tests {
 
     #[test]
     fn parses_table_plumbing() {
-        assert!(matches!(parse_smo("DROP TABLE t").unwrap(), Smo::DropTable { .. }));
+        assert!(matches!(
+            parse_smo("DROP TABLE t").unwrap(),
+            Smo::DropTable { .. }
+        ));
         assert!(matches!(
             parse_smo("rename table a to b").unwrap(),
             Smo::RenameTable { .. }
@@ -423,11 +420,29 @@ mod tests {
     #[test]
     fn predicate_literal_inference() {
         let p = parse_predicate("k = 5").unwrap();
-        assert!(matches!(p, Predicate::Compare { literal: Value::Int(5), .. }));
+        assert!(matches!(
+            p,
+            Predicate::Compare {
+                literal: Value::Int(5),
+                ..
+            }
+        ));
         let p = parse_predicate("k = 2.5").unwrap();
-        assert!(matches!(p, Predicate::Compare { literal: Value::Float(_), .. }));
+        assert!(matches!(
+            p,
+            Predicate::Compare {
+                literal: Value::Float(_),
+                ..
+            }
+        ));
         let p = parse_predicate("k = 'hello'").unwrap();
-        assert!(matches!(p, Predicate::Compare { literal: Value::Str(_), .. }));
+        assert!(matches!(
+            p,
+            Predicate::Compare {
+                literal: Value::Str(_),
+                ..
+            }
+        ));
         let p = parse_predicate("NOT k = true").unwrap();
         assert!(matches!(p, Predicate::Not(_)));
     }

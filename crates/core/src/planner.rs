@@ -180,7 +180,12 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..300)
             .map(|i| {
                 let e = i % 20;
-                vec![Value::int(e), Value::int(i), Value::int(e * 2), Value::int(e * 3)]
+                vec![
+                    Value::int(e),
+                    Value::int(i),
+                    Value::int(e * 2),
+                    Value::int(e * 3),
+                ]
             })
             .collect();
         Table::from_rows("R", schema, &rows).unwrap()
@@ -282,7 +287,11 @@ mod tests {
         // But a genuinely FD-less target set must fail: split (e, a) away
         // from (e, d) with a NOT depending on e and d required too.
         let schema = Schema::build(
-            &[("e", ValueType::Int), ("a", ValueType::Int), ("b", ValueType::Int)],
+            &[
+                ("e", ValueType::Int),
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+            ],
             &[],
         )
         .unwrap();

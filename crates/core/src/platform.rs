@@ -76,7 +76,9 @@ impl Cods {
     }
 
     fn record(&self, operator: String, status: EvolutionStatus) {
-        self.history.lock().push(ExecutionRecord { operator, status });
+        self.history
+            .lock()
+            .push(ExecutionRecord { operator, status });
     }
 
     /// Fetches a table snapshot.
@@ -94,7 +96,10 @@ impl Cods {
     }
 
     /// Executes a sequence of operators, stopping at the first failure.
-    pub fn execute_all<I: IntoIterator<Item = Smo>>(&self, smos: I) -> Result<Vec<EvolutionStatus>> {
+    pub fn execute_all<I: IntoIterator<Item = Smo>>(
+        &self,
+        smos: I,
+    ) -> Result<Vec<EvolutionStatus>> {
         smos.into_iter().map(|s| self.execute(s)).collect()
     }
 
@@ -255,12 +260,7 @@ mod tests {
     fn figure1_decompose() -> Smo {
         Smo::DecomposeTable {
             input: "R".into(),
-            spec: DecomposeSpec::new(
-                "S",
-                &["employee", "skill"],
-                "T",
-                &["employee", "address"],
-            ),
+            spec: DecomposeSpec::new("S", &["employee", "skill"], "T", &["employee", "address"]),
         }
     }
 

@@ -153,16 +153,8 @@ mod tests {
 
     #[test]
     fn common_columns_found() {
-        let a = Schema::build(
-            &[("x", ValueType::Int), ("y", ValueType::Int)],
-            &[],
-        )
-        .unwrap();
-        let b = Schema::build(
-            &[("y", ValueType::Int), ("z", ValueType::Int)],
-            &[],
-        )
-        .unwrap();
+        let a = Schema::build(&[("x", ValueType::Int), ("y", ValueType::Int)], &[]).unwrap();
+        let b = Schema::build(&[("y", ValueType::Int), ("z", ValueType::Int)], &[]).unwrap();
         assert_eq!(common_columns(&a, &b), vec!["y"]);
     }
 
@@ -223,18 +215,8 @@ mod tests {
     fn changed_side_detection() {
         let r = figure1();
         let common = vec!["employee".to_string()];
-        assert!(can_be_changed_side(
-            &r,
-            &["employee".into(), "address".into()],
-            &common
-        )
-        .unwrap());
-        assert!(!can_be_changed_side(
-            &r,
-            &["employee".into(), "skill".into()],
-            &common
-        )
-        .unwrap());
+        assert!(can_be_changed_side(&r, &["employee".into(), "address".into()], &common).unwrap());
+        assert!(!can_be_changed_side(&r, &["employee".into(), "skill".into()], &common).unwrap());
         // Candidate equal to common is trivially fine.
         assert!(can_be_changed_side(&r, &common, &common).unwrap());
     }

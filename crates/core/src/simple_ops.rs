@@ -36,7 +36,11 @@ pub fn create_table(name: &str, schema: Schema) -> Result<Table> {
 
 /// UNION TABLES: concatenates two union-compatible tables. Unchanged value
 /// bitmaps are extended with zero fills; only dictionaries are merged.
-pub fn union_tables(left: &Table, right: &Table, output_name: &str) -> Result<(Table, EvolutionStatus)> {
+pub fn union_tables(
+    left: &Table,
+    right: &Table,
+    output_name: &str,
+) -> Result<(Table, EvolutionStatus)> {
     let mut tracker = StatusTracker::new();
     if !left.schema().union_compatible(right.schema()) {
         return Err(EvolutionError::InvalidOperator(format!(
@@ -79,20 +83,16 @@ pub fn partition_table(
     let not_mask = mask.not();
 
     let schema = Schema::new(input.schema().columns().to_vec()).map_err(EvolutionError::Storage)?;
-    let sat_cols: Vec<Arc<Column>> = input
-        .columns()
-        .iter()
-        .map(|c| Arc::new(c.filter_bitmap(&mask)))
-        .collect();
-    let rest_cols: Vec<Arc<Column>> = input
-        .columns()
-        .iter()
-        .map(|c| Arc::new(c.filter_bitmap(&not_mask)))
-        .collect();
+    // Fan the mask-driven filtering out per (column × segment) like
+    // DECOMPOSE does, staying on the compressed form — no whole-column
+    // position list is ever materialized.
+    let col_refs: Vec<&Column> = input.columns().iter().map(|c| c.as_ref()).collect();
+    let sat_cols = crate::decompose::filter_columns_by_mask(&col_refs, &mask);
+    let rest_cols = crate::decompose::filter_columns_by_mask(&col_refs, &not_mask);
     tracker.step("bitmap filtering into partitions");
 
-    let sat = Table::new(satisfying_name, schema.clone(), sat_cols)
-        .map_err(EvolutionError::Storage)?;
+    let sat =
+        Table::new(satisfying_name, schema.clone(), sat_cols).map_err(EvolutionError::Storage)?;
     let rest = Table::new(rest_name, schema, rest_cols).map_err(EvolutionError::Storage)?;
     Ok((sat, rest, tracker.finish()))
 }
@@ -217,11 +217,8 @@ mod tests {
     use cods_storage::ValueType;
 
     fn sample() -> Table {
-        let schema = Schema::build(
-            &[("id", ValueType::Int), ("grade", ValueType::Int)],
-            &[],
-        )
-        .unwrap();
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("grade", ValueType::Int)], &[]).unwrap();
         let rows: Vec<Vec<Value>> = (0..10)
             .map(|i| vec![Value::int(i), Value::int(i % 3)])
             .collect();
@@ -306,7 +303,7 @@ mod tests {
         assert_eq!(out.arity(), 3);
         assert_eq!(out.row(5)[2], Value::str("eng"));
         // A single fill word regardless of row count.
-        assert!(out.column(2).bitmap(0).words().len() <= 2);
+        assert!(out.column(2).value_bitmap(0).words().len() <= 2);
         // Other columns shared with the input.
         assert!(t.shares_column_with(&out, "id"));
     }

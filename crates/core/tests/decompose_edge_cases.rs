@@ -12,10 +12,20 @@ fn t(cols: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> Table {
 fn key_unique_per_row_changed_side_keeps_all_rows() {
     // Every key distinct: the "changed" table has as many rows as the input.
     let input = t(
-        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
-        (0..50).map(|i| vec![Value::int(i), Value::int(i % 7), Value::int(i * 2)]).collect(),
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("d", ValueType::Int),
+        ],
+        (0..50)
+            .map(|i| vec![Value::int(i), Value::int(i % 7), Value::int(i * 2)])
+            .collect(),
     );
-    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    let out = decompose(
+        &input,
+        &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]),
+    )
+    .unwrap();
     assert_eq!(out.changed.rows(), 50);
     assert_eq!(out.distinct_keys, 50);
     out.changed.verify_key().unwrap();
@@ -24,10 +34,20 @@ fn key_unique_per_row_changed_side_keeps_all_rows() {
 #[test]
 fn single_key_value_changed_side_has_one_row() {
     let input = t(
-        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
-        (0..50).map(|i| vec![Value::int(9), Value::int(i), Value::int(42)]).collect(),
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("d", ValueType::Int),
+        ],
+        (0..50)
+            .map(|i| vec![Value::int(9), Value::int(i), Value::int(42)])
+            .collect(),
     );
-    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    let out = decompose(
+        &input,
+        &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]),
+    )
+    .unwrap();
     assert_eq!(out.changed.rows(), 1);
     assert_eq!(out.changed.row(0), vec![Value::int(9), Value::int(42)]);
 }
@@ -35,14 +55,22 @@ fn single_key_value_changed_side_has_one_row() {
 #[test]
 fn null_keys_form_their_own_group() {
     let input = t(
-        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("d", ValueType::Int),
+        ],
         vec![
             vec![Value::Null, Value::int(1), Value::int(100)],
             vec![Value::int(5), Value::int(2), Value::int(200)],
             vec![Value::Null, Value::int(3), Value::int(100)],
         ],
     );
-    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    let out = decompose(
+        &input,
+        &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]),
+    )
+    .unwrap();
     assert_eq!(out.changed.rows(), 2); // NULL group + key 5
     let mut rows = out.changed.to_rows();
     rows.sort();
@@ -54,7 +82,9 @@ fn changed_side_may_be_just_the_key() {
     // T = (k) alone: a pure distinct-values table.
     let input = t(
         &[("k", ValueType::Int), ("a", ValueType::Int)],
-        (0..30).map(|i| vec![Value::int(i % 4), Value::int(i)]).collect(),
+        (0..30)
+            .map(|i| vec![Value::int(i % 4), Value::int(i)])
+            .collect(),
     );
     let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k"])).unwrap();
     assert_eq!(out.changed.rows(), 4);
@@ -66,8 +96,14 @@ fn overlapping_non_key_columns_are_rejected_only_if_absent() {
     // Both sides may carry extra shared columns — the shape check accepts
     // any overlap; the common columns are all shared ones.
     let input = t(
-        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
-        (0..20).map(|i| vec![Value::int(i % 3), Value::int(i), Value::int((i % 3) * 7)]).collect(),
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("d", ValueType::Int),
+        ],
+        (0..20)
+            .map(|i| vec![Value::int(i % 3), Value::int(i), Value::int((i % 3) * 7)])
+            .collect(),
     );
     // Share both k and d: common = {k, d}; FD (k, d) → nothing extra on the
     // changed side, trivially lossless.
@@ -82,14 +118,21 @@ fn overlapping_non_key_columns_are_rejected_only_if_absent() {
 #[test]
 fn fd_check_reports_offending_column() {
     let input = t(
-        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("d", ValueType::Int),
+        ],
         vec![
             vec![Value::int(1), Value::int(1), Value::int(10)],
             vec![Value::int(1), Value::int(2), Value::int(20)],
         ],
     );
-    let err = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]))
-        .unwrap_err();
+    let err = decompose(
+        &input,
+        &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]),
+    )
+    .unwrap_err();
     match err {
         EvolutionError::FdViolation(msg) => assert!(msg.contains("\"d\""), "{msg}"),
         other => panic!("wrong error: {other}"),
@@ -99,10 +142,20 @@ fn fd_check_reports_offending_column() {
 #[test]
 fn status_counts_match_outputs() {
     let input = t(
-        &[("k", ValueType::Int), ("a", ValueType::Int), ("d", ValueType::Int)],
-        (0..100).map(|i| vec![Value::int(i % 10), Value::int(i), Value::int(i % 10)]).collect(),
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("d", ValueType::Int),
+        ],
+        (0..100)
+            .map(|i| vec![Value::int(i % 10), Value::int(i), Value::int(i % 10)])
+            .collect(),
     );
-    let out = decompose(&input, &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"])).unwrap();
+    let out = decompose(
+        &input,
+        &DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]),
+    )
+    .unwrap();
     assert_eq!(out.status.step("distinction").unwrap().items, Some(10));
     assert_eq!(
         out.status.step("reuse unchanged columns").unwrap().items,
@@ -115,11 +168,9 @@ fn status_counts_match_outputs() {
 #[test]
 fn wide_table_decomposition() {
     // Ten columns, split 6/5 with one shared key column.
-    let cols: Vec<(String, ValueType)> = (0..10)
-        .map(|i| (format!("c{i}"), ValueType::Int))
-        .collect();
-    let col_refs: Vec<(&str, ValueType)> =
-        cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let cols: Vec<(String, ValueType)> =
+        (0..10).map(|i| (format!("c{i}"), ValueType::Int)).collect();
+    let col_refs: Vec<(&str, ValueType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let rows: Vec<Vec<Value>> = (0..200)
         .map(|r| {
             (0..10)

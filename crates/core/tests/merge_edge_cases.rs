@@ -30,11 +30,22 @@ fn naive_join(a: &Table, b: &Table) -> HashMap<Vec<Value>, u64> {
 
 #[test]
 fn single_row_tables() {
-    let a = t("A", &[("k", ValueType::Int), ("x", ValueType::Int)], vec![vec![Value::int(1), Value::int(2)]]);
-    let b = t("B", &[("k", ValueType::Int), ("y", ValueType::Int)], vec![vec![Value::int(1), Value::int(3)]]);
+    let a = t(
+        "A",
+        &[("k", ValueType::Int), ("x", ValueType::Int)],
+        vec![vec![Value::int(1), Value::int(2)]],
+    );
+    let b = t(
+        "B",
+        &[("k", ValueType::Int), ("y", ValueType::Int)],
+        vec![vec![Value::int(1), Value::int(3)]],
+    );
     let out = merge(&a, &b, "AB", &MergeStrategy::Auto).unwrap();
     assert_eq!(out.output.rows(), 1);
-    assert_eq!(out.output.row(0), vec![Value::int(1), Value::int(2), Value::int(3)]);
+    assert_eq!(
+        out.output.row(0),
+        vec![Value::int(1), Value::int(2), Value::int(3)]
+    );
 }
 
 #[test]
@@ -42,12 +53,16 @@ fn all_rows_same_key_cross_product() {
     let a = t(
         "A",
         &[("k", ValueType::Int), ("x", ValueType::Int)],
-        (0..40).map(|i| vec![Value::int(7), Value::int(i)]).collect(),
+        (0..40)
+            .map(|i| vec![Value::int(7), Value::int(i)])
+            .collect(),
     );
     let b = t(
         "B",
         &[("k", ValueType::Int), ("y", ValueType::Int)],
-        (0..25).map(|i| vec![Value::int(7), Value::int(100 + i)]).collect(),
+        (0..25)
+            .map(|i| vec![Value::int(7), Value::int(100 + i)])
+            .collect(),
     );
     let out = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
     assert_eq!(out.output.rows(), 40 * 25);
@@ -88,7 +103,10 @@ fn null_join_values_match_each_other() {
     let a = t(
         "A",
         &[("k", ValueType::Int), ("x", ValueType::Int)],
-        vec![vec![Value::Null, Value::int(1)], vec![Value::int(5), Value::int(2)]],
+        vec![
+            vec![Value::Null, Value::int(1)],
+            vec![Value::int(5), Value::int(2)],
+        ],
     );
     let b = t(
         "B",
@@ -97,7 +115,10 @@ fn null_join_values_match_each_other() {
     );
     let out = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
     assert_eq!(out.output.rows(), 1);
-    assert_eq!(out.output.row(0), vec![Value::Null, Value::int(1), Value::int(7)]);
+    assert_eq!(
+        out.output.row(0),
+        vec![Value::Null, Value::int(1), Value::int(7)]
+    );
 }
 
 #[test]
@@ -107,7 +128,10 @@ fn key_fk_with_unreferenced_dimension_rows() {
     let s = t(
         "S",
         &[("k", ValueType::Int), ("x", ValueType::Int)],
-        vec![vec![Value::int(1), Value::int(10)], vec![Value::int(1), Value::int(11)]],
+        vec![
+            vec![Value::int(1), Value::int(10)],
+            vec![Value::int(1), Value::int(11)],
+        ],
     );
     let keyed = t(
         "T",
@@ -129,17 +153,22 @@ fn general_merge_output_is_clustered_by_join_value() {
     let a = t(
         "A",
         &[("k", ValueType::Int), ("x", ValueType::Int)],
-        (0..100).map(|i| vec![Value::int(i % 5), Value::int(i)]).collect(),
+        (0..100)
+            .map(|i| vec![Value::int(i % 5), Value::int(i)])
+            .collect(),
     );
     let b = t(
         "B",
         &[("k", ValueType::Int), ("y", ValueType::Int)],
-        (0..20).map(|i| vec![Value::int(i % 5), Value::int(i)]).collect(),
+        (0..20)
+            .map(|i| vec![Value::int(i % 5), Value::int(i)])
+            .collect(),
     );
     let out = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
     // Clustered: the k column's bitmaps are single fill runs.
     let k_col = out.output.column_by_name("k").unwrap();
-    for bm in k_col.bitmaps() {
+    for id in 0..k_col.distinct_count() as u32 {
+        let bm = k_col.value_bitmap(id);
         assert_eq!(
             bm.iter_intervals().count(),
             1,
@@ -159,7 +188,14 @@ fn three_way_composite_join_columns() {
             ("x", ValueType::Int),
         ],
         (0..60)
-            .map(|i| vec![Value::int(i % 2), Value::int(i % 3), Value::int(i % 5), Value::int(i)])
+            .map(|i| {
+                vec![
+                    Value::int(i % 2),
+                    Value::int(i % 3),
+                    Value::int(i % 5),
+                    Value::int(i),
+                ]
+            })
             .collect(),
     );
     let b = t(
@@ -171,7 +207,14 @@ fn three_way_composite_join_columns() {
             ("y", ValueType::Int),
         ],
         (0..30)
-            .map(|i| vec![Value::int(i % 2), Value::int(i % 3), Value::int(i % 5), Value::int(i)])
+            .map(|i| {
+                vec![
+                    Value::int(i % 2),
+                    Value::int(i % 3),
+                    Value::int(i % 5),
+                    Value::int(i),
+                ]
+            })
             .collect(),
     );
     let out = merge_general(&a, &b, "AB", &["k1".into(), "k2".into(), "k3".into()]).unwrap();
@@ -195,12 +238,18 @@ fn auto_on_both_sides_unique_prefers_right_keyed() {
     let a = t(
         "A",
         &[("k", ValueType::Int), ("x", ValueType::Int)],
-        vec![vec![Value::int(1), Value::int(10)], vec![Value::int(2), Value::int(20)]],
+        vec![
+            vec![Value::int(1), Value::int(10)],
+            vec![Value::int(2), Value::int(20)],
+        ],
     );
     let b = t(
         "B",
         &[("k", ValueType::Int), ("y", ValueType::Int)],
-        vec![vec![Value::int(1), Value::int(30)], vec![Value::int(2), Value::int(40)]],
+        vec![
+            vec![Value::int(1), Value::int(30)],
+            vec![Value::int(2), Value::int(40)],
+        ],
     );
     let out = merge(&a, &b, "AB", &MergeStrategy::Auto).unwrap();
     assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);

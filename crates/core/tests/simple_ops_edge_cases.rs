@@ -13,15 +13,16 @@ fn t(rows: Vec<Vec<Value>>) -> Table {
 
 #[test]
 fn partition_all_or_nothing() {
-    let input = t((0..40).map(|i| vec![Value::int(i), Value::int(i)]).collect());
+    let input = t((0..40)
+        .map(|i| vec![Value::int(i), Value::int(i)])
+        .collect());
     // Everything satisfies.
     let (sat, rest, _) = partition_table(&input, &Predicate::True, "a", "b").unwrap();
     assert_eq!(sat.rows(), 40);
     assert_eq!(rest.rows(), 0);
     rest.check_invariants().unwrap();
     // Nothing satisfies.
-    let (sat, rest, _) =
-        partition_table(&input, &Predicate::True.not(), "a", "b").unwrap();
+    let (sat, rest, _) = partition_table(&input, &Predicate::True.not(), "a", "b").unwrap();
     assert_eq!(sat.rows(), 0);
     assert_eq!(rest.rows(), 40);
 }
@@ -29,15 +30,16 @@ fn partition_all_or_nothing() {
 #[test]
 fn partition_of_empty_table() {
     let input = t(vec![]);
-    let (sat, rest, _) =
-        partition_table(&input, &Predicate::eq("k", 1i64), "a", "b").unwrap();
+    let (sat, rest, _) = partition_table(&input, &Predicate::eq("k", 1i64), "a", "b").unwrap();
     assert_eq!(sat.rows(), 0);
     assert_eq!(rest.rows(), 0);
 }
 
 #[test]
 fn union_with_empty_side() {
-    let a = t((0..10).map(|i| vec![Value::int(i), Value::int(i)]).collect());
+    let a = t((0..10)
+        .map(|i| vec![Value::int(i), Value::int(i)])
+        .collect());
     let empty = t(vec![]);
     let (u1, _) = union_tables(&a, &empty, "u").unwrap();
     assert_eq!(u1.rows(), 10);
@@ -50,7 +52,9 @@ fn union_with_empty_side() {
 
 #[test]
 fn union_of_table_with_itself_doubles() {
-    let a = t((0..5).map(|i| vec![Value::int(i % 2), Value::int(i)]).collect());
+    let a = t((0..5)
+        .map(|i| vec![Value::int(i % 2), Value::int(i)])
+        .collect());
     let (u, _) = union_tables(&a, &a, "u").unwrap();
     assert_eq!(u.rows(), 10);
     for (row, count) in u.tuple_multiset() {
@@ -76,7 +80,9 @@ fn add_column_to_empty_table_then_grow() {
 fn column_ops_compose_with_decompose() {
     // Add a column, decompose keeping it on the changed side, verify the
     // default value survived through bitmap filtering.
-    let input = t((0..60).map(|i| vec![Value::int(i % 6), Value::int((i % 6) * 10)]).collect());
+    let input = t((0..60)
+        .map(|i| vec![Value::int(i % 6), Value::int((i % 6) * 10)])
+        .collect());
     let (wide, _) = add_column(
         &input,
         ColumnDef::new("src", ValueType::Str),

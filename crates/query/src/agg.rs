@@ -182,22 +182,29 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(
             out[0],
-            vec![Value::str("a"), Value::int(3), Value::int(5), Value::int(1), Value::int(2)]
+            vec![
+                Value::str("a"),
+                Value::int(3),
+                Value::int(5),
+                Value::int(1),
+                Value::int(2)
+            ]
         );
         assert_eq!(
             out[1],
-            vec![Value::str("b"), Value::int(2), Value::int(10), Value::int(10), Value::int(10)]
+            vec![
+                Value::str("b"),
+                Value::int(2),
+                Value::int(10),
+                Value::int(10),
+                Value::int(10)
+            ]
         );
     }
 
     #[test]
     fn count_distinct_ignores_nulls() {
-        let out = aggregate(
-            &rows(),
-            &[0],
-            &[(AggOp::CountDistinct, 1, ValueType::Int)],
-        )
-        .unwrap();
+        let out = aggregate(&rows(), &[0], &[(AggOp::CountDistinct, 1, ValueType::Int)]).unwrap();
         assert_eq!(out[0][1], Value::int(2)); // a: {1, 2}
         assert_eq!(out[1][1], Value::int(1)); // b: {10}, NULL dropped
     }

@@ -3,6 +3,12 @@
 //! producing a row-selection [`Wah`] mask. The plan executor uses this as
 //! the fast path for `Filter ∘ ScanColumn`, and PARTITION TABLE builds its
 //! split masks the same way.
+//!
+//! Segment pruning: the scan walks the column's segment directory, and a
+//! segment whose present-id stats contain none of the satisfying value ids
+//! contributes a zero fill in O(1) — its bitmap words are never touched.
+//! For a predicate selecting values concentrated in part of the table, the
+//! scan cost is proportional to the segments where they occur.
 
 use crate::pred::{CompiledPredicate, Predicate};
 use cods_bitmap::Wah;
@@ -10,10 +16,12 @@ use cods_storage::{StorageError, Table};
 
 /// Builds the selection mask of `pred` over `table` at data level.
 ///
-/// Comparisons are evaluated per *distinct dictionary value*. When few
-/// values satisfy, their compressed bitmaps are OR-ed; when many do, a
-/// single id pass emits the mask directly (avoiding a quadratic
-/// accumulation). Boolean combinators map to compressed-form AND/OR/NOT.
+/// Comparisons are evaluated per *distinct dictionary value*. Within each
+/// segment: when no present value satisfies, the segment is pruned to a
+/// zero fill; when few do, their compressed bitmaps are OR-ed; when many
+/// do, a single id pass over the segment emits the mask bits directly
+/// (avoiding a quadratic accumulation). Boolean combinators map to
+/// compressed-form AND/OR/NOT.
 pub fn predicate_mask(table: &Table, pred: &Predicate) -> Result<Wah, StorageError> {
     let rows = table.rows();
     Ok(match pred {
@@ -33,22 +41,35 @@ pub fn predicate_mask(table: &Table, pred: &Predicate) -> Result<Wah, StorageErr
                 .iter()
                 .map(|(_, v)| probe.eval_value(v))
                 .collect();
-            let sat_count = sat.iter().filter(|&&b| b).count();
-            if sat_count <= 64 {
-                let satisfying = sat
+            let mut mask = Wah::new();
+            for seg in col.segments() {
+                let satisfying: Vec<&Wah> = seg
+                    .present_ids()
                     .iter()
-                    .enumerate()
-                    .filter(|&(_, &b)| b)
-                    .map(|(id, _)| col.bitmap(id as u32));
-                Wah::union_many(satisfying, rows)
-            } else {
-                let ids = col.value_ids();
-                let mut mask = Wah::new();
-                for id in ids {
-                    mask.push(sat[id as usize]);
+                    .zip(seg.bitmaps())
+                    .filter(|(&id, _)| sat[id as usize])
+                    .map(|(_, bm)| bm)
+                    .collect();
+                if satisfying.is_empty() {
+                    // Pruned: stats show no satisfying value in this range.
+                    mask.append_run(false, seg.rows());
+                } else if satisfying.len() <= 64 {
+                    mask.append_bitmap(&Wah::union_many(satisfying, seg.rows()));
+                } else {
+                    // Many satisfying values: one pass over the segment's
+                    // set bits instead of a wide union.
+                    let mut bits = vec![false; seg.rows() as usize];
+                    for bm in satisfying {
+                        for pos in bm.iter_ones() {
+                            bits[pos as usize] = true;
+                        }
+                    }
+                    for b in bits {
+                        mask.push(b);
+                    }
                 }
-                mask
             }
+            mask
         }
         Predicate::And(a, b) => predicate_mask(table, a)?.and(&predicate_mask(table, b)?),
         Predicate::Or(a, b) => predicate_mask(table, a)?.or(&predicate_mask(table, b)?),
@@ -58,7 +79,9 @@ pub fn predicate_mask(table: &Table, pred: &Predicate) -> Result<Wah, StorageErr
 }
 
 /// Data-level table filter: bitmap-filters every column by the predicate
-/// mask, returning the selected rows as a new (compressed) table.
+/// mask, returning the selected rows as a new (compressed) table. The mask
+/// stays in compressed form end to end (per-segment splits inside
+/// [`cods_storage::Column::filter_bitmap`]).
 pub fn filter_table(table: &Table, pred: &Predicate) -> Result<Table, StorageError> {
     let mask = predicate_mask(table, pred)?;
     let columns: Vec<std::sync::Arc<cods_storage::Column>> = table
@@ -76,11 +99,7 @@ mod tests {
     use cods_storage::{Schema, Value, ValueType};
 
     fn table() -> Table {
-        let schema = Schema::build(
-            &[("k", ValueType::Int), ("v", ValueType::Str)],
-            &[],
-        )
-        .unwrap();
+        let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Str)], &[]).unwrap();
         let rows: Vec<Vec<Value>> = (0..100)
             .map(|i| vec![Value::int(i % 10), Value::str(format!("s{}", i % 3))])
             .collect();
@@ -109,11 +128,8 @@ mod tests {
         let t = table();
         let a = predicate_mask(&t, &Predicate::lt("k", 3i64)).unwrap();
         let b = predicate_mask(&t, &Predicate::eq("v", "s0")).unwrap();
-        let and = predicate_mask(
-            &t,
-            &Predicate::lt("k", 3i64).and(Predicate::eq("v", "s0")),
-        )
-        .unwrap();
+        let and =
+            predicate_mask(&t, &Predicate::lt("k", 3i64).and(Predicate::eq("v", "s0"))).unwrap();
         assert_eq!(and, a.and(&b));
         let not = predicate_mask(&t, &Predicate::lt("k", 3i64).not()).unwrap();
         assert_eq!(not, a.not());

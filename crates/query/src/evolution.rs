@@ -362,8 +362,7 @@ mod tests {
             false,
         )
         .unwrap();
-        let report =
-            merge_row_level(&mut db, "S", "T", "R2", &["employee"], false).unwrap();
+        let report = merge_row_level(&mut db, "S", "T", "R2", &["employee"], false).unwrap();
         assert_eq!(report.tuples_written, 7);
         // R2 must equal R as a multiset of tuples.
         let mut orig: Vec<Vec<Value>> = db.table("R").unwrap().scan().map(|(_, r)| r).collect();

@@ -298,7 +298,8 @@ mod tests {
         .iter()
         .map(|&(e, s, a)| vec![Value::str(e), Value::str(s), Value::str(a)])
         .collect();
-        cat.create(Table::from_rows("R", schema, &rows).unwrap()).unwrap();
+        cat.create(Table::from_rows("R", schema, &rows).unwrap())
+            .unwrap();
         cat
     }
 
@@ -324,8 +325,8 @@ mod tests {
             catalog: Some(&cat),
             row_db: None,
         };
-        let plan = Plan::ScanColumn { table: "R".into() }
-            .filter(Predicate::eq("employee", "Jones"));
+        let plan =
+            Plan::ScanColumn { table: "R".into() }.filter(Predicate::eq("employee", "Jones"));
         let rs = execute(&plan, ctx).unwrap();
         assert_eq!(rs.rows.len(), 2);
     }

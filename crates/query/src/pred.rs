@@ -114,14 +114,12 @@ impl Predicate {
                 op: *op,
                 literal: literal.clone(),
             },
-            Predicate::And(a, b) => CompiledPredicate::And(
-                Box::new(a.compile(schema)?),
-                Box::new(b.compile(schema)?),
-            ),
-            Predicate::Or(a, b) => CompiledPredicate::Or(
-                Box::new(a.compile(schema)?),
-                Box::new(b.compile(schema)?),
-            ),
+            Predicate::And(a, b) => {
+                CompiledPredicate::And(Box::new(a.compile(schema)?), Box::new(b.compile(schema)?))
+            }
+            Predicate::Or(a, b) => {
+                CompiledPredicate::Or(Box::new(a.compile(schema)?), Box::new(b.compile(schema)?))
+            }
             Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(schema)?)),
             Predicate::True => CompiledPredicate::True,
         })

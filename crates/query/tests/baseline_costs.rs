@@ -73,7 +73,11 @@ fn indexed_mode_populates_indexes() {
 fn journaled_mode_pays_per_row() {
     let mut db = load(InsertPolicy::JournaledAutocommit, 2_000, 50);
     let (pages_before, commits_before) = db.journal_stats();
-    assert_eq!((pages_before, commits_before), (0, 0), "setup must not journal");
+    assert_eq!(
+        (pages_before, commits_before),
+        (0, 0),
+        "setup must not journal"
+    );
     run_decompose(&mut db, false);
     let (pages, commits) = db.journal_stats();
     // One transaction per inserted row: 2000 into S + 50 into T.

@@ -61,7 +61,8 @@ impl RowDb {
         if self.tables.contains_key(name) {
             return Err(StorageError::TableExists(name.to_string()));
         }
-        self.tables.insert(name.to_string(), RowTable::new(name, schema));
+        self.tables
+            .insert(name.to_string(), RowTable::new(name, schema));
         Ok(())
     }
 
@@ -182,7 +183,9 @@ mod tests {
         db.insert("t", &[Value::int(2), Value::str("y")]).unwrap();
         assert_eq!(db.table("t").unwrap().row_count(), 2);
         assert!(db.create_table("t", schema()).is_err());
-        assert!(db.insert("missing", &[Value::int(1), Value::str("x")]).is_err());
+        assert!(db
+            .insert("missing", &[Value::int(1), Value::str("x")])
+            .is_err());
     }
 
     #[test]
@@ -201,7 +204,9 @@ mod tests {
     fn batch_policy_never_journals() {
         let mut db = RowDb::new(InsertPolicy::Batch);
         db.create_table("t", schema()).unwrap();
-        let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::int(i), Value::str("v")]).collect();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::int(i), Value::str("v")])
+            .collect();
         let n = db
             .insert_many("t", rows.iter().map(|r| r.as_slice()))
             .unwrap();

@@ -111,10 +111,7 @@ mod tests {
         let mut idx = BTreeIndex::new(vec![1, 0]);
         idx.insert(&[Value::int(1), Value::str("a")], rid(0));
         idx.insert(&[Value::int(2), Value::str("a")], rid(1));
-        assert_eq!(
-            idx.lookup(&[Value::str("a"), Value::int(2)]),
-            &[rid(1)]
-        );
+        assert_eq!(idx.lookup(&[Value::str("a"), Value::int(2)]), &[rid(1)]);
     }
 
     #[test]

@@ -53,10 +53,8 @@ impl Journal {
     pub fn with_temp_file() -> std::io::Result<Self> {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "cods-journal-{}-{n}.tmp",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("cods-journal-{}-{n}.tmp", std::process::id()));
         Self::with_file(path)
     }
 

@@ -160,18 +160,15 @@ mod tests {
     use cods_storage::ValueType;
 
     fn schema() -> Schema {
-        Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str)],
-            &["id"],
-        )
-        .unwrap()
+        Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)], &["id"]).unwrap()
     }
 
     #[test]
     fn insert_scan_round_trip() {
         let mut t = RowTable::new("t", schema());
         for i in 0..100 {
-            t.insert(&[Value::int(i), Value::str(format!("n{i}"))]).unwrap();
+            t.insert(&[Value::int(i), Value::str(format!("n{i}"))])
+                .unwrap();
         }
         assert_eq!(t.row_count(), 100);
         let rows: Vec<Vec<Value>> = t.scan().map(|(_, r)| r).collect();
@@ -199,7 +196,8 @@ mod tests {
     fn index_built_from_existing_rows() {
         let mut t = RowTable::new("t", schema());
         for i in 0..50 {
-            t.insert(&[Value::int(i), Value::str(format!("n{}", i % 5))]).unwrap();
+            t.insert(&[Value::int(i), Value::str(format!("n{}", i % 5))])
+                .unwrap();
         }
         t.create_index(vec![1]).unwrap();
         assert_eq!(t.indexes()[0].len(), 50);
@@ -212,7 +210,8 @@ mod tests {
         let mut t = RowTable::new("t", schema());
         let mut j = Journal::new();
         for i in 0..100 {
-            t.insert_journaled(&[Value::int(i), Value::str("x")], &mut j).unwrap();
+            t.insert_journaled(&[Value::int(i), Value::str("x")], &mut j)
+                .unwrap();
             j.commit(); // autocommit per row
         }
         assert_eq!(j.commits, 100);

@@ -1,0 +1,311 @@
+//! Minimal in-tree stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to a crates registry, so this shim
+//! provides exactly the subset the workspace uses: the [`Buf`] / [`BufMut`]
+//! cursor traits with little-endian accessors, a cheaply cloneable [`Bytes`]
+//! handle, and a growable [`BytesMut`] that freezes into one.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read cursor over a contiguous byte region.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies `dst.len()` bytes into `dst`, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, n: usize) {
+        (**self).advance(n)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable, cheaply cloneable byte region (a view into shared storage).
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes of the view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-view over `range` (relative to this view).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    read: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// Returns `true` when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Converts into an immutable [`Bytes`] (unread portion).
+    pub fn freeze(self) -> Bytes {
+        if self.read == 0 {
+            Bytes::from(self.data)
+        } else {
+            Bytes::from(self.data[self.read..].to_vec())
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.read += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"xyz");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(b.get_f64_le(), 1.5);
+        let mut s = [0u8; 3];
+        b.copy_to_slice(&mut s);
+        assert_eq!(&s, b"xyz");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let s2 = s.slice(1..2);
+        assert_eq!(s2.as_slice(), &[3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.advance(2);
+    }
+}

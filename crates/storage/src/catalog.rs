@@ -184,12 +184,8 @@ mod tests {
         let cat = Catalog::new();
         cat.create(tiny("t")).unwrap();
         let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
-        let bigger = Table::from_rows(
-            "t",
-            schema,
-            &[vec![Value::int(1)], vec![Value::int(2)]],
-        )
-        .unwrap();
+        let bigger =
+            Table::from_rows("t", schema, &[vec![Value::int(1)], vec![Value::int(2)]]).unwrap();
         cat.put(bigger);
         assert_eq!(cat.get("t").unwrap().rows(), 2);
     }

@@ -1,27 +1,62 @@
-//! Bitmap-encoded columns: a dictionary plus one WAH bitmap per distinct
-//! value. This is the `v × r` bitmap matrix of Section 2.2 of the paper.
+//! Segmented bitmap-encoded columns: a column-global dictionary plus a
+//! directory of row-range [`Segment`]s, each holding one WAH bitmap per
+//! value *present in its range* (the `v × r` bitmap matrix of Section 2.2
+//! of the paper, sharded by row range).
 //!
-//! NULL is interned like any other value, so the *partition invariant* holds
-//! unconditionally: for every row exactly one value's bitmap has a 1.
+//! The segment directory is what the rest of the system scales on: SMOs
+//! fan out one task per (column × segment), scans prune segments whose
+//! stats show a value absent, and appends (UNION TABLES) reuse existing
+//! segments by `Arc` instead of rewriting bitmaps.
+//!
+//! NULL is interned like any other value, so the *partition invariant*
+//! holds unconditionally within every segment: for each row exactly one
+//! present value's bitmap has a 1.
 
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
+use crate::segment::{Segment, SegmentAssembler, SegmentChunk, DEFAULT_SEGMENT_ROWS};
 use crate::value::{Value, ValueType};
 use cods_bitmap::{OneStreamBuilder, Wah};
+use std::ops::Range;
+use std::sync::Arc;
 
-/// An immutable bitmap-encoded column of `rows` values.
+/// An immutable, segmented bitmap-encoded column of `rows` values.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Column {
     ty: ValueType,
     dict: Dictionary,
-    bitmaps: Vec<Wah>,
+    segments: Vec<Arc<Segment>>,
+    /// Start row of each segment (parallel to `segments`).
+    starts: Vec<u64>,
+    /// Nominal rows per segment for newly produced data (actual segments
+    /// may be shorter or irregular after concat/slice reuse).
+    segment_rows: u64,
     rows: u64,
 }
 
+fn starts_of(segments: &[Arc<Segment>]) -> (Vec<u64>, u64) {
+    let mut starts = Vec::with_capacity(segments.len());
+    let mut total = 0u64;
+    for s in segments {
+        starts.push(total);
+        total += s.rows();
+    }
+    (starts, total)
+}
+
 impl Column {
-    /// Builds a column from a value slice.
+    /// Builds a column from a value slice with the default segment size.
     pub fn from_values(ty: ValueType, values: &[Value]) -> Result<Column, StorageError> {
-        let mut b = ColumnBuilder::new(ty);
+        Self::from_values_with(ty, values, DEFAULT_SEGMENT_ROWS)
+    }
+
+    /// Builds a column from a value slice with an explicit segment size.
+    pub fn from_values_with(
+        ty: ValueType,
+        values: &[Value],
+        segment_rows: u64,
+    ) -> Result<Column, StorageError> {
+        let mut b = ColumnBuilder::with_segment_rows(ty, segment_rows);
         for v in values {
             b.push(v.clone())?;
         }
@@ -33,22 +68,36 @@ impl Column {
     /// # Panics
     /// Panics if any id is out of range for the dictionary.
     pub fn from_ids(ty: ValueType, dict: Dictionary, ids: &[u32]) -> Column {
-        let mut builders: Vec<OneStreamBuilder> =
-            vec![OneStreamBuilder::new(); dict.len()];
-        for (row, &id) in ids.iter().enumerate() {
-            builders[id as usize].push_one(row as u64);
-        }
-        let rows = ids.len() as u64;
-        Column {
-            ty,
-            dict,
-            bitmaps: builders.into_iter().map(|b| b.finish(rows)).collect(),
-            rows,
-        }
+        Self::from_ids_with(ty, dict, ids, DEFAULT_SEGMENT_ROWS)
     }
 
-    /// Assembles a column from parts that are already consistent. Validates
-    /// the partition invariant in debug builds.
+    /// [`Column::from_ids`] with an explicit segment size.
+    pub fn from_ids_with(
+        ty: ValueType,
+        dict: Dictionary,
+        ids: &[u32],
+        segment_rows: u64,
+    ) -> Column {
+        assert!(segment_rows > 0, "segment size must be positive");
+        if let Some(&bad) = ids.iter().find(|&&id| id as usize >= dict.len()) {
+            panic!("id {bad} out of range for dictionary of {}", dict.len());
+        }
+        let mut asm = SegmentAssembler::new(segment_rows);
+        for chunk in ids.chunks(segment_rows as usize) {
+            asm.push_chunk(SegmentChunk::from_ids(
+                chunk.iter().copied(),
+                chunk.len() as u64,
+                dict.len(),
+            ));
+        }
+        Self::from_segments(ty, dict, asm.finish(), segment_rows)
+    }
+
+    /// Assembles a column from a dictionary and *full-length* per-value
+    /// bitmaps (one per dictionary id), segmenting them. Validates the
+    /// partition invariant in debug builds. This is the compatibility
+    /// constructor for callers holding the monolithic representation (e.g.
+    /// the version-1 on-disk format).
     pub fn from_parts(
         ty: ValueType,
         dict: Dictionary,
@@ -62,14 +111,157 @@ impl Column {
                 bitmaps.len()
             )));
         }
-        let col = Column {
+        for (id, bm) in bitmaps.iter().enumerate() {
+            if bm.len() != rows {
+                return Err(StorageError::Corrupt(format!(
+                    "bitmap {id} has length {} but column has {rows} rows",
+                    bm.len()
+                )));
+            }
+        }
+        let col = Self::from_full_bitmaps(ty, dict, &bitmaps, rows, DEFAULT_SEGMENT_ROWS);
+        debug_assert!(
+            col.check_invariants().is_ok(),
+            "{:?}",
+            col.check_invariants()
+        );
+        Ok(col)
+    }
+
+    /// Segments full-length per-value bitmaps without compaction.
+    fn from_full_bitmaps(
+        ty: ValueType,
+        dict: Dictionary,
+        bitmaps: &[Wah],
+        rows: u64,
+        segment_rows: u64,
+    ) -> Column {
+        let seg_count = rows.div_ceil(segment_rows) as usize;
+        let mut per_segment: Vec<Vec<(u32, Wah)>> = vec![Vec::new(); seg_count];
+        for (id, bm) in bitmaps.iter().enumerate() {
+            if !bm.any() {
+                continue;
+            }
+            for (s, piece) in bm.split_into(segment_rows).into_iter().enumerate() {
+                if piece.any() {
+                    per_segment[s].push((id as u32, piece));
+                }
+            }
+        }
+        let segments: Vec<Arc<Segment>> = per_segment
+            .into_iter()
+            .enumerate()
+            .map(|(s, pairs)| {
+                let seg_rows = segment_rows.min(rows - s as u64 * segment_rows);
+                Arc::new(Segment::new(seg_rows, pairs))
+            })
+            .collect();
+        let (starts, total) = starts_of(&segments);
+        debug_assert_eq!(total, rows);
+        Column {
             ty,
             dict,
-            bitmaps,
+            segments,
+            starts,
+            segment_rows,
             rows,
-        };
-        debug_assert!(col.check_invariants().is_ok(), "{:?}", col.check_invariants());
-        Ok(col)
+        }
+    }
+
+    /// Assembles a column from a dictionary and full-length per-value
+    /// bitmaps, dropping values whose bitmap is empty (compacting the
+    /// dictionary). Used by the mergence operators, which build bitmaps for
+    /// every dictionary value of an input but may leave some unused.
+    pub fn from_dict_bitmaps_compacting(
+        ty: ValueType,
+        dict: Dictionary,
+        bitmaps: Vec<Wah>,
+        rows: u64,
+    ) -> Result<Column, StorageError> {
+        if dict.len() != bitmaps.len() {
+            return Err(StorageError::Corrupt(format!(
+                "dictionary has {} values but {} bitmaps supplied",
+                dict.len(),
+                bitmaps.len()
+            )));
+        }
+        let (compact_dict, mapping) = dict.compact(|id| bitmaps[id as usize].any());
+        let mut kept = Vec::with_capacity(compact_dict.len());
+        for (old_id, new_id) in mapping.iter().enumerate() {
+            if new_id.is_some() {
+                kept.push(bitmaps[old_id].clone());
+            }
+        }
+        Ok(Self::from_full_bitmaps(
+            ty,
+            compact_dict,
+            &kept,
+            rows,
+            DEFAULT_SEGMENT_ROWS,
+        ))
+    }
+
+    /// Assembles a column from a dictionary and segments assumed
+    /// consistent, without compaction. Callers that cannot assume
+    /// consistency (e.g. decoding from disk) must run
+    /// [`Column::check_invariants`] afterwards.
+    pub fn from_segments(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<Arc<Segment>>,
+        segment_rows: u64,
+    ) -> Column {
+        let (starts, rows) = starts_of(&segments);
+        Column {
+            ty,
+            dict,
+            segments,
+            starts,
+            segment_rows,
+            rows,
+        }
+    }
+
+    /// Assembles a column from a dictionary and already-built segments,
+    /// compacting the dictionary to the values actually present. This is
+    /// the constructor the segment-parallel operators funnel into.
+    pub fn from_segments_compacting(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<Arc<Segment>>,
+        segment_rows: u64,
+    ) -> Column {
+        let mut present = vec![false; dict.len()];
+        for seg in &segments {
+            for &id in seg.present_ids() {
+                present[id as usize] = true;
+            }
+        }
+        if present.iter().all(|&p| p) {
+            let (starts, rows) = starts_of(&segments);
+            return Column {
+                ty,
+                dict,
+                segments,
+                starts,
+                segment_rows,
+                rows,
+            };
+        }
+        let (compact_dict, mapping) = dict.compact(|id| present[id as usize]);
+        let segments: Vec<Arc<Segment>> = segments
+            .into_iter()
+            .map(|s| Arc::new(s.remap(&mapping)))
+            .collect();
+        let (starts, rows) = starts_of(&segments);
+        Column {
+            ty,
+            dict: compact_dict,
+            segments,
+            starts,
+            segment_rows,
+            rows,
+        }
     }
 
     /// Column type.
@@ -92,45 +284,82 @@ impl Column {
         &self.dict
     }
 
-    /// All per-value bitmaps in id order.
-    pub fn bitmaps(&self) -> &[Wah] {
-        &self.bitmaps
+    /// The segment directory.
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
     }
 
-    /// Bitmap of value id `id`.
-    pub fn bitmap(&self, id: u32) -> &Wah {
-        &self.bitmaps[id as usize]
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
     }
 
-    /// Bitmap of a value, if it occurs in the column.
-    pub fn bitmap_of(&self, v: &Value) -> Option<&Wah> {
-        self.dict.id_of(v).map(|id| self.bitmap(id))
+    /// Start row of segment `idx`.
+    pub fn segment_start(&self, idx: usize) -> u64 {
+        self.starts[idx]
     }
 
-    /// The value stored at `row` (O(distinct) bitmap probes; intended for
-    /// display and point debugging, not bulk scans — use
+    /// The nominal segment size new data is chunked at.
+    pub fn nominal_segment_rows(&self) -> u64 {
+        self.segment_rows
+    }
+
+    /// Index of the segment containing `row`.
+    pub fn segment_of_row(&self, row: u64) -> usize {
+        debug_assert!(row < self.rows);
+        self.starts.partition_point(|&s| s <= row) - 1
+    }
+
+    /// Materializes the full-length bitmap of value id `id` by splicing the
+    /// per-segment bitmaps (zero fills where the value is absent, so cost
+    /// is proportional to the segments it occurs in).
+    pub fn value_bitmap(&self, id: u32) -> Wah {
+        let mut out = Wah::new();
+        for seg in &self.segments {
+            match seg.bitmap_for(id) {
+                Some(bm) => out.append_bitmap(bm),
+                None => out.append_run(false, seg.rows()),
+            }
+        }
+        if self.rows == 0 {
+            Wah::new()
+        } else {
+            out
+        }
+    }
+
+    /// Materialized bitmap of a value, if it occurs in the column.
+    pub fn bitmap_of(&self, v: &Value) -> Option<Wah> {
+        self.dict.id_of(v).map(|id| self.value_bitmap(id))
+    }
+
+    /// Number of rows carrying value id `id` (summed from segment stats;
+    /// never touches bitmap words).
+    pub fn value_count(&self, id: u32) -> u64 {
+        self.segments.iter().map(|s| s.count_for(id)).sum()
+    }
+
+    /// The value stored at `row` (O(segment distinct) bitmap probes;
+    /// intended for display and point debugging, not bulk scans — use
     /// [`Column::value_ids`] for those).
     pub fn value_at(&self, row: u64) -> &Value {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        for (id, bm) in self.bitmaps.iter().enumerate() {
-            if bm.get(row) {
-                return self.dict.value(id as u32);
-            }
-        }
-        panic!("partition invariant violated: row {row} has no value");
+        let seg_idx = self.segment_of_row(row);
+        let local = row - self.starts[seg_idx];
+        let id = self.segments[seg_idx]
+            .id_at(local)
+            .expect("partition invariant violated: row has no value");
+        self.dict.value(id)
     }
 
     /// Materializes the dense row → value-id array in one pass over the
     /// compressed bitmaps (O(rows + compressed words)). This is the
-    /// sequential-scan primitive of the CODS algorithms: it never touches the
-    /// dictionary values, only ids.
+    /// sequential-scan primitive of the CODS algorithms: it never touches
+    /// the dictionary values, only ids.
     pub fn value_ids(&self) -> Vec<u32> {
         let mut ids = vec![u32::MAX; self.rows as usize];
-        for (id, bm) in self.bitmaps.iter().enumerate() {
-            for pos in bm.iter_ones() {
-                debug_assert_eq!(ids[pos as usize], u32::MAX, "overlapping bitmaps");
-                ids[pos as usize] = id as u32;
-            }
+        for (seg, &start) in self.segments.iter().zip(&self.starts) {
+            fill_segment_ids(seg, &mut ids[start as usize..(start + seg.rows()) as usize]);
         }
         debug_assert!(ids.iter().all(|&i| i != u32::MAX), "uncovered row");
         ids
@@ -144,111 +373,185 @@ impl Column {
             .collect()
     }
 
-    /// Assembles a column from a dictionary and per-value bitmaps, dropping
-    /// values whose bitmap is empty (compacting the dictionary). Used by the
-    /// mergence operators, which build bitmaps for every dictionary value of
-    /// an input but may leave some unused in the output.
-    pub fn from_dict_bitmaps_compacting(
-        ty: ValueType,
-        dict: Dictionary,
-        bitmaps: Vec<Wah>,
-        rows: u64,
-    ) -> Result<Column, StorageError> {
-        if dict.len() != bitmaps.len() {
-            return Err(StorageError::Corrupt(format!(
-                "dictionary has {} values but {} bitmaps supplied",
-                dict.len(),
-                bitmaps.len()
-            )));
-        }
-        let (compact_dict, mapping) = dict.compact(|id| bitmaps[id as usize].any());
-        let mut kept = Vec::with_capacity(compact_dict.len());
-        for (old_id, new_id) in mapping.iter().enumerate() {
-            if new_id.is_some() {
-                kept.push(bitmaps[old_id].clone());
+    /// Splits a non-decreasing global position list into per-segment spans:
+    /// `(segment index, range into positions)`. Shared by the serial filter
+    /// path and the segment-parallel executors in `cods` core.
+    pub fn position_spans(&self, positions: &[u64]) -> Vec<(usize, Range<usize>)> {
+        let mut spans = Vec::new();
+        let mut lo = 0usize;
+        for (seg_idx, (seg, &start)) in self.segments.iter().zip(&self.starts).enumerate() {
+            if lo == positions.len() {
+                break;
+            }
+            let end_row = start + seg.rows();
+            let hi = lo + positions[lo..].partition_point(|&p| p < end_row);
+            if hi > lo {
+                spans.push((seg_idx, lo..hi));
+                lo = hi;
             }
         }
-        Column::from_parts(ty, compact_dict, kept, rows)
+        // Hard check (not debug-only): an out-of-range position must panic
+        // like the monolithic id-gather did, not silently shrink the output.
+        assert_eq!(
+            lo,
+            positions.len(),
+            "position {} out of range for {} rows",
+            positions[lo],
+            self.rows
+        );
+        spans
+    }
+
+    /// The paper's *bitmap filtering* restricted to one segment: shrink
+    /// segment `seg_idx` to the rows listed in `positions` (global,
+    /// non-decreasing, all within the segment). Returns an unaligned chunk
+    /// for a [`SegmentAssembler`].
+    ///
+    /// Adaptive like the monolithic implementation was: for few present
+    /// values each bitmap is filtered on its compressed form; for many — a
+    /// single id-gather pass over the segment.
+    pub fn filter_segment_chunk(&self, seg_idx: usize, positions: &[u64]) -> SegmentChunk {
+        let seg = &self.segments[seg_idx];
+        let start = self.starts[seg_idx];
+        if positions.is_empty() {
+            return SegmentChunk::empty();
+        }
+        let local: Vec<u64> = positions.iter().map(|&p| p - start).collect();
+        let m = local.len() as u64;
+        let v = seg.distinct_count() as u64;
+        let mut ids = Vec::new();
+        let mut bitmaps = Vec::new();
+        if v * m <= 8 * seg.rows().max(1) {
+            for (&id, bm) in seg.present_ids().iter().zip(seg.bitmaps()) {
+                let f = bm.filter_positions(&local);
+                if f.any() {
+                    ids.push(id);
+                    bitmaps.push(f);
+                }
+            }
+        } else {
+            let mut local_ids = vec![u32::MAX; seg.rows() as usize];
+            fill_segment_local(seg, &mut local_ids);
+            let mut builders: Vec<OneStreamBuilder> =
+                vec![OneStreamBuilder::new(); seg.distinct_count()];
+            for (out_row, &p) in local.iter().enumerate() {
+                builders[local_ids[p as usize] as usize].push_one(out_row as u64);
+            }
+            for (&id, b) in seg.present_ids().iter().zip(builders) {
+                if b.ones() > 0 {
+                    ids.push(id);
+                    bitmaps.push(b.finish(m));
+                }
+            }
+        }
+        SegmentChunk {
+            ids,
+            bitmaps,
+            rows: m,
+        }
     }
 
     /// The paper's *bitmap filtering*: shrink the column to the rows listed
-    /// in `positions` (non-decreasing). Bitmaps whose filtered form is empty
-    /// are dropped and the dictionary is compacted.
-    ///
-    /// Adaptive: for low-cardinality columns each per-value bitmap is
-    /// filtered directly on its compressed form (runs stay runs); for
-    /// high-cardinality columns — where touching the position list once per
-    /// value would be quadratic — a single id-gather pass rebuilds all
-    /// bitmaps in O(rows + positions). Both paths operate on value ids only,
-    /// never on decoded values.
+    /// in `positions` (non-decreasing). Values that vanish are dropped and
+    /// the dictionary compacted. Serial; the evolution operators in `cods`
+    /// core run the same per-segment chunks in parallel.
     pub fn filter_positions(&self, positions: &[u64]) -> Column {
-        let v = self.dict.len() as u64;
-        if v * positions.len() as u64 <= 8 * self.rows.max(1) {
-            let filtered: Vec<Wah> = self
-                .bitmaps
-                .iter()
-                .map(|bm| bm.filter_positions(positions))
-                .collect();
-            self.rebuild_from_filtered(filtered, positions.len() as u64)
-        } else {
-            self.filter_positions_via_ids(positions)
+        let mut asm = SegmentAssembler::new(self.segment_rows);
+        for (seg_idx, range) in self.position_spans(positions) {
+            asm.push_chunk(self.filter_segment_chunk(seg_idx, &positions[range]));
         }
-    }
-
-    /// High-cardinality gather path: one pass over the column's value ids.
-    fn filter_positions_via_ids(&self, positions: &[u64]) -> Column {
-        let ids = self.value_ids();
-        let mut builder = cods_bitmap::ValueStreamBuilder::new(self.dict.len());
-        for &p in positions {
-            builder.push_row(ids[p as usize] as usize);
-        }
-        let bitmaps = builder.finish_with_len(positions.len() as u64);
-        self.rebuild_from_filtered(bitmaps, positions.len() as u64)
+        Column::from_segments_compacting(
+            self.ty,
+            self.dict.clone(),
+            asm.finish(),
+            self.segment_rows,
+        )
     }
 
     /// Gather by an arbitrary (not necessarily sorted) row permutation or
     /// selection: output row `j` carries the value of input row
     /// `positions[j]`. Used by clustering/sorting. O(rows + positions).
     pub fn gather(&self, positions: &[u64]) -> Column {
-        self.filter_positions_via_ids(positions)
+        let ids = self.value_ids();
+        let mut asm = SegmentAssembler::new(self.segment_rows);
+        for chunk in positions.chunks(self.segment_rows.max(1) as usize) {
+            asm.push_chunk(SegmentChunk::from_ids(
+                chunk.iter().map(|&p| ids[p as usize]),
+                chunk.len() as u64,
+                self.dict.len(),
+            ));
+        }
+        Column::from_segments_compacting(
+            self.ty,
+            self.dict.clone(),
+            asm.finish(),
+            self.segment_rows,
+        )
     }
 
-    /// Bitmap filtering driven by a selection mask (adaptive like
-    /// [`Column::filter_positions`]).
+    /// Bitmap filtering driven by a selection mask.
     pub fn filter_bitmap(&self, mask: &Wah) -> Column {
         assert_eq!(mask.len(), self.rows, "mask length mismatch");
-        if self.dict.len() <= 64 {
-            let filtered: Vec<Wah> = self
-                .bitmaps
-                .iter()
-                .map(|bm| bm.filter_bitmap(mask))
-                .collect();
-            self.rebuild_from_filtered(filtered, mask.count_ones())
-        } else {
-            self.filter_positions_via_ids(&mask.to_positions())
+        let masks = self.split_mask(mask);
+        let mut asm = SegmentAssembler::new(self.segment_rows);
+        for (seg_idx, mask_seg) in masks.iter().enumerate() {
+            asm.push_chunk(self.filter_segment_mask_chunk(seg_idx, mask_seg));
         }
+        Column::from_segments_compacting(
+            self.ty,
+            self.dict.clone(),
+            asm.finish(),
+            self.segment_rows,
+        )
     }
 
-    fn rebuild_from_filtered(&self, filtered: Vec<Wah>, new_rows: u64) -> Column {
-        let (dict, mapping) = self.dict.compact(|id| filtered[id as usize].any());
-        let mut bitmaps: Vec<Wah> = Vec::with_capacity(dict.len());
-        for (old_id, new_id) in mapping.iter().enumerate() {
-            if new_id.is_some() {
-                bitmaps.push(filtered[old_id].clone());
+    /// Splits a whole-column selection mask along this column's segment
+    /// boundaries (one pass over the mask's compressed runs).
+    pub fn split_mask(&self, mask: &Wah) -> Vec<Wah> {
+        assert_eq!(mask.len(), self.rows, "mask length mismatch");
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        mask.split_sizes(&sizes)
+    }
+
+    /// Mask-driven bitmap filtering restricted to one segment, staying on
+    /// the compressed form: each present value's bitmap is shrunk with
+    /// [`Wah::filter_bitmap`] when the segment's cardinality is low, or via
+    /// a segment-local position gather when it is high. Never materializes
+    /// a whole-column position list.
+    pub fn filter_segment_mask_chunk(&self, seg_idx: usize, mask_seg: &Wah) -> SegmentChunk {
+        let seg = &self.segments[seg_idx];
+        assert_eq!(mask_seg.len(), seg.rows(), "segment mask length mismatch");
+        let m = mask_seg.count_ones();
+        if m == 0 {
+            return SegmentChunk::empty();
+        }
+        let v = seg.distinct_count() as u64;
+        if v * m <= 8 * seg.rows().max(1) {
+            let mut ids = Vec::new();
+            let mut bitmaps = Vec::new();
+            for (&id, bm) in seg.present_ids().iter().zip(seg.bitmaps()) {
+                let f = bm.filter_bitmap(mask_seg);
+                if f.any() {
+                    ids.push(id);
+                    bitmaps.push(f);
+                }
             }
-        }
-        // Edge case: zero distinct values only if zero rows.
-        Column {
-            ty: self.ty,
-            dict,
-            bitmaps,
-            rows: new_rows,
+            SegmentChunk {
+                ids,
+                bitmaps,
+                rows: m,
+            }
+        } else {
+            let start = self.starts[seg_idx];
+            let positions: Vec<u64> = mask_seg.iter_ones().map(|p| p + start).collect();
+            self.filter_segment_chunk(seg_idx, &positions)
         }
     }
 
-    /// Concatenates two columns of the same type (UNION TABLES). Dictionaries
-    /// are merged; unchanged bitmaps are extended with zero fills, which
-    /// WAH encodes in O(1) words.
+    /// Concatenates two columns of the same type (UNION TABLES).
+    /// Dictionaries are merged; `self`'s segments are reused by reference,
+    /// and `other`'s are reused when no id translation is needed —
+    /// appending never rewrites existing bitmaps.
     pub fn concat(&self, other: &Column) -> Result<Column, StorageError> {
         if self.ty != other.ty {
             return Err(StorageError::RowMismatch(format!(
@@ -257,83 +560,152 @@ impl Column {
             )));
         }
         let (dict, other_map) = self.dict.merge(other.dict());
-        let rows = self.rows + other.rows;
-        // Reverse map: merged id → other's id (if the value occurs in other).
-        let mut from_other: Vec<Option<usize>> = vec![None; dict.len()];
-        for (other_id, &merged_id) in other_map.iter().enumerate() {
-            from_other[merged_id as usize] = Some(other_id);
+        let identity = other_map.iter().enumerate().all(|(i, &m)| m as usize == i);
+        let mut segments = self.segments.clone();
+        if identity {
+            segments.extend(other.segments.iter().cloned());
+        } else {
+            let map: Vec<Option<u32>> = other_map.iter().map(|&m| Some(m)).collect();
+            segments.extend(other.segments.iter().map(|s| Arc::new(s.remap(&map))));
         }
-        let mut bitmaps: Vec<Wah> = Vec::with_capacity(dict.len());
-        for (merged_id, from) in from_other.iter().enumerate() {
-            let mut bm = if merged_id < self.bitmaps.len() {
-                self.bitmaps[merged_id].clone()
-            } else {
-                Wah::zeros(self.rows)
-            };
-            match from {
-                Some(other_id) => bm.append_bitmap(&other.bitmaps[*other_id]),
-                None => bm.append_run(false, other.rows),
-            }
-            bitmaps.push(bm);
-        }
-        Column::from_parts(self.ty, dict, bitmaps, rows)
+        let (starts, rows) = starts_of(&segments);
+        Ok(Column {
+            ty: self.ty,
+            dict,
+            segments,
+            starts,
+            segment_rows: self.segment_rows,
+            rows,
+        })
     }
 
-    /// Extracts the row range `[start, end)`.
+    /// Extracts the row range `[start, end)`. Fully covered segments are
+    /// shared by reference when no dictionary compaction is needed.
     pub fn slice(&self, start: u64, end: u64) -> Column {
-        let sliced: Vec<Wah> = self
-            .bitmaps
-            .iter()
-            .map(|bm| bm.slice(start, end))
-            .collect();
-        self.rebuild_from_filtered(sliced, end - start)
+        assert!(start <= end && end <= self.rows, "slice out of range");
+        enum Part {
+            Shared(Arc<Segment>),
+            Rebuilt(Segment),
+        }
+        let mut parts: Vec<Part> = Vec::new();
+        let mut present = vec![false; self.dict.len()];
+        for (seg, &seg_start) in self.segments.iter().zip(&self.starts) {
+            let seg_end = seg_start + seg.rows();
+            if seg_end <= start || seg_start >= end {
+                continue;
+            }
+            let lo = start.max(seg_start) - seg_start;
+            let hi = end.min(seg_end) - seg_start;
+            if lo == hi {
+                continue;
+            }
+            if lo == 0 && hi == seg.rows() {
+                for &id in seg.present_ids() {
+                    present[id as usize] = true;
+                }
+                parts.push(Part::Shared(Arc::clone(seg)));
+            } else {
+                let mut pairs = Vec::new();
+                for (&id, bm) in seg.present_ids().iter().zip(seg.bitmaps()) {
+                    let piece = bm.slice(lo, hi);
+                    if piece.any() {
+                        present[id as usize] = true;
+                        pairs.push((id, piece));
+                    }
+                }
+                parts.push(Part::Rebuilt(Segment::new(hi - lo, pairs)));
+            }
+        }
+        let all_present = present.iter().all(|&p| p);
+        if all_present {
+            let segments: Vec<Arc<Segment>> = parts
+                .into_iter()
+                .map(|p| match p {
+                    Part::Shared(s) => s,
+                    Part::Rebuilt(s) => Arc::new(s),
+                })
+                .collect();
+            let (starts, rows) = starts_of(&segments);
+            Column {
+                ty: self.ty,
+                dict: self.dict.clone(),
+                segments,
+                starts,
+                segment_rows: self.segment_rows,
+                rows,
+            }
+        } else {
+            let (dict, mapping) = self.dict.compact(|id| present[id as usize]);
+            let segments: Vec<Arc<Segment>> = parts
+                .into_iter()
+                .map(|p| {
+                    Arc::new(match p {
+                        Part::Shared(s) => s.remap(&mapping),
+                        Part::Rebuilt(s) => s.remap(&mapping),
+                    })
+                })
+                .collect();
+            let (starts, rows) = starts_of(&segments);
+            Column {
+                ty: self.ty,
+                dict,
+                segments,
+                starts,
+                segment_rows: self.segment_rows,
+                rows,
+            }
+        }
     }
 
-    /// Verifies the partition invariant and per-bitmap lengths.
+    /// Verifies the per-segment partition invariants, the directory
+    /// geometry, and dictionary compaction (every value occurs somewhere).
     pub fn check_invariants(&self) -> Result<(), StorageError> {
-        if self.dict.len() != self.bitmaps.len() {
-            return Err(StorageError::Corrupt("dict/bitmap count mismatch".into()));
+        let mut present = vec![0u64; self.dict.len()];
+        let mut expected_start = 0u64;
+        if self.segments.len() != self.starts.len() {
+            return Err(StorageError::Corrupt("segment/start count mismatch".into()));
         }
-        let mut total_ones = 0u64;
-        for (id, bm) in self.bitmaps.iter().enumerate() {
-            bm.check_invariants()
-                .map_err(|e| StorageError::Corrupt(format!("bitmap {id}: {e}")))?;
-            if bm.len() != self.rows {
+        for (i, (seg, &start)) in self.segments.iter().zip(&self.starts).enumerate() {
+            if start != expected_start {
                 return Err(StorageError::Corrupt(format!(
-                    "bitmap {id} has length {} but column has {} rows",
-                    bm.len(),
-                    self.rows
+                    "segment {i} starts at {start}, expected {expected_start}"
                 )));
             }
-            if !bm.any() && self.rows > 0 {
-                return Err(StorageError::Corrupt(format!(
-                    "bitmap {id} is empty (dictionary not compacted)"
-                )));
+            if seg.rows() == 0 {
+                return Err(StorageError::Corrupt(format!("segment {i} is empty")));
             }
-            total_ones += bm.count_ones();
+            seg.check_invariants()
+                .map_err(|e| StorageError::Corrupt(format!("segment {i}: {e}")))?;
+            for (&id, &ones) in seg.present_ids().iter().zip(seg.ones()) {
+                if id as usize >= self.dict.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "segment {i} references id {id} beyond dictionary"
+                    )));
+                }
+                present[id as usize] += ones;
+            }
+            expected_start += seg.rows();
         }
-        if total_ones != self.rows {
+        if expected_start != self.rows {
             return Err(StorageError::Corrupt(format!(
-                "partition invariant violated: {} ones over {} rows",
-                total_ones, self.rows
+                "segments cover {expected_start} rows, column claims {}",
+                self.rows
             )));
         }
-        // Pairwise disjointness follows from total_ones == rows together
-        // with full coverage; verify coverage via OR-fold on small columns.
-        if self.rows > 0 && self.rows <= 10_000 {
-            let union = Wah::union_many(self.bitmaps.iter(), self.rows);
-            if union.count_ones() != self.rows {
-                return Err(StorageError::Corrupt(
-                    "partition invariant violated: rows covered more than once".into(),
-                ));
+        if self.rows > 0 {
+            if let Some(id) = present.iter().position(|&n| n == 0) {
+                return Err(StorageError::Corrupt(format!(
+                    "value id {id} occurs in no segment (dictionary not compacted)"
+                )));
             }
         }
         Ok(())
     }
 
-    /// Total compressed size of the bitmaps in bytes (excluding dictionary).
+    /// Total compressed size of the bitmaps in bytes (excluding dictionary),
+    /// summed from segment stats.
     pub fn bitmap_bytes(&self) -> usize {
-        self.bitmaps.iter().map(|b| b.size_bytes()).sum()
+        self.segments.iter().map(|s| s.compressed_bytes()).sum()
     }
 
     /// Approximate total heap size (bitmaps + dictionary).
@@ -342,23 +714,61 @@ impl Column {
     }
 }
 
+/// Writes each row's value id into `out` (segment-local coordinates).
+fn fill_segment_ids(seg: &Segment, out: &mut [u32]) {
+    for (&id, bm) in seg.present_ids().iter().zip(seg.bitmaps()) {
+        for pos in bm.iter_ones() {
+            debug_assert_eq!(out[pos as usize], u32::MAX, "overlapping bitmaps");
+            out[pos as usize] = id;
+        }
+    }
+}
+
+/// Writes each row's *local slot index* (position in `present_ids`) into
+/// `out`.
+fn fill_segment_local(seg: &Segment, out: &mut [u32]) {
+    for (slot, bm) in seg.bitmaps().iter().enumerate() {
+        for pos in bm.iter_ones() {
+            out[pos as usize] = slot as u32;
+        }
+    }
+}
+
 /// Incremental column builder: interns values and grows one
-/// [`OneStreamBuilder`] per distinct value.
+/// [`OneStreamBuilder`] per distinct value of the *current segment*,
+/// sealing a segment every `segment_rows` rows.
 #[derive(Debug)]
 pub struct ColumnBuilder {
     ty: ValueType,
     dict: Dictionary,
+    segment_rows: u64,
+    /// Per-global-id builders for the current segment (sparse via `active`).
     builders: Vec<OneStreamBuilder>,
+    /// Ids with at least one row in the current segment.
+    active: Vec<u32>,
+    cur_rows: u64,
+    segments: Vec<Arc<Segment>>,
     rows: u64,
 }
 
 impl ColumnBuilder {
-    /// Creates a builder for a column of type `ty`.
+    /// Creates a builder for a column of type `ty` with the default segment
+    /// size.
     pub fn new(ty: ValueType) -> Self {
+        Self::with_segment_rows(ty, DEFAULT_SEGMENT_ROWS)
+    }
+
+    /// Creates a builder sealing a segment every `segment_rows` rows.
+    pub fn with_segment_rows(ty: ValueType, segment_rows: u64) -> Self {
+        assert!(segment_rows > 0, "segment size must be positive");
         ColumnBuilder {
             ty,
             dict: Dictionary::new(),
+            segment_rows,
             builders: Vec::new(),
+            active: Vec::new(),
+            cur_rows: 0,
+            segments: Vec::new(),
             rows: 0,
         }
     }
@@ -372,12 +782,36 @@ impl ColumnBuilder {
             )));
         }
         let id = self.dict.intern(v) as usize;
-        if id == self.builders.len() {
-            self.builders.push(OneStreamBuilder::new());
+        if id >= self.builders.len() {
+            self.builders.resize_with(id + 1, OneStreamBuilder::new);
         }
-        self.builders[id].push_one(self.rows);
+        if self.builders[id].ones() == 0 {
+            self.active.push(id as u32);
+        }
+        self.builders[id].push_one(self.cur_rows);
+        self.cur_rows += 1;
         self.rows += 1;
+        if self.cur_rows == self.segment_rows {
+            self.seal_segment();
+        }
         Ok(())
+    }
+
+    fn seal_segment(&mut self) {
+        if self.cur_rows == 0 {
+            return;
+        }
+        let rows = self.cur_rows;
+        let pairs: Vec<(u32, Wah)> = self
+            .active
+            .drain(..)
+            .map(|id| {
+                let b = std::mem::replace(&mut self.builders[id as usize], OneStreamBuilder::new());
+                (id, b.finish(rows))
+            })
+            .collect();
+        self.segments.push(Arc::new(Segment::new(rows, pairs)));
+        self.cur_rows = 0;
     }
 
     /// Rows appended so far.
@@ -386,12 +820,16 @@ impl ColumnBuilder {
     }
 
     /// Finalizes the column.
-    pub fn finish(self) -> Column {
-        let rows = self.rows;
+    pub fn finish(mut self) -> Column {
+        self.seal_segment();
+        let (starts, rows) = starts_of(&self.segments);
+        debug_assert_eq!(rows, self.rows);
         Column {
             ty: self.ty,
             dict: self.dict,
-            bitmaps: self.builders.into_iter().map(|b| b.finish(rows)).collect(),
+            segments: self.segments,
+            starts,
+            segment_rows: self.segment_rows,
             rows,
         }
     }
@@ -402,10 +840,18 @@ mod tests {
     use super::*;
 
     fn skills() -> Vec<Value> {
-        ["typing", "shorthand", "cleaning", "alchemy", "typing", "juggling", "cleaning"]
-            .iter()
-            .map(Value::str)
-            .collect()
+        [
+            "typing",
+            "shorthand",
+            "cleaning",
+            "alchemy",
+            "typing",
+            "juggling",
+            "cleaning",
+        ]
+        .iter()
+        .map(Value::str)
+        .collect()
     }
 
     #[test]
@@ -420,13 +866,50 @@ mod tests {
     }
 
     #[test]
-    fn value_ids_partition() {
-        let c = Column::from_values(ValueType::Str, &skills()).unwrap();
-        let ids = c.value_ids();
-        assert_eq!(ids.len(), 7);
-        assert_eq!(ids[0], ids[4]); // both "typing"
-        assert_eq!(ids[2], ids[6]); // both "cleaning"
-        assert_ne!(ids[0], ids[1]);
+    fn builder_emits_multiple_segments() {
+        let mut b = ColumnBuilder::with_segment_rows(ValueType::Int, 100);
+        for i in 0..1_050 {
+            b.push(Value::int(i % 7)).unwrap();
+        }
+        let c = b.finish();
+        c.check_invariants().unwrap();
+        assert_eq!(c.segment_count(), 11);
+        assert_eq!(c.segments()[0].rows(), 100);
+        assert_eq!(c.segments()[10].rows(), 50);
+        assert_eq!(c.segment_start(10), 1_000);
+        let expect: Vec<Value> = (0..1_050).map(|i| Value::int(i % 7)).collect();
+        assert_eq!(c.values(), expect);
+    }
+
+    #[test]
+    fn segments_are_sparse() {
+        // Value 0 occurs only in rows 0..100; value 1 only in 100..200.
+        let mut b = ColumnBuilder::with_segment_rows(ValueType::Int, 100);
+        for i in 0..200 {
+            b.push(Value::int(i / 100)).unwrap();
+        }
+        let c = b.finish();
+        c.check_invariants().unwrap();
+        assert_eq!(c.segment_count(), 2);
+        assert_eq!(c.segments()[0].present_ids(), &[0]);
+        assert_eq!(c.segments()[1].present_ids(), &[1]);
+        assert_eq!(c.value_count(0), 100);
+        assert_eq!(c.value_count(1), 100);
+        assert!(c.segments()[1].bitmap_for(0).is_none());
+    }
+
+    #[test]
+    fn value_bitmap_splices_across_segments() {
+        let mut b = ColumnBuilder::with_segment_rows(ValueType::Int, 64);
+        for i in 0..300 {
+            b.push(Value::int(i % 3)).unwrap();
+        }
+        let c = b.finish();
+        let bm = c.value_bitmap(0);
+        assert_eq!(bm.len(), 300);
+        assert_eq!(bm.to_positions(), (0..300).step_by(3).collect::<Vec<u64>>());
+        assert_eq!(c.bitmap_of(&Value::int(0)).unwrap(), bm);
+        assert!(c.bitmap_of(&Value::int(99)).is_none());
     }
 
     #[test]
@@ -457,8 +940,25 @@ mod tests {
         assert_eq!(f.distinct_count(), 2);
         assert_eq!(
             f.values(),
-            vec![Value::str("typing"), Value::str("alchemy"), Value::str("typing")]
+            vec![
+                Value::str("typing"),
+                Value::str("alchemy"),
+                Value::str("typing")
+            ]
         );
+    }
+
+    #[test]
+    fn filter_across_segments_matches_monolithic() {
+        let vals: Vec<Value> = (0..2_000).map(|i| Value::int(i % 13)).collect();
+        let seg = Column::from_values_with(ValueType::Int, &vals, 128).unwrap();
+        let mono = Column::from_values_with(ValueType::Int, &vals, 1 << 40).unwrap();
+        assert_eq!(mono.segment_count(), 1);
+        let positions: Vec<u64> = (0..2_000).step_by(7).collect();
+        let a = seg.filter_positions(&positions);
+        let b = mono.filter_positions(&positions);
+        a.check_invariants().unwrap();
+        assert_eq!(a.values(), b.values());
     }
 
     #[test]
@@ -470,11 +970,7 @@ mod tests {
 
     #[test]
     fn concat_merges_dictionaries() {
-        let a = Column::from_values(
-            ValueType::Str,
-            &[Value::str("x"), Value::str("y")],
-        )
-        .unwrap();
+        let a = Column::from_values(ValueType::Str, &[Value::str("x"), Value::str("y")]).unwrap();
         let b = Column::from_values(
             ValueType::Str,
             &[Value::str("y"), Value::str("z"), Value::str("y")],
@@ -497,6 +993,21 @@ mod tests {
     }
 
     #[test]
+    fn concat_shares_segments() {
+        let vals: Vec<Value> = (0..500).map(|i| Value::int(i % 5)).collect();
+        let a = Column::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        let b = Column::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        let c = a.concat(&b).unwrap();
+        c.check_invariants().unwrap();
+        assert_eq!(c.rows(), 1_000);
+        assert_eq!(c.segment_count(), 10);
+        // Left side is shared by Arc; right side too (identical dictionary
+        // means no id translation is needed).
+        assert!(Arc::ptr_eq(&c.segments()[0], &a.segments()[0]));
+        assert!(Arc::ptr_eq(&c.segments()[5], &b.segments()[0]));
+    }
+
+    #[test]
     fn concat_type_mismatch_rejected() {
         let a = Column::from_values(ValueType::Int, &[Value::int(1)]).unwrap();
         let b = Column::from_values(ValueType::Str, &[Value::str("x")]).unwrap();
@@ -511,8 +1022,25 @@ mod tests {
         assert_eq!(s.rows(), 3);
         assert_eq!(
             s.values(),
-            vec![Value::str("cleaning"), Value::str("alchemy"), Value::str("typing")]
+            vec![
+                Value::str("cleaning"),
+                Value::str("alchemy"),
+                Value::str("typing")
+            ]
         );
+    }
+
+    #[test]
+    fn slice_shares_interior_segments() {
+        let vals: Vec<Value> = (0..1_000).map(|i| Value::int(i % 4)).collect();
+        let c = Column::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        let s = c.slice(50, 950);
+        s.check_invariants().unwrap();
+        assert_eq!(s.rows(), 900);
+        // Interior segments (100..900) are the same Arcs.
+        assert!(Arc::ptr_eq(&s.segments()[1], &c.segments()[1]));
+        let expect: Vec<Value> = (50..950).map(|i| Value::int(i % 4)).collect();
+        assert_eq!(s.values(), expect);
     }
 
     #[test]
@@ -536,17 +1064,36 @@ mod tests {
         c.check_invariants().unwrap();
         assert_eq!(c.rows(), 0);
         assert_eq!(c.distinct_count(), 0);
+        assert_eq!(c.segment_count(), 0);
         assert!(c.values().is_empty());
     }
 
     #[test]
+    fn gather_unsorted() {
+        let c = Column::from_values(ValueType::Str, &skills()).unwrap();
+        let g = c.gather(&[6, 0, 0, 3]);
+        g.check_invariants().unwrap();
+        assert_eq!(
+            g.values(),
+            vec![
+                Value::str("cleaning"),
+                Value::str("typing"),
+                Value::str("typing"),
+                Value::str("alchemy")
+            ]
+        );
+    }
+
+    #[test]
     fn low_cardinality_compresses_well() {
-        // 100k rows, 2 distinct values in long runs → tiny bitmaps.
+        // 100k rows, 2 distinct values in long runs → tiny bitmaps even
+        // across segment boundaries.
         let mut b = ColumnBuilder::new(ValueType::Int);
         for i in 0..100_000 {
             b.push(Value::int(i / 50_000)).unwrap();
         }
         let c = b.finish();
+        assert!(c.segment_count() >= 2);
         assert!(c.bitmap_bytes() < 200, "got {} bytes", c.bitmap_bytes());
     }
 }

@@ -1,11 +1,15 @@
 //! Row cursors: streaming `row → value id` access over a compressed column
 //! without materializing anything per row.
 //!
-//! The cursor is a k-way merge over the per-value set-bit iterators. Thanks
-//! to the partition invariant exactly one bitmap fires per row, so the merge
-//! yields every row exactly once, in order. The CODS sequential-scan passes
+//! The cursor walks the segment directory in order; within a segment it is
+//! a k-way merge over the *present* values' set-bit iterators — thanks to
+//! the partition invariant exactly one bitmap fires per row, so the merge
+//! yields every row exactly once, in order. Because a segment only carries
+//! the values occurring in its range, the heap is sized by per-segment
+//! cardinality, not column cardinality. The CODS sequential-scan passes
 //! (distinction, mergence) use either this cursor or the materialized
-//! [`crate::Column::value_ids`] array depending on how many passes they need.
+//! [`crate::Column::value_ids`] array depending on how many passes they
+//! need.
 
 use crate::column::Column;
 use cods_bitmap::OnesIter;
@@ -14,6 +18,13 @@ use std::collections::BinaryHeap;
 
 /// Streaming cursor yielding `(row, value_id)` in ascending row order.
 pub struct RowIdCursor<'a> {
+    column: &'a Column,
+    /// Index of the segment currently being merged.
+    seg_idx: usize,
+    /// Global start row of the current segment.
+    base: u64,
+    /// Min-heap of `(local_row, slot)` where `slot` indexes the segment's
+    /// present-id list.
     heap: BinaryHeap<Reverse<(u64, u32)>>,
     iters: Vec<OnesIter<'a>>,
     rows: u64,
@@ -23,22 +34,32 @@ pub struct RowIdCursor<'a> {
 impl<'a> RowIdCursor<'a> {
     /// Opens a cursor over `column`.
     pub fn new(column: &'a Column) -> Self {
-        let mut iters: Vec<OnesIter<'a>> = column
-            .bitmaps()
-            .iter()
-            .map(|bm| bm.iter_ones())
-            .collect();
-        let mut heap = BinaryHeap::with_capacity(iters.len());
-        for (id, it) in iters.iter_mut().enumerate() {
-            if let Some(pos) = it.next() {
-                heap.push(Reverse((pos, id as u32)));
-            }
-        }
-        RowIdCursor {
-            heap,
-            iters,
+        let mut cur = RowIdCursor {
+            column,
+            seg_idx: 0,
+            base: 0,
+            heap: BinaryHeap::new(),
+            iters: Vec::new(),
             rows: column.rows(),
             emitted: 0,
+        };
+        cur.open_segment(0);
+        cur
+    }
+
+    fn open_segment(&mut self, idx: usize) {
+        self.seg_idx = idx;
+        self.heap.clear();
+        self.iters.clear();
+        let Some(seg) = self.column.segments().get(idx) else {
+            return;
+        };
+        self.base = self.column.segment_start(idx);
+        self.iters = seg.bitmaps().iter().map(|bm| bm.iter_ones()).collect();
+        for (slot, it) in self.iters.iter_mut().enumerate() {
+            if let Some(pos) = it.next() {
+                self.heap.push(Reverse((pos, slot as u32)));
+            }
         }
     }
 }
@@ -47,13 +68,23 @@ impl Iterator for RowIdCursor<'_> {
     type Item = (u64, u32);
 
     fn next(&mut self) -> Option<(u64, u32)> {
-        let Reverse((pos, id)) = self.heap.pop()?;
-        debug_assert_eq!(pos, self.emitted, "partition invariant violated");
-        self.emitted += 1;
-        if let Some(next) = self.iters[id as usize].next() {
-            self.heap.push(Reverse((next, id)));
+        loop {
+            if let Some(Reverse((pos, slot))) = self.heap.pop() {
+                if let Some(next) = self.iters[slot as usize].next() {
+                    self.heap.push(Reverse((next, slot)));
+                }
+                let seg = &self.column.segments()[self.seg_idx];
+                let row = self.base + pos;
+                debug_assert_eq!(row, self.emitted, "partition invariant violated");
+                self.emitted += 1;
+                return Some((row, seg.present_ids()[slot as usize]));
+            }
+            if self.seg_idx + 1 >= self.column.segment_count() {
+                return None;
+            }
+            let next_idx = self.seg_idx + 1;
+            self.open_segment(next_idx);
         }
-        Some((pos, id))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -67,6 +98,7 @@ impl ExactSizeIterator for RowIdCursor<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::ColumnBuilder;
     use crate::value::{Value, ValueType};
 
     #[test]
@@ -83,6 +115,22 @@ mod tests {
             assert_eq!(row, i as u64);
             assert_eq!(id, expected[i]);
         }
+    }
+
+    #[test]
+    fn cursor_crosses_segment_boundaries() {
+        let mut b = ColumnBuilder::with_segment_rows(ValueType::Int, 37);
+        for i in 0..500 {
+            b.push(Value::int(i % 11)).unwrap();
+        }
+        let col = b.finish();
+        assert!(col.segment_count() > 1);
+        let expected = col.value_ids();
+        for (i, (row, id)) in RowIdCursor::new(&col).enumerate() {
+            assert_eq!(row, i as u64);
+            assert_eq!(id, expected[i]);
+        }
+        assert_eq!(RowIdCursor::new(&col).count(), 500);
     }
 
     #[test]

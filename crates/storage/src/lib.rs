@@ -1,20 +1,26 @@
 //! # cods-storage
 //!
 //! The column-oriented storage engine underneath the CODS reproduction
-//! (Liu et al., VLDB 2010). Every column is stored as a dictionary plus one
-//! WAH-compressed bitmap per distinct value — the `v × r` bitmap matrix of
-//! Section 2.2 of the paper — and tables share immutable columns by
-//! reference, which is what makes data-level evolution able to "reuse
-//! unchanged columns" for free.
+//! (Liu et al., VLDB 2010). Every column is a column-global dictionary plus
+//! a directory of row-range [`Segment`]s, each holding one WAH-compressed
+//! bitmap per value *present in its range* — the `v × r` bitmap matrix of
+//! Section 2.2 of the paper, sharded by row range. Tables share immutable
+//! columns by reference, and columns share immutable segments by reference,
+//! which is what makes data-level evolution able to "reuse unchanged
+//! columns" (and unchanged row ranges) for free.
 //!
 //! * [`Value`] / [`ValueType`] — the typed cell values.
 //! * [`Schema`] — named, typed columns plus an optional candidate key.
-//! * [`Column`] / [`ColumnBuilder`] — bitmap-encoded columns with data-level
-//!   primitives (filter, concat, slice) lifted from `cods-bitmap`.
+//! * [`Column`] / [`ColumnBuilder`] — segmented bitmap-encoded columns with
+//!   data-level primitives (filter, concat, slice) lifted from
+//!   `cods-bitmap`.
+//! * [`Segment`] / [`SegmentAssembler`] — the row-range shards and the
+//!   splicer that re-chunks per-segment operator outputs.
 //! * [`Table`] — schema + `Arc`-shared columns.
 //! * [`Catalog`] — thread-safe table namespace.
 //! * [`RowIdCursor`] — streaming `row → value id` scans over compressed data.
-//! * [`load`] — delimited-text ingest; [`persist`] — binary table files.
+//! * [`load`] — delimited-text ingest; [`persist`] — versioned binary table
+//!   files (v2 carries the segment directory; v1 files are still read).
 //!
 //! ```
 //! use cods_storage::{Schema, Table, Value, ValueType};
@@ -42,6 +48,7 @@ pub mod load;
 pub mod persist;
 pub mod rle_column;
 pub mod schema;
+pub mod segment;
 pub mod stats;
 pub mod table;
 pub mod value;
@@ -54,6 +61,7 @@ pub use error::StorageError;
 pub use load::{load_file, load_str, LoadOptions};
 pub use rle_column::RleColumn;
 pub use schema::{ColumnDef, Schema};
+pub use segment::{Segment, SegmentAssembler, SegmentChunk, DEFAULT_SEGMENT_ROWS};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use value::{OrderedF64, Value, ValueType};

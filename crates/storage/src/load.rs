@@ -82,19 +82,15 @@ pub fn load_str(
         for (file_pos, field) in fields.iter().enumerate() {
             let schema_pos = order[file_pos];
             let ty = schema.columns()[schema_pos].ty;
-            let v = Value::parse(field, ty).map_err(|e| {
-                StorageError::LoadError(format!("line {}: {e}", lineno + 1))
-            })?;
+            let v = Value::parse(field, ty)
+                .map_err(|e| StorageError::LoadError(format!("line {}: {e}", lineno + 1)))?;
             row_buf[schema_pos] = Some(v);
         }
         for (b, v) in builders.iter_mut().zip(row_buf.iter_mut()) {
             b.push(v.take().expect("all fields assigned"))?;
         }
     }
-    let columns = builders
-        .into_iter()
-        .map(|b| Arc::new(b.finish()))
-        .collect();
+    let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
     Table::new(name, schema.clone(), columns)
 }
 
@@ -131,7 +127,10 @@ mod tests {
         let text = "Jones,Typing,3\nEllis,Alchemy,10\n";
         let t = load_str("R", &schema(), text, &LoadOptions::default()).unwrap();
         assert_eq!(t.rows(), 2);
-        assert_eq!(t.row(1), vec![Value::str("Ellis"), Value::str("Alchemy"), Value::int(10)]);
+        assert_eq!(
+            t.row(1),
+            vec![Value::str("Ellis"), Value::str("Alchemy"), Value::int(10)]
+        );
     }
 
     #[test]
@@ -142,7 +141,10 @@ mod tests {
             ..Default::default()
         };
         let t = load_str("R", &schema(), text, &opts).unwrap();
-        assert_eq!(t.row(0), vec![Value::str("Jones"), Value::str("Typing"), Value::int(3)]);
+        assert_eq!(
+            t.row(0),
+            vec![Value::str("Jones"), Value::str("Typing"), Value::int(3)]
+        );
     }
 
     #[test]

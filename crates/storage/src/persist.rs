@@ -1,21 +1,29 @@
 //! Binary persistence of tables and catalogs.
 //!
-//! Layout (all little-endian):
+//! Version 2 layout (all little-endian) stores each column as a segment
+//! directory, mirroring the in-memory representation:
 //!
 //! ```text
 //! file      := magic:u32 version:u16 table
 //! catalog   := magic:u32 version:u16 table_count:u32 table*
 //! table     := name:str schema rows:u64 column*
 //! schema    := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
-//! column    := tag:u8 dict_len:u32 value* bitmap*      (one bitmap per value)
+//! column    := tag:u8 dict_len:u32 value* seg_rows:u64 seg_count:u32 segment*
+//! segment   := rows:u64 present:u32 (id:u32)* bitmap*
 //! value     := kind:u8 payload
 //! str       := len:u32 utf8-bytes
 //! ```
+//!
+//! Version 1 (the monolithic format: one full-length bitmap per dictionary
+//! value, no segment directory) is still decoded transparently; decoding
+//! re-segments at the default segment size. [`encode_table_v1`] writes the
+//! legacy layout for compatibility tests and downgrades.
 
 use crate::column::Column;
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
 use crate::schema::{ColumnDef, Schema};
+use crate::segment::Segment;
 use crate::table::Table;
 use crate::value::{Value, ValueType};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -24,7 +32,10 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0xC0D5_0001;
-const VERSION: u16 = 1;
+/// Current on-disk format version (segment directory).
+pub const VERSION: u16 = 2;
+/// Oldest format version this build can read.
+pub const MIN_VERSION: u16 = 1;
 
 fn put_str<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -41,8 +52,7 @@ fn get_str<B: Buf>(buf: &mut B) -> Result<String, StorageError> {
     }
     let mut bytes = vec![0u8; len];
     buf.copy_to_slice(&mut bytes);
-    String::from_utf8(bytes)
-        .map_err(|e| StorageError::PersistError(format!("invalid UTF-8: {e}")))
+    String::from_utf8(bytes).map_err(|e| StorageError::PersistError(format!("invalid UTF-8: {e}")))
 }
 
 fn eof() -> StorageError {
@@ -145,18 +155,39 @@ fn get_schema<B: Buf>(buf: &mut B) -> Result<Schema, StorageError> {
     Schema::with_key(cols, key).map_err(|e| StorageError::PersistError(e.to_string()))
 }
 
-fn put_column<B: BufMut>(buf: &mut B, c: &Column) {
+fn put_dict<B: BufMut>(buf: &mut B, c: &Column) {
     buf.put_u8(c.ty().tag());
     buf.put_u32_le(c.dict().len() as u32);
     for v in c.dict().values() {
         put_value(buf, v);
     }
-    for bm in c.bitmaps() {
-        bm.encode(buf);
+}
+
+fn put_column<B: BufMut>(buf: &mut B, c: &Column) {
+    put_dict(buf, c);
+    buf.put_u64_le(c.nominal_segment_rows());
+    buf.put_u32_le(c.segment_count() as u32);
+    for seg in c.segments() {
+        buf.put_u64_le(seg.rows());
+        buf.put_u32_le(seg.distinct_count() as u32);
+        for &id in seg.present_ids() {
+            buf.put_u32_le(id);
+        }
+        for bm in seg.bitmaps() {
+            bm.encode(buf);
+        }
     }
 }
 
-fn get_column<B: Buf>(buf: &mut B, rows: u64) -> Result<Column, StorageError> {
+/// Writes a column in the legacy monolithic (version-1) layout.
+fn put_column_v1<B: BufMut>(buf: &mut B, c: &Column) {
+    put_dict(buf, c);
+    for id in 0..c.dict().len() as u32 {
+        c.value_bitmap(id).encode(buf);
+    }
+}
+
+fn get_dict<B: Buf>(buf: &mut B) -> Result<(ValueType, Dictionary), StorageError> {
     if buf.remaining() < 5 {
         return Err(eof());
     }
@@ -167,23 +198,98 @@ fn get_column<B: Buf>(buf: &mut B, rows: u64) -> Result<Column, StorageError> {
     for _ in 0..dict_len {
         values.push(get_value(buf)?);
     }
-    let dict =
-        Dictionary::from_values(values).map_err(StorageError::PersistError)?;
-    let mut bitmaps = Vec::with_capacity(dict_len);
-    for _ in 0..dict_len {
-        bitmaps.push(Wah::decode(buf)?);
+    let dict = Dictionary::from_values(values).map_err(StorageError::PersistError)?;
+    Ok((ty, dict))
+}
+
+fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<Column, StorageError> {
+    let (ty, dict) = get_dict(buf)?;
+    let col = match version {
+        1 => {
+            let mut bitmaps = Vec::with_capacity(dict.len());
+            for _ in 0..dict.len() {
+                bitmaps.push(Wah::decode(buf)?);
+            }
+            Column::from_parts(ty, dict, bitmaps, rows)?
+        }
+        _ => {
+            if buf.remaining() < 12 {
+                return Err(eof());
+            }
+            let seg_rows = buf.get_u64_le();
+            if seg_rows == 0 {
+                return Err(StorageError::PersistError(
+                    "zero nominal segment size".into(),
+                ));
+            }
+            let seg_count = buf.get_u32_le() as usize;
+            let mut segments = Vec::with_capacity(seg_count);
+            for _ in 0..seg_count {
+                if buf.remaining() < 12 {
+                    return Err(eof());
+                }
+                let srows = buf.get_u64_le();
+                let present = buf.get_u32_le() as usize;
+                let mut ids = Vec::with_capacity(present);
+                for _ in 0..present {
+                    if buf.remaining() < 4 {
+                        return Err(eof());
+                    }
+                    ids.push(buf.get_u32_le());
+                }
+                let mut pairs = Vec::with_capacity(present);
+                for id in ids {
+                    let bm = Wah::decode(buf)?;
+                    if bm.len() != srows {
+                        return Err(StorageError::PersistError(format!(
+                            "segment bitmap of id {id} has length {}, segment has {srows} rows",
+                            bm.len()
+                        )));
+                    }
+                    if !bm.any() {
+                        return Err(StorageError::PersistError(format!(
+                            "empty segment bitmap for id {id}"
+                        )));
+                    }
+                    pairs.push((id, bm));
+                }
+                segments.push(Arc::new(Segment::new(srows, pairs)));
+            }
+            Column::from_segments(ty, dict, segments, seg_rows)
+        }
+    };
+    if col.rows() != rows {
+        return Err(StorageError::PersistError(format!(
+            "column covers {} rows, table claims {rows}",
+            col.rows()
+        )));
     }
-    let col = Column::from_parts(ty, dict, bitmaps, rows)?;
     col.check_invariants()?;
     Ok(col)
 }
 
-/// Serializes one table (with its magic header).
+/// Serializes one table (current format version).
 pub fn encode_table(t: &Table) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
     encode_table_body(&mut buf, t);
+    buf.freeze()
+}
+
+/// Serializes one table in the legacy monolithic version-1 layout (one
+/// full-length bitmap per dictionary value). Kept for downgrade paths and
+/// the cross-version round-trip tests.
+pub fn encode_table_v1(t: &Table) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(1);
+    put_str(&mut buf, t.name());
+    put_schema(&mut buf, t.schema());
+    buf.put_u64_le(t.rows());
+    for c in t.columns() {
+        put_column_v1(&mut buf, c);
+    }
     buf.freeze()
 }
 
@@ -196,13 +302,13 @@ fn encode_table_body(buf: &mut BytesMut, t: &Table) {
     }
 }
 
-/// Deserializes one table.
+/// Deserializes one table (any supported format version).
 pub fn decode_table(mut buf: impl Buf) -> Result<Table, StorageError> {
-    check_header(&mut buf)?;
-    decode_table_body(&mut buf)
+    let version = check_header(&mut buf)?;
+    decode_table_body(&mut buf, version)
 }
 
-fn check_header(buf: &mut impl Buf) -> Result<(), StorageError> {
+fn check_header(buf: &mut impl Buf) -> Result<u16, StorageError> {
     if buf.remaining() < 6 {
         return Err(eof());
     }
@@ -213,15 +319,15 @@ fn check_header(buf: &mut impl Buf) -> Result<(), StorageError> {
         )));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(StorageError::PersistError(format!(
             "unsupported version {version}"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
-fn decode_table_body(buf: &mut impl Buf) -> Result<Table, StorageError> {
+fn decode_table_body(buf: &mut impl Buf, version: u16) -> Result<Table, StorageError> {
     let name = get_str(buf)?;
     let schema = get_schema(buf)?;
     if buf.remaining() < 8 {
@@ -230,7 +336,7 @@ fn decode_table_body(buf: &mut impl Buf) -> Result<Table, StorageError> {
     let rows = buf.get_u64_le();
     let mut columns = Vec::with_capacity(schema.arity());
     for _ in 0..schema.arity() {
-        columns.push(Arc::new(get_column(buf, rows)?));
+        columns.push(Arc::new(get_column(buf, rows, version)?));
     }
     Table::new(name, schema, columns)
 }
@@ -260,16 +366,16 @@ pub fn encode_catalog(cat: &crate::catalog::Catalog) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a catalog.
+/// Deserializes a catalog (any supported format version).
 pub fn decode_catalog(mut buf: impl Buf) -> Result<crate::catalog::Catalog, StorageError> {
-    check_header(&mut buf)?;
+    let version = check_header(&mut buf)?;
     if buf.remaining() < 4 {
         return Err(eof());
     }
     let count = buf.get_u32_le();
     let cat = crate::catalog::Catalog::new();
     for _ in 0..count {
-        cat.create(decode_table_body(&mut buf)?)?;
+        cat.create(decode_table_body(&mut buf, version)?)?;
     }
     Ok(cat)
 }
@@ -293,6 +399,7 @@ pub fn read_catalog(path: impl AsRef<Path>) -> Result<crate::catalog::Catalog, S
 mod tests {
     use super::*;
     use crate::catalog::Catalog;
+    use crate::segment::DEFAULT_SEGMENT_ROWS;
 
     fn sample() -> Table {
         let schema = Schema::build(
@@ -310,12 +417,34 @@ mod tests {
                 vec![
                     Value::int(i),
                     Value::str(format!("user{}", i % 10)),
-                    if i % 7 == 0 { Value::Null } else { Value::float(i as f64 / 3.0) },
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::float(i as f64 / 3.0)
+                    },
                     Value::Bool(i % 2 == 0),
                 ]
             })
             .collect();
         Table::from_rows("users", schema, &rows).unwrap()
+    }
+
+    /// A table whose columns span several segments.
+    fn multi_segment() -> Table {
+        let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..1_000)
+            .map(|i| vec![Value::int(i % 17), Value::int(i / 250)])
+            .collect();
+        let columns = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(c, def)| {
+                let vals: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+                Arc::new(Column::from_values_with(def.ty, &vals, 128).unwrap())
+            })
+            .collect();
+        Table::new("multi", schema, columns).unwrap()
     }
 
     #[test]
@@ -327,6 +456,28 @@ mod tests {
         assert_eq!(back.schema(), t.schema());
         assert_eq!(back.rows(), t.rows());
         assert_eq!(back.to_rows(), t.to_rows());
+    }
+
+    #[test]
+    fn multi_segment_round_trip_preserves_directory() {
+        let t = multi_segment();
+        let back = decode_table(encode_table(&t)).unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        let col = back.column(0);
+        assert_eq!(col.segment_count(), t.column(0).segment_count());
+        assert_eq!(col.nominal_segment_rows(), 128);
+        col.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn v1_file_still_decodes() {
+        let t = multi_segment();
+        let legacy = encode_table_v1(&t);
+        let back = decode_table(legacy).unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        back.check_invariants().unwrap();
+        // Re-segmented at the default size on load.
+        assert_eq!(back.column(0).nominal_segment_rows(), DEFAULT_SEGMENT_ROWS);
     }
 
     #[test]
@@ -358,6 +509,14 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u16_le(VERSION);
+        assert!(decode_table(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION + 1);
         assert!(decode_table(buf.freeze()).is_err());
     }
 

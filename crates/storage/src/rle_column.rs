@@ -153,7 +153,9 @@ mod tests {
     use super::*;
 
     fn clustered_values(n: u64, distinct: u64) -> Vec<Value> {
-        (0..n).map(|i| Value::int((i * distinct / n) as i64)).collect()
+        (0..n)
+            .map(|i| Value::int((i * distinct / n) as i64))
+            .collect()
     }
 
     #[test]
@@ -192,7 +194,10 @@ mod tests {
             rle.filter_positions(&positions).values(),
             bitmap_col.filter_positions(&positions).values()
         );
-        assert_eq!(rle.slice(100, 200).values(), bitmap_col.slice(100, 200).values());
+        assert_eq!(
+            rle.slice(100, 200).values(),
+            bitmap_col.slice(100, 200).values()
+        );
     }
 
     #[test]
@@ -202,11 +207,8 @@ mod tests {
             &[Value::str("x"), Value::str("x"), Value::str("y")],
         )
         .unwrap();
-        let b = RleColumn::from_values(
-            ValueType::Str,
-            &[Value::str("y"), Value::str("z")],
-        )
-        .unwrap();
+        let b =
+            RleColumn::from_values(ValueType::Str, &[Value::str("y"), Value::str("z")]).unwrap();
         let c = a.concat(&b).unwrap();
         assert_eq!(c.rows(), 5);
         assert_eq!(

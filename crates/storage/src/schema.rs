@@ -69,14 +69,8 @@ impl Schema {
     }
 
     /// Convenience constructor from `(name, type)` pairs and key names.
-    pub fn build(
-        cols: &[(&str, ValueType)],
-        key_names: &[&str],
-    ) -> Result<Self, StorageError> {
-        let columns: Vec<ColumnDef> = cols
-            .iter()
-            .map(|&(n, t)| ColumnDef::new(n, t))
-            .collect();
+    pub fn build(cols: &[(&str, ValueType)], key_names: &[&str]) -> Result<Self, StorageError> {
+        let columns: Vec<ColumnDef> = cols.iter().map(|&(n, t)| ColumnDef::new(n, t)).collect();
         let mut key = Vec::with_capacity(key_names.len());
         for &k in key_names {
             let idx = columns
@@ -105,7 +99,10 @@ impl Schema {
 
     /// Names of the key attributes.
     pub fn key_names(&self) -> Vec<&str> {
-        self.key.iter().map(|&i| self.columns[i].name.as_str()).collect()
+        self.key
+            .iter()
+            .map(|&i| self.columns[i].name.as_str())
+            .collect()
     }
 
     /// Returns `true` if the named column belongs to the key.
@@ -201,11 +198,8 @@ mod tests {
 
     #[test]
     fn key_handling() {
-        let s = Schema::build(
-            &[("id", ValueType::Int), ("name", ValueType::Str)],
-            &["id"],
-        )
-        .unwrap();
+        let s =
+            Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)], &["id"]).unwrap();
         assert_eq!(s.key(), &[0]);
         assert_eq!(s.key_names(), vec!["id"]);
         assert!(s.is_key_column("id"));

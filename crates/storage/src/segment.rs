@@ -1,0 +1,459 @@
+//! Row-range segments: the unit of storage, parallelism, and pruning of a
+//! segmented [`Column`](crate::Column).
+//!
+//! A column is a column-global dictionary plus a directory of segments,
+//! each covering a consecutive row range (nominally
+//! [`DEFAULT_SEGMENT_ROWS`] rows). A segment stores one WAH bitmap per
+//! value id *that occurs in its range* — sparse, so a value concentrated in
+//! one part of the table costs nothing elsewhere — along with per-segment
+//! statistics (row count, present ids, per-id ones, compressed size) that
+//! scans use to prune entire segments without touching bitmap words.
+//!
+//! Segments are immutable and `Arc`-shared: appending tables (UNION) and
+//! row-range extraction reuse existing segments by reference instead of
+//! rewriting bitmaps.
+
+use cods_bitmap::Wah;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default number of rows per segment (64 Ki).
+pub const DEFAULT_SEGMENT_ROWS: u64 = 64 * 1024;
+
+/// One immutable row-range segment: sparse per-value bitmaps over the
+/// segment's rows, plus cached statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    rows: u64,
+    /// Ascending global value ids present in this segment.
+    ids: Vec<u32>,
+    /// One bitmap per present id (parallel to `ids`), each of length `rows`.
+    bitmaps: Vec<Wah>,
+    /// Cached `count_ones` per bitmap (parallel to `ids`).
+    ones: Vec<u64>,
+    /// Cached total compressed bytes of the bitmaps.
+    bytes: usize,
+}
+
+impl Segment {
+    /// Assembles a segment from present ids and their bitmaps. `pairs` need
+    /// not be sorted; empty bitmaps are rejected in debug builds (callers
+    /// drop them before constructing).
+    pub fn new(rows: u64, mut pairs: Vec<(u32, Wah)>) -> Segment {
+        pairs.sort_unstable_by_key(|(id, _)| *id);
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut bitmaps = Vec::with_capacity(pairs.len());
+        let mut ones = Vec::with_capacity(pairs.len());
+        let mut bytes = 0;
+        for (id, bm) in pairs {
+            debug_assert!(bm.any(), "empty bitmap for id {id} in segment");
+            debug_assert_eq!(bm.len(), rows, "bitmap length mismatch in segment");
+            ones.push(bm.count_ones());
+            bytes += bm.size_bytes();
+            ids.push(id);
+            bitmaps.push(bm);
+        }
+        Segment {
+            rows,
+            ids,
+            bitmaps,
+            ones,
+            bytes,
+        }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The ascending value ids present in this segment.
+    #[inline]
+    pub fn present_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of distinct values present.
+    #[inline]
+    pub fn distinct_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The per-id bitmaps, parallel to [`Segment::present_ids`].
+    #[inline]
+    pub fn bitmaps(&self) -> &[Wah] {
+        &self.bitmaps
+    }
+
+    /// Index of `id` within the present-id list, if present.
+    #[inline]
+    pub fn position_of(&self, id: u32) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Returns `true` when `id` occurs in this segment (O(log present)).
+    #[inline]
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.position_of(id).is_some()
+    }
+
+    /// The bitmap of `id`, if present.
+    pub fn bitmap_for(&self, id: u32) -> Option<&Wah> {
+        self.position_of(id).map(|i| &self.bitmaps[i])
+    }
+
+    /// Number of rows carrying `id` (0 when absent; O(log present)).
+    pub fn count_for(&self, id: u32) -> u64 {
+        self.position_of(id).map_or(0, |i| self.ones[i])
+    }
+
+    /// Cached per-present-id set-bit counts, parallel to
+    /// [`Segment::present_ids`].
+    #[inline]
+    pub fn ones(&self) -> &[u64] {
+        &self.ones
+    }
+
+    /// Total compressed bitmap bytes (cached).
+    #[inline]
+    pub fn compressed_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The value id at segment-local `row` (O(present) bitmap probes).
+    pub fn id_at(&self, row: u64) -> Option<u32> {
+        debug_assert!(row < self.rows);
+        self.ids
+            .iter()
+            .zip(&self.bitmaps)
+            .find(|(_, bm)| bm.get(row))
+            .map(|(&id, _)| id)
+    }
+
+    /// Rewrites the segment under an id translation (`map[old] = Some(new)`
+    /// or `None` to drop the value's rows — only valid when the bitmap is
+    /// unused). Used by dictionary merges and compaction.
+    pub(crate) fn remap(&self, map: &[Option<u32>]) -> Segment {
+        let pairs: Vec<(u32, Wah)> = self
+            .ids
+            .iter()
+            .zip(&self.bitmaps)
+            .filter_map(|(&old, bm)| map[old as usize].map(|new| (new, bm.clone())))
+            .collect();
+        Segment::new(self.rows, pairs)
+    }
+
+    /// Validates the per-segment invariants: sorted unique ids, bitmap
+    /// lengths, non-empty bitmaps, cached stats, and the partition property
+    /// (each row covered exactly once).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.ids.len() != self.bitmaps.len() || self.ids.len() != self.ones.len() {
+            return Err("ids/bitmaps/ones length mismatch".into());
+        }
+        if self.ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("present ids not strictly ascending".into());
+        }
+        let mut total_ones = 0u64;
+        let mut bytes = 0usize;
+        for ((id, bm), &ones) in self.ids.iter().zip(&self.bitmaps).zip(&self.ones) {
+            bm.check_invariants()
+                .map_err(|e| format!("bitmap of id {id}: {e}"))?;
+            if bm.len() != self.rows {
+                return Err(format!(
+                    "bitmap of id {id} has length {}, segment has {} rows",
+                    bm.len(),
+                    self.rows
+                ));
+            }
+            if !bm.any() {
+                return Err(format!("empty bitmap for id {id} (segment not sparse)"));
+            }
+            if bm.count_ones() != ones {
+                return Err(format!("stale ones cache for id {id}"));
+            }
+            total_ones += ones;
+            bytes += bm.size_bytes();
+        }
+        if total_ones != self.rows {
+            return Err(format!(
+                "partition invariant violated: {total_ones} ones over {} rows",
+                self.rows
+            ));
+        }
+        if bytes != self.bytes {
+            return Err("stale byte-size cache".into());
+        }
+        // Ones totalling rows plus full coverage implies disjointness;
+        // verify coverage on small segments via an OR-fold.
+        if self.rows > 0 && self.rows <= 10_000 {
+            let union = Wah::union_many(self.bitmaps.iter(), self.rows);
+            if union.count_ones() != self.rows {
+                return Err("partition invariant violated: overlapping bitmaps".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The output of one per-segment operation: sparse per-value bitmaps over a
+/// run of consecutive output rows, not yet aligned to segment boundaries.
+/// Chunks are produced independently (and in parallel) per input segment
+/// and spliced into output segments by a [`SegmentAssembler`].
+#[derive(Debug)]
+pub struct SegmentChunk {
+    /// Present value ids (need not be sorted).
+    pub ids: Vec<u32>,
+    /// One bitmap per id in `ids`, each `rows` long.
+    pub bitmaps: Vec<Wah>,
+    /// Output rows covered by this chunk.
+    pub rows: u64,
+}
+
+impl SegmentChunk {
+    /// A chunk covering zero rows.
+    pub fn empty() -> SegmentChunk {
+        SegmentChunk {
+            ids: Vec::new(),
+            bitmaps: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Builds a chunk from a stream of value ids, one per output row in
+    /// order. `distinct_hint` is the id-space size (dictionary length);
+    /// when it is small relative to the chunk a dense builder array is
+    /// used, otherwise a hash map — so cost is O(rows) either way without
+    /// a huge allocation for sparse chunks.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(
+        ids: I,
+        rows: u64,
+        distinct_hint: usize,
+    ) -> SegmentChunk {
+        let mut out_ids = Vec::new();
+        let mut out_bitmaps = Vec::new();
+        if (distinct_hint as u64) <= rows.max(4096) {
+            let mut builders: Vec<cods_bitmap::OneStreamBuilder> = Vec::new();
+            builders.resize_with(distinct_hint, cods_bitmap::OneStreamBuilder::new);
+            let mut active: Vec<u32> = Vec::new();
+            for (row, id) in ids.into_iter().enumerate() {
+                let b = &mut builders[id as usize];
+                if b.ones() == 0 {
+                    active.push(id);
+                }
+                b.push_one(row as u64);
+            }
+            active.sort_unstable();
+            for id in active {
+                let b = std::mem::replace(
+                    &mut builders[id as usize],
+                    cods_bitmap::OneStreamBuilder::new(),
+                );
+                out_ids.push(id);
+                out_bitmaps.push(b.finish(rows));
+            }
+        } else {
+            let mut builders: HashMap<u32, cods_bitmap::OneStreamBuilder> = HashMap::new();
+            for (row, id) in ids.into_iter().enumerate() {
+                builders.entry(id).or_default().push_one(row as u64);
+            }
+            for (id, b) in builders {
+                out_ids.push(id);
+                out_bitmaps.push(b.finish(rows));
+            }
+        }
+        SegmentChunk {
+            ids: out_ids,
+            bitmaps: out_bitmaps,
+            rows,
+        }
+    }
+}
+
+/// Splices a stream of [`SegmentChunk`]s into segments of a fixed target
+/// row count. Values absent from a chunk are zero-padded lazily, so cost is
+/// proportional to the values actually present.
+pub struct SegmentAssembler {
+    target: u64,
+    cur_len: u64,
+    /// id → (bitmap so far, rows represented so far). Bitmaps are padded to
+    /// `cur_len` lazily on append and at seal time.
+    cur: HashMap<u32, (Wah, u64)>,
+    segments: Vec<Arc<Segment>>,
+}
+
+impl SegmentAssembler {
+    /// An assembler producing segments of `target` rows (last may be short).
+    pub fn new(target: u64) -> SegmentAssembler {
+        assert!(target > 0, "segment size must be positive");
+        SegmentAssembler {
+            target,
+            cur_len: 0,
+            cur: HashMap::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Appends a chunk, splitting it across segment boundaries as needed.
+    pub fn push_chunk(&mut self, chunk: SegmentChunk) {
+        let SegmentChunk { ids, bitmaps, rows } = chunk;
+        debug_assert_eq!(ids.len(), bitmaps.len());
+        if rows == 0 {
+            return;
+        }
+        // Fast path: a chunk exactly filling an empty current segment
+        // becomes that segment outright — bitmaps are moved, not cloned.
+        // This is the common case when producers chunk at the target size.
+        if self.cur_len == 0 && rows == self.target {
+            let pairs: Vec<(u32, Wah)> = ids
+                .into_iter()
+                .zip(bitmaps)
+                .filter(|(_, bm)| bm.any())
+                .collect();
+            self.segments.push(Arc::new(Segment::new(rows, pairs)));
+            return;
+        }
+        let mut offset = 0u64;
+        while offset < rows {
+            let room = self.target - self.cur_len;
+            let take = room.min(rows - offset);
+            for (&id, bm) in ids.iter().zip(&bitmaps) {
+                let piece = if offset == 0 && take == rows {
+                    // Whole chunk fits: avoid the slice copy.
+                    bm.clone()
+                } else {
+                    bm.slice(offset, offset + take)
+                };
+                if !piece.any() {
+                    continue;
+                }
+                let (acc, len) = self.cur.entry(id).or_insert_with(|| (Wah::new(), 0));
+                if *len < self.cur_len {
+                    acc.append_run(false, self.cur_len - *len);
+                }
+                acc.append_bitmap(&piece);
+                *len = self.cur_len + take;
+            }
+            self.cur_len += take;
+            offset += take;
+            if self.cur_len == self.target {
+                self.seal();
+            }
+        }
+    }
+
+    fn seal(&mut self) {
+        if self.cur_len == 0 {
+            return;
+        }
+        let len = self.cur_len;
+        let pairs: Vec<(u32, Wah)> = self
+            .cur
+            .drain()
+            .map(|(id, (mut bm, emitted))| {
+                if emitted < len {
+                    bm.append_run(false, len - emitted);
+                }
+                (id, bm)
+            })
+            .collect();
+        self.segments.push(Arc::new(Segment::new(len, pairs)));
+        self.cur_len = 0;
+    }
+
+    /// Seals the trailing partial segment and returns the directory.
+    pub fn finish(mut self) -> Vec<Arc<Segment>> {
+        self.seal();
+        self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(rows: u64, pairs: &[(u32, &[u64])]) -> SegmentChunk {
+        SegmentChunk {
+            ids: pairs.iter().map(|&(id, _)| id).collect(),
+            bitmaps: pairs
+                .iter()
+                .map(|&(_, pos)| Wah::from_sorted_positions(pos.iter().copied(), rows))
+                .collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn segment_stats_and_lookup() {
+        let s = Segment::new(
+            6,
+            vec![
+                (7, Wah::from_sorted_positions([0u64, 3, 5], 6)),
+                (2, Wah::from_sorted_positions([1u64, 2, 4], 6)),
+            ],
+        );
+        s.check_invariants().unwrap();
+        assert_eq!(s.present_ids(), &[2, 7]);
+        assert_eq!(s.count_for(7), 3);
+        assert_eq!(s.count_for(9), 0);
+        assert!(s.contains_id(2));
+        assert!(!s.contains_id(3));
+        assert_eq!(s.id_at(0), Some(7));
+        assert_eq!(s.id_at(1), Some(2));
+    }
+
+    #[test]
+    fn assembler_splits_on_boundaries() {
+        let mut asm = SegmentAssembler::new(4);
+        // 6 rows: ids 0,0,1,1,0,1
+        asm.push_chunk(chunk(6, &[(0, &[0, 1, 4]), (1, &[2, 3, 5])]));
+        // 3 more rows, only id 2.
+        asm.push_chunk(chunk(3, &[(2, &[0, 1, 2])]));
+        let segs = asm.finish();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].rows(), 4);
+        assert_eq!(segs[1].rows(), 4);
+        assert_eq!(segs[2].rows(), 1);
+        for s in &segs {
+            s.check_invariants().unwrap();
+        }
+        assert_eq!(segs[0].present_ids(), &[0, 1]);
+        // Second segment: rows 4..8 = [0, 1, 2, 2]
+        assert_eq!(segs[1].present_ids(), &[0, 1, 2]);
+        assert_eq!(segs[1].count_for(2), 2);
+        assert_eq!(segs[2].present_ids(), &[2]);
+    }
+
+    #[test]
+    fn assembler_pads_absent_values() {
+        let mut asm = SegmentAssembler::new(10);
+        asm.push_chunk(chunk(3, &[(5, &[0, 1, 2])]));
+        asm.push_chunk(chunk(3, &[(9, &[0, 1, 2])]));
+        asm.push_chunk(chunk(2, &[(5, &[0, 1])]));
+        let segs = asm.finish();
+        assert_eq!(segs.len(), 1);
+        let s = &segs[0];
+        s.check_invariants().unwrap();
+        assert_eq!(s.rows(), 8);
+        let bm5 = s.bitmap_for(5).unwrap();
+        assert_eq!(bm5.to_positions(), vec![0, 1, 2, 6, 7]);
+        let bm9 = s.bitmap_for(9).unwrap();
+        assert_eq!(bm9.to_positions(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn remap_translates_and_resorts() {
+        let s = Segment::new(
+            3,
+            vec![
+                (0, Wah::from_sorted_positions([0u64], 3)),
+                (1, Wah::from_sorted_positions([1u64, 2], 3)),
+            ],
+        );
+        let r = s.remap(&[Some(4), Some(1)]);
+        r.check_invariants().unwrap();
+        assert_eq!(r.present_ids(), &[1, 4]);
+        assert_eq!(r.count_for(1), 2);
+        assert_eq!(r.count_for(4), 1);
+    }
+}

@@ -11,7 +11,12 @@ pub struct ColumnStats {
     pub rows: u64,
     /// Distinct values (dictionary size).
     pub distinct: usize,
-    /// Compressed bitmap bytes.
+    /// Number of row-range segments.
+    pub segments: usize,
+    /// Distinct values present in the densest segment (the per-segment
+    /// sparsity win: ≤ `distinct`).
+    pub max_segment_distinct: usize,
+    /// Compressed bitmap bytes (summed from segment stats).
     pub bitmap_bytes: usize,
     /// Dictionary bytes (approximate).
     pub dict_bytes: usize,
@@ -29,6 +34,13 @@ impl ColumnStats {
         ColumnStats {
             rows: c.rows(),
             distinct: c.distinct_count(),
+            segments: c.segment_count(),
+            max_segment_distinct: c
+                .segments()
+                .iter()
+                .map(|s| s.distinct_count())
+                .max()
+                .unwrap_or(0),
             bitmap_bytes,
             dict_bytes: c.dict().size_bytes(),
             plain_matrix_bytes: plain,

@@ -67,10 +67,21 @@ impl Table {
         schema: Schema,
         rows: &[Vec<Value>],
     ) -> Result<Table, StorageError> {
+        Self::from_rows_with_segment_rows(name, schema, rows, crate::segment::DEFAULT_SEGMENT_ROWS)
+    }
+
+    /// Builds a table from rows of values with an explicit column segment
+    /// size (benchmarks use this to compare segmentations).
+    pub fn from_rows_with_segment_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: &[Vec<Value>],
+        segment_rows: u64,
+    ) -> Result<Table, StorageError> {
         let mut builders: Vec<ColumnBuilder> = schema
             .columns()
             .iter()
-            .map(|c| ColumnBuilder::new(c.ty))
+            .map(|c| ColumnBuilder::with_segment_rows(c.ty, segment_rows))
             .collect();
         for (rno, row) in rows.iter().enumerate() {
             if row.len() != schema.arity() {
@@ -84,10 +95,7 @@ impl Table {
                 b.push(v.clone())?;
             }
         }
-        let columns = builders
-            .into_iter()
-            .map(|b| Arc::new(b.finish()))
-            .collect();
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
         Table::new(name, schema, columns)
     }
 
@@ -136,7 +144,10 @@ impl Table {
 
     /// Materializes row `idx` as values (display/test path).
     pub fn row(&self, idx: u64) -> Vec<Value> {
-        self.columns.iter().map(|c| c.value_at(idx).clone()).collect()
+        self.columns
+            .iter()
+            .map(|c| c.value_at(idx).clone())
+            .collect()
     }
 
     /// Materializes all rows (test/display helper; decompresses everything).
@@ -321,11 +332,8 @@ mod tests {
 
     #[test]
     fn key_verification() {
-        let schema = Schema::build(
-            &[("id", ValueType::Int), ("v", ValueType::Str)],
-            &["id"],
-        )
-        .unwrap();
+        let schema =
+            Schema::build(&[("id", ValueType::Int), ("v", ValueType::Str)], &["id"]).unwrap();
         let good = Table::from_rows(
             "t",
             schema.clone(),
@@ -345,7 +353,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert!(matches!(bad.verify_key(), Err(StorageError::KeyViolation(_))));
+        assert!(matches!(
+            bad.verify_key(),
+            Err(StorageError::KeyViolation(_))
+        ));
     }
 
     #[test]
@@ -363,7 +374,11 @@ mod tests {
         let t = Table::from_rows(
             "t",
             schema,
-            &[vec![Value::int(1)], vec![Value::int(1)], vec![Value::int(2)]],
+            &[
+                vec![Value::int(1)],
+                vec![Value::int(1)],
+                vec![Value::int(2)],
+            ],
         )
         .unwrap();
         let m = t.tuple_multiset();
@@ -396,7 +411,8 @@ mod tests {
         assert_eq!(employees, sorted, "not clustered by employee");
         // Clustered value bitmaps are single fill runs (tiny).
         let col = clustered.column_by_name("employee").unwrap();
-        for bm in col.bitmaps() {
+        for id in 0..col.distinct_count() as u32 {
+            let bm = col.value_bitmap(id);
             assert!(bm.words().len() <= 3, "bitmap not run-compressed");
         }
     }
@@ -404,7 +420,11 @@ mod tests {
     #[test]
     fn cluster_by_composite_is_stable() {
         let schema = Schema::build(
-            &[("a", ValueType::Int), ("b", ValueType::Int), ("seq", ValueType::Int)],
+            &[
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+                ("seq", ValueType::Int),
+            ],
             &[],
         )
         .unwrap();

@@ -265,7 +265,12 @@ mod tests {
 
     #[test]
     fn type_tags_round_trip() {
-        for ty in [ValueType::Bool, ValueType::Int, ValueType::Float, ValueType::Str] {
+        for ty in [
+            ValueType::Bool,
+            ValueType::Int,
+            ValueType::Float,
+            ValueType::Str,
+        ] {
             assert_eq!(ValueType::from_tag(ty.tag()), Some(ty));
         }
         assert_eq!(ValueType::from_tag(99), None);

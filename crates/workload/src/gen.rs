@@ -158,10 +158,8 @@ mod tests {
         cfg.distribution = Distribution::Zipf(1.2);
         let t = generate_table("R", &cfg);
         let col = t.column_by_name("entity").unwrap();
-        let max_count = col
-            .bitmaps()
-            .iter()
-            .map(|b| b.count_ones())
+        let max_count = (0..col.distinct_count() as u32)
+            .map(|id| col.value_count(id))
             .max()
             .unwrap();
         // The hottest entity must far exceed the uniform share.

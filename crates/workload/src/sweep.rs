@@ -85,11 +85,7 @@ impl SweepSpec {
     pub fn scaled(rows: u64) -> Self {
         SweepSpec {
             rows,
-            distinct_values: PAPER_SWEEP
-                .iter()
-                .copied()
-                .filter(|&d| d <= rows)
-                .collect(),
+            distinct_values: PAPER_SWEEP.iter().copied().filter(|&d| d <= rows).collect(),
         }
     }
 }

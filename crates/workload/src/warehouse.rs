@@ -157,7 +157,10 @@ mod tests {
         let dim = star_customer_dim(&cfg);
         assert_eq!(dim.rows(), 100);
         dim.verify_key().unwrap();
-        assert_eq!(dim.column_by_name("region_name").unwrap().distinct_count(), 5);
+        assert_eq!(
+            dim.column_by_name("region_name").unwrap().distinct_count(),
+            5
+        );
 
         let fact = sales_fact(&cfg);
         assert_eq!(fact.rows(), 1000);

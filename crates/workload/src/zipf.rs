@@ -1,6 +1,6 @@
 //! Zipf-distributed sampling for skewed workloads.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A Zipf(θ) sampler over `0..n` using an inverse-CDF table.
 ///
@@ -65,7 +65,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 
@@ -78,7 +81,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 dominates rank 50 heavily.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
     }
 
     #[test]

@@ -36,12 +36,7 @@ fn main() {
     let status = cods
         .execute(Smo::DecomposeTable {
             input: "R".into(),
-            spec: DecomposeSpec::new(
-                "S",
-                &["employee", "skill"],
-                "T",
-                &["employee", "address"],
-            ),
+            spec: DecomposeSpec::new("S", &["employee", "skill"], "T", &["employee", "address"]),
         })
         .unwrap();
     println!("Data evolution status (DECOMPOSE):");

@@ -6,7 +6,7 @@
 //! cargo run --release --example smo_tour
 //! ```
 
-use cods::{ColumnFill, Cods, DecomposeSpec, MergeStrategy, Smo};
+use cods::{Cods, ColumnFill, DecomposeSpec, MergeStrategy, Smo};
 use cods_query::Predicate;
 use cods_storage::{ColumnDef, Value, ValueType};
 use cods_workload::figure1;
@@ -60,12 +60,7 @@ fn main() {
         // The headline operators.
         Smo::DecomposeTable {
             input: "R".into(),
-            spec: DecomposeSpec::new(
-                "S",
-                &["employee", "skill"],
-                "T",
-                &["employee", "address"],
-            ),
+            spec: DecomposeSpec::new("S", &["employee", "skill"], "T", &["employee", "address"]),
         },
         Smo::MergeTables {
             left: "S".into(),

@@ -69,22 +69,16 @@ fn check_config(cfg: &GenConfig) {
         )
         .unwrap();
         let s_rows: Vec<Vec<Value>> = db.table("S").unwrap().scan().map(|(_, r)| r).collect();
-        let t_rows: Vec<Vec<Value>>= db.table("T").unwrap().scan().map(|(_, r)| r).collect();
+        let t_rows: Vec<Vec<Value>> = db.table("T").unwrap().scan().map(|(_, r)| r).collect();
         assert_eq!(multiset(&s_rows), cods_s, "{policy:?} S differs");
         assert_eq!(multiset(&t_rows), cods_t, "{policy:?} T differs");
 
         // Merge back on the row engine and compare with CODS's merge.
         let mut db2 = db;
         merge_row_level(&mut db2, "S", "T", "R2", &["entity"], false).unwrap();
-        let row_merged: Vec<Vec<Value>> =
-            db2.table("R2").unwrap().scan().map(|(_, r)| r).collect();
-        let cods_merged = cods::merge(
-            &out.unchanged,
-            &out.changed,
-            "R2",
-            &MergeStrategy::Auto,
-        )
-        .unwrap();
+        let row_merged: Vec<Vec<Value>> = db2.table("R2").unwrap().scan().map(|(_, r)| r).collect();
+        let cods_merged =
+            cods::merge(&out.unchanged, &out.changed, "R2", &MergeStrategy::Auto).unwrap();
         assert_eq!(
             multiset(&cods_merged.output.to_rows()),
             multiset(&row_merged),

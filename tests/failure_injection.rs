@@ -3,7 +3,7 @@
 //! never silently wrong data.
 
 use cods::{Cods, DecomposeSpec, EvolutionError, MergeStrategy, Smo};
-use cods_storage::persist::{encode_table, decode_table, read_table, save_table};
+use cods_storage::persist::{decode_table, encode_table, read_table, save_table};
 use cods_storage::{load_str, LoadOptions, Schema, StorageError, ValueType};
 use cods_workload::{figure1, GenConfig};
 
@@ -24,7 +24,9 @@ fn corrupted_table_files_are_rejected() {
     for pos in [0usize, 4, 10, 60, bytes.len() / 2, bytes.len() - 2] {
         let mut corrupt = bytes.to_vec();
         corrupt[pos] ^= 0xFF;
-        if let Ok(t) = decode_table(bytes::Bytes::from(corrupt)) { t.check_invariants().unwrap() }
+        if let Ok(t) = decode_table(bytes::Bytes::from(corrupt)) {
+            t.check_invariants().unwrap()
+        }
     }
 }
 
@@ -40,11 +42,7 @@ fn unreadable_files_error() {
 
 #[test]
 fn malformed_csv_loads_fail_with_context() {
-    let schema = Schema::build(
-        &[("a", ValueType::Int), ("b", ValueType::Int)],
-        &[],
-    )
-    .unwrap();
+    let schema = Schema::build(&[("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap();
     for (text, needle) in [
         ("1,2\n3\n", "line 2"),
         ("1,2\nx,4\n", "line 2"),

@@ -1,7 +1,7 @@
 //! End-to-end multi-step evolution scenarios through the platform,
 //! exercising the full SMO catalogue in realistic sequences.
 
-use cods::{ColumnFill, Cods, DecomposeSpec, EvolutionError, MergeStrategy, Smo};
+use cods::{Cods, ColumnFill, DecomposeSpec, EvolutionError, MergeStrategy, Smo};
 use cods_query::Predicate;
 use cods_storage::{ColumnDef, Value, ValueType};
 use cods_workload::{figure1, GenConfig};
@@ -184,7 +184,12 @@ fn recursive_decomposition_into_three_tables() {
     assert_eq!(r.rows(), 600);
     // Same tuples as the original, modulo column order.
     let schema2 = r.schema().clone();
-    assert!(schema2.contains("e") && schema2.contains("a") && schema2.contains("d") && schema2.contains("z"));
+    assert!(
+        schema2.contains("e")
+            && schema2.contains("a")
+            && schema2.contains("d")
+            && schema2.contains("z")
+    );
 }
 
 #[test]

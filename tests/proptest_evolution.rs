@@ -1,8 +1,8 @@
 //! Property-based tests of the evolution operators over randomly generated
 //! tables: losslessness, cross-engine agreement, and algebraic identities.
 
-use cods::{decompose, merge, merge_general, DecomposeSpec, MergeStrategy};
 use cods::simple_ops::{partition_table, union_tables};
+use cods::{decompose, merge, merge_general, DecomposeSpec, MergeStrategy};
 use cods_query::Predicate;
 use cods_storage::{Schema, Table, Value, ValueType};
 use proptest::prelude::*;
@@ -40,11 +40,7 @@ fn fd_table() -> impl Strategy<Value = Table> {
 /// Any random two-int-column table (no FD guarantee).
 fn any_table(name: &'static str) -> impl Strategy<Value = Table> {
     prop::collection::vec((0i64..15, 0i64..10), 0usize..200).prop_map(move |pairs| {
-        let schema = Schema::build(
-            &[("k", ValueType::Int), ("v", ValueType::Int)],
-            &[],
-        )
-        .unwrap();
+        let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Int)], &[]).unwrap();
         let rows: Vec<Vec<Value>> = pairs
             .into_iter()
             .map(|(k, v)| vec![Value::int(k), Value::int(v)])

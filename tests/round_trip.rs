@@ -19,7 +19,12 @@ fn platform_with(rows: u64, distinct: u64) -> Cods {
 
 #[test]
 fn decompose_merge_identity_across_scales() {
-    for (rows, distinct) in [(100u64, 10u64), (1_000, 100), (20_000, 500), (20_000, 20_000)] {
+    for (rows, distinct) in [
+        (100u64, 10u64),
+        (1_000, 100),
+        (20_000, 500),
+        (20_000, 20_000),
+    ] {
         let cods = platform_with(rows, distinct);
         let original = cods.table("R").unwrap();
         let original_tuples = original.tuple_multiset();
