@@ -29,12 +29,13 @@ fn bench_encoding(c: &mut Criterion) {
     group.bench_function("filter_clustered_wah", |b| {
         b.iter(|| black_box(col_c.filter_positions(&positions)));
     });
-    let rle = RleColumn::from_column(col_c);
+    let col_c_bitmap = col_c.as_bitmap().expect("generated tables are bitmap");
+    let rle = RleColumn::from_column(col_c_bitmap);
     group.bench_function("filter_clustered_rle", |b| {
         b.iter(|| black_box(rle.filter_positions(&positions)));
     });
     group.bench_function("rle_from_bitmap_column", |b| {
-        b.iter(|| black_box(RleColumn::from_column(col_c)));
+        b.iter(|| black_box(RleColumn::from_column(col_c_bitmap)));
     });
     group.bench_function("rle_to_bitmap_column", |b| {
         b.iter(|| black_box(rle.to_column().unwrap()));

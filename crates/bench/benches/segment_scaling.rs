@@ -19,6 +19,8 @@ use cods_workload::GenConfig;
 const ROWS: u64 = 1 << 20; // 1,048,576
 const DISTINCT: u64 = 10_000;
 const MONO_SEG: u64 = 1 << 40;
+/// Point scans per timed sweep of the clustered-RLE scan benchmark.
+const SCANS: u64 = 64;
 
 fn median_of(mut f: impl FnMut() -> Duration, runs: usize) -> Duration {
     let mut times: Vec<Duration> = (0..runs).map(|_| f()).collect();
@@ -29,6 +31,13 @@ fn median_of(mut f: impl FnMut() -> Duration, runs: usize) -> Duration {
 struct Setup {
     seg: Table,
     mono: Table,
+    /// The same data run-length encoded, segmented and single-segment.
+    rle_seg: Table,
+    rle_mono: Table,
+    /// Clustered by entity and RLE encoded (the paper's RLE use case):
+    /// each value occupies one run, concentrated in one row range.
+    rle_clustered_seg: Table,
+    rle_clustered_mono: Table,
 }
 
 fn setup() -> Setup {
@@ -40,7 +49,22 @@ fn setup() -> Setup {
         "segmented build must emit multiple segments"
     );
     assert_eq!(mono.column(0).segment_count(), 1);
-    Setup { seg, mono }
+    let rle_seg = seg.recoded(cods_storage::Encoding::Rle).unwrap();
+    let rle_mono = mono.recoded(cods_storage::Encoding::Rle).unwrap();
+    assert!(rle_seg.column(0).segment_count() >= 2);
+    assert_eq!(rle_mono.column(0).segment_count(), 1);
+    let clustered_seg = seg.cluster_by(&["entity"]).unwrap();
+    let clustered_mono = mono.cluster_by(&["entity"]).unwrap();
+    let rle_clustered_seg = clustered_seg.recoded(cods_storage::Encoding::Rle).unwrap();
+    let rle_clustered_mono = clustered_mono.recoded(cods_storage::Encoding::Rle).unwrap();
+    Setup {
+        seg,
+        mono,
+        rle_seg,
+        rle_mono,
+        rle_clustered_seg,
+        rle_clustered_mono,
+    }
 }
 
 fn verify_identical(s: &Setup) {
@@ -67,7 +91,37 @@ fn verify_identical(s: &Setup) {
         cods::verify::same_tuples(&ma.output, &s.seg).unwrap(),
         "segmented merge disagrees with input"
     );
-    eprintln!("verify: segmented and single-segment results identical");
+    // The RLE path must agree with the bitmap path bit for bit, segmented
+    // and single-segment alike.
+    let ra = decompose(&s.rle_seg, &spec).unwrap();
+    let rb = decompose(&s.rle_mono, &spec).unwrap();
+    assert_eq!(ra.distinct_keys, a.distinct_keys);
+    assert_eq!(
+        ra.changed.to_rows(),
+        a.changed.to_rows(),
+        "RLE decompose disagrees with bitmap decompose"
+    );
+    assert_eq!(
+        ra.changed.to_rows(),
+        rb.changed.to_rows(),
+        "segmented and monolithic RLE decompose disagree"
+    );
+    // Pruned scans return identical masks on every configuration.
+    for i in 0..SCANS {
+        let pred = cods_query::Predicate::eq("entity", (i * 97) as i64 % DISTINCT as i64);
+        let m_seg = cods_query::bitmap_scan::predicate_mask(&s.rle_clustered_seg, &pred).unwrap();
+        let m_mono = cods_query::bitmap_scan::predicate_mask(&s.rle_clustered_mono, &pred).unwrap();
+        let m_bitmap = cods_query::bitmap_scan::predicate_mask(
+            &s.rle_clustered_seg
+                .recoded(cods_storage::Encoding::Bitmap)
+                .unwrap(),
+            &pred,
+        )
+        .unwrap();
+        assert_eq!(m_seg, m_mono, "RLE scan masks diverge across segmentations");
+        assert_eq!(m_seg, m_bitmap, "RLE scan masks diverge from bitmap");
+    }
+    eprintln!("verify: segmented, single-segment, and RLE results identical");
 }
 
 fn bench_segment_scaling(c: &mut Criterion) {
@@ -123,6 +177,45 @@ fn bench_segment_scaling(c: &mut Criterion) {
         total_mono.as_secs_f64() / total_seg.as_secs_f64()
     );
 
+    // RLE variant: the same decompose with every column run-length
+    // encoded, plus a point-scan sweep over the clustered RLE column —
+    // the paper's RLE use case — where segment stats prune every row range
+    // the value does not occur in. Segmented throughput must not fall
+    // behind monolithic, and the pruned scans are where the directory wins
+    // even on one core.
+    let d_rle_seg = median_of(|| time_decompose(&s.rle_seg), 5);
+    let d_rle_mono = median_of(|| time_decompose(&s.rle_mono), 5);
+    eprintln!(
+        "decompose (rle) segmented {:>10?}   single-segment {:>12?}   speedup {:.2}x",
+        d_rle_seg,
+        d_rle_mono,
+        d_rle_mono.as_secs_f64() / d_rle_seg.as_secs_f64()
+    );
+    let time_scans = |t: &Table| {
+        let start = Instant::now();
+        for i in 0..SCANS {
+            let pred = cods_query::Predicate::eq("entity", (i * 97) as i64 % DISTINCT as i64);
+            black_box(cods_query::bitmap_scan::predicate_mask(t, &pred).unwrap());
+        }
+        start.elapsed()
+    };
+    let sc_seg = median_of(|| time_scans(&s.rle_clustered_seg), 5);
+    let sc_mono = median_of(|| time_scans(&s.rle_clustered_mono), 5);
+    eprintln!(
+        "{SCANS} pruned point scans (clustered rle) segmented {:>10?}   single-segment {:>10?}   speedup {:.2}x",
+        sc_seg,
+        sc_mono,
+        sc_mono.as_secs_f64() / sc_seg.as_secs_f64()
+    );
+    let rle_total_seg = d_rle_seg + sc_seg;
+    let rle_total_mono = d_rle_mono + sc_mono;
+    eprintln!(
+        "rle decompose+scans segmented {:>10?}   single-segment {:>12?}   speedup {:.2}x",
+        rle_total_seg,
+        rle_total_mono,
+        rle_total_mono.as_secs_f64() / rle_total_seg.as_secs_f64()
+    );
+
     // Criterion-style groups for the harness record.
     let mut group = c.benchmark_group("segment_scaling");
     group.sample_size(5);
@@ -133,6 +226,26 @@ fn bench_segment_scaling(c: &mut Criterion) {
     });
     group.bench_function("decompose/single_segment", |b| {
         b.iter(|| black_box(decompose(&s.mono, &spec).unwrap()));
+    });
+    group.bench_function("decompose_rle/segmented", |b| {
+        b.iter(|| black_box(decompose(&s.rle_seg, &spec).unwrap()));
+    });
+    group.bench_function("decompose_rle/single_segment", |b| {
+        b.iter(|| black_box(decompose(&s.rle_mono, &spec).unwrap()));
+    });
+    group.bench_function("scan_rle_clustered/segmented", |b| {
+        b.iter(|| {
+            let pred = cods_query::Predicate::eq("entity", 4_987i64);
+            black_box(cods_query::bitmap_scan::predicate_mask(&s.rle_clustered_seg, &pred).unwrap())
+        });
+    });
+    group.bench_function("scan_rle_clustered/single_segment", |b| {
+        b.iter(|| {
+            let pred = cods_query::Predicate::eq("entity", 4_987i64);
+            black_box(
+                cods_query::bitmap_scan::predicate_mask(&s.rle_clustered_mono, &pred).unwrap(),
+            )
+        });
     });
     group.bench_function("merge_kfk/segmented", |b| {
         b.iter(|| {

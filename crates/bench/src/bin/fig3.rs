@@ -345,18 +345,18 @@ fn ablations(args: &Args) {
         let cluster_time = t0.elapsed();
         let col_u = unclustered.column_by_name("entity").unwrap();
         let col_c = clustered.column_by_name("entity").unwrap();
-        let rle = RleColumn::from_column(col_c);
+        let rle = RleColumn::from_column(col_c.as_bitmap().expect("generated tables are bitmap"));
         println!(
             "\n  clustering (rows = {rows_n}, sort cost {}):",
             fmt_dur(cluster_time)
         );
         println!(
             "  entity column, unclustered WAH: {:>10} bytes",
-            col_u.bitmap_bytes()
+            col_u.payload_bytes()
         );
         println!(
             "  entity column, clustered WAH:   {:>10} bytes",
-            col_c.bitmap_bytes()
+            col_c.payload_bytes()
         );
         println!(
             "  entity column, clustered RLE:   {:>10} bytes ({} runs)",
@@ -380,7 +380,7 @@ fn ablations(args: &Args) {
         let c = &stats.columns[0];
         println!(
             "  {:>10} {:>14} {:>14} {:>7.1}x",
-            d, c.bitmap_bytes, c.plain_matrix_bytes, c.compression_ratio
+            d, c.payload_bytes, c.plain_matrix_bytes, c.compression_ratio
         );
     }
 }

@@ -22,7 +22,8 @@ commands:
   demo                                             load the paper's Figure 1 table R
   tables                                           list tables
   display <table> [limit]                          show rows
-  stats <table>                                    storage statistics
+  stats <table>                                    storage statistics (per-column encoding + segments)
+  recode <table> <col|*> <rle|bitmap>              re-encode a column (or all) in place
   decompose <in> <out1> <cols> <out2> <cols>       DECOMPOSE TABLE (cols: a,b,c)
   merge <left> <right> <out>                       MERGE TABLES (auto strategy)
   partition <in> <col><op><lit> <out1> <out2>      PARTITION TABLE (op: = != < <= > >=)
@@ -92,6 +93,34 @@ fn parse_predicate(expr: &str, table: &cods_storage::Table) -> Result<Predicate,
 
 fn cols_of(spec: &str) -> Vec<String> {
     spec.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+/// Renders the `stats` output: per-column encoding, segment directory
+/// shape (both encodings are segmented, so RLE columns report their
+/// segment counts exactly like bitmap columns), and compression numbers.
+pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
+    use std::fmt::Write as _;
+    let stats = cods_storage::TableStats::of(t);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: {} rows, {} columns, {} bytes compressed",
+        stats.rows, stats.arity, stats.total_bytes
+    );
+    for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
+        let _ = writeln!(
+            out,
+            "  {:<12} enc={:<7} distinct={:<8} segments={:<5} max-seg-distinct={:<8} payload={}B ratio={:.1}x",
+            def.name,
+            c.encoding.to_string(),
+            c.distinct,
+            c.segments,
+            c.max_segment_distinct,
+            c.payload_bytes,
+            c.compression_ratio
+        );
+    }
+    out
 }
 
 /// Executes one command line against the platform.
@@ -164,22 +193,26 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
                 return Err("usage: stats <table>".into());
             };
             let t = cods.table(name).map_err(|e| e.to_string())?;
-            let stats = cods_storage::TableStats::of(&t);
-            println!(
-                "{name}: {} rows, {} columns, {} bytes compressed",
-                stats.rows, stats.arity, stats.total_bytes
-            );
-            for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
-                println!(
-                    "  {:<12} distinct={:<8} segments={:<5} max-seg-distinct={:<8} bitmaps={}B ratio={:.1}x",
-                    def.name,
-                    c.distinct,
-                    c.segments,
-                    c.max_segment_distinct,
-                    c.bitmap_bytes,
-                    c.compression_ratio
-                );
+            print!("{}", render_stats(name, &t));
+        }
+        "recode" => {
+            let [name, col, enc] = args.as_slice() else {
+                return Err("usage: recode <table> <col|*> <rle|bitmap>".into());
+            };
+            let encoding = match *enc {
+                "rle" => cods_storage::Encoding::Rle,
+                "bitmap" => cods_storage::Encoding::Bitmap,
+                other => return Err(format!("unknown encoding {other:?} (use rle/bitmap)")),
+            };
+            let t = cods.table(name).map_err(|e| e.to_string())?;
+            let recoded = if *col == "*" {
+                t.recoded(encoding)
+            } else {
+                t.with_column_encoding(col, encoding)
             }
+            .map_err(|e| e.to_string())?;
+            cods.catalog().put(recoded);
+            println!("recoded {name}.{col} to {encoding}");
         }
         "decompose" => {
             let [input, out1, cols1, out2, cols2] = args.as_slice() else {
@@ -395,6 +428,52 @@ mod tests {
         run(&mut cods, "rename t2 t3");
         run(&mut cods, "drop t3");
         assert_eq!(cods.catalog().table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn recode_and_stats_report_rle_segments() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        // Bitmap columns report their segment directory...
+        let t = cods.table("R").unwrap();
+        let before = render_stats("R", &t);
+        assert!(before.contains("enc=bitmap"), "stats: {before}");
+        assert!(before.contains("segments=1"), "stats: {before}");
+        assert!(!before.contains("enc=rle"), "stats: {before}");
+        // ...and after recoding, RLE columns report theirs too (the old
+        // stats path simply had no RLE columns to count).
+        run(&mut cods, "recode R skill rle");
+        let t = cods.table("R").unwrap();
+        let after = render_stats("R", &t);
+        assert!(after.contains("enc=rle"), "stats: {after}");
+        assert_eq!(
+            after.matches("segments=1").count(),
+            3,
+            "RLE column must report its segment count: {after}"
+        );
+        assert_eq!(
+            t.column_by_name("skill").unwrap().encoding(),
+            cods_storage::Encoding::Rle
+        );
+        // Whole-table recode and round trip back.
+        run(&mut cods, "recode R * rle");
+        assert!(cods
+            .table("R")
+            .unwrap()
+            .columns()
+            .iter()
+            .all(|c| c.encoding() == cods_storage::Encoding::Rle));
+        run(&mut cods, "recode R * bitmap");
+        assert!(cods
+            .table("R")
+            .unwrap()
+            .columns()
+            .iter()
+            .all(|c| c.encoding() == cods_storage::Encoding::Bitmap));
+        assert_eq!(cods.table("R").unwrap().rows(), 7);
+        // Bad arguments are rejected.
+        assert!(run_command(&mut cods, "recode R skill zigzag").is_err());
+        assert!(run_command(&mut cods, "recode missing skill rle").is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::error::{EvolutionError, Result};
 use crate::schema_tools::check_decomposition_shape;
 use crate::status::{EvolutionStatus, StatusTracker};
-use cods_storage::{Column, Table};
+use cods_storage::{EncodedColumn, Table};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -133,12 +133,14 @@ pub fn distinction(
 }
 
 /// Bitmap-filters each column to `positions` with one pool task per
-/// (column × segment), then reassembles each column's chunks into a fresh
-/// segment directory. Shared by DECOMPOSE and PARTITION.
+/// (column × segment) — both encodings fan out the same way; each task
+/// produces a chunk in its column's encoding — then reassembles each
+/// column's chunks into a fresh segment directory. Shared by DECOMPOSE and
+/// PARTITION.
 pub(crate) fn filter_columns_by_positions(
-    columns: &[&Column],
+    columns: &[&EncodedColumn],
     positions: &[u64],
-) -> Vec<Arc<Column>> {
+) -> Vec<Arc<EncodedColumn>> {
     // Task list: (column index, segment index, span of `positions`).
     let mut tasks = Vec::new();
     for (ci, col) in columns.iter().enumerate() {
@@ -154,24 +156,15 @@ pub(crate) fn filter_columns_by_positions(
     });
     // Tasks were generated in ascending (column, segment) order and
     // map_parallel preserves order, so chunks splice back sequentially.
-    let mut assemblers: Vec<cods_storage::SegmentAssembler> = columns
-        .iter()
-        .map(|c| cods_storage::SegmentAssembler::new(c.nominal_segment_rows()))
-        .collect();
+    let mut assemblers: Vec<cods_storage::EncodedAssembler> =
+        columns.iter().map(|c| c.assembler()).collect();
     for (ci, chunk) in chunks {
         assemblers[ci].push_chunk(chunk);
     }
     columns
         .iter()
         .zip(assemblers)
-        .map(|(col, asm)| {
-            Arc::new(Column::from_segments_compacting(
-                col.ty(),
-                col.dict().clone(),
-                asm.finish(),
-                col.nominal_segment_rows(),
-            ))
-        })
+        .map(|(col, asm)| Arc::new(col.from_assembler_compacting(asm)))
         .collect()
 }
 
@@ -181,9 +174,9 @@ pub(crate) fn filter_columns_by_positions(
 /// materializes a whole-column position list, so PARTITION's memory stays
 /// O(segment) regardless of table size.
 pub(crate) fn filter_columns_by_mask(
-    columns: &[&Column],
+    columns: &[&EncodedColumn],
     mask: &cods_bitmap::Wah,
-) -> Vec<Arc<Column>> {
+) -> Vec<Arc<EncodedColumn>> {
     let mut tasks = Vec::new();
     for (ci, col) in columns.iter().enumerate() {
         for (seg_idx, mask_seg) in col.split_mask(mask).into_iter().enumerate() {
@@ -196,24 +189,15 @@ pub(crate) fn filter_columns_by_mask(
             columns[ci].filter_segment_mask_chunk(seg_idx, &mask_seg),
         )
     });
-    let mut assemblers: Vec<cods_storage::SegmentAssembler> = columns
-        .iter()
-        .map(|c| cods_storage::SegmentAssembler::new(c.nominal_segment_rows()))
-        .collect();
+    let mut assemblers: Vec<cods_storage::EncodedAssembler> =
+        columns.iter().map(|c| c.assembler()).collect();
     for (ci, chunk) in chunks {
         assemblers[ci].push_chunk(chunk);
     }
     columns
         .iter()
         .zip(assemblers)
-        .map(|(col, asm)| {
-            Arc::new(Column::from_segments_compacting(
-                col.ty(),
-                col.dict().clone(),
-                asm.finish(),
-                col.nominal_segment_rows(),
-            ))
-        })
+        .map(|(col, asm)| Arc::new(col.from_assembler_compacting(asm)))
         .collect()
 }
 
@@ -232,7 +216,7 @@ pub fn decompose(input: &Table, spec: &DecomposeSpec) -> Result<DecomposeOutcome
     // Step 0 — reuse: the unchanged table shares the input's columns.
     let unchanged_names: Vec<&str> = spec.unchanged_cols.iter().map(String::as_str).collect();
     let unchanged_schema = input.schema().project(&unchanged_names, &[])?;
-    let unchanged_columns: Vec<Arc<Column>> = unchanged_names
+    let unchanged_columns: Vec<Arc<EncodedColumn>> = unchanged_names
         .iter()
         .map(|n| Ok(Arc::clone(input.column_by_name(n)?)))
         .collect::<Result<_>>()?;
@@ -272,7 +256,7 @@ pub fn decompose(input: &Table, spec: &DecomposeSpec) -> Result<DecomposeOutcome
     let changed_names: Vec<&str> = spec.changed_cols.iter().map(String::as_str).collect();
     let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
     let changed_schema = input.schema().project(&changed_names, &common_refs)?;
-    let to_filter: Vec<&Column> = changed_names
+    let to_filter: Vec<&EncodedColumn> = changed_names
         .iter()
         .map(|n| Ok(input.column_by_name(n)?.as_ref()))
         .collect::<Result<_>>()?;

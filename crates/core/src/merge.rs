@@ -20,8 +20,8 @@
 
 use crate::error::{EvolutionError, Result};
 use crate::status::{EvolutionStatus, StatusTracker};
-use cods_bitmap::ValueStreamBuilder;
-use cods_storage::{Column, ColumnDef, Schema, SegmentAssembler, SegmentChunk, Table};
+use cods_bitmap::{RleSeq, ValueStreamBuilder};
+use cods_storage::{Column, ColumnDef, EncodedChunk, EncodedColumn, RleColumn, Schema, Table};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -64,12 +64,72 @@ pub struct MergeOutcome {
 
 /// For each dictionary id of `from`, the id of the same value in `to`
 /// (`None` when absent). Cost: O(distinct values), never O(rows).
-fn id_mapping(from: &Column, to: &Column) -> Vec<Option<u32>> {
+fn id_mapping(from: &EncodedColumn, to: &EncodedColumn) -> Vec<Option<u32>> {
     from.dict()
         .values()
         .iter()
         .map(|v| to.dict().id_of(v))
         .collect()
+}
+
+/// An output-column emitter that writes value-id runs in either encoding —
+/// the seam letting general mergence produce each output column in its
+/// input column's encoding while emitting compressed runs directly.
+enum RunSink {
+    Bitmap(ValueStreamBuilder),
+    Rle(RleSeq),
+}
+
+impl RunSink {
+    fn for_column(col: &EncodedColumn) -> RunSink {
+        match col {
+            EncodedColumn::Bitmap(_) => {
+                RunSink::Bitmap(ValueStreamBuilder::new(col.distinct_count()))
+            }
+            EncodedColumn::Rle(_) => RunSink::Rle(RleSeq::new()),
+        }
+    }
+
+    fn rows(&self) -> u64 {
+        match self {
+            RunSink::Bitmap(b) => b.rows(),
+            RunSink::Rle(s) => s.len(),
+        }
+    }
+
+    fn push_rows(&mut self, id: usize, count: u64) {
+        match self {
+            RunSink::Bitmap(b) => b.push_rows(id, count),
+            RunSink::Rle(s) => s.append_run(id as u32, count),
+        }
+    }
+
+    fn push_row(&mut self, id: usize) {
+        self.push_rows(id, 1);
+    }
+
+    fn finish(self, col: &EncodedColumn, total: u64) -> Result<EncodedColumn> {
+        Ok(match self {
+            RunSink::Bitmap(b) => EncodedColumn::Bitmap(
+                Column::from_dict_bitmaps_compacting(
+                    col.ty(),
+                    col.dict().clone(),
+                    b.finish_with_len(total),
+                    total,
+                )
+                .map_err(EvolutionError::Storage)?,
+            ),
+            RunSink::Rle(s) => {
+                debug_assert_eq!(s.len(), total);
+                EncodedColumn::Rle(RleColumn::from_dict_seq_compacting(
+                    col.ty(),
+                    col.dict().clone(),
+                    &s,
+                    col.nominal_segment_rows(),
+                ))
+            }
+        })
+    }
 }
 
 fn join_indices(schema: &Schema, join_cols: &[String]) -> Result<Vec<usize>> {
@@ -198,14 +258,15 @@ pub fn merge_key_fk(
     }
     tracker.step_items("sequential scan", n as u64);
 
-    // Build the payload columns (keyed-side non-join attributes) directly as
-    // compressed bitmaps over the reusable side's row space. Columns are
-    // processed one at a time so only one dense id array is alive at once
-    // (peak memory O(rows), not O(rows × payload columns)); within a
-    // column, one task per output segment gathers that segment's rows in
-    // parallel, spliced back in order.
+    // Build the payload columns (keyed-side non-join attributes) directly
+    // in compressed form — each in its input column's encoding — over the
+    // reusable side's row space. Columns are processed one at a time so
+    // only one dense id array is alive at once (peak memory O(rows), not
+    // O(rows × payload columns)); within a column, one task per output
+    // segment gathers that segment's rows in parallel, spliced back in
+    // order.
     let payload_cols: Vec<usize> = (0..keyed.arity()).filter(|i| !k_join.contains(i)).collect();
-    let mut new_columns: Vec<Arc<Column>> = Vec::with_capacity(payload_cols.len());
+    let mut new_columns: Vec<Arc<EncodedColumn>> = Vec::with_capacity(payload_cols.len());
     for &pc in &payload_cols {
         let col = keyed.column(pc).as_ref();
         let ids = col.value_ids();
@@ -213,28 +274,24 @@ pub fn merge_key_fk(
         let starts: Vec<usize> = (0..n).step_by(step).collect();
         let chunks = crate::par::map_parallel(starts, |start| {
             let end = (start + step).min(n);
-            SegmentChunk::from_ids(
+            EncodedChunk::from_ids(
+                col.encoding(),
                 target_row[start..end].iter().map(|&t| ids[t as usize]),
                 (end - start) as u64,
                 col.distinct_count(),
             )
         });
-        let mut asm = SegmentAssembler::new(col.nominal_segment_rows());
+        let mut asm = col.assembler();
         for chunk in chunks {
             asm.push_chunk(chunk);
         }
-        new_columns.push(Arc::new(Column::from_segments_compacting(
-            col.ty(),
-            col.dict().clone(),
-            asm.finish(),
-            col.nominal_segment_rows(),
-        )));
+        new_columns.push(Arc::new(col.from_assembler_compacting(asm)));
     }
     tracker.step_items("build payload bitmaps", payload_cols.len() as u64);
 
     // Output: reusable columns shared by reference + new payload columns.
     let schema = merged_schema(reusable.schema(), keyed.schema(), join_cols)?;
-    let mut columns: Vec<Arc<Column>> = reusable.columns().to_vec();
+    let mut columns: Vec<Arc<EncodedColumn>> = reusable.columns().to_vec();
     columns.extend(new_columns);
     let output = Table::new(output_name, schema, columns).map_err(EvolutionError::Storage)?;
     tracker.step("assemble output table");
@@ -367,57 +424,56 @@ pub fn merge_general(
             plan.push(OutCol::RightPayload { rc });
         }
     }
-    let built: Vec<crate::error::Result<Arc<Column>>> = crate::par::map_parallel(plan, |task| {
-        let bitmaps_and_col = match task {
-            OutCol::Join { pos_in_join, lc } => {
-                let col = left.column(lc);
-                let mut builder = ValueStreamBuilder::new(col.distinct_count());
-                for &g in &active {
-                    let size = n1[g] * n2[g];
-                    // All rows of the group carry the same join value.
-                    debug_assert_eq!(builder.rows(), offsets[g]);
-                    builder.push_rows(combos[g][pos_in_join] as usize, size);
-                }
-                (builder.finish_with_len(total), col)
-            }
-            OutCol::LeftPayload { lc } => {
-                let col = left.column(lc);
-                let ids = col.value_ids();
-                let mut builder = ValueStreamBuilder::new(col.distinct_count());
-                for &g in &active {
-                    let n2g = n2[g];
-                    for &srow in &s_rows[g] {
-                        builder.push_rows(ids[srow as usize] as usize, n2g);
+    let built: Vec<crate::error::Result<Arc<EncodedColumn>>> =
+        crate::par::map_parallel(plan, |task| {
+            let (sink, col) = match task {
+                OutCol::Join { pos_in_join, lc } => {
+                    let col = left.column(lc);
+                    let mut sink = RunSink::for_column(col);
+                    for &g in &active {
+                        let size = n1[g] * n2[g];
+                        // All rows of the group carry the same join value.
+                        debug_assert_eq!(sink.rows(), offsets[g]);
+                        sink.push_rows(combos[g][pos_in_join] as usize, size);
                     }
+                    (sink, col)
                 }
-                (builder.finish_with_len(total), col)
-            }
-            OutCol::RightPayload { rc } => {
-                let col = right.column(rc);
-                let ids = col.value_ids();
-                let mut builder = ValueStreamBuilder::new(col.distinct_count());
-                for &g in &active {
-                    let base = offsets[g];
-                    let n2g = n2[g];
-                    let group_ids: Vec<u32> = t_rows[g].iter().map(|&r| ids[r as usize]).collect();
-                    for i in 0..n1[g] {
-                        let row0 = base + i * n2g;
-                        for (j, &vid) in group_ids.iter().enumerate() {
-                            debug_assert_eq!(builder.rows(), row0 + j as u64);
-                            builder.push_row(vid as usize);
+                OutCol::LeftPayload { lc } => {
+                    let col = left.column(lc);
+                    let ids = col.value_ids();
+                    let mut sink = RunSink::for_column(col);
+                    for &g in &active {
+                        let n2g = n2[g];
+                        for &srow in &s_rows[g] {
+                            sink.push_rows(ids[srow as usize] as usize, n2g);
                         }
                     }
+                    (sink, col)
                 }
-                (builder.finish_with_len(total), col)
-            }
-        };
-        let (bitmaps, col) = bitmaps_and_col;
-        Ok(Arc::new(
-            Column::from_dict_bitmaps_compacting(col.ty(), col.dict().clone(), bitmaps, total)
-                .map_err(EvolutionError::Storage)?,
-        ))
-    });
-    let out_columns: Vec<Arc<Column>> = built.into_iter().collect::<crate::error::Result<_>>()?;
+                OutCol::RightPayload { rc } => {
+                    let col = right.column(rc);
+                    let ids = col.value_ids();
+                    let mut sink = RunSink::for_column(col);
+                    for &g in &active {
+                        let base = offsets[g];
+                        let n2g = n2[g];
+                        let group_ids: Vec<u32> =
+                            t_rows[g].iter().map(|&r| ids[r as usize]).collect();
+                        for i in 0..n1[g] {
+                            let row0 = base + i * n2g;
+                            for (j, &vid) in group_ids.iter().enumerate() {
+                                debug_assert_eq!(sink.rows(), row0 + j as u64);
+                                sink.push_row(vid as usize);
+                            }
+                        }
+                    }
+                    (sink, col)
+                }
+            };
+            Ok(Arc::new(sink.finish(col, total)?))
+        });
+    let out_columns: Vec<Arc<EncodedColumn>> =
+        built.into_iter().collect::<crate::error::Result<_>>()?;
     tracker.step("pass 2: emit output columns (parallel per column)");
 
     let schema = merged_schema(left.schema(), right.schema(), join_cols)?;

@@ -11,7 +11,7 @@ use crate::error::{EvolutionError, Result};
 use crate::status::{EvolutionStatus, StatusTracker};
 use cods_bitmap::Wah;
 use cods_query::pred::Predicate;
-use cods_storage::{Column, ColumnDef, Schema, Table, Value};
+use cods_storage::{Column, ColumnDef, EncodedColumn, Schema, Table, Value};
 use std::sync::Arc;
 
 /// How ADD COLUMN fills the new column.
@@ -29,13 +29,21 @@ pub fn create_table(name: &str, schema: Schema) -> Result<Table> {
     let columns = schema
         .columns()
         .iter()
-        .map(|c| Ok(Arc::new(Column::from_values(c.ty, &[])?)))
+        .map(|c| {
+            Ok(Arc::new(EncodedColumn::Bitmap(Column::from_values(
+                c.ty,
+                &[],
+            )?)))
+        })
         .collect::<Result<Vec<_>>>()?;
     Table::new(name, schema, columns).map_err(EvolutionError::Storage)
 }
 
 /// UNION TABLES: concatenates two union-compatible tables. Unchanged value
-/// bitmaps are extended with zero fills; only dictionaries are merged.
+/// payloads are reused segment-by-segment; only dictionaries are merged.
+/// After the concat, the threshold-triggered compaction pass re-chunks any
+/// column whose directory a long UNION chain has fragmented into irregular
+/// tiny segments (untouched segments stay shared by reference).
 pub fn union_tables(
     left: &Table,
     right: &Table,
@@ -50,13 +58,23 @@ pub fn union_tables(
         )));
     }
     tracker.step("validate union compatibility");
-    let columns: Vec<Arc<Column>> = left
+    let columns: Vec<Arc<EncodedColumn>> = left
         .columns()
         .iter()
         .zip(right.columns())
-        .map(|(a, b)| Ok(Arc::new(a.concat(b)?)))
+        .map(|(a, b)| {
+            let col = a.concat(b)?;
+            // Threshold-triggered compaction; checked on the owned value so
+            // the common healthy-directory path is clone-free.
+            let col = if col.needs_compaction() {
+                col.compacted()
+            } else {
+                col
+            };
+            Ok(Arc::new(col))
+        })
         .collect::<Result<_>>()?;
-    tracker.step_items("concatenate column bitmaps", columns.len() as u64);
+    tracker.step_items("concatenate column payloads", columns.len() as u64);
     let schema = Schema::new(left.schema().columns().to_vec()).map_err(EvolutionError::Storage)?;
     let table = Table::new(output_name, schema, columns).map_err(EvolutionError::Storage)?;
     Ok((table, tracker.finish()))
@@ -86,7 +104,7 @@ pub fn partition_table(
     // Fan the mask-driven filtering out per (column × segment) like
     // DECOMPOSE does, staying on the compressed form — no whole-column
     // position list is ever materialized.
-    let col_refs: Vec<&Column> = input.columns().iter().map(|c| c.as_ref()).collect();
+    let col_refs: Vec<&EncodedColumn> = input.columns().iter().map(|c| c.as_ref()).collect();
     let sat_cols = crate::decompose::filter_columns_by_mask(&col_refs, &mask);
     let rest_cols = crate::decompose::filter_columns_by_mask(&col_refs, &not_mask);
     tracker.step("bitmap filtering into partitions");
@@ -145,7 +163,7 @@ pub fn add_column(
     defs.push(def);
     let schema = Schema::new(defs).map_err(EvolutionError::Storage)?;
     let mut columns = table.columns().to_vec();
-    columns.push(Arc::new(new_col));
+    columns.push(Arc::new(EncodedColumn::Bitmap(new_col)));
     let out = Table::new(table.name(), schema, columns).map_err(EvolutionError::Storage)?;
     tracker.step("attach column");
     Ok((out, tracker.finish()))
@@ -169,7 +187,7 @@ pub fn drop_column(table: &Table, column: &str) -> Result<(Table, EvolutionStatu
         .map(|(_, c)| c.clone())
         .collect();
     let schema = Schema::new(defs).map_err(EvolutionError::Storage)?;
-    let columns: Vec<Arc<Column>> = table
+    let columns: Vec<Arc<EncodedColumn>> = table
         .columns()
         .iter()
         .enumerate()

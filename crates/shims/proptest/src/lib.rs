@@ -55,16 +55,29 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Resolves the case count from an optional `PROPTEST_CASES`-style
+/// override value (kept pure so it is testable without mutating the
+/// process environment). Unlike upstream proptest the override also beats
+/// explicit `with_cases` values, so CI can elevate the whole suite's case
+/// count in one place.
+fn resolve_cases(env_value: Option<&str>, explicit: u32) -> u32 {
+    env_value.and_then(|v| v.parse().ok()).unwrap_or(explicit)
+}
+
 impl ProptestConfig {
-    /// Config running `cases` random cases.
+    /// Config running `cases` random cases (or the `PROPTEST_CASES`
+    /// environment override).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        let env = std::env::var("PROPTEST_CASES").ok();
+        ProptestConfig {
+            cases: resolve_cases(env.as_deref(), cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        Self::with_cases(64)
     }
 }
 
@@ -457,6 +470,13 @@ macro_rules! __proptest_impl {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn proptest_cases_env_overrides_config() {
+        assert_eq!(crate::resolve_cases(Some("512"), 64), 512);
+        assert_eq!(crate::resolve_cases(Some("not-a-number"), 64), 64);
+        assert_eq!(crate::resolve_cases(None, 64), 64);
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]

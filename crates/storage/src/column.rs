@@ -377,29 +377,8 @@ impl Column {
     /// `(segment index, range into positions)`. Shared by the serial filter
     /// path and the segment-parallel executors in `cods` core.
     pub fn position_spans(&self, positions: &[u64]) -> Vec<(usize, Range<usize>)> {
-        let mut spans = Vec::new();
-        let mut lo = 0usize;
-        for (seg_idx, (seg, &start)) in self.segments.iter().zip(&self.starts).enumerate() {
-            if lo == positions.len() {
-                break;
-            }
-            let end_row = start + seg.rows();
-            let hi = lo + positions[lo..].partition_point(|&p| p < end_row);
-            if hi > lo {
-                spans.push((seg_idx, lo..hi));
-                lo = hi;
-            }
-        }
-        // Hard check (not debug-only): an out-of-range position must panic
-        // like the monolithic id-gather did, not silently shrink the output.
-        assert_eq!(
-            lo,
-            positions.len(),
-            "position {} out of range for {} rows",
-            positions[lo],
-            self.rows
-        );
-        spans
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        crate::segment::position_spans(&sizes, positions)
     }
 
     /// The paper's *bitmap filtering* restricted to one segment: shrink
@@ -657,6 +636,50 @@ impl Column {
         }
     }
 
+    /// Returns `true` when the directory is fragmented enough to benefit
+    /// from [`Column::compacted`] (the shared
+    /// [`needs_compaction`](crate::segment::needs_compaction) trigger).
+    pub fn needs_compaction(&self) -> bool {
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        crate::segment::needs_compaction(&sizes, self.segment_rows)
+    }
+
+    /// Re-chunks the segment directory toward the nominal segment size:
+    /// adjacent undersized segments are merged and oversized ones split, so
+    /// every output segment lands in `[½·nominal, 2·nominal]` (unless the
+    /// whole column is smaller). Segments already within bounds are reused
+    /// by reference; the dictionary is untouched (no values vanish).
+    pub fn compacted(&self) -> Column {
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        let Some(plan) = crate::segment::compaction_plan(&sizes, self.segment_rows) else {
+            return self.clone();
+        };
+        let mut segments: Vec<Arc<Segment>> = Vec::with_capacity(plan.len());
+        for group in plan {
+            if group.is_untouched(&sizes) {
+                segments.push(Arc::clone(&self.segments[group.segs.start]));
+                continue;
+            }
+            let mut asm = SegmentAssembler::with_piece_sizes(group.pieces);
+            for seg in &self.segments[group.segs] {
+                asm.push_chunk(seg.to_chunk());
+            }
+            segments.extend(asm.finish());
+        }
+        Column::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows)
+    }
+
+    /// [`Column::compacted`] when [`Column::needs_compaction`], otherwise a
+    /// cheap clone — the threshold-triggered form operators hook in after
+    /// fragmenting operations like UNION's concat.
+    pub fn maybe_compacted(&self) -> Column {
+        if self.needs_compaction() {
+            self.compacted()
+        } else {
+            self.clone()
+        }
+    }
+
     /// Verifies the per-segment partition invariants, the directory
     /// geometry, and dictionary compaction (every value occurs somewhere).
     pub fn check_invariants(&self) -> Result<(), StorageError> {
@@ -715,7 +738,7 @@ impl Column {
 }
 
 /// Writes each row's value id into `out` (segment-local coordinates).
-fn fill_segment_ids(seg: &Segment, out: &mut [u32]) {
+pub(crate) fn fill_segment_ids(seg: &Segment, out: &mut [u32]) {
     for (&id, bm) in seg.present_ids().iter().zip(seg.bitmaps()) {
         for pos in bm.iter_ones() {
             debug_assert_eq!(out[pos as usize], u32::MAX, "overlapping bitmaps");

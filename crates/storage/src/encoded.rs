@@ -1,0 +1,522 @@
+//! The encoding-polymorphic column: every table column is either bitmap
+//! encoded ([`Column`]) or run-length encoded ([`RleColumn`]), and both
+//! share the same shape — a column-global dictionary plus a directory of
+//! `Arc`-shared row-range segments with per-segment statistics. This module
+//! is the seam that lets tables, evolution operators, and scans treat the
+//! two uniformly: operators fan out one task per (column × segment) and
+//! splice per-segment results back through an [`EncodedAssembler`], and
+//! every data-level primitive (filter, gather, concat, slice, compaction)
+//! preserves the input's encoding.
+
+use crate::column::Column;
+use crate::cursor::RowIdCursor;
+use crate::dictionary::Dictionary;
+use crate::error::StorageError;
+use crate::rle_column::{RleAssembler, RleColumn};
+use crate::segment::{SegmentAssembler, SegmentChunk};
+use crate::value::{Value, ValueType};
+use cods_bitmap::{RleSeq, Wah};
+use std::ops::Range;
+
+/// The physical encoding of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    /// One WAH bitmap per value per segment (the paper's default layout).
+    Bitmap,
+    /// Run-length encoded value ids per segment (clustered columns).
+    Rle,
+}
+
+impl std::fmt::Display for Encoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Encoding::Bitmap => write!(f, "bitmap"),
+            Encoding::Rle => write!(f, "rle"),
+        }
+    }
+}
+
+/// A column in either encoding, exposing the encoding-agnostic API the rest
+/// of the system works against.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EncodedColumn {
+    /// Bitmap-encoded.
+    Bitmap(Column),
+    /// Run-length encoded.
+    Rle(RleColumn),
+}
+
+impl From<Column> for EncodedColumn {
+    fn from(c: Column) -> EncodedColumn {
+        EncodedColumn::Bitmap(c)
+    }
+}
+
+impl From<RleColumn> for EncodedColumn {
+    fn from(c: RleColumn) -> EncodedColumn {
+        EncodedColumn::Rle(c)
+    }
+}
+
+/// The per-segment output of one operator task, in the owning column's
+/// encoding, not yet aligned to segment boundaries.
+#[derive(Debug)]
+pub enum EncodedChunk {
+    /// Sparse per-value bitmaps over a run of output rows.
+    Bitmap(SegmentChunk),
+    /// A run piece over global value ids.
+    Rle(RleSeq),
+}
+
+impl EncodedChunk {
+    /// Builds a chunk from a stream of value ids, one per output row in
+    /// order, in the given encoding.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(
+        encoding: Encoding,
+        ids: I,
+        rows: u64,
+        distinct_hint: usize,
+    ) -> EncodedChunk {
+        match encoding {
+            Encoding::Bitmap => {
+                EncodedChunk::Bitmap(SegmentChunk::from_ids(ids, rows, distinct_hint))
+            }
+            Encoding::Rle => {
+                let mut seq = RleSeq::new();
+                for id in ids {
+                    seq.push(id);
+                }
+                debug_assert_eq!(seq.len(), rows);
+                EncodedChunk::Rle(seq)
+            }
+        }
+    }
+}
+
+/// Splices [`EncodedChunk`]s into a segment directory of the matching
+/// encoding.
+pub enum EncodedAssembler {
+    /// Assembling bitmap segments.
+    Bitmap(SegmentAssembler),
+    /// Assembling RLE segments.
+    Rle(RleAssembler),
+}
+
+impl EncodedAssembler {
+    /// Appends a chunk (must match the assembler's encoding).
+    pub fn push_chunk(&mut self, chunk: EncodedChunk) {
+        match (self, chunk) {
+            (EncodedAssembler::Bitmap(asm), EncodedChunk::Bitmap(c)) => asm.push_chunk(c),
+            (EncodedAssembler::Rle(asm), EncodedChunk::Rle(seq)) => asm.push_seq(&seq),
+            _ => panic!("chunk encoding does not match assembler encoding"),
+        }
+    }
+}
+
+impl EncodedColumn {
+    /// The physical encoding.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            EncodedColumn::Bitmap(_) => Encoding::Bitmap,
+            EncodedColumn::Rle(_) => Encoding::Rle,
+        }
+    }
+
+    /// The bitmap form, when bitmap encoded.
+    pub fn as_bitmap(&self) -> Option<&Column> {
+        match self {
+            EncodedColumn::Bitmap(c) => Some(c),
+            EncodedColumn::Rle(_) => None,
+        }
+    }
+
+    /// The RLE form, when run-length encoded.
+    pub fn as_rle(&self) -> Option<&RleColumn> {
+        match self {
+            EncodedColumn::Bitmap(_) => None,
+            EncodedColumn::Rle(c) => Some(c),
+        }
+    }
+
+    /// Re-encodes to `encoding` (a no-op clone when already there). Values,
+    /// dictionary, and segment boundaries are preserved.
+    pub fn recode(&self, encoding: Encoding) -> Result<EncodedColumn, StorageError> {
+        Ok(match (self, encoding) {
+            (EncodedColumn::Bitmap(c), Encoding::Rle) => {
+                EncodedColumn::Rle(RleColumn::from_column(c))
+            }
+            (EncodedColumn::Rle(c), Encoding::Bitmap) => EncodedColumn::Bitmap(c.to_column()?),
+            _ => self.clone(),
+        })
+    }
+
+    /// Column type.
+    pub fn ty(&self) -> ValueType {
+        match self {
+            EncodedColumn::Bitmap(c) => c.ty(),
+            EncodedColumn::Rle(c) => c.ty(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        match self {
+            EncodedColumn::Bitmap(c) => c.rows(),
+            EncodedColumn::Rle(c) => c.rows(),
+        }
+    }
+
+    /// The dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        match self {
+            EncodedColumn::Bitmap(c) => c.dict(),
+            EncodedColumn::Rle(c) => c.dict(),
+        }
+    }
+
+    /// Number of distinct values (dictionary size).
+    pub fn distinct_count(&self) -> usize {
+        self.dict().len()
+    }
+
+    /// Number of row-range segments.
+    pub fn segment_count(&self) -> usize {
+        match self {
+            EncodedColumn::Bitmap(c) => c.segment_count(),
+            EncodedColumn::Rle(c) => c.segment_count(),
+        }
+    }
+
+    /// Start row of segment `idx`.
+    pub fn segment_start(&self, idx: usize) -> u64 {
+        match self {
+            EncodedColumn::Bitmap(c) => c.segment_start(idx),
+            EncodedColumn::Rle(c) => c.segment_start(idx),
+        }
+    }
+
+    /// Row counts of every segment, in order.
+    pub fn segment_sizes(&self) -> Vec<u64> {
+        match self {
+            EncodedColumn::Bitmap(c) => c.segments().iter().map(|s| s.rows()).collect(),
+            EncodedColumn::Rle(c) => c.segments().iter().map(|s| s.rows()).collect(),
+        }
+    }
+
+    /// Distinct values present in the densest segment (≤ `distinct_count`).
+    pub fn max_segment_distinct(&self) -> usize {
+        match self {
+            EncodedColumn::Bitmap(c) => c
+                .segments()
+                .iter()
+                .map(|s| s.distinct_count())
+                .max()
+                .unwrap_or(0),
+            EncodedColumn::Rle(c) => c
+                .segments()
+                .iter()
+                .map(|s| s.distinct_count())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// The nominal segment size new data is chunked at.
+    pub fn nominal_segment_rows(&self) -> u64 {
+        match self {
+            EncodedColumn::Bitmap(c) => c.nominal_segment_rows(),
+            EncodedColumn::Rle(c) => c.nominal_segment_rows(),
+        }
+    }
+
+    /// The value stored at `row`.
+    pub fn value_at(&self, row: u64) -> &Value {
+        match self {
+            EncodedColumn::Bitmap(c) => c.value_at(row),
+            EncodedColumn::Rle(c) => c.value_at(row),
+        }
+    }
+
+    /// Materializes the dense row → value-id array (O(rows)).
+    pub fn value_ids(&self) -> Vec<u32> {
+        match self {
+            EncodedColumn::Bitmap(c) => c.value_ids(),
+            EncodedColumn::Rle(c) => c.value_ids(),
+        }
+    }
+
+    /// Decodes all rows to values (display/test helper).
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            EncodedColumn::Bitmap(c) => c.values(),
+            EncodedColumn::Rle(c) => c.values(),
+        }
+    }
+
+    /// Streaming `(row, value id)` cursor in ascending row order, without
+    /// materializing anything per row.
+    pub fn id_cursor(&self) -> Box<dyn Iterator<Item = (u64, u32)> + '_> {
+        match self {
+            EncodedColumn::Bitmap(c) => Box::new(RowIdCursor::new(c)),
+            EncodedColumn::Rle(c) => Box::new(c.id_cursor()),
+        }
+    }
+
+    /// Materializes the full-length bitmap of value id `id`.
+    pub fn value_bitmap(&self, id: u32) -> Wah {
+        match self {
+            EncodedColumn::Bitmap(c) => c.value_bitmap(id),
+            EncodedColumn::Rle(c) => c.value_bitmap(id),
+        }
+    }
+
+    /// Materialized bitmap of a value, if it occurs in the column.
+    pub fn bitmap_of(&self, v: &Value) -> Option<Wah> {
+        self.dict().id_of(v).map(|id| self.value_bitmap(id))
+    }
+
+    /// Number of rows carrying value id `id` (from segment stats).
+    pub fn value_count(&self, id: u32) -> u64 {
+        match self {
+            EncodedColumn::Bitmap(c) => c.value_count(id),
+            EncodedColumn::Rle(c) => c.value_count(id),
+        }
+    }
+
+    /// Splits a non-decreasing global position list into per-segment spans.
+    pub fn position_spans(&self, positions: &[u64]) -> Vec<(usize, Range<usize>)> {
+        match self {
+            EncodedColumn::Bitmap(c) => c.position_spans(positions),
+            EncodedColumn::Rle(c) => c.position_spans(positions),
+        }
+    }
+
+    /// Splits a whole-column selection mask along this column's segment
+    /// boundaries.
+    pub fn split_mask(&self, mask: &Wah) -> Vec<Wah> {
+        match self {
+            EncodedColumn::Bitmap(c) => c.split_mask(mask),
+            EncodedColumn::Rle(c) => c.split_mask(mask),
+        }
+    }
+
+    /// Bitmap filtering restricted to one segment: shrink segment `seg_idx`
+    /// to the rows listed in `positions` (global, non-decreasing, within
+    /// the segment), producing an unaligned chunk in this encoding — the
+    /// per-(column × segment) task body of the parallel operators.
+    pub fn filter_segment_chunk(&self, seg_idx: usize, positions: &[u64]) -> EncodedChunk {
+        match self {
+            EncodedColumn::Bitmap(c) => {
+                EncodedChunk::Bitmap(c.filter_segment_chunk(seg_idx, positions))
+            }
+            EncodedColumn::Rle(c) => EncodedChunk::Rle(c.filter_segment_seq(seg_idx, positions)),
+        }
+    }
+
+    /// Mask-driven variant of [`EncodedColumn::filter_segment_chunk`].
+    pub fn filter_segment_mask_chunk(&self, seg_idx: usize, mask_seg: &Wah) -> EncodedChunk {
+        match self {
+            EncodedColumn::Bitmap(c) => {
+                EncodedChunk::Bitmap(c.filter_segment_mask_chunk(seg_idx, mask_seg))
+            }
+            EncodedColumn::Rle(c) => {
+                EncodedChunk::Rle(c.filter_segment_mask_seq(seg_idx, mask_seg))
+            }
+        }
+    }
+
+    /// An assembler for chunks of this column's encoding, targeting its
+    /// nominal segment size.
+    pub fn assembler(&self) -> EncodedAssembler {
+        match self {
+            EncodedColumn::Bitmap(_) => {
+                EncodedAssembler::Bitmap(SegmentAssembler::new(self.nominal_segment_rows()))
+            }
+            EncodedColumn::Rle(_) => {
+                EncodedAssembler::Rle(RleAssembler::new(self.nominal_segment_rows()))
+            }
+        }
+    }
+
+    /// Finalizes an assembler's directory into a column sharing this
+    /// column's type, dictionary (compacted to the surviving values), and
+    /// nominal segment size.
+    pub fn from_assembler_compacting(&self, asm: EncodedAssembler) -> EncodedColumn {
+        match asm {
+            EncodedAssembler::Bitmap(asm) => {
+                EncodedColumn::Bitmap(Column::from_segments_compacting(
+                    self.ty(),
+                    self.dict().clone(),
+                    asm.finish(),
+                    self.nominal_segment_rows(),
+                ))
+            }
+            EncodedAssembler::Rle(asm) => EncodedColumn::Rle(RleColumn::from_segments_compacting(
+                self.ty(),
+                self.dict().clone(),
+                asm.finish(),
+                self.nominal_segment_rows(),
+            )),
+        }
+    }
+
+    /// The paper's *bitmap filtering*: shrink the column to the rows listed
+    /// in `positions` (non-decreasing), preserving the encoding.
+    pub fn filter_positions(&self, positions: &[u64]) -> EncodedColumn {
+        match self {
+            EncodedColumn::Bitmap(c) => EncodedColumn::Bitmap(c.filter_positions(positions)),
+            EncodedColumn::Rle(c) => EncodedColumn::Rle(c.filter_positions(positions)),
+        }
+    }
+
+    /// Gather by an arbitrary (not necessarily sorted) row selection.
+    pub fn gather(&self, positions: &[u64]) -> EncodedColumn {
+        match self {
+            EncodedColumn::Bitmap(c) => EncodedColumn::Bitmap(c.gather(positions)),
+            EncodedColumn::Rle(c) => EncodedColumn::Rle(c.gather(positions)),
+        }
+    }
+
+    /// Bitmap filtering driven by a selection mask.
+    pub fn filter_bitmap(&self, mask: &Wah) -> EncodedColumn {
+        match self {
+            EncodedColumn::Bitmap(c) => EncodedColumn::Bitmap(c.filter_bitmap(mask)),
+            EncodedColumn::Rle(c) => EncodedColumn::Rle(c.filter_bitmap(mask)),
+        }
+    }
+
+    /// Concatenates two columns of the same type (UNION TABLES). The output
+    /// keeps `self`'s encoding; a mixed-encoding right side is re-encoded
+    /// first (O(its runs/segments), never O(rows) of `self`).
+    pub fn concat(&self, other: &EncodedColumn) -> Result<EncodedColumn, StorageError> {
+        Ok(match (self, other) {
+            (EncodedColumn::Bitmap(a), EncodedColumn::Bitmap(b)) => {
+                EncodedColumn::Bitmap(a.concat(b)?)
+            }
+            (EncodedColumn::Rle(a), EncodedColumn::Rle(b)) => EncodedColumn::Rle(a.concat(b)?),
+            (EncodedColumn::Bitmap(a), EncodedColumn::Rle(b)) => {
+                EncodedColumn::Bitmap(a.concat(&b.to_column()?)?)
+            }
+            (EncodedColumn::Rle(a), EncodedColumn::Bitmap(b)) => {
+                EncodedColumn::Rle(a.concat(&RleColumn::from_column(b))?)
+            }
+        })
+    }
+
+    /// Extracts the row range `[start, end)`, preserving the encoding.
+    pub fn slice(&self, start: u64, end: u64) -> EncodedColumn {
+        match self {
+            EncodedColumn::Bitmap(c) => EncodedColumn::Bitmap(c.slice(start, end)),
+            EncodedColumn::Rle(c) => EncodedColumn::Rle(c.slice(start, end)),
+        }
+    }
+
+    /// Returns `true` when the directory is fragmented enough to benefit
+    /// from [`EncodedColumn::compacted`].
+    pub fn needs_compaction(&self) -> bool {
+        match self {
+            EncodedColumn::Bitmap(c) => c.needs_compaction(),
+            EncodedColumn::Rle(c) => c.needs_compaction(),
+        }
+    }
+
+    /// Re-chunks the segment directory toward the nominal segment size,
+    /// reusing untouched segments by reference.
+    pub fn compacted(&self) -> EncodedColumn {
+        match self {
+            EncodedColumn::Bitmap(c) => EncodedColumn::Bitmap(c.compacted()),
+            EncodedColumn::Rle(c) => EncodedColumn::Rle(c.compacted()),
+        }
+    }
+
+    /// [`EncodedColumn::compacted`] when fragmented, otherwise a cheap
+    /// clone — the threshold-triggered form hooked in after UNION concat.
+    pub fn maybe_compacted(&self) -> EncodedColumn {
+        match self {
+            EncodedColumn::Bitmap(c) => EncodedColumn::Bitmap(c.maybe_compacted()),
+            EncodedColumn::Rle(c) => EncodedColumn::Rle(c.maybe_compacted()),
+        }
+    }
+
+    /// Compressed payload bytes (bitmaps or run sequences, excluding the
+    /// dictionary), summed from segment stats.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            EncodedColumn::Bitmap(c) => c.bitmap_bytes(),
+            EncodedColumn::Rle(c) => c.seq_bytes(),
+        }
+    }
+
+    /// Approximate total heap size (payload + dictionary).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            EncodedColumn::Bitmap(c) => c.size_bytes(),
+            EncodedColumn::Rle(c) => c.size_bytes(),
+        }
+    }
+
+    /// Verifies the per-segment invariants and directory geometry.
+    pub fn check_invariants(&self) -> Result<(), StorageError> {
+        match self {
+            EncodedColumn::Bitmap(c) => c.check_invariants(),
+            EncodedColumn::Rle(c) => c.check_invariants(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: i64) -> Vec<Value> {
+        (0..n).map(|i| Value::int(i % 5)).collect()
+    }
+
+    fn both(values: &[Value]) -> (EncodedColumn, EncodedColumn) {
+        let bitmap = Column::from_values_with(ValueType::Int, values, 64).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        (EncodedColumn::Bitmap(bitmap), EncodedColumn::Rle(rle))
+    }
+
+    #[test]
+    fn encodings_agree_on_primitives() {
+        let values = vals(500);
+        let (b, r) = both(&values);
+        assert_eq!(b.values(), r.values());
+        assert_eq!(b.value_ids(), r.value_ids());
+        assert_eq!(b.segment_count(), r.segment_count());
+        let positions: Vec<u64> = (0..500).step_by(3).collect();
+        assert_eq!(
+            b.filter_positions(&positions).values(),
+            r.filter_positions(&positions).values()
+        );
+        assert_eq!(b.slice(100, 300).values(), r.slice(100, 300).values());
+        for id in 0..b.distinct_count() as u32 {
+            assert_eq!(b.value_bitmap(id), r.value_bitmap(id));
+        }
+        let cur_b: Vec<(u64, u32)> = b.id_cursor().collect();
+        let cur_r: Vec<(u64, u32)> = r.id_cursor().collect();
+        assert_eq!(cur_b, cur_r);
+    }
+
+    #[test]
+    fn recode_round_trips() {
+        let values = vals(300);
+        let (b, r) = both(&values);
+        assert_eq!(b.recode(Encoding::Rle).unwrap(), r);
+        assert_eq!(r.recode(Encoding::Bitmap).unwrap(), b);
+        assert_eq!(b.recode(Encoding::Bitmap).unwrap(), b);
+    }
+
+    #[test]
+    fn mixed_concat_keeps_left_encoding() {
+        let values = vals(200);
+        let (b, r) = both(&values);
+        let br = b.concat(&r).unwrap();
+        assert_eq!(br.encoding(), Encoding::Bitmap);
+        let rb = r.concat(&b).unwrap();
+        assert_eq!(rb.encoding(), Encoding::Rle);
+        assert_eq!(br.values(), rb.values());
+        assert_eq!(br.rows(), 400);
+    }
+}

@@ -14,13 +14,20 @@
 //! * [`Column`] / [`ColumnBuilder`] — segmented bitmap-encoded columns with
 //!   data-level primitives (filter, concat, slice) lifted from
 //!   `cods-bitmap`.
+//! * [`RleColumn`] — the run-length encoding for clustered columns, sharing
+//!   the same dictionary + segment-directory shape.
+//! * [`EncodedColumn`] — the encoding-polymorphic column tables hold; every
+//!   data-level primitive preserves the encoding, and
+//!   [`compaction_plan`]-driven re-chunking keeps directories healthy after
+//!   long `concat`/`slice` chains.
 //! * [`Segment`] / [`SegmentAssembler`] — the row-range shards and the
 //!   splicer that re-chunks per-segment operator outputs.
 //! * [`Table`] — schema + `Arc`-shared columns.
 //! * [`Catalog`] — thread-safe table namespace.
 //! * [`RowIdCursor`] — streaming `row → value id` scans over compressed data.
 //! * [`load`] — delimited-text ingest; [`persist`] — versioned binary table
-//!   files (v2 carries the segment directory; v1 files are still read).
+//!   files (v3 carries per-encoding segment directories; v2/v1 files are
+//!   still read).
 //!
 //! ```
 //! use cods_storage::{Schema, Table, Value, ValueType};
@@ -43,6 +50,7 @@ pub mod catalog;
 pub mod column;
 pub mod cursor;
 pub mod dictionary;
+pub mod encoded;
 pub mod error;
 pub mod load;
 pub mod persist;
@@ -57,11 +65,15 @@ pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder};
 pub use cursor::RowIdCursor;
 pub use dictionary::Dictionary;
+pub use encoded::{EncodedAssembler, EncodedChunk, EncodedColumn, Encoding};
 pub use error::StorageError;
 pub use load::{load_file, load_str, LoadOptions};
-pub use rle_column::RleColumn;
+pub use rle_column::{RleAssembler, RleColumn, RleSegment};
 pub use schema::{ColumnDef, Schema};
-pub use segment::{Segment, SegmentAssembler, SegmentChunk, DEFAULT_SEGMENT_ROWS};
+pub use segment::{
+    compaction_plan, needs_compaction, CompactionGroup, Segment, SegmentAssembler, SegmentChunk,
+    DEFAULT_SEGMENT_ROWS,
+};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use value::{OrderedF64, Value, ValueType};

@@ -90,7 +90,10 @@ pub fn load_str(
             b.push(v.take().expect("all fields assigned"))?;
         }
     }
-    let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+    let columns = builders
+        .into_iter()
+        .map(|b| Arc::new(crate::encoded::EncodedColumn::Bitmap(b.finish())))
+        .collect();
     Table::new(name, schema.clone(), columns)
 }
 

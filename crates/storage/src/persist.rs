@@ -1,41 +1,53 @@
 //! Binary persistence of tables and catalogs.
 //!
-//! Version 2 layout (all little-endian) stores each column as a segment
-//! directory, mirroring the in-memory representation:
+//! Version 3 layout (all little-endian) stores each column as a segment
+//! directory in its physical encoding, mirroring the in-memory
+//! representation:
 //!
 //! ```text
-//! file      := magic:u32 version:u16 table
-//! catalog   := magic:u32 version:u16 table_count:u32 table*
-//! table     := name:str schema rows:u64 column*
-//! schema    := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
-//! column    := tag:u8 dict_len:u32 value* seg_rows:u64 seg_count:u32 segment*
-//! segment   := rows:u64 present:u32 (id:u32)* bitmap*
-//! value     := kind:u8 payload
-//! str       := len:u32 utf8-bytes
+//! file       := magic:u32 version:u16 table
+//! catalog    := magic:u32 version:u16 table_count:u32 table*
+//! table      := name:str schema rows:u64 column*
+//! schema     := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
+//! column     := tag:u8 dict_len:u32 value* enc:u8 seg_rows:u64
+//!               seg_count:u32 segment*
+//! segment    := bitmap-seg | rle-seg          (per the column's enc)
+//! bitmap-seg := rows:u64 present:u32 (id:u32)* bitmap*
+//! rle-seg    := rows:u64 run_count:u32 (id:u32 count:u64)*
+//! value      := kind:u8 payload
+//! str        := len:u32 utf8-bytes
 //! ```
 //!
-//! Version 1 (the monolithic format: one full-length bitmap per dictionary
-//! value, no segment directory) is still decoded transparently; decoding
-//! re-segments at the default segment size. [`encode_table_v1`] writes the
-//! legacy layout for compatibility tests and downgrades.
+//! Version 2 (the bitmap-only segment directory, no `enc` byte) and
+//! version 1 (the monolithic format: one full-length bitmap per dictionary
+//! value, no segment directory) are still decoded transparently; v1
+//! decoding re-segments at the default segment size. [`encode_table_v1`]
+//! writes the legacy layout for compatibility tests and downgrades —
+//! including for RLE columns, whose per-value bitmaps are materialized from
+//! their runs.
 
 use crate::column::Column;
 use crate::dictionary::Dictionary;
+use crate::encoded::EncodedColumn;
 use crate::error::StorageError;
+use crate::rle_column::{RleColumn, RleSegment};
 use crate::schema::{ColumnDef, Schema};
 use crate::segment::Segment;
 use crate::table::Table;
 use crate::value::{Value, ValueType};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use cods_bitmap::Wah;
+use cods_bitmap::{RleSeq, Wah};
 use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0xC0D5_0001;
-/// Current on-disk format version (segment directory).
-pub const VERSION: u16 = 2;
+/// Current on-disk format version (per-encoding segment directories).
+pub const VERSION: u16 = 3;
 /// Oldest format version this build can read.
 pub const MIN_VERSION: u16 = 1;
+
+const ENC_BITMAP: u8 = 0;
+const ENC_RLE: u8 = 1;
 
 fn put_str<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -155,33 +167,48 @@ fn get_schema<B: Buf>(buf: &mut B) -> Result<Schema, StorageError> {
     Schema::with_key(cols, key).map_err(|e| StorageError::PersistError(e.to_string()))
 }
 
-fn put_dict<B: BufMut>(buf: &mut B, c: &Column) {
-    buf.put_u8(c.ty().tag());
-    buf.put_u32_le(c.dict().len() as u32);
-    for v in c.dict().values() {
+fn put_dict<B: BufMut>(buf: &mut B, ty: ValueType, dict: &Dictionary) {
+    buf.put_u8(ty.tag());
+    buf.put_u32_le(dict.len() as u32);
+    for v in dict.values() {
         put_value(buf, v);
     }
 }
 
-fn put_column<B: BufMut>(buf: &mut B, c: &Column) {
-    put_dict(buf, c);
-    buf.put_u64_le(c.nominal_segment_rows());
-    buf.put_u32_le(c.segment_count() as u32);
-    for seg in c.segments() {
-        buf.put_u64_le(seg.rows());
-        buf.put_u32_le(seg.distinct_count() as u32);
-        for &id in seg.present_ids() {
-            buf.put_u32_le(id);
+fn put_column<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
+    put_dict(buf, c.ty(), c.dict());
+    match c {
+        EncodedColumn::Bitmap(c) => {
+            buf.put_u8(ENC_BITMAP);
+            buf.put_u64_le(c.nominal_segment_rows());
+            buf.put_u32_le(c.segment_count() as u32);
+            for seg in c.segments() {
+                buf.put_u64_le(seg.rows());
+                buf.put_u32_le(seg.distinct_count() as u32);
+                for &id in seg.present_ids() {
+                    buf.put_u32_le(id);
+                }
+                for bm in seg.bitmaps() {
+                    bm.encode(buf);
+                }
+            }
         }
-        for bm in seg.bitmaps() {
-            bm.encode(buf);
+        EncodedColumn::Rle(c) => {
+            buf.put_u8(ENC_RLE);
+            buf.put_u64_le(c.nominal_segment_rows());
+            buf.put_u32_le(c.segment_count() as u32);
+            for seg in c.segments() {
+                seg.seq().encode(buf);
+            }
         }
     }
 }
 
-/// Writes a column in the legacy monolithic (version-1) layout.
-fn put_column_v1<B: BufMut>(buf: &mut B, c: &Column) {
-    put_dict(buf, c);
+/// Writes a column in the legacy monolithic (version-1) layout: one
+/// full-length bitmap per dictionary value, whatever the in-memory
+/// encoding (the downgrade path).
+fn put_column_v1<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
+    put_dict(buf, c.ty(), c.dict());
     for id in 0..c.dict().len() as u32 {
         c.value_bitmap(id).encode(buf);
     }
@@ -202,7 +229,75 @@ fn get_dict<B: Buf>(buf: &mut B) -> Result<(ValueType, Dictionary), StorageError
     Ok((ty, dict))
 }
 
-fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<Column, StorageError> {
+/// Reads the bitmap segment directory shared by the v2 and v3 layouts.
+fn get_bitmap_segments<B: Buf>(buf: &mut B) -> Result<(Vec<Arc<Segment>>, u64), StorageError> {
+    if buf.remaining() < 12 {
+        return Err(eof());
+    }
+    let seg_rows = buf.get_u64_le();
+    if seg_rows == 0 {
+        return Err(StorageError::PersistError(
+            "zero nominal segment size".into(),
+        ));
+    }
+    let seg_count = buf.get_u32_le() as usize;
+    let mut segments = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        if buf.remaining() < 12 {
+            return Err(eof());
+        }
+        let srows = buf.get_u64_le();
+        let present = buf.get_u32_le() as usize;
+        let mut ids = Vec::with_capacity(present);
+        for _ in 0..present {
+            if buf.remaining() < 4 {
+                return Err(eof());
+            }
+            ids.push(buf.get_u32_le());
+        }
+        let mut pairs = Vec::with_capacity(present);
+        for id in ids {
+            let bm = Wah::decode(buf)?;
+            if bm.len() != srows {
+                return Err(StorageError::PersistError(format!(
+                    "segment bitmap of id {id} has length {}, segment has {srows} rows",
+                    bm.len()
+                )));
+            }
+            if !bm.any() {
+                return Err(StorageError::PersistError(format!(
+                    "empty segment bitmap for id {id}"
+                )));
+            }
+            pairs.push((id, bm));
+        }
+        segments.push(Arc::new(Segment::new(srows, pairs)));
+    }
+    Ok((segments, seg_rows))
+}
+
+/// Reads the RLE segment directory of the v3 layout.
+fn get_rle_segments<B: Buf>(buf: &mut B) -> Result<(Vec<Arc<RleSegment>>, u64), StorageError> {
+    if buf.remaining() < 12 {
+        return Err(eof());
+    }
+    let seg_rows = buf.get_u64_le();
+    if seg_rows == 0 {
+        return Err(StorageError::PersistError(
+            "zero nominal segment size".into(),
+        ));
+    }
+    let seg_count = buf.get_u32_le() as usize;
+    let mut segments = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        let seq = RleSeq::decode(buf)
+            .map_err(|e| StorageError::PersistError(format!("rle segment: {e}")))?;
+        segments.push(Arc::new(RleSegment::new(seq)));
+    }
+    Ok((segments, seg_rows))
+}
+
+fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<EncodedColumn, StorageError> {
     let (ty, dict) = get_dict(buf)?;
     let col = match version {
         1 => {
@@ -210,52 +305,31 @@ fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<Column, St
             for _ in 0..dict.len() {
                 bitmaps.push(Wah::decode(buf)?);
             }
-            Column::from_parts(ty, dict, bitmaps, rows)?
+            EncodedColumn::Bitmap(Column::from_parts(ty, dict, bitmaps, rows)?)
+        }
+        2 => {
+            let (segments, seg_rows) = get_bitmap_segments(buf)?;
+            EncodedColumn::Bitmap(Column::from_segments(ty, dict, segments, seg_rows))
         }
         _ => {
-            if buf.remaining() < 12 {
+            if buf.remaining() < 1 {
                 return Err(eof());
             }
-            let seg_rows = buf.get_u64_le();
-            if seg_rows == 0 {
-                return Err(StorageError::PersistError(
-                    "zero nominal segment size".into(),
-                ));
+            match buf.get_u8() {
+                ENC_BITMAP => {
+                    let (segments, seg_rows) = get_bitmap_segments(buf)?;
+                    EncodedColumn::Bitmap(Column::from_segments(ty, dict, segments, seg_rows))
+                }
+                ENC_RLE => {
+                    let (segments, seg_rows) = get_rle_segments(buf)?;
+                    EncodedColumn::Rle(RleColumn::from_segments(ty, dict, segments, seg_rows))
+                }
+                e => {
+                    return Err(StorageError::PersistError(format!(
+                        "unknown column encoding {e}"
+                    )))
+                }
             }
-            let seg_count = buf.get_u32_le() as usize;
-            let mut segments = Vec::with_capacity(seg_count);
-            for _ in 0..seg_count {
-                if buf.remaining() < 12 {
-                    return Err(eof());
-                }
-                let srows = buf.get_u64_le();
-                let present = buf.get_u32_le() as usize;
-                let mut ids = Vec::with_capacity(present);
-                for _ in 0..present {
-                    if buf.remaining() < 4 {
-                        return Err(eof());
-                    }
-                    ids.push(buf.get_u32_le());
-                }
-                let mut pairs = Vec::with_capacity(present);
-                for id in ids {
-                    let bm = Wah::decode(buf)?;
-                    if bm.len() != srows {
-                        return Err(StorageError::PersistError(format!(
-                            "segment bitmap of id {id} has length {}, segment has {srows} rows",
-                            bm.len()
-                        )));
-                    }
-                    if !bm.any() {
-                        return Err(StorageError::PersistError(format!(
-                            "empty segment bitmap for id {id}"
-                        )));
-                    }
-                    pairs.push((id, bm));
-                }
-                segments.push(Arc::new(Segment::new(srows, pairs)));
-            }
-            Column::from_segments(ty, dict, segments, seg_rows)
         }
     };
     if col.rows() != rows {
@@ -399,6 +473,7 @@ pub fn read_catalog(path: impl AsRef<Path>) -> Result<crate::catalog::Catalog, S
 mod tests {
     use super::*;
     use crate::catalog::Catalog;
+    use crate::encoded::Encoding;
     use crate::segment::DEFAULT_SEGMENT_ROWS;
 
     fn sample() -> Table {
@@ -435,16 +510,15 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..1_000)
             .map(|i| vec![Value::int(i % 17), Value::int(i / 250)])
             .collect();
-        let columns = schema
-            .columns()
-            .iter()
-            .enumerate()
-            .map(|(c, def)| {
-                let vals: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
-                Arc::new(Column::from_values_with(def.ty, &vals, 128).unwrap())
-            })
-            .collect();
-        Table::new("multi", schema, columns).unwrap()
+        Table::from_rows_with_segment_rows("multi", schema, &rows, 128).unwrap()
+    }
+
+    /// `multi_segment` with one column re-encoded RLE (mixed-encoding
+    /// table).
+    fn mixed_encoding() -> Table {
+        multi_segment()
+            .with_column_encoding("v", Encoding::Rle)
+            .unwrap()
     }
 
     #[test]
@@ -478,6 +552,80 @@ mod tests {
         back.check_invariants().unwrap();
         // Re-segmented at the default size on load.
         assert_eq!(back.column(0).nominal_segment_rows(), DEFAULT_SEGMENT_ROWS);
+    }
+
+    /// Writes the version-2 layout (bitmap segment directory, no encoding
+    /// byte) so the upgrade path stays covered now that the writer emits
+    /// version 3.
+    fn encode_table_v2(t: &Table) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(2);
+        put_str(&mut buf, t.name());
+        put_schema(&mut buf, t.schema());
+        buf.put_u64_le(t.rows());
+        for c in t.columns() {
+            let col = c.as_bitmap().expect("v2 writer is bitmap-only");
+            put_dict(&mut buf, col.ty(), col.dict());
+            buf.put_u64_le(col.nominal_segment_rows());
+            buf.put_u32_le(col.segment_count() as u32);
+            for seg in col.segments() {
+                buf.put_u64_le(seg.rows());
+                buf.put_u32_le(seg.distinct_count() as u32);
+                for &id in seg.present_ids() {
+                    buf.put_u32_le(id);
+                }
+                for bm in seg.bitmaps() {
+                    bm.encode(&mut buf);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    #[test]
+    fn v2_file_still_decodes() {
+        let t = multi_segment();
+        let back = decode_table(encode_table_v2(&t)).unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        back.check_invariants().unwrap();
+        // v2 preserves the segment directory exactly.
+        assert_eq!(back.column(0).segment_count(), t.column(0).segment_count());
+        assert_eq!(back.column(0).nominal_segment_rows(), 128);
+    }
+
+    #[test]
+    fn rle_columns_round_trip_v3() {
+        let t = mixed_encoding();
+        let back = decode_table(encode_table(&t)).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        let col = back.column_by_name("v").unwrap();
+        assert_eq!(col.encoding(), Encoding::Rle);
+        assert_eq!(
+            col.segment_count(),
+            t.column_by_name("v").unwrap().segment_count()
+        );
+        assert_eq!(col.nominal_segment_rows(), 128);
+        assert_eq!(
+            back.column_by_name("k").unwrap().encoding(),
+            Encoding::Bitmap
+        );
+    }
+
+    #[test]
+    fn rle_columns_downgrade_to_v1() {
+        let t = mixed_encoding();
+        let legacy = encode_table_v1(&t);
+        let back = decode_table(legacy).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        // The v1 layout is bitmap-only: the RLE column comes back bitmap
+        // encoded with identical values.
+        assert_eq!(
+            back.column_by_name("v").unwrap().encoding(),
+            Encoding::Bitmap
+        );
     }
 
     #[test]

@@ -1,63 +1,397 @@
 //! Run-length-encoded columns — the alternative encoding the paper notes is
 //! "sometimes used for special columns, such as run length encoding for
-//! sorted columns" (§2.2) and lists as future work. This reproduction
-//! implements it: a clustered/sorted column can be stored as a dictionary
-//! plus an [`RleSeq`] of value ids, and the data-level evolution primitives
-//! (gather, slice, concat) carry over, so an RLE column can take part in
-//! evolution without re-encoding.
+//! sorted columns" (§2.2) and lists as future work.
+//!
+//! An [`RleColumn`] mirrors the bitmap [`Column`] structurally: one
+//! column-global [`Dictionary`] plus a directory of immutable, `Arc`-shared
+//! row-range [`RleSegment`]s (nominally
+//! [`DEFAULT_SEGMENT_ROWS`](crate::segment::DEFAULT_SEGMENT_ROWS) rows).
+//! Each segment stores the run sequence of its own row range over *global*
+//! value ids, along with the same per-segment statistics the bitmap
+//! encoding caches — present ids and per-id row counts — so scans prune
+//! whole segments and evolution operators fan out one task per
+//! (column × segment) regardless of encoding. `concat`/`slice` reuse
+//! untouched segments by reference, and the shared
+//! [`compaction_plan`](crate::segment::compaction_plan) re-chunks
+//! fragmented directories exactly like the bitmap side.
 
 use crate::column::Column;
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
+use crate::segment::Segment;
 use crate::value::{Value, ValueType};
-use cods_bitmap::{RleSeq, ValueStreamBuilder};
+use cods_bitmap::{RleSeq, Wah};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
-/// A run-length encoded column: dictionary + RLE sequence of value ids.
+/// One immutable row-range segment of an [`RleColumn`]: the run sequence of
+/// the segment's rows over global value ids, plus cached statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RleSegment {
+    seq: RleSeq,
+    /// Ascending global value ids present in this segment.
+    ids: Vec<u32>,
+    /// Rows carrying each present id (parallel to `ids`).
+    ones: Vec<u64>,
+}
+
+impl RleSegment {
+    /// Builds a segment from a run sequence, deriving the stats.
+    pub fn new(seq: RleSeq) -> RleSegment {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for &(id, n) in seq.runs() {
+            *counts.entry(id).or_insert(0) += n;
+        }
+        let mut pairs: Vec<(u32, u64)> = counts.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let (ids, ones) = pairs.into_iter().unzip();
+        RleSegment { seq, ids, ones }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn rows(&self) -> u64 {
+        self.seq.len()
+    }
+
+    /// The run sequence (segment-local offsets, global value ids).
+    #[inline]
+    pub fn seq(&self) -> &RleSeq {
+        &self.seq
+    }
+
+    /// Number of runs (the compressed size driver).
+    #[inline]
+    pub fn num_runs(&self) -> usize {
+        self.seq.num_runs()
+    }
+
+    /// The ascending value ids present in this segment.
+    #[inline]
+    pub fn present_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of distinct values present.
+    #[inline]
+    pub fn distinct_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Cached per-present-id row counts, parallel to
+    /// [`RleSegment::present_ids`].
+    #[inline]
+    pub fn ones(&self) -> &[u64] {
+        &self.ones
+    }
+
+    /// Returns `true` when `id` occurs in this segment (O(log present)).
+    #[inline]
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of rows carrying `id` (0 when absent; O(log present)).
+    pub fn count_for(&self, id: u32) -> u64 {
+        self.ids.binary_search(&id).map_or(0, |i| self.ones[i])
+    }
+
+    /// Compressed bytes of the run sequence.
+    #[inline]
+    pub fn compressed_bytes(&self) -> usize {
+        self.seq.size_bytes()
+    }
+
+    /// Rewrites the segment under an id translation (`map[old] = Some(new)`;
+    /// `None` is only valid for ids not present). O(runs).
+    pub(crate) fn remap(&self, map: &[Option<u32>]) -> RleSegment {
+        let mut seq = RleSeq::new();
+        for &(id, n) in self.seq.runs() {
+            let new = map[id as usize].expect("remap drops a present value");
+            seq.append_run(new, n);
+        }
+        RleSegment::new(seq)
+    }
+
+    /// Splices the bitmap of value `id` over this segment onto `out`
+    /// (appends `rows()` bits). O(runs).
+    fn append_value_bitmap(&self, id: u32, out: &mut Wah) {
+        if !self.contains_id(id) {
+            out.append_run(false, self.rows());
+            return;
+        }
+        for &(v, n) in self.seq.runs() {
+            out.append_run(v == id, n);
+        }
+    }
+
+    /// Re-encodes this segment as a bitmap [`Segment`] covering the same
+    /// rows. O(runs) per present value.
+    pub fn to_bitmap_segment(&self) -> Segment {
+        let mut acc: HashMap<u32, (Wah, u64)> = HashMap::with_capacity(self.ids.len());
+        for (id, start, len) in self.seq.iter_runs() {
+            let (bm, emitted) = acc.entry(id).or_insert_with(|| (Wah::new(), 0));
+            if *emitted < start {
+                bm.append_run(false, start - *emitted);
+            }
+            bm.append_run(true, len);
+            *emitted = start + len;
+        }
+        let rows = self.rows();
+        let pairs: Vec<(u32, Wah)> = acc
+            .into_iter()
+            .map(|(id, (mut bm, emitted))| {
+                if emitted < rows {
+                    bm.append_run(false, rows - emitted);
+                }
+                (id, bm)
+            })
+            .collect();
+        Segment::new(rows, pairs)
+    }
+
+    /// Validates the per-segment invariants: non-empty, sorted unique
+    /// present ids, and stats matching the run sequence.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.ids.len() != self.ones.len() {
+            return Err("ids/ones length mismatch".into());
+        }
+        if self.ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("present ids not strictly ascending".into());
+        }
+        let fresh = RleSegment::new(self.seq.clone());
+        if fresh.ids != self.ids || fresh.ones != self.ones {
+            return Err("stale present-id stats".into());
+        }
+        if self.seq.runs().iter().any(|&(_, n)| n == 0) {
+            return Err("zero-length run".into());
+        }
+        Ok(())
+    }
+}
+
+/// Splices run-sequence pieces into [`RleSegment`]s of a fixed target row
+/// count (or an explicit piece-size schedule, for compaction).
+pub struct RleAssembler {
+    target: u64,
+    schedule: Option<std::collections::VecDeque<u64>>,
+    cur: RleSeq,
+    segments: Vec<Arc<RleSegment>>,
+}
+
+impl RleAssembler {
+    /// An assembler producing segments of `target` rows (last may be short).
+    pub fn new(target: u64) -> RleAssembler {
+        assert!(target > 0, "segment size must be positive");
+        RleAssembler {
+            target,
+            schedule: None,
+            cur: RleSeq::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// An assembler producing segments of the given explicit sizes, in
+    /// order (the compaction regrouping path).
+    pub fn with_piece_sizes(pieces: Vec<u64>) -> RleAssembler {
+        assert!(
+            pieces.iter().all(|&p| p > 0),
+            "piece sizes must be positive"
+        );
+        let mut schedule: std::collections::VecDeque<u64> = pieces.into();
+        let target = schedule.pop_front().unwrap_or(u64::MAX);
+        RleAssembler {
+            target,
+            schedule: Some(schedule),
+            cur: RleSeq::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    fn seal(&mut self) {
+        if self.cur.is_empty() {
+            return;
+        }
+        let seq = std::mem::take(&mut self.cur);
+        self.segments.push(Arc::new(RleSegment::new(seq)));
+        if let Some(schedule) = &mut self.schedule {
+            self.target = schedule.pop_front().unwrap_or(u64::MAX);
+        }
+    }
+
+    /// Appends a run piece, splitting it across segment boundaries.
+    pub fn push_run(&mut self, id: u32, mut count: u64) {
+        while count > 0 {
+            let room = self.target - self.cur.len();
+            let take = room.min(count);
+            self.cur.append_run(id, take);
+            count -= take;
+            if self.cur.len() == self.target {
+                self.seal();
+            }
+        }
+    }
+
+    /// Appends every run of `seq`.
+    pub fn push_seq(&mut self, seq: &RleSeq) {
+        for &(id, n) in seq.runs() {
+            self.push_run(id, n);
+        }
+    }
+
+    /// Seals the trailing partial segment and returns the directory.
+    pub fn finish(mut self) -> Vec<Arc<RleSegment>> {
+        self.seal();
+        self.segments
+    }
+}
+
+/// A segmented run-length encoded column: column-global dictionary plus a
+/// directory of `Arc`-shared row-range run segments.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RleColumn {
     ty: ValueType,
     dict: Dictionary,
-    seq: RleSeq,
+    segments: Vec<Arc<RleSegment>>,
+    /// Start row of each segment (parallel to `segments`).
+    starts: Vec<u64>,
+    /// Nominal rows per segment for newly produced data.
+    segment_rows: u64,
+    rows: u64,
+}
+
+fn starts_of(segments: &[Arc<RleSegment>]) -> (Vec<u64>, u64) {
+    let mut starts = Vec::with_capacity(segments.len());
+    let mut total = 0u64;
+    for s in segments {
+        starts.push(total);
+        total += s.rows();
+    }
+    (starts, total)
 }
 
 impl RleColumn {
-    /// Builds from a value slice.
+    /// Builds from a value slice with the default segment size.
     pub fn from_values(ty: ValueType, values: &[Value]) -> Result<RleColumn, StorageError> {
+        Self::from_values_with(ty, values, crate::segment::DEFAULT_SEGMENT_ROWS)
+    }
+
+    /// Builds from a value slice with an explicit segment size.
+    pub fn from_values_with(
+        ty: ValueType,
+        values: &[Value],
+        segment_rows: u64,
+    ) -> Result<RleColumn, StorageError> {
+        assert!(segment_rows > 0, "segment size must be positive");
         let mut dict = Dictionary::new();
-        let mut seq = RleSeq::new();
+        let mut asm = RleAssembler::new(segment_rows);
         for v in values {
             if !v.conforms_to(ty) {
                 return Err(StorageError::RowMismatch(format!(
                     "value {v} does not conform to column type {ty}"
                 )));
             }
-            seq.push(dict.intern(v.clone()));
+            asm.push_run(dict.intern(v.clone()), 1);
         }
-        Ok(RleColumn { ty, dict, seq })
+        Ok(Self::from_segments(ty, dict, asm.finish(), segment_rows))
     }
 
-    /// Re-encodes a bitmap column as RLE (one pass over its value ids).
+    /// Re-encodes a bitmap column as RLE, segment by segment: boundaries
+    /// and the dictionary carry over unchanged. O(rows) total.
     pub fn from_column(col: &Column) -> RleColumn {
-        let mut seq = RleSeq::new();
-        for id in col.value_ids() {
-            seq.push(id);
-        }
+        let segments: Vec<Arc<RleSegment>> = col
+            .segments()
+            .iter()
+            .map(|seg| {
+                let mut local = vec![u32::MAX; seg.rows() as usize];
+                crate::column::fill_segment_ids(seg, &mut local);
+                let mut seq = RleSeq::new();
+                for id in local {
+                    seq.push(id);
+                }
+                Arc::new(RleSegment::new(seq))
+            })
+            .collect();
+        Self::from_segments(
+            col.ty(),
+            col.dict().clone(),
+            segments,
+            col.nominal_segment_rows(),
+        )
+    }
+
+    /// Re-encodes as a bitmap column, segment by segment: boundaries and
+    /// the dictionary carry over unchanged. O(runs) per present value.
+    pub fn to_column(&self) -> Result<Column, StorageError> {
+        let segments: Vec<Arc<Segment>> = self
+            .segments
+            .iter()
+            .map(|s| Arc::new(s.to_bitmap_segment()))
+            .collect();
+        let col = Column::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows);
+        col.check_invariants()?;
+        Ok(col)
+    }
+
+    /// Assembles a column from a dictionary and segments assumed
+    /// consistent. Callers that cannot assume consistency (e.g. decoding
+    /// from disk) must run [`RleColumn::check_invariants`] afterwards.
+    pub fn from_segments(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<Arc<RleSegment>>,
+        segment_rows: u64,
+    ) -> RleColumn {
+        let (starts, rows) = starts_of(&segments);
         RleColumn {
-            ty: col.ty(),
-            dict: col.dict().clone(),
-            seq,
+            ty,
+            dict,
+            segments,
+            starts,
+            segment_rows,
+            rows,
         }
     }
 
-    /// Re-encodes as a bitmap column. Runs become bitmap fill runs, so the
-    /// conversion cost is O(runs), not O(rows).
-    pub fn to_column(&self) -> Result<Column, StorageError> {
-        let mut builder = ValueStreamBuilder::new(self.dict.len());
-        for (id, _, len) in self.seq.iter_runs() {
-            builder.push_rows(id as usize, len);
+    /// Assembles a column from a dictionary and already-built segments,
+    /// compacting the dictionary to the values actually present — the
+    /// constructor the segment-parallel operators funnel into.
+    pub fn from_segments_compacting(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<Arc<RleSegment>>,
+        segment_rows: u64,
+    ) -> RleColumn {
+        let mut present = vec![false; dict.len()];
+        for seg in &segments {
+            for &id in seg.present_ids() {
+                present[id as usize] = true;
+            }
         }
-        let bitmaps = builder.finish_with_len(self.rows());
-        Column::from_dict_bitmaps_compacting(self.ty, self.dict.clone(), bitmaps, self.rows())
+        if present.iter().all(|&p| p) {
+            return Self::from_segments(ty, dict, segments, segment_rows);
+        }
+        let (compact_dict, mapping) = dict.compact(|id| present[id as usize]);
+        let segments: Vec<Arc<RleSegment>> = segments
+            .into_iter()
+            .map(|s| Arc::new(s.remap(&mapping)))
+            .collect();
+        Self::from_segments(ty, compact_dict, segments, segment_rows)
+    }
+
+    /// Assembles a segmented column from a dictionary and one full-length
+    /// run sequence, dropping dictionary values that never occur. Used by
+    /// the mergence operators, which emit output runs directly.
+    pub fn from_dict_seq_compacting(
+        ty: ValueType,
+        dict: Dictionary,
+        seq: &RleSeq,
+        segment_rows: u64,
+    ) -> RleColumn {
+        let mut asm = RleAssembler::new(segment_rows);
+        asm.push_seq(seq);
+        Self::from_segments_compacting(ty, dict, asm.finish(), segment_rows)
     }
 
     /// Column type.
@@ -67,17 +401,18 @@ impl RleColumn {
 
     /// Number of rows.
     pub fn rows(&self) -> u64 {
-        self.seq.len()
+        self.rows
     }
 
-    /// Number of distinct values.
+    /// Number of distinct values (dictionary size).
     pub fn distinct_count(&self) -> usize {
         self.dict.len()
     }
 
-    /// Number of runs (the compressed size driver).
+    /// Total number of runs across the directory (the compressed size
+    /// driver; adjacent segments may split what was one run).
     pub fn num_runs(&self) -> usize {
-        self.seq.num_runs()
+        self.segments.iter().map(|s| s.num_runs()).sum()
     }
 
     /// The dictionary.
@@ -85,39 +420,165 @@ impl RleColumn {
         &self.dict
     }
 
-    /// The value at `row` (O(runs)).
+    /// The segment directory.
+    pub fn segments(&self) -> &[Arc<RleSegment>] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Start row of segment `idx`.
+    pub fn segment_start(&self, idx: usize) -> u64 {
+        self.starts[idx]
+    }
+
+    /// The nominal segment size new data is chunked at.
+    pub fn nominal_segment_rows(&self) -> u64 {
+        self.segment_rows
+    }
+
+    /// Index of the segment containing `row`.
+    pub fn segment_of_row(&self, row: u64) -> usize {
+        debug_assert!(row < self.rows);
+        self.starts.partition_point(|&s| s <= row) - 1
+    }
+
+    /// The value at `row` (O(runs of one segment)).
     pub fn value_at(&self, row: u64) -> &Value {
-        self.dict.value(self.seq.get(row))
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let seg_idx = self.segment_of_row(row);
+        let local = row - self.starts[seg_idx];
+        self.dict.value(self.segments[seg_idx].seq().get(local))
+    }
+
+    /// Materializes the dense row → value-id array (O(rows)).
+    pub fn value_ids(&self) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(self.rows as usize);
+        for seg in &self.segments {
+            for &(v, n) in seg.seq().runs() {
+                ids.extend(std::iter::repeat_n(v, n as usize));
+            }
+        }
+        ids
     }
 
     /// Decodes all values.
     pub fn values(&self) -> Vec<Value> {
-        self.seq
-            .iter()
+        self.value_ids()
+            .into_iter()
             .map(|id| self.dict.value(id).clone())
             .collect()
     }
 
+    /// Streaming `(row, value id)` cursor in ascending row order.
+    pub fn id_cursor(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.segments
+            .iter()
+            .zip(&self.starts)
+            .flat_map(|(seg, &start)| {
+                seg.seq().iter_runs().flat_map(move |(v, run_start, len)| {
+                    (start + run_start..start + run_start + len).map(move |row| (row, v))
+                })
+            })
+    }
+
+    /// Materializes the full-length bitmap of value id `id` by splicing
+    /// per-segment runs (zero fills where the value is absent).
+    pub fn value_bitmap(&self, id: u32) -> Wah {
+        let mut out = Wah::new();
+        for seg in &self.segments {
+            seg.append_value_bitmap(id, &mut out);
+        }
+        out
+    }
+
+    /// Materialized bitmap of a value, if it occurs in the column.
+    pub fn bitmap_of(&self, v: &Value) -> Option<Wah> {
+        self.dict.id_of(v).map(|id| self.value_bitmap(id))
+    }
+
+    /// Number of rows carrying value id `id` (summed from segment stats;
+    /// never touches run data).
+    pub fn value_count(&self, id: u32) -> u64 {
+        self.segments.iter().map(|s| s.count_for(id)).sum()
+    }
+
+    /// Splits a non-decreasing global position list into per-segment spans
+    /// (see [`Column::position_spans`]).
+    pub fn position_spans(&self, positions: &[u64]) -> Vec<(usize, Range<usize>)> {
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        crate::segment::position_spans(&sizes, positions)
+    }
+
+    /// Gather restricted to one segment: the run piece selecting the rows
+    /// listed in `positions` (global, non-decreasing, all within the
+    /// segment). The per-segment unit of the parallel evolution operators.
+    pub fn filter_segment_seq(&self, seg_idx: usize, positions: &[u64]) -> RleSeq {
+        let start = self.starts[seg_idx];
+        let local: Vec<u64> = positions.iter().map(|&p| p - start).collect();
+        self.segments[seg_idx].seq().filter_positions(&local)
+    }
+
+    /// Mask-driven variant of [`RleColumn::filter_segment_seq`]: shrink
+    /// segment `seg_idx` to the set rows of `mask_seg` (segment-local).
+    /// Materializes the mask's set positions for the segment — an
+    /// O(selected rows) allocation bounded by the segment size, like the
+    /// bitmap encoding's high-cardinality gather path — then runs the
+    /// O(runs + positions) run gather.
+    pub fn filter_segment_mask_seq(&self, seg_idx: usize, mask_seg: &Wah) -> RleSeq {
+        let seg = &self.segments[seg_idx];
+        assert_eq!(mask_seg.len(), seg.rows(), "segment mask length mismatch");
+        let local: Vec<u64> = mask_seg.iter_ones().collect();
+        seg.seq().filter_positions(&local)
+    }
+
     /// Data-level gather: keep the rows at `positions` (non-decreasing).
-    /// Runs of the input become runs of the output.
+    /// Values that vanish are dropped and the dictionary compacted.
     pub fn filter_positions(&self, positions: &[u64]) -> RleColumn {
-        RleColumn {
-            ty: self.ty,
-            dict: self.dict.clone(),
-            seq: self.seq.filter_positions(positions),
+        let mut asm = RleAssembler::new(self.segment_rows);
+        for (seg_idx, range) in self.position_spans(positions) {
+            asm.push_seq(&self.filter_segment_seq(seg_idx, &positions[range]));
         }
+        Self::from_segments_compacting(self.ty, self.dict.clone(), asm.finish(), self.segment_rows)
     }
 
-    /// Extracts rows `[start, end)`.
-    pub fn slice(&self, start: u64, end: u64) -> RleColumn {
-        RleColumn {
-            ty: self.ty,
-            dict: self.dict.clone(),
-            seq: self.seq.slice(start, end),
+    /// Gather by an arbitrary (not necessarily sorted) row selection:
+    /// output row `j` carries the value of input row `positions[j]`.
+    pub fn gather(&self, positions: &[u64]) -> RleColumn {
+        let ids = self.value_ids();
+        let mut asm = RleAssembler::new(self.segment_rows);
+        for &p in positions {
+            asm.push_run(ids[p as usize], 1);
         }
+        Self::from_segments_compacting(self.ty, self.dict.clone(), asm.finish(), self.segment_rows)
     }
 
-    /// Concatenates two RLE columns of the same type (dictionaries merged).
+    /// Splits a whole-column selection mask along this column's segment
+    /// boundaries (one pass over the mask's compressed runs).
+    pub fn split_mask(&self, mask: &Wah) -> Vec<Wah> {
+        assert_eq!(mask.len(), self.rows, "mask length mismatch");
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        mask.split_sizes(&sizes)
+    }
+
+    /// Bitmap filtering driven by a selection mask.
+    pub fn filter_bitmap(&self, mask: &Wah) -> RleColumn {
+        let masks = self.split_mask(mask);
+        let mut asm = RleAssembler::new(self.segment_rows);
+        for (seg_idx, mask_seg) in masks.iter().enumerate() {
+            if mask_seg.any() {
+                asm.push_seq(&self.filter_segment_mask_seq(seg_idx, mask_seg));
+            }
+        }
+        Self::from_segments_compacting(self.ty, self.dict.clone(), asm.finish(), self.segment_rows)
+    }
+
+    /// Concatenates two RLE columns of the same type (UNION TABLES).
+    /// Dictionaries are merged; `self`'s segments are reused by reference,
+    /// and `other`'s are reused when no id translation is needed.
     pub fn concat(&self, other: &RleColumn) -> Result<RleColumn, StorageError> {
         if self.ty != other.ty {
             return Err(StorageError::RowMismatch(format!(
@@ -125,26 +586,167 @@ impl RleColumn {
                 self.ty, other.ty
             )));
         }
-        let (dict, map) = self.dict.merge(&other.dict);
-        let mut seq = self.seq.clone();
-        for (id, _, len) in other.seq.iter_runs() {
-            seq.append_run(map[id as usize], len);
+        let (dict, other_map) = self.dict.merge(other.dict());
+        let identity = other_map.iter().enumerate().all(|(i, &m)| m as usize == i);
+        let mut segments = self.segments.clone();
+        if identity {
+            segments.extend(other.segments.iter().cloned());
+        } else {
+            let map: Vec<Option<u32>> = other_map.iter().map(|&m| Some(m)).collect();
+            segments.extend(other.segments.iter().map(|s| Arc::new(s.remap(&map))));
         }
-        Ok(RleColumn {
-            ty: self.ty,
+        Ok(Self::from_segments(
+            self.ty,
             dict,
-            seq,
-        })
+            segments,
+            self.segment_rows,
+        ))
     }
 
-    /// Compressed bytes of the run sequence (excluding dictionary).
+    /// Extracts the row range `[start, end)`. Fully covered segments are
+    /// shared by reference when no dictionary compaction is needed.
+    pub fn slice(&self, start: u64, end: u64) -> RleColumn {
+        assert!(start <= end && end <= self.rows, "slice out of range");
+        let mut parts: Vec<Arc<RleSegment>> = Vec::new();
+        let mut present = vec![false; self.dict.len()];
+        for (seg, &seg_start) in self.segments.iter().zip(&self.starts) {
+            let seg_end = seg_start + seg.rows();
+            if seg_end <= start || seg_start >= end {
+                continue;
+            }
+            let lo = start.max(seg_start) - seg_start;
+            let hi = end.min(seg_end) - seg_start;
+            if lo == hi {
+                continue;
+            }
+            let part = if lo == 0 && hi == seg.rows() {
+                Arc::clone(seg)
+            } else {
+                Arc::new(RleSegment::new(seg.seq().slice(lo, hi)))
+            };
+            for &id in part.present_ids() {
+                present[id as usize] = true;
+            }
+            parts.push(part);
+        }
+        if present.iter().all(|&p| p) {
+            Self::from_segments(self.ty, self.dict.clone(), parts, self.segment_rows)
+        } else {
+            let (dict, mapping) = self.dict.compact(|id| present[id as usize]);
+            let segments = parts
+                .into_iter()
+                .map(|s| Arc::new(s.remap(&mapping)))
+                .collect();
+            Self::from_segments(self.ty, dict, segments, self.segment_rows)
+        }
+    }
+
+    /// Returns `true` when the directory is fragmented enough to benefit
+    /// from [`RleColumn::compacted`] (the shared
+    /// [`needs_compaction`](crate::segment::needs_compaction) trigger).
+    pub fn needs_compaction(&self) -> bool {
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        crate::segment::needs_compaction(&sizes, self.segment_rows)
+    }
+
+    /// Re-chunks the segment directory toward the nominal segment size via
+    /// the shared [`compaction_plan`](crate::segment::compaction_plan);
+    /// segments already within `[½·nominal, 2·nominal]` are reused by
+    /// reference.
+    pub fn compacted(&self) -> RleColumn {
+        let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
+        let Some(plan) = crate::segment::compaction_plan(&sizes, self.segment_rows) else {
+            return self.clone();
+        };
+        let mut segments: Vec<Arc<RleSegment>> = Vec::with_capacity(plan.len());
+        for group in plan {
+            if group.is_untouched(&sizes) {
+                segments.push(Arc::clone(&self.segments[group.segs.start]));
+                continue;
+            }
+            let mut asm = RleAssembler::with_piece_sizes(group.pieces);
+            for seg in &self.segments[group.segs] {
+                asm.push_seq(seg.seq());
+            }
+            segments.extend(asm.finish());
+        }
+        Self::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows)
+    }
+
+    /// [`RleColumn::compacted`] when fragmented, otherwise a cheap clone.
+    pub fn maybe_compacted(&self) -> RleColumn {
+        if self.needs_compaction() {
+            self.compacted()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Compressed bytes of the run sequences (excluding dictionary).
     pub fn seq_bytes(&self) -> usize {
-        self.seq.size_bytes()
+        self.segments.iter().map(|s| s.compressed_bytes()).sum()
     }
 
-    /// Returns `true` if the ids are sorted (fully clustered column).
+    /// Approximate total heap size (runs + dictionary).
+    pub fn size_bytes(&self) -> usize {
+        self.seq_bytes() + self.dict.size_bytes()
+    }
+
+    /// Returns `true` if the ids are sorted across the whole directory
+    /// (fully clustered column).
     pub fn is_sorted(&self) -> bool {
-        self.seq.is_sorted()
+        self.segments.iter().all(|s| s.seq().is_sorted())
+            && self.segments.windows(2).all(|w| {
+                match (w[0].seq().runs().last(), w[1].seq().runs().first()) {
+                    (Some(&(a, _)), Some(&(b, _))) => a <= b,
+                    _ => true,
+                }
+            })
+    }
+
+    /// Verifies the directory geometry, per-segment stats, dictionary
+    /// bounds, and dictionary compaction (every value occurs somewhere).
+    pub fn check_invariants(&self) -> Result<(), StorageError> {
+        if self.segments.len() != self.starts.len() {
+            return Err(StorageError::Corrupt("segment/start count mismatch".into()));
+        }
+        let mut present = vec![0u64; self.dict.len()];
+        let mut expected_start = 0u64;
+        for (i, (seg, &start)) in self.segments.iter().zip(&self.starts).enumerate() {
+            if start != expected_start {
+                return Err(StorageError::Corrupt(format!(
+                    "segment {i} starts at {start}, expected {expected_start}"
+                )));
+            }
+            if seg.rows() == 0 {
+                return Err(StorageError::Corrupt(format!("segment {i} is empty")));
+            }
+            seg.check_invariants()
+                .map_err(|e| StorageError::Corrupt(format!("segment {i}: {e}")))?;
+            for (&id, &ones) in seg.present_ids().iter().zip(seg.ones()) {
+                if id as usize >= self.dict.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "segment {i} references id {id} beyond dictionary"
+                    )));
+                }
+                present[id as usize] += ones;
+            }
+            expected_start += seg.rows();
+        }
+        if expected_start != self.rows {
+            return Err(StorageError::Corrupt(format!(
+                "segments cover {expected_start} rows, column claims {}",
+                self.rows
+            )));
+        }
+        if self.rows > 0 {
+            if let Some(id) = present.iter().position(|&n| n == 0) {
+                return Err(StorageError::Corrupt(format!(
+                    "value id {id} occurs in no segment (dictionary not compacted)"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -163,12 +765,41 @@ mod tests {
         let vals = clustered_values(1_000, 10);
         let bitmap_col = Column::from_values(ValueType::Int, &vals).unwrap();
         let rle = RleColumn::from_column(&bitmap_col);
+        rle.check_invariants().unwrap();
         assert_eq!(rle.rows(), 1_000);
         assert_eq!(rle.num_runs(), 10);
         assert!(rle.is_sorted());
         let back = rle.to_column().unwrap();
         assert_eq!(back, bitmap_col);
         assert_eq!(rle.values(), vals);
+    }
+
+    #[test]
+    fn segmented_build_matches_monolithic() {
+        let vals = clustered_values(1_000, 13);
+        let seg = RleColumn::from_values_with(ValueType::Int, &vals, 64).unwrap();
+        let mono = RleColumn::from_values_with(ValueType::Int, &vals, 1 << 40).unwrap();
+        seg.check_invariants().unwrap();
+        assert!(seg.segment_count() > 1);
+        assert_eq!(mono.segment_count(), 1);
+        assert_eq!(seg.values(), mono.values());
+        assert_eq!(seg.value_ids(), mono.value_ids());
+        for id in 0..seg.distinct_count() as u32 {
+            assert_eq!(seg.value_bitmap(id), mono.value_bitmap(id));
+            assert_eq!(seg.value_count(id), mono.value_count(id));
+        }
+    }
+
+    #[test]
+    fn segments_are_sparse_and_pruned() {
+        // Value 0 only in rows 0..100, value 1 only in 100..200.
+        let vals: Vec<Value> = (0..200).map(|i| Value::int(i / 100)).collect();
+        let c = RleColumn::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        assert_eq!(c.segment_count(), 2);
+        assert_eq!(c.segments()[0].present_ids(), &[0]);
+        assert_eq!(c.segments()[1].present_ids(), &[1]);
+        assert!(!c.segments()[1].contains_id(0));
+        assert_eq!(c.value_count(0), 100);
     }
 
     #[test]
@@ -187,7 +818,7 @@ mod tests {
     #[test]
     fn filter_and_slice_match_bitmap_column() {
         let vals = clustered_values(500, 7);
-        let bitmap_col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let bitmap_col = Column::from_values_with(ValueType::Int, &vals, 64).unwrap();
         let rle = RleColumn::from_column(&bitmap_col);
         let positions: Vec<u64> = (0..500).step_by(3).collect();
         assert_eq!(
@@ -201,6 +832,16 @@ mod tests {
     }
 
     #[test]
+    fn slice_shares_interior_segments() {
+        let vals: Vec<Value> = (0..1_000).map(|i| Value::int(i % 4)).collect();
+        let c = RleColumn::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        let s = c.slice(50, 950);
+        s.check_invariants().unwrap();
+        assert_eq!(s.rows(), 900);
+        assert!(Arc::ptr_eq(&s.segments()[1], &c.segments()[1]));
+    }
+
+    #[test]
     fn concat_merges_dictionaries() {
         let a = RleColumn::from_values(
             ValueType::Str,
@@ -210,6 +851,7 @@ mod tests {
         let b =
             RleColumn::from_values(ValueType::Str, &[Value::str("y"), Value::str("z")]).unwrap();
         let c = a.concat(&b).unwrap();
+        c.check_invariants().unwrap();
         assert_eq!(c.rows(), 5);
         assert_eq!(
             c.values(),
@@ -221,8 +863,56 @@ mod tests {
                 Value::str("z")
             ]
         );
-        // x,x / y,y / z — runs merge across the boundary.
-        assert_eq!(c.num_runs(), 3);
+    }
+
+    #[test]
+    fn concat_shares_segments() {
+        let vals: Vec<Value> = (0..500).map(|i| Value::int(i % 5)).collect();
+        let a = RleColumn::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        let b = RleColumn::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        let c = a.concat(&b).unwrap();
+        c.check_invariants().unwrap();
+        assert_eq!(c.segment_count(), 10);
+        assert!(Arc::ptr_eq(&c.segments()[0], &a.segments()[0]));
+        assert!(Arc::ptr_eq(&c.segments()[5], &b.segments()[0]));
+    }
+
+    #[test]
+    fn compaction_merges_fragments() {
+        // Build a fragmented directory from many tiny slices.
+        let vals: Vec<Value> = (0..4_000).map(|i| Value::int(i % 6)).collect();
+        let base = RleColumn::from_values_with(ValueType::Int, &vals, 256).unwrap();
+        let mut acc = base.slice(0, 10);
+        for i in 1..100 {
+            acc = acc.concat(&base.slice(i * 10, i * 10 + 10)).unwrap();
+        }
+        assert_eq!(acc.rows(), 1_000);
+        assert!(acc.needs_compaction());
+        let compacted = acc.compacted();
+        compacted.check_invariants().unwrap();
+        assert_eq!(compacted.values(), acc.values());
+        let nominal = compacted.nominal_segment_rows();
+        for seg in compacted.segments() {
+            assert!(
+                seg.rows() >= nominal / 2 && seg.rows() <= 2 * nominal,
+                "segment of {} rows outside [{}, {}]",
+                seg.rows(),
+                nominal / 2,
+                2 * nominal
+            );
+        }
+        assert!(!compacted.needs_compaction());
+    }
+
+    #[test]
+    fn compaction_is_identity_on_clean_directories() {
+        let vals: Vec<Value> = (0..1_000).map(|i| Value::int(i % 7)).collect();
+        let c = RleColumn::from_values_with(ValueType::Int, &vals, 100).unwrap();
+        assert!(!c.needs_compaction());
+        let compacted = c.compacted();
+        for (a, b) in c.segments().iter().zip(compacted.segments()) {
+            assert!(Arc::ptr_eq(a, b), "clean segment was rewritten");
+        }
     }
 
     #[test]
@@ -242,5 +932,17 @@ mod tests {
         .unwrap();
         assert_eq!(rle.value_at(0), &Value::int(5));
         assert_eq!(rle.value_at(2), &Value::int(9));
+    }
+
+    #[test]
+    fn id_cursor_streams_in_order() {
+        let vals: Vec<Value> = (0..500).map(|i| Value::int(i % 11)).collect();
+        let c = RleColumn::from_values_with(ValueType::Int, &vals, 37).unwrap();
+        let expected = c.value_ids();
+        for (i, (row, id)) in c.id_cursor().enumerate() {
+            assert_eq!(row, i as u64);
+            assert_eq!(id, expected[i]);
+        }
+        assert_eq!(c.id_cursor().count(), 500);
     }
 }

@@ -15,10 +15,132 @@
 
 use cods_bitmap::Wah;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Default number of rows per segment (64 Ki).
 pub const DEFAULT_SEGMENT_ROWS: u64 = 64 * 1024;
+
+/// One group of consecutive input segments rewritten together by a
+/// compaction pass, and the output piece sizes it is re-chunked into.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactionGroup {
+    /// Input segment indices covered by this group.
+    pub segs: Range<usize>,
+    /// Output piece sizes (their sum equals the group's row count). A group
+    /// whose single piece equals its single input segment is untouched and
+    /// reused by reference.
+    pub pieces: Vec<u64>,
+}
+
+impl CompactionGroup {
+    /// Returns `true` when the group passes one input segment through
+    /// unchanged (the Arc-reuse case).
+    pub fn is_untouched(&self, sizes: &[u64]) -> bool {
+        self.segs.len() == 1 && self.pieces.len() == 1 && self.pieces[0] == sizes[self.segs.start]
+    }
+}
+
+/// The shared threshold trigger for both encodings: a directory is
+/// fragmented enough to compact when its segment count exceeds twice what
+/// the nominal size calls for, or some segment is oversized (> 2·nominal).
+/// Long `concat`/`slice` (UNION) chains are what drive it here.
+pub fn needs_compaction(sizes: &[u64], nominal: u64) -> bool {
+    let rows: u64 = sizes.iter().sum();
+    if rows == 0 {
+        return false;
+    }
+    let nominal_count = rows.div_ceil(nominal).max(1);
+    sizes.len() as u64 > 2 * nominal_count || sizes.iter().any(|&s| s > 2 * nominal)
+}
+
+/// Computes the re-chunk schedule of a compaction pass from segment sizes
+/// alone (shared by the bitmap and RLE encodings): adjacent undersized
+/// segments (< ½·nominal) are merged toward the nominal size and oversized
+/// ones (> 2·nominal) are split into balanced pieces, so every output
+/// segment lands in `[½·nominal, 2·nominal]` (the whole column being
+/// smaller than ½·nominal is the one unavoidable exception). Returns `None`
+/// when the directory is already within bounds — the caller reuses every
+/// segment by reference.
+pub fn compaction_plan(sizes: &[u64], nominal: u64) -> Option<Vec<CompactionGroup>> {
+    assert!(nominal > 0, "nominal segment size must be positive");
+    let min = nominal / 2;
+    let max = 2 * nominal;
+    let mut groups: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    let mut cur_rows = 0u64;
+    for (i, &s) in sizes.iter().enumerate() {
+        cur_rows += s;
+        if cur_rows >= min.max(1) {
+            groups.push(start..i + 1);
+            start = i + 1;
+            cur_rows = 0;
+        }
+    }
+    if start < sizes.len() {
+        // Trailing rows below the minimum: fold them into the last group
+        // (splitting below restores the upper bound if needed).
+        match groups.last_mut() {
+            Some(last) => last.end = sizes.len(),
+            None => groups.push(start..sizes.len()),
+        }
+    }
+    let mut plan = Vec::with_capacity(groups.len());
+    let mut identity = true;
+    for segs in groups {
+        let rows: u64 = sizes[segs.clone()].iter().sum();
+        let pieces = if rows <= max {
+            vec![rows]
+        } else {
+            let k = rows.div_ceil(nominal);
+            let base = rows / k;
+            let extra = rows % k;
+            (0..k).map(|i| base + u64::from(i < extra)).collect()
+        };
+        let group = CompactionGroup { segs, pieces };
+        identity &= group.is_untouched(sizes);
+        plan.push(group);
+    }
+    if identity {
+        None
+    } else {
+        Some(plan)
+    }
+}
+
+/// Splits a non-decreasing global position list into per-segment spans:
+/// `(segment index, range into positions)`. Shared by both encodings'
+/// serial filter paths and the segment-parallel executors in `cods` core.
+///
+/// # Panics
+/// Panics when a position is outside the rows covered by `seg_sizes`.
+pub(crate) fn position_spans(seg_sizes: &[u64], positions: &[u64]) -> Vec<(usize, Range<usize>)> {
+    let mut spans = Vec::new();
+    let mut lo = 0usize;
+    let mut start = 0u64;
+    for (seg_idx, &rows) in seg_sizes.iter().enumerate() {
+        if lo == positions.len() {
+            break;
+        }
+        let end_row = start + rows;
+        let hi = lo + positions[lo..].partition_point(|&p| p < end_row);
+        if hi > lo {
+            spans.push((seg_idx, lo..hi));
+            lo = hi;
+        }
+        start = end_row;
+    }
+    // Hard check (not debug-only): an out-of-range position must panic
+    // like a dense id-gather would, not silently shrink the output.
+    assert_eq!(
+        lo,
+        positions.len(),
+        "position {} out of range for {} rows",
+        positions[lo.min(positions.len().saturating_sub(1))],
+        seg_sizes.iter().sum::<u64>()
+    );
+    spans
+}
 
 /// One immutable row-range segment: sparse per-value bitmaps over the
 /// segment's rows, plus cached statistics.
@@ -129,6 +251,17 @@ impl Segment {
             .zip(&self.bitmaps)
             .find(|(_, bm)| bm.get(row))
             .map(|(&id, _)| id)
+    }
+
+    /// Re-expresses the segment as an unaligned [`SegmentChunk`] (bitmaps
+    /// cloned), the form compaction feeds back through a
+    /// [`SegmentAssembler`] when regrouping.
+    pub fn to_chunk(&self) -> SegmentChunk {
+        SegmentChunk {
+            ids: self.ids.clone(),
+            bitmaps: self.bitmaps.clone(),
+            rows: self.rows,
+        }
     }
 
     /// Rewrites the segment under an id translation (`map[old] = Some(new)`
@@ -275,6 +408,10 @@ impl SegmentChunk {
 /// proportional to the values actually present.
 pub struct SegmentAssembler {
     target: u64,
+    /// Explicit piece-size schedule (compaction regrouping); when present,
+    /// each sealed segment consumes the next entry and `target` tracks the
+    /// current one.
+    schedule: Option<std::collections::VecDeque<u64>>,
     cur_len: u64,
     /// id → (bitmap so far, rows represented so far). Bitmaps are padded to
     /// `cur_len` lazily on append and at seal time.
@@ -288,9 +425,35 @@ impl SegmentAssembler {
         assert!(target > 0, "segment size must be positive");
         SegmentAssembler {
             target,
+            schedule: None,
             cur_len: 0,
             cur: HashMap::new(),
             segments: Vec::new(),
+        }
+    }
+
+    /// An assembler producing segments of the given explicit sizes, in
+    /// order. The pushed chunks must cover exactly `pieces.iter().sum()`
+    /// rows. Used by compaction to regroup a run of segments.
+    pub fn with_piece_sizes(pieces: Vec<u64>) -> SegmentAssembler {
+        assert!(
+            pieces.iter().all(|&p| p > 0),
+            "piece sizes must be positive"
+        );
+        let mut schedule: std::collections::VecDeque<u64> = pieces.into();
+        let target = schedule.pop_front().unwrap_or(u64::MAX);
+        SegmentAssembler {
+            target,
+            schedule: Some(schedule),
+            cur_len: 0,
+            cur: HashMap::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    fn advance_target(&mut self) {
+        if let Some(schedule) = &mut self.schedule {
+            self.target = schedule.pop_front().unwrap_or(u64::MAX);
         }
     }
 
@@ -311,6 +474,7 @@ impl SegmentAssembler {
                 .filter(|(_, bm)| bm.any())
                 .collect();
             self.segments.push(Arc::new(Segment::new(rows, pairs)));
+            self.advance_target();
             return;
         }
         let mut offset = 0u64;
@@ -359,6 +523,7 @@ impl SegmentAssembler {
             .collect();
         self.segments.push(Arc::new(Segment::new(len, pairs)));
         self.cur_len = 0;
+        self.advance_target();
     }
 
     /// Seals the trailing partial segment and returns the directory.

@@ -1,14 +1,18 @@
 //! Storage statistics: compression ratios and size accounting, feeding the
 //! ablation benchmarks and the CLI's `stats` command.
 
-use crate::column::Column;
+use crate::encoded::{EncodedColumn, Encoding};
 use crate::table::Table;
 
-/// Per-column storage statistics.
+/// Per-column storage statistics (both encodings share the segment
+/// directory, so segment counts and per-segment sparsity are reported
+/// uniformly).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ColumnStats {
     /// Rows in the column.
     pub rows: u64,
+    /// The column's physical encoding.
+    pub encoding: Encoding,
     /// Distinct values (dictionary size).
     pub distinct: usize,
     /// Number of row-range segments.
@@ -16,38 +20,35 @@ pub struct ColumnStats {
     /// Distinct values present in the densest segment (the per-segment
     /// sparsity win: ≤ `distinct`).
     pub max_segment_distinct: usize,
-    /// Compressed bitmap bytes (summed from segment stats).
-    pub bitmap_bytes: usize,
+    /// Compressed payload bytes — bitmap words or RLE runs, summed from
+    /// segment stats.
+    pub payload_bytes: usize,
     /// Dictionary bytes (approximate).
     pub dict_bytes: usize,
     /// Bytes an uncompressed `v × r` bit matrix would use.
     pub plain_matrix_bytes: usize,
-    /// `plain_matrix_bytes / bitmap_bytes` (0 when empty).
+    /// `plain_matrix_bytes / payload_bytes` (0 when empty).
     pub compression_ratio: f64,
 }
 
 impl ColumnStats {
-    /// Computes statistics for a column.
-    pub fn of(c: &Column) -> ColumnStats {
-        let bitmap_bytes = c.bitmap_bytes();
+    /// Computes statistics for a column in either encoding.
+    pub fn of(c: &EncodedColumn) -> ColumnStats {
+        let payload_bytes = c.payload_bytes();
         let plain = (c.rows().div_ceil(8) as usize) * c.distinct_count();
         ColumnStats {
             rows: c.rows(),
+            encoding: c.encoding(),
             distinct: c.distinct_count(),
             segments: c.segment_count(),
-            max_segment_distinct: c
-                .segments()
-                .iter()
-                .map(|s| s.distinct_count())
-                .max()
-                .unwrap_or(0),
-            bitmap_bytes,
+            max_segment_distinct: c.max_segment_distinct(),
+            payload_bytes,
             dict_bytes: c.dict().size_bytes(),
             plain_matrix_bytes: plain,
-            compression_ratio: if bitmap_bytes == 0 {
+            compression_ratio: if payload_bytes == 0 {
                 0.0
             } else {
-                plain as f64 / bitmap_bytes as f64
+                plain as f64 / payload_bytes as f64
             },
         }
     }
@@ -70,7 +71,7 @@ impl TableStats {
     /// Computes statistics for a table.
     pub fn of(t: &Table) -> TableStats {
         let columns: Vec<ColumnStats> = t.columns().iter().map(|c| ColumnStats::of(c)).collect();
-        let total_bytes = columns.iter().map(|c| c.bitmap_bytes + c.dict_bytes).sum();
+        let total_bytes = columns.iter().map(|c| c.payload_bytes + c.dict_bytes).sum();
         TableStats {
             rows: t.rows(),
             arity: t.arity(),
@@ -110,7 +111,7 @@ mod tests {
         let hi: Vec<Vec<Value>> = (0..4096).map(|i| vec![Value::int(i)]).collect();
         let t_lo = TableStats::of(&Table::from_rows("lo", schema.clone(), &lo).unwrap());
         let t_hi = TableStats::of(&Table::from_rows("hi", schema, &hi).unwrap());
-        assert!(t_lo.columns[0].bitmap_bytes < t_hi.columns[0].bitmap_bytes);
+        assert!(t_lo.columns[0].payload_bytes < t_hi.columns[0].payload_bytes);
         // Relative to the v × r matrix, the many tiny bitmaps of the
         // high-cardinality column still compress enormously.
         assert!(t_hi.columns[0].compression_ratio > 10.0);
@@ -123,5 +124,20 @@ mod tests {
         let stats = TableStats::of(&t);
         assert_eq!(stats.rows, 0);
         assert_eq!(stats.columns[0].distinct, 0);
+    }
+
+    #[test]
+    fn rle_columns_report_segments() {
+        let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..1_000).map(|i| vec![Value::int(i / 250)]).collect();
+        let t = Table::from_rows_with_segment_rows("t", schema, &rows, 128)
+            .unwrap()
+            .recoded(Encoding::Rle)
+            .unwrap();
+        let stats = TableStats::of(&t);
+        assert_eq!(stats.columns[0].encoding, Encoding::Rle);
+        assert_eq!(stats.columns[0].segments, 8);
+        assert!(stats.columns[0].max_segment_distinct <= stats.columns[0].distinct);
+        assert!(stats.columns[0].payload_bytes > 0);
     }
 }

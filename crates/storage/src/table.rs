@@ -6,19 +6,21 @@
 //! created right away using the existing columns … without any data
 //! operation" — as literal pointer sharing.
 
-use crate::column::{Column, ColumnBuilder};
+use crate::column::ColumnBuilder;
+use crate::encoded::{EncodedColumn, Encoding};
 use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// An immutable column-oriented table.
+/// An immutable column-oriented table. Each column is independently bitmap
+/// or run-length encoded (see [`EncodedColumn`]).
 #[derive(Clone, Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
-    columns: Vec<Arc<Column>>,
+    columns: Vec<Arc<EncodedColumn>>,
     rows: u64,
 }
 
@@ -27,7 +29,7 @@ impl Table {
     pub fn new(
         name: impl Into<String>,
         schema: Schema,
-        columns: Vec<Arc<Column>>,
+        columns: Vec<Arc<EncodedColumn>>,
     ) -> Result<Table, StorageError> {
         if columns.len() != schema.arity() {
             return Err(StorageError::RowMismatch(format!(
@@ -95,8 +97,44 @@ impl Table {
                 b.push(v.clone())?;
             }
         }
-        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        let columns = builders
+            .into_iter()
+            .map(|b| Arc::new(EncodedColumn::Bitmap(b.finish())))
+            .collect();
         Table::new(name, schema, columns)
+    }
+
+    /// Returns a copy with every column re-encoded to `encoding` (values,
+    /// dictionaries, and segment boundaries preserved). Columns already in
+    /// that encoding are shared by reference.
+    pub fn recoded(&self, encoding: Encoding) -> Result<Table, StorageError> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                Ok(if c.encoding() == encoding {
+                    Arc::clone(c)
+                } else {
+                    Arc::new(c.recode(encoding)?)
+                })
+            })
+            .collect::<Result<_, StorageError>>()?;
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Returns a copy with the named column re-encoded to `encoding`; all
+    /// other columns are shared by reference.
+    pub fn with_column_encoding(
+        &self,
+        name: &str,
+        encoding: Encoding,
+    ) -> Result<Table, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        let mut columns = self.columns.clone();
+        if columns[idx].encoding() != encoding {
+            columns[idx] = Arc::new(columns[idx].recode(encoding)?);
+        }
+        Table::new(&self.name, self.schema.clone(), columns)
     }
 
     /// Table name.
@@ -120,17 +158,17 @@ impl Table {
     }
 
     /// Column by position.
-    pub fn column(&self, idx: usize) -> &Arc<Column> {
+    pub fn column(&self, idx: usize) -> &Arc<EncodedColumn> {
         &self.columns[idx]
     }
 
     /// Column by name.
-    pub fn column_by_name(&self, name: &str) -> Result<&Arc<Column>, StorageError> {
+    pub fn column_by_name(&self, name: &str) -> Result<&Arc<EncodedColumn>, StorageError> {
         Ok(&self.columns[self.schema.index_of(name)?])
     }
 
     /// All columns in schema order.
-    pub fn columns(&self) -> &[Arc<Column>] {
+    pub fn columns(&self) -> &[Arc<EncodedColumn>] {
         &self.columns
     }
 
@@ -206,7 +244,7 @@ impl Table {
                 .map(|(ids, rank)| rank[ids[row as usize] as usize])
                 .collect::<Vec<u32>>()
         });
-        let columns: Vec<Arc<Column>> = self
+        let columns: Vec<Arc<EncodedColumn>> = self
             .columns
             .iter()
             .map(|c| Arc::new(c.gather(&perm)))
@@ -448,7 +486,31 @@ mod tests {
     #[test]
     fn column_type_checked_against_schema() {
         let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
-        let col = Arc::new(Column::from_values(ValueType::Str, &[Value::str("x")]).unwrap());
+        let col = Arc::new(EncodedColumn::Bitmap(
+            crate::column::Column::from_values(ValueType::Str, &[Value::str("x")]).unwrap(),
+        ));
         assert!(Table::new("t", schema, vec![col]).is_err());
+    }
+
+    #[test]
+    fn recoded_preserves_rows_and_shares_on_noop() {
+        let r = figure1_r();
+        let rle = r.recoded(Encoding::Rle).unwrap();
+        rle.check_invariants().unwrap();
+        assert_eq!(rle.to_rows(), r.to_rows());
+        assert!(rle.columns().iter().all(|c| c.encoding() == Encoding::Rle));
+        let back = rle.recoded(Encoding::Bitmap).unwrap();
+        assert_eq!(back.to_rows(), r.to_rows());
+        // Re-encoding to the current encoding shares columns by reference.
+        let same = rle.recoded(Encoding::Rle).unwrap();
+        assert!(rle.shares_column_with(&same, "employee"));
+        // Single-column recode shares the rest.
+        let one = r.with_column_encoding("skill", Encoding::Rle).unwrap();
+        assert!(r.shares_column_with(&one, "employee"));
+        assert_eq!(
+            one.column_by_name("skill").unwrap().encoding(),
+            Encoding::Rle
+        );
+        assert_eq!(one.to_rows(), r.to_rows());
     }
 }

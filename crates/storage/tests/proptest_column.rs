@@ -1,7 +1,8 @@
 //! Property tests of the column store against a plain `Vec<Value>` model,
-//! and of the segmented layout against a single-segment (monolithic)
-//! column: every data-level primitive must be bit-identical regardless of
-//! how the rows are chunked.
+//! of the segmented layout against a single-segment (monolithic) column,
+//! and of the RLE encoding against the bitmap encoding: every data-level
+//! primitive must be bit-identical regardless of how the rows are chunked
+//! or which physical encoding holds them.
 
 use cods_storage::{Column, RleColumn, RowIdCursor, Value, ValueType};
 use proptest::prelude::*;
@@ -212,18 +213,203 @@ proptest! {
     #[test]
     fn persist_round_trip_across_versions(vals in values(), seg in seg_sizes()) {
         use cods_storage::persist::{decode_table, encode_table, encode_table_v1};
-        use cods_storage::{Schema, Table};
+        use cods_storage::{EncodedColumn, Schema, Table};
         use std::sync::Arc;
         let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
-        let col = Arc::new(Column::from_values_with(ValueType::Int, &vals, seg).unwrap());
+        let col = Arc::new(EncodedColumn::Bitmap(
+            Column::from_values_with(ValueType::Int, &vals, seg).unwrap(),
+        ));
         let t = Table::new("t", schema, vec![col]).unwrap();
-        // Current (v2, segment directory) round trip.
-        let v2 = decode_table(encode_table(&t)).unwrap();
-        prop_assert_eq!(v2.to_rows(), t.to_rows());
-        v2.check_invariants().unwrap();
+        // Current (segment directory) round trip.
+        let now = decode_table(encode_table(&t)).unwrap();
+        prop_assert_eq!(now.to_rows(), t.to_rows());
+        now.check_invariants().unwrap();
         // Legacy (v1, monolithic) writer → current reader.
         let v1 = decode_table(encode_table_v1(&t)).unwrap();
         prop_assert_eq!(v1.to_rows(), t.to_rows());
         v1.check_invariants().unwrap();
+    }
+
+    // ---- RLE vs bitmap differential: every primitive bit-identical ----
+
+    #[test]
+    fn rle_filter_positions_matches_bitmap(
+        vals in values(),
+        seg in seg_sizes(),
+        seed in prop::collection::vec(any::<u16>(), 0..100),
+    ) {
+        prop_assume!(!vals.is_empty());
+        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        rle.check_invariants().unwrap();
+        let mut positions: Vec<u64> = seed
+            .iter()
+            .map(|&s| u64::from(s) % vals.len() as u64)
+            .collect();
+        positions.sort_unstable();
+        let fb = bitmap.filter_positions(&positions);
+        let fr = rle.filter_positions(&positions);
+        fr.check_invariants().unwrap();
+        prop_assert_eq!(fr.values(), fb.values());
+        prop_assert_eq!(fr.dict(), fb.dict());
+        prop_assert_eq!(fr.value_ids(), fb.value_ids());
+    }
+
+    #[test]
+    fn rle_gather_matches_bitmap(
+        vals in values(),
+        seg in seg_sizes(),
+        seed in prop::collection::vec(any::<u16>(), 0..100),
+    ) {
+        prop_assume!(!vals.is_empty());
+        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        let positions: Vec<u64> = seed
+            .iter()
+            .map(|&s| u64::from(s) % vals.len() as u64)
+            .collect();
+        prop_assert_eq!(
+            rle.gather(&positions).values(),
+            bitmap.gather(&positions).values()
+        );
+    }
+
+    #[test]
+    fn rle_concat_matches_bitmap(a in values(), b in values(), seg in seg_sizes()) {
+        let ba = Column::from_values_with(ValueType::Int, &a, seg).unwrap();
+        let bb = Column::from_values_with(ValueType::Int, &b, seg).unwrap();
+        let ra = RleColumn::from_column(&ba);
+        let rb = RleColumn::from_column(&bb);
+        let joined_b = ba.concat(&bb).unwrap();
+        let joined_r = ra.concat(&rb).unwrap();
+        joined_r.check_invariants().unwrap();
+        prop_assert_eq!(joined_r.values(), joined_b.values());
+        prop_assert_eq!(joined_r.dict(), joined_b.dict());
+    }
+
+    #[test]
+    fn rle_slice_matches_bitmap(
+        vals in values(),
+        seg in seg_sizes(),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(!vals.is_empty());
+        let (mut lo, mut hi) = (a.index(vals.len() + 1) as u64, b.index(vals.len() + 1) as u64);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        let sb = bitmap.slice(lo, hi);
+        let sr = rle.slice(lo, hi);
+        sr.check_invariants().unwrap();
+        prop_assert_eq!(sr.values(), sb.values());
+        prop_assert_eq!(sr.dict(), sb.dict());
+    }
+
+    #[test]
+    fn rle_cursor_matches_bitmap(vals in values(), seg in seg_sizes()) {
+        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        let a: Vec<(u64, u32)> = RowIdCursor::new(&bitmap).collect();
+        let b: Vec<(u64, u32)> = rle.id_cursor().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rle_value_bitmaps_match_bitmap(vals in values(), seg in seg_sizes()) {
+        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let rle = RleColumn::from_column(&bitmap);
+        for id in 0..bitmap.distinct_count() as u32 {
+            prop_assert_eq!(rle.value_bitmap(id), bitmap.value_bitmap(id));
+            prop_assert_eq!(rle.value_count(id), bitmap.value_count(id));
+        }
+        prop_assert_eq!(rle.to_column().unwrap(), bitmap);
+    }
+
+    #[test]
+    fn rle_segmented_matches_monolithic(
+        vals in values(),
+        seg in seg_sizes(),
+        seed in prop::collection::vec(any::<u16>(), 0..100),
+    ) {
+        prop_assume!(!vals.is_empty());
+        let segmented = RleColumn::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let mono = RleColumn::from_values_with(ValueType::Int, &vals, MONO).unwrap();
+        prop_assert!(mono.segment_count() <= 1);
+        prop_assert_eq!(segmented.values(), mono.values());
+        prop_assert_eq!(segmented.dict(), mono.dict());
+        let mut positions: Vec<u64> = seed
+            .iter()
+            .map(|&s| u64::from(s) % vals.len() as u64)
+            .collect();
+        positions.sort_unstable();
+        prop_assert_eq!(
+            segmented.filter_positions(&positions).values(),
+            mono.filter_positions(&positions).values()
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_results_both_encodings(
+        slices in prop::collection::vec((any::<prop::sample::Index>(), 1u64..20), 1..40),
+        seg in seg_sizes(),
+    ) {
+        // Build fragmented directories from a UNION chain of small slices,
+        // then check compaction changes neither values nor dictionaries.
+        let base_vals: Vec<Value> = (0..200).map(|i| Value::int(i % 9)).collect();
+        let bitmap_base = Column::from_values_with(ValueType::Int, &base_vals, seg).unwrap();
+        let rle_base = RleColumn::from_column(&bitmap_base);
+        let mut bitmap_acc: Option<Column> = None;
+        let mut rle_acc: Option<RleColumn> = None;
+        for (start, len) in &slices {
+            let lo = start.index(200) as u64;
+            let hi = (lo + len).min(200);
+            let bs = bitmap_base.slice(lo, hi);
+            let rs = rle_base.slice(lo, hi);
+            bitmap_acc = Some(match bitmap_acc {
+                None => bs,
+                Some(acc) => acc.concat(&bs).unwrap(),
+            });
+            rle_acc = Some(match rle_acc {
+                None => rs,
+                Some(acc) => acc.concat(&rs).unwrap(),
+            });
+        }
+        let bitmap_acc = bitmap_acc.unwrap();
+        let rle_acc = rle_acc.unwrap();
+        let bc = bitmap_acc.compacted();
+        let rc = rle_acc.compacted();
+        bc.check_invariants().unwrap();
+        rc.check_invariants().unwrap();
+        prop_assert_eq!(bc.values(), bitmap_acc.values());
+        prop_assert_eq!(rc.values(), rle_acc.values());
+        prop_assert_eq!(bc.values(), rc.values());
+        prop_assert_eq!(bc.dict(), bitmap_acc.dict());
+        prop_assert_eq!(rc.dict(), rle_acc.dict());
+        // Compacted directories agree on boundaries across encodings too.
+        let b_sizes: Vec<u64> = bc.segments().iter().map(|s| s.rows()).collect();
+        let r_sizes: Vec<u64> = rc.segments().iter().map(|s| s.rows()).collect();
+        prop_assert_eq!(b_sizes, r_sizes);
+    }
+
+    #[test]
+    fn rle_persist_round_trip(vals in values(), seg in seg_sizes()) {
+        use cods_storage::persist::{decode_table, encode_table, encode_table_v1};
+        use cods_storage::{EncodedColumn, Encoding, Schema, Table};
+        use std::sync::Arc;
+        let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
+        let rle = RleColumn::from_values_with(ValueType::Int, &vals, seg).unwrap();
+        let t = Table::new("t", schema, vec![Arc::new(EncodedColumn::Rle(rle))]).unwrap();
+        let now = decode_table(encode_table(&t)).unwrap();
+        now.check_invariants().unwrap();
+        prop_assert_eq!(now.to_rows(), t.to_rows());
+        prop_assert_eq!(now.column(0).encoding(), Encoding::Rle);
+        // Downgrade to v1 re-encodes as bitmaps with identical values.
+        let v1 = decode_table(encode_table_v1(&t)).unwrap();
+        v1.check_invariants().unwrap();
+        prop_assert_eq!(v1.to_rows(), t.to_rows());
+        prop_assert_eq!(v1.column(0).encoding(), Encoding::Bitmap);
     }
 }

@@ -29,7 +29,7 @@ fn main() {
     for (def, c) in table.schema().columns().iter().zip(&stats.columns) {
         println!(
             "  {:<8} {:>9} {:>14} {:>14} {:>7.1}x",
-            def.name, c.distinct, c.bitmap_bytes, c.plain_matrix_bytes, c.compression_ratio
+            def.name, c.distinct, c.payload_bytes, c.plain_matrix_bytes, c.compression_ratio
         );
     }
 
@@ -38,10 +38,10 @@ fn main() {
     let cstats = TableStats::of(&clustered);
     println!("\nclustered by entity:");
     for (def, c) in clustered.schema().columns().iter().zip(&cstats.columns) {
-        println!("  {:<8} WAH bytes {:>12}", def.name, c.bitmap_bytes);
+        println!("  {:<8} WAH bytes {:>12}", def.name, c.payload_bytes);
     }
-    let before = stats.columns[0].bitmap_bytes;
-    let after = cstats.columns[0].bitmap_bytes;
+    let before = stats.columns[0].payload_bytes;
+    let after = cstats.columns[0].payload_bytes;
     println!(
         "  entity column shrank {:.1}x ({} → {} bytes)",
         before as f64 / after as f64,
@@ -51,7 +51,13 @@ fn main() {
 
     // 3. The sorted column as RLE — the encoding the paper reserves for
     //    sorted columns.
-    let rle = RleColumn::from_column(clustered.column_by_name("entity").unwrap());
+    let rle = RleColumn::from_column(
+        clustered
+            .column_by_name("entity")
+            .unwrap()
+            .as_bitmap()
+            .expect("clustered table is bitmap encoded"),
+    );
     assert!(rle.is_sorted());
     println!(
         "\nRLE re-encoding of the sorted entity column: {} runs, {} bytes (WAH: {} bytes)",

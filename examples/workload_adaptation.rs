@@ -67,8 +67,9 @@ fn update_details(table: &Table, threshold: i64) -> (Table, Duration) {
             }
         }
     }
-    let new_col =
-        Arc::new(Column::from_values(table.schema().columns()[detail_idx].ty, &details).unwrap());
+    let new_col = Arc::new(cods_storage::EncodedColumn::Bitmap(
+        Column::from_values(table.schema().columns()[detail_idx].ty, &details).unwrap(),
+    ));
     let mut cols = table.columns().to_vec();
     cols[detail_idx] = new_col;
     let updated = Table::new(table.name(), table.schema().clone(), cols).unwrap();

@@ -49,6 +49,53 @@ fn evolved_catalog_round_trips_through_disk() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Mixed-encoding catalogs persist: RLE columns round-trip through disk in
+/// their own segment directories and keep evolving after reload.
+#[test]
+fn rle_encoded_catalog_round_trips_through_disk() {
+    use cods_storage::Encoding;
+    let dir = std::env::temp_dir().join("cods_it_persist_rle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rle.catalog");
+
+    let cods = Cods::new();
+    let base = cods_workload::generate_table("R", &GenConfig::sweep_point(2_000, 100));
+    let clustered = base.cluster_by(&["entity"]).unwrap();
+    let rle = clustered
+        .with_column_encoding("entity", Encoding::Rle)
+        .unwrap();
+    let tuples = rle.tuple_multiset();
+    cods.catalog().create(rle).unwrap();
+    save_catalog(cods.catalog(), &path).unwrap();
+
+    let loaded = read_catalog(&path).unwrap();
+    let r = loaded.get("R").unwrap();
+    r.check_invariants().unwrap();
+    assert_eq!(r.tuple_multiset(), tuples);
+    let entity = r.column_by_name("entity").unwrap();
+    assert_eq!(entity.encoding(), Encoding::Rle);
+    assert!(entity.segment_count() >= 1);
+
+    // The reloaded RLE table keeps evolving at data level.
+    let cods2 = Cods::with_catalog(loaded);
+    cods2
+        .execute(Smo::DecomposeTable {
+            input: "R".into(),
+            spec: DecomposeSpec::new("S", &["entity", "attr"], "T", &["entity", "detail"]),
+        })
+        .unwrap();
+    assert_eq!(
+        cods2
+            .table("T")
+            .unwrap()
+            .column_by_name("entity")
+            .unwrap()
+            .encoding(),
+        Encoding::Rle
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn csv_load_then_evolve() {
     use cods_storage::{load_str, LoadOptions, Schema, ValueType};

@@ -1,10 +1,13 @@
 //! Property-based tests of the evolution operators over randomly generated
-//! tables: losslessness, cross-engine agreement, and algebraic identities.
+//! tables: losslessness, cross-engine agreement, algebraic identities, and
+//! the bitmap-vs-RLE differential harness — every SMO must produce
+//! bit-identical results whichever encoding holds the columns, segmented
+//! or single-segment.
 
 use cods::simple_ops::{partition_table, union_tables};
 use cods::{decompose, merge, merge_general, DecomposeSpec, MergeStrategy};
 use cods_query::Predicate;
-use cods_storage::{Schema, Table, Value, ValueType};
+use cods_storage::{Encoding, Schema, Table, Value, ValueType};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -115,6 +118,99 @@ proptest! {
         let (ba, _) = union_tables(&b, &a, "ba").unwrap();
         prop_assert_eq!(multiset(&ab), multiset(&ba));
         prop_assert_eq!(ab.rows(), a.rows() + b.rows());
+    }
+
+    // ---- Bitmap vs RLE differential: SMOs agree across encodings ----
+
+    #[test]
+    fn decompose_merge_round_trip_matches_across_encodings(table in fd_table()) {
+        let rle = table.recoded(Encoding::Rle).unwrap();
+        rle.check_invariants().unwrap();
+        let spec = DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]);
+        let out_b = decompose(&table, &spec).unwrap();
+        let out_r = decompose(&rle, &spec).unwrap();
+        out_r.unchanged.check_invariants().unwrap();
+        out_r.changed.check_invariants().unwrap();
+        prop_assert_eq!(out_b.distinct_keys, out_r.distinct_keys);
+        // Bit-identical outputs, and the RLE path stays RLE end to end.
+        prop_assert_eq!(out_b.unchanged.to_rows(), out_r.unchanged.to_rows());
+        prop_assert_eq!(out_b.changed.to_rows(), out_r.changed.to_rows());
+        prop_assert!(out_r
+            .changed
+            .columns()
+            .iter()
+            .all(|c| c.encoding() == Encoding::Rle));
+        prop_assert!(rle.shares_column_with(&out_r.unchanged, "k"));
+        // Full round trip: DECOMPOSE → MERGE restores the input on both.
+        let m_b = merge(&out_b.unchanged, &out_b.changed, "R2", &MergeStrategy::Auto).unwrap();
+        let m_r = merge(&out_r.unchanged, &out_r.changed, "R2", &MergeStrategy::Auto).unwrap();
+        m_r.output.check_invariants().unwrap();
+        prop_assert_eq!(m_b.output.to_rows(), m_r.output.to_rows());
+        prop_assert_eq!(multiset(&m_r.output), multiset(&table));
+    }
+
+    #[test]
+    fn general_merge_matches_across_encodings(a in any_table("A"), b in any_table("B2")) {
+        let b = {
+            let (renamed, _) = cods::simple_ops::rename_column(&b, "v", "w").unwrap();
+            renamed
+        };
+        let ra = a.recoded(Encoding::Rle).unwrap();
+        let rb = b.recoded(Encoding::Rle).unwrap();
+        let out_b = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
+        let out_r = merge_general(&ra, &rb, "AB", &["k".into()]).unwrap();
+        out_r.output.check_invariants().unwrap();
+        // The general mergence emits its output clustered by join value, so
+        // even exact row order must agree across encodings.
+        prop_assert_eq!(out_b.output.to_rows(), out_r.output.to_rows());
+        prop_assert!(out_r
+            .output
+            .columns()
+            .iter()
+            .all(|c| c.encoding() == Encoding::Rle));
+    }
+
+    #[test]
+    fn partition_and_union_match_across_encodings(table in any_table("R"), threshold in 0i64..15) {
+        let rle = table.recoded(Encoding::Rle).unwrap();
+        let pred = Predicate::lt("k", threshold);
+        let (sat_b, rest_b, _) = partition_table(&table, &pred, "lo", "hi").unwrap();
+        let (sat_r, rest_r, _) = partition_table(&rle, &pred, "lo", "hi").unwrap();
+        sat_r.check_invariants().unwrap();
+        rest_r.check_invariants().unwrap();
+        prop_assert_eq!(sat_b.to_rows(), sat_r.to_rows());
+        prop_assert_eq!(rest_b.to_rows(), rest_r.to_rows());
+        let (back_b, _) = union_tables(&sat_b, &rest_b, "back").unwrap();
+        let (back_r, _) = union_tables(&sat_r, &rest_r, "back").unwrap();
+        back_r.check_invariants().unwrap();
+        prop_assert_eq!(back_b.to_rows(), back_r.to_rows());
+        prop_assert!(back_r
+            .columns()
+            .iter()
+            .all(|c| c.encoding() == Encoding::Rle));
+    }
+
+    #[test]
+    fn mixed_encoding_tables_evolve_consistently(table in fd_table()) {
+        // One RLE column among bitmap columns: operators must handle
+        // per-column encodings independently.
+        let mixed = table.with_column_encoding("k", Encoding::Rle).unwrap();
+        mixed.check_invariants().unwrap();
+        let spec = DecomposeSpec::new("S", &["k", "a"], "T", &["k", "d"]);
+        let out_b = decompose(&table, &spec).unwrap();
+        let out_m = decompose(&mixed, &spec).unwrap();
+        prop_assert_eq!(out_b.changed.to_rows(), out_m.changed.to_rows());
+        prop_assert_eq!(
+            out_m.changed.column_by_name("k").unwrap().encoding(),
+            Encoding::Rle
+        );
+        prop_assert_eq!(
+            out_m.changed.column_by_name("d").unwrap().encoding(),
+            Encoding::Bitmap
+        );
+        let m_b = merge(&out_b.unchanged, &out_b.changed, "R2", &MergeStrategy::Auto).unwrap();
+        let m_m = merge(&out_m.unchanged, &out_m.changed, "R2", &MergeStrategy::Auto).unwrap();
+        prop_assert_eq!(m_b.output.to_rows(), m_m.output.to_rows());
     }
 
     #[test]

@@ -137,18 +137,100 @@ fn union_shares_segments_of_both_inputs() {
     let b = Table::from_rows_with_segment_rows("B", r_schema(), &rows, SEG).unwrap();
     let (u, _) = union_tables(&a, &b, "U").unwrap();
     u.check_invariants().unwrap();
-    let ua = u.column(0);
+    let ua = u.column(0).as_bitmap().unwrap();
     // The union's column directory reuses both inputs' segments by Arc —
     // appends never rewrite existing bitmaps.
     assert!(std::sync::Arc::ptr_eq(
         &ua.segments()[0],
-        &a.column(0).segments()[0]
+        &a.column(0).as_bitmap().unwrap().segments()[0]
     ));
     let a_segs = a.column(0).segment_count();
     assert!(std::sync::Arc::ptr_eq(
         &ua.segments()[a_segs],
-        &b.column(0).segments()[0]
+        &b.column(0).as_bitmap().unwrap().segments()[0]
     ));
+}
+
+/// A long UNION chain of small slices fragments the directory into
+/// irregular tiny segments; after compaction every segment must land in
+/// `[½·nominal, 2·nominal]` with results identical to the uncompacted
+/// column — for both encodings.
+#[test]
+fn union_chain_fragmentation_is_repaired_by_compaction() {
+    let rows = r_rows(4_000);
+    for encoding in [cods_storage::Encoding::Bitmap, cods_storage::Encoding::Rle] {
+        let base = Table::from_rows_with_segment_rows("R", r_schema(), &rows, SEG)
+            .unwrap()
+            .recoded(encoding)
+            .unwrap();
+        // Chain 200 UNIONs of 20-row slices. Slicing goes through the raw
+        // column API so the chain is maximally fragmenting; union_tables
+        // itself already compacts behind the threshold trigger.
+        let cols: Vec<_> = base.columns().to_vec();
+        let mut acc: Vec<cods_storage::EncodedColumn> =
+            cols.iter().map(|c| c.slice(0, 20)).collect();
+        for i in 1..200 {
+            let lo = (i * 20) % 3_900;
+            for (a, c) in acc.iter_mut().zip(&cols) {
+                *a = a.concat(&c.slice(lo, lo + 20)).unwrap();
+            }
+        }
+        for col in &acc {
+            assert_eq!(col.rows(), 4_000);
+            assert!(
+                col.needs_compaction(),
+                "{encoding}: chain should fragment the directory ({} segments)",
+                col.segment_count()
+            );
+            let compacted = col.compacted();
+            compacted.check_invariants().unwrap();
+            // Identical results...
+            assert_eq!(compacted.values(), col.values());
+            assert_eq!(compacted.dict(), col.dict());
+            // ...and a healthy directory.
+            let nominal = compacted.nominal_segment_rows();
+            for size in compacted.segment_sizes() {
+                assert!(
+                    size >= nominal / 2 && size <= 2 * nominal,
+                    "{encoding}: segment of {size} rows outside [{}, {}]",
+                    nominal / 2,
+                    2 * nominal
+                );
+            }
+            assert!(!compacted.needs_compaction());
+        }
+        // The UNION operator's threshold trigger keeps directories healthy
+        // without explicit compaction calls: chain table-level unions.
+        let slice_tables: Vec<Table> = (0..100)
+            .map(|i| {
+                let lo = (i * 37) % 3_900;
+                let cols = base
+                    .columns()
+                    .iter()
+                    .map(|c| std::sync::Arc::new(c.slice(lo, lo + 20)))
+                    .collect();
+                Table::new("P", base.schema().clone(), cols).unwrap()
+            })
+            .collect();
+        let mut acc_t = slice_tables[0].clone();
+        for t in &slice_tables[1..] {
+            let (u, _) = union_tables(&acc_t, t, "U").unwrap();
+            acc_t = u;
+        }
+        assert_eq!(acc_t.rows(), 2_000);
+        acc_t.check_invariants().unwrap();
+        for col in acc_t.columns() {
+            assert!(
+                col.segment_count() <= 2 * (col.rows().div_ceil(SEG).max(1)) as usize,
+                "{encoding}: union chain left {} segments for {} rows",
+                col.segment_count(),
+                col.rows()
+            );
+        }
+        // The multiset survives the whole fragment-and-compact journey.
+        let expect: Vec<Vec<Value>> = slice_tables.iter().flat_map(|t| t.to_rows()).collect();
+        assert_eq!(acc_t.to_rows(), expect);
+    }
 }
 
 #[test]
