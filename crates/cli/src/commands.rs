@@ -34,8 +34,11 @@ commands:
   renamecol <table> <from> <to>                    RENAME COLUMN
   exec <SMO statement>                             full statement language, e.g.
                                                    exec MERGE TABLES s, t INTO r
-  run <file.smo>                                   execute an SMO script
-  history                                          executed SMOs with timings
+  run <file.smo>                                   plan + execute an SMO script atomically
+                                                   (validated up front; all-or-nothing commit)
+  plan <file.smo>                                  validate a script and print its DAG,
+                                                   fusion decisions, and elided intermediates
+  history                                          executed SMOs with timings, grouped per plan
   save <file> | open <file>                        persist / restore the catalog
   help | quit
 ";
@@ -351,22 +354,70 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             print!("{}", status.render());
         }
         "run" => {
+            // The whole script goes through the planner: validated against
+            // one catalog snapshot up front, executed with fusion and DAG
+            // parallelism, committed atomically. A failure anywhere — parse,
+            // validation, or a data-dependent error mid-script — leaves the
+            // catalog untouched.
             let [file] = args.as_slice() else {
                 return Err("usage: run <script.smo>".into());
             };
             let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
-            let smos = cods::parse_script(&text).map_err(|e| e.to_string())?;
-            let n = smos.len();
-            cods.execute_all(smos).map_err(|e| e.to_string())?;
-            println!("executed {n} statements from {file}");
+            let plan = cods.plan_script(&text).map_err(|e| e.to_string())?;
+            let n = plan.nodes().len();
+            let report = plan.execute().map_err(|e| e.to_string())?;
+            print!("{}", report.log.render());
+            println!(
+                "executed {n} operator{} from {file} (atomic commit: {} put{}, {} drop{}, {} intermediate{} elided)",
+                if n == 1 { "" } else { "s" },
+                report.committed_puts,
+                if report.committed_puts == 1 { "" } else { "s" },
+                report.committed_drops,
+                if report.committed_drops == 1 { "" } else { "s" },
+                report.elided.len(),
+                if report.elided.len() == 1 { "" } else { "s" },
+            );
+        }
+        "plan" => {
+            let [file] = args.as_slice() else {
+                return Err("usage: plan <script.smo>".into());
+            };
+            let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+            let plan = cods.plan_script(&text).map_err(|e| e.to_string())?;
+            print!("{}", plan.describe());
         }
         "history" => {
-            for rec in cods.history() {
-                println!(
-                    "  {:<60} {:>9.3} ms",
-                    rec.operator,
-                    rec.status.total.as_secs_f64() * 1e3
-                );
+            // Records of one plan are contiguous and share a plan id;
+            // multi-operator plans print grouped under one header.
+            let hist = cods.history();
+            let mut i = 0;
+            while i < hist.len() {
+                let id = hist[i].plan_id;
+                let mut j = i + 1;
+                while id.is_some() && j < hist.len() && hist[j].plan_id == id {
+                    j += 1;
+                }
+                if j - i > 1 {
+                    println!(
+                        "  plan #{} ({} operators, atomic commit):",
+                        id.expect("grouped records carry a plan id"),
+                        j - i
+                    );
+                    for rec in &hist[i..j] {
+                        println!(
+                            "    {:<58} {:>9.3} ms",
+                            rec.operator,
+                            rec.status.total.as_secs_f64() * 1e3
+                        );
+                    }
+                } else {
+                    println!(
+                        "  {:<60} {:>9.3} ms",
+                        hist[i].operator,
+                        hist[i].status.total.as_secs_f64() * 1e3
+                    );
+                }
+                i = j;
             }
         }
         "save" => {
@@ -538,6 +589,88 @@ mod tests {
             run_command(&mut cods, "quit").unwrap(),
             Outcome::Quit
         ));
+    }
+
+    #[test]
+    fn run_command_goes_through_the_atomic_plan_path() {
+        let dir = std::env::temp_dir().join("cods_cli_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A valid script executes end to end with one atomic commit.
+        let ok = dir.join("ok.smo");
+        std::fs::write(
+            &ok,
+            "DECOMPOSE TABLE R INTO S (employee, skill), T (employee, address)\n\
+             MERGE TABLES S, T INTO R2\n",
+        )
+        .unwrap();
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        let v0 = cods.catalog().version();
+        run(&mut cods, &format!("run {}", ok.display()));
+        assert!(cods.catalog().contains("R2"));
+        assert_eq!(cods.catalog().version(), v0 + 1, "one atomic commit");
+
+        // Regression: a script failing mid-way (the second statement's
+        // output name collides with an existing table) must leave the
+        // catalog exactly as it was — no partial mutation.
+        let bad = dir.join("bad.smo");
+        std::fs::write(
+            &bad,
+            "COPY TABLE R2 TO R3\nRENAME TABLE R3 TO S\nDROP TABLE R2\nDROP TABLE missing\n",
+        )
+        .unwrap();
+        let names_before = cods.catalog().table_names();
+        let v1 = cods.catalog().version();
+        assert!(run_command(&mut cods, &format!("run {}", bad.display())).is_err());
+        assert_eq!(cods.catalog().table_names(), names_before);
+        assert_eq!(cods.catalog().version(), v1);
+
+        std::fs::remove_file(&ok).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn plan_command_prints_dag_and_fusion() {
+        let dir = std::env::temp_dir().join("cods_cli_plan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("script.smo");
+        std::fs::write(
+            &file,
+            "ADD COLUMN dept str DEFAULT eng TO R\nDROP COLUMN dept FROM R\n",
+        )
+        .unwrap();
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        // `plan` only validates and prints; nothing executes.
+        run(&mut cods, &format!("plan {}", file.display()));
+        assert_eq!(cods.table("R").unwrap().arity(), 3);
+        assert!(cods.history().is_empty());
+        let plan = cods
+            .plan_script(&std::fs::read_to_string(&file).unwrap())
+            .unwrap();
+        assert!(plan.describe().contains("FUSED COLUMN PASS ON R"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn history_groups_plan_records() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        let report = cods
+            .plan_script("COPY TABLE R TO A\nCOPY TABLE R TO B")
+            .unwrap()
+            .execute()
+            .unwrap();
+        let id = report.records[0].plan_id.unwrap();
+        assert!(report.records.iter().all(|r| r.plan_id == Some(id)));
+        run(&mut cods, "drop A");
+        let hist = cods.history();
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].plan_id, hist[1].plan_id);
+        assert_ne!(hist[2].plan_id, hist[0].plan_id);
+        // The grouped renderer must not panic on mixed histories.
+        run(&mut cods, "history");
     }
 
     #[test]

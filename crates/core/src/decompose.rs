@@ -85,50 +85,157 @@ pub struct DecomposeOutcome {
 /// every distinct combination of `key_cols`, plus (when `group_of_row` is
 /// requested) the key-group index of every row for FD verification.
 ///
-/// Works purely on value ids — dictionary values are never touched.
+/// Works purely on value ids — dictionary values are never touched — and
+/// fans out per row chunk (the key column's nominal segment size): each
+/// pool task builds a *partial* map of the distinct keys in its chunk, in
+/// local first-occurrence order, and the partials are merged in chunk order
+/// so group numbering and first-occurrence positions come out exactly as a
+/// single sequential scan would produce them. A second fan-out rewrites
+/// each chunk's local group ids to global ones.
 pub fn distinction(
     table: &Table,
     key_cols: &[usize],
     want_groups: bool,
 ) -> (Vec<u64>, Option<Vec<u32>>) {
     let rows = table.rows() as usize;
+    if rows == 0 {
+        return (Vec::new(), want_groups.then(Vec::new));
+    }
+    let id_cols: Vec<Vec<u32>> = key_cols
+        .iter()
+        .map(|&c| table.column(c).value_ids())
+        .collect();
+    let distinct = table.column(key_cols[0]).distinct_count();
+    let chunk_rows = (table.column(key_cols[0]).nominal_segment_rows().max(1) as usize).min(rows);
+    let starts: Vec<usize> = (0..rows).step_by(chunk_rows).collect();
+
+    // Per-chunk partials: the chunk's distinct keys in local first-occurrence
+    // order — (first row offset within the chunk, key ids) — plus, when
+    // groups are requested, each row's local group index.
+    struct Partial {
+        firsts: Vec<(u32, Vec<u32>)>,
+        local_groups: Option<Vec<u32>>,
+    }
+    let single = key_cols.len() == 1;
+    // A dense per-chunk group table costs O(distinct) zeroing per chunk —
+    // fine while the dictionary is small relative to a chunk, ruinous for
+    // high-cardinality keys (distinct ≈ rows would make the fan-out
+    // O(chunks × rows)); fall back to a hash map keyed by ids actually
+    // seen, like `SegmentChunk::from_ids`.
+    let dense = distinct as u64 <= (chunk_rows as u64).max(4096);
+    let partials: Vec<Partial> = crate::par::map_parallel(starts.clone(), |start| {
+        let end = (start + chunk_rows).min(rows);
+        let mut firsts: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut local_groups: Option<Vec<u32>> =
+            want_groups.then(|| Vec::with_capacity(end - start));
+        if single && dense {
+            // Fast path: group identity is the single column's value id.
+            let ids = &id_cols[0][start..end];
+            let mut group_of_id: Vec<u32> = vec![u32::MAX; distinct];
+            for (off, &id) in ids.iter().enumerate() {
+                let slot = &mut group_of_id[id as usize];
+                if *slot == u32::MAX {
+                    *slot = firsts.len() as u32;
+                    firsts.push((off as u32, vec![id]));
+                }
+                if let Some(g) = local_groups.as_mut() {
+                    g.push(*slot);
+                }
+            }
+        } else if single {
+            let ids = &id_cols[0][start..end];
+            let mut seen: HashMap<u32, u32> = HashMap::new();
+            for (off, &id) in ids.iter().enumerate() {
+                let next = seen.len() as u32;
+                let group = *seen.entry(id).or_insert_with(|| {
+                    firsts.push((off as u32, vec![id]));
+                    next
+                });
+                if let Some(g) = local_groups.as_mut() {
+                    g.push(group);
+                }
+            }
+        } else {
+            let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut key: Vec<u32> = vec![0; id_cols.len()];
+            for row in start..end {
+                for (slot, c) in key.iter_mut().zip(&id_cols) {
+                    *slot = c[row];
+                }
+                // One clone per *miss* (new distinct key), not per row.
+                let group = match seen.get(&key) {
+                    Some(&g) => g,
+                    None => {
+                        let g = seen.len() as u32;
+                        firsts.push(((row - start) as u32, key.clone()));
+                        seen.insert(key.clone(), g);
+                        g
+                    }
+                };
+                if let Some(g) = local_groups.as_mut() {
+                    g.push(group);
+                }
+            }
+        }
+        Partial {
+            firsts,
+            local_groups,
+        }
+    });
+
+    // Sequential merge over the partial maps only — O(distinct keys per
+    // chunk), not O(rows): chunks are visited in row order, so the first
+    // chunk containing a key fixes its global group id and position.
     let mut positions: Vec<u64> = Vec::new();
-    let mut groups: Option<Vec<u32>> = want_groups.then(|| Vec::with_capacity(rows));
-    if key_cols.len() == 1 {
-        // Fast path: group identity is the single column's value id.
-        let ids = table.column(key_cols[0]).value_ids();
-        let distinct = table.column(key_cols[0]).distinct_count();
+    let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(partials.len());
+    if single {
         let mut group_of_id: Vec<u32> = vec![u32::MAX; distinct];
-        let mut next = 0u32;
-        for (row, &id) in ids.iter().enumerate() {
-            let slot = &mut group_of_id[id as usize];
-            if *slot == u32::MAX {
-                *slot = next;
-                next += 1;
-                positions.push(row as u64);
+        for (&start, partial) in starts.iter().zip(&partials) {
+            let mut map = Vec::with_capacity(partial.firsts.len());
+            for (off, key) in &partial.firsts {
+                let slot = &mut group_of_id[key[0] as usize];
+                if *slot == u32::MAX {
+                    *slot = positions.len() as u32;
+                    positions.push(start as u64 + *off as u64);
+                }
+                map.push(*slot);
             }
-            if let Some(g) = groups.as_mut() {
-                g.push(*slot);
-            }
+            local_to_global.push(map);
         }
     } else {
-        let id_cols: Vec<Vec<u32>> = key_cols
-            .iter()
-            .map(|&c| table.column(c).value_ids())
-            .collect();
-        let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
-        for row in 0..rows {
-            let key: Vec<u32> = id_cols.iter().map(|c| c[row]).collect();
-            let next = seen.len() as u32;
-            let group = *seen.entry(key).or_insert_with(|| {
-                positions.push(row as u64);
-                next
-            });
-            if let Some(g) = groups.as_mut() {
-                g.push(group);
+        let mut seen: HashMap<&[u32], u32> = HashMap::new();
+        for (&start, partial) in starts.iter().zip(&partials) {
+            let mut map = Vec::with_capacity(partial.firsts.len());
+            for (off, key) in &partial.firsts {
+                let next = positions.len() as u32;
+                let group = *seen.entry(key.as_slice()).or_insert_with(|| {
+                    positions.push(start as u64 + *off as u64);
+                    next
+                });
+                map.push(group);
             }
+            local_to_global.push(map);
         }
     }
+
+    // Second fan-out: rewrite each chunk's local groups through its
+    // local → global map, then splice in chunk order.
+    let groups = want_groups.then(|| {
+        let tasks: Vec<(Partial, Vec<u32>)> = partials.into_iter().zip(local_to_global).collect();
+        let rewritten = crate::par::map_parallel(tasks, |(partial, map)| {
+            partial
+                .local_groups
+                .expect("groups requested")
+                .into_iter()
+                .map(|lg| map[lg as usize])
+                .collect::<Vec<u32>>()
+        });
+        let mut out = Vec::with_capacity(rows);
+        for chunk in rewritten {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    });
     (positions, groups)
 }
 
@@ -414,6 +521,44 @@ mod tests {
         assert_eq!(positions, vec![0, 2, 3, 6]); // Jones, Roberts, Ellis, Harrison
         let g = groups.unwrap();
         assert_eq!(g, vec![0, 0, 1, 2, 0, 2, 3]);
+    }
+
+    #[test]
+    fn chunked_distinction_matches_single_chunk() {
+        // Small segments force many parallel partial maps; the merged
+        // result must be identical — positions, group numbering, and all —
+        // to the single-chunk scan, for single and composite keys.
+        let schema = Schema::build(
+            &[
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+                ("c", ValueType::Int),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                vec![
+                    Value::int(i * 7 % 23),
+                    Value::int(i % 3),
+                    Value::int(i * 11 % 9),
+                ]
+            })
+            .collect();
+        let chunked = Table::from_rows_with_segment_rows("R", schema.clone(), &rows, 16).unwrap();
+        let mono = Table::from_rows_with_segment_rows("R", schema, &rows, 1 << 40).unwrap();
+        assert!(chunked.column(0).segment_count() > 8);
+        assert_eq!(mono.column(0).segment_count(), 1);
+        for key_cols in [vec![0usize], vec![0, 1], vec![2, 1, 0]] {
+            for want_groups in [false, true] {
+                let (pc, gc) = distinction(&chunked, &key_cols, want_groups);
+                let (pm, gm) = distinction(&mono, &key_cols, want_groups);
+                assert_eq!(pc, pm, "positions differ for key {key_cols:?}");
+                assert_eq!(gc, gm, "groups differ for key {key_cols:?}");
+                assert!(pc.windows(2).all(|w| w[0] < w[1]), "positions sorted");
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   COPY TABLE, UNION, PARTITION, ADD/DROP/RENAME COLUMN);
 //! * [`Cods`] — the platform: a catalog plus SMO executor
 //!   with the demo's status log;
+//! * [`plan`] / [`exec`] — the planned evolution surface:
+//!   [`Cods::plan`](platform::Cods::plan) validates a whole SMO script
+//!   against one catalog snapshot, fuses column-op chains, executes the
+//!   dependency DAG in parallel waves, and commits atomically;
 //! * [`schema_tools`] — lossless-join and functional-dependency analysis;
 //! * [`verify`] — cross-engine result verification.
 //!
@@ -33,9 +37,11 @@
 
 pub mod decompose;
 pub mod error;
+pub mod exec;
 pub mod merge;
 pub(crate) mod par;
 pub mod parser;
+pub mod plan;
 pub mod planner;
 pub mod platform;
 pub mod schema_tools;
@@ -46,10 +52,12 @@ pub mod verify;
 
 pub use decompose::{decompose, DecomposeOutcome, DecomposeSpec};
 pub use error::{EvolutionError, Result};
+pub use exec::PlanReport;
 pub use merge::{merge, merge_general, merge_key_fk, MergeOutcome, MergeStrategy, UsedStrategy};
 pub use parser::{parse_script, parse_smo};
+pub use plan::{EvolutionPlan, PlanNode, PlanOp};
 pub use planner::{plan_decomposition, TargetSpec};
 pub use platform::{Cods, ExecutionRecord};
 pub use simple_ops::ColumnFill;
 pub use smo::Smo;
-pub use status::{EvolutionStatus, StatusTracker, Step};
+pub use status::{EvolutionStatus, PlanLog, PlanStageLog, StatusTracker, Step};

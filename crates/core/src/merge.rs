@@ -20,8 +20,10 @@
 
 use crate::error::{EvolutionError, Result};
 use crate::status::{EvolutionStatus, StatusTracker};
-use cods_bitmap::{RleSeq, ValueStreamBuilder};
-use cods_storage::{Column, ColumnDef, EncodedChunk, EncodedColumn, RleColumn, Schema, Table};
+use cods_bitmap::{OneStreamBuilder, RleSeq};
+use cods_storage::{
+    ColumnDef, EncodedAssembler, EncodedChunk, EncodedColumn, Schema, SegmentChunk, Table,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -72,19 +74,54 @@ fn id_mapping(from: &EncodedColumn, to: &EncodedColumn) -> Vec<Option<u32>> {
         .collect()
 }
 
-/// An output-column emitter that writes value-id runs in either encoding —
-/// the seam letting general mergence produce each output column in its
-/// input column's encoding while emitting compressed runs directly.
+/// An output-chunk emitter that writes value-id runs in either encoding —
+/// the seam letting general mergence produce each (column × output segment)
+/// task's rows in the input column's encoding while emitting compressed
+/// runs directly. The finished chunks are spliced back into segment
+/// directories through the column's [`EncodedAssembler`].
+///
+/// For bitmap columns the builder store is adaptive, like
+/// `SegmentChunk::from_ids`: a dense array when the dictionary is small
+/// relative to the chunk, a hash map otherwise — so a high-cardinality
+/// column does not pay O(distinct) allocation per (column × segment) task.
 enum RunSink {
-    Bitmap(ValueStreamBuilder),
+    BitmapDense {
+        /// One lazily-started builder per dictionary id; only ids actually
+        /// pushed end up in the chunk.
+        builders: Vec<OneStreamBuilder>,
+        /// Ids pushed so far, in first-push order.
+        active: Vec<u32>,
+        /// Rows emitted so far.
+        rows: u64,
+    },
+    BitmapSparse {
+        builders: HashMap<u32, OneStreamBuilder>,
+        rows: u64,
+    },
     Rle(RleSeq),
 }
 
 impl RunSink {
-    fn for_column(col: &EncodedColumn) -> RunSink {
+    /// `chunk_len` is the number of rows the task will emit; it sizes the
+    /// dense-vs-sparse decision.
+    fn for_column(col: &EncodedColumn, chunk_len: u64) -> RunSink {
         match col {
             EncodedColumn::Bitmap(_) => {
-                RunSink::Bitmap(ValueStreamBuilder::new(col.distinct_count()))
+                let distinct = col.distinct_count();
+                if distinct as u64 <= chunk_len.max(4096) {
+                    let mut builders = Vec::new();
+                    builders.resize_with(distinct, OneStreamBuilder::new);
+                    RunSink::BitmapDense {
+                        builders,
+                        active: Vec::new(),
+                        rows: 0,
+                    }
+                } else {
+                    RunSink::BitmapSparse {
+                        builders: HashMap::new(),
+                        rows: 0,
+                    }
+                }
             }
             EncodedColumn::Rle(_) => RunSink::Rle(RleSeq::new()),
         }
@@ -92,14 +129,35 @@ impl RunSink {
 
     fn rows(&self) -> u64 {
         match self {
-            RunSink::Bitmap(b) => b.rows(),
+            RunSink::BitmapDense { rows, .. } | RunSink::BitmapSparse { rows, .. } => *rows,
             RunSink::Rle(s) => s.len(),
         }
     }
 
     fn push_rows(&mut self, id: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
         match self {
-            RunSink::Bitmap(b) => b.push_rows(id, count),
+            RunSink::BitmapDense {
+                builders,
+                active,
+                rows,
+            } => {
+                let b = &mut builders[id];
+                if b.ones() == 0 {
+                    active.push(id as u32);
+                }
+                b.push_run(*rows, count);
+                *rows += count;
+            }
+            RunSink::BitmapSparse { builders, rows } => {
+                builders
+                    .entry(id as u32)
+                    .or_default()
+                    .push_run(*rows, count);
+                *rows += count;
+            }
             RunSink::Rle(s) => s.append_run(id as u32, count),
         }
     }
@@ -108,27 +166,52 @@ impl RunSink {
         self.push_rows(id, 1);
     }
 
-    fn finish(self, col: &EncodedColumn, total: u64) -> Result<EncodedColumn> {
-        Ok(match self {
-            RunSink::Bitmap(b) => EncodedColumn::Bitmap(
-                Column::from_dict_bitmaps_compacting(
-                    col.ty(),
-                    col.dict().clone(),
-                    b.finish_with_len(total),
-                    total,
-                )
-                .map_err(EvolutionError::Storage)?,
-            ),
-            RunSink::Rle(s) => {
-                debug_assert_eq!(s.len(), total);
-                EncodedColumn::Rle(RleColumn::from_dict_seq_compacting(
-                    col.ty(),
-                    col.dict().clone(),
-                    &s,
-                    col.nominal_segment_rows(),
-                ))
+    /// Finishes the chunk at exactly `len` rows (everything pushed so
+    /// far). Ids come out sorted either way, so the chunk layout is
+    /// deterministic regardless of the builder store.
+    fn finish_chunk(self, len: u64) -> EncodedChunk {
+        match self {
+            RunSink::BitmapDense {
+                mut builders,
+                mut active,
+                rows,
+            } => {
+                debug_assert_eq!(rows, len);
+                active.sort_unstable();
+                let mut ids = Vec::with_capacity(active.len());
+                let mut bitmaps = Vec::with_capacity(active.len());
+                for id in active {
+                    let b = std::mem::replace(&mut builders[id as usize], OneStreamBuilder::new());
+                    ids.push(id);
+                    bitmaps.push(b.finish(len));
+                }
+                EncodedChunk::Bitmap(SegmentChunk {
+                    ids,
+                    bitmaps,
+                    rows: len,
+                })
             }
-        })
+            RunSink::BitmapSparse { builders, rows } => {
+                debug_assert_eq!(rows, len);
+                let mut pairs: Vec<(u32, OneStreamBuilder)> = builders.into_iter().collect();
+                pairs.sort_unstable_by_key(|(id, _)| *id);
+                let mut ids = Vec::with_capacity(pairs.len());
+                let mut bitmaps = Vec::with_capacity(pairs.len());
+                for (id, b) in pairs {
+                    ids.push(id);
+                    bitmaps.push(b.finish(len));
+                }
+                EncodedChunk::Bitmap(SegmentChunk {
+                    ids,
+                    bitmaps,
+                    rows: len,
+                })
+            }
+            RunSink::Rle(s) => {
+                debug_assert_eq!(s.len(), len);
+                EncodedChunk::Rle(s)
+            }
+        }
     }
 }
 
@@ -137,16 +220,32 @@ fn join_indices(schema: &Schema, join_cols: &[String]) -> Result<Vec<usize>> {
 }
 
 fn validate_join(left: &Table, right: &Table, join_cols: &[String]) -> Result<()> {
+    validate_join_schemas(
+        left.schema(),
+        right.schema(),
+        left.name(),
+        right.name(),
+        join_cols,
+    )
+}
+
+/// Schema-level join validation, shared with the evolution planner (which
+/// checks mergences against predicted schemas before any data moves).
+pub(crate) fn validate_join_schemas(
+    left: &Schema,
+    right: &Schema,
+    left_name: &str,
+    right_name: &str,
+    join_cols: &[String],
+) -> Result<()> {
     if join_cols.is_empty() {
         return Err(EvolutionError::NoCommonColumns(format!(
-            "{} and {}",
-            left.name(),
-            right.name()
+            "{left_name} and {right_name}"
         )));
     }
     for n in join_cols {
-        let l = left.schema().column(n)?;
-        let r = right.schema().column(n)?;
+        let l = left.column(n)?;
+        let r = right.column(n)?;
         if l.ty != r.ty {
             return Err(EvolutionError::InvalidOperator(format!(
                 "join column {n:?} has type {} on one side and {} on the other",
@@ -164,8 +263,9 @@ pub fn is_unique_on(table: &Table, cols: &[usize]) -> bool {
 }
 
 /// Output schema of a mergence: the reusable/left columns followed by the
-/// other side's non-join columns.
-fn merged_schema(left: &Schema, right: &Schema, join_cols: &[String]) -> Result<Schema> {
+/// other side's non-join columns. Shared with the evolution planner, which
+/// predicts output schemas without running the mergence.
+pub(crate) fn merged_schema(left: &Schema, right: &Schema, join_cols: &[String]) -> Result<Schema> {
     let mut defs: Vec<ColumnDef> = left.columns().to_vec();
     for c in right.columns() {
         if !join_cols.contains(&c.name) {
@@ -400,12 +500,14 @@ pub fn merge_general(
         }
     }
 
-    // ---- Pass 2: emit every output column as one parallel task ----
+    // ---- Pass 2: emit every output column chunked per output segment ----
     // Join columns are pure fill runs; left payloads place values
     // consecutively (runs of n2); right payloads place values at stride n2
-    // within each group, emitted in ascending row order so each value's
-    // bitmap builder only ever appends. Each task owns exactly one output
-    // column, so the fan-out runs on the shared pool without coordination.
+    // within each group. The output row space is cut at each column's
+    // nominal segment size, and one pool task emits one (column × output
+    // segment) chunk — run-level and clipped to its row range — exactly
+    // like the key-FK payload fan-out; the chunks are then spliced back
+    // into a segment directory per column through its assembler.
     #[derive(Clone, Copy)]
     enum OutCol {
         Join { pos_in_join: usize, lc: usize },
@@ -424,57 +526,128 @@ pub fn merge_general(
             plan.push(OutCol::RightPayload { rc });
         }
     }
-    let built: Vec<crate::error::Result<Arc<EncodedColumn>>> =
-        crate::par::map_parallel(plan, |task| {
-            let (sink, col) = match task {
-                OutCol::Join { pos_in_join, lc } => {
-                    let col = left.column(lc);
-                    let mut sink = RunSink::for_column(col);
-                    for &g in &active {
-                        let size = n1[g] * n2[g];
-                        // All rows of the group carry the same join value.
-                        debug_assert_eq!(sink.rows(), offsets[g]);
-                        sink.push_rows(combos[g][pos_in_join] as usize, size);
+    let col_of = |task: &OutCol| -> &EncodedColumn {
+        match *task {
+            OutCol::Join { lc, .. } | OutCol::LeftPayload { lc } => left.column(lc),
+            OutCol::RightPayload { rc } => right.column(rc),
+        }
+    };
+    // Per-column preparation, itself one pool task per column: left
+    // payloads materialize their dense id array once; right payloads
+    // additionally gather each group's output-order ids once (a chunk task
+    // would otherwise regather them for every segment overlapping the
+    // group).
+    enum ColPrep {
+        Join,
+        Left(Vec<u32>),
+        Right(Vec<Vec<u32>>),
+    }
+    let col_prep: Vec<ColPrep> = crate::par::map_parallel(plan.clone(), |task| match task {
+        OutCol::Join { .. } => ColPrep::Join,
+        OutCol::LeftPayload { lc } => ColPrep::Left(left.column(lc).value_ids()),
+        OutCol::RightPayload { rc } => {
+            let ids = right.column(rc).value_ids();
+            let mut by_group: Vec<Vec<u32>> = vec![Vec::new(); combos.len()];
+            for &g in &active {
+                by_group[g] = t_rows[g].iter().map(|&r| ids[r as usize]).collect();
+            }
+            ColPrep::Right(by_group)
+        }
+    });
+    // Task list: (output column, output row range of one nominal segment).
+    let mut tasks: Vec<(usize, u64, u64)> = Vec::new();
+    for (ci, task) in plan.iter().enumerate() {
+        let step = col_of(task).nominal_segment_rows().max(1);
+        let mut lo = 0u64;
+        while lo < total {
+            let hi = (lo + step).min(total);
+            tasks.push((ci, lo, hi));
+            lo = hi;
+        }
+    }
+    let group_end = |g: usize| offsets[g] + n1[g] * n2[g];
+    let n_tasks = tasks.len() as u64;
+    let chunks: Vec<(usize, EncodedChunk)> = crate::par::map_parallel(tasks, |(ci, lo, hi)| {
+        let col = col_of(&plan[ci]);
+        let mut sink = RunSink::for_column(col, hi - lo);
+        // Group offsets ascend, so the groups overlapping [lo, hi) form a
+        // contiguous span of `active`, found by binary search.
+        let first = active.partition_point(|&g| group_end(g) <= lo);
+        match (&plan[ci], &col_prep[ci]) {
+            (OutCol::Join { pos_in_join, .. }, ColPrep::Join) => {
+                for &g in &active[first..] {
+                    if offsets[g] >= hi {
+                        break;
                     }
-                    (sink, col)
+                    let a = offsets[g].max(lo);
+                    let b = group_end(g).min(hi);
+                    sink.push_rows(combos[g][*pos_in_join] as usize, b - a);
                 }
-                OutCol::LeftPayload { lc } => {
-                    let col = left.column(lc);
-                    let ids = col.value_ids();
-                    let mut sink = RunSink::for_column(col);
-                    for &g in &active {
-                        let n2g = n2[g];
-                        for &srow in &s_rows[g] {
-                            sink.push_rows(ids[srow as usize] as usize, n2g);
+            }
+            (OutCol::LeftPayload { .. }, ColPrep::Left(ids)) => {
+                for &g in &active[first..] {
+                    let base = offsets[g];
+                    if base >= hi {
+                        break;
+                    }
+                    let n2g = n2[g];
+                    // Skip the s-rows whose runs end before `lo`.
+                    let i0 = (lo.saturating_sub(base) / n2g) as usize;
+                    for (i, &srow) in s_rows[g].iter().enumerate().skip(i0) {
+                        let row0 = base + i as u64 * n2g;
+                        if row0 >= hi {
+                            break;
+                        }
+                        let a = row0.max(lo);
+                        let b = (row0 + n2g).min(hi);
+                        sink.push_rows(ids[srow as usize] as usize, b - a);
+                    }
+                }
+            }
+            (OutCol::RightPayload { .. }, ColPrep::Right(by_group)) => {
+                for &g in &active[first..] {
+                    let base = offsets[g];
+                    if base >= hi {
+                        break;
+                    }
+                    let n2g = n2[g];
+                    let group_ids = &by_group[g];
+                    let i0 = lo.saturating_sub(base) / n2g;
+                    for i in i0..n1[g] {
+                        let row0 = base + i * n2g;
+                        if row0 >= hi {
+                            break;
+                        }
+                        let j0 = lo.saturating_sub(row0);
+                        let j1 = n2g.min(hi - row0);
+                        for j in j0..j1 {
+                            debug_assert_eq!(sink.rows(), row0 + j - lo);
+                            sink.push_row(group_ids[j as usize] as usize);
                         }
                     }
-                    (sink, col)
                 }
-                OutCol::RightPayload { rc } => {
-                    let col = right.column(rc);
-                    let ids = col.value_ids();
-                    let mut sink = RunSink::for_column(col);
-                    for &g in &active {
-                        let base = offsets[g];
-                        let n2g = n2[g];
-                        let group_ids: Vec<u32> =
-                            t_rows[g].iter().map(|&r| ids[r as usize]).collect();
-                        for i in 0..n1[g] {
-                            let row0 = base + i * n2g;
-                            for (j, &vid) in group_ids.iter().enumerate() {
-                                debug_assert_eq!(sink.rows(), row0 + j as u64);
-                                sink.push_row(vid as usize);
-                            }
-                        }
-                    }
-                    (sink, col)
-                }
-            };
-            Ok(Arc::new(sink.finish(col, total)?))
-        });
-    let out_columns: Vec<Arc<EncodedColumn>> =
-        built.into_iter().collect::<crate::error::Result<_>>()?;
-    tracker.step("pass 2: emit output columns (parallel per column)");
+            }
+            _ => unreachable!("column preparation out of sync with the plan"),
+        }
+        debug_assert_eq!(sink.rows(), hi - lo);
+        (ci, sink.finish_chunk(hi - lo))
+    });
+    // Tasks were generated in ascending (column, row range) order and
+    // map_parallel preserves order, so chunks splice back sequentially.
+    let mut assemblers: Vec<EncodedAssembler> =
+        plan.iter().map(|t| col_of(t).assembler()).collect();
+    for (ci, chunk) in chunks {
+        assemblers[ci].push_chunk(chunk);
+    }
+    let out_columns: Vec<Arc<EncodedColumn>> = plan
+        .iter()
+        .zip(assemblers)
+        .map(|(task, asm)| Arc::new(col_of(task).from_assembler_compacting(asm)))
+        .collect();
+    tracker.step_items(
+        "pass 2: emit output columns (parallel per column x segment)",
+        n_tasks,
+    );
 
     let schema = merged_schema(left.schema(), right.schema(), join_cols)?;
     let output = Table::new(output_name, schema, out_columns).map_err(EvolutionError::Storage)?;
@@ -490,6 +663,35 @@ pub fn merge_general(
 // ---------------------------------------------------------------------
 // Strategy dispatch
 // ---------------------------------------------------------------------
+
+/// Reorders a mergence output to the canonical left-first column layout
+/// (left's columns, then right's non-join columns). `Auto` runs this after
+/// a key–FK mergence that reused the *right* side, so the output schema is
+/// the same whichever input turns out to be keyed — a property the
+/// evolution planner relies on to predict schemas ahead of the data.
+/// O(arity): columns are shared by reference.
+fn reordered_left_first(
+    out: MergeOutcome,
+    left: &Schema,
+    right: &Schema,
+    join_cols: &[String],
+) -> Result<MergeOutcome> {
+    let desired = merged_schema(left, right, join_cols)?;
+    if out.output.schema().names() == desired.names() {
+        return Ok(out);
+    }
+    let columns = desired
+        .columns()
+        .iter()
+        .map(|d| {
+            let idx = out.output.schema().index_of(&d.name)?;
+            Ok(Arc::clone(out.output.column(idx)))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let output =
+        Table::new(out.output.name(), desired, columns).map_err(EvolutionError::Storage)?;
+    Ok(MergeOutcome { output, ..out })
+}
 
 /// Merges `left` and `right` into `output_name`, joining on their common
 /// columns, with the given strategy.
@@ -538,6 +740,9 @@ pub fn merge(
                     match merge_key_fk(right, left, output_name, &join_cols) {
                         Err(EvolutionError::ForeignKeyViolation(_)) => {
                             merge_general(left, right, output_name, &join_cols)
+                        }
+                        Ok(out) => {
+                            reordered_left_first(out, left.schema(), right.schema(), &join_cols)
                         }
                         other => other,
                     }
@@ -801,9 +1006,19 @@ mod tests {
         let t = t_table();
         let out = merge(&s, &t, "R", &MergeStrategy::Auto).unwrap();
         assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
-        // Swapped inputs: left is unique → key-FK with right reusable.
+        assert_eq!(
+            out.output.schema().names(),
+            vec!["employee", "skill", "address"]
+        );
+        // Swapped inputs: left is unique → key-FK with right reusable, but
+        // the output schema still comes out left-first, so Auto's schema is
+        // predictable whichever side is keyed (the planner relies on it).
         let out = merge(&t, &s, "R2", &MergeStrategy::Auto).unwrap();
         assert_eq!(out.strategy, UsedStrategy::KeyForeignKey);
+        assert_eq!(
+            out.output.schema().names(),
+            vec!["employee", "address", "skill"]
+        );
     }
 
     #[test]

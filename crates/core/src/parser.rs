@@ -304,10 +304,11 @@ pub fn parse_smo(stmt: &str) -> Result<Smo> {
 }
 
 /// Parses a script: one statement per line (or `;`-separated); `#` and `--`
-/// start comments.
+/// start comments. Errors carry the 1-based source line, so a planner
+/// rejecting statement 40 of a script points at the offending line.
 pub fn parse_script(text: &str) -> Result<Vec<Smo>> {
     let mut smos = Vec::new();
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("");
         let line = line.split("--").next().unwrap_or("").trim();
         if line.is_empty() {
@@ -315,7 +316,10 @@ pub fn parse_script(text: &str) -> Result<Vec<Smo>> {
         }
         for stmt in line.split(';') {
             if !stmt.trim().is_empty() {
-                smos.push(parse_smo(stmt)?);
+                smos.push(parse_smo(stmt).map_err(|e| match e {
+                    EvolutionError::InvalidOperator(m) => err(format!("line {}: {m}", lineno + 1)),
+                    other => other,
+                })?);
             }
         }
     }
@@ -470,5 +474,11 @@ DROP TABLE r2
         assert!(parse_smo("DECOMPOSE TABLE R INTO S").is_err());
         assert!(parse_smo("CREATE TABLE t (id banana)").is_err());
         assert!(parse_smo("PARTITION TABLE t WHERE INTO a, b").is_err());
+    }
+
+    #[test]
+    fn script_errors_carry_line_numbers() {
+        let err = parse_script("DROP TABLE a\n# comment\n\nFROBNICATE x").unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
     }
 }

@@ -1,14 +1,20 @@
-//! The CODS platform: a catalog plus the SMO executor, with the execution
-//! history / status log the demo exposes (Section 3).
+//! The CODS platform: a catalog plus the SMO execution surface, with the
+//! execution history / status log the demo exposes (Section 3).
+//!
+//! The primary surface is **planned** execution — [`Cods::plan`] /
+//! [`Cods::plan_script`] validate a whole script up front, fuse and
+//! parallelize it, and commit atomically (see [`crate::plan`]). The
+//! one-operator-at-a-time [`Cods::execute`] / [`Cods::execute_all`] remain
+//! as a compatibility path implemented over single-operator plans.
 
-use crate::decompose::decompose;
 use crate::error::{EvolutionError, Result};
-use crate::merge::merge;
-use crate::simple_ops;
+use crate::exec::PlanReport;
+use crate::plan::EvolutionPlan;
 use crate::smo::Smo;
 use crate::status::EvolutionStatus;
 use cods_storage::{Catalog, StorageError, Table};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One executed operator with its status log.
@@ -18,6 +24,9 @@ pub struct ExecutionRecord {
     pub operator: String,
     /// Step log with timings.
     pub status: EvolutionStatus,
+    /// The plan execution this record belongs to; records sharing an id
+    /// were committed by the same atomic plan. `cods history` groups by it.
+    pub plan_id: Option<u64>,
 }
 
 /// The CODS platform instance.
@@ -49,6 +58,7 @@ pub struct ExecutionRecord {
 pub struct Cods {
     catalog: Catalog,
     history: Mutex<Vec<ExecutionRecord>>,
+    plan_seq: AtomicU64,
 }
 
 impl Cods {
@@ -62,6 +72,7 @@ impl Cods {
         Cods {
             catalog,
             history: Mutex::new(Vec::new()),
+            plan_seq: AtomicU64::new(0),
         }
     }
 
@@ -75,10 +86,14 @@ impl Cods {
         self.history.lock().clone()
     }
 
-    fn record(&self, operator: String, status: EvolutionStatus) {
-        self.history
-            .lock()
-            .push(ExecutionRecord { operator, status });
+    /// Stamps a finished plan's records with a fresh plan id and appends
+    /// them to the history, keeping each plan's records contiguous.
+    pub(crate) fn record_plan(&self, report: &mut PlanReport) {
+        let id = self.plan_seq.fetch_add(1, Ordering::Relaxed);
+        for rec in &mut report.records {
+            rec.plan_id = Some(id);
+        }
+        self.history.lock().extend(report.records.iter().cloned());
     }
 
     /// Fetches a table snapshot.
@@ -86,136 +101,61 @@ impl Cods {
         Ok(self.catalog.get(name)?)
     }
 
+    /// Plans a sequence of operators: the whole chain is resolved and
+    /// validated against one catalog snapshot (names, schemas,
+    /// decomposition shapes, join attributes — errors surface before any
+    /// work), fused, and arranged into a dependency DAG. Execute the
+    /// returned [`EvolutionPlan`] with
+    /// [`execute`](EvolutionPlan::execute) for parallel, all-or-nothing
+    /// application.
+    pub fn plan(&self, smos: Vec<Smo>) -> Result<EvolutionPlan<'_>> {
+        EvolutionPlan::new(self, smos)
+    }
+
+    /// Parses an SMO script (see [`crate::parser`]) and plans it — the
+    /// validate-then-commit path behind the CLI's `run` and `plan`
+    /// commands.
+    pub fn plan_script(&self, text: &str) -> Result<EvolutionPlan<'_>> {
+        self.plan(crate::parser::parse_script(text)?)
+    }
+
     /// Executes one schema modification operator, updating the catalog and
     /// recording the status log. Returns the status.
+    ///
+    /// Compatibility path: this is a thin wrapper over a single-operator
+    /// [`Cods::plan`] (retried transparently if a concurrent writer
+    /// invalidates the snapshot). Scripts should prefer `plan(...)` +
+    /// [`EvolutionPlan::execute`], which validates the whole chain up
+    /// front and commits atomically.
     pub fn execute(&self, smo: Smo) -> Result<EvolutionStatus> {
-        let rendered = smo.to_string();
-        let status = self.dispatch(smo)?;
-        self.record(rendered, status.clone());
-        Ok(status)
+        loop {
+            let report = self.plan(vec![smo.clone()])?.execute();
+            match report {
+                Ok(report) => {
+                    let rec = report.records.into_iter().next().expect("single-op plan");
+                    return Ok(rec.status);
+                }
+                // Another writer committed between snapshot and commit:
+                // re-plan against the fresh catalog, preserving the old
+                // eager path's serialized semantics.
+                Err(EvolutionError::Storage(StorageError::Conflict(_))) => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Executes a sequence of operators, stopping at the first failure.
+    ///
+    /// Compatibility path with **partial-mutation semantics**: every
+    /// operator commits individually, so a mid-sequence failure leaves the
+    /// effects of all earlier operators in the catalog. Use
+    /// [`Cods::plan`] / [`Cods::plan_script`] for all-or-nothing script
+    /// execution — a failing plan leaves the catalog untouched.
     pub fn execute_all<I: IntoIterator<Item = Smo>>(
         &self,
         smos: I,
     ) -> Result<Vec<EvolutionStatus>> {
         smos.into_iter().map(|s| self.execute(s)).collect()
-    }
-
-    fn dispatch(&self, smo: Smo) -> Result<EvolutionStatus> {
-        match smo {
-            Smo::CreateTable { name, schema } => {
-                let t = simple_ops::create_table(&name, schema)?;
-                self.catalog.create(t)?;
-                Ok(EvolutionStatus::default())
-            }
-            Smo::DropTable { name } => {
-                self.catalog.drop_table(&name)?;
-                Ok(EvolutionStatus::default())
-            }
-            Smo::RenameTable { from, to } => {
-                self.catalog.rename(&from, &to)?;
-                Ok(EvolutionStatus::default())
-            }
-            Smo::CopyTable { from, to } => {
-                self.catalog.copy(&from, &to)?;
-                Ok(EvolutionStatus::default())
-            }
-            Smo::UnionTables {
-                left,
-                right,
-                output,
-                drop_inputs,
-            } => {
-                let l = self.catalog.get(&left)?;
-                let r = self.catalog.get(&right)?;
-                if self.catalog.contains(&output) && output != left && output != right {
-                    return Err(EvolutionError::Storage(StorageError::TableExists(output)));
-                }
-                let (t, status) = simple_ops::union_tables(&l, &r, &output)?;
-                if drop_inputs {
-                    self.catalog.drop_table(&left)?;
-                    if right != left {
-                        self.catalog.drop_table(&right)?;
-                    }
-                }
-                self.catalog.put(t);
-                Ok(status)
-            }
-            Smo::PartitionTable {
-                input,
-                predicate,
-                satisfying,
-                rest,
-            } => {
-                let t = self.catalog.get(&input)?;
-                self.ensure_absent(&satisfying, &input)?;
-                self.ensure_absent(&rest, &input)?;
-                let (sat, others, status) =
-                    simple_ops::partition_table(&t, &predicate, &satisfying, &rest)?;
-                self.catalog.drop_table(&input)?;
-                self.catalog.create(sat)?;
-                self.catalog.create(others)?;
-                Ok(status)
-            }
-            Smo::DecomposeTable { input, spec } => {
-                let t = self.catalog.get(&input)?;
-                self.ensure_absent(&spec.unchanged_name, &input)?;
-                self.ensure_absent(&spec.changed_name, &input)?;
-                let out = decompose(&t, &spec)?;
-                self.catalog.drop_table(&input)?;
-                self.catalog.create(out.unchanged)?;
-                self.catalog.create(out.changed)?;
-                Ok(out.status)
-            }
-            Smo::MergeTables {
-                left,
-                right,
-                output,
-                strategy,
-            } => {
-                let l = self.catalog.get(&left)?;
-                let r = self.catalog.get(&right)?;
-                if self.catalog.contains(&output) {
-                    return Err(EvolutionError::Storage(StorageError::TableExists(output)));
-                }
-                let out = merge(&l, &r, &output, &strategy)?;
-                self.catalog.create(out.output)?;
-                Ok(out.status)
-            }
-            Smo::AddColumn {
-                table,
-                column,
-                fill,
-            } => {
-                let t = self.catalog.get(&table)?;
-                let (out, status) = simple_ops::add_column(&t, column, &fill)?;
-                self.catalog.put(out);
-                Ok(status)
-            }
-            Smo::DropColumn { table, column } => {
-                let t = self.catalog.get(&table)?;
-                let (out, status) = simple_ops::drop_column(&t, &column)?;
-                self.catalog.put(out);
-                Ok(status)
-            }
-            Smo::RenameColumn { table, from, to } => {
-                let t = self.catalog.get(&table)?;
-                let (out, status) = simple_ops::rename_column(&t, &from, &to)?;
-                self.catalog.put(out);
-                Ok(status)
-            }
-        }
-    }
-
-    fn ensure_absent(&self, name: &str, being_dropped: &str) -> Result<()> {
-        if name != being_dropped && self.catalog.contains(name) {
-            return Err(EvolutionError::Storage(StorageError::TableExists(
-                name.to_string(),
-            )));
-        }
-        Ok(())
     }
 }
 

@@ -115,21 +115,85 @@ pub fn partition_table(
     Ok((sat, rest, tracker.finish()))
 }
 
-/// ADD COLUMN: appends a column filled per `fill`. Existing columns are
-/// shared by reference.
-pub fn add_column(
-    table: &Table,
-    def: ColumnDef,
-    fill: &ColumnFill,
-) -> Result<(Table, EvolutionStatus)> {
-    let mut tracker = StatusTracker::new();
-    if table.schema().contains(&def.name) {
+/// Schema-level ADD COLUMN: validation (duplicate name, default-value
+/// conformance) plus the resulting schema — note ADD, like DROP, rebuilds
+/// the schema without a key declaration. Shared by the executor, the plan
+/// validator's shadow catalog, and the fused column pass, so plan-time
+/// prediction can never drift from run-time behavior.
+pub(crate) fn add_column_schema(s: &Schema, def: &ColumnDef, fill: &ColumnFill) -> Result<Schema> {
+    if s.contains(&def.name) {
         return Err(EvolutionError::InvalidOperator(format!(
             "column {:?} already exists",
             def.name
         )));
     }
-    let new_col = match fill {
+    if let ColumnFill::Default(v) = fill {
+        if !v.conforms_to(def.ty) {
+            return Err(EvolutionError::InvalidOperator(format!(
+                "default value {v} does not conform to type {}",
+                def.ty
+            )));
+        }
+    }
+    let mut defs = s.columns().to_vec();
+    defs.push(def.clone());
+    Schema::new(defs).map_err(EvolutionError::Storage)
+}
+
+/// Schema-level DROP COLUMN: validation (existence, not the last column)
+/// plus the resulting key-less schema. Shared like
+/// [`add_column_schema`].
+pub(crate) fn drop_column_schema(s: &Schema, column: &str) -> Result<Schema> {
+    let idx = s.index_of(column)?;
+    if s.arity() == 1 {
+        return Err(EvolutionError::InvalidOperator(
+            "cannot drop the last column".into(),
+        ));
+    }
+    let defs: Vec<ColumnDef> = s
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != idx)
+        .map(|(_, c)| c.clone())
+        .collect();
+    Schema::new(defs).map_err(EvolutionError::Storage)
+}
+
+/// Schema-level RENAME COLUMN: validation (existence, collision) plus the
+/// resulting schema — rename preserves the key declaration. Shared like
+/// [`add_column_schema`].
+pub(crate) fn rename_column_schema(s: &Schema, from: &str, to: &str) -> Result<Schema> {
+    let idx = s.index_of(from)?;
+    if s.contains(to) {
+        return Err(EvolutionError::InvalidOperator(format!(
+            "column {to:?} already exists"
+        )));
+    }
+    let defs: Vec<ColumnDef> = s
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == idx {
+                ColumnDef::new(to, c.ty)
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    Schema::with_key(defs, s.key().to_vec()).map_err(EvolutionError::Storage)
+}
+
+/// Builds the payload column ADD COLUMN attaches, per `fill` — shared by
+/// the single-operator path and the planner's fused column pass, which
+/// builds each surviving added column exactly once.
+pub(crate) fn build_fill_column(
+    rows: u64,
+    def: &ColumnDef,
+    fill: &ColumnFill,
+) -> Result<EncodedColumn> {
+    let col = match fill {
         ColumnFill::Default(v) => {
             if !v.conforms_to(def.ty) {
                 return Err(EvolutionError::InvalidOperator(format!(
@@ -138,32 +202,41 @@ pub fn add_column(
                 )));
             }
             // One dictionary entry, one all-ones fill bitmap: O(1) in rows.
-            if table.rows() == 0 {
+            if rows == 0 {
                 Column::from_values(def.ty, &[])?
             } else {
                 let dict = cods_storage::Dictionary::from_values(vec![v.clone()])
                     .map_err(cods_storage::StorageError::Corrupt)?;
-                Column::from_parts(def.ty, dict, vec![Wah::ones(table.rows())], table.rows())?
+                Column::from_parts(def.ty, dict, vec![Wah::ones(rows)], rows)?
             }
         }
         ColumnFill::Values(vals) => {
-            if vals.len() as u64 != table.rows() {
+            if vals.len() as u64 != rows {
                 return Err(EvolutionError::InvalidOperator(format!(
-                    "ADD COLUMN got {} values for {} rows",
-                    vals.len(),
-                    table.rows()
+                    "ADD COLUMN got {} values for {rows} rows",
+                    vals.len()
                 )));
             }
             Column::from_values(def.ty, vals)?
         }
     };
+    Ok(EncodedColumn::Bitmap(col))
+}
+
+/// ADD COLUMN: appends a column filled per `fill`. Existing columns are
+/// shared by reference.
+pub fn add_column(
+    table: &Table,
+    def: ColumnDef,
+    fill: &ColumnFill,
+) -> Result<(Table, EvolutionStatus)> {
+    let mut tracker = StatusTracker::new();
+    let schema = add_column_schema(table.schema(), &def, fill)?;
+    let new_col = build_fill_column(table.rows(), &def, fill)?;
     tracker.step("build new column");
 
-    let mut defs = table.schema().columns().to_vec();
-    defs.push(def);
-    let schema = Schema::new(defs).map_err(EvolutionError::Storage)?;
     let mut columns = table.columns().to_vec();
-    columns.push(Arc::new(EncodedColumn::Bitmap(new_col)));
+    columns.push(Arc::new(new_col));
     let out = Table::new(table.name(), schema, columns).map_err(EvolutionError::Storage)?;
     tracker.step("attach column");
     Ok((out, tracker.finish()))
@@ -172,21 +245,8 @@ pub fn add_column(
 /// DROP COLUMN: removes a column; all other columns are shared.
 pub fn drop_column(table: &Table, column: &str) -> Result<(Table, EvolutionStatus)> {
     let mut tracker = StatusTracker::new();
+    let schema = drop_column_schema(table.schema(), column)?;
     let idx = table.schema().index_of(column)?;
-    if table.arity() == 1 {
-        return Err(EvolutionError::InvalidOperator(
-            "cannot drop the last column".into(),
-        ));
-    }
-    let defs: Vec<ColumnDef> = table
-        .schema()
-        .columns()
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != idx)
-        .map(|(_, c)| c.clone())
-        .collect();
-    let schema = Schema::new(defs).map_err(EvolutionError::Storage)?;
     let columns: Vec<Arc<EncodedColumn>> = table
         .columns()
         .iter()
@@ -202,27 +262,7 @@ pub fn drop_column(table: &Table, column: &str) -> Result<(Table, EvolutionStatu
 /// RENAME COLUMN: pure metadata.
 pub fn rename_column(table: &Table, from: &str, to: &str) -> Result<(Table, EvolutionStatus)> {
     let mut tracker = StatusTracker::new();
-    let idx = table.schema().index_of(from)?;
-    if table.schema().contains(to) {
-        return Err(EvolutionError::InvalidOperator(format!(
-            "column {to:?} already exists"
-        )));
-    }
-    let defs: Vec<ColumnDef> = table
-        .schema()
-        .columns()
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            if i == idx {
-                ColumnDef::new(to, c.ty)
-            } else {
-                c.clone()
-            }
-        })
-        .collect();
-    let key = table.schema().key().to_vec();
-    let schema = Schema::with_key(defs, key).map_err(EvolutionError::Storage)?;
+    let schema = rename_column_schema(table.schema(), from, to)?;
     let out = Table::new(table.name(), schema, table.columns().to_vec())
         .map_err(EvolutionError::Storage)?;
     tracker.step("rename column metadata");

@@ -119,9 +119,83 @@ impl EvolutionStatus {
     }
 }
 
+/// One stage (dependency wave) of a plan execution: the operators that ran
+/// concurrently, each with its own step log.
+#[derive(Clone, Debug)]
+pub struct PlanStageLog {
+    /// Zero-based wave index.
+    pub wave: usize,
+    /// `(rendered operator, status)` per node, in node order.
+    pub operators: Vec<(String, EvolutionStatus)>,
+}
+
+/// Per-stage log of one planned evolution: validation, the dependency
+/// waves, and the atomic commit — the plan-level analogue of
+/// [`EvolutionStatus`].
+#[derive(Clone, Debug, Default)]
+pub struct PlanLog {
+    /// Time spent validating and building the DAG.
+    pub planning: Duration,
+    /// One entry per executed wave.
+    pub stages: Vec<PlanStageLog>,
+    /// Time spent in the atomic catalog commit.
+    pub commit: Duration,
+    /// Total wall time from plan to commit.
+    pub total: Duration,
+}
+
+impl PlanLog {
+    /// Renders the log as the demo's status panel would display it: one
+    /// block per stage, one line per operator.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan: {:.3} ms\n",
+            self.planning.as_secs_f64() * 1e3
+        ));
+        for stage in &self.stages {
+            out.push_str(&format!(
+                "stage {} ({} operator{}):\n",
+                stage.wave,
+                stage.operators.len(),
+                if stage.operators.len() == 1 { "" } else { "s" }
+            ));
+            for (op, status) in &stage.operators {
+                out.push_str(&format!(
+                    "  {op}: {:.3} ms\n",
+                    status.total.as_secs_f64() * 1e3
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "commit: {:.3} ms\ntotal: {:.3} ms\n",
+            self.commit.as_secs_f64() * 1e3,
+            self.total.as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_log_renders_stages() {
+        let log = PlanLog {
+            planning: Duration::from_millis(1),
+            stages: vec![PlanStageLog {
+                wave: 0,
+                operators: vec![("DROP TABLE t".into(), EvolutionStatus::default())],
+            }],
+            commit: Duration::from_millis(2),
+            total: Duration::from_millis(4),
+        };
+        let text = log.render();
+        assert!(text.contains("stage 0 (1 operator)"));
+        assert!(text.contains("DROP TABLE t"));
+        assert!(text.contains("commit:"));
+    }
 
     #[test]
     fn records_steps_in_order() {

@@ -101,6 +101,27 @@ impl Predicate {
         Predicate::Not(Box::new(self))
     }
 
+    /// Every column name the predicate references, in syntax order (with
+    /// duplicates). Lets planners validate a predicate against a schema
+    /// without compiling it.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Compare { column, .. } => out.push(column.as_str()),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::True => {}
+        }
+    }
+
     /// Compiles the predicate against a schema, resolving column names to
     /// positions.
     pub fn compile(&self, schema: &Schema) -> Result<CompiledPredicate, StorageError> {

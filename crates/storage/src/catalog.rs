@@ -5,19 +5,40 @@ use crate::error::StorageError;
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A named collection of tables. All methods are thread-safe; tables are
 /// immutable snapshots, so readers never block behind evolution.
+///
+/// Every mutation bumps a version counter, which powers the optimistic
+/// staged-commit protocol used by planned evolution:
+/// [`begin_evolution`](Catalog::begin_evolution) snapshots the whole
+/// namespace plus its version, work proceeds against the snapshot, and
+/// [`commit_evolution`](Catalog::commit_evolution) applies every staged
+/// mutation in one write-locked step — all-or-nothing — iff the catalog is
+/// still at the snapshot version.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    /// Bumped on every successful mutation, always under the write lock.
+    version: AtomicU64,
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current mutation count. Two equal observations bracket a span in
+    /// which no table was created, replaced, dropped, or renamed.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Registers `table` under its own name.
@@ -30,14 +51,15 @@ impl Catalog {
             return Err(StorageError::TableExists(table.name().to_string()));
         }
         map.insert(table.name().to_string(), Arc::new(table));
+        self.bump();
         Ok(())
     }
 
     /// Registers or replaces `table` under its own name (evolution results).
     pub fn put(&self, table: Table) {
-        self.tables
-            .write()
-            .insert(table.name().to_string(), Arc::new(table));
+        let mut map = self.tables.write();
+        map.insert(table.name().to_string(), Arc::new(table));
+        self.bump();
     }
 
     /// Removes a table.
@@ -45,10 +67,50 @@ impl Catalog {
     /// # Errors
     /// [`StorageError::UnknownTable`] if absent.
     pub fn drop_table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
-        self.tables
-            .write()
+        let mut map = self.tables.write();
+        let t = map
             .remove(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        self.bump();
+        Ok(t)
+    }
+
+    /// Starts an optimistic evolution transaction: one consistent snapshot
+    /// of the whole namespace plus the version it was taken at. Hand the
+    /// version back to [`commit_evolution`](Catalog::commit_evolution).
+    pub fn begin_evolution(&self) -> (u64, BTreeMap<String, Arc<Table>>) {
+        let map = self.tables.read();
+        (self.version.load(Ordering::Acquire), map.clone())
+    }
+
+    /// Atomically applies a staged evolution: every drop and put lands in
+    /// one write-locked step, or none do.
+    ///
+    /// # Errors
+    /// [`StorageError::Conflict`] if the catalog has been mutated since
+    /// `base_version` was observed; the staged state is then discarded and
+    /// the catalog is untouched.
+    pub fn commit_evolution(
+        &self,
+        base_version: u64,
+        drops: &[String],
+        puts: Vec<Arc<Table>>,
+    ) -> Result<(), StorageError> {
+        let mut map = self.tables.write();
+        let now = self.version.load(Ordering::Acquire);
+        if now != base_version {
+            return Err(StorageError::Conflict(format!(
+                "catalog at version {now}, snapshot taken at {base_version}"
+            )));
+        }
+        for name in drops {
+            map.remove(name);
+        }
+        for t in puts {
+            map.insert(t.name().to_string(), t);
+        }
+        self.bump();
+        Ok(())
     }
 
     /// Fetches a table snapshot.
@@ -75,6 +137,7 @@ impl Catalog {
             .remove(from)
             .ok_or_else(|| StorageError::UnknownTable(from.to_string()))?;
         map.insert(to.to_string(), Arc::new(t.renamed(to)));
+        self.bump();
         Ok(())
     }
 
@@ -88,6 +151,7 @@ impl Catalog {
             return Err(StorageError::TableExists(to.to_string()));
         }
         map.insert(to.to_string(), Arc::new(src.renamed(to)));
+        self.bump();
         Ok(())
     }
 
@@ -177,6 +241,44 @@ mod tests {
         assert_eq!(cat.table_names(), vec!["alpha", "mid", "zeta"]);
         assert_eq!(cat.len(), 3);
         assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn version_counts_mutations() {
+        let cat = Catalog::new();
+        let v0 = cat.version();
+        cat.create(tiny("a")).unwrap();
+        assert_eq!(cat.version(), v0 + 1);
+        // Failed mutations do not bump.
+        assert!(cat.create(tiny("a")).is_err());
+        assert!(cat.drop_table("missing").is_err());
+        assert_eq!(cat.version(), v0 + 1);
+        cat.rename("a", "b").unwrap();
+        cat.copy("b", "c").unwrap();
+        cat.put(tiny("c"));
+        cat.drop_table("b").unwrap();
+        assert_eq!(cat.version(), v0 + 5);
+    }
+
+    #[test]
+    fn commit_evolution_is_atomic_and_optimistic() {
+        let cat = Catalog::new();
+        cat.create(tiny("keep")).unwrap();
+        cat.create(tiny("gone")).unwrap();
+        let (base, snap) = cat.begin_evolution();
+        assert_eq!(snap.len(), 2);
+        // Staged work lands in one step.
+        cat.commit_evolution(base, &["gone".to_string()], vec![Arc::new(tiny("fresh"))])
+            .unwrap();
+        assert_eq!(cat.table_names(), vec!["fresh", "keep"]);
+
+        // A snapshot invalidated by a concurrent mutation must not commit.
+        let (stale, _) = cat.begin_evolution();
+        cat.create(tiny("racer")).unwrap();
+        let err = cat.commit_evolution(stale, &[], vec![Arc::new(tiny("loser"))]);
+        assert!(matches!(err, Err(StorageError::Conflict(_))));
+        assert!(!cat.contains("loser"));
+        assert!(cat.contains("racer"));
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum StorageError {
     PersistError(String),
     /// Internal invariant violation — indicates a bug.
     Corrupt(String),
+    /// An optimistic catalog transaction lost the race: the catalog was
+    /// mutated between snapshot and commit.
+    Conflict(String),
 }
 
 impl fmt::Display for StorageError {
@@ -37,6 +40,7 @@ impl fmt::Display for StorageError {
             StorageError::LoadError(m) => write!(f, "load error: {m}"),
             StorageError::PersistError(m) => write!(f, "persistence error: {m}"),
             StorageError::Corrupt(m) => write!(f, "corrupt storage state: {m}"),
+            StorageError::Conflict(m) => write!(f, "catalog transaction conflict: {m}"),
         }
     }
 }

@@ -62,4 +62,28 @@ fn main() {
     // 4. Verify the evolution was lossless.
     assert_eq!(cods.table("R").unwrap().tuple_multiset(), original);
     println!("round trip verified: R == decompose ∘ merge (R)");
+
+    // 5. The same round trip as one *planned* script: validated up front
+    //    against a catalog snapshot, executed with fusion + DAG
+    //    parallelism, committed atomically — S2/T2 never enter the
+    //    catalog, and a failure anywhere would have left it untouched.
+    let fresh = Cods::new();
+    fresh.catalog().create(figure1::table_r()).unwrap();
+    let plan = fresh
+        .plan_script(
+            "DECOMPOSE TABLE R INTO S2 (employee, skill), T2 (employee, address)\n\
+             MERGE TABLES S2, T2 INTO R\n\
+             DROP TABLE S2\n\
+             DROP TABLE T2\n",
+        )
+        .unwrap();
+    println!("\nPlanned script:\n{}", plan.describe());
+    let report = plan.execute().unwrap();
+    println!("Plan status:\n{}", report.log.render());
+    assert_eq!(fresh.table("R").unwrap().tuple_multiset(), original);
+    assert_eq!(report.elided, vec!["S2".to_string(), "T2".to_string()]);
+    println!(
+        "planned round trip verified: committed {} table(s), elided {:?}",
+        report.committed_puts, report.elided
+    );
 }
