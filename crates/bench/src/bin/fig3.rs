@@ -336,10 +336,16 @@ fn ablations(args: &Args) {
     // (4) clustering + encoding: unclustered WAH vs. clustered WAH vs. RLE.
     {
         use cods_storage::RleColumn;
+        // Pin bitmap so the timed cluster_by is the pure sort+gather —
+        // the adaptive chooser skips pinned columns, keeping this
+        // figure's WAH-vs-WAH comparison and its sort-cost number free of
+        // chooser/re-encode time.
         let unclustered = cods_workload::generate_table(
             "R",
             &GenConfig::sweep_point(rows_n, 1_000.min(rows_n / 2).max(2)),
-        );
+        )
+        .recoded_pinned(cods_storage::Encoding::Bitmap)
+        .unwrap();
         let t0 = Instant::now();
         let clustered = unclustered.cluster_by(&["entity"]).unwrap();
         let cluster_time = t0.elapsed();

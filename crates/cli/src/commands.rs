@@ -22,8 +22,11 @@ commands:
   demo                                             load the paper's Figure 1 table R
   tables                                           list tables
   display <table> [limit]                          show rows
-  stats <table>                                    storage statistics (per-column encoding + segments)
-  recode <table> <col|*> <rle|bitmap>              re-encode a column (or all) in place
+  stats <table>                                    storage statistics (encoding, segments, zones,
+                                                   run/distinct ratios, chooser pick)
+  recode <table> <col|*> <rle|bitmap|auto>         re-encode a column (or all) in place;
+                                                   rle/bitmap pins the encoding, auto hands it
+                                                   back to the stats-driven chooser
   decompose <in> <out1> <cols> <out2> <cols>       DECOMPOSE TABLE (cols: a,b,c)
   merge <left> <right> <out>                       MERGE TABLES (auto strategy)
   partition <in> <col><op><lit> <out1> <out2>      PARTITION TABLE (op: = != < <= > >=)
@@ -98,9 +101,9 @@ fn cols_of(spec: &str) -> Vec<String> {
     spec.split(',').map(|s| s.trim().to_string()).collect()
 }
 
-/// Renders the `stats` output: per-column encoding, segment directory
-/// shape (both encodings are segmented, so RLE columns report their
-/// segment counts exactly like bitmap columns), and compression numbers.
+/// Renders the `stats` output: per-column encoding (with its pin state and
+/// what the adaptive chooser would pick), segment directory shape, zone-map
+/// coverage and value range, run/distinct ratios, and compression numbers.
 pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
     use std::fmt::Write as _;
     let stats = cods_storage::TableStats::of(t);
@@ -113,14 +116,40 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
     for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
         let _ = writeln!(
             out,
-            "  {:<12} enc={:<7} distinct={:<8} segments={:<5} max-seg-distinct={:<8} payload={}B ratio={:.1}x",
+            "  {:<12} enc={:<7}{} distinct={:<8} segments={:<5} max-seg-distinct={:<8} payload={}B ratio={:.1}x",
             def.name,
             c.encoding.to_string(),
+            if c.encoding_pinned { " (pinned)" } else { "" },
             c.distinct,
             c.segments,
             c.max_segment_distinct,
             c.payload_bytes,
             c.compression_ratio
+        );
+        let range = match &c.value_range {
+            Some((lo, hi)) => format!("[{lo} .. {hi}]"),
+            None => "(empty)".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} zones={}/{} range={} runs={} avg-run={:.1} run/distinct={:.1} chooser={}{}",
+            "",
+            c.zoned_segments,
+            c.segments,
+            range,
+            c.runs,
+            c.avg_run_len,
+            if c.distinct == 0 {
+                0.0
+            } else {
+                c.runs as f64 / c.distinct as f64
+            },
+            c.chooser_pick,
+            if c.chooser_pick != c.encoding {
+                " (would re-encode)"
+            } else {
+                ""
+            }
         );
     }
     out
@@ -200,22 +229,48 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
         }
         "recode" => {
             let [name, col, enc] = args.as_slice() else {
-                return Err("usage: recode <table> <col|*> <rle|bitmap>".into());
+                return Err("usage: recode <table> <col|*> <rle|bitmap|auto>".into());
             };
+            let t = cods.table(name).map_err(|e| e.to_string())?;
+            if *enc == "auto" {
+                // Hand the column(s) back to the stats-driven chooser:
+                // clear any pin and apply its pick.
+                let mut out = (*t).clone();
+                if *col == "*" {
+                    let names: Vec<String> =
+                        out.schema().names().iter().map(|s| s.to_string()).collect();
+                    for n in names {
+                        out = out.auto_encode_column(&n).map_err(|e| e.to_string())?;
+                    }
+                } else {
+                    out = out.auto_encode_column(col).map_err(|e| e.to_string())?;
+                }
+                let picks: Vec<String> = out
+                    .schema()
+                    .names()
+                    .iter()
+                    .zip(out.columns())
+                    .filter(|(n, _)| *col == "*" || *n == col)
+                    .map(|(n, c)| format!("{n}={}", c.encoding()))
+                    .collect();
+                cods.catalog().put(out);
+                println!("recoded {name}.{col} by chooser: {}", picks.join(", "));
+                return Ok(Outcome::Continue);
+            }
             let encoding = match *enc {
                 "rle" => cods_storage::Encoding::Rle,
                 "bitmap" => cods_storage::Encoding::Bitmap,
-                other => return Err(format!("unknown encoding {other:?} (use rle/bitmap)")),
+                other => return Err(format!("unknown encoding {other:?} (use rle/bitmap/auto)")),
             };
-            let t = cods.table(name).map_err(|e| e.to_string())?;
+            // Explicit encodings pin the column against the chooser.
             let recoded = if *col == "*" {
-                t.recoded(encoding)
+                t.recoded_pinned(encoding)
             } else {
-                t.with_column_encoding(col, encoding)
+                t.with_column_encoding_pinned(col, encoding)
             }
             .map_err(|e| e.to_string())?;
             cods.catalog().put(recoded);
-            println!("recoded {name}.{col} to {encoding}");
+            println!("recoded {name}.{col} to {encoding} (pinned)");
         }
         "decompose" => {
             let [input, out1, cols1, out2, cols2] = args.as_slice() else {
@@ -525,6 +580,50 @@ mod tests {
         // Bad arguments are rejected.
         assert!(run_command(&mut cods, "recode R skill zigzag").is_err());
         assert!(run_command(&mut cods, "recode missing skill rle").is_err());
+    }
+
+    #[test]
+    fn stats_report_zones_ratios_and_chooser_pick() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        let t = cods.table("R").unwrap();
+        let out = render_stats("R", &t);
+        // Zone coverage: every segment of every column carries a zone.
+        assert_eq!(out.matches("zones=1/1").count(), 3, "stats: {out}");
+        // Value range folded from the zone maps.
+        assert!(out.contains("range=[Ellis .. Roberts]"), "stats: {out}");
+        // Run/distinct ratios and the chooser's pick are reported per
+        // column; nothing is pinned yet.
+        assert!(out.contains("runs="), "stats: {out}");
+        assert!(out.contains("run/distinct="), "stats: {out}");
+        assert!(out.contains("chooser="), "stats: {out}");
+        assert!(!out.contains("(pinned)"), "stats: {out}");
+
+        // An explicit recode pins and is reported as such; the chooser
+        // line flags the disagreement when its pick differs.
+        run(&mut cods, "recode R skill rle");
+        let out = render_stats("R", &cods.table("R").unwrap());
+        assert!(out.contains("enc=rle     (pinned)"), "stats: {out}");
+
+        // `recode ... auto` hands the column back to the chooser (the tiny
+        // demo table's skill column has 7 rows, 6 distinct → near-sorted
+        // heuristic clause applies; what matters here: pin cleared and the
+        // encoding matches the chooser's own pick).
+        run(&mut cods, "recode R skill auto");
+        let t = cods.table("R").unwrap();
+        let col = t.column_by_name("skill").unwrap();
+        assert!(!col.encoding_pinned());
+        assert_eq!(col.encoding(), col.choose_encoding());
+        // Whole-table auto brings every column to the chooser's pick, so
+        // no stats line flags a pending re-encode any more.
+        run(&mut cods, "recode R * auto");
+        let t = cods.table("R").unwrap();
+        assert!(t
+            .columns()
+            .iter()
+            .all(|c| !c.encoding_pinned() && c.encoding() == c.choose_encoding()));
+        let out = render_stats("R", &t);
+        assert!(!out.contains("(would re-encode)"), "stats: {out}");
     }
 
     #[test]

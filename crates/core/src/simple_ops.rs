@@ -40,10 +40,16 @@ pub fn create_table(name: &str, schema: Schema) -> Result<Table> {
 }
 
 /// UNION TABLES: concatenates two union-compatible tables. Unchanged value
-/// payloads are reused segment-by-segment; only dictionaries are merged.
-/// After the concat, the threshold-triggered compaction pass re-chunks any
-/// column whose directory a long UNION chain has fragmented into irregular
-/// tiny segments (untouched segments stay shared by reference).
+/// payloads are reused segment-by-segment; only dictionaries are merged —
+/// zone maps splice from both inputs without recomputation. After the
+/// concat, the threshold-triggered compaction pass re-chunks any column
+/// whose directory a long UNION chain has fragmented into irregular tiny
+/// segments (untouched segments stay shared by reference), and the same
+/// threshold triggers the adaptive encoding chooser: a freshly rewritten
+/// directory is the cheap moment to re-evaluate run statistics, so an
+/// unpinned column whose data shape has drifted (e.g. clustered halves
+/// unioned into runs) flips encoding here instead of waiting for a manual
+/// `recode`.
 pub fn union_tables(
     left: &Table,
     right: &Table,
@@ -65,9 +71,11 @@ pub fn union_tables(
         .map(|(a, b)| {
             let col = a.concat(b)?;
             // Threshold-triggered compaction; checked on the owned value so
-            // the common healthy-directory path is clone-free.
+            // the common healthy-directory path is clone-free. Compaction
+            // just paid for a directory rewrite, so run the stats-driven
+            // encoding chooser on the result too.
             let col = if col.needs_compaction() {
-                col.compacted()
+                col.compacted().auto_recoded()?
             } else {
                 col
             };
@@ -299,6 +307,54 @@ mod tests {
         u.check_invariants().unwrap();
         assert_eq!(u.rows(), 20);
         assert_eq!(u.row(10), a.row(0));
+    }
+
+    #[test]
+    fn union_compaction_threshold_triggers_encoding_chooser() {
+        use cods_storage::Encoding;
+        // Clustered base sliced into tiny pieces, then union-chained: the
+        // chain fragments the directory past the compaction threshold, and
+        // the rewrite re-evaluates the encoding — clustered data flips the
+        // unpinned bitmap column to RLE.
+        let schema = Schema::build(&[("k", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..2_000).map(|i| vec![Value::int(i / 200)]).collect();
+        let base = Table::from_rows_with_segment_rows("b", schema.clone(), &rows, 200).unwrap();
+        let chain = |base: &Table| {
+            let mut acc = {
+                let cols = base
+                    .columns()
+                    .iter()
+                    .map(|c| Arc::new(c.slice(0, 20)))
+                    .collect();
+                Table::new("u", schema.clone(), cols).unwrap()
+            };
+            for i in 1..100 {
+                let lo = (i * 20) % 1_980;
+                let cols = base
+                    .columns()
+                    .iter()
+                    .map(|c| Arc::new(c.slice(lo, lo + 20)))
+                    .collect();
+                let piece = Table::new("p", schema.clone(), cols).unwrap();
+                acc = union_tables(&acc, &piece, "u").unwrap().0;
+            }
+            acc
+        };
+        let out = chain(&base);
+        out.check_invariants().unwrap();
+        assert_eq!(out.rows(), 2_000);
+        assert_eq!(
+            out.column(0).encoding(),
+            Encoding::Rle,
+            "threshold-triggered chooser flips the clustered column to RLE"
+        );
+        // A pinned column opts out even across the same chain.
+        let pinned = base
+            .with_column_encoding_pinned("k", Encoding::Bitmap)
+            .unwrap();
+        let out = chain(&pinned);
+        assert_eq!(out.column(0).encoding(), Encoding::Bitmap);
+        assert!(out.column(0).encoding_pinned(), "pin survives the chain");
     }
 
     #[test]

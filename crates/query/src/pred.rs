@@ -1,7 +1,7 @@
 //! Row predicates — the condition language of PARTITION TABLE and the
 //! filter operator.
 
-use cods_storage::{Schema, StorageError, Value};
+use cods_storage::{Dictionary, Schema, StorageError, Value};
 
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +31,47 @@ impl CmpOp {
             CmpOp::Gt => ord == Greater,
             CmpOp::Ge => ord != Less,
         }
+    }
+
+    /// Expresses the satisfying value set of `column <op> literal` as a
+    /// contiguous **rank interval** `[lo, hi)` in the dictionary's value
+    /// order, or `None` when the set is not an interval (only `Ne` against
+    /// a non-NULL literal). This is what makes zone maps decisive for range
+    /// scans: finding the satisfying set costs two binary searches over the
+    /// ordered view instead of one predicate evaluation per distinct value,
+    /// and a segment is prunable iff its zone's rank span misses the
+    /// interval.
+    ///
+    /// The interval matches [`CompiledPredicate::eval`]'s collapsed
+    /// three-valued logic exactly: NULL rows satisfy nothing except
+    /// `Eq/Le/Ge NULL` (which compare `Equal`) and `Ne <non-null>`.
+    pub fn sat_rank_interval(self, dict: &Dictionary, literal: &Value) -> Option<(u32, u32)> {
+        let order = dict.value_order();
+        let ordered = order.ordered();
+        let d = ordered.len() as u32;
+        // NULL sorts first; its rank span is [0, nulls).
+        let nulls = u32::from(d > 0 && dict.value(ordered[0]) == &Value::Null);
+        if literal == &Value::Null {
+            return Some(match self {
+                // NULL op NULL compares Equal.
+                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => (0, nulls),
+                CmpOp::Lt | CmpOp::Gt => (0, 0),
+                // value != NULL is true for every non-null value.
+                CmpOp::Ne => (nulls, d),
+            });
+        }
+        let lt = ordered.partition_point(|&id| dict.value(id) < literal) as u32;
+        let le = ordered.partition_point(|&id| dict.value(id) <= literal) as u32;
+        Some(match self {
+            CmpOp::Eq => (lt, le),
+            // NULL < literal in the total order but never satisfies a
+            // range comparison: clamp the interval past the NULL rank.
+            CmpOp::Lt => (nulls, lt),
+            CmpOp::Le => (nulls, le),
+            CmpOp::Gt => (le, d),
+            CmpOp::Ge => (lt, d),
+            CmpOp::Ne => return None,
+        })
     }
 }
 
@@ -252,6 +293,62 @@ mod tests {
     #[test]
     fn unknown_column_fails_compile() {
         assert!(Predicate::eq("zzz", 1i64).compile(&schema()).is_err());
+    }
+
+    #[test]
+    fn sat_rank_interval_matches_eval_value() {
+        // Dictionary in first-appearance order: 7, NULL, 3, 9.
+        let dict = cods_storage::Dictionary::from_values(vec![
+            Value::int(7),
+            Value::Null,
+            Value::int(3),
+            Value::int(9),
+        ])
+        .unwrap();
+        let ranks = dict.value_order().ranks().to_vec();
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for lit in [
+                Value::Null,
+                Value::int(2),
+                Value::int(3),
+                Value::int(8),
+                Value::int(9),
+                Value::int(10),
+            ] {
+                let probe = CompiledPredicate::Compare {
+                    column: 0,
+                    op,
+                    literal: lit.clone(),
+                };
+                let interval = op.sat_rank_interval(&dict, &lit);
+                match interval {
+                    Some((lo, hi)) => {
+                        for (id, v) in dict.iter() {
+                            let r = ranks[id as usize];
+                            assert_eq!(
+                                lo <= r && r < hi,
+                                probe.eval_value(v),
+                                "{op:?} {lit} id {id} ({v})"
+                            );
+                        }
+                    }
+                    None => assert_eq!(op, CmpOp::Ne, "only Ne falls back"),
+                }
+            }
+        }
+        // Empty dictionary: every interval is empty.
+        let empty = cods_storage::Dictionary::new();
+        assert_eq!(
+            CmpOp::Lt.sat_rank_interval(&empty, &Value::int(1)),
+            Some((0, 0))
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
-use crate::segment::{Segment, SegmentAssembler, SegmentChunk, DEFAULT_SEGMENT_ROWS};
+use crate::segment::{Segment, SegmentAssembler, SegmentChunk, Zone, DEFAULT_SEGMENT_ROWS};
 use crate::value::{Value, ValueType};
 use cods_bitmap::{OneStreamBuilder, Wah};
 use std::ops::Range;
@@ -28,10 +28,16 @@ pub struct Column {
     segments: Vec<Arc<Segment>>,
     /// Start row of each segment (parallel to `segments`).
     starts: Vec<u64>,
+    /// Per-segment zone maps (parallel to `segments`): min/max present
+    /// value in value order, for range-predicate pruning.
+    zones: Vec<Zone>,
     /// Nominal rows per segment for newly produced data (actual segments
     /// may be shorter or irregular after concat/slice reuse).
     segment_rows: u64,
     rows: u64,
+    /// `true` when the encoding was pinned by an explicit recode: the
+    /// adaptive chooser leaves pinned columns alone.
+    pinned: bool,
 }
 
 fn starts_of(segments: &[Arc<Segment>]) -> (Vec<u64>, u64) {
@@ -42,6 +48,20 @@ fn starts_of(segments: &[Arc<Segment>]) -> (Vec<u64>, u64) {
         total += s.rows();
     }
     (starts, total)
+}
+
+/// Derives every segment's zone from its present-id stats via the
+/// dictionary's value order — the stats-level fallback for paths that
+/// cannot splice zones from inputs. Never touches bitmap words.
+pub(crate) fn derive_zones(dict: &Dictionary, segments: &[Arc<Segment>]) -> Vec<Zone> {
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let ranks = dict.value_order().ranks();
+    segments
+        .iter()
+        .map(|s| Zone::of_ids(s.present_ids(), ranks))
+        .collect()
 }
 
 impl Column {
@@ -156,16 +176,9 @@ impl Column {
                 Arc::new(Segment::new(seg_rows, pairs))
             })
             .collect();
-        let (starts, total) = starts_of(&segments);
-        debug_assert_eq!(total, rows);
-        Column {
-            ty,
-            dict,
-            segments,
-            starts,
-            segment_rows,
-            rows,
-        }
+        let col = Self::from_segments(ty, dict, segments, segment_rows);
+        debug_assert_eq!(col.rows, rows);
+        col
     }
 
     /// Assembles a column from a dictionary and full-length per-value
@@ -211,14 +224,32 @@ impl Column {
         segments: Vec<Arc<Segment>>,
         segment_rows: u64,
     ) -> Column {
+        let zones = derive_zones(&dict, &segments);
+        Self::from_segments_zoned(ty, dict, segments, zones, segment_rows)
+    }
+
+    /// [`Column::from_segments`] with caller-supplied zone maps (spliced
+    /// from inputs, or read from a version-4 file). The zones must be
+    /// parallel to `segments` and consistent with their present-id stats —
+    /// [`Column::check_invariants`] verifies both.
+    pub fn from_segments_zoned(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<Arc<Segment>>,
+        zones: Vec<Zone>,
+        segment_rows: u64,
+    ) -> Column {
+        debug_assert_eq!(segments.len(), zones.len());
         let (starts, rows) = starts_of(&segments);
         Column {
             ty,
             dict,
             segments,
             starts,
+            zones,
             segment_rows,
             rows,
+            pinned: false,
         }
     }
 
@@ -238,30 +269,14 @@ impl Column {
             }
         }
         if present.iter().all(|&p| p) {
-            let (starts, rows) = starts_of(&segments);
-            return Column {
-                ty,
-                dict,
-                segments,
-                starts,
-                segment_rows,
-                rows,
-            };
+            return Self::from_segments(ty, dict, segments, segment_rows);
         }
         let (compact_dict, mapping) = dict.compact(|id| present[id as usize]);
         let segments: Vec<Arc<Segment>> = segments
             .into_iter()
             .map(|s| Arc::new(s.remap(&mapping)))
             .collect();
-        let (starts, rows) = starts_of(&segments);
-        Column {
-            ty,
-            dict: compact_dict,
-            segments,
-            starts,
-            segment_rows,
-            rows,
-        }
+        Self::from_segments(ty, compact_dict, segments, segment_rows)
     }
 
     /// Column type.
@@ -287,6 +302,42 @@ impl Column {
     /// The segment directory.
     pub fn segments(&self) -> &[Arc<Segment>] {
         &self.segments
+    }
+
+    /// Per-segment zone maps, parallel to [`Column::segments`].
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The zone map of segment `idx`.
+    pub fn zone(&self, idx: usize) -> Zone {
+        self.zones[idx]
+    }
+
+    /// Returns `true` when the encoding was pinned by an explicit recode
+    /// (the adaptive chooser leaves pinned columns alone).
+    pub fn encoding_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Sets the encoding pin.
+    pub fn set_encoding_pinned(&mut self, pinned: bool) {
+        self.pinned = pinned;
+    }
+
+    /// Total maximal constant-value runs across the directory, summed from
+    /// compressed per-segment interval walks (what an RLE re-encoding would
+    /// store; adjacent segments may split a run). The chooser's run-count
+    /// statistic.
+    pub fn run_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.run_count()).sum()
+    }
+
+    /// Copies chooser-relevant metadata (the encoding pin) from the source
+    /// column a derived column was built from.
+    fn with_meta_of(mut self, src: &Column) -> Column {
+        self.pinned = src.pinned;
+        self
     }
 
     /// Number of segments.
@@ -445,6 +496,7 @@ impl Column {
             asm.finish(),
             self.segment_rows,
         )
+        .with_meta_of(self)
     }
 
     /// Gather by an arbitrary (not necessarily sorted) row permutation or
@@ -466,6 +518,7 @@ impl Column {
             asm.finish(),
             self.segment_rows,
         )
+        .with_meta_of(self)
     }
 
     /// Bitmap filtering driven by a selection mask.
@@ -482,6 +535,7 @@ impl Column {
             asm.finish(),
             self.segment_rows,
         )
+        .with_meta_of(self)
     }
 
     /// Splits a whole-column selection mask along this column's segment
@@ -541,11 +595,17 @@ impl Column {
         let (dict, other_map) = self.dict.merge(other.dict());
         let identity = other_map.iter().enumerate().all(|(i, &m)| m as usize == i);
         let mut segments = self.segments.clone();
+        // Zones splice: ids are stable under the dictionary merge (self's
+        // ids keep their values; other's translate to same-value ids), so
+        // both sides' zones carry over without touching any stats.
+        let mut zones = self.zones.clone();
         if identity {
             segments.extend(other.segments.iter().cloned());
+            zones.extend(other.zones.iter().copied());
         } else {
             let map: Vec<Option<u32>> = other_map.iter().map(|&m| Some(m)).collect();
             segments.extend(other.segments.iter().map(|s| Arc::new(s.remap(&map))));
+            zones.extend(other.zones.iter().map(|z| z.remap(&map)));
         }
         let (starts, rows) = starts_of(&segments);
         Ok(Column {
@@ -553,8 +613,13 @@ impl Column {
             dict,
             segments,
             starts,
+            zones,
             segment_rows: self.segment_rows,
             rows,
+            // An explicit pin on either input survives the union — the
+            // chooser must not undo a recode the user asked for just
+            // because the pinned side was the right operand.
+            pinned: self.pinned || other.pinned,
         })
     }
 
@@ -567,8 +632,10 @@ impl Column {
             Rebuilt(Segment),
         }
         let mut parts: Vec<Part> = Vec::new();
+        let mut zones: Vec<Zone> = Vec::new();
         let mut present = vec![false; self.dict.len()];
-        for (seg, &seg_start) in self.segments.iter().zip(&self.starts) {
+        let ranks = self.dict.value_order().ranks();
+        for (i, (seg, &seg_start)) in self.segments.iter().zip(&self.starts).enumerate() {
             let seg_end = seg_start + seg.rows();
             if seg_end <= start || seg_start >= end {
                 continue;
@@ -582,6 +649,8 @@ impl Column {
                 for &id in seg.present_ids() {
                     present[id as usize] = true;
                 }
+                // Fully covered: segment and zone carry over untouched.
+                zones.push(self.zones[i]);
                 parts.push(Part::Shared(Arc::clone(seg)));
             } else {
                 let mut pairs = Vec::new();
@@ -592,7 +661,11 @@ impl Column {
                         pairs.push((id, piece));
                     }
                 }
-                parts.push(Part::Rebuilt(Segment::new(hi - lo, pairs)));
+                let rebuilt = Segment::new(hi - lo, pairs);
+                // Partial coverage may narrow the value range: re-derive
+                // from the surviving present-id stats.
+                zones.push(Zone::of_ids(rebuilt.present_ids(), ranks));
+                parts.push(Part::Rebuilt(rebuilt));
             }
         }
         let all_present = present.iter().all(|&p| p);
@@ -610,8 +683,10 @@ impl Column {
                 dict: self.dict.clone(),
                 segments,
                 starts,
+                zones,
                 segment_rows: self.segment_rows,
                 rows,
+                pinned: self.pinned,
             }
         } else {
             let (dict, mapping) = self.dict.compact(|id| present[id as usize]);
@@ -624,14 +699,17 @@ impl Column {
                     })
                 })
                 .collect();
+            let zones = zones.into_iter().map(|z| z.remap(&mapping)).collect();
             let (starts, rows) = starts_of(&segments);
             Column {
                 ty: self.ty,
                 dict,
                 segments,
                 starts,
+                zones,
                 segment_rows: self.segment_rows,
                 rows,
+                pinned: self.pinned,
             }
         }
     }
@@ -649,24 +727,58 @@ impl Column {
     /// every output segment lands in `[½·nominal, 2·nominal]` (unless the
     /// whole column is smaller). Segments already within bounds are reused
     /// by reference; the dictionary is untouched (no values vanish).
+    ///
+    /// Merge groups (the common post-UNION fragmentation case) go through
+    /// [`Segment::splice`]: present ids, per-id ones, and zones are spliced
+    /// from the source segments' cached stats instead of being recounted
+    /// from payload. Only genuine splits (oversized segments) re-derive
+    /// stats through the assembler.
     pub fn compacted(&self) -> Column {
         let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
         let Some(plan) = crate::segment::compaction_plan(&sizes, self.segment_rows) else {
             return self.clone();
         };
+        let ranks = self.dict.value_order().ranks();
         let mut segments: Vec<Arc<Segment>> = Vec::with_capacity(plan.len());
+        let mut zones: Vec<Zone> = Vec::with_capacity(plan.len());
         for group in plan {
             if group.is_untouched(&sizes) {
                 segments.push(Arc::clone(&self.segments[group.segs.start]));
+                zones.push(self.zones[group.segs.start]);
+                continue;
+            }
+            if group.pieces.len() == 1 {
+                // Pure merge: splice payload and stats; fold zones.
+                let parts: Vec<&Segment> = self.segments[group.segs.clone()]
+                    .iter()
+                    .map(|s| s.as_ref())
+                    .collect();
+                segments.push(Arc::new(Segment::splice(&parts)));
+                zones.push(
+                    self.zones[group.segs]
+                        .iter()
+                        .copied()
+                        .reduce(|a, b| a.merge(b, ranks))
+                        .expect("compaction group is non-empty"),
+                );
                 continue;
             }
             let mut asm = SegmentAssembler::with_piece_sizes(group.pieces);
             for seg in &self.segments[group.segs] {
                 asm.push_chunk(seg.to_chunk());
             }
-            segments.extend(asm.finish());
+            let pieces = asm.finish();
+            zones.extend(pieces.iter().map(|s| Zone::of_ids(s.present_ids(), ranks)));
+            segments.extend(pieces);
         }
-        Column::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows)
+        Column::from_segments_zoned(
+            self.ty,
+            self.dict.clone(),
+            segments,
+            zones,
+            self.segment_rows,
+        )
+        .with_meta_of(self)
     }
 
     /// [`Column::compacted`] when [`Column::needs_compaction`], otherwise a
@@ -719,6 +831,22 @@ impl Column {
             if let Some(id) = present.iter().position(|&n| n == 0) {
                 return Err(StorageError::Corrupt(format!(
                     "value id {id} occurs in no segment (dictionary not compacted)"
+                )));
+            }
+        }
+        if self.zones.len() != self.segments.len() {
+            return Err(StorageError::Corrupt(format!(
+                "{} zones for {} segments",
+                self.zones.len(),
+                self.segments.len()
+            )));
+        }
+        let ranks = self.dict.value_order().ranks();
+        for (i, (seg, &zone)) in self.segments.iter().zip(&self.zones).enumerate() {
+            if Zone::of_ids(seg.present_ids(), ranks) != zone {
+                return Err(StorageError::Corrupt(format!(
+                    "segment {i} zone (min id {}, max id {}) does not match its present ids",
+                    zone.min_id, zone.max_id
                 )));
             }
         }
@@ -842,19 +970,14 @@ impl ColumnBuilder {
         self.rows
     }
 
-    /// Finalizes the column.
+    /// Finalizes the column. Zones are derived once here from the sealed
+    /// segments' present-id stats (the dictionary's value order is built a
+    /// single time, not per segment).
     pub fn finish(mut self) -> Column {
         self.seal_segment();
-        let (starts, rows) = starts_of(&self.segments);
-        debug_assert_eq!(rows, self.rows);
-        Column {
-            ty: self.ty,
-            dict: self.dict,
-            segments: self.segments,
-            starts,
-            segment_rows: self.segment_rows,
-            rows,
-        }
+        let col = Column::from_segments(self.ty, self.dict, self.segments, self.segment_rows);
+        debug_assert_eq!(col.rows, self.rows);
+        col
     }
 }
 

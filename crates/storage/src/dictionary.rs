@@ -7,12 +7,83 @@
 
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// The lazily built *value-ordered view* of a [`Dictionary`]: ids are
+/// assigned in first-appearance order, so id order says nothing about value
+/// order — this view is the permutation that makes range reasoning over ids
+/// possible. `ordered` lists the ids sorted ascending by their values;
+/// `ranks` is its inverse (`ranks[id]` = position of `id`'s value in sorted
+/// order). Zone maps store extreme *ids* (stable under dictionary growth)
+/// and resolve them to ranks through this view at scan time.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ValueOrder {
+    ordered: Vec<u32>,
+    ranks: Vec<u32>,
+}
+
+impl ValueOrder {
+    fn build(values: &[Value]) -> ValueOrder {
+        let mut ordered: Vec<u32> = (0..values.len() as u32).collect();
+        ordered.sort_unstable_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+        let mut ranks = vec![0u32; values.len()];
+        for (rank, &id) in ordered.iter().enumerate() {
+            ranks[id as usize] = rank as u32;
+        }
+        ValueOrder { ordered, ranks }
+    }
+
+    /// Number of values covered.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Returns `true` when the dictionary was empty.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// Ids sorted ascending by value (`ordered[rank] = id`).
+    pub fn ordered(&self) -> &[u32] {
+        &self.ordered
+    }
+
+    /// Value-order rank per id (`ranks[id] = rank`; inverse of
+    /// [`ValueOrder::ordered`]).
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// The rank of one id.
+    #[inline]
+    pub fn rank_of(&self, id: u32) -> u32 {
+        self.ranks[id as usize]
+    }
+}
 
 /// Interning dictionary: dense `u32` ids for distinct [`Value`]s.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Dictionary {
     values: Vec<Value>,
     ids: HashMap<Value, u32>,
+    /// Lazily built value-order permutation; invalidated whenever a new
+    /// value is interned. `Arc`-shared so cloning a dictionary keeps the
+    /// already-built view for free.
+    order: OnceLock<Arc<ValueOrder>>,
+}
+
+impl Clone for Dictionary {
+    fn clone(&self) -> Dictionary {
+        let order = OnceLock::new();
+        if let Some(o) = self.order.get() {
+            let _ = order.set(Arc::clone(o));
+        }
+        Dictionary {
+            values: self.values.clone(),
+            ids: self.ids.clone(),
+            order,
+        }
+    }
 }
 
 impl Dictionary {
@@ -39,7 +110,16 @@ impl Dictionary {
         let id = self.values.len() as u32;
         self.values.push(v.clone());
         self.ids.insert(v, id);
+        // Growth shifts value order: drop the cached view.
+        self.order = OnceLock::new();
         id
+    }
+
+    /// The value-ordered view of this dictionary, built on first use and
+    /// cached until the next growth (O(v log v) to build, O(1) after).
+    pub fn value_order(&self) -> &ValueOrder {
+        self.order
+            .get_or_init(|| Arc::new(ValueOrder::build(&self.values)))
     }
 
     /// Looks up the id of `v` without interning.
@@ -175,6 +255,42 @@ mod tests {
         let (merged, map) = a.merge(&b);
         assert_eq!(merged.len(), 3);
         assert_eq!(map, vec![1, 2]); // y → 1 (existing), z → 2 (new)
+    }
+
+    #[test]
+    fn value_order_ranks_by_value_not_id() {
+        let mut d = Dictionary::new();
+        // First-appearance ids: 9 → 0, 3 → 1, 7 → 2.
+        d.intern(Value::int(9));
+        d.intern(Value::int(3));
+        d.intern(Value::int(7));
+        let o = d.value_order();
+        assert_eq!(o.ordered(), &[1, 2, 0]); // 3 < 7 < 9
+        assert_eq!(o.ranks(), &[2, 0, 1]);
+        assert_eq!(o.rank_of(0), 2);
+    }
+
+    #[test]
+    fn value_order_invalidated_on_growth() {
+        let mut d = Dictionary::new();
+        d.intern(Value::int(5));
+        assert_eq!(d.value_order().ordered(), &[0]);
+        d.intern(Value::int(1)); // sorts before 5
+        assert_eq!(d.value_order().ordered(), &[1, 0]);
+        // Re-interning an existing value keeps the cache valid.
+        d.intern(Value::int(5));
+        assert_eq!(d.value_order().ordered(), &[1, 0]);
+        // Clones share the built view.
+        let c = d.clone();
+        assert_eq!(c.value_order().ranks(), d.value_order().ranks());
+    }
+
+    #[test]
+    fn null_sorts_first_in_value_order() {
+        let mut d = Dictionary::new();
+        d.intern(Value::int(2));
+        d.intern(Value::Null);
+        assert_eq!(d.value_order().ordered(), &[1, 0]);
     }
 
     #[test]

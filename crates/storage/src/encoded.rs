@@ -13,7 +13,7 @@ use crate::cursor::RowIdCursor;
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
 use crate::rle_column::{RleAssembler, RleColumn};
-use crate::segment::{SegmentAssembler, SegmentChunk};
+use crate::segment::{SegmentAssembler, SegmentChunk, Zone};
 use crate::value::{Value, ValueType};
 use cods_bitmap::{RleSeq, Wah};
 use std::ops::Range;
@@ -139,15 +139,101 @@ impl EncodedColumn {
     }
 
     /// Re-encodes to `encoding` (a no-op clone when already there). Values,
-    /// dictionary, and segment boundaries are preserved.
+    /// dictionary, segment boundaries, zones, and the encoding pin are
+    /// preserved.
     pub fn recode(&self, encoding: Encoding) -> Result<EncodedColumn, StorageError> {
-        Ok(match (self, encoding) {
+        let mut out = match (self, encoding) {
             (EncodedColumn::Bitmap(c), Encoding::Rle) => {
                 EncodedColumn::Rle(RleColumn::from_column(c))
             }
             (EncodedColumn::Rle(c), Encoding::Bitmap) => EncodedColumn::Bitmap(c.to_column()?),
-            _ => self.clone(),
-        })
+            _ => return Ok(self.clone()),
+        };
+        out.set_encoding_pinned(self.encoding_pinned());
+        Ok(out)
+    }
+
+    /// Per-segment zone maps (min/max present value in value order),
+    /// parallel to the segment directory.
+    pub fn zones(&self) -> &[Zone] {
+        match self {
+            EncodedColumn::Bitmap(c) => c.zones(),
+            EncodedColumn::Rle(c) => c.zones(),
+        }
+    }
+
+    /// The zone map of segment `idx`.
+    pub fn zone(&self, idx: usize) -> Zone {
+        match self {
+            EncodedColumn::Bitmap(c) => c.zone(idx),
+            EncodedColumn::Rle(c) => c.zone(idx),
+        }
+    }
+
+    /// Returns `true` when the encoding was pinned by an explicit recode
+    /// (the adaptive chooser leaves pinned columns alone).
+    pub fn encoding_pinned(&self) -> bool {
+        match self {
+            EncodedColumn::Bitmap(c) => c.encoding_pinned(),
+            EncodedColumn::Rle(c) => c.encoding_pinned(),
+        }
+    }
+
+    /// Sets the encoding pin.
+    pub fn set_encoding_pinned(&mut self, pinned: bool) {
+        match self {
+            EncodedColumn::Bitmap(c) => c.set_encoding_pinned(pinned),
+            EncodedColumn::Rle(c) => c.set_encoding_pinned(pinned),
+        }
+    }
+
+    /// Total maximal constant-value runs across the directory — exact for
+    /// RLE columns (their stored runs), and computed from compressed WAH
+    /// interval walks for bitmap columns (each present value's maximal
+    /// set-bit intervals are its value runs). Never decompresses per row.
+    pub fn run_count(&self) -> u64 {
+        match self {
+            EncodedColumn::Bitmap(c) => c.run_count(),
+            EncodedColumn::Rle(c) => c.num_runs() as u64,
+        }
+    }
+
+    /// The stats-driven encoding choice: weighs the column's run count
+    /// against its row and distinct counts.
+    ///
+    /// RLE pays one fixed-size record per run; WAH bitmaps pay roughly two
+    /// words per run plus a per-(segment × present value) overhead. RLE
+    /// therefore wins when runs are long on average (`4·runs ≤ rows`, i.e.
+    /// a mean run of ≥ 4 rows — clustered or near-clustered data) or when
+    /// the column is essentially sorted (`runs ≤ 2·(distinct + segments)`:
+    /// a perfectly clustered column has about one run per distinct value
+    /// per segment it spans). Everything else — high-cardinality or
+    /// uniform-random data, where runs ≈ rows — stays bitmap, the paper's
+    /// default layout and the operators' native form.
+    pub fn choose_encoding(&self) -> Encoding {
+        let rows = self.rows();
+        if rows == 0 {
+            return self.encoding();
+        }
+        let runs = self.run_count().max(1);
+        let distinct = self.distinct_count() as u64;
+        let segments = self.segment_count() as u64;
+        if 4 * runs <= rows || runs <= 2 * (distinct + segments) {
+            Encoding::Rle
+        } else {
+            Encoding::Bitmap
+        }
+    }
+
+    /// Re-encodes to the chooser's pick, unless the encoding is pinned (an
+    /// explicit `recode` overrides the chooser until re-set to auto).
+    /// Invoked automatically after `cluster_by` and threshold-triggered
+    /// after UNION's compaction pass.
+    pub fn auto_recoded(&self) -> Result<EncodedColumn, StorageError> {
+        if self.encoding_pinned() {
+            return Ok(self.clone());
+        }
+        self.recode(self.choose_encoding())
     }
 
     /// Column type.
@@ -342,7 +428,7 @@ impl EncodedColumn {
     /// column's type, dictionary (compacted to the surviving values), and
     /// nominal segment size.
     pub fn from_assembler_compacting(&self, asm: EncodedAssembler) -> EncodedColumn {
-        match asm {
+        let mut out = match asm {
             EncodedAssembler::Bitmap(asm) => {
                 EncodedColumn::Bitmap(Column::from_segments_compacting(
                     self.ty(),
@@ -357,7 +443,9 @@ impl EncodedColumn {
                 asm.finish(),
                 self.nominal_segment_rows(),
             )),
-        }
+        };
+        out.set_encoding_pinned(self.encoding_pinned());
+        out
     }
 
     /// The paper's *bitmap filtering*: shrink the column to the rows listed
@@ -506,6 +594,113 @@ mod tests {
         assert_eq!(b.recode(Encoding::Rle).unwrap(), r);
         assert_eq!(r.recode(Encoding::Bitmap).unwrap(), b);
         assert_eq!(b.recode(Encoding::Bitmap).unwrap(), b);
+    }
+
+    #[test]
+    fn chooser_picks_rle_on_clustered_and_bitmap_on_uniform() {
+        // Clustered: 20k rows, 200 distinct values in sorted order — mean
+        // run length 100. The chooser must pick RLE.
+        let clustered: Vec<Value> = (0..20_000).map(|i| Value::int(i / 100)).collect();
+        let c = EncodedColumn::Bitmap(
+            Column::from_values_with(ValueType::Int, &clustered, 4096).unwrap(),
+        );
+        assert_eq!(c.run_count(), 200 + 4); // one run per value, +1 per interior boundary
+        assert_eq!(c.choose_encoding(), Encoding::Rle);
+        // The choice is encoding-independent: the RLE form agrees.
+        assert_eq!(
+            c.recode(Encoding::Rle).unwrap().choose_encoding(),
+            Encoding::Rle
+        );
+
+        // High-cardinality uniform: 20k rows over 5k values in scattered
+        // order — runs ≈ rows. The chooser must stay bitmap.
+        let uniform: Vec<Value> = (0..20_000)
+            .map(|i| Value::int((i * 2_654_435_761u64 as i64) % 5_000))
+            .collect();
+        let u = EncodedColumn::Bitmap(
+            Column::from_values_with(ValueType::Int, &uniform, 4096).unwrap(),
+        );
+        assert_eq!(u.choose_encoding(), Encoding::Bitmap);
+        assert_eq!(
+            u.recode(Encoding::Rle).unwrap().choose_encoding(),
+            Encoding::Bitmap
+        );
+    }
+
+    #[test]
+    fn auto_recode_respects_pin() {
+        let clustered: Vec<Value> = (0..4_000).map(|i| Value::int(i / 100)).collect();
+        let c = EncodedColumn::Bitmap(
+            Column::from_values_with(ValueType::Int, &clustered, 1024).unwrap(),
+        );
+        // Unpinned: the chooser flips the clustered column to RLE.
+        assert_eq!(c.auto_recoded().unwrap().encoding(), Encoding::Rle);
+        // Pinned: an explicit recode overrides the chooser.
+        let mut pinned = c.clone();
+        pinned.set_encoding_pinned(true);
+        assert_eq!(pinned.auto_recoded().unwrap().encoding(), Encoding::Bitmap);
+        // The pin survives recode, filter, concat, slice, and compaction.
+        let r = pinned.recode(Encoding::Rle).unwrap();
+        assert!(r.encoding_pinned());
+        assert!(r.filter_positions(&[0, 5, 9]).encoding_pinned());
+        assert!(r.concat(&r).unwrap().encoding_pinned());
+        assert!(r.slice(10, 900).encoding_pinned());
+        assert!(r.maybe_compacted().encoding_pinned());
+        assert!(!c.encoding_pinned());
+    }
+
+    #[test]
+    fn concat_keeps_pin_from_either_side() {
+        let values = vals(200);
+        let (b, r) = both(&values);
+        let mut pinned = b.clone();
+        pinned.set_encoding_pinned(true);
+        // Right-side pin survives, same and mixed encodings.
+        assert!(b.concat(&pinned).unwrap().encoding_pinned());
+        assert!(pinned.concat(&b).unwrap().encoding_pinned());
+        assert!(r.concat(&pinned).unwrap().encoding_pinned());
+        let mut pinned_rle = r.clone();
+        pinned_rle.set_encoding_pinned(true);
+        assert!(b.concat(&pinned_rle).unwrap().encoding_pinned());
+        // No pin on either side → none on the output.
+        assert!(!b.concat(&r).unwrap().encoding_pinned());
+        // Cross-encoding conversion itself preserves the pin.
+        assert!(pinned.recode(Encoding::Rle).unwrap().encoding_pinned());
+        assert!(pinned_rle
+            .recode(Encoding::Bitmap)
+            .unwrap()
+            .encoding_pinned());
+    }
+
+    #[test]
+    fn zones_track_value_order_extremes() {
+        // Two segments: rows 0..4 hold {30, 10}, rows 4..8 hold {20, 40}.
+        let vals: Vec<Value> = [30, 10, 30, 10, 20, 40, 20, 40]
+            .iter()
+            .map(|&i| Value::int(i))
+            .collect();
+        let (b, r) = {
+            let bitmap = Column::from_values_with(ValueType::Int, &vals, 4).unwrap();
+            let rle = RleColumn::from_column(&bitmap);
+            (EncodedColumn::Bitmap(bitmap), EncodedColumn::Rle(rle))
+        };
+        for col in [&b, &r] {
+            assert_eq!(col.zones().len(), 2);
+            let dict = col.dict();
+            let z0 = col.zone(0);
+            assert_eq!(dict.value(z0.min_id), &Value::int(10));
+            assert_eq!(dict.value(z0.max_id), &Value::int(30));
+            let z1 = col.zone(1);
+            assert_eq!(dict.value(z1.min_id), &Value::int(20));
+            assert_eq!(dict.value(z1.max_id), &Value::int(40));
+        }
+        // Concat splices zones without recomputation; slice narrows them.
+        let cat = b.concat(&r).unwrap();
+        assert_eq!(cat.zones().len(), 4);
+        assert_eq!(cat.zone(2), b.zone(0));
+        let s = b.slice(4, 6); // rows {20, 40} → one partial segment
+        assert_eq!(s.zones().len(), 1);
+        s.check_invariants().unwrap();
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder};
 pub use cursor::RowIdCursor;
-pub use dictionary::Dictionary;
+pub use dictionary::{Dictionary, ValueOrder};
 pub use encoded::{EncodedAssembler, EncodedChunk, EncodedColumn, Encoding};
 pub use error::StorageError;
 pub use load::{load_file, load_str, LoadOptions};
@@ -72,7 +72,7 @@ pub use rle_column::{RleAssembler, RleColumn, RleSegment};
 pub use schema::{ColumnDef, Schema};
 pub use segment::{
     compaction_plan, needs_compaction, CompactionGroup, Segment, SegmentAssembler, SegmentChunk,
-    DEFAULT_SEGMENT_ROWS,
+    Zone, DEFAULT_SEGMENT_ROWS,
 };
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -18,7 +18,7 @@
 use crate::column::Column;
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
-use crate::segment::Segment;
+use crate::segment::{Segment, Zone};
 use crate::value::{Value, ValueType};
 use cods_bitmap::{RleSeq, Wah};
 use std::collections::HashMap;
@@ -101,6 +101,28 @@ impl RleSegment {
     #[inline]
     pub fn compressed_bytes(&self) -> usize {
         self.seq.size_bytes()
+    }
+
+    /// Splices consecutive segments into one, combining cached statistics
+    /// from the parts instead of recounting them: run sequences are
+    /// concatenated and per-id ones merged by id — the compaction merge
+    /// path never rescans runs to rebuild stats.
+    pub fn splice(parts: &[&RleSegment]) -> RleSegment {
+        if parts.len() == 1 {
+            return parts[0].clone();
+        }
+        let mut seq = RleSeq::new();
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for part in parts {
+            seq.append_seq(&part.seq);
+            for (&id, &ones) in part.ids.iter().zip(&part.ones) {
+                *counts.entry(id).or_insert(0) += ones;
+            }
+        }
+        let mut pairs: Vec<(u32, u64)> = counts.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let (ids, ones) = pairs.into_iter().unzip();
+        RleSegment { seq, ids, ones }
     }
 
     /// Rewrites the segment under an id translation (`map[old] = Some(new)`;
@@ -256,9 +278,14 @@ pub struct RleColumn {
     segments: Vec<Arc<RleSegment>>,
     /// Start row of each segment (parallel to `segments`).
     starts: Vec<u64>,
+    /// Per-segment zone maps (parallel to `segments`): min/max present
+    /// value in value order, for range-predicate pruning.
+    zones: Vec<Zone>,
     /// Nominal rows per segment for newly produced data.
     segment_rows: u64,
     rows: u64,
+    /// `true` when the encoding was pinned by an explicit recode.
+    pinned: bool,
 }
 
 fn starts_of(segments: &[Arc<RleSegment>]) -> (Vec<u64>, u64) {
@@ -269,6 +296,20 @@ fn starts_of(segments: &[Arc<RleSegment>]) -> (Vec<u64>, u64) {
         total += s.rows();
     }
     (starts, total)
+}
+
+/// Derives every segment's zone from its present-id stats via the
+/// dictionary's value order (the RLE twin of
+/// [`derive_zones`](crate::column) — run data is never touched).
+fn derive_zones(dict: &Dictionary, segments: &[Arc<RleSegment>]) -> Vec<Zone> {
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let ranks = dict.value_order().ranks();
+    segments
+        .iter()
+        .map(|s| Zone::of_ids(s.present_ids(), ranks))
+        .collect()
 }
 
 impl RleColumn {
@@ -313,12 +354,16 @@ impl RleColumn {
                 Arc::new(RleSegment::new(seq))
             })
             .collect();
-        Self::from_segments(
+        let mut out = Self::from_segments(
             col.ty(),
             col.dict().clone(),
             segments,
             col.nominal_segment_rows(),
-        )
+        );
+        // Conversion preserves the encoding pin (mixed-encoding concat
+        // converts one side through here; its pin must not vanish).
+        out.pinned = col.encoding_pinned();
+        out
     }
 
     /// Re-encodes as a bitmap column, segment by segment: boundaries and
@@ -329,8 +374,11 @@ impl RleColumn {
             .iter()
             .map(|s| Arc::new(s.to_bitmap_segment()))
             .collect();
-        let col = Column::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows);
+        let mut col =
+            Column::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows);
         col.check_invariants()?;
+        // Conversion preserves the encoding pin (see from_column).
+        col.set_encoding_pinned(self.pinned);
         Ok(col)
     }
 
@@ -343,14 +391,31 @@ impl RleColumn {
         segments: Vec<Arc<RleSegment>>,
         segment_rows: u64,
     ) -> RleColumn {
+        let zones = derive_zones(&dict, &segments);
+        Self::from_segments_zoned(ty, dict, segments, zones, segment_rows)
+    }
+
+    /// [`RleColumn::from_segments`] with caller-supplied zone maps (spliced
+    /// from inputs, or read from a version-4 file); validated by
+    /// [`RleColumn::check_invariants`].
+    pub fn from_segments_zoned(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<Arc<RleSegment>>,
+        zones: Vec<Zone>,
+        segment_rows: u64,
+    ) -> RleColumn {
+        debug_assert_eq!(segments.len(), zones.len());
         let (starts, rows) = starts_of(&segments);
         RleColumn {
             ty,
             dict,
             segments,
             starts,
+            zones,
             segment_rows,
             rows,
+            pinned: false,
         }
     }
 
@@ -423,6 +488,33 @@ impl RleColumn {
     /// The segment directory.
     pub fn segments(&self) -> &[Arc<RleSegment>] {
         &self.segments
+    }
+
+    /// Per-segment zone maps, parallel to [`RleColumn::segments`].
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The zone map of segment `idx`.
+    pub fn zone(&self, idx: usize) -> Zone {
+        self.zones[idx]
+    }
+
+    /// Returns `true` when the encoding was pinned by an explicit recode.
+    pub fn encoding_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Sets the encoding pin.
+    pub fn set_encoding_pinned(&mut self, pinned: bool) {
+        self.pinned = pinned;
+    }
+
+    /// Copies chooser-relevant metadata (the encoding pin) from the source
+    /// column a derived column was built from.
+    fn with_meta_of(mut self, src: &RleColumn) -> RleColumn {
+        self.pinned = src.pinned;
+        self
     }
 
     /// Number of segments.
@@ -543,6 +635,7 @@ impl RleColumn {
             asm.push_seq(&self.filter_segment_seq(seg_idx, &positions[range]));
         }
         Self::from_segments_compacting(self.ty, self.dict.clone(), asm.finish(), self.segment_rows)
+            .with_meta_of(self)
     }
 
     /// Gather by an arbitrary (not necessarily sorted) row selection:
@@ -554,6 +647,7 @@ impl RleColumn {
             asm.push_run(ids[p as usize], 1);
         }
         Self::from_segments_compacting(self.ty, self.dict.clone(), asm.finish(), self.segment_rows)
+            .with_meta_of(self)
     }
 
     /// Splits a whole-column selection mask along this column's segment
@@ -574,6 +668,7 @@ impl RleColumn {
             }
         }
         Self::from_segments_compacting(self.ty, self.dict.clone(), asm.finish(), self.segment_rows)
+            .with_meta_of(self)
     }
 
     /// Concatenates two RLE columns of the same type (UNION TABLES).
@@ -589,18 +684,22 @@ impl RleColumn {
         let (dict, other_map) = self.dict.merge(other.dict());
         let identity = other_map.iter().enumerate().all(|(i, &m)| m as usize == i);
         let mut segments = self.segments.clone();
+        // Zones splice from both inputs — never recomputed (see
+        // Column::concat for the id-stability argument).
+        let mut zones = self.zones.clone();
         if identity {
             segments.extend(other.segments.iter().cloned());
+            zones.extend(other.zones.iter().copied());
         } else {
             let map: Vec<Option<u32>> = other_map.iter().map(|&m| Some(m)).collect();
             segments.extend(other.segments.iter().map(|s| Arc::new(s.remap(&map))));
+            zones.extend(other.zones.iter().map(|z| z.remap(&map)));
         }
-        Ok(Self::from_segments(
-            self.ty,
-            dict,
-            segments,
-            self.segment_rows,
-        ))
+        let mut out = Self::from_segments_zoned(self.ty, dict, segments, zones, self.segment_rows);
+        // An explicit pin on either input survives the union (see
+        // Column::concat).
+        out.pinned = self.pinned || other.pinned;
+        Ok(out)
     }
 
     /// Extracts the row range `[start, end)`. Fully covered segments are
@@ -608,8 +707,10 @@ impl RleColumn {
     pub fn slice(&self, start: u64, end: u64) -> RleColumn {
         assert!(start <= end && end <= self.rows, "slice out of range");
         let mut parts: Vec<Arc<RleSegment>> = Vec::new();
+        let mut zones: Vec<Zone> = Vec::new();
         let mut present = vec![false; self.dict.len()];
-        for (seg, &seg_start) in self.segments.iter().zip(&self.starts) {
+        let ranks = self.dict.value_order().ranks();
+        for (i, (seg, &seg_start)) in self.segments.iter().zip(&self.starts).enumerate() {
             let seg_end = seg_start + seg.rows();
             if seg_end <= start || seg_start >= end {
                 continue;
@@ -620,9 +721,12 @@ impl RleColumn {
                 continue;
             }
             let part = if lo == 0 && hi == seg.rows() {
+                zones.push(self.zones[i]);
                 Arc::clone(seg)
             } else {
-                Arc::new(RleSegment::new(seg.seq().slice(lo, hi)))
+                let rebuilt = Arc::new(RleSegment::new(seg.seq().slice(lo, hi)));
+                zones.push(Zone::of_ids(rebuilt.present_ids(), ranks));
+                rebuilt
             };
             for &id in part.present_ids() {
                 present[id as usize] = true;
@@ -630,14 +734,17 @@ impl RleColumn {
             parts.push(part);
         }
         if present.iter().all(|&p| p) {
-            Self::from_segments(self.ty, self.dict.clone(), parts, self.segment_rows)
+            Self::from_segments_zoned(self.ty, self.dict.clone(), parts, zones, self.segment_rows)
+                .with_meta_of(self)
         } else {
             let (dict, mapping) = self.dict.compact(|id| present[id as usize]);
             let segments = parts
                 .into_iter()
                 .map(|s| Arc::new(s.remap(&mapping)))
                 .collect();
-            Self::from_segments(self.ty, dict, segments, self.segment_rows)
+            let zones = zones.into_iter().map(|z| z.remap(&mapping)).collect();
+            Self::from_segments_zoned(self.ty, dict, segments, zones, self.segment_rows)
+                .with_meta_of(self)
         }
     }
 
@@ -652,25 +759,54 @@ impl RleColumn {
     /// Re-chunks the segment directory toward the nominal segment size via
     /// the shared [`compaction_plan`](crate::segment::compaction_plan);
     /// segments already within `[½·nominal, 2·nominal]` are reused by
-    /// reference.
+    /// reference. Merge groups splice run sequences, stats, and zones from
+    /// the source segments ([`RleSegment::splice`]); only genuine splits
+    /// re-derive stats through the assembler.
     pub fn compacted(&self) -> RleColumn {
         let sizes: Vec<u64> = self.segments.iter().map(|s| s.rows()).collect();
         let Some(plan) = crate::segment::compaction_plan(&sizes, self.segment_rows) else {
             return self.clone();
         };
+        let ranks = self.dict.value_order().ranks();
         let mut segments: Vec<Arc<RleSegment>> = Vec::with_capacity(plan.len());
+        let mut zones: Vec<Zone> = Vec::with_capacity(plan.len());
         for group in plan {
             if group.is_untouched(&sizes) {
                 segments.push(Arc::clone(&self.segments[group.segs.start]));
+                zones.push(self.zones[group.segs.start]);
+                continue;
+            }
+            if group.pieces.len() == 1 {
+                let parts: Vec<&RleSegment> = self.segments[group.segs.clone()]
+                    .iter()
+                    .map(|s| s.as_ref())
+                    .collect();
+                segments.push(Arc::new(RleSegment::splice(&parts)));
+                zones.push(
+                    self.zones[group.segs]
+                        .iter()
+                        .copied()
+                        .reduce(|a, b| a.merge(b, ranks))
+                        .expect("compaction group is non-empty"),
+                );
                 continue;
             }
             let mut asm = RleAssembler::with_piece_sizes(group.pieces);
             for seg in &self.segments[group.segs] {
                 asm.push_seq(seg.seq());
             }
-            segments.extend(asm.finish());
+            let pieces = asm.finish();
+            zones.extend(pieces.iter().map(|s| Zone::of_ids(s.present_ids(), ranks)));
+            segments.extend(pieces);
         }
-        Self::from_segments(self.ty, self.dict.clone(), segments, self.segment_rows)
+        Self::from_segments_zoned(
+            self.ty,
+            self.dict.clone(),
+            segments,
+            zones,
+            self.segment_rows,
+        )
+        .with_meta_of(self)
     }
 
     /// [`RleColumn::compacted`] when fragmented, otherwise a cheap clone.
@@ -743,6 +879,22 @@ impl RleColumn {
             if let Some(id) = present.iter().position(|&n| n == 0) {
                 return Err(StorageError::Corrupt(format!(
                     "value id {id} occurs in no segment (dictionary not compacted)"
+                )));
+            }
+        }
+        if self.zones.len() != self.segments.len() {
+            return Err(StorageError::Corrupt(format!(
+                "{} zones for {} segments",
+                self.zones.len(),
+                self.segments.len()
+            )));
+        }
+        let ranks = self.dict.value_order().ranks();
+        for (i, (seg, &zone)) in self.segments.iter().zip(&self.zones).enumerate() {
+            if Zone::of_ids(seg.present_ids(), ranks) != zone {
+                return Err(StorageError::Corrupt(format!(
+                    "segment {i} zone (min id {}, max id {}) does not match its present ids",
+                    zone.min_id, zone.max_id
                 )));
             }
         }

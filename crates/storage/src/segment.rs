@@ -21,6 +21,79 @@ use std::sync::Arc;
 /// Default number of rows per segment (64 Ki).
 pub const DEFAULT_SEGMENT_ROWS: u64 = 64 * 1024;
 
+/// The zone map of one segment: the present value ids whose values are the
+/// segment's minimum and maximum **in value order**. Ids (not ranks) are
+/// stored because ids are stable under dictionary growth; range scans
+/// resolve them to ranks through the dictionary's lazily built
+/// [`ValueOrder`](crate::dictionary::ValueOrder) and skip segments whose
+/// `[min, max]` value interval cannot intersect a predicate's satisfying
+/// range — O(1) per segment instead of a walk over its present-id stats.
+///
+/// Zones are maintained *incrementally*: splicing directories (UNION
+/// concat, compaction merges) folds source zones instead of rescanning
+/// payload, and fresh segments derive their zone from present-id stats —
+/// never from bitmap words or runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Zone {
+    /// Present id with the minimal value (by value order).
+    pub min_id: u32,
+    /// Present id with the maximal value (by value order).
+    pub max_id: u32,
+}
+
+impl Zone {
+    /// Derives the zone of a segment from its present-id stats and the
+    /// dictionary's rank permutation. O(present) integer comparisons; the
+    /// payload (bitmaps/runs) is never touched.
+    pub fn of_ids(ids: &[u32], ranks: &[u32]) -> Zone {
+        debug_assert!(!ids.is_empty(), "zone of an empty segment");
+        let mut min = ids[0];
+        let mut max = ids[0];
+        for &id in &ids[1..] {
+            if ranks[id as usize] < ranks[min as usize] {
+                min = id;
+            }
+            if ranks[id as usize] > ranks[max as usize] {
+                max = id;
+            }
+        }
+        Zone {
+            min_id: min,
+            max_id: max,
+        }
+    }
+
+    /// Folds two zones into the zone of their spliced segment (O(1)).
+    pub fn merge(self, other: Zone, ranks: &[u32]) -> Zone {
+        Zone {
+            min_id: if ranks[other.min_id as usize] < ranks[self.min_id as usize] {
+                other.min_id
+            } else {
+                self.min_id
+            },
+            max_id: if ranks[other.max_id as usize] > ranks[self.max_id as usize] {
+                other.max_id
+            } else {
+                self.max_id
+            },
+        }
+    }
+
+    /// Translates the zone through an id mapping (dictionary merge or
+    /// compaction). Values are preserved by such mappings, so the
+    /// translated ids still name the segment's extreme values.
+    ///
+    /// # Panics
+    /// Panics if either extreme id was dropped by the mapping (it cannot
+    /// be: zone ids are present in the segment).
+    pub fn remap(self, map: &[Option<u32>]) -> Zone {
+        Zone {
+            min_id: map[self.min_id as usize].expect("zone min id dropped by remap"),
+            max_id: map[self.max_id as usize].expect("zone max id dropped by remap"),
+        }
+    }
+}
+
 /// One group of consecutive input segments rewritten together by a
 /// compaction pass, and the output piece sizes it is re-chunked into.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -251,6 +324,74 @@ impl Segment {
             .zip(&self.bitmaps)
             .find(|(_, bm)| bm.get(row))
             .map(|(&id, _)| id)
+    }
+
+    /// Total maximal constant-value runs in row order — the statistic the
+    /// adaptive encoding chooser weighs against rows and distinct count.
+    /// Each present value's maximal set-bit intervals are exactly its value
+    /// runs, so the sum over present values is the segment's run count (what
+    /// an RLE re-encoding would store). O(compressed words); the bitmaps
+    /// are walked in compressed form, never decompressed per row.
+    pub fn run_count(&self) -> u64 {
+        self.bitmaps
+            .iter()
+            .map(|bm| bm.iter_intervals().count() as u64)
+            .sum()
+    }
+
+    /// Splices consecutive segments into one, combining cached statistics
+    /// from the parts instead of recounting them: per-id ones are summed,
+    /// present ids merged, and bitmaps concatenated with zero fills — the
+    /// compaction merge path (undersized directory fragments after long
+    /// UNION chains) never rescans payload to rebuild stats.
+    pub fn splice(parts: &[&Segment]) -> Segment {
+        if parts.len() == 1 {
+            return parts[0].clone();
+        }
+        let rows: u64 = parts.iter().map(|s| s.rows).sum();
+        // id → (bitmap so far, rows emitted so far, summed ones).
+        let mut acc: HashMap<u32, (Wah, u64, u64)> = HashMap::new();
+        let mut offset = 0u64;
+        for part in parts {
+            for ((&id, bm), &ones) in part.ids.iter().zip(&part.bitmaps).zip(&part.ones) {
+                let (out, emitted, total) = acc.entry(id).or_insert_with(|| (Wah::new(), 0, 0));
+                if *emitted < offset {
+                    out.append_run(false, offset - *emitted);
+                }
+                out.append_bitmap(bm);
+                *emitted = offset + part.rows;
+                *total += ones;
+            }
+            offset += part.rows;
+        }
+        let mut entries: Vec<(u32, Wah, u64)> = acc
+            .into_iter()
+            .map(|(id, (mut bm, emitted, ones))| {
+                if emitted < rows {
+                    bm.append_run(false, rows - emitted);
+                }
+                (id, bm, ones)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _, _)| id);
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut bitmaps = Vec::with_capacity(entries.len());
+        let mut ones = Vec::with_capacity(entries.len());
+        let mut bytes = 0usize;
+        for (id, bm, n) in entries {
+            debug_assert_eq!(bm.count_ones(), n, "spliced ones stat for id {id}");
+            bytes += bm.size_bytes();
+            ids.push(id);
+            bitmaps.push(bm);
+            ones.push(n);
+        }
+        Segment {
+            rows,
+            ids,
+            bitmaps,
+            ones,
+            bytes,
+        }
     }
 
     /// Re-expresses the segment as an unaligned [`SegmentChunk`] (bitmaps
@@ -604,6 +745,79 @@ mod tests {
         assert_eq!(bm5.to_positions(), vec![0, 1, 2, 6, 7]);
         let bm9 = s.bitmap_for(9).unwrap();
         assert_eq!(bm9.to_positions(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn zone_of_ids_merge_and_remap() {
+        // ranks: id 0 → rank 2, id 1 → rank 0, id 2 → rank 1.
+        let ranks = [2u32, 0, 1];
+        let z = Zone::of_ids(&[0, 2], &ranks);
+        assert_eq!(
+            z,
+            Zone {
+                min_id: 2,
+                max_id: 0
+            }
+        );
+        let w = Zone::of_ids(&[1], &ranks);
+        let m = z.merge(w, &ranks);
+        assert_eq!(
+            m,
+            Zone {
+                min_id: 1,
+                max_id: 0
+            }
+        );
+        let r = m.remap(&[Some(5), Some(6), Some(7)]);
+        assert_eq!(
+            r,
+            Zone {
+                min_id: 6,
+                max_id: 5
+            }
+        );
+    }
+
+    #[test]
+    fn splice_combines_stats_without_recounting() {
+        let a = Segment::new(
+            4,
+            vec![
+                (1, Wah::from_sorted_positions([0u64, 1], 4)),
+                (3, Wah::from_sorted_positions([2u64, 3], 4)),
+            ],
+        );
+        let b = Segment::new(
+            3,
+            vec![
+                (3, Wah::from_sorted_positions([0u64], 3)),
+                (8, Wah::from_sorted_positions([1u64, 2], 3)),
+            ],
+        );
+        let s = Segment::splice(&[&a, &b]);
+        s.check_invariants().unwrap();
+        assert_eq!(s.rows(), 7);
+        assert_eq!(s.present_ids(), &[1, 3, 8]);
+        assert_eq!(s.count_for(3), 3);
+        assert_eq!(
+            s.bitmap_for(3).unwrap().to_positions(),
+            vec![2, 3, 4],
+            "value 3 spans the splice boundary"
+        );
+        assert_eq!(s.bitmap_for(8).unwrap().to_positions(), vec![5, 6]);
+    }
+
+    #[test]
+    fn run_count_counts_value_runs() {
+        // Rows: 7 7 2 2 7 → runs [7, 2, 7] = 3.
+        let s = Segment::new(
+            5,
+            vec![
+                (7, Wah::from_sorted_positions([0u64, 1, 4], 5)),
+                (2, Wah::from_sorted_positions([2u64, 3], 5)),
+            ],
+        );
+        assert_eq!(s.run_count(), 3);
     }
 
     #[test]

@@ -3,23 +3,38 @@
 
 use crate::encoded::{EncodedColumn, Encoding};
 use crate::table::Table;
+use crate::value::Value;
 
 /// Per-column storage statistics (both encodings share the segment
-/// directory, so segment counts and per-segment sparsity are reported
-/// uniformly).
+/// directory, so segment counts, zones, and per-segment sparsity are
+/// reported uniformly).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ColumnStats {
     /// Rows in the column.
     pub rows: u64,
     /// The column's physical encoding.
     pub encoding: Encoding,
+    /// `true` when the encoding was pinned by an explicit recode.
+    pub encoding_pinned: bool,
     /// Distinct values (dictionary size).
     pub distinct: usize,
     /// Number of row-range segments.
     pub segments: usize,
+    /// Segments carrying a zone map (all of them since format v4; reported
+    /// so `stats` can show coverage explicitly).
+    pub zoned_segments: usize,
+    /// Column-wide value range from the zone maps (min, max), `None` when
+    /// empty.
+    pub value_range: Option<(Value, Value)>,
     /// Distinct values present in the densest segment (the per-segment
     /// sparsity win: ≤ `distinct`).
     pub max_segment_distinct: usize,
+    /// Total maximal constant-value runs (the chooser's key statistic).
+    pub runs: u64,
+    /// Mean run length (`rows / runs`; 0 when empty).
+    pub avg_run_len: f64,
+    /// What the adaptive chooser would pick for this column right now.
+    pub chooser_pick: Encoding,
     /// Compressed payload bytes — bitmap words or RLE runs, summed from
     /// segment stats.
     pub payload_bytes: usize,
@@ -36,12 +51,38 @@ impl ColumnStats {
     pub fn of(c: &EncodedColumn) -> ColumnStats {
         let payload_bytes = c.payload_bytes();
         let plain = (c.rows().div_ceil(8) as usize) * c.distinct_count();
+        let runs = c.run_count();
+        let zones = c.zones();
+        let value_range = if zones.is_empty() {
+            None
+        } else {
+            let ranks = c.dict().value_order().ranks();
+            let whole = zones
+                .iter()
+                .copied()
+                .reduce(|a, b| a.merge(b, ranks))
+                .expect("non-empty zones");
+            Some((
+                c.dict().value(whole.min_id).clone(),
+                c.dict().value(whole.max_id).clone(),
+            ))
+        };
         ColumnStats {
             rows: c.rows(),
             encoding: c.encoding(),
+            encoding_pinned: c.encoding_pinned(),
             distinct: c.distinct_count(),
             segments: c.segment_count(),
+            zoned_segments: zones.len(),
+            value_range,
             max_segment_distinct: c.max_segment_distinct(),
+            runs,
+            avg_run_len: if runs == 0 {
+                0.0
+            } else {
+                c.rows() as f64 / runs as f64
+            },
+            chooser_pick: c.choose_encoding(),
             payload_bytes,
             dict_bytes: c.dict().size_bytes(),
             plain_matrix_bytes: plain,
@@ -124,6 +165,25 @@ mod tests {
         let stats = TableStats::of(&t);
         assert_eq!(stats.rows, 0);
         assert_eq!(stats.columns[0].distinct, 0);
+    }
+
+    #[test]
+    fn stats_report_zones_runs_and_chooser_pick() {
+        let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..2_000).map(|i| vec![Value::int(i / 100)]).collect();
+        let t = Table::from_rows_with_segment_rows("t", schema, &rows, 500).unwrap();
+        let s = &TableStats::of(&t).columns[0];
+        assert_eq!(s.segments, 4);
+        assert_eq!(s.zoned_segments, 4, "every segment carries a zone");
+        assert_eq!(
+            s.value_range,
+            Some((Value::int(0), Value::int(19))),
+            "column range folds from per-segment zones"
+        );
+        assert_eq!(s.runs, 20, "clustered: one run per value");
+        assert!((s.avg_run_len - 100.0).abs() < 1e-9);
+        assert_eq!(s.chooser_pick, Encoding::Rle, "clustered column → RLE");
+        assert!(!s.encoding_pinned);
     }
 
     #[test]

@@ -137,6 +137,75 @@ impl Table {
         Table::new(&self.name, self.schema.clone(), columns)
     }
 
+    /// Like [`Table::recoded`], but *pins* every column's encoding so the
+    /// adaptive chooser leaves it alone — the explicit-`recode` CLI path.
+    pub fn recoded_pinned(&self, encoding: Encoding) -> Result<Table, StorageError> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut col = if c.encoding() == encoding {
+                    (**c).clone()
+                } else {
+                    c.recode(encoding)?
+                };
+                col.set_encoding_pinned(true);
+                Ok(Arc::new(col))
+            })
+            .collect::<Result<_, StorageError>>()?;
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Like [`Table::with_column_encoding`], but pins the named column's
+    /// encoding against the adaptive chooser.
+    pub fn with_column_encoding_pinned(
+        &self,
+        name: &str,
+        encoding: Encoding,
+    ) -> Result<Table, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        let mut columns = self.columns.clone();
+        let mut col = if columns[idx].encoding() == encoding {
+            (*columns[idx]).clone()
+        } else {
+            columns[idx].recode(encoding)?
+        };
+        col.set_encoding_pinned(true);
+        columns[idx] = Arc::new(col);
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Returns a copy with every unpinned column re-encoded to the adaptive
+    /// chooser's pick (columns already in the chosen encoding, and pinned
+    /// ones, are shared by reference).
+    pub fn auto_encoded(&self) -> Result<Table, StorageError> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                Ok(
+                    if c.encoding_pinned() || c.choose_encoding() == c.encoding() {
+                        Arc::clone(c)
+                    } else {
+                        Arc::new(c.auto_recoded()?)
+                    },
+                )
+            })
+            .collect::<Result<_, StorageError>>()?;
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Clears the named column's encoding pin and re-encodes it to the
+    /// chooser's pick — the `recode <table> <col> auto` CLI path.
+    pub fn auto_encode_column(&self, name: &str) -> Result<Table, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        let mut columns = self.columns.clone();
+        let mut col = (*columns[idx]).clone();
+        col.set_encoding_pinned(false);
+        columns[idx] = Arc::new(col.auto_recoded()?);
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -222,7 +291,10 @@ impl Table {
     /// Rewrites the table clustered (stably sorted) by the named columns, in
     /// value order. Clustering turns each value's bitmap into a single fill
     /// run, which is where WAH — and the RLE encoding for sorted columns —
-    /// compress best.
+    /// compress best. After the rewrite every unpinned column is re-encoded
+    /// to the adaptive chooser's pick (clustering is exactly what makes RLE
+    /// win, so sort columns typically flip to RLE automatically; pin an
+    /// encoding with an explicit recode to opt out).
     pub fn cluster_by(&self, names: &[&str]) -> Result<Table, StorageError> {
         // Rank every sort column's dictionary by value, then sort row
         // indices by the rank tuple (stable).
@@ -249,7 +321,7 @@ impl Table {
             .iter()
             .map(|c| Arc::new(c.gather(&perm)))
             .collect();
-        Table::new(&self.name, self.schema.clone(), columns)
+        Table::new(&self.name, self.schema.clone(), columns)?.auto_encoded()
     }
 
     /// Checks that the declared key is actually unique.
@@ -481,6 +553,60 @@ mod tests {
                 assert!(w[0][2] < w[1][2], "not stable");
             }
         }
+    }
+
+    #[test]
+    fn cluster_by_auto_encodes_unpinned_columns() {
+        let schema = Schema::build(&[("k", ValueType::Int), ("u", ValueType::Int)], &[]).unwrap();
+        // k clusters perfectly (long runs); u stays scattered.
+        let rows: Vec<Vec<Value>> = (0..4_000)
+            .map(|i| {
+                vec![
+                    Value::int(i % 8),
+                    Value::int((i * 2_654_435_761u64 as i64) % 1_000),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows_with_segment_rows("t", schema, &rows, 512).unwrap();
+        let c = t.cluster_by(&["k"]).unwrap();
+        c.check_invariants().unwrap();
+        assert_eq!(
+            c.column_by_name("k").unwrap().encoding(),
+            Encoding::Rle,
+            "chooser flips the sort column to RLE after clustering"
+        );
+        assert_eq!(
+            c.column_by_name("u").unwrap().encoding(),
+            Encoding::Bitmap,
+            "scattered column stays bitmap"
+        );
+        assert_eq!(c.tuple_multiset(), t.tuple_multiset());
+
+        // A pinned column opts out of the chooser.
+        let pinned = t
+            .with_column_encoding_pinned("k", Encoding::Bitmap)
+            .unwrap();
+        let cp = pinned.cluster_by(&["k"]).unwrap();
+        assert_eq!(cp.column_by_name("k").unwrap().encoding(), Encoding::Bitmap);
+        assert!(cp.column_by_name("k").unwrap().encoding_pinned());
+        // ...until re-set to auto.
+        let auto = cp.auto_encode_column("k").unwrap();
+        assert_eq!(auto.column_by_name("k").unwrap().encoding(), Encoding::Rle);
+        assert!(!auto.column_by_name("k").unwrap().encoding_pinned());
+    }
+
+    #[test]
+    fn recoded_pinned_pins_all_columns() {
+        let r = figure1_r();
+        let p = r.recoded_pinned(Encoding::Rle).unwrap();
+        assert!(p
+            .columns()
+            .iter()
+            .all(|c| c.encoding() == Encoding::Rle && c.encoding_pinned()));
+        assert_eq!(p.to_rows(), r.to_rows());
+        let back = p.auto_encoded().unwrap();
+        // Pinned columns are untouched by the table-level chooser pass.
+        assert!(back.shares_column_with(&p, "employee"));
     }
 
     #[test]

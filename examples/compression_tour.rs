@@ -34,7 +34,22 @@ fn main() {
     }
 
     // 2. Cluster by the key column: every value's bitmap becomes one run.
-    let clustered = table.cluster_by(&["entity"]).unwrap();
+    //    cluster_by auto-encodes through the adaptive chooser (the sorted
+    //    entity column flips to RLE by itself); force bitmap back here so
+    //    the WAH-vs-WAH shrinkage is visible, then show the RLE step
+    //    explicitly below.
+    let auto = table.cluster_by(&["entity"]).unwrap();
+    println!(
+        "\nafter cluster_by, the chooser picked: {}",
+        auto.schema()
+            .columns()
+            .iter()
+            .zip(auto.columns())
+            .map(|(d, c)| format!("{}={}", d.name, c.encoding()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let clustered = auto.recoded(cods_storage::Encoding::Bitmap).unwrap();
     let cstats = TableStats::of(&clustered);
     println!("\nclustered by entity:");
     for (def, c) in clustered.schema().columns().iter().zip(&cstats.columns) {

@@ -96,6 +96,49 @@ fn rle_encoded_catalog_round_trips_through_disk() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Zone maps and encoding pins survive a catalog round trip (the v4 format)
+/// and keep driving pruned scans after reload.
+#[test]
+fn zones_and_pins_survive_catalog_round_trip() {
+    use cods_query::Predicate;
+    use cods_storage::Encoding;
+    let dir = std::env::temp_dir().join("cods_it_persist_zones");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("zones.catalog");
+
+    let cods = Cods::new();
+    let base = cods_workload::generate_table("R", &GenConfig::sweep_point(3_000, 100));
+    let clustered = base
+        .cluster_by(&["entity"])
+        .unwrap()
+        .with_column_encoding_pinned("attr", Encoding::Bitmap)
+        .unwrap();
+    let zones_before: Vec<Vec<cods_storage::Zone>> = clustered
+        .columns()
+        .iter()
+        .map(|c| c.zones().to_vec())
+        .collect();
+    cods.catalog().create(clustered).unwrap();
+    save_catalog(cods.catalog(), &path).unwrap();
+
+    let loaded = read_catalog(&path).unwrap();
+    let r = loaded.get("R").unwrap();
+    r.check_invariants().unwrap();
+    for (col, before) in r.columns().iter().zip(&zones_before) {
+        assert_eq!(col.zones(), before.as_slice(), "zones round-trip exactly");
+    }
+    assert!(r.column_by_name("attr").unwrap().encoding_pinned());
+    assert!(!r.column_by_name("entity").unwrap().encoding_pinned());
+
+    // Pruned and exhaustive scans agree on the reloaded table.
+    let pred = Predicate::ge("entity", 20i64).and(Predicate::lt("entity", 25i64));
+    assert_eq!(
+        cods_query::bitmap_scan::predicate_mask(&r, &pred).unwrap(),
+        cods_query::bitmap_scan::predicate_mask_unpruned(&r, &pred).unwrap()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn csv_load_then_evolve() {
     use cods_storage::{load_str, LoadOptions, Schema, ValueType};
