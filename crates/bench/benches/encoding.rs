@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cods_storage::RleColumn;
+use cods_storage::Encoding;
 use cods_workload::GenConfig;
 
 const ROWS: u64 = 50_000;
@@ -36,16 +36,15 @@ fn bench_encoding(c: &mut Criterion) {
     group.bench_function("filter_clustered_wah", |b| {
         b.iter(|| black_box(col_c.filter_positions(&positions)));
     });
-    let col_c_bitmap = col_c.as_bitmap().expect("generated tables are bitmap");
-    let rle = RleColumn::from_column(col_c_bitmap);
+    let rle = col_c.recode(Encoding::Rle).unwrap();
     group.bench_function("filter_clustered_rle", |b| {
         b.iter(|| black_box(rle.filter_positions(&positions)));
     });
     group.bench_function("rle_from_bitmap_column", |b| {
-        b.iter(|| black_box(RleColumn::from_column(col_c_bitmap)));
+        b.iter(|| black_box(col_c.recode(Encoding::Rle).unwrap()));
     });
     group.bench_function("rle_to_bitmap_column", |b| {
-        b.iter(|| black_box(rle.to_column().unwrap()));
+        b.iter(|| black_box(rle.recode(Encoding::Bitmap).unwrap()));
     });
     group.finish();
 }

@@ -1,0 +1,178 @@
+//! Heterogeneous per-segment encodings: a 1 Mi-row column whose first half
+//! is clustered (long runs) and whose second half is uniform-random (runs ≈
+//! rows) — real columns are rarely homogeneous, and this is the shape where
+//! a whole-column encoding pick must lose on one half whichever way it
+//! goes.
+//!
+//! Three layouts of the same data are compared:
+//!
+//! * **mixed** — `auto_encoded()` lets the per-segment chooser decide: the
+//!   clustered half's segments flip to RLE, the uniform half's stay bitmap.
+//! * **bitmap** — forced-uniform bitmap (pinned).
+//! * **rle** — forced-uniform RLE (pinned).
+//!
+//! Before timing, every (layout × predicate) pair is cross-checked for
+//! byte-identical masks — per-segment encoding choice must never change a
+//! scan result. Then the bench reports encoded payload bytes per layout and
+//! times a sweep of clustered-range scans (the predicates land in the
+//! clustered half's value range; both halves share one value domain, so
+//! the uniform half cannot be zone-pruned and each layout's encoding must
+//! carry it). The mixed directory is expected to beat forced-bitmap on
+//! size (the clustered half as runs is tiny) and forced-RLE on
+//! clustered-range scan time (the uniform half as runs must be walked run
+//! by run on every scan, where the bitmap form merges just the satisfying
+//! values' positions) — the acceptance shape of the unified-directory
+//! refactor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use cods_query::bitmap_scan::{predicate_mask, predicate_mask_unpruned};
+use cods_query::Predicate;
+use cods_storage::{Encoding, Schema, Table, Value, ValueType};
+
+const ROWS: u64 = 1 << 20; // 1,048,576
+/// Distinct values (both halves draw from the same domain, so zone maps
+/// cannot prune the uniform half on a clustered-range scan — each layout's
+/// own per-segment encoding has to carry it).
+const CLUSTERED_DISTINCT: u64 = 1 << 15;
+/// Width of each range predicate in value space.
+const RANGE: i64 = (CLUSTERED_DISTINCT / 256) as i64;
+/// Range scans per timed sweep.
+const SCANS: usize = 16;
+
+fn median_of(mut f: impl FnMut() -> Duration, runs: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..runs).map(|_| f()).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Half-clustered, half-uniform over one value domain: rows 0..N/2 hold
+/// sorted long runs, rows N/2..N hold hash-scattered values of the same
+/// range. Every range predicate therefore selects rows in both halves.
+fn half_and_half() -> Table {
+    let schema = Schema::build(&[("k", ValueType::Int)], &[]).unwrap();
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            let v = if i < ROWS / 2 {
+                (i * CLUSTERED_DISTINCT / (ROWS / 2)) as i64
+            } else {
+                (i.wrapping_mul(2_654_435_761) % CLUSTERED_DISTINCT) as i64
+            };
+            vec![Value::int(v)]
+        })
+        .collect();
+    Table::from_rows("H", schema, &rows).unwrap()
+}
+
+/// Range predicates inside the clustered half's value range.
+fn clustered_range_preds() -> Vec<Predicate> {
+    (0..SCANS)
+        .map(|i| {
+            let lo = (i as i64 * 97 * RANGE) % (CLUSTERED_DISTINCT as i64 - RANGE);
+            Predicate::ge("k", lo).and(Predicate::lt("k", lo + RANGE))
+        })
+        .collect()
+}
+
+fn sweep(t: &Table, preds: &[Predicate]) -> Duration {
+    let start = Instant::now();
+    for p in preds {
+        black_box(predicate_mask(t, p).unwrap());
+    }
+    start.elapsed()
+}
+
+fn payload_bytes(t: &Table) -> usize {
+    t.columns().iter().map(|c| c.payload_bytes()).sum()
+}
+
+fn bench_mixed_encoding(c: &mut Criterion) {
+    let base = half_and_half();
+    let mixed = base.auto_encoded().unwrap();
+    let bitmap = base.recoded_pinned(Encoding::Bitmap).unwrap();
+    let rle = base.recoded_pinned(Encoding::Rle).unwrap();
+
+    // The chooser must produce a *genuinely* mixed directory here.
+    let col = mixed.column(0);
+    let (bitmap_segs, rle_segs) = col.encoding_counts();
+    assert!(
+        bitmap_segs > 0 && rle_segs > 0,
+        "expected a mixed directory, got {bitmap_segs}\u{d7}bitmap/{rle_segs}\u{d7}rle"
+    );
+
+    let preds = clustered_range_preds();
+    let setups = [("mixed", &mixed), ("bitmap", &bitmap), ("rle", &rle)];
+
+    // Byte-identical masks across all three layouts (and the unpruned
+    // oracle) before any timing.
+    for p in &preds {
+        let oracle = predicate_mask_unpruned(&bitmap, p).unwrap();
+        assert!(oracle.count_ones() > 0, "degenerate predicate {p:?}");
+        for (label, t) in &setups {
+            assert_eq!(
+                predicate_mask(t, p).unwrap(),
+                oracle,
+                "{label}: mask diverges for {p:?}"
+            );
+        }
+    }
+    eprintln!(
+        "verify: masks byte-identical across mixed/bitmap/rle on {} predicates",
+        preds.len()
+    );
+    eprintln!(
+        "mixed directory: {bitmap_segs}\u{d7}bitmap / {rle_segs}\u{d7}rle over {} segments",
+        col.segment_count()
+    );
+
+    eprintln!(
+        "\n== mixed_encoding ({ROWS} rows, half clustered/half uniform, {SCANS} clustered-range scans of width {RANGE}) =="
+    );
+    let mut sizes = [0usize; 3];
+    let mut times = [Duration::ZERO; 3];
+    for (i, (label, t)) in setups.iter().enumerate() {
+        sizes[i] = payload_bytes(t);
+        times[i] = median_of(|| sweep(t, &preds), 5);
+        eprintln!(
+            "{label:<8} payload {:>12} bytes   clustered-range sweep {:>12?}",
+            sizes[i], times[i]
+        );
+    }
+    let (mixed_bytes, bitmap_bytes, rle_bytes) = (sizes[0], sizes[1], sizes[2]);
+    let (mixed_time, bitmap_time, rle_time) = (times[0], times[1], times[2]);
+    eprintln!(
+        "mixed vs bitmap: {:.2}x smaller, {:.2}x faster",
+        bitmap_bytes as f64 / mixed_bytes as f64,
+        bitmap_time.as_secs_f64() / mixed_time.as_secs_f64()
+    );
+    eprintln!(
+        "mixed vs rle:    {:.2}x smaller, {:.2}x faster",
+        rle_bytes as f64 / mixed_bytes as f64,
+        rle_time.as_secs_f64() / mixed_time.as_secs_f64()
+    );
+    // The acceptance shape: the mixed directory beats at least one
+    // forced-uniform layout on size and the other on scan time.
+    assert!(
+        (mixed_bytes < rle_bytes && mixed_time < bitmap_time)
+            || (mixed_bytes < bitmap_bytes && mixed_time < rle_time),
+        "mixed directory dominates neither forced-uniform layout: \
+         bytes (m {mixed_bytes}, b {bitmap_bytes}, r {rle_bytes}), \
+         times (m {mixed_time:?}, b {bitmap_time:?}, r {rle_time:?})"
+    );
+
+    let mut group = c.benchmark_group("mixed_encoding");
+    group.sample_size(5);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for (label, t) in &setups {
+        group.bench_function(format!("{label}/clustered_range_sweep"), |b| {
+            b.iter(|| black_box(sweep(t, &preds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_encoding);
+criterion_main!(benches);

@@ -335,7 +335,6 @@ fn ablations(args: &Args) {
 
     // (4) clustering + encoding: unclustered WAH vs. clustered WAH vs. RLE.
     {
-        use cods_storage::RleColumn;
         // Pin bitmap so the timed cluster_by is the pure sort+gather —
         // the adaptive chooser skips pinned columns, keeping this
         // figure's WAH-vs-WAH comparison and its sort-cost number free of
@@ -351,7 +350,7 @@ fn ablations(args: &Args) {
         let cluster_time = t0.elapsed();
         let col_u = unclustered.column_by_name("entity").unwrap();
         let col_c = clustered.column_by_name("entity").unwrap();
-        let rle = RleColumn::from_column(col_c.as_bitmap().expect("generated tables are bitmap"));
+        let rle = col_c.recode(cods_storage::Encoding::Rle).unwrap();
         println!(
             "\n  clustering (rows = {rows_n}, sort cost {}):",
             fmt_dur(cluster_time)
@@ -366,8 +365,8 @@ fn ablations(args: &Args) {
         );
         println!(
             "  entity column, clustered RLE:   {:>10} bytes ({} runs)",
-            rle.seq_bytes(),
-            rle.num_runs()
+            rle.payload_bytes(),
+            rle.run_count()
         );
     }
 

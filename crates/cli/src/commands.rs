@@ -22,11 +22,13 @@ commands:
   demo                                             load the paper's Figure 1 table R
   tables                                           list tables
   display <table> [limit]                          show rows
-  stats <table>                                    storage statistics (encoding, segments, zones,
-                                                   run/distinct ratios, chooser pick)
-  recode <table> <col|*> <rle|bitmap|auto>         re-encode a column (or all) in place;
-                                                   rle/bitmap pins the encoding, auto hands it
-                                                   back to the stats-driven chooser
+  stats <table>                                    storage statistics (per-segment encoding
+                                                   histogram, zones, run/distinct ratios,
+                                                   per-segment chooser picks)
+  recode <table> <col|*> <rle|bitmap|auto> [a..b]  re-encode a column (or all) in place;
+                                                   rle/bitmap pins, auto hands back to the
+                                                   stats-driven per-segment chooser; a..b
+                                                   restricts to a segment-index range
   decompose <in> <out1> <cols> <out2> <cols>       DECOMPOSE TABLE (cols: a,b,c)
   merge <left> <right> <out>                       MERGE TABLES (auto strategy)
   partition <in> <col><op><lit> <out1> <out2>      PARTITION TABLE (op: = != < <= > >=)
@@ -101,9 +103,11 @@ fn cols_of(spec: &str) -> Vec<String> {
     spec.split(',').map(|s| s.trim().to_string()).collect()
 }
 
-/// Renders the `stats` output: per-column encoding (with its pin state and
-/// what the adaptive chooser would pick), segment directory shape, zone-map
-/// coverage and value range, run/distinct ratios, and compression numbers.
+/// Renders the `stats` output: per-column segment-encoding histogram (a
+/// mixed directory shows e.g. `4×bitmap/12×rle`), pin state, segment
+/// directory shape, zone-map coverage and value range, run/distinct
+/// ratios, the per-segment chooser's would-be picks, and compression
+/// numbers.
 pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
     use std::fmt::Write as _;
     let stats = cods_storage::TableStats::of(t);
@@ -114,12 +118,23 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
         stats.rows, stats.arity, stats.total_bytes
     );
     for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
+        let enc = match c.encoding {
+            Some(e) => e.to_string(),
+            None => format!("{}×bitmap/{}×rle", c.bitmap_segments, c.rle_segments),
+        };
+        let pin = if c.encoding_pinned {
+            " (pinned)".to_string()
+        } else if c.pinned_segments > 0 {
+            format!(" ({}×pinned)", c.pinned_segments)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
             "  {:<12} enc={:<7}{} distinct={:<8} segments={:<5} max-seg-distinct={:<8} payload={}B ratio={:.1}x",
             def.name,
-            c.encoding.to_string(),
-            if c.encoding_pinned { " (pinned)" } else { "" },
+            enc,
+            pin,
             c.distinct,
             c.segments,
             c.max_segment_distinct,
@@ -132,7 +147,7 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
         };
         let _ = writeln!(
             out,
-            "  {:<12} zones={}/{} range={} runs={} avg-run={:.1} run/distinct={:.1} chooser={}{}",
+            "  {:<12} zones={}/{} range={} runs={} avg-run={:.1} run/distinct={:.1} chooser={}×bitmap/{}×rle{}",
             "",
             c.zoned_segments,
             c.segments,
@@ -144,15 +159,33 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
             } else {
                 c.runs as f64 / c.distinct as f64
             },
-            c.chooser_pick,
-            if c.chooser_pick != c.encoding {
-                " (would re-encode)"
+            c.chooser_bitmap_segments,
+            c.chooser_rle_segments,
+            if c.chooser_disagreements > 0 {
+                format!(" ({} would re-encode)", c.chooser_disagreements)
             } else {
-                ""
+                String::new()
             }
         );
     }
     out
+}
+
+/// Parses the `recode` command's optional segment-range argument
+/// (`from..to`, segment indices, end exclusive).
+fn parse_segment_range(spec: &str) -> Result<std::ops::Range<usize>, String> {
+    let (from, to) = spec
+        .split_once("..")
+        .ok_or_else(|| format!("segment range {spec:?} must be from..to"))?;
+    let from: usize = from
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range start {from:?}"))?;
+    let to: usize = to
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range end {to:?}"))?;
+    Ok(from..to)
 }
 
 /// Executes one command line against the platform.
@@ -228,10 +261,50 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             print!("{}", render_stats(name, &t));
         }
         "recode" => {
-            let [name, col, enc] = args.as_slice() else {
-                return Err("usage: recode <table> <col|*> <rle|bitmap|auto>".into());
+            let (name, col, enc, range) = match args.as_slice() {
+                [name, col, enc] => (name, col, enc, None),
+                [name, col, enc, range] => (name, col, enc, Some(parse_segment_range(range)?)),
+                _ => {
+                    return Err("usage: recode <table> <col|*> <rle|bitmap|auto> [from..to]".into())
+                }
             };
             let t = cods.table(name).map_err(|e| e.to_string())?;
+            if let Some(range) = range {
+                // Segment-range form: touch only the named column's
+                // segments with indices in [from, to).
+                if *col == "*" {
+                    return Err("segment ranges need a named column, not *".into());
+                }
+                if *enc == "auto" {
+                    let out = t
+                        .auto_encode_column_range(col, range.clone())
+                        .map_err(|e| e.to_string())?;
+                    let c = out.column_by_name(col).map_err(|e| e.to_string())?;
+                    let (b, r) = c.encoding_counts();
+                    cods.catalog().put(out);
+                    println!(
+                        "recoded {name}.{col} segments {}..{} by chooser: now {b}\u{d7}bitmap/{r}\u{d7}rle",
+                        range.start, range.end
+                    );
+                    return Ok(Outcome::Continue);
+                }
+                let encoding = match *enc {
+                    "rle" => cods_storage::Encoding::Rle,
+                    "bitmap" => cods_storage::Encoding::Bitmap,
+                    other => {
+                        return Err(format!("unknown encoding {other:?} (use rle/bitmap/auto)"))
+                    }
+                };
+                let out = t
+                    .with_column_segment_range_encoding(col, encoding, range.clone())
+                    .map_err(|e| e.to_string())?;
+                cods.catalog().put(out);
+                println!(
+                    "recoded {name}.{col} segments {}..{} to {encoding} (pinned)",
+                    range.start, range.end
+                );
+                return Ok(Outcome::Continue);
+            }
             if *enc == "auto" {
                 // Hand the column(s) back to the stats-driven chooser:
                 // clear any pin and apply its pick.
@@ -251,7 +324,13 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
                     .iter()
                     .zip(out.columns())
                     .filter(|(n, _)| *col == "*" || *n == col)
-                    .map(|(n, c)| format!("{n}={}", c.encoding()))
+                    .map(|(n, c)| match c.uniform_encoding() {
+                        Some(e) => format!("{n}={e}"),
+                        None => {
+                            let (b, r) = c.encoding_counts();
+                            format!("{n}={b}\u{d7}bitmap/{r}\u{d7}rle")
+                        }
+                    })
                     .collect();
                 cods.catalog().put(out);
                 println!("recoded {name}.{col} by chooser: {}", picks.join(", "));
@@ -557,10 +636,10 @@ mod tests {
             3,
             "RLE column must report its segment count: {after}"
         );
-        assert_eq!(
-            t.column_by_name("skill").unwrap().encoding(),
-            cods_storage::Encoding::Rle
-        );
+        assert!(t
+            .column_by_name("skill")
+            .unwrap()
+            .is_uniform(cods_storage::Encoding::Rle));
         // Whole-table recode and round trip back.
         run(&mut cods, "recode R * rle");
         assert!(cods
@@ -568,14 +647,14 @@ mod tests {
             .unwrap()
             .columns()
             .iter()
-            .all(|c| c.encoding() == cods_storage::Encoding::Rle));
+            .all(|c| c.is_uniform(cods_storage::Encoding::Rle)));
         run(&mut cods, "recode R * bitmap");
         assert!(cods
             .table("R")
             .unwrap()
             .columns()
             .iter()
-            .all(|c| c.encoding() == cods_storage::Encoding::Bitmap));
+            .all(|c| c.is_uniform(cods_storage::Encoding::Bitmap)));
         assert_eq!(cods.table("R").unwrap().rows(), 7);
         // Bad arguments are rejected.
         assert!(run_command(&mut cods, "recode R skill zigzag").is_err());
@@ -605,25 +684,77 @@ mod tests {
         let out = render_stats("R", &cods.table("R").unwrap());
         assert!(out.contains("enc=rle     (pinned)"), "stats: {out}");
 
-        // `recode ... auto` hands the column back to the chooser (the tiny
-        // demo table's skill column has 7 rows, 6 distinct → near-sorted
-        // heuristic clause applies; what matters here: pin cleared and the
-        // encoding matches the chooser's own pick).
+        // `recode ... auto` hands the column back to the per-segment
+        // chooser: pin cleared and every segment matches the chooser's own
+        // pick for it.
         run(&mut cods, "recode R skill auto");
         let t = cods.table("R").unwrap();
         let col = t.column_by_name("skill").unwrap();
         assert!(!col.encoding_pinned());
-        assert_eq!(col.encoding(), col.choose_encoding());
-        // Whole-table auto brings every column to the chooser's pick, so
+        assert!((0..col.segment_count())
+            .all(|i| col.segment_encoding(i) == col.choose_segment_encoding(i)));
+        // Whole-table auto brings every segment to the chooser's pick, so
         // no stats line flags a pending re-encode any more.
         run(&mut cods, "recode R * auto");
         let t = cods.table("R").unwrap();
         assert!(t
             .columns()
             .iter()
-            .all(|c| !c.encoding_pinned() && c.encoding() == c.choose_encoding()));
+            .all(|c| !c.encoding_pinned() && !c.needs_auto_recode()));
         let out = render_stats("R", &t);
-        assert!(!out.contains("(would re-encode)"), "stats: {out}");
+        assert!(!out.contains("would re-encode"), "stats: {out}");
+    }
+
+    #[test]
+    fn recode_segment_range_form_mixes_and_pins() {
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        // The demo table has one segment per column: range 0..1 recodes and
+        // pins that single segment without touching the column-level pin.
+        run(&mut cods, "recode R skill rle 0..1");
+        let t = cods.table("R").unwrap();
+        let col = t.column_by_name("skill").unwrap();
+        assert!(col.is_uniform(cods_storage::Encoding::Rle));
+        assert!(!col.encoding_pinned(), "range recode is not a column pin");
+        assert!(col.segment_pinned(0), "range recode pins its segments");
+        let out = render_stats("R", &t);
+        assert!(out.contains("(1\u{d7}pinned)"), "stats: {out}");
+        // `auto` over the range clears the pin and re-applies the chooser.
+        run(&mut cods, "recode R skill auto 0..1");
+        let t = cods.table("R").unwrap();
+        let col = t.column_by_name("skill").unwrap();
+        assert!(!col.segment_pinned(0));
+        assert_eq!(col.segment_encoding(0), col.choose_segment_encoding(0));
+        // Bad ranges and `*` with a range are rejected.
+        assert!(run_command(&mut cods, "recode R skill rle 5..9").is_err());
+        assert!(run_command(&mut cods, "recode R skill rle 1").is_err());
+        assert!(run_command(&mut cods, "recode R * rle 0..1").is_err());
+    }
+
+    #[test]
+    fn stats_report_mixed_directory_histogram() {
+        // A multi-segment table loaded through the CLI, with half of one
+        // column's segments recoded RLE: stats must show the histogram.
+        let dir = std::env::temp_dir().join("cods_cli_mixed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("mixed.csv");
+        let csv: String = (0..400).map(|i| format!("{}\n", i / 50)).collect();
+        std::fs::write(&file, csv).unwrap();
+        let mut cods = shell();
+        run(&mut cods, &format!("load t {} k:int", file.display()));
+        // Re-segment small enough to get several segments.
+        let small = cods.table("t").unwrap().to_rows();
+        let schema = cods.table("t").unwrap().schema().clone();
+        let resegmented =
+            cods_storage::Table::from_rows_with_segment_rows("t", schema, &small, 100).unwrap();
+        cods.catalog().put(resegmented);
+        run(&mut cods, "recode t k rle 0..2");
+        let t = cods.table("t").unwrap();
+        assert_eq!(t.column(0).encoding_counts(), (2, 2));
+        let out = render_stats("t", &t);
+        assert!(out.contains("enc=2\u{d7}bitmap/2\u{d7}rle"), "stats: {out}");
+        assert!(out.contains("(2\u{d7}pinned)"), "stats: {out}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

@@ -20,10 +20,8 @@
 
 use crate::error::{EvolutionError, Result};
 use crate::status::{EvolutionStatus, StatusTracker};
-use cods_bitmap::{OneStreamBuilder, RleSeq};
-use cods_storage::{
-    ColumnDef, EncodedAssembler, EncodedChunk, EncodedColumn, Schema, SegmentChunk, Table,
-};
+use cods_bitmap::RleSeq;
+use cods_storage::{ColumnDef, EncodedAssembler, EncodedChunk, EncodedColumn, Schema, Table};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -74,91 +72,31 @@ fn id_mapping(from: &EncodedColumn, to: &EncodedColumn) -> Vec<Option<u32>> {
         .collect()
 }
 
-/// An output-chunk emitter that writes value-id runs in either encoding —
-/// the seam letting general mergence produce each (column × output segment)
-/// task's rows in the input column's encoding while emitting compressed
-/// runs directly. The finished chunks are spliced back into segment
-/// directories through the column's [`EncodedAssembler`].
-///
-/// For bitmap columns the builder store is adaptive, like
-/// `SegmentChunk::from_ids`: a dense array when the dictionary is small
-/// relative to the chunk, a hash map otherwise — so a high-cardinality
-/// column does not pay O(distinct) allocation per (column × segment) task.
-enum RunSink {
-    BitmapDense {
-        /// One lazily-started builder per dictionary id; only ids actually
-        /// pushed end up in the chunk.
-        builders: Vec<OneStreamBuilder>,
-        /// Ids pushed so far, in first-push order.
-        active: Vec<u32>,
-        /// Rows emitted so far.
-        rows: u64,
-    },
-    BitmapSparse {
-        builders: HashMap<u32, OneStreamBuilder>,
-        rows: u64,
-    },
-    Rle(RleSeq),
+/// An output-chunk emitter that accumulates value-id **runs** — run
+/// detection is O(1) per pushed row or run — and decides the chunk's
+/// encoding only when the task finishes, through the per-segment chooser
+/// on the chunk's own run/row/distinct statistics
+/// ([`EncodedChunk::from_seq_for`]): run-level output (a clustered join's
+/// fill runs) lands as an RLE chunk, dense rewrites convert to a bitmap
+/// chunk in O(runs), and a pinned uniform source column forces its
+/// encoding. This is how the mergence operators emit mixed directories for
+/// free — each (column × output segment) task picks independently.
+struct RunSink {
+    seq: RleSeq,
 }
 
 impl RunSink {
-    /// `chunk_len` is the number of rows the task will emit; it sizes the
-    /// dense-vs-sparse decision.
-    fn for_column(col: &EncodedColumn, chunk_len: u64) -> RunSink {
-        match col {
-            EncodedColumn::Bitmap(_) => {
-                let distinct = col.distinct_count();
-                if distinct as u64 <= chunk_len.max(4096) {
-                    let mut builders = Vec::new();
-                    builders.resize_with(distinct, OneStreamBuilder::new);
-                    RunSink::BitmapDense {
-                        builders,
-                        active: Vec::new(),
-                        rows: 0,
-                    }
-                } else {
-                    RunSink::BitmapSparse {
-                        builders: HashMap::new(),
-                        rows: 0,
-                    }
-                }
-            }
-            EncodedColumn::Rle(_) => RunSink::Rle(RleSeq::new()),
-        }
+    fn new() -> RunSink {
+        RunSink { seq: RleSeq::new() }
     }
 
     fn rows(&self) -> u64 {
-        match self {
-            RunSink::BitmapDense { rows, .. } | RunSink::BitmapSparse { rows, .. } => *rows,
-            RunSink::Rle(s) => s.len(),
-        }
+        self.seq.len()
     }
 
     fn push_rows(&mut self, id: usize, count: u64) {
-        if count == 0 {
-            return;
-        }
-        match self {
-            RunSink::BitmapDense {
-                builders,
-                active,
-                rows,
-            } => {
-                let b = &mut builders[id];
-                if b.ones() == 0 {
-                    active.push(id as u32);
-                }
-                b.push_run(*rows, count);
-                *rows += count;
-            }
-            RunSink::BitmapSparse { builders, rows } => {
-                builders
-                    .entry(id as u32)
-                    .or_default()
-                    .push_run(*rows, count);
-                *rows += count;
-            }
-            RunSink::Rle(s) => s.append_run(id as u32, count),
+        if count > 0 {
+            self.seq.append_run(id as u32, count);
         }
     }
 
@@ -166,52 +104,11 @@ impl RunSink {
         self.push_rows(id, 1);
     }
 
-    /// Finishes the chunk at exactly `len` rows (everything pushed so
-    /// far). Ids come out sorted either way, so the chunk layout is
-    /// deterministic regardless of the builder store.
-    fn finish_chunk(self, len: u64) -> EncodedChunk {
-        match self {
-            RunSink::BitmapDense {
-                mut builders,
-                mut active,
-                rows,
-            } => {
-                debug_assert_eq!(rows, len);
-                active.sort_unstable();
-                let mut ids = Vec::with_capacity(active.len());
-                let mut bitmaps = Vec::with_capacity(active.len());
-                for id in active {
-                    let b = std::mem::replace(&mut builders[id as usize], OneStreamBuilder::new());
-                    ids.push(id);
-                    bitmaps.push(b.finish(len));
-                }
-                EncodedChunk::Bitmap(SegmentChunk {
-                    ids,
-                    bitmaps,
-                    rows: len,
-                })
-            }
-            RunSink::BitmapSparse { builders, rows } => {
-                debug_assert_eq!(rows, len);
-                let mut pairs: Vec<(u32, OneStreamBuilder)> = builders.into_iter().collect();
-                pairs.sort_unstable_by_key(|(id, _)| *id);
-                let mut ids = Vec::with_capacity(pairs.len());
-                let mut bitmaps = Vec::with_capacity(pairs.len());
-                for (id, b) in pairs {
-                    ids.push(id);
-                    bitmaps.push(b.finish(len));
-                }
-                EncodedChunk::Bitmap(SegmentChunk {
-                    ids,
-                    bitmaps,
-                    rows: len,
-                })
-            }
-            RunSink::Rle(s) => {
-                debug_assert_eq!(s.len(), len);
-                EncodedChunk::Rle(s)
-            }
-        }
+    /// Finishes the chunk at exactly `len` rows (everything pushed so far)
+    /// in the encoding the chooser picks for it against `col`.
+    fn finish_chunk(self, col: &EncodedColumn, len: u64) -> EncodedChunk {
+        debug_assert_eq!(self.seq.len(), len);
+        EncodedChunk::from_seq_for(col, self.seq)
     }
 }
 
@@ -327,36 +224,58 @@ pub fn merge_key_fk(
     }
     tracker.step_items("index key rows", keyed_rows as u64);
 
-    // Sequential scan of the reusable side: every row is mapped to the keyed
-    // row providing its payload values.
+    // Sequential scan of the reusable side: every row is mapped to the
+    // keyed row providing its payload values. Parallelized per row chunk
+    // (the key column's nominal segment size): each pool task scans its
+    // range serially against the shared id maps and key index, and the
+    // per-chunk results are spliced back in row order — bit-identical to
+    // the serial scan, including which row reports a violation first
+    // (chunks are joined in order, and each chunk scans its rows in
+    // order).
     let r_ids: Vec<Vec<u32>> = r_join
         .iter()
         .map(|&c| reusable.column(c).value_ids())
         .collect();
     let n = reusable.rows() as usize;
-    let mut target_row: Vec<u64> = Vec::with_capacity(n);
-    let mut key_buf: Vec<u32> = vec![0; r_join.len()];
-    for row in 0..n {
-        for (slot, (ids, map)) in key_buf.iter_mut().zip(r_ids.iter().zip(&maps)) {
-            let rid = ids[row];
-            *slot = map[rid as usize].ok_or_else(|| {
-                EvolutionError::ForeignKeyViolation(format!(
-                    "row {row} of {:?} has a join value missing from {:?}",
-                    reusable.name(),
-                    keyed.name()
-                ))
-            })?;
+    let chunk_rows =
+        (reusable.column(r_join[0]).nominal_segment_rows().max(1) as usize).min(n.max(1));
+    let starts: Vec<usize> = (0..n).step_by(chunk_rows).collect();
+    let chunks: Vec<Result<Vec<u64>>> = crate::par::map_parallel(starts, |start| {
+        let end = (start + chunk_rows).min(n);
+        let mut out: Vec<u64> = Vec::with_capacity(end - start);
+        let mut key_buf: Vec<u32> = vec![0; r_join.len()];
+        for row in start..end {
+            for (slot, (ids, map)) in key_buf.iter_mut().zip(r_ids.iter().zip(&maps)) {
+                let rid = ids[row];
+                match map[rid as usize] {
+                    Some(mapped) => *slot = mapped,
+                    None => {
+                        return Err(EvolutionError::ForeignKeyViolation(format!(
+                            "row {row} of {:?} has a join value missing from {:?}",
+                            reusable.name(),
+                            keyed.name()
+                        )));
+                    }
+                }
+            }
+            match row_of_key.get(&key_buf) {
+                Some(&t_row) => out.push(t_row),
+                None => {
+                    return Err(EvolutionError::ForeignKeyViolation(format!(
+                        "row {row} of {:?} has a join combination missing from {:?}",
+                        reusable.name(),
+                        keyed.name()
+                    )));
+                }
+            }
         }
-        let t_row = row_of_key.get(&key_buf).copied().ok_or_else(|| {
-            EvolutionError::ForeignKeyViolation(format!(
-                "row {row} of {:?} has a join combination missing from {:?}",
-                reusable.name(),
-                keyed.name()
-            ))
-        })?;
-        target_row.push(t_row);
+        Ok(out)
+    });
+    let mut target_row: Vec<u64> = Vec::with_capacity(n);
+    for chunk in chunks {
+        target_row.extend(chunk?);
     }
-    tracker.step_items("sequential scan", n as u64);
+    tracker.step_items("sequential scan (parallel per chunk)", n as u64);
 
     // Build the payload columns (keyed-side non-join attributes) directly
     // in compressed form — each in its input column's encoding — over the
@@ -374,11 +293,10 @@ pub fn merge_key_fk(
         let starts: Vec<usize> = (0..n).step_by(step).collect();
         let chunks = crate::par::map_parallel(starts, |start| {
             let end = (start + step).min(n);
-            EncodedChunk::from_ids(
-                col.encoding(),
+            EncodedChunk::from_ids_for(
+                col,
                 target_row[start..end].iter().map(|&t| ids[t as usize]),
                 (end - start) as u64,
-                col.distinct_count(),
             )
         });
         let mut asm = col.assembler();
@@ -569,7 +487,7 @@ pub fn merge_general(
     let n_tasks = tasks.len() as u64;
     let chunks: Vec<(usize, EncodedChunk)> = crate::par::map_parallel(tasks, |(ci, lo, hi)| {
         let col = col_of(&plan[ci]);
-        let mut sink = RunSink::for_column(col, hi - lo);
+        let mut sink = RunSink::new();
         // Group offsets ascend, so the groups overlapping [lo, hi) form a
         // contiguous span of `active`, found by binary search.
         let first = active.partition_point(|&g| group_end(g) <= lo);
@@ -630,7 +548,7 @@ pub fn merge_general(
             _ => unreachable!("column preparation out of sync with the plan"),
         }
         debug_assert_eq!(sink.rows(), hi - lo);
-        (ci, sink.finish_chunk(hi - lo))
+        (ci, sink.finish_chunk(col, hi - lo))
     });
     // Tasks were generated in ascending (column, row range) order and
     // map_parallel preserves order, so chunks splice back sequentially.

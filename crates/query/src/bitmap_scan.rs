@@ -25,7 +25,7 @@
 
 use crate::pred::{CmpOp, CompiledPredicate, Predicate};
 use cods_bitmap::Wah;
-use cods_storage::{EncodedColumn, StorageError, Table, Value, Zone};
+use cods_storage::{EncodedColumn, SegmentEnc, StorageError, Table, Value, Zone};
 
 /// The satisfying value set of one comparison, in whichever form the
 /// operator admits: a rank interval in value order (everything except
@@ -180,17 +180,20 @@ fn sat_set<'a>(col: &'a EncodedColumn, op: CmpOp, literal: &Value) -> SatSet<'a>
 }
 
 /// Emits the selection mask of the satisfying value set over one column,
-/// walking its segment directory with zone- and stat-based pruning.
+/// walking its unified segment directory with zone- and stat-based pruning
+/// and dispatching the mask build on each segment's own encoding — a mixed
+/// directory's bitmap and RLE segments each take their native path, and
+/// the resulting mask is byte-identical whatever the mix.
 fn column_mask(col: &EncodedColumn, sat: &SatSet<'_>, zones: bool) -> Wah {
     let mut mask = Wah::new();
-    match col {
-        EncodedColumn::Bitmap(col) => {
-            for (i, seg) in col.segments().iter().enumerate() {
-                if zones && !sat.zone_may_match(col.zone(i)) {
-                    // Zone-pruned: neither stats nor payload touched.
-                    mask.append_run(false, seg.rows());
-                    continue;
-                }
+    for (i, seg_enc) in col.segments().iter().enumerate() {
+        if zones && !sat.zone_may_match(col.zone(i)) {
+            // Zone-pruned: neither stats nor payload touched.
+            mask.append_run(false, seg_enc.rows());
+            continue;
+        }
+        match seg_enc {
+            SegmentEnc::Bitmap(seg) => {
                 let mut satisfying: Vec<&Wah> = Vec::new();
                 let mut sat_rows = 0u64;
                 for ((&id, bm), &ones) in
@@ -232,13 +235,7 @@ fn column_mask(col: &EncodedColumn, sat: &SatSet<'_>, zones: bool) -> Wah {
                     }
                 }
             }
-        }
-        EncodedColumn::Rle(col) => {
-            for (i, seg) in col.segments().iter().enumerate() {
-                if zones && !sat.zone_may_match(col.zone(i)) {
-                    mask.append_run(false, seg.rows());
-                    continue;
-                }
+            SegmentEnc::Rle(seg) => {
                 if !seg.present_ids().iter().any(|&id| sat.contains(id)) {
                     // Pruned: run data never touched.
                     mask.append_run(false, seg.rows());
@@ -360,7 +357,7 @@ mod tests {
         assert!(filtered
             .columns()
             .iter()
-            .all(|c| c.encoding() == cods_storage::Encoding::Rle));
+            .all(|c| c.is_uniform(cods_storage::Encoding::Rle)));
     }
 
     #[test]

@@ -1,45 +1,62 @@
 //! Row cursors: streaming `row → value id` access over a compressed column
 //! without materializing anything per row.
 //!
-//! The cursor walks the segment directory in order; within a segment it is
-//! a k-way merge over the *present* values' set-bit iterators — thanks to
-//! the partition invariant exactly one bitmap fires per row, so the merge
-//! yields every row exactly once, in order. Because a segment only carries
-//! the values occurring in its range, the heap is sized by per-segment
-//! cardinality, not column cardinality. The CODS sequential-scan passes
-//! (distinction, mergence) use either this cursor or the materialized
-//! [`crate::Column::value_ids`] array depending on how many passes they
+//! The cursor walks the unified segment directory in order, dispatching on
+//! each segment's encoding. Within a bitmap segment it is a k-way merge
+//! over the *present* values' set-bit iterators — thanks to the partition
+//! invariant exactly one bitmap fires per row, so the merge yields every
+//! row exactly once, in order; the heap is sized by per-segment
+//! cardinality, not column cardinality. Within an RLE segment it simply
+//! expands the run sequence. The CODS sequential-scan passes (distinction,
+//! mergence) use either this cursor or the materialized
+//! [`EncodedColumn::value_ids`] array depending on how many passes they
 //! need.
 
-use crate::column::Column;
+use crate::encoded::{EncodedColumn, SegmentEnc};
 use cods_bitmap::OnesIter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Per-segment iteration state.
+enum SegState<'a> {
+    /// Bitmap segment: min-heap of `(local_row, slot)` where `slot`
+    /// indexes the segment's present-id list.
+    Bitmap {
+        heap: BinaryHeap<Reverse<(u64, u32)>>,
+        iters: Vec<OnesIter<'a>>,
+        ids: &'a [u32],
+    },
+    /// RLE segment: current run index and offset within it.
+    Rle {
+        runs: &'a [(u32, u64)],
+        run_idx: usize,
+        within: u64,
+    },
+    /// No more segments.
+    Done,
+}
+
 /// Streaming cursor yielding `(row, value_id)` in ascending row order.
 pub struct RowIdCursor<'a> {
-    column: &'a Column,
-    /// Index of the segment currently being merged.
+    column: &'a EncodedColumn,
     seg_idx: usize,
-    /// Global start row of the current segment.
+    /// Next global row to emit. Opens at the current segment's start; the
+    /// bitmap state leaves it fixed there (rows come out as `base + pos`),
+    /// while the RLE state advances it row by row.
     base: u64,
-    /// Min-heap of `(local_row, slot)` where `slot` indexes the segment's
-    /// present-id list.
-    heap: BinaryHeap<Reverse<(u64, u32)>>,
-    iters: Vec<OnesIter<'a>>,
+    state: SegState<'a>,
     rows: u64,
     emitted: u64,
 }
 
 impl<'a> RowIdCursor<'a> {
     /// Opens a cursor over `column`.
-    pub fn new(column: &'a Column) -> Self {
+    pub fn new(column: &'a EncodedColumn) -> Self {
         let mut cur = RowIdCursor {
             column,
             seg_idx: 0,
             base: 0,
-            heap: BinaryHeap::new(),
-            iters: Vec::new(),
+            state: SegState::Done,
             rows: column.rows(),
             emitted: 0,
         };
@@ -49,18 +66,33 @@ impl<'a> RowIdCursor<'a> {
 
     fn open_segment(&mut self, idx: usize) {
         self.seg_idx = idx;
-        self.heap.clear();
-        self.iters.clear();
         let Some(seg) = self.column.segments().get(idx) else {
+            self.state = SegState::Done;
             return;
         };
         self.base = self.column.segment_start(idx);
-        self.iters = seg.bitmaps().iter().map(|bm| bm.iter_ones()).collect();
-        for (slot, it) in self.iters.iter_mut().enumerate() {
-            if let Some(pos) = it.next() {
-                self.heap.push(Reverse((pos, slot as u32)));
+        self.state = match seg {
+            SegmentEnc::Bitmap(seg) => {
+                let mut iters: Vec<OnesIter<'a>> =
+                    seg.bitmaps().iter().map(|bm| bm.iter_ones()).collect();
+                let mut heap = BinaryHeap::with_capacity(iters.len());
+                for (slot, it) in iters.iter_mut().enumerate() {
+                    if let Some(pos) = it.next() {
+                        heap.push(Reverse((pos, slot as u32)));
+                    }
+                }
+                SegState::Bitmap {
+                    heap,
+                    iters,
+                    ids: seg.present_ids(),
+                }
             }
-        }
+            SegmentEnc::Rle(seg) => SegState::Rle {
+                runs: seg.seq().runs(),
+                run_idx: 0,
+                within: 0,
+            },
+        };
     }
 }
 
@@ -69,17 +101,40 @@ impl Iterator for RowIdCursor<'_> {
 
     fn next(&mut self) -> Option<(u64, u32)> {
         loop {
-            if let Some(Reverse((pos, slot))) = self.heap.pop() {
-                if let Some(next) = self.iters[slot as usize].next() {
-                    self.heap.push(Reverse((next, slot)));
+            match &mut self.state {
+                SegState::Bitmap { heap, iters, ids } => {
+                    if let Some(Reverse((pos, slot))) = heap.pop() {
+                        if let Some(next) = iters[slot as usize].next() {
+                            heap.push(Reverse((next, slot)));
+                        }
+                        let row = self.base + pos;
+                        debug_assert_eq!(row, self.emitted, "partition invariant violated");
+                        self.emitted += 1;
+                        return Some((row, ids[slot as usize]));
+                    }
                 }
-                let seg = &self.column.segments()[self.seg_idx];
-                let row = self.base + pos;
-                debug_assert_eq!(row, self.emitted, "partition invariant violated");
-                self.emitted += 1;
-                return Some((row, seg.present_ids()[slot as usize]));
+                SegState::Rle {
+                    runs,
+                    run_idx,
+                    within,
+                } => {
+                    if let Some(&(id, len)) = runs.get(*run_idx) {
+                        let row = self.base;
+                        self.base += 1;
+                        *within += 1;
+                        if *within == len {
+                            *run_idx += 1;
+                            *within = 0;
+                        }
+                        debug_assert_eq!(row, self.emitted);
+                        self.emitted += 1;
+                        return Some((row, id));
+                    }
+                }
+                SegState::Done => return None,
             }
             if self.seg_idx + 1 >= self.column.segment_count() {
+                self.state = SegState::Done;
                 return None;
             }
             let next_idx = self.seg_idx + 1;
@@ -98,7 +153,7 @@ impl ExactSizeIterator for RowIdCursor<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::column::ColumnBuilder;
+    use crate::encoded::{ColumnBuilder, Encoding};
     use crate::value::{Value, ValueType};
 
     #[test]
@@ -107,7 +162,7 @@ mod tests {
             .iter()
             .map(|&i| Value::int(i))
             .collect();
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         let expected = col.value_ids();
         let streamed: Vec<(u64, u32)> = RowIdCursor::new(&col).collect();
         assert_eq!(streamed.len(), 10);
@@ -118,31 +173,38 @@ mod tests {
     }
 
     #[test]
-    fn cursor_crosses_segment_boundaries() {
+    fn cursor_crosses_segment_boundaries_in_any_encoding_mix() {
         let mut b = ColumnBuilder::with_segment_rows(ValueType::Int, 37);
         for i in 0..500 {
             b.push(Value::int(i % 11)).unwrap();
         }
-        let col = b.finish();
-        assert!(col.segment_count() > 1);
-        let expected = col.value_ids();
-        for (i, (row, id)) in RowIdCursor::new(&col).enumerate() {
-            assert_eq!(row, i as u64);
-            assert_eq!(id, expected[i]);
+        let bitmap = b.finish();
+        assert!(bitmap.segment_count() > 1);
+        let rle = bitmap.recode(Encoding::Rle).unwrap();
+        let mut mixed = bitmap.clone();
+        for i in (1..mixed.segment_count()).step_by(2) {
+            mixed = mixed.recode_segments(i..i + 1, Encoding::Rle).unwrap();
         }
-        assert_eq!(RowIdCursor::new(&col).count(), 500);
+        let expected = bitmap.value_ids();
+        for col in [&bitmap, &rle, &mixed] {
+            for (i, (row, id)) in RowIdCursor::new(col).enumerate() {
+                assert_eq!(row, i as u64);
+                assert_eq!(id, expected[i]);
+            }
+            assert_eq!(RowIdCursor::new(col).count(), 500);
+        }
     }
 
     #[test]
     fn cursor_on_empty_column() {
-        let col = Column::from_values(ValueType::Int, &[]).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &[]).unwrap();
         assert_eq!(RowIdCursor::new(&col).count(), 0);
     }
 
     #[test]
     fn cursor_exact_size() {
         let vals: Vec<Value> = (0..100).map(|i| Value::int(i % 7)).collect();
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         let mut cur = RowIdCursor::new(&col);
         assert_eq!(cur.len(), 100);
         cur.next();
@@ -152,7 +214,10 @@ mod tests {
     #[test]
     fn cursor_single_value_column() {
         let vals: Vec<Value> = vec![Value::str("only"); 1000];
-        let col = Column::from_values(ValueType::Str, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Str, &vals)
+            .unwrap()
+            .recode(Encoding::Rle)
+            .unwrap();
         let ids: Vec<u32> = RowIdCursor::new(&col).map(|(_, id)| id).collect();
         assert!(ids.iter().all(|&id| id == 0));
         assert_eq!(ids.len(), 1000);

@@ -2,32 +2,30 @@
 //!
 //! The column-oriented storage engine underneath the CODS reproduction
 //! (Liu et al., VLDB 2010). Every column is a column-global dictionary plus
-//! a directory of row-range [`Segment`]s, each holding one WAH-compressed
-//! bitmap per value *present in its range* — the `v × r` bitmap matrix of
-//! Section 2.2 of the paper, sharded by row range. Tables share immutable
-//! columns by reference, and columns share immutable segments by reference,
-//! which is what makes data-level evolution able to "reuse unchanged
-//! columns" (and unchanged row ranges) for free.
+//! **one** directory of row-range segments, each independently bitmap or
+//! run-length encoded ([`SegmentEnc`]) — the `v × r` bitmap matrix of
+//! Section 2.2 of the paper, sharded by row range, with per-*segment*
+//! layout choice layered on top. Tables share immutable columns by
+//! reference, and columns share immutable segments by reference, which is
+//! what makes data-level evolution able to "reuse unchanged columns" (and
+//! unchanged row ranges) for free.
 //!
 //! * [`Value`] / [`ValueType`] — the typed cell values.
 //! * [`Schema`] — named, typed columns plus an optional candidate key.
-//! * [`Column`] / [`ColumnBuilder`] — segmented bitmap-encoded columns with
-//!   data-level primitives (filter, concat, slice) lifted from
-//!   `cods-bitmap`.
-//! * [`RleColumn`] — the run-length encoding for clustered columns, sharing
-//!   the same dictionary + segment-directory shape.
-//! * [`EncodedColumn`] — the encoding-polymorphic column tables hold; every
-//!   data-level primitive preserves the encoding, and
-//!   [`compaction_plan`]-driven re-chunking keeps directories healthy after
-//!   long `concat`/`slice` chains.
-//! * [`Segment`] / [`SegmentAssembler`] — the row-range shards and the
-//!   splicer that re-chunks per-segment operator outputs.
+//! * [`EncodedColumn`] / [`ColumnBuilder`] — the unified segmented column:
+//!   one dictionary, one directory of [`SegmentEnc`] entries (bitmap | RLE
+//!   per segment), per-segment zone maps and encoding pins, and every
+//!   data-level primitive (filter, gather, concat, slice, compaction)
+//!   dispatched per segment on its encoding.
+//! * [`Segment`] / [`RleSegment`] — the two row-range shard encodings;
+//!   [`EncodedAssembler`] splices per-segment operator outputs back into a
+//!   directory, sealing each output segment in its pieces' encoding.
 //! * [`Table`] — schema + `Arc`-shared columns.
 //! * [`Catalog`] — thread-safe table namespace.
 //! * [`RowIdCursor`] — streaming `row → value id` scans over compressed data.
 //! * [`load`] — delimited-text ingest; [`persist`] — versioned binary table
-//!   files (v3 carries per-encoding segment directories; v2/v1 files are
-//!   still read).
+//!   files (v5 carries a per-segment encoding tag; v1–v4 files are still
+//!   read).
 //!
 //! ```
 //! use cods_storage::{Schema, Table, Value, ValueType};
@@ -47,14 +45,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
-pub mod column;
 pub mod cursor;
 pub mod dictionary;
 pub mod encoded;
 pub mod error;
 pub mod load;
 pub mod persist;
-pub mod rle_column;
+pub mod rle_segment;
 pub mod schema;
 pub mod segment;
 pub mod stats;
@@ -62,17 +59,19 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use column::{Column, ColumnBuilder};
 pub use cursor::RowIdCursor;
 pub use dictionary::{Dictionary, ValueOrder};
-pub use encoded::{EncodedAssembler, EncodedChunk, EncodedColumn, Encoding};
+pub use encoded::{
+    choose_encoding_from_stats, ColumnBuilder, EncodedAssembler, EncodedChunk, EncodedColumn,
+    Encoding, SegmentEnc,
+};
 pub use error::StorageError;
 pub use load::{load_file, load_str, LoadOptions};
-pub use rle_column::{RleAssembler, RleColumn, RleSegment};
+pub use rle_segment::RleSegment;
 pub use schema::{ColumnDef, Schema};
 pub use segment::{
-    compaction_plan, needs_compaction, CompactionGroup, Segment, SegmentAssembler, SegmentChunk,
-    Zone, DEFAULT_SEGMENT_ROWS,
+    compaction_plan, needs_compaction, CompactionGroup, Segment, SegmentChunk, Zone,
+    DEFAULT_SEGMENT_ROWS,
 };
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

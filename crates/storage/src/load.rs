@@ -1,7 +1,7 @@
 //! Bulk loading of delimited text data into bitmap-encoded tables — the
 //! "load data" button of the CODS demo (Section 3).
 
-use crate::column::ColumnBuilder;
+use crate::encoded::ColumnBuilder;
 use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::table::Table;
@@ -90,10 +90,7 @@ pub fn load_str(
             b.push(v.take().expect("all fields assigned"))?;
         }
     }
-    let columns = builders
-        .into_iter()
-        .map(|b| Arc::new(crate::encoded::EncodedColumn::Bitmap(b.finish())))
-        .collect();
+    let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
     Table::new(name, schema.clone(), columns)
 }
 

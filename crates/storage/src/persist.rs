@@ -1,40 +1,41 @@
 //! Binary persistence of tables and catalogs.
 //!
-//! Version 4 layout (all little-endian) stores each column as a segment
-//! directory in its physical encoding plus its scan statistics — per-
-//! segment zone maps and the encoding-choice metadata — mirroring the
-//! in-memory representation:
+//! Version 5 layout (all little-endian) stores each column as the unified
+//! segment directory it is in memory: one dictionary, then every segment
+//! tagged with **its own** encoding (and pin), then the per-segment zone
+//! maps:
 //!
 //! ```text
 //! file       := magic:u32 version:u16 table
 //! catalog    := magic:u32 version:u16 table_count:u32 table*
 //! table      := name:str schema rows:u64 column*
 //! schema     := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
-//! column     := tag:u8 dict_len:u32 value* enc:u8 flags:u8 seg_rows:u64
-//!               seg_count:u32 segment* zone*
-//! flags      := bit 0: encoding pinned by explicit recode
-//! segment    := bitmap-seg | rle-seg          (per the column's enc)
+//! column     := tag:u8 dict_len:u32 value* flags:u8 seg_rows:u64
+//!               seg_count:u32 (segtag:u8 segment)* zone*
+//! flags      := bit 0: whole column pinned by explicit recode
+//! segtag     := bit 0: encoding (0 bitmap, 1 rle); bit 1: segment pinned
 //! bitmap-seg := rows:u64 present:u32 (id:u32)* bitmap*
-//! rle-seg    := rows:u64 run_count:u32 (id:u32 count:u64)*
+//! rle-seg    := rle-seq encoding
 //! zone       := min_id:u32 max_id:u32         (one per segment)
 //! value      := kind:u8 payload
 //! str        := len:u32 utf8-bytes
 //! ```
 //!
-//! Version 3 (no `flags` byte, no zones), version 2 (bitmap-only segment
-//! directory, no `enc` byte), and version 1 (the monolithic format: one
-//! full-length bitmap per dictionary value, no segment directory) are
-//! still decoded transparently — zone maps and choice metadata are
-//! reconstructed from segment stats on upgrade, and v1 decoding
-//! re-segments at the default segment size. [`encode_table_v1`] writes the
-//! legacy layout for compatibility tests and downgrades — including for
-//! RLE columns, whose per-value bitmaps are materialized from their runs.
+//! Version 4 (one column-wide `enc` byte — homogeneous directories only),
+//! version 3 (no flags byte, no zones), version 2 (bitmap-only segment
+//! directory) and version 1 (the monolithic format: one full-length bitmap
+//! per dictionary value) are still decoded transparently — homogeneous
+//! columns come back as uniform directories, zone maps and choice metadata
+//! are reconstructed from segment stats where the file carries none, and
+//! v1 decoding re-segments at the default segment size. [`encode_table_v1`]
+//! writes the legacy layout for compatibility tests and downgrades —
+//! including for RLE or mixed columns, whose per-value bitmaps are
+//! materialized from their payloads.
 
-use crate::column::Column;
 use crate::dictionary::Dictionary;
-use crate::encoded::EncodedColumn;
+use crate::encoded::{EncodedColumn, SegmentEnc};
 use crate::error::StorageError;
-use crate::rle_column::{RleColumn, RleSegment};
+use crate::rle_segment::RleSegment;
 use crate::schema::{ColumnDef, Schema};
 use crate::segment::{Segment, Zone};
 use crate::table::Table;
@@ -45,16 +46,17 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0xC0D5_0001;
-/// Current on-disk format version (segment directories + zone maps +
-/// encoding-choice metadata).
-pub const VERSION: u16 = 4;
+/// Current on-disk format version (per-segment encoding tags).
+pub const VERSION: u16 = 5;
 /// Oldest format version this build can read.
 pub const MIN_VERSION: u16 = 1;
 
 const ENC_BITMAP: u8 = 0;
 const ENC_RLE: u8 = 1;
-/// Column flag bit: encoding pinned by an explicit recode.
+/// Column flag bit: whole column pinned by an explicit recode.
 const FLAG_PINNED: u8 = 1;
+/// Segment tag bit: this segment pinned by a segment-range recode.
+const SEG_FLAG_PINNED: u8 = 2;
 
 fn put_str<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -182,38 +184,42 @@ fn put_dict<B: BufMut>(buf: &mut B, ty: ValueType, dict: &Dictionary) {
     }
 }
 
+fn put_bitmap_segment<B: BufMut>(buf: &mut B, seg: &Segment) {
+    buf.put_u64_le(seg.rows());
+    buf.put_u32_le(seg.distinct_count() as u32);
+    for &id in seg.present_ids() {
+        buf.put_u32_le(id);
+    }
+    for bm in seg.bitmaps() {
+        bm.encode(buf);
+    }
+}
+
+/// Writes one column in the current (version-5) layout: per-segment
+/// encoding tags over one unified directory.
 fn put_column<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
     put_dict(buf, c.ty(), c.dict());
     let flags = if c.encoding_pinned() { FLAG_PINNED } else { 0 };
-    match c {
-        EncodedColumn::Bitmap(c) => {
-            buf.put_u8(ENC_BITMAP);
-            buf.put_u8(flags);
-            buf.put_u64_le(c.nominal_segment_rows());
-            buf.put_u32_le(c.segment_count() as u32);
-            for seg in c.segments() {
-                buf.put_u64_le(seg.rows());
-                buf.put_u32_le(seg.distinct_count() as u32);
-                for &id in seg.present_ids() {
-                    buf.put_u32_le(id);
-                }
-                for bm in seg.bitmaps() {
-                    bm.encode(buf);
-                }
-            }
-            put_zones(buf, c.zones());
+    buf.put_u8(flags);
+    buf.put_u64_le(c.nominal_segment_rows());
+    buf.put_u32_le(c.segment_count() as u32);
+    for (i, seg) in c.segments().iter().enumerate() {
+        let mut tag = match seg {
+            SegmentEnc::Bitmap(_) => ENC_BITMAP,
+            SegmentEnc::Rle(_) => ENC_RLE,
+        };
+        // Bit 1 records the *segment-range* pin only; the whole-column pin
+        // lives in the column flags byte, so the two survive independently.
+        if c.segment_pin_raw(i) {
+            tag |= SEG_FLAG_PINNED;
         }
-        EncodedColumn::Rle(c) => {
-            buf.put_u8(ENC_RLE);
-            buf.put_u8(flags);
-            buf.put_u64_le(c.nominal_segment_rows());
-            buf.put_u32_le(c.segment_count() as u32);
-            for seg in c.segments() {
-                seg.seq().encode(buf);
-            }
-            put_zones(buf, c.zones());
+        buf.put_u8(tag);
+        match seg {
+            SegmentEnc::Bitmap(s) => put_bitmap_segment(buf, s),
+            SegmentEnc::Rle(s) => s.seq().encode(buf),
         }
     }
+    put_zones(buf, c.zones());
 }
 
 fn put_zones<B: BufMut>(buf: &mut B, zones: &[Zone]) {
@@ -247,7 +253,7 @@ fn get_zones<B: Buf>(
 
 /// Writes a column in the legacy monolithic (version-1) layout: one
 /// full-length bitmap per dictionary value, whatever the in-memory
-/// encoding (the downgrade path).
+/// per-segment encodings (the downgrade path).
 fn put_column_v1<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
     put_dict(buf, c.ty(), c.dict());
     for id in 0..c.dict().len() as u32 {
@@ -270,14 +276,8 @@ fn get_dict<B: Buf>(buf: &mut B) -> Result<(ValueType, Dictionary), StorageError
     Ok((ty, dict))
 }
 
-/// Reads the bitmap segment directory shared by the v2-v4 layouts,
-/// validating present ids against the dictionary up front — zone
-/// derivation indexes the rank table by id, so a corrupt file must be
-/// rejected here with an error, never by a panic downstream.
-fn get_bitmap_segments<B: Buf>(
-    buf: &mut B,
-    dict_len: usize,
-) -> Result<(Vec<Arc<Segment>>, u64), StorageError> {
+/// Reads the `seg_rows`/`seg_count` directory header shared by v2–v5.
+fn get_dir_header<B: Buf>(buf: &mut B) -> Result<(u64, usize), StorageError> {
     if buf.remaining() < 12 {
         return Err(eof());
     }
@@ -287,82 +287,90 @@ fn get_bitmap_segments<B: Buf>(
             "zero nominal segment size".into(),
         ));
     }
-    let seg_count = buf.get_u32_le() as usize;
-    let mut segments = Vec::with_capacity(seg_count);
-    for _ in 0..seg_count {
-        if buf.remaining() < 12 {
-            return Err(eof());
-        }
-        let srows = buf.get_u64_le();
-        let present = buf.get_u32_le() as usize;
-        if present == 0 && srows > 0 {
-            return Err(StorageError::PersistError(format!(
-                "segment of {srows} rows with no present values"
-            )));
-        }
-        let mut ids = Vec::with_capacity(present);
-        for _ in 0..present {
-            if buf.remaining() < 4 {
-                return Err(eof());
-            }
-            let id = buf.get_u32_le();
-            if id as usize >= dict_len {
-                return Err(StorageError::PersistError(format!(
-                    "segment id {id} beyond dictionary of {dict_len}"
-                )));
-            }
-            ids.push(id);
-        }
-        let mut pairs = Vec::with_capacity(present);
-        for id in ids {
-            let bm = Wah::decode(buf)?;
-            if bm.len() != srows {
-                return Err(StorageError::PersistError(format!(
-                    "segment bitmap of id {id} has length {}, segment has {srows} rows",
-                    bm.len()
-                )));
-            }
-            if !bm.any() {
-                return Err(StorageError::PersistError(format!(
-                    "empty segment bitmap for id {id}"
-                )));
-            }
-            pairs.push((id, bm));
-        }
-        segments.push(Arc::new(Segment::new(srows, pairs)));
-    }
-    Ok((segments, seg_rows))
+    Ok((seg_rows, buf.get_u32_le() as usize))
 }
 
-/// Reads the RLE segment directory of the v3/v4 layouts, validating run
-/// ids against the dictionary (see [`get_bitmap_segments`]).
-fn get_rle_segments<B: Buf>(
-    buf: &mut B,
-    dict_len: usize,
-) -> Result<(Vec<Arc<RleSegment>>, u64), StorageError> {
+/// Reads one bitmap segment, validating present ids against the dictionary
+/// up front — zone derivation indexes the rank table by id, so a corrupt
+/// file must be rejected here with an error, never by a panic downstream.
+fn get_bitmap_segment<B: Buf>(buf: &mut B, dict_len: usize) -> Result<Arc<Segment>, StorageError> {
     if buf.remaining() < 12 {
         return Err(eof());
     }
-    let seg_rows = buf.get_u64_le();
-    if seg_rows == 0 {
-        return Err(StorageError::PersistError(
-            "zero nominal segment size".into(),
-        ));
+    let srows = buf.get_u64_le();
+    let present = buf.get_u32_le() as usize;
+    if present == 0 && srows > 0 {
+        return Err(StorageError::PersistError(format!(
+            "segment of {srows} rows with no present values"
+        )));
     }
-    let seg_count = buf.get_u32_le() as usize;
-    let mut segments = Vec::with_capacity(seg_count);
-    for _ in 0..seg_count {
-        let seq = RleSeq::decode(buf)
-            .map_err(|e| StorageError::PersistError(format!("rle segment: {e}")))?;
-        if seq.is_empty() {
-            return Err(StorageError::PersistError("empty rle segment".into()));
+    let mut ids = Vec::with_capacity(present);
+    for _ in 0..present {
+        if buf.remaining() < 4 {
+            return Err(eof());
         }
-        if let Some(&(id, _)) = seq.runs().iter().find(|&&(id, _)| id as usize >= dict_len) {
+        let id = buf.get_u32_le();
+        if id as usize >= dict_len {
             return Err(StorageError::PersistError(format!(
-                "rle run id {id} beyond dictionary of {dict_len}"
+                "segment id {id} beyond dictionary of {dict_len}"
             )));
         }
-        segments.push(Arc::new(RleSegment::new(seq)));
+        ids.push(id);
+    }
+    let mut pairs = Vec::with_capacity(present);
+    for id in ids {
+        let bm = Wah::decode(buf)?;
+        if bm.len() != srows {
+            return Err(StorageError::PersistError(format!(
+                "segment bitmap of id {id} has length {}, segment has {srows} rows",
+                bm.len()
+            )));
+        }
+        if !bm.any() {
+            return Err(StorageError::PersistError(format!(
+                "empty segment bitmap for id {id}"
+            )));
+        }
+        pairs.push((id, bm));
+    }
+    Ok(Arc::new(Segment::new(srows, pairs)))
+}
+
+/// Reads one RLE segment, validating run ids against the dictionary (see
+/// [`get_bitmap_segment`]).
+fn get_rle_segment<B: Buf>(buf: &mut B, dict_len: usize) -> Result<Arc<RleSegment>, StorageError> {
+    let seq =
+        RleSeq::decode(buf).map_err(|e| StorageError::PersistError(format!("rle segment: {e}")))?;
+    if seq.is_empty() {
+        return Err(StorageError::PersistError("empty rle segment".into()));
+    }
+    if let Some(&(id, _)) = seq.runs().iter().find(|&&(id, _)| id as usize >= dict_len) {
+        return Err(StorageError::PersistError(format!(
+            "rle run id {id} beyond dictionary of {dict_len}"
+        )));
+    }
+    Ok(Arc::new(RleSegment::new(seq)))
+}
+
+/// Reads the homogeneous directory of a v2–v4 column (one encoding for
+/// every segment).
+fn get_uniform_segments<B: Buf>(
+    buf: &mut B,
+    dict_len: usize,
+    enc: u8,
+) -> Result<(Vec<SegmentEnc>, u64), StorageError> {
+    let (seg_rows, seg_count) = get_dir_header(buf)?;
+    let mut segments = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        segments.push(match enc {
+            ENC_BITMAP => SegmentEnc::Bitmap(get_bitmap_segment(buf, dict_len)?),
+            ENC_RLE => SegmentEnc::Rle(get_rle_segment(buf, dict_len)?),
+            e => {
+                return Err(StorageError::PersistError(format!(
+                    "unknown column encoding {e}"
+                )))
+            }
+        });
     }
     Ok((segments, seg_rows))
 }
@@ -375,11 +383,11 @@ fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<EncodedCol
             for _ in 0..dict.len() {
                 bitmaps.push(Wah::decode(buf)?);
             }
-            EncodedColumn::Bitmap(Column::from_parts(ty, dict, bitmaps, rows)?)
+            EncodedColumn::from_parts(ty, dict, bitmaps, rows)?
         }
         2 => {
-            let (segments, seg_rows) = get_bitmap_segments(buf, dict.len())?;
-            EncodedColumn::Bitmap(Column::from_segments(ty, dict, segments, seg_rows))
+            let (segments, seg_rows) = get_uniform_segments(buf, dict.len(), ENC_BITMAP)?;
+            EncodedColumn::from_segments(ty, dict, segments, seg_rows)
         }
         3 => {
             if buf.remaining() < 1 {
@@ -387,50 +395,53 @@ fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<EncodedCol
             }
             // v3 stores no zones: reconstructed from segment stats below
             // (from_segments derives them).
-            match buf.get_u8() {
-                ENC_BITMAP => {
-                    let (segments, seg_rows) = get_bitmap_segments(buf, dict.len())?;
-                    EncodedColumn::Bitmap(Column::from_segments(ty, dict, segments, seg_rows))
-                }
-                ENC_RLE => {
-                    let (segments, seg_rows) = get_rle_segments(buf, dict.len())?;
-                    EncodedColumn::Rle(RleColumn::from_segments(ty, dict, segments, seg_rows))
-                }
-                e => {
-                    return Err(StorageError::PersistError(format!(
-                        "unknown column encoding {e}"
-                    )))
-                }
-            }
+            let enc = buf.get_u8();
+            let (segments, seg_rows) = get_uniform_segments(buf, dict.len(), enc)?;
+            EncodedColumn::from_segments(ty, dict, segments, seg_rows)
         }
-        _ => {
+        4 => {
             if buf.remaining() < 2 {
                 return Err(eof());
             }
             let enc = buf.get_u8();
             let flags = buf.get_u8();
             let dict_len = dict.len();
-            let mut col = match enc {
-                ENC_BITMAP => {
-                    let (segments, seg_rows) = get_bitmap_segments(buf, dict_len)?;
-                    let zones = get_zones(buf, segments.len(), dict_len)?;
-                    EncodedColumn::Bitmap(Column::from_segments_zoned(
-                        ty, dict, segments, zones, seg_rows,
-                    ))
+            let (segments, seg_rows) = get_uniform_segments(buf, dict_len, enc)?;
+            let zones = get_zones(buf, segments.len(), dict_len)?;
+            let mut col = EncodedColumn::from_segments_zoned(ty, dict, segments, zones, seg_rows);
+            col.set_encoding_pinned(flags & FLAG_PINNED != 0);
+            col
+        }
+        _ => {
+            // v5: flags byte, then one tagged segment after another.
+            if buf.remaining() < 1 {
+                return Err(eof());
+            }
+            let flags = buf.get_u8();
+            let dict_len = dict.len();
+            let (seg_rows, seg_count) = get_dir_header(buf)?;
+            let mut segments = Vec::with_capacity(seg_count);
+            let mut pins = Vec::with_capacity(seg_count);
+            for _ in 0..seg_count {
+                if buf.remaining() < 1 {
+                    return Err(eof());
                 }
-                ENC_RLE => {
-                    let (segments, seg_rows) = get_rle_segments(buf, dict_len)?;
-                    let zones = get_zones(buf, segments.len(), dict_len)?;
-                    EncodedColumn::Rle(RleColumn::from_segments_zoned(
-                        ty, dict, segments, zones, seg_rows,
-                    ))
-                }
-                e => {
+                let tag = buf.get_u8();
+                if tag & !(ENC_RLE | SEG_FLAG_PINNED) != 0 {
                     return Err(StorageError::PersistError(format!(
-                        "unknown column encoding {e}"
-                    )))
+                        "unknown segment tag {tag:#04x}"
+                    )));
                 }
-            };
+                pins.push(tag & SEG_FLAG_PINNED != 0);
+                segments.push(if tag & ENC_RLE != 0 {
+                    SegmentEnc::Rle(get_rle_segment(buf, dict_len)?)
+                } else {
+                    SegmentEnc::Bitmap(get_bitmap_segment(buf, dict_len)?)
+                });
+            }
+            let zones = get_zones(buf, segments.len(), dict_len)?;
+            let mut col = EncodedColumn::from_segments_zoned(ty, dict, segments, zones, seg_rows);
+            col.set_segment_pins(pins);
             col.set_encoding_pinned(flags & FLAG_PINNED != 0);
             col
         }
@@ -616,11 +627,19 @@ mod tests {
         Table::from_rows_with_segment_rows("multi", schema, &rows, 128).unwrap()
     }
 
-    /// `multi_segment` with one column re-encoded RLE (mixed-encoding
-    /// table).
+    /// `multi_segment` with one column uniformly re-encoded RLE.
     fn mixed_encoding() -> Table {
         multi_segment()
             .with_column_encoding("v", Encoding::Rle)
+            .unwrap()
+    }
+
+    /// `multi_segment` with a *mixed directory*: half of `k`'s segments
+    /// recoded (and pinned) RLE, the other half left bitmap.
+    fn mixed_directory() -> Table {
+        let t = multi_segment();
+        let segs = t.column_by_name("k").unwrap().segment_count();
+        t.with_column_segment_range_encoding("k", Encoding::Rle, 0..segs / 2)
             .unwrap()
     }
 
@@ -647,6 +666,27 @@ mod tests {
     }
 
     #[test]
+    fn mixed_directory_round_trips_v5() {
+        let t = mixed_directory();
+        let before = t.column_by_name("k").unwrap();
+        assert_eq!(before.uniform_encoding(), None, "directory must be mixed");
+        let back = decode_table(encode_table(&t)).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        let col = back.column_by_name("k").unwrap();
+        assert_eq!(col.encoding_counts(), before.encoding_counts());
+        for i in 0..col.segment_count() {
+            assert_eq!(col.segment_encoding(i), before.segment_encoding(i));
+            assert_eq!(
+                col.segment_pinned(i),
+                before.segment_pinned(i),
+                "segment {i} pin"
+            );
+        }
+        assert_eq!(col.zones(), before.zones());
+    }
+
+    #[test]
     fn v1_file_still_decodes() {
         let t = multi_segment();
         let legacy = encode_table_v1(&t);
@@ -659,7 +699,7 @@ mod tests {
 
     /// Writes the version-2 layout (bitmap segment directory, no encoding
     /// byte) so the upgrade path stays covered now that the writer emits
-    /// version 3.
+    /// version 5.
     fn encode_table_v2(t: &Table) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u32_le(MAGIC);
@@ -668,27 +708,35 @@ mod tests {
         put_schema(&mut buf, t.schema());
         buf.put_u64_le(t.rows());
         for c in t.columns() {
-            let col = c.as_bitmap().expect("v2 writer is bitmap-only");
-            put_dict(&mut buf, col.ty(), col.dict());
-            buf.put_u64_le(col.nominal_segment_rows());
-            buf.put_u32_le(col.segment_count() as u32);
-            for seg in col.segments() {
-                buf.put_u64_le(seg.rows());
-                buf.put_u32_le(seg.distinct_count() as u32);
-                for &id in seg.present_ids() {
-                    buf.put_u32_le(id);
-                }
-                for bm in seg.bitmaps() {
-                    bm.encode(&mut buf);
-                }
+            put_dict(&mut buf, c.ty(), c.dict());
+            buf.put_u64_le(c.nominal_segment_rows());
+            buf.put_u32_le(c.segment_count() as u32);
+            for seg in c.segments() {
+                put_bitmap_segment(&mut buf, seg.as_bitmap().expect("v2 writer is bitmap-only"));
             }
         }
         buf.freeze()
     }
 
+    /// Writes the homogeneous directory shared by the v3/v4 test writers.
+    fn put_uniform_directory(buf: &mut BytesMut, c: &EncodedColumn) -> u8 {
+        let enc = match c.uniform_encoding().expect("legacy writers are uniform") {
+            Encoding::Bitmap => ENC_BITMAP,
+            Encoding::Rle => ENC_RLE,
+        };
+        buf.put_u64_le(c.nominal_segment_rows());
+        buf.put_u32_le(c.segment_count() as u32);
+        for seg in c.segments() {
+            match seg {
+                SegmentEnc::Bitmap(s) => put_bitmap_segment(buf, s),
+                SegmentEnc::Rle(s) => s.seq().encode(buf),
+            }
+        }
+        enc
+    }
+
     /// Writes the version-3 layout (per-encoding segment directories, no
-    /// flags byte, no zones) so the v3 → v4 upgrade path stays covered now
-    /// that the writer emits version 4.
+    /// flags byte, no zones) so the v3 upgrade path stays covered.
     fn encode_table_v3(t: &Table) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u32_le(MAGIC);
@@ -698,31 +746,36 @@ mod tests {
         buf.put_u64_le(t.rows());
         for c in t.columns() {
             put_dict(&mut buf, c.ty(), c.dict());
-            match c.as_ref() {
-                EncodedColumn::Bitmap(col) => {
-                    buf.put_u8(ENC_BITMAP);
-                    buf.put_u64_le(col.nominal_segment_rows());
-                    buf.put_u32_le(col.segment_count() as u32);
-                    for seg in col.segments() {
-                        buf.put_u64_le(seg.rows());
-                        buf.put_u32_le(seg.distinct_count() as u32);
-                        for &id in seg.present_ids() {
-                            buf.put_u32_le(id);
-                        }
-                        for bm in seg.bitmaps() {
-                            bm.encode(&mut buf);
-                        }
-                    }
-                }
-                EncodedColumn::Rle(col) => {
-                    buf.put_u8(ENC_RLE);
-                    buf.put_u64_le(col.nominal_segment_rows());
-                    buf.put_u32_le(col.segment_count() as u32);
-                    for seg in col.segments() {
-                        seg.seq().encode(&mut buf);
-                    }
-                }
-            }
+            let enc = match c.uniform_encoding().expect("v3 writer is uniform") {
+                Encoding::Bitmap => ENC_BITMAP,
+                Encoding::Rle => ENC_RLE,
+            };
+            buf.put_u8(enc);
+            put_uniform_directory(&mut buf, c);
+        }
+        buf.freeze()
+    }
+
+    /// Writes the version-4 layout (one column-wide `enc` byte + flags +
+    /// zones — homogeneous directories only) so the v4 → v5 upgrade path
+    /// stays covered now that the writer emits version 5.
+    fn encode_table_v4(t: &Table) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(4);
+        put_str(&mut buf, t.name());
+        put_schema(&mut buf, t.schema());
+        buf.put_u64_le(t.rows());
+        for c in t.columns() {
+            put_dict(&mut buf, c.ty(), c.dict());
+            let enc = match c.uniform_encoding().expect("v4 writer is uniform") {
+                Encoding::Bitmap => ENC_BITMAP,
+                Encoding::Rle => ENC_RLE,
+            };
+            buf.put_u8(enc);
+            buf.put_u8(if c.encoding_pinned() { FLAG_PINNED } else { 0 });
+            put_uniform_directory(&mut buf, c);
+            put_zones(&mut buf, c.zones());
         }
         buf.freeze()
     }
@@ -737,13 +790,32 @@ mod tests {
             // Zones are reconstructed from stats on upgrade and must equal
             // the natively maintained ones; nothing is pinned in v3.
             assert_eq!(a.zones(), b.zones());
-            assert_eq!(a.encoding(), b.encoding());
+            assert_eq!(a.uniform_encoding(), b.uniform_encoding());
             assert!(!b.encoding_pinned());
         }
     }
 
     #[test]
-    fn v4_round_trip_preserves_zones_and_pins() {
+    fn v4_file_upgrades_to_uniform_directories() {
+        let t = mixed_encoding()
+            .with_column_encoding_pinned("k", Encoding::Bitmap)
+            .unwrap();
+        let back = decode_table(encode_table_v4(&t)).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        for (a, b) in t.columns().iter().zip(back.columns()) {
+            // A homogeneous v4 column decodes to a uniform v5 directory
+            // with its zones byte-exact and its pin preserved.
+            assert_eq!(a.uniform_encoding(), b.uniform_encoding());
+            assert!(b.uniform_encoding().is_some());
+            assert_eq!(a.zones(), b.zones());
+            assert_eq!(a.encoding_pinned(), b.encoding_pinned());
+        }
+        assert!(back.column_by_name("k").unwrap().encoding_pinned());
+    }
+
+    #[test]
+    fn v5_round_trip_preserves_zones_and_pins() {
         let t = mixed_encoding()
             .with_column_encoding_pinned("k", Encoding::Bitmap)
             .unwrap();
@@ -766,6 +838,30 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_segment_tag_is_rejected() {
+        // A v5 file whose per-segment tag carries unknown bits must fail
+        // decode with a PersistError, not be misread as some encoding.
+        let t = multi_segment();
+        let bytes = encode_table(&t);
+        let mut raw = bytes.to_vec();
+        // Locate the first directory header (seg_rows = 128 as u64 LE);
+        // the first segment tag sits right after seg_rows + seg_count.
+        let pat = 128u64.to_le_bytes();
+        let pos = raw
+            .windows(8)
+            .position(|w| w == pat)
+            .expect("first directory header");
+        let tag_off = pos + 12;
+        assert!(raw[tag_off] & !(ENC_RLE | SEG_FLAG_PINNED) == 0, "sanity");
+        raw[tag_off] = 0xFC;
+        let err = decode_table(Bytes::from(raw));
+        assert!(
+            matches!(err, Err(StorageError::PersistError(_))),
+            "expected PersistError, got {err:?}"
+        );
+    }
+
+    #[test]
     fn corrupt_segment_ids_are_rejected_not_panicked() {
         // A v3 file whose segment references an id beyond the dictionary
         // must fail decode with a PersistError — zone derivation indexes
@@ -773,12 +869,6 @@ mod tests {
         let t = multi_segment();
         let bytes = encode_table_v3(&t);
         let mut raw = bytes.to_vec();
-        // Find the first present-id of the first segment of column 0 and
-        // bump it out of range. Layout after the table header: column 0 =
-        // tag dict(17 ints) enc seg_rows seg_count [srows present id...].
-        // Rather than hand-computing offsets, scan for the first
-        // occurrence of the segment header (srows=128 as u64 LE followed
-        // by a small present count) and clobber the id that follows.
         let pat = 128u64.to_le_bytes();
         let pos = raw
             .windows(8)
@@ -814,16 +904,20 @@ mod tests {
     }
 
     #[test]
-    fn zone_mapped_tables_still_downgrade_to_v1() {
-        let t = mixed_encoding()
+    fn mixed_directories_still_downgrade_to_v1() {
+        let t = mixed_directory()
             .with_column_encoding_pinned("v", Encoding::Rle)
             .unwrap();
         let back = decode_table(encode_table_v1(&t)).unwrap();
         back.check_invariants().unwrap();
         assert_eq!(back.to_rows(), t.to_rows());
-        // v1 carries neither zones nor pins: fresh defaults on decode, with
-        // zones re-derived from the re-segmented directory.
+        // v1 carries neither zones nor pins nor per-segment encodings:
+        // fresh bitmap defaults on decode, zones re-derived.
         assert!(back.columns().iter().all(|c| !c.encoding_pinned()));
+        assert!(back
+            .columns()
+            .iter()
+            .all(|c| c.uniform_encoding() == Some(Encoding::Bitmap)));
         assert!(back
             .columns()
             .iter()
@@ -842,21 +936,21 @@ mod tests {
     }
 
     #[test]
-    fn rle_columns_round_trip_v3() {
+    fn rle_columns_round_trip() {
         let t = mixed_encoding();
         let back = decode_table(encode_table(&t)).unwrap();
         back.check_invariants().unwrap();
         assert_eq!(back.to_rows(), t.to_rows());
         let col = back.column_by_name("v").unwrap();
-        assert_eq!(col.encoding(), Encoding::Rle);
+        assert_eq!(col.uniform_encoding(), Some(Encoding::Rle));
         assert_eq!(
             col.segment_count(),
             t.column_by_name("v").unwrap().segment_count()
         );
         assert_eq!(col.nominal_segment_rows(), 128);
         assert_eq!(
-            back.column_by_name("k").unwrap().encoding(),
-            Encoding::Bitmap
+            back.column_by_name("k").unwrap().uniform_encoding(),
+            Some(Encoding::Bitmap)
         );
     }
 
@@ -870,8 +964,8 @@ mod tests {
         // The v1 layout is bitmap-only: the RLE column comes back bitmap
         // encoded with identical values.
         assert_eq!(
-            back.column_by_name("v").unwrap().encoding(),
-            Encoding::Bitmap
+            back.column_by_name("v").unwrap().uniform_encoding(),
+            Some(Encoding::Bitmap)
         );
     }
 

@@ -1,13 +1,15 @@
 //! Row-range segments: the unit of storage, parallelism, and pruning of a
-//! segmented [`Column`](crate::Column).
+//! segmented [`EncodedColumn`](crate::encoded::EncodedColumn).
 //!
 //! A column is a column-global dictionary plus a directory of segments,
 //! each covering a consecutive row range (nominally
-//! [`DEFAULT_SEGMENT_ROWS`] rows). A segment stores one WAH bitmap per
-//! value id *that occurs in its range* — sparse, so a value concentrated in
-//! one part of the table costs nothing elsewhere — along with per-segment
-//! statistics (row count, present ids, per-id ones, compressed size) that
-//! scans use to prune entire segments without touching bitmap words.
+//! [`DEFAULT_SEGMENT_ROWS`] rows) in its own encoding. The bitmap
+//! [`Segment`] defined here stores one WAH bitmap per value id *that occurs
+//! in its range* — sparse, so a value concentrated in one part of the table
+//! costs nothing elsewhere — along with per-segment statistics (row count,
+//! present ids, per-id ones, compressed size) that scans use to prune
+//! entire segments without touching bitmap words. Its RLE twin lives in
+//! [`rle_segment`](crate::rle_segment).
 //!
 //! Segments are immutable and `Arc`-shared: appending tables (UNION) and
 //! row-range extraction reuse existing segments by reference instead of
@@ -16,7 +18,6 @@
 use cods_bitmap::Wah;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Arc;
 
 /// Default number of rows per segment (64 Ki).
 pub const DEFAULT_SEGMENT_ROWS: u64 = 64 * 1024;
@@ -228,6 +229,9 @@ pub struct Segment {
     ones: Vec<u64>,
     /// Cached total compressed bytes of the bitmaps.
     bytes: usize,
+    /// Cached total maximal constant-value runs (summed set-bit interval
+    /// counts) — the chooser consults this repeatedly.
+    runs: u64,
 }
 
 impl Segment {
@@ -240,11 +244,13 @@ impl Segment {
         let mut bitmaps = Vec::with_capacity(pairs.len());
         let mut ones = Vec::with_capacity(pairs.len());
         let mut bytes = 0;
+        let mut runs = 0u64;
         for (id, bm) in pairs {
             debug_assert!(bm.any(), "empty bitmap for id {id} in segment");
             debug_assert_eq!(bm.len(), rows, "bitmap length mismatch in segment");
             ones.push(bm.count_ones());
             bytes += bm.size_bytes();
+            runs += bm.iter_intervals().count() as u64;
             ids.push(id);
             bitmaps.push(bm);
         }
@@ -254,6 +260,7 @@ impl Segment {
             bitmaps,
             ones,
             bytes,
+            runs,
         }
     }
 
@@ -329,14 +336,12 @@ impl Segment {
     /// Total maximal constant-value runs in row order — the statistic the
     /// adaptive encoding chooser weighs against rows and distinct count.
     /// Each present value's maximal set-bit intervals are exactly its value
-    /// runs, so the sum over present values is the segment's run count (what
-    /// an RLE re-encoding would store). O(compressed words); the bitmaps
-    /// are walked in compressed form, never decompressed per row.
+    /// runs, so the sum over present values is the segment's run count
+    /// (what an RLE re-encoding would store). Cached at construction from
+    /// one compressed interval walk, so the chooser's repeated consults
+    /// are O(1).
     pub fn run_count(&self) -> u64 {
-        self.bitmaps
-            .iter()
-            .map(|bm| bm.iter_intervals().count() as u64)
-            .sum()
+        self.runs
     }
 
     /// Splices consecutive segments into one, combining cached statistics
@@ -378,9 +383,13 @@ impl Segment {
         let mut bitmaps = Vec::with_capacity(entries.len());
         let mut ones = Vec::with_capacity(entries.len());
         let mut bytes = 0usize;
+        let mut runs = 0u64;
         for (id, bm, n) in entries {
             debug_assert_eq!(bm.count_ones(), n, "spliced ones stat for id {id}");
             bytes += bm.size_bytes();
+            // Runs cannot be spliced from the parts (a run crossing the
+            // boundary fuses), so recount on the compressed form.
+            runs += bm.iter_intervals().count() as u64;
             ids.push(id);
             bitmaps.push(bm);
             ones.push(n);
@@ -391,12 +400,33 @@ impl Segment {
             bitmaps,
             ones,
             bytes,
+            runs,
+        }
+    }
+
+    /// Writes each row's value id into `out` (segment-local coordinates).
+    pub(crate) fn fill_ids(&self, out: &mut [u32]) {
+        for (&id, bm) in self.ids.iter().zip(&self.bitmaps) {
+            for pos in bm.iter_ones() {
+                debug_assert_eq!(out[pos as usize], u32::MAX, "overlapping bitmaps");
+                out[pos as usize] = id;
+            }
+        }
+    }
+
+    /// Writes each row's *local slot index* (position in `present_ids`)
+    /// into `out`.
+    pub(crate) fn fill_local_slots(&self, out: &mut [u32]) {
+        for (slot, bm) in self.bitmaps.iter().enumerate() {
+            for pos in bm.iter_ones() {
+                out[pos as usize] = slot as u32;
+            }
         }
     }
 
     /// Re-expresses the segment as an unaligned [`SegmentChunk`] (bitmaps
-    /// cloned), the form compaction feeds back through a
-    /// [`SegmentAssembler`] when regrouping.
+    /// cloned), the form compaction feeds back through an assembler when
+    /// regrouping.
     pub fn to_chunk(&self) -> SegmentChunk {
         SegmentChunk {
             ids: self.ids.clone(),
@@ -458,6 +488,14 @@ impl Segment {
         if bytes != self.bytes {
             return Err("stale byte-size cache".into());
         }
+        let runs: u64 = self
+            .bitmaps
+            .iter()
+            .map(|bm| bm.iter_intervals().count() as u64)
+            .sum();
+        if runs != self.runs {
+            return Err("stale run-count cache".into());
+        }
         // Ones totalling rows plus full coverage implies disjointness;
         // verify coverage on small segments via an OR-fold.
         if self.rows > 0 && self.rows <= 10_000 {
@@ -467,6 +505,57 @@ impl Segment {
             }
         }
         Ok(())
+    }
+}
+
+/// Accumulates per-value bitmaps with lazy zero padding: values absent
+/// from a stretch of rows are back-filled with a zero run the next time
+/// they appear (and at finish), so cost is proportional to the values
+/// actually present. The one shared implementation of the idiom used by
+/// RLE→bitmap transcoding and the unified assembler's mixed-piece seal.
+pub(crate) struct PaddedBitmaps {
+    acc: HashMap<u32, (Wah, u64)>,
+}
+
+impl PaddedBitmaps {
+    pub(crate) fn new() -> PaddedBitmaps {
+        PaddedBitmaps {
+            acc: HashMap::new(),
+        }
+    }
+
+    /// Appends `len` set rows of value `id` starting at absolute row `at`.
+    pub(crate) fn append_run(&mut self, id: u32, at: u64, len: u64) {
+        let (bm, emitted) = self.acc.entry(id).or_insert_with(|| (Wah::new(), 0));
+        if *emitted < at {
+            bm.append_run(false, at - *emitted);
+        }
+        bm.append_run(true, len);
+        *emitted = at + len;
+    }
+
+    /// Appends an existing bitmap piece of value `id` covering absolute
+    /// rows `[offset, offset + piece.len())`.
+    pub(crate) fn append_bitmap(&mut self, id: u32, piece: &Wah, offset: u64) {
+        let (bm, emitted) = self.acc.entry(id).or_insert_with(|| (Wah::new(), 0));
+        if *emitted < offset {
+            bm.append_run(false, offset - *emitted);
+        }
+        bm.append_bitmap(piece);
+        *emitted = offset + piece.len();
+    }
+
+    /// Pads every bitmap to `rows` and returns the `(id, bitmap)` pairs.
+    pub(crate) fn finish(self, rows: u64) -> Vec<(u32, Wah)> {
+        self.acc
+            .into_iter()
+            .map(|(id, (mut bm, emitted))| {
+                if emitted < rows {
+                    bm.append_run(false, rows - emitted);
+                }
+                (id, bm)
+            })
+            .collect()
     }
 }
 
@@ -544,150 +633,9 @@ impl SegmentChunk {
     }
 }
 
-/// Splices a stream of [`SegmentChunk`]s into segments of a fixed target
-/// row count. Values absent from a chunk are zero-padded lazily, so cost is
-/// proportional to the values actually present.
-pub struct SegmentAssembler {
-    target: u64,
-    /// Explicit piece-size schedule (compaction regrouping); when present,
-    /// each sealed segment consumes the next entry and `target` tracks the
-    /// current one.
-    schedule: Option<std::collections::VecDeque<u64>>,
-    cur_len: u64,
-    /// id → (bitmap so far, rows represented so far). Bitmaps are padded to
-    /// `cur_len` lazily on append and at seal time.
-    cur: HashMap<u32, (Wah, u64)>,
-    segments: Vec<Arc<Segment>>,
-}
-
-impl SegmentAssembler {
-    /// An assembler producing segments of `target` rows (last may be short).
-    pub fn new(target: u64) -> SegmentAssembler {
-        assert!(target > 0, "segment size must be positive");
-        SegmentAssembler {
-            target,
-            schedule: None,
-            cur_len: 0,
-            cur: HashMap::new(),
-            segments: Vec::new(),
-        }
-    }
-
-    /// An assembler producing segments of the given explicit sizes, in
-    /// order. The pushed chunks must cover exactly `pieces.iter().sum()`
-    /// rows. Used by compaction to regroup a run of segments.
-    pub fn with_piece_sizes(pieces: Vec<u64>) -> SegmentAssembler {
-        assert!(
-            pieces.iter().all(|&p| p > 0),
-            "piece sizes must be positive"
-        );
-        let mut schedule: std::collections::VecDeque<u64> = pieces.into();
-        let target = schedule.pop_front().unwrap_or(u64::MAX);
-        SegmentAssembler {
-            target,
-            schedule: Some(schedule),
-            cur_len: 0,
-            cur: HashMap::new(),
-            segments: Vec::new(),
-        }
-    }
-
-    fn advance_target(&mut self) {
-        if let Some(schedule) = &mut self.schedule {
-            self.target = schedule.pop_front().unwrap_or(u64::MAX);
-        }
-    }
-
-    /// Appends a chunk, splitting it across segment boundaries as needed.
-    pub fn push_chunk(&mut self, chunk: SegmentChunk) {
-        let SegmentChunk { ids, bitmaps, rows } = chunk;
-        debug_assert_eq!(ids.len(), bitmaps.len());
-        if rows == 0 {
-            return;
-        }
-        // Fast path: a chunk exactly filling an empty current segment
-        // becomes that segment outright — bitmaps are moved, not cloned.
-        // This is the common case when producers chunk at the target size.
-        if self.cur_len == 0 && rows == self.target {
-            let pairs: Vec<(u32, Wah)> = ids
-                .into_iter()
-                .zip(bitmaps)
-                .filter(|(_, bm)| bm.any())
-                .collect();
-            self.segments.push(Arc::new(Segment::new(rows, pairs)));
-            self.advance_target();
-            return;
-        }
-        let mut offset = 0u64;
-        while offset < rows {
-            let room = self.target - self.cur_len;
-            let take = room.min(rows - offset);
-            for (&id, bm) in ids.iter().zip(&bitmaps) {
-                let piece = if offset == 0 && take == rows {
-                    // Whole chunk fits: avoid the slice copy.
-                    bm.clone()
-                } else {
-                    bm.slice(offset, offset + take)
-                };
-                if !piece.any() {
-                    continue;
-                }
-                let (acc, len) = self.cur.entry(id).or_insert_with(|| (Wah::new(), 0));
-                if *len < self.cur_len {
-                    acc.append_run(false, self.cur_len - *len);
-                }
-                acc.append_bitmap(&piece);
-                *len = self.cur_len + take;
-            }
-            self.cur_len += take;
-            offset += take;
-            if self.cur_len == self.target {
-                self.seal();
-            }
-        }
-    }
-
-    fn seal(&mut self) {
-        if self.cur_len == 0 {
-            return;
-        }
-        let len = self.cur_len;
-        let pairs: Vec<(u32, Wah)> = self
-            .cur
-            .drain()
-            .map(|(id, (mut bm, emitted))| {
-                if emitted < len {
-                    bm.append_run(false, len - emitted);
-                }
-                (id, bm)
-            })
-            .collect();
-        self.segments.push(Arc::new(Segment::new(len, pairs)));
-        self.cur_len = 0;
-        self.advance_target();
-    }
-
-    /// Seals the trailing partial segment and returns the directory.
-    pub fn finish(mut self) -> Vec<Arc<Segment>> {
-        self.seal();
-        self.segments
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn chunk(rows: u64, pairs: &[(u32, &[u64])]) -> SegmentChunk {
-        SegmentChunk {
-            ids: pairs.iter().map(|&(id, _)| id).collect(),
-            bitmaps: pairs
-                .iter()
-                .map(|&(_, pos)| Wah::from_sorted_positions(pos.iter().copied(), rows))
-                .collect(),
-            rows,
-        }
-    }
 
     #[test]
     fn segment_stats_and_lookup() {
@@ -706,45 +654,6 @@ mod tests {
         assert!(!s.contains_id(3));
         assert_eq!(s.id_at(0), Some(7));
         assert_eq!(s.id_at(1), Some(2));
-    }
-
-    #[test]
-    fn assembler_splits_on_boundaries() {
-        let mut asm = SegmentAssembler::new(4);
-        // 6 rows: ids 0,0,1,1,0,1
-        asm.push_chunk(chunk(6, &[(0, &[0, 1, 4]), (1, &[2, 3, 5])]));
-        // 3 more rows, only id 2.
-        asm.push_chunk(chunk(3, &[(2, &[0, 1, 2])]));
-        let segs = asm.finish();
-        assert_eq!(segs.len(), 3);
-        assert_eq!(segs[0].rows(), 4);
-        assert_eq!(segs[1].rows(), 4);
-        assert_eq!(segs[2].rows(), 1);
-        for s in &segs {
-            s.check_invariants().unwrap();
-        }
-        assert_eq!(segs[0].present_ids(), &[0, 1]);
-        // Second segment: rows 4..8 = [0, 1, 2, 2]
-        assert_eq!(segs[1].present_ids(), &[0, 1, 2]);
-        assert_eq!(segs[1].count_for(2), 2);
-        assert_eq!(segs[2].present_ids(), &[2]);
-    }
-
-    #[test]
-    fn assembler_pads_absent_values() {
-        let mut asm = SegmentAssembler::new(10);
-        asm.push_chunk(chunk(3, &[(5, &[0, 1, 2])]));
-        asm.push_chunk(chunk(3, &[(9, &[0, 1, 2])]));
-        asm.push_chunk(chunk(2, &[(5, &[0, 1])]));
-        let segs = asm.finish();
-        assert_eq!(segs.len(), 1);
-        let s = &segs[0];
-        s.check_invariants().unwrap();
-        assert_eq!(s.rows(), 8);
-        let bm5 = s.bitmap_for(5).unwrap();
-        assert_eq!(bm5.to_positions(), vec![0, 1, 2, 6, 7]);
-        let bm9 = s.bitmap_for(9).unwrap();
-        assert_eq!(bm9.to_positions(), vec![3, 4, 5]);
     }
 
     #[test]

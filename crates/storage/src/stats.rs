@@ -5,17 +5,24 @@ use crate::encoded::{EncodedColumn, Encoding};
 use crate::table::Table;
 use crate::value::Value;
 
-/// Per-column storage statistics (both encodings share the segment
-/// directory, so segment counts, zones, and per-segment sparsity are
-/// reported uniformly).
+/// Per-column storage statistics. Since the unified directory a column's
+/// segments may mix encodings, so the physical layout is reported as a
+/// histogram plus the uniform encoding when there is one.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ColumnStats {
     /// Rows in the column.
     pub rows: u64,
-    /// The column's physical encoding.
-    pub encoding: Encoding,
-    /// `true` when the encoding was pinned by an explicit recode.
+    /// The single encoding every segment shares, when homogeneous.
+    pub encoding: Option<Encoding>,
+    /// Bitmap-encoded segments in the directory.
+    pub bitmap_segments: usize,
+    /// RLE-encoded segments in the directory.
+    pub rle_segments: usize,
+    /// `true` when the whole column was pinned by an explicit recode.
     pub encoding_pinned: bool,
+    /// Segments pinned individually by a segment-range recode (or by the
+    /// column pin).
+    pub pinned_segments: usize,
     /// Distinct values (dictionary size).
     pub distinct: usize,
     /// Number of row-range segments.
@@ -33,8 +40,15 @@ pub struct ColumnStats {
     pub runs: u64,
     /// Mean run length (`rows / runs`; 0 when empty).
     pub avg_run_len: f64,
-    /// What the adaptive chooser would pick for this column right now.
+    /// What the column-aggregate chooser would pick right now.
     pub chooser_pick: Encoding,
+    /// Segments the per-segment chooser would put in bitmap form.
+    pub chooser_bitmap_segments: usize,
+    /// Segments the per-segment chooser would put in RLE form.
+    pub chooser_rle_segments: usize,
+    /// Unpinned segments whose current encoding differs from the
+    /// per-segment chooser's pick (what `auto` would re-encode).
+    pub chooser_disagreements: usize,
     /// Compressed payload bytes — bitmap words or RLE runs, summed from
     /// segment stats.
     pub payload_bytes: usize,
@@ -67,10 +81,30 @@ impl ColumnStats {
                 c.dict().value(whole.max_id).clone(),
             ))
         };
+        let (bitmap_segments, rle_segments) = c.encoding_counts();
+        let mut chooser_bitmap_segments = 0;
+        let mut chooser_rle_segments = 0;
+        let mut chooser_disagreements = 0;
+        let mut pinned_segments = 0;
+        for (i, seg) in c.segments().iter().enumerate() {
+            let pick = c.choose_segment_encoding(i);
+            match pick {
+                Encoding::Bitmap => chooser_bitmap_segments += 1,
+                Encoding::Rle => chooser_rle_segments += 1,
+            }
+            if c.segment_pinned(i) {
+                pinned_segments += 1;
+            } else if pick != seg.encoding() {
+                chooser_disagreements += 1;
+            }
+        }
         ColumnStats {
             rows: c.rows(),
-            encoding: c.encoding(),
+            encoding: c.uniform_encoding(),
+            bitmap_segments,
+            rle_segments,
             encoding_pinned: c.encoding_pinned(),
+            pinned_segments,
             distinct: c.distinct_count(),
             segments: c.segment_count(),
             zoned_segments: zones.len(),
@@ -83,6 +117,9 @@ impl ColumnStats {
                 c.rows() as f64 / runs as f64
             },
             chooser_pick: c.choose_encoding(),
+            chooser_bitmap_segments,
+            chooser_rle_segments,
+            chooser_disagreements,
             payload_bytes,
             dict_bytes: c.dict().size_bytes(),
             plain_matrix_bytes: plain,
@@ -183,7 +220,10 @@ mod tests {
         assert_eq!(s.runs, 20, "clustered: one run per value");
         assert!((s.avg_run_len - 100.0).abs() < 1e-9);
         assert_eq!(s.chooser_pick, Encoding::Rle, "clustered column → RLE");
+        assert_eq!(s.chooser_rle_segments, 4, "every segment's own pick is RLE");
+        assert_eq!(s.chooser_disagreements, 4, "all four would re-encode");
         assert!(!s.encoding_pinned);
+        assert_eq!(s.pinned_segments, 0);
     }
 
     #[test]
@@ -195,9 +235,29 @@ mod tests {
             .recoded(Encoding::Rle)
             .unwrap();
         let stats = TableStats::of(&t);
-        assert_eq!(stats.columns[0].encoding, Encoding::Rle);
+        assert_eq!(stats.columns[0].encoding, Some(Encoding::Rle));
+        assert_eq!(stats.columns[0].rle_segments, 8);
+        assert_eq!(stats.columns[0].bitmap_segments, 0);
         assert_eq!(stats.columns[0].segments, 8);
         assert!(stats.columns[0].max_segment_distinct <= stats.columns[0].distinct);
         assert!(stats.columns[0].payload_bytes > 0);
+    }
+    #[test]
+    fn mixed_directories_report_a_histogram() {
+        let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..1_000).map(|i| vec![Value::int(i / 100)]).collect();
+        let t = Table::from_rows_with_segment_rows("t", schema, &rows, 125).unwrap();
+        let mixed = t
+            .with_column_segment_range_encoding("c", Encoding::Rle, 0..3)
+            .unwrap();
+        let s = &TableStats::of(&mixed).columns[0];
+        assert_eq!(s.encoding, None, "mixed directory has no uniform encoding");
+        assert_eq!((s.bitmap_segments, s.rle_segments), (5, 3));
+        assert_eq!(s.pinned_segments, 3);
+        assert_eq!(s.chooser_rle_segments, 8, "clustered: every pick is RLE");
+        assert_eq!(
+            s.chooser_disagreements, 5,
+            "the five unpinned bitmap segments"
+        );
     }
 }

@@ -6,8 +6,7 @@
 //! created right away using the existing columns … without any data
 //! operation" — as literal pointer sharing.
 
-use crate::column::ColumnBuilder;
-use crate::encoded::{EncodedColumn, Encoding};
+use crate::encoded::{ColumnBuilder, EncodedColumn, Encoding};
 use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -97,10 +96,7 @@ impl Table {
                 b.push(v.clone())?;
             }
         }
-        let columns = builders
-            .into_iter()
-            .map(|b| Arc::new(EncodedColumn::Bitmap(b.finish())))
-            .collect();
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
         Table::new(name, schema, columns)
     }
 
@@ -112,7 +108,7 @@ impl Table {
             .columns
             .iter()
             .map(|c| {
-                Ok(if c.encoding() == encoding {
+                Ok(if c.is_uniform(encoding) {
                     Arc::clone(c)
                 } else {
                     Arc::new(c.recode(encoding)?)
@@ -131,9 +127,39 @@ impl Table {
     ) -> Result<Table, StorageError> {
         let idx = self.schema.index_of(name)?;
         let mut columns = self.columns.clone();
-        if columns[idx].encoding() != encoding {
+        if !columns[idx].is_uniform(encoding) {
             columns[idx] = Arc::new(columns[idx].recode(encoding)?);
         }
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Re-encodes only the named column's segments with indices in `range`
+    /// to `encoding`, pinning each against the chooser — the segment-range
+    /// form of an explicit recode. All other columns (and segments) are
+    /// shared by reference.
+    pub fn with_column_segment_range_encoding(
+        &self,
+        name: &str,
+        encoding: Encoding,
+        range: std::ops::Range<usize>,
+    ) -> Result<Table, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        let mut columns = self.columns.clone();
+        columns[idx] = Arc::new(columns[idx].recode_segments(range, encoding)?);
+        Table::new(&self.name, self.schema.clone(), columns)
+    }
+
+    /// Clears the pins of the named column's segments in `range` and
+    /// re-encodes each to the per-segment chooser's pick — the
+    /// segment-range form of `recode … auto`.
+    pub fn auto_encode_column_range(
+        &self,
+        name: &str,
+        range: std::ops::Range<usize>,
+    ) -> Result<Table, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        let mut columns = self.columns.clone();
+        columns[idx] = Arc::new(columns[idx].auto_recode_segments(range)?);
         Table::new(&self.name, self.schema.clone(), columns)
     }
 
@@ -144,7 +170,7 @@ impl Table {
             .columns
             .iter()
             .map(|c| {
-                let mut col = if c.encoding() == encoding {
+                let mut col = if c.is_uniform(encoding) {
                     (**c).clone()
                 } else {
                     c.recode(encoding)?
@@ -165,7 +191,7 @@ impl Table {
     ) -> Result<Table, StorageError> {
         let idx = self.schema.index_of(name)?;
         let mut columns = self.columns.clone();
-        let mut col = if columns[idx].encoding() == encoding {
+        let mut col = if columns[idx].is_uniform(encoding) {
             (*columns[idx]).clone()
         } else {
             columns[idx].recode(encoding)?
@@ -175,21 +201,21 @@ impl Table {
         Table::new(&self.name, self.schema.clone(), columns)
     }
 
-    /// Returns a copy with every unpinned column re-encoded to the adaptive
-    /// chooser's pick (columns already in the chosen encoding, and pinned
-    /// ones, are shared by reference).
+    /// Returns a copy with every unpinned segment of every column
+    /// re-encoded to the per-segment chooser's pick (columns the chooser
+    /// would leave untouched, and pinned ones, are shared by reference).
+    /// Columns whose data mixes clustered and scattered row ranges come
+    /// out with genuinely mixed directories.
     pub fn auto_encoded(&self) -> Result<Table, StorageError> {
         let columns = self
             .columns
             .iter()
             .map(|c| {
-                Ok(
-                    if c.encoding_pinned() || c.choose_encoding() == c.encoding() {
-                        Arc::clone(c)
-                    } else {
-                        Arc::new(c.auto_recoded()?)
-                    },
-                )
+                Ok(if c.needs_auto_recode() {
+                    Arc::new(c.auto_recoded()?)
+                } else {
+                    Arc::clone(c)
+                })
             })
             .collect::<Result<_, StorageError>>()?;
         Table::new(&self.name, self.schema.clone(), columns)
@@ -570,14 +596,12 @@ mod tests {
         let t = Table::from_rows_with_segment_rows("t", schema, &rows, 512).unwrap();
         let c = t.cluster_by(&["k"]).unwrap();
         c.check_invariants().unwrap();
-        assert_eq!(
-            c.column_by_name("k").unwrap().encoding(),
-            Encoding::Rle,
+        assert!(
+            c.column_by_name("k").unwrap().is_uniform(Encoding::Rle),
             "chooser flips the sort column to RLE after clustering"
         );
-        assert_eq!(
-            c.column_by_name("u").unwrap().encoding(),
-            Encoding::Bitmap,
+        assert!(
+            c.column_by_name("u").unwrap().is_uniform(Encoding::Bitmap),
             "scattered column stays bitmap"
         );
         assert_eq!(c.tuple_multiset(), t.tuple_multiset());
@@ -587,11 +611,11 @@ mod tests {
             .with_column_encoding_pinned("k", Encoding::Bitmap)
             .unwrap();
         let cp = pinned.cluster_by(&["k"]).unwrap();
-        assert_eq!(cp.column_by_name("k").unwrap().encoding(), Encoding::Bitmap);
+        assert!(cp.column_by_name("k").unwrap().is_uniform(Encoding::Bitmap));
         assert!(cp.column_by_name("k").unwrap().encoding_pinned());
         // ...until re-set to auto.
         let auto = cp.auto_encode_column("k").unwrap();
-        assert_eq!(auto.column_by_name("k").unwrap().encoding(), Encoding::Rle);
+        assert!(auto.column_by_name("k").unwrap().is_uniform(Encoding::Rle));
         assert!(!auto.column_by_name("k").unwrap().encoding_pinned());
     }
 
@@ -602,7 +626,7 @@ mod tests {
         assert!(p
             .columns()
             .iter()
-            .all(|c| c.encoding() == Encoding::Rle && c.encoding_pinned()));
+            .all(|c| c.is_uniform(Encoding::Rle) && c.encoding_pinned()));
         assert_eq!(p.to_rows(), r.to_rows());
         let back = p.auto_encoded().unwrap();
         // Pinned columns are untouched by the table-level chooser pass.
@@ -612,9 +636,7 @@ mod tests {
     #[test]
     fn column_type_checked_against_schema() {
         let schema = Schema::build(&[("a", ValueType::Int)], &[]).unwrap();
-        let col = Arc::new(EncodedColumn::Bitmap(
-            crate::column::Column::from_values(ValueType::Str, &[Value::str("x")]).unwrap(),
-        ));
+        let col = Arc::new(EncodedColumn::from_values(ValueType::Str, &[Value::str("x")]).unwrap());
         assert!(Table::new("t", schema, vec![col]).is_err());
     }
 
@@ -624,7 +646,7 @@ mod tests {
         let rle = r.recoded(Encoding::Rle).unwrap();
         rle.check_invariants().unwrap();
         assert_eq!(rle.to_rows(), r.to_rows());
-        assert!(rle.columns().iter().all(|c| c.encoding() == Encoding::Rle));
+        assert!(rle.columns().iter().all(|c| c.is_uniform(Encoding::Rle)));
         let back = rle.recoded(Encoding::Bitmap).unwrap();
         assert_eq!(back.to_rows(), r.to_rows());
         // Re-encoding to the current encoding shares columns by reference.
@@ -633,10 +655,33 @@ mod tests {
         // Single-column recode shares the rest.
         let one = r.with_column_encoding("skill", Encoding::Rle).unwrap();
         assert!(r.shares_column_with(&one, "employee"));
-        assert_eq!(
-            one.column_by_name("skill").unwrap().encoding(),
-            Encoding::Rle
-        );
+        assert!(one
+            .column_by_name("skill")
+            .unwrap()
+            .is_uniform(Encoding::Rle));
         assert_eq!(one.to_rows(), r.to_rows());
+    }
+    #[test]
+    fn segment_range_recode_mixes_one_column() {
+        let schema = Schema::build(&[("k", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..800).map(|i| vec![Value::int(i / 50)]).collect();
+        let t = Table::from_rows_with_segment_rows("t", schema, &rows, 100).unwrap();
+        assert_eq!(t.column(0).segment_count(), 8);
+        let m = t
+            .with_column_segment_range_encoding("k", Encoding::Rle, 0..4)
+            .unwrap();
+        m.check_invariants().unwrap();
+        let col = m.column_by_name("k").unwrap();
+        assert_eq!(col.encoding_counts(), (4, 4));
+        assert!(col.segment_pinned(0) && !col.segment_pinned(4));
+        assert_eq!(m.to_rows(), t.to_rows());
+        // `auto` over the range hands those segments back to the chooser
+        // (clustered data: they stay RLE but the pins clear).
+        let back = m.auto_encode_column_range("k", 0..4).unwrap();
+        let col = back.column_by_name("k").unwrap();
+        assert!(!col.segment_pinned(0));
+        assert!(t
+            .with_column_segment_range_encoding("k", Encoding::Rle, 7..9)
+            .is_err());
     }
 }

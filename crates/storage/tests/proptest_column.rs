@@ -1,10 +1,12 @@
 //! Property tests of the column store against a plain `Vec<Value>` model,
 //! of the segmented layout against a single-segment (monolithic) column,
-//! and of the RLE encoding against the bitmap encoding: every data-level
+//! and of the per-segment encodings against each other: every data-level
 //! primitive must be bit-identical regardless of how the rows are chunked
-//! or which physical encoding holds them.
+//! or which physical encoding holds each segment — including **randomly
+//! mixed** directories where bitmap and RLE segments interleave within one
+//! column.
 
-use cods_storage::{Column, RleColumn, RowIdCursor, Value, ValueType};
+use cods_storage::{EncodedColumn, Encoding, RowIdCursor, Value, ValueType};
 use proptest::prelude::*;
 
 /// A segment size so large the column degenerates to one segment — the
@@ -30,12 +32,28 @@ fn values() -> impl Strategy<Value = Vec<Value>> {
     )
 }
 
+fn bitmap_col(vals: &[Value], seg: u64) -> EncodedColumn {
+    EncodedColumn::from_values_with(ValueType::Int, vals, seg).unwrap()
+}
+
+/// Recodes segments to RLE wherever `pattern` has a set bit — a random
+/// per-segment encoding assignment.
+fn mix(col: &EncodedColumn, pattern: u64) -> EncodedColumn {
+    let mut out = col.clone();
+    for i in 0..col.segment_count() {
+        if pattern & (1 << (i % 64)) != 0 {
+            out = out.recode_segments(i..i + 1, Encoding::Rle).unwrap();
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn column_round_trips(vals in values()) {
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         col.check_invariants().unwrap();
         prop_assert_eq!(col.values(), vals);
     }
@@ -43,7 +61,7 @@ proptest! {
     #[test]
     fn filter_positions_matches_model(vals in values(), seed in prop::collection::vec(any::<u16>(), 0..100)) {
         prop_assume!(!vals.is_empty());
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         let mut positions: Vec<u64> = seed
             .iter()
             .map(|&s| u64::from(s) % vals.len() as u64)
@@ -61,7 +79,7 @@ proptest! {
         seed in prop::collection::vec(any::<u16>(), 0..100),
     ) {
         prop_assume!(!vals.is_empty());
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         let positions: Vec<u64> = seed
             .iter()
             .map(|&s| u64::from(s) % vals.len() as u64)
@@ -73,8 +91,8 @@ proptest! {
 
     #[test]
     fn concat_matches_model(a in values(), b in values()) {
-        let ca = Column::from_values(ValueType::Int, &a).unwrap();
-        let cb = Column::from_values(ValueType::Int, &b).unwrap();
+        let ca = EncodedColumn::from_values(ValueType::Int, &a).unwrap();
+        let cb = EncodedColumn::from_values(ValueType::Int, &b).unwrap();
         let joined = ca.concat(&cb).unwrap();
         joined.check_invariants().unwrap();
         let mut expect = a;
@@ -89,22 +107,23 @@ proptest! {
         if lo > hi {
             std::mem::swap(&mut lo, &mut hi);
         }
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         let sliced = col.slice(lo, hi);
         prop_assert_eq!(sliced.values(), vals[lo as usize..hi as usize].to_vec());
     }
 
     #[test]
     fn rle_agrees_with_bitmap_encoding(vals in values()) {
-        let bitmap = Column::from_values(ValueType::Int, &vals).unwrap();
-        let rle = RleColumn::from_column(&bitmap);
+        let bitmap = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
+        let rle = bitmap.recode(Encoding::Rle).unwrap();
+        rle.check_invariants().unwrap();
         prop_assert_eq!(rle.values(), bitmap.values());
-        prop_assert_eq!(rle.to_column().unwrap(), bitmap);
+        prop_assert_eq!(rle.recode(Encoding::Bitmap).unwrap(), bitmap);
     }
 
     #[test]
     fn value_ids_partition_every_row(vals in values()) {
-        let col = Column::from_values(ValueType::Int, &vals).unwrap();
+        let col = EncodedColumn::from_values(ValueType::Int, &vals).unwrap();
         let ids = col.value_ids();
         prop_assert_eq!(ids.len(), vals.len());
         for (row, id) in ids.iter().enumerate() {
@@ -121,8 +140,8 @@ proptest! {
         seed in prop::collection::vec(any::<u16>(), 0..100),
     ) {
         prop_assume!(!vals.is_empty());
-        let segmented = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let mono = Column::from_values_with(ValueType::Int, &vals, MONO).unwrap();
+        let segmented = bitmap_col(&vals, seg);
+        let mono = bitmap_col(&vals, MONO);
         prop_assert!(mono.segment_count() <= 1);
         let mut positions: Vec<u64> = seed
             .iter()
@@ -138,10 +157,10 @@ proptest! {
 
     #[test]
     fn segmented_concat_matches_monolithic(a in values(), b in values(), seg in seg_sizes()) {
-        let sa = Column::from_values_with(ValueType::Int, &a, seg).unwrap();
-        let sb = Column::from_values_with(ValueType::Int, &b, seg).unwrap();
-        let ma = Column::from_values_with(ValueType::Int, &a, MONO).unwrap();
-        let mb = Column::from_values_with(ValueType::Int, &b, MONO).unwrap();
+        let sa = bitmap_col(&a, seg);
+        let sb = bitmap_col(&b, seg);
+        let ma = bitmap_col(&a, MONO);
+        let mb = bitmap_col(&b, MONO);
         let joined_seg = sa.concat(&sb).unwrap();
         let joined_mono = ma.concat(&mb).unwrap();
         joined_seg.check_invariants().unwrap();
@@ -161,8 +180,8 @@ proptest! {
         if lo > hi {
             std::mem::swap(&mut lo, &mut hi);
         }
-        let segmented = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let mono = Column::from_values_with(ValueType::Int, &vals, MONO).unwrap();
+        let segmented = bitmap_col(&vals, seg);
+        let mono = bitmap_col(&vals, MONO);
         let ss = segmented.slice(lo, hi);
         let ms = mono.slice(lo, hi);
         ss.check_invariants().unwrap();
@@ -172,8 +191,8 @@ proptest! {
 
     #[test]
     fn segmented_cursor_matches_monolithic(vals in values(), seg in seg_sizes()) {
-        let segmented = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let mono = Column::from_values_with(ValueType::Int, &vals, MONO).unwrap();
+        let segmented = bitmap_col(&vals, seg);
+        let mono = bitmap_col(&vals, MONO);
         let a: Vec<(u64, u32)> = RowIdCursor::new(&segmented).collect();
         let b: Vec<(u64, u32)> = RowIdCursor::new(&mono).collect();
         // Dictionaries are built in the same first-appearance order, so the
@@ -183,8 +202,8 @@ proptest! {
 
     #[test]
     fn segmented_value_bitmap_matches_monolithic(vals in values(), seg in seg_sizes()) {
-        let segmented = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let mono = Column::from_values_with(ValueType::Int, &vals, MONO).unwrap();
+        let segmented = bitmap_col(&vals, seg);
+        let mono = bitmap_col(&vals, MONO);
         for id in 0..segmented.distinct_count() as u32 {
             prop_assert_eq!(segmented.value_bitmap(id), mono.value_bitmap(id));
             prop_assert_eq!(segmented.value_count(id), mono.value_count(id));
@@ -202,8 +221,8 @@ proptest! {
             .iter()
             .map(|&s| u64::from(s) % vals.len() as u64)
             .collect();
-        let segmented = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let mono = Column::from_values_with(ValueType::Int, &vals, MONO).unwrap();
+        let segmented = bitmap_col(&vals, seg);
+        let mono = bitmap_col(&vals, MONO);
         prop_assert_eq!(
             segmented.gather(&positions).values(),
             mono.gather(&positions).values()
@@ -213,14 +232,12 @@ proptest! {
     #[test]
     fn persist_round_trip_across_versions(vals in values(), seg in seg_sizes()) {
         use cods_storage::persist::{decode_table, encode_table, encode_table_v1};
-        use cods_storage::{EncodedColumn, Schema, Table};
+        use cods_storage::{Schema, Table};
         use std::sync::Arc;
         let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
-        let col = Arc::new(EncodedColumn::Bitmap(
-            Column::from_values_with(ValueType::Int, &vals, seg).unwrap(),
-        ));
+        let col = Arc::new(bitmap_col(&vals, seg));
         let t = Table::new("t", schema, vec![col]).unwrap();
-        // Current (segment directory) round trip.
+        // Current (unified directory) round trip.
         let now = decode_table(encode_table(&t)).unwrap();
         prop_assert_eq!(now.to_rows(), t.to_rows());
         now.check_invariants().unwrap();
@@ -230,67 +247,51 @@ proptest! {
         v1.check_invariants().unwrap();
     }
 
-    // ---- RLE vs bitmap differential: every primitive bit-identical ----
+    // ---- Mixed-directory differential: every primitive bit-identical ----
 
     #[test]
-    fn rle_filter_positions_matches_bitmap(
+    fn mixed_directory_matches_uniform_primitives(
         vals in values(),
         seg in seg_sizes(),
+        pattern in any::<u64>(),
         seed in prop::collection::vec(any::<u16>(), 0..100),
     ) {
         prop_assume!(!vals.is_empty());
-        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let rle = RleColumn::from_column(&bitmap);
-        rle.check_invariants().unwrap();
+        let bitmap = bitmap_col(&vals, seg);
+        let mixed = mix(&bitmap, pattern);
+        mixed.check_invariants().unwrap();
+        prop_assert_eq!(mixed.values(), bitmap.values());
+        prop_assert_eq!(mixed.value_ids(), bitmap.value_ids());
+        prop_assert_eq!(mixed.dict(), bitmap.dict());
+        // Filter (sorted) and gather (unsorted).
         let mut positions: Vec<u64> = seed
             .iter()
             .map(|&s| u64::from(s) % vals.len() as u64)
             .collect();
+        let unsorted = positions.clone();
         positions.sort_unstable();
-        let fb = bitmap.filter_positions(&positions);
-        let fr = rle.filter_positions(&positions);
-        fr.check_invariants().unwrap();
-        prop_assert_eq!(fr.values(), fb.values());
-        prop_assert_eq!(fr.dict(), fb.dict());
-        prop_assert_eq!(fr.value_ids(), fb.value_ids());
-    }
-
-    #[test]
-    fn rle_gather_matches_bitmap(
-        vals in values(),
-        seg in seg_sizes(),
-        seed in prop::collection::vec(any::<u16>(), 0..100),
-    ) {
-        prop_assume!(!vals.is_empty());
-        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let rle = RleColumn::from_column(&bitmap);
-        let positions: Vec<u64> = seed
-            .iter()
-            .map(|&s| u64::from(s) % vals.len() as u64)
-            .collect();
+        let fm = mixed.filter_positions(&positions);
+        fm.check_invariants().unwrap();
+        prop_assert_eq!(fm.values(), bitmap.filter_positions(&positions).values());
         prop_assert_eq!(
-            rle.gather(&positions).values(),
-            bitmap.gather(&positions).values()
+            mixed.gather(&unsorted).values(),
+            bitmap.gather(&unsorted).values()
         );
+        // Cursor and value bitmaps.
+        let ca: Vec<(u64, u32)> = RowIdCursor::new(&mixed).collect();
+        let cb: Vec<(u64, u32)> = RowIdCursor::new(&bitmap).collect();
+        prop_assert_eq!(ca, cb);
+        for id in 0..bitmap.distinct_count() as u32 {
+            prop_assert_eq!(mixed.value_bitmap(id), bitmap.value_bitmap(id));
+            prop_assert_eq!(mixed.value_count(id), bitmap.value_count(id));
+        }
     }
 
     #[test]
-    fn rle_concat_matches_bitmap(a in values(), b in values(), seg in seg_sizes()) {
-        let ba = Column::from_values_with(ValueType::Int, &a, seg).unwrap();
-        let bb = Column::from_values_with(ValueType::Int, &b, seg).unwrap();
-        let ra = RleColumn::from_column(&ba);
-        let rb = RleColumn::from_column(&bb);
-        let joined_b = ba.concat(&bb).unwrap();
-        let joined_r = ra.concat(&rb).unwrap();
-        joined_r.check_invariants().unwrap();
-        prop_assert_eq!(joined_r.values(), joined_b.values());
-        prop_assert_eq!(joined_r.dict(), joined_b.dict());
-    }
-
-    #[test]
-    fn rle_slice_matches_bitmap(
+    fn mixed_slice_and_concat_match_uniform(
         vals in values(),
         seg in seg_sizes(),
+        pattern in any::<u64>(),
         a in any::<prop::sample::Index>(),
         b in any::<prop::sample::Index>(),
     ) {
@@ -299,117 +300,101 @@ proptest! {
         if lo > hi {
             std::mem::swap(&mut lo, &mut hi);
         }
-        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let rle = RleColumn::from_column(&bitmap);
-        let sb = bitmap.slice(lo, hi);
-        let sr = rle.slice(lo, hi);
-        sr.check_invariants().unwrap();
-        prop_assert_eq!(sr.values(), sb.values());
-        prop_assert_eq!(sr.dict(), sb.dict());
+        let bitmap = bitmap_col(&vals, seg);
+        let mixed = mix(&bitmap, pattern);
+        let sm = mixed.slice(lo, hi);
+        sm.check_invariants().unwrap();
+        prop_assert_eq!(sm.values(), bitmap.slice(lo, hi).values());
+        // Concat of two differently mixed halves.
+        let other = mix(&bitmap, pattern.rotate_left(17));
+        let joined = mixed.concat(&other).unwrap();
+        joined.check_invariants().unwrap();
+        let mut expect = vals.clone();
+        expect.extend(vals);
+        prop_assert_eq!(joined.values(), expect);
     }
 
     #[test]
-    fn rle_cursor_matches_bitmap(vals in values(), seg in seg_sizes()) {
-        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let rle = RleColumn::from_column(&bitmap);
-        let a: Vec<(u64, u32)> = RowIdCursor::new(&bitmap).collect();
-        let b: Vec<(u64, u32)> = rle.id_cursor().collect();
-        prop_assert_eq!(a, b);
-    }
-
-    #[test]
-    fn rle_value_bitmaps_match_bitmap(vals in values(), seg in seg_sizes()) {
-        let bitmap = Column::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let rle = RleColumn::from_column(&bitmap);
-        for id in 0..bitmap.distinct_count() as u32 {
-            prop_assert_eq!(rle.value_bitmap(id), bitmap.value_bitmap(id));
-            prop_assert_eq!(rle.value_count(id), bitmap.value_count(id));
-        }
-        prop_assert_eq!(rle.to_column().unwrap(), bitmap);
-    }
-
-    #[test]
-    fn rle_segmented_matches_monolithic(
-        vals in values(),
-        seg in seg_sizes(),
-        seed in prop::collection::vec(any::<u16>(), 0..100),
-    ) {
-        prop_assume!(!vals.is_empty());
-        let segmented = RleColumn::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let mono = RleColumn::from_values_with(ValueType::Int, &vals, MONO).unwrap();
-        prop_assert!(mono.segment_count() <= 1);
-        prop_assert_eq!(segmented.values(), mono.values());
-        prop_assert_eq!(segmented.dict(), mono.dict());
-        let mut positions: Vec<u64> = seed
-            .iter()
-            .map(|&s| u64::from(s) % vals.len() as u64)
-            .collect();
-        positions.sort_unstable();
-        prop_assert_eq!(
-            segmented.filter_positions(&positions).values(),
-            mono.filter_positions(&positions).values()
-        );
-    }
-
-    #[test]
-    fn compaction_preserves_results_both_encodings(
+    fn mixed_compaction_preserves_results(
         slices in prop::collection::vec((any::<prop::sample::Index>(), 1u64..20), 1..40),
         seg in seg_sizes(),
+        pattern in any::<u64>(),
     ) {
-        // Build fragmented directories from a UNION chain of small slices,
-        // then check compaction changes neither values nor dictionaries.
+        // Build fragmented directories — uniform bitmap, uniform RLE, and
+        // randomly mixed — from a UNION chain of small slices, then check
+        // compaction changes neither values nor dictionaries, transcoding
+        // mixed merge groups as needed.
         let base_vals: Vec<Value> = (0..200).map(|i| Value::int(i % 9)).collect();
-        let bitmap_base = Column::from_values_with(ValueType::Int, &base_vals, seg).unwrap();
-        let rle_base = RleColumn::from_column(&bitmap_base);
-        let mut bitmap_acc: Option<Column> = None;
-        let mut rle_acc: Option<RleColumn> = None;
-        for (start, len) in &slices {
-            let lo = start.index(200) as u64;
-            let hi = (lo + len).min(200);
-            let bs = bitmap_base.slice(lo, hi);
-            let rs = rle_base.slice(lo, hi);
-            bitmap_acc = Some(match bitmap_acc {
-                None => bs,
-                Some(acc) => acc.concat(&bs).unwrap(),
-            });
-            rle_acc = Some(match rle_acc {
-                None => rs,
-                Some(acc) => acc.concat(&rs).unwrap(),
-            });
+        let bitmap_base = bitmap_col(&base_vals, seg);
+        let rle_base = bitmap_base.recode(Encoding::Rle).unwrap();
+        let mixed_base = mix(&bitmap_base, pattern);
+        for base in [&bitmap_base, &rle_base, &mixed_base] {
+            let mut acc: Option<EncodedColumn> = None;
+            for (start, len) in &slices {
+                let lo = start.index(200) as u64;
+                let hi = (lo + len).min(200);
+                let piece = base.slice(lo, hi);
+                acc = Some(match acc {
+                    None => piece,
+                    Some(acc) => acc.concat(&piece).unwrap(),
+                });
+            }
+            let acc = acc.unwrap();
+            let compacted = acc.compacted();
+            compacted.check_invariants().unwrap();
+            prop_assert_eq!(compacted.values(), acc.values());
+            prop_assert_eq!(compacted.dict(), acc.dict());
         }
-        let bitmap_acc = bitmap_acc.unwrap();
-        let rle_acc = rle_acc.unwrap();
-        let bc = bitmap_acc.compacted();
-        let rc = rle_acc.compacted();
-        bc.check_invariants().unwrap();
-        rc.check_invariants().unwrap();
-        prop_assert_eq!(bc.values(), bitmap_acc.values());
-        prop_assert_eq!(rc.values(), rle_acc.values());
-        prop_assert_eq!(bc.values(), rc.values());
-        prop_assert_eq!(bc.dict(), bitmap_acc.dict());
-        prop_assert_eq!(rc.dict(), rle_acc.dict());
-        // Compacted directories agree on boundaries across encodings too.
-        let b_sizes: Vec<u64> = bc.segments().iter().map(|s| s.rows()).collect();
-        let r_sizes: Vec<u64> = rc.segments().iter().map(|s| s.rows()).collect();
-        prop_assert_eq!(b_sizes, r_sizes);
     }
 
     #[test]
-    fn rle_persist_round_trip(vals in values(), seg in seg_sizes()) {
+    fn auto_recode_keeps_data_and_respects_range_pins(
+        vals in values(),
+        seg in seg_sizes(),
+        pattern in any::<u64>(),
+    ) {
+        let bitmap = bitmap_col(&vals, seg);
+        let mixed = mix(&bitmap, pattern);
+        let auto = mixed.auto_recoded().unwrap();
+        auto.check_invariants().unwrap();
+        prop_assert_eq!(auto.values(), bitmap.values());
+        // Per-segment chooser picks are what the directory now holds.
+        for i in 0..auto.segment_count() {
+            if !auto.segment_pinned(i) {
+                prop_assert_eq!(auto.segment_encoding(i), auto.choose_segment_encoding(i));
+            }
+        }
+        // Pinned ranges (the RLE segments were range-recoded, hence
+        // pinned) must keep their encoding through auto.
+        for i in 0..mixed.segment_count() {
+            if mixed.segment_pinned(i) {
+                prop_assert_eq!(auto.segment_encoding(i), mixed.segment_encoding(i));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_persist_round_trip(vals in values(), seg in seg_sizes(), pattern in any::<u64>()) {
         use cods_storage::persist::{decode_table, encode_table, encode_table_v1};
-        use cods_storage::{EncodedColumn, Encoding, Schema, Table};
+        use cods_storage::{Schema, Table};
         use std::sync::Arc;
         let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
-        let rle = RleColumn::from_values_with(ValueType::Int, &vals, seg).unwrap();
-        let t = Table::new("t", schema, vec![Arc::new(EncodedColumn::Rle(rle))]).unwrap();
+        let mixed = mix(&bitmap_col(&vals, seg), pattern);
+        let t = Table::new("t", schema, vec![Arc::new(mixed.clone())]).unwrap();
         let now = decode_table(encode_table(&t)).unwrap();
         now.check_invariants().unwrap();
         prop_assert_eq!(now.to_rows(), t.to_rows());
-        prop_assert_eq!(now.column(0).encoding(), Encoding::Rle);
+        // Per-segment encodings and pins survive the v5 round trip.
+        let col = now.column(0);
+        prop_assert_eq!(col.encoding_counts(), mixed.encoding_counts());
+        for i in 0..col.segment_count() {
+            prop_assert_eq!(col.segment_encoding(i), mixed.segment_encoding(i));
+            prop_assert_eq!(col.segment_pinned(i), mixed.segment_pinned(i));
+        }
         // Downgrade to v1 re-encodes as bitmaps with identical values.
         let v1 = decode_table(encode_table_v1(&t)).unwrap();
         v1.check_invariants().unwrap();
         prop_assert_eq!(v1.to_rows(), t.to_rows());
-        prop_assert_eq!(v1.column(0).encoding(), Encoding::Bitmap);
+        prop_assert_eq!(v1.column(0).uniform_encoding(), Some(Encoding::Bitmap));
     }
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use cods_query::{execute, AggExpr, AggOp, ExecContext, Plan};
-use cods_storage::{Catalog, RleColumn, TableStats};
+use cods_storage::{Catalog, TableStats};
 use cods_workload::GenConfig;
 
 fn main() {
@@ -45,7 +45,13 @@ fn main() {
             .columns()
             .iter()
             .zip(auto.columns())
-            .map(|(d, c)| format!("{}={}", d.name, c.encoding()))
+            .map(|(d, c)| match c.uniform_encoding() {
+                Some(e) => format!("{}={}", d.name, e),
+                None => {
+                    let (b, r) = c.encoding_counts();
+                    format!("{}={}×bitmap/{}×rle", d.name, b, r)
+                }
+            })
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -66,18 +72,15 @@ fn main() {
 
     // 3. The sorted column as RLE — the encoding the paper reserves for
     //    sorted columns.
-    let rle = RleColumn::from_column(
-        clustered
-            .column_by_name("entity")
-            .unwrap()
-            .as_bitmap()
-            .expect("clustered table is bitmap encoded"),
-    );
-    assert!(rle.is_sorted());
+    let rle = clustered
+        .column_by_name("entity")
+        .unwrap()
+        .recode(cods_storage::Encoding::Rle)
+        .unwrap();
     println!(
         "\nRLE re-encoding of the sorted entity column: {} runs, {} bytes (WAH: {} bytes)",
-        rle.num_runs(),
-        rle.seq_bytes(),
+        rle.run_count(),
+        rle.payload_bytes(),
         after
     );
 

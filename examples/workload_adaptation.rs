@@ -16,7 +16,7 @@
 
 use cods::{Cods, DecomposeSpec, MergeStrategy, Smo};
 use cods_query::{execute, ExecContext, Plan, Predicate};
-use cods_storage::{Column, Table, Value};
+use cods_storage::{EncodedColumn, Table, Value};
 use cods_workload::GenConfig;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,9 +67,9 @@ fn update_details(table: &Table, threshold: i64) -> (Table, Duration) {
             }
         }
     }
-    let new_col = Arc::new(cods_storage::EncodedColumn::Bitmap(
-        Column::from_values(table.schema().columns()[detail_idx].ty, &details).unwrap(),
-    ));
+    let new_col = Arc::new(
+        EncodedColumn::from_values(table.schema().columns()[detail_idx].ty, &details).unwrap(),
+    );
     let mut cols = table.columns().to_vec();
     cols[detail_idx] = new_col;
     let updated = Table::new(table.name(), table.schema().clone(), cols).unwrap();

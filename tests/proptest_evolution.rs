@@ -139,7 +139,7 @@ proptest! {
             .changed
             .columns()
             .iter()
-            .all(|c| c.encoding() == Encoding::Rle));
+            .all(|c| c.is_uniform(Encoding::Rle)));
         prop_assert!(rle.shares_column_with(&out_r.unchanged, "k"));
         // Full round trip: DECOMPOSE → MERGE restores the input on both.
         let m_b = merge(&out_b.unchanged, &out_b.changed, "R2", &MergeStrategy::Auto).unwrap();
@@ -155,8 +155,10 @@ proptest! {
             let (renamed, _) = cods::simple_ops::rename_column(&b, "v", "w").unwrap();
             renamed
         };
-        let ra = a.recoded(Encoding::Rle).unwrap();
-        let rb = b.recoded(Encoding::Rle).unwrap();
+        // Pin the RLE side: fresh mergence output chunks go through the
+        // per-segment chooser, and only a pin forces them to stay RLE.
+        let ra = a.recoded_pinned(Encoding::Rle).unwrap();
+        let rb = b.recoded_pinned(Encoding::Rle).unwrap();
         let out_b = merge_general(&a, &b, "AB", &["k".into()]).unwrap();
         let out_r = merge_general(&ra, &rb, "AB", &["k".into()]).unwrap();
         out_r.output.check_invariants().unwrap();
@@ -167,7 +169,7 @@ proptest! {
             .output
             .columns()
             .iter()
-            .all(|c| c.encoding() == Encoding::Rle));
+            .all(|c| c.is_uniform(Encoding::Rle)));
     }
 
     #[test]
@@ -187,7 +189,7 @@ proptest! {
         prop_assert!(back_r
             .columns()
             .iter()
-            .all(|c| c.encoding() == Encoding::Rle));
+            .all(|c| c.is_uniform(Encoding::Rle)));
     }
 
     #[test]
@@ -200,14 +202,16 @@ proptest! {
         let out_b = decompose(&table, &spec).unwrap();
         let out_m = decompose(&mixed, &spec).unwrap();
         prop_assert_eq!(out_b.changed.to_rows(), out_m.changed.to_rows());
-        prop_assert_eq!(
-            out_m.changed.column_by_name("k").unwrap().encoding(),
-            Encoding::Rle
-        );
-        prop_assert_eq!(
-            out_m.changed.column_by_name("d").unwrap().encoding(),
-            Encoding::Bitmap
-        );
+        prop_assert!(out_m
+            .changed
+            .column_by_name("k")
+            .unwrap()
+            .is_uniform(Encoding::Rle));
+        prop_assert!(out_m
+            .changed
+            .column_by_name("d")
+            .unwrap()
+            .is_uniform(Encoding::Bitmap));
         let m_b = merge(&out_b.unchanged, &out_b.changed, "R2", &MergeStrategy::Auto).unwrap();
         let m_m = merge(&out_m.unchanged, &out_m.changed, "R2", &MergeStrategy::Auto).unwrap();
         prop_assert_eq!(m_b.output.to_rows(), m_m.output.to_rows());

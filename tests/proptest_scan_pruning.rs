@@ -1,7 +1,8 @@
 //! Differential property tests of zone-map scan pruning: over random
-//! tables — mixed encodings, post-SMO, post-compaction — and random
-//! predicates, the pruned scan ([`predicate_mask`]) must be bit-identical
-//! to the exhaustive scan ([`predicate_mask_unpruned`]) and to a row-level
+//! tables — per-column *and* per-segment mixed encodings (randomly mixed
+//! directories), post-SMO, post-compaction — and random predicates, the
+//! pruned scan ([`predicate_mask`]) must be bit-identical to the
+//! exhaustive scan ([`predicate_mask_unpruned`]) and to a row-level
 //! evaluation oracle. Runs in CI's differential proptest job at
 //! `PROPTEST_CASES=512`.
 
@@ -82,6 +83,22 @@ fn pred() -> impl Strategy<Value = Predicate> {
         })
 }
 
+/// Recodes segments of the named column to RLE wherever `pattern` has a
+/// set bit — a random per-segment encoding assignment producing a
+/// genuinely mixed directory.
+fn mix_column(t: &Table, name: &str, pattern: u64) -> Table {
+    let mut out = t.clone();
+    let segs = out.column_by_name(name).unwrap().segment_count();
+    for i in 0..segs {
+        if pattern & (1 << (i % 64)) != 0 {
+            out = out
+                .with_column_segment_range_encoding(name, Encoding::Rle, i..i + 1)
+                .unwrap();
+        }
+    }
+    out
+}
+
 fn assert_masks_agree(t: &Table, p: &Predicate) {
     let pruned = predicate_mask(t, p).unwrap();
     let unpruned = predicate_mask_unpruned(t, p).unwrap();
@@ -103,14 +120,18 @@ proptest! {
     fn pruned_scan_matches_exhaustive_on_mixed_encodings(
         table in base_table(),
         p in pred(),
-        enc in 0usize..4,
+        enc in 0usize..6,
+        pattern in proptest::prelude::any::<u64>(),
     ) {
-        // All four per-column encoding combinations of the two columns.
+        // The four per-column encoding combinations, plus randomly mixed
+        // per-segment directories (one column, then both).
         let table = match enc {
             0 => table,
             1 => table.recoded(Encoding::Rle).unwrap(),
             2 => table.with_column_encoding("k", Encoding::Rle).unwrap(),
-            _ => table.with_column_encoding("v", Encoding::Rle).unwrap(),
+            3 => table.with_column_encoding("v", Encoding::Rle).unwrap(),
+            4 => mix_column(&table, "k", pattern),
+            _ => mix_column(&mix_column(&table, "k", pattern), "v", pattern.rotate_left(23)),
         };
         table.check_invariants().unwrap();
         assert_masks_agree(&table, &p);
@@ -121,12 +142,15 @@ proptest! {
         table in base_table(),
         p in pred(),
         threshold in 0i64..40,
-        rle in 0usize..2,
+        rle in 0usize..3,
+        pattern in proptest::prelude::any::<u64>(),
     ) {
-        let table = if rle == 1 {
-            table.recoded(Encoding::Rle).unwrap()
-        } else {
-            table
+        let table = match rle {
+            1 => table.recoded(Encoding::Rle).unwrap(),
+            // Randomly mixed directories go through the same SMO and
+            // compaction machinery as the uniform ones.
+            2 => mix_column(&table, "k", pattern),
+            _ => table,
         };
         // Post-SMO: partition + union rebuilds every column through the
         // segment-parallel executors (zones re-derived from stats).

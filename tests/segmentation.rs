@@ -137,32 +137,46 @@ fn union_shares_segments_of_both_inputs() {
     let b = Table::from_rows_with_segment_rows("B", r_schema(), &rows, SEG).unwrap();
     let (u, _) = union_tables(&a, &b, "U").unwrap();
     u.check_invariants().unwrap();
-    let ua = u.column(0).as_bitmap().unwrap();
+    let ua = u.column(0);
     // The union's column directory reuses both inputs' segments by Arc —
     // appends never rewrite existing bitmaps.
     assert!(std::sync::Arc::ptr_eq(
-        &ua.segments()[0],
-        &a.column(0).as_bitmap().unwrap().segments()[0]
+        ua.segments()[0].as_bitmap().unwrap(),
+        a.column(0).segments()[0].as_bitmap().unwrap()
     ));
     let a_segs = a.column(0).segment_count();
     assert!(std::sync::Arc::ptr_eq(
-        &ua.segments()[a_segs],
-        &b.column(0).as_bitmap().unwrap().segments()[0]
+        ua.segments()[a_segs].as_bitmap().unwrap(),
+        b.column(0).segments()[0].as_bitmap().unwrap()
     ));
 }
 
 /// A long UNION chain of small slices fragments the directory into
 /// irregular tiny segments; after compaction every segment must land in
 /// `[½·nominal, 2·nominal]` with results identical to the uncompacted
-/// column — for both encodings.
+/// column — for both uniform encodings and for a randomly mixed directory
+/// (whose compaction merge groups transcode).
 #[test]
 fn union_chain_fragmentation_is_repaired_by_compaction() {
     let rows = r_rows(4_000);
-    for encoding in [cods_storage::Encoding::Bitmap, cods_storage::Encoding::Rle] {
-        let base = Table::from_rows_with_segment_rows("R", r_schema(), &rows, SEG)
-            .unwrap()
-            .recoded(encoding)
-            .unwrap();
+    let plain = Table::from_rows_with_segment_rows("R", r_schema(), &rows, SEG).unwrap();
+    let mixed = {
+        let mut t = plain.clone();
+        let segs = t.column(0).segment_count();
+        for i in (1..segs).step_by(2) {
+            t = t
+                .with_column_segment_range_encoding("entity", cods_storage::Encoding::Rle, i..i + 1)
+                .unwrap();
+        }
+        t
+    };
+    assert_eq!(mixed.column(0).uniform_encoding(), None);
+    let variants = [
+        ("bitmap", plain.clone()),
+        ("rle", plain.recoded(cods_storage::Encoding::Rle).unwrap()),
+        ("mixed", mixed),
+    ];
+    for (encoding, base) in variants {
         // Chain 200 UNIONs of 20-row slices. Slicing goes through the raw
         // column API so the chain is maximally fragmenting; union_tables
         // itself already compacts behind the threshold trigger.
