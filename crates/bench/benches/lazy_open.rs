@@ -1,0 +1,207 @@
+//! Demand-paged directory: cold catalog opens and zone-pruned scans over a
+//! 1 Mi-row catalog persisted in format v6.
+//!
+//! Before timing, three properties are asserted:
+//!
+//! 1. **Cold open is O(metadata).** A lazy [`read_catalog`] decodes zero
+//!    payload bytes — at least 10× less than an eager open (open plus
+//!    [`Table::fault_in_all`]), which decodes every segment.
+//! 2. **Pruned segments stay on disk.** A clustered range scan over the
+//!    demand-paged table faults in exactly the zone-surviving segments —
+//!    the cache's miss counter equals the survivor count, everything else
+//!    stays on disk, and the mask is byte-identical to the eager table's.
+//! 3. **Eviction churn is invisible.** With the budget halved below the
+//!    catalog's resident footprint, a sweep of range scans pages segments
+//!    in and out (evictions observed) yet every mask still matches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cods_query::bitmap_scan::predicate_mask;
+use cods_query::Predicate;
+use cods_storage::persist::{read_catalog, save_catalog};
+use cods_storage::{segment_cache, Catalog, Schema, Table, Value, ValueType};
+
+const ROWS: u64 = 1 << 20; // 1,048,576
+const DISTINCT: u64 = 1 << 18; // 262,144 → mean run of 4 when clustered
+/// Width of each range predicate in value space (1/256 of the domain).
+const RANGE: i64 = (DISTINCT / 256) as i64;
+/// Range scans in the eviction-churn sweep.
+const SCANS: usize = 16;
+
+fn scratch() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cods_bench_lazy_open_{}.catalog",
+        std::process::id()
+    ))
+}
+
+/// The 1 Mi-row catalog: one table with a clustered key (what zones prune)
+/// and a scattered payload column.
+fn build_catalog() -> Catalog {
+    let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Int)], &[]).unwrap();
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            vec![
+                Value::int((i * DISTINCT / ROWS) as i64),
+                Value::int(((i.wrapping_mul(2_654_435_761)) % 256) as i64),
+            ]
+        })
+        .collect();
+    let cat = Catalog::new();
+    cat.create(Table::from_rows("C", schema, &rows).unwrap())
+        .unwrap();
+    cat
+}
+
+fn range_pred(lo: i64) -> Predicate {
+    Predicate::ge("k", lo).and(Predicate::lt("k", lo + RANGE))
+}
+
+/// Segments of the clustered column whose row range overlaps the rows
+/// holding k ∈ [lo, lo+RANGE) — the exact survivor set of the zone tier on
+/// this sorted, evenly-spread key.
+fn expected_survivors(t: &Table, lo: i64) -> usize {
+    let scale = (ROWS / DISTINCT) as i64;
+    let (row_lo, row_hi) = (lo * scale, (lo + RANGE) * scale);
+    let mut offset = 0i64;
+    let mut survivors = 0;
+    for slot in t.column_by_name("k").unwrap().segments() {
+        let end = offset + slot.rows() as i64;
+        if offset < row_hi && end > row_lo {
+            survivors += 1;
+        }
+        offset = end;
+    }
+    survivors
+}
+
+fn bench_lazy_open(c: &mut Criterion) {
+    let path = scratch();
+    let cat = build_catalog();
+    save_catalog(&cat, &path).unwrap();
+    let eager_table = cat.get("C").unwrap();
+    let cache = segment_cache();
+
+    // -- 1. Cold open: lazy decodes zero payload bytes; eager decodes all.
+    cache.reset_counters();
+    let t0 = Instant::now();
+    let lazy_cat = read_catalog(&path).unwrap();
+    let t_lazy = t0.elapsed();
+    let lazy_decoded = cache.stats().decoded_bytes;
+    let lazy_table = lazy_cat.get("C").unwrap();
+    let (resident, on_disk) = lazy_table.residency_counts();
+    assert_eq!(resident, 0, "lazy open faulted payloads in");
+    assert!(on_disk > 0);
+
+    cache.reset_counters();
+    let t0 = Instant::now();
+    let eager_cat = read_catalog(&path).unwrap();
+    for name in eager_cat.table_names() {
+        eager_cat.get(&name).unwrap().fault_in_all();
+    }
+    let t_eager = t0.elapsed();
+    let eager_decoded = cache.stats().decoded_bytes;
+    assert!(
+        lazy_decoded.saturating_mul(10) <= eager_decoded,
+        "lazy open decoded {lazy_decoded} bytes vs eager {eager_decoded}"
+    );
+    let full_bytes = cache.stats().resident_bytes;
+    eprintln!("== lazy_open ({ROWS} rows, {} segments) ==", on_disk);
+    eprintln!(
+        "cold open: lazy {t_lazy:>10?} ({lazy_decoded} payload bytes)   eager {t_eager:>10?} ({eager_decoded} payload bytes)"
+    );
+
+    // -- 2. Zone-pruned scan faults in exactly the survivors.
+    let lo = (DISTINCT / 2) as i64;
+    let survivors = expected_survivors(&lazy_table, lo);
+    let total = lazy_table.column_by_name("k").unwrap().segment_count();
+    assert!(
+        survivors * 10 <= total,
+        "survivor set not selective: {survivors}/{total}"
+    );
+    cache.reset_counters();
+    let mask = predicate_mask(&lazy_table, &range_pred(lo)).unwrap();
+    let scan_stats = cache.stats();
+    assert_eq!(
+        scan_stats.misses as usize, survivors,
+        "pruned scan faulted more than the surviving segments"
+    );
+    assert_eq!(lazy_table.residency_counts().0, survivors);
+    assert!(
+        scan_stats.decoded_bytes.saturating_mul(10) <= eager_decoded,
+        "pruned scan decoded {} bytes vs full {eager_decoded}",
+        scan_stats.decoded_bytes
+    );
+    assert_eq!(
+        mask,
+        predicate_mask(&eager_table, &range_pred(lo)).unwrap(),
+        "lazy and eager masks diverge"
+    );
+    eprintln!(
+        "pruned scan: faulted {survivors}/{total} segments, {} payload bytes decoded",
+        scan_stats.decoded_bytes
+    );
+
+    // -- 3. Eviction churn under half the resident footprint.
+    cache.set_budget((full_bytes / 2).max(1));
+    cache.reset_counters();
+    let churn_cat = read_catalog(&path).unwrap();
+    let churn_table = churn_cat.get("C").unwrap();
+    for i in 0..SCANS {
+        let lo = (i as i64 * 97 * RANGE) % (DISTINCT as i64 - RANGE);
+        let a = predicate_mask(&churn_table, &range_pred(lo)).unwrap();
+        let b = predicate_mask(&eager_table, &range_pred(lo)).unwrap();
+        assert_eq!(a, b, "mask diverged under eviction churn (scan {i})");
+    }
+    // The full-table row walk cannot fit in half the budget, so the clock
+    // hand must have recycled at least one frame.
+    assert_eq!(churn_table.to_rows().len(), ROWS as usize);
+    assert!(
+        cache.stats().evictions > 0,
+        "no evictions under half budget"
+    );
+    eprintln!(
+        "churn: {} evictions across {SCANS} scans + row walk under budget {} bytes",
+        cache.stats().evictions,
+        cache.stats().budget
+    );
+
+    // -- Timed sections (budget capped so repeated opens can't hoard RAM).
+    cache.set_budget(256 << 20);
+    let mut group = c.benchmark_group("lazy_open");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("cold_open/lazy", |b| {
+        b.iter(|| black_box(read_catalog(&path).unwrap()))
+    });
+    group.bench_function("cold_open/eager", |b| {
+        b.iter(|| {
+            let cat = read_catalog(&path).unwrap();
+            for name in cat.table_names() {
+                cat.get(&name).unwrap().fault_in_all();
+            }
+            black_box(cat)
+        })
+    });
+    group.bench_function("pruned_scan/lazy", |b| {
+        b.iter(|| {
+            let cat = read_catalog(&path).unwrap();
+            let t = cat.get("C").unwrap();
+            black_box(predicate_mask(&t, &range_pred(lo)).unwrap())
+        })
+    });
+    group.bench_function("pruned_scan/resident", |b| {
+        b.iter(|| black_box(predicate_mask(&eager_table, &range_pred(lo)).unwrap()))
+    });
+    group.finish();
+
+    cache.set_budget(u64::MAX);
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_lazy_open);
+criterion_main!(benches);

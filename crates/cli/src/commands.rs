@@ -3,7 +3,7 @@
 use cods::{Cods, ColumnFill, DecomposeSpec, MergeStrategy, Smo};
 use cods_query::{CmpOp, Predicate};
 use cods_storage::persist::{read_catalog, save_catalog};
-use cods_storage::{load_file, ColumnDef, LoadOptions, Schema, Value, ValueType};
+use cods_storage::{load_file, segment_cache, ColumnDef, LoadOptions, Schema, Value, ValueType};
 use cods_workload::figure1;
 
 /// Result of running one command line.
@@ -24,7 +24,11 @@ commands:
   display <table> [limit]                          show rows
   stats <table>                                    storage statistics (per-segment encoding
                                                    histogram, zones, run/distinct ratios,
-                                                   per-segment chooser picks)
+                                                   per-segment chooser picks, buffer-cache
+                                                   residency)
+  cache [<bytes>|unlimited]                        show buffer-cache telemetry (budget,
+                                                   resident bytes, hit/miss/eviction counts)
+                                                   or set the byte budget (suffixes k/m/g)
   recode <table> <col|*> <rle|bitmap|auto> [a..b]  re-encode a column (or all) in place;
                                                    rle/bitmap pins, auto hands back to the
                                                    stats-driven per-segment chooser; a..b
@@ -44,7 +48,9 @@ commands:
   plan <file.smo>                                  validate a script and print its DAG,
                                                    fusion decisions, and elided intermediates
   history                                          executed SMOs with timings, grouped per plan
-  save <file> | open <file>                        persist / restore the catalog
+  save <file> | open <file>                        persist / restore the catalog (open is
+                                                   lazy: segment payloads load on demand;
+                                                   re-saving appends only what changed)
   help | quit
 ";
 
@@ -114,8 +120,8 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{name}: {} rows, {} columns, {} bytes compressed",
-        stats.rows, stats.arity, stats.total_bytes
+        "{name}: {} rows, {} columns, {} bytes compressed, {} resident / {} on-disk segments",
+        stats.rows, stats.arity, stats.total_bytes, stats.resident_segments, stats.on_disk_segments
     );
     for (def, c) in t.schema().columns().iter().zip(&stats.columns) {
         let enc = match c.encoding {
@@ -169,6 +175,41 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
         );
     }
     out
+}
+
+/// Renders the `cache` command's telemetry: the process-wide buffer-cache
+/// budget, resident bytes, and fault/eviction counters.
+pub fn render_cache() -> String {
+    let s = segment_cache().stats();
+    let budget = if s.budget == u64::MAX {
+        "unlimited".to_string()
+    } else {
+        format!("{} bytes", s.budget)
+    };
+    format!(
+        "buffer cache: budget={budget} resident={} bytes\n\
+         faults: {} hits, {} misses ({} bytes decoded), {} evictions\n",
+        s.resident_bytes, s.hits, s.misses, s.decoded_bytes, s.evictions
+    )
+}
+
+/// Parses the `cache` command's byte-budget argument: a plain byte count
+/// or one with a binary k/m/g suffix, or `unlimited`.
+fn parse_budget(spec: &str) -> Result<u64, String> {
+    if spec == "unlimited" {
+        return Ok(u64::MAX);
+    }
+    let (digits, unit) = match spec.as_bytes().last() {
+        Some(b'k' | b'K') => (&spec[..spec.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&spec[..spec.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&spec[..spec.len() - 1], 1u64 << 30),
+        _ => (spec, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad byte budget {spec:?} (use e.g. 4096, 64m, unlimited)"))?;
+    n.checked_mul(unit)
+        .ok_or_else(|| format!("byte budget {spec:?} overflows"))
 }
 
 /// Parses the `recode` command's optional segment-range argument
@@ -260,6 +301,19 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             let t = cods.table(name).map_err(|e| e.to_string())?;
             print!("{}", render_stats(name, &t));
         }
+        "cache" => match args.as_slice() {
+            [] => print!("{}", render_cache()),
+            [spec] => {
+                let budget = parse_budget(spec)?;
+                segment_cache().set_budget(budget);
+                if budget == u64::MAX {
+                    println!("buffer cache budget: unlimited");
+                } else {
+                    println!("buffer cache budget: {budget} bytes");
+                }
+            }
+            _ => return Err("usage: cache [<bytes>|unlimited]".into()),
+        },
         "recode" => {
             let (name, col, enc, range) = match args.as_slice() {
                 [name, col, enc] => (name, col, enc, None),
@@ -901,6 +955,76 @@ mod tests {
         assert_ne!(hist[2].plan_id, hist[0].plan_id);
         // The grouped renderer must not panic on mixed histories.
         run(&mut cods, "history");
+    }
+
+    /// Serialises the tests that set or observe the process-wide buffer
+    /// cache so a concurrently shrunk budget can't evict segments whose
+    /// residency another test is asserting.
+    static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn cache_command_reports_and_sets_the_budget() {
+        let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        // `stats` reports residency: a freshly built table is fully
+        // resident with nothing paged out.
+        let out = render_stats("R", &cods.table("R").unwrap());
+        assert!(
+            out.contains("3 resident / 0 on-disk segments"),
+            "stats: {out}"
+        );
+        // `cache <bytes>` sets the budget, with binary suffixes; `cache
+        // unlimited` clears it.
+        run(&mut cods, "cache 65536");
+        assert_eq!(segment_cache().stats().budget, 65536);
+        run(&mut cods, "cache 64k");
+        assert_eq!(segment_cache().stats().budget, 65536);
+        run(&mut cods, "cache 2m");
+        assert_eq!(segment_cache().stats().budget, 2 << 20);
+        run(&mut cods, "cache unlimited");
+        assert_eq!(segment_cache().stats().budget, u64::MAX);
+        // Telemetry renders budget, resident bytes, and counters.
+        let out = render_cache();
+        assert!(out.contains("budget=unlimited"), "cache: {out}");
+        assert!(out.contains("resident="), "cache: {out}");
+        assert!(out.contains("misses"), "cache: {out}");
+        assert!(out.contains("evictions"), "cache: {out}");
+        // Bad arguments are rejected.
+        assert!(run_command(&mut cods, "cache nonsense").is_err());
+        assert!(run_command(&mut cods, "cache 1 2").is_err());
+        run(&mut cods, "cache"); // bare form prints, never errors
+    }
+
+    #[test]
+    fn open_is_lazy_and_stats_show_residency() {
+        let _guard = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("cods_cli_lazy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("lazy.catalog");
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        run(&mut cods, &format!("save {}", file.display()));
+        let mut fresh = shell();
+        run(&mut fresh, &format!("open {}", file.display()));
+        // The reopened catalog is metadata-only until something reads it,
+        // and `stats` itself must not fault anything in.
+        let t = fresh.table("R").unwrap();
+        let out = render_stats("R", &t);
+        assert!(
+            out.contains("0 resident / 3 on-disk segments"),
+            "stats: {out}"
+        );
+        assert_eq!(t.residency_counts(), (0, 3), "stats faulted payloads in");
+        // Reading the data faults it in; stats now reflect that.
+        assert_eq!(t.rows(), 7);
+        assert_eq!(t.to_rows().len(), 7);
+        let out = render_stats("R", &t);
+        assert!(
+            out.contains("3 resident / 0 on-disk segments"),
+            "stats: {out}"
+        );
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

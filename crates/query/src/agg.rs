@@ -1,8 +1,23 @@
-//! Grouped aggregation over materialized rows: COUNT / SUM / MIN / MAX /
-//! COUNT DISTINCT, used by the warehouse examples and exposed through
+//! Grouped aggregation: COUNT / SUM / MIN / MAX / COUNT DISTINCT, used by
+//! the warehouse examples and exposed through
 //! [`crate::plan::Plan::Aggregate`].
+//!
+//! Two evaluation strategies share one semantics:
+//!
+//! * [`aggregate`] — the row kernel, over already-materialized tuples
+//!   (joins, unions, anything mid-plan).
+//! * [`aggregate_table`] — the columnar kernel, directly over a
+//!   column-store table (the `Aggregate ∘ ScanColumn` pushdown). Group
+//!   assignment and every aggregate run on dictionary ids, and each input
+//!   column carries a `valid: Option<Wah>` mask: `None` means the
+//!   dictionary holds no NULL at all, so the hot loop takes a branch-free
+//!   path with no per-row validity test; `Some(mask)` drives the
+//!   NULL-skipping ops (MIN/MAX/COUNT DISTINCT) by iterating only the
+//!   mask's set positions. SUM folds NULL into the per-id add table as 0,
+//!   so it is branch-free in both cases.
 
-use cods_storage::{OrderedF64, StorageError, Value, ValueType};
+use cods_bitmap::Wah;
+use cods_storage::{EncodedColumn, OrderedF64, StorageError, Table, Value, ValueType};
 use std::collections::{HashMap, HashSet};
 
 /// An aggregate function.
@@ -152,6 +167,160 @@ pub fn aggregate(
     Ok(out)
 }
 
+/// The validity mask of one column: `None` when the dictionary holds no
+/// NULL (every row is valid — the branch-free fast path), otherwise a
+/// bitmap with bit *r* set when row *r* is non-null.
+fn validity(col: &EncodedColumn) -> Option<Wah> {
+    let null_id = col.dict().id_of(&Value::Null)?;
+    Some(col.value_bitmap(null_id).not())
+}
+
+/// Groups a column-store table by the columns at `group_by` and evaluates
+/// `aggs` entirely on dictionary ids — the columnar twin of [`aggregate`],
+/// with identical output (same first-appearance group order, same NULL
+/// semantics). See the module docs for the `valid` dual path.
+pub fn aggregate_table(
+    t: &Table,
+    group_by: &[usize],
+    aggs: &[(AggOp, usize, ValueType)],
+) -> Result<Vec<Vec<Value>>, StorageError> {
+    let n = t.rows() as usize;
+    // Group assignment: one id-vector pass over the grouping columns.
+    let group_ids: Vec<Vec<u32>> = group_by.iter().map(|&g| t.column(g).value_ids()).collect();
+    let mut group_of = vec![0u32; n];
+    let mut order: Vec<Vec<u32>> = Vec::new();
+    if group_by.is_empty() {
+        if n > 0 {
+            order.push(Vec::new());
+        }
+    } else {
+        let mut lookup: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut key = Vec::with_capacity(group_by.len());
+        for r in 0..n {
+            key.clear();
+            key.extend(group_ids.iter().map(|ids| ids[r]));
+            group_of[r] = *lookup.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                (order.len() - 1) as u32
+            });
+        }
+    }
+    let groups = order.len();
+    let mut agg_cols: Vec<Vec<Value>> = Vec::with_capacity(aggs.len());
+    for &(op, col_idx, _) in aggs {
+        let col = t.column(col_idx);
+        agg_cols.push(eval_columnar(op, col, &group_of, groups));
+    }
+    let mut out = Vec::with_capacity(groups);
+    for (g, key) in order.into_iter().enumerate() {
+        let mut row: Vec<Value> = key
+            .iter()
+            .zip(group_by)
+            .map(|(&id, &c)| t.column(c).dict().value(id).clone())
+            .collect();
+        row.extend(agg_cols.iter().map(|vals| vals[g].clone()));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Evaluates one aggregate over one column, columnar: per-group results in
+/// group-index order.
+fn eval_columnar(op: AggOp, col: &EncodedColumn, group_of: &[u32], groups: usize) -> Vec<Value> {
+    match op {
+        AggOp::Count => {
+            // COUNT counts NULLs too: pure group histogram, no ids needed.
+            let mut counts = vec![0i64; groups];
+            for &g in group_of {
+                counts[g as usize] += 1;
+            }
+            counts.into_iter().map(Value::int).collect()
+        }
+        AggOp::Sum => {
+            // NULL (and any non-numeric value) folds into the per-id add
+            // table as the additive identity: the row loop is branch-free
+            // whether or not the column has NULLs.
+            let ids = col.value_ids();
+            match col.ty() {
+                ValueType::Float => {
+                    let add: Vec<f64> = col
+                        .dict()
+                        .values()
+                        .iter()
+                        .map(|v| match v {
+                            Value::Float(OrderedF64(f)) => *f,
+                            _ => 0.0,
+                        })
+                        .collect();
+                    let mut sums = vec![0.0f64; groups];
+                    for (&id, &g) in ids.iter().zip(group_of) {
+                        sums[g as usize] += add[id as usize];
+                    }
+                    sums.into_iter().map(Value::float).collect()
+                }
+                _ => {
+                    let add: Vec<i64> = col
+                        .dict()
+                        .values()
+                        .iter()
+                        .map(|v| match v {
+                            Value::Int(i) => *i,
+                            _ => 0,
+                        })
+                        .collect();
+                    let mut sums = vec![0i64; groups];
+                    for (&id, &g) in ids.iter().zip(group_of) {
+                        sums[g as usize] += add[id as usize];
+                    }
+                    sums.into_iter().map(Value::int).collect()
+                }
+            }
+        }
+        AggOp::Min | AggOp::Max => {
+            let ids = col.value_ids();
+            let ranks = col.dict().value_order().ranks();
+            let mut best: Vec<Option<u32>> = vec![None; groups];
+            let mut consider = |r: usize| {
+                let id = ids[r];
+                let slot = &mut best[group_of[r] as usize];
+                let better = match slot {
+                    None => true,
+                    Some(b) => match op {
+                        AggOp::Min => ranks[id as usize] < ranks[*b as usize],
+                        _ => ranks[id as usize] > ranks[*b as usize],
+                    },
+                };
+                if better {
+                    *slot = Some(id);
+                }
+            };
+            match validity(col) {
+                // All-valid: every row participates, no per-row test.
+                None => (0..ids.len()).for_each(&mut consider),
+                // NULLs present: visit only the valid positions.
+                Some(valid) => valid.iter_ones().for_each(|r| consider(r as usize)),
+            }
+            best.into_iter()
+                .map(|b| b.map_or(Value::Null, |id| col.dict().value(id).clone()))
+                .collect()
+        }
+        AggOp::CountDistinct => {
+            let ids = col.value_ids();
+            let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); groups];
+            let mut insert = |r: usize| {
+                sets[group_of[r] as usize].insert(ids[r]);
+            };
+            match validity(col) {
+                None => (0..ids.len()).for_each(&mut insert),
+                Some(valid) => valid.iter_ones().for_each(|r| insert(r as usize)),
+            }
+            sets.into_iter()
+                .map(|s| Value::int(s.len() as i64))
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +412,128 @@ mod tests {
         assert_eq!(AggOp::Count.output_type(ValueType::Str), ValueType::Int);
         assert_eq!(AggOp::Sum.output_type(ValueType::Float), ValueType::Float);
         assert_eq!(AggOp::Max.output_type(ValueType::Str), ValueType::Str);
+    }
+
+    use cods_storage::Schema;
+
+    const ALL_OPS: [AggOp; 5] = [
+        AggOp::Count,
+        AggOp::CountDistinct,
+        AggOp::Sum,
+        AggOp::Min,
+        AggOp::Max,
+    ];
+
+    /// Columnar and row kernels must agree exactly — groups in the same
+    /// first-appearance order, identical values — over every op.
+    fn assert_paths_agree(t: &Table, group_by: &[usize]) {
+        for (col, ty) in [(1usize, ValueType::Int), (2, ValueType::Float)] {
+            for op in ALL_OPS {
+                let aggs = [(op, col, ty)];
+                let columnar = aggregate_table(t, group_by, &aggs).unwrap();
+                let by_rows = aggregate(&t.to_rows(), group_by, &aggs).unwrap();
+                assert_eq!(columnar, by_rows, "{op:?} over column {col}");
+            }
+        }
+    }
+
+    fn table_with_nulls(nulls: bool) -> Table {
+        let schema = Schema::build(
+            &[
+                ("g", ValueType::Str),
+                ("x", ValueType::Int),
+                ("f", ValueType::Float),
+            ],
+            &[],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                vec![
+                    Value::str(format!("g{}", i % 7)),
+                    if nulls && i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::int((i * 13) % 40 - 20)
+                    },
+                    if nulls && i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::float(i as f64 / 8.0)
+                    },
+                ]
+            })
+            .collect();
+        Table::from_rows_with_segment_rows("t", schema, &rows, 64).unwrap()
+    }
+
+    #[test]
+    fn columnar_all_valid_path_matches_row_kernel() {
+        // No NULL in any dictionary → validity is None → the branch-free
+        // path runs for every op.
+        let t = table_with_nulls(false);
+        assert!(validity(t.column(1)).is_none());
+        assert!(validity(t.column(2)).is_none());
+        assert_paths_agree(&t, &[0]);
+        assert_paths_agree(&t, &[]);
+        assert_paths_agree(&t, &[0, 1]);
+    }
+
+    #[test]
+    fn columnar_null_masked_path_matches_row_kernel() {
+        let t = table_with_nulls(true);
+        let valid = validity(t.column(1)).expect("column has NULLs");
+        assert_eq!(valid.count_zeros(), 46, "one NULL every 11 rows");
+        assert_paths_agree(&t, &[0]);
+        assert_paths_agree(&t, &[]);
+        assert_paths_agree(&t, &[0, 1]);
+    }
+
+    #[test]
+    fn columnar_agrees_across_encodings() {
+        let t = table_with_nulls(true);
+        let rle = t.recoded(cods_storage::Encoding::Rle).unwrap();
+        let mut mixed = t.clone();
+        let segs = mixed.column(1).segment_count();
+        for i in (0..segs).step_by(2) {
+            mixed = mixed
+                .with_column_segment_range_encoding("x", cods_storage::Encoding::Rle, i..i + 1)
+                .unwrap();
+        }
+        for t in [&rle, &mixed] {
+            assert_paths_agree(t, &[0]);
+        }
+    }
+
+    #[test]
+    fn columnar_empty_table_and_all_null_groups() {
+        let schema = Schema::build(&[("g", ValueType::Int), ("x", ValueType::Int)], &[]).unwrap();
+        let empty = Table::from_rows("e", schema.clone(), &[]).unwrap();
+        assert!(
+            aggregate_table(&empty, &[0], &[(AggOp::Sum, 1, ValueType::Int)])
+                .unwrap()
+                .is_empty()
+        );
+        assert!(
+            aggregate_table(&empty, &[], &[(AggOp::Count, 0, ValueType::Int)])
+                .unwrap()
+                .is_empty()
+        );
+        // A group whose every input is NULL: MIN/MAX yield NULL, SUM 0,
+        // COUNT DISTINCT 0 — exactly like the row kernel.
+        let rows = vec![
+            vec![Value::int(1), Value::Null],
+            vec![Value::int(1), Value::Null],
+            vec![Value::int(2), Value::int(5)],
+        ];
+        let t = Table::from_rows("t", schema, &rows).unwrap();
+        for op in ALL_OPS {
+            let aggs = [(op, 1usize, ValueType::Int)];
+            assert_eq!(
+                aggregate_table(&t, &[0], &aggs).unwrap(),
+                aggregate(&t.to_rows(), &[0], &aggs).unwrap(),
+                "{op:?}"
+            );
+        }
     }
 }

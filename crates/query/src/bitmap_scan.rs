@@ -184,30 +184,44 @@ fn sat_set<'a>(col: &'a EncodedColumn, op: CmpOp, literal: &Value) -> SatSet<'a>
 /// and dispatching the mask build on each segment's own encoding — a mixed
 /// directory's bitmap and RLE segments each take their native path, and
 /// the resulting mask is byte-identical whatever the mix.
+///
+/// Both pruning tiers run on the slot's *resident metadata* (zone, present
+/// ids, cached ones): a pruned segment of a lazily opened column is never
+/// faulted in — only survivors touch the buffer cache.
 fn column_mask(col: &EncodedColumn, sat: &SatSet<'_>, zones: bool) -> Wah {
     let mut mask = Wah::new();
-    for (i, seg_enc) in col.segments().iter().enumerate() {
+    for (i, slot) in col.segments().iter().enumerate() {
         if zones && !sat.zone_may_match(col.zone(i)) {
             // Zone-pruned: neither stats nor payload touched.
-            mask.append_run(false, seg_enc.rows());
+            mask.append_run(false, slot.rows());
             continue;
         }
-        match seg_enc {
+        // Present-id tier, still metadata-only: stats show whether any
+        // satisfying value lives in this row range, and how many rows.
+        let mut sat_rows = 0u64;
+        let mut sat_ids = 0usize;
+        for (&id, &ones) in slot.present_ids().iter().zip(slot.ones().iter()) {
+            if sat.contains(id) {
+                sat_ids += 1;
+                sat_rows += ones;
+            }
+        }
+        if sat_ids == 0 {
+            // Pruned: no satisfying value in this range; payload untouched.
+            mask.append_run(false, slot.rows());
+            continue;
+        }
+        // Survivor: fault the payload in (through the buffer cache) and
+        // build this range's mask on its native encoding.
+        match &slot.enc() {
             SegmentEnc::Bitmap(seg) => {
-                let mut satisfying: Vec<&Wah> = Vec::new();
-                let mut sat_rows = 0u64;
-                for ((&id, bm), &ones) in
-                    seg.present_ids().iter().zip(seg.bitmaps()).zip(seg.ones())
-                {
+                let mut satisfying: Vec<&Wah> = Vec::with_capacity(sat_ids);
+                for (&id, bm) in seg.present_ids().iter().zip(seg.bitmaps()) {
                     if sat.contains(id) {
                         satisfying.push(bm);
-                        sat_rows += ones;
                     }
                 }
-                if satisfying.is_empty() {
-                    // Pruned: stats show no satisfying value in this range.
-                    mask.append_run(false, seg.rows());
-                } else if satisfying.len() <= 64 {
+                if satisfying.len() <= 64 {
                     mask.append_bitmap(&Wah::union_many(satisfying, seg.rows()));
                 } else if sat_rows * 8 <= seg.rows() {
                     // Many values but few rows (the cached ones say so up
@@ -236,11 +250,6 @@ fn column_mask(col: &EncodedColumn, sat: &SatSet<'_>, zones: bool) -> Wah {
                 }
             }
             SegmentEnc::Rle(seg) => {
-                if !seg.present_ids().iter().any(|&id| sat.contains(id)) {
-                    // Pruned: run data never touched.
-                    mask.append_run(false, seg.rows());
-                    continue;
-                }
                 for &(id, n) in seg.seq().runs() {
                     mask.append_run(sat.contains(id), n);
                 }

@@ -119,6 +119,41 @@ pub struct ResultSet {
     pub rows: Vec<Vec<Value>>,
 }
 
+/// Resolves an aggregate's grouping columns and expressions against a
+/// schema: `(op, input position, input type)` triples, the output column
+/// defs, and the grouping positions — shared by the row path and the
+/// columnar pushdown so both produce identical schemas.
+#[allow(clippy::type_complexity)]
+fn compile_aggs(
+    schema: &Schema,
+    group_by: &[String],
+    aggs: &[crate::agg::AggExpr],
+) -> Result<
+    (
+        Vec<(crate::agg::AggOp, usize, cods_storage::ValueType)>,
+        Vec<ColumnDef>,
+        Vec<usize>,
+    ),
+    StorageError,
+> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|n| schema.index_of(n))
+        .collect::<Result<_, _>>()?;
+    let mut compiled = Vec::with_capacity(aggs.len());
+    let mut out_cols: Vec<ColumnDef> = group_idx
+        .iter()
+        .map(|&g| schema.columns()[g].clone())
+        .collect();
+    for a in aggs {
+        let col = schema.index_of(&a.column)?;
+        let in_ty = schema.columns()[col].ty;
+        compiled.push((a.op, col, in_ty));
+        out_cols.push(ColumnDef::new(&a.alias, a.op.output_type(in_ty)));
+    }
+    Ok((compiled, out_cols, group_idx))
+}
+
 /// Executes a plan to a materialized [`ResultSet`].
 pub fn execute(plan: &Plan, ctx: ExecContext<'_>) -> Result<ResultSet, StorageError> {
     match plan {
@@ -236,22 +271,22 @@ pub fn execute(plan: &Plan, ctx: ExecContext<'_>) -> Result<ResultSet, StorageEr
             group_by,
             aggs,
         } => {
-            let input = execute(input, ctx)?;
-            let group_idx: Vec<usize> = group_by
-                .iter()
-                .map(|n| input.schema.index_of(n))
-                .collect::<Result<_, _>>()?;
-            let mut compiled = Vec::with_capacity(aggs.len());
-            let mut out_cols: Vec<ColumnDef> = group_idx
-                .iter()
-                .map(|&g| input.schema.columns()[g].clone())
-                .collect();
-            for a in aggs {
-                let col = input.schema.index_of(&a.column)?;
-                let in_ty = input.schema.columns()[col].ty;
-                compiled.push((a.op, col, in_ty));
-                out_cols.push(ColumnDef::new(&a.alias, a.op.output_type(in_ty)));
+            // Columnar pushdown: an aggregate directly over a column-store
+            // scan runs on dictionary ids (with the per-column validity
+            // fast path) instead of materializing every tuple first.
+            if let Plan::ScanColumn { table } = input.as_ref() {
+                if let Some(cat) = ctx.catalog {
+                    let t = cat.get(table)?;
+                    let (compiled, out_cols, group_idx) = compile_aggs(t.schema(), group_by, aggs)?;
+                    let rows = crate::agg::aggregate_table(&t, &group_idx, &compiled)?;
+                    return Ok(ResultSet {
+                        schema: Schema::new(out_cols)?,
+                        rows,
+                    });
+                }
             }
+            let input = execute(input, ctx)?;
+            let (compiled, out_cols, group_idx) = compile_aggs(&input.schema, group_by, aggs)?;
             let rows = crate::agg::aggregate(&input.rows, &group_idx, &compiled)?;
             Ok(ResultSet {
                 schema: Schema::new(out_cols)?,

@@ -63,6 +63,29 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Attempts to acquire a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +105,23 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn rwlock_try_and_get_mut() {
+        let mut l = RwLock::new(7);
+        {
+            let g = l.try_write().expect("uncontended try_write");
+            assert_eq!(*g, 7);
+            assert!(l.try_read().is_none(), "writer blocks try_read");
+            assert!(l.try_write().is_none(), "writer blocks try_write");
+        }
+        {
+            let g = l.try_read().expect("uncontended try_read");
+            assert_eq!(*g, 7);
+            assert!(l.try_write().is_none(), "reader blocks try_write");
+        }
+        *l.get_mut() = 8;
+        assert_eq!(*l.read(), 8);
     }
 }

@@ -1,50 +1,28 @@
 //! Row cursors: streaming `row → value id` access over a compressed column
-//! without materializing anything per row.
+//! without materializing anything column-wide.
 //!
-//! The cursor walks the unified segment directory in order, dispatching on
-//! each segment's encoding. Within a bitmap segment it is a k-way merge
-//! over the *present* values' set-bit iterators — thanks to the partition
-//! invariant exactly one bitmap fires per row, so the merge yields every
-//! row exactly once, in order; the heap is sized by per-segment
-//! cardinality, not column cardinality. Within an RLE segment it simply
-//! expands the run sequence. The CODS sequential-scan passes (distinction,
-//! mergence) use either this cursor or the materialized
-//! [`EncodedColumn::value_ids`] array depending on how many passes they
-//! need.
+//! The cursor walks the unified segment directory in order, faulting in one
+//! segment at a time (so a scan over a lazily opened column touches the
+//! buffer cache segment by segment, never all at once) and decoding it into
+//! a reusable segment-local id buffer: bitmap segments through the sparse
+//! per-value fill, RLE segments by expanding the run sequence. Peak extra
+//! memory is one segment's worth of ids — independent of column size. The
+//! CODS sequential-scan passes (distinction, mergence) use either this
+//! cursor or the materialized [`EncodedColumn::value_ids`] array depending
+//! on how many passes they need.
 
 use crate::encoded::{EncodedColumn, SegmentEnc};
-use cods_bitmap::OnesIter;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// Per-segment iteration state.
-enum SegState<'a> {
-    /// Bitmap segment: min-heap of `(local_row, slot)` where `slot`
-    /// indexes the segment's present-id list.
-    Bitmap {
-        heap: BinaryHeap<Reverse<(u64, u32)>>,
-        iters: Vec<OnesIter<'a>>,
-        ids: &'a [u32],
-    },
-    /// RLE segment: current run index and offset within it.
-    Rle {
-        runs: &'a [(u32, u64)],
-        run_idx: usize,
-        within: u64,
-    },
-    /// No more segments.
-    Done,
-}
 
 /// Streaming cursor yielding `(row, value_id)` in ascending row order.
 pub struct RowIdCursor<'a> {
     column: &'a EncodedColumn,
     seg_idx: usize,
-    /// Next global row to emit. Opens at the current segment's start; the
-    /// bitmap state leaves it fixed there (rows come out as `base + pos`),
-    /// while the RLE state advances it row by row.
+    /// Global row of `buf[0]` (the current segment's start).
     base: u64,
-    state: SegState<'a>,
+    /// Decoded ids of the current segment, reused across segments.
+    buf: Vec<u32>,
+    /// Next index into `buf` to emit.
+    pos: usize,
     rows: u64,
     emitted: u64,
 }
@@ -56,7 +34,8 @@ impl<'a> RowIdCursor<'a> {
             column,
             seg_idx: 0,
             base: 0,
-            state: SegState::Done,
+            buf: Vec::new(),
+            pos: 0,
             rows: column.rows(),
             emitted: 0,
         };
@@ -64,35 +43,27 @@ impl<'a> RowIdCursor<'a> {
         cur
     }
 
+    /// Faults segment `idx` in and decodes it into the id buffer; leaves
+    /// the buffer empty when the directory is exhausted.
     fn open_segment(&mut self, idx: usize) {
         self.seg_idx = idx;
-        let Some(seg) = self.column.segments().get(idx) else {
-            self.state = SegState::Done;
+        self.pos = 0;
+        self.buf.clear();
+        let Some(slot) = self.column.segments().get(idx) else {
             return;
         };
         self.base = self.column.segment_start(idx);
-        self.state = match seg {
-            SegmentEnc::Bitmap(seg) => {
-                let mut iters: Vec<OnesIter<'a>> =
-                    seg.bitmaps().iter().map(|bm| bm.iter_ones()).collect();
-                let mut heap = BinaryHeap::with_capacity(iters.len());
-                for (slot, it) in iters.iter_mut().enumerate() {
-                    if let Some(pos) = it.next() {
-                        heap.push(Reverse((pos, slot as u32)));
-                    }
-                }
-                SegState::Bitmap {
-                    heap,
-                    iters,
-                    ids: seg.present_ids(),
+        self.buf.resize(slot.rows() as usize, u32::MAX);
+        match slot.enc() {
+            SegmentEnc::Bitmap(seg) => seg.fill_ids(&mut self.buf),
+            SegmentEnc::Rle(seg) => {
+                let mut at = 0usize;
+                for &(id, n) in seg.seq().runs() {
+                    self.buf[at..at + n as usize].fill(id);
+                    at += n as usize;
                 }
             }
-            SegmentEnc::Rle(seg) => SegState::Rle {
-                runs: seg.seq().runs(),
-                run_idx: 0,
-                within: 0,
-            },
-        };
+        }
     }
 }
 
@@ -100,46 +71,23 @@ impl Iterator for RowIdCursor<'_> {
     type Item = (u64, u32);
 
     fn next(&mut self) -> Option<(u64, u32)> {
-        loop {
-            match &mut self.state {
-                SegState::Bitmap { heap, iters, ids } => {
-                    if let Some(Reverse((pos, slot))) = heap.pop() {
-                        if let Some(next) = iters[slot as usize].next() {
-                            heap.push(Reverse((next, slot)));
-                        }
-                        let row = self.base + pos;
-                        debug_assert_eq!(row, self.emitted, "partition invariant violated");
-                        self.emitted += 1;
-                        return Some((row, ids[slot as usize]));
-                    }
-                }
-                SegState::Rle {
-                    runs,
-                    run_idx,
-                    within,
-                } => {
-                    if let Some(&(id, len)) = runs.get(*run_idx) {
-                        let row = self.base;
-                        self.base += 1;
-                        *within += 1;
-                        if *within == len {
-                            *run_idx += 1;
-                            *within = 0;
-                        }
-                        debug_assert_eq!(row, self.emitted);
-                        self.emitted += 1;
-                        return Some((row, id));
-                    }
-                }
-                SegState::Done => return None,
-            }
-            if self.seg_idx + 1 >= self.column.segment_count() {
-                self.state = SegState::Done;
+        while self.pos == self.buf.len() {
+            if self.seg_idx >= self.column.segment_count() {
                 return None;
             }
             let next_idx = self.seg_idx + 1;
+            if next_idx >= self.column.segment_count() {
+                self.seg_idx = next_idx;
+                return None;
+            }
             self.open_segment(next_idx);
         }
+        let row = self.base + self.pos as u64;
+        let id = self.buf[self.pos];
+        self.pos += 1;
+        debug_assert_eq!(row, self.emitted, "partition invariant violated");
+        self.emitted += 1;
+        Some((row, id))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -19,6 +19,7 @@ use crate::dictionary::Dictionary;
 use crate::error::StorageError;
 use crate::rle_segment::RleSegment;
 use crate::segment::{Segment, SegmentChunk, Zone};
+use crate::store::SegSlot;
 use crate::value::{Value, ValueType};
 use cods_bitmap::{OneStreamBuilder, RleSeq, Wah};
 use std::collections::HashMap;
@@ -531,7 +532,7 @@ impl EncodedAssembler {
 // The unified column
 // ---------------------------------------------------------------------
 
-fn starts_of(segments: &[SegmentEnc]) -> (Vec<u64>, u64) {
+fn starts_of(segments: &[SegSlot]) -> (Vec<u64>, u64) {
     let mut starts = Vec::with_capacity(segments.len());
     let mut total = 0u64;
     for s in segments {
@@ -562,7 +563,7 @@ fn derive_zones(dict: &Dictionary, segments: &[SegmentEnc]) -> Vec<Zone> {
 pub struct EncodedColumn {
     ty: ValueType,
     dict: Dictionary,
-    segments: Vec<SegmentEnc>,
+    segments: Vec<SegSlot>,
     /// Start row of each segment (parallel to `segments`).
     starts: Vec<u64>,
     /// Per-segment zone maps (parallel to `segments`).
@@ -715,6 +716,19 @@ impl EncodedColumn {
         zones: Vec<Zone>,
         segment_rows: u64,
     ) -> EncodedColumn {
+        let slots = segments.into_iter().map(SegSlot::fresh).collect();
+        Self::from_slots_zoned(ty, dict, slots, zones, segment_rows)
+    }
+
+    /// [`EncodedColumn::from_segments_zoned`] over already-built directory
+    /// slots — the v6 lazy-open path, where segments arrive paged out.
+    pub(crate) fn from_slots_zoned(
+        ty: ValueType,
+        dict: Dictionary,
+        segments: Vec<SegSlot>,
+        zones: Vec<Zone>,
+        segment_rows: u64,
+    ) -> EncodedColumn {
         debug_assert_eq!(segments.len(), zones.len());
         let (starts, rows) = starts_of(&segments);
         let seg_pins = vec![false; segments.len()];
@@ -803,8 +817,9 @@ impl EncodedColumn {
         self.dict.len()
     }
 
-    /// The unified segment directory.
-    pub fn segments(&self) -> &[SegmentEnc] {
+    /// The unified segment directory: demand-paged slots whose metadata is
+    /// always resident but whose payloads may live on disk.
+    pub fn segments(&self) -> &[SegSlot] {
         &self.segments
     }
 
@@ -1019,6 +1034,9 @@ impl EncodedColumn {
         for idx in range {
             out.segments[idx] = out.segments[idx].recoded(encoding);
             out.seg_pins[idx] = true;
+            // An explicitly recoded segment is also pinned in the buffer
+            // cache: the user singled it out, so it stays resident.
+            out.segments[idx].set_pinned(true);
         }
         Ok(out)
     }
@@ -1039,6 +1057,7 @@ impl EncodedColumn {
         for idx in range {
             out.seg_pins[idx] = false;
             out.segments[idx] = out.segments[idx].recoded(out.segments[idx].choose_encoding());
+            out.segments[idx].set_pinned(false);
         }
         Ok(out)
     }
@@ -1051,7 +1070,7 @@ impl EncodedColumn {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
         let seg_idx = self.segment_of_row(row);
         let local = row - self.starts[seg_idx];
-        let id = match &self.segments[seg_idx] {
+        let id = match self.segments[seg_idx].enc() {
             SegmentEnc::Bitmap(s) => s
                 .id_at(local)
                 .expect("partition invariant violated: row has no value"),
@@ -1068,7 +1087,7 @@ impl EncodedColumn {
         let mut ids = vec![u32::MAX; self.rows as usize];
         for (seg, &start) in self.segments.iter().zip(&self.starts) {
             let out = &mut ids[start as usize..(start + seg.rows()) as usize];
-            match seg {
+            match seg.enc() {
                 SegmentEnc::Bitmap(s) => s.fill_ids(out),
                 SegmentEnc::Rle(s) => {
                     let mut pos = 0usize;
@@ -1102,7 +1121,13 @@ impl EncodedColumn {
     pub fn value_bitmap(&self, id: u32) -> Wah {
         let mut out = Wah::new();
         for seg in &self.segments {
-            match seg {
+            // Present-id stats answer "absent here" without faulting the
+            // payload — a value probe only pages in segments that carry it.
+            if !seg.contains_id(id) {
+                out.append_run(false, seg.rows());
+                continue;
+            }
+            match seg.enc() {
                 SegmentEnc::Bitmap(s) => match s.bitmap_for(id) {
                     Some(bm) => out.append_bitmap(bm),
                     None => out.append_run(false, s.rows()),
@@ -1147,7 +1172,7 @@ impl EncodedColumn {
     /// task body of the parallel operators.
     pub fn filter_segment_chunk(&self, seg_idx: usize, positions: &[u64]) -> EncodedChunk {
         let start = self.starts[seg_idx];
-        match &self.segments[seg_idx] {
+        match self.segments[seg_idx].enc() {
             SegmentEnc::Bitmap(seg) => {
                 if positions.is_empty() {
                     return EncodedChunk::Bitmap(SegmentChunk::empty());
@@ -1200,7 +1225,7 @@ impl EncodedColumn {
     /// (segment-local), staying on the compressed form where the encoding
     /// allows.
     pub fn filter_segment_mask_chunk(&self, seg_idx: usize, mask_seg: &Wah) -> EncodedChunk {
-        match &self.segments[seg_idx] {
+        match self.segments[seg_idx].enc() {
             SegmentEnc::Bitmap(seg) => {
                 assert_eq!(mask_seg.len(), seg.rows(), "segment mask length mismatch");
                 let m = mask_seg.count_ones();
@@ -1355,7 +1380,7 @@ impl EncodedColumn {
     /// own encoding.
     pub fn slice(&self, start: u64, end: u64) -> EncodedColumn {
         assert!(start <= end && end <= self.rows, "slice out of range");
-        let mut parts: Vec<SegmentEnc> = Vec::new();
+        let mut parts: Vec<SegSlot> = Vec::new();
         let mut zones: Vec<Zone> = Vec::new();
         let mut seg_pins: Vec<bool> = Vec::new();
         let mut present = vec![false; self.dict.len()];
@@ -1371,11 +1396,12 @@ impl EncodedColumn {
                 continue;
             }
             let part = if lo == 0 && hi == seg.rows() {
-                // Fully covered: segment and zone carry over untouched.
+                // Fully covered: the slot (with its encoding, zone, pin, and
+                // residency state) carries over untouched — no fault.
                 zones.push(self.zones[i]);
                 seg.clone()
             } else {
-                let rebuilt = match seg {
+                let rebuilt = match seg.enc() {
                     SegmentEnc::Bitmap(s) => {
                         let mut pairs = Vec::new();
                         for (&id, bm) in s.present_ids().iter().zip(s.bitmaps()) {
@@ -1393,7 +1419,7 @@ impl EncodedColumn {
                 // Partial coverage may narrow the value range: re-derive
                 // from the surviving present-id stats.
                 zones.push(Zone::of_ids(rebuilt.present_ids(), ranks));
-                rebuilt
+                SegSlot::fresh(rebuilt)
             };
             for &id in part.present_ids() {
                 present[id as usize] = true;
@@ -1448,7 +1474,7 @@ impl EncodedColumn {
             return self.clone();
         };
         let ranks = self.dict.value_order().ranks();
-        let mut segments: Vec<SegmentEnc> = Vec::with_capacity(plan.len());
+        let mut segments: Vec<SegSlot> = Vec::with_capacity(plan.len());
         let mut zones: Vec<Zone> = Vec::with_capacity(plan.len());
         let mut seg_pins: Vec<bool> = Vec::with_capacity(plan.len());
         for group in plan {
@@ -1489,7 +1515,7 @@ impl EncodedColumn {
             let piece_count = group.pieces.len();
             let mut asm = EncodedAssembler::with_piece_sizes(group.pieces);
             for seg in &self.segments[group.segs] {
-                asm.push_chunk(match seg {
+                asm.push_chunk(match seg.enc() {
                     SegmentEnc::Bitmap(s) => EncodedChunk::Bitmap(s.to_chunk()),
                     SegmentEnc::Rle(s) => EncodedChunk::Rle(s.seq().clone()),
                 });
@@ -1498,7 +1524,7 @@ impl EncodedColumn {
             debug_assert_eq!(pieces.len(), piece_count);
             zones.extend(pieces.iter().map(|s| Zone::of_ids(s.present_ids(), ranks)));
             seg_pins.extend(std::iter::repeat_n(group_pin, pieces.len()));
-            segments.extend(pieces);
+            segments.extend(pieces.into_iter().map(SegSlot::fresh));
         }
         let (starts, rows) = starts_of(&segments);
         EncodedColumn {
@@ -1537,10 +1563,39 @@ impl EncodedColumn {
         self.payload_bytes() + self.dict.size_bytes()
     }
 
+    /// Faults every paged-out segment into memory — the eager-open path
+    /// used by the v1 downgrade writer and fully-resident benchmarks.
+    pub fn fault_in_all(&self) {
+        for seg in &self.segments {
+            let _ = seg.enc();
+        }
+    }
+
+    /// `(resident, on-disk)` segment counts — buffer-cache telemetry.
+    pub fn residency_counts(&self) -> (usize, usize) {
+        let resident = self.segments.iter().filter(|s| s.is_resident()).count();
+        (resident, self.segments.len() - resident)
+    }
+
     /// Verifies the per-segment invariants, the directory geometry,
     /// dictionary compaction (every value occurs somewhere), zone
-    /// consistency, and pin-vector geometry.
+    /// consistency, and pin-vector geometry. Faults every payload in;
+    /// [`EncodedColumn::check_meta_invariants`] is the no-fault subset.
     pub fn check_invariants(&self) -> Result<(), StorageError> {
+        self.check_meta_invariants()?;
+        for (i, seg) in self.segments.iter().enumerate() {
+            seg.check_invariants()
+                .map_err(|e| StorageError::Corrupt(format!("segment {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// The metadata tier of [`EncodedColumn::check_invariants`]: directory
+    /// geometry, dictionary compaction, and zone consistency, all checked
+    /// against the resident per-segment stats — never faults a payload in.
+    /// This is what the v6 lazy-open path runs; payloads are then validated
+    /// individually against these same stats as they fault in.
+    pub fn check_meta_invariants(&self) -> Result<(), StorageError> {
         if self.segments.len() != self.starts.len() {
             return Err(StorageError::Corrupt("segment/start count mismatch".into()));
         }
@@ -1562,8 +1617,6 @@ impl EncodedColumn {
             if seg.rows() == 0 {
                 return Err(StorageError::Corrupt(format!("segment {i} is empty")));
             }
-            seg.check_invariants()
-                .map_err(|e| StorageError::Corrupt(format!("segment {i}: {e}")))?;
             for (&id, &ones) in seg.present_ids().iter().zip(seg.ones()) {
                 if id as usize >= self.dict.len() {
                     return Err(StorageError::Corrupt(format!(
@@ -1610,6 +1663,11 @@ impl EncodedColumn {
     /// parallel to the directory).
     pub(crate) fn set_segment_pins(&mut self, pins: Vec<bool>) {
         debug_assert_eq!(pins.len(), self.segments.len());
+        for (slot, &pin) in self.segments.iter().zip(&pins) {
+            if pin {
+                slot.set_pinned(true);
+            }
+        }
         self.seg_pins = pins;
     }
 
@@ -1627,7 +1685,7 @@ impl EncodedColumn {
 /// unless the range carries a pin, in which case `pinned_target` (the
 /// first pinned part's encoding) wins: the chooser must not reshape data
 /// a user recoded explicitly.
-fn splice_group(parts: &[SegmentEnc], pinned_target: Option<Encoding>) -> SegmentEnc {
+fn splice_group(parts: &[SegSlot], pinned_target: Option<Encoding>) -> SegSlot {
     debug_assert!(!parts.is_empty());
     let uniform = parts
         .iter()
@@ -1637,6 +1695,8 @@ fn splice_group(parts: &[SegmentEnc], pinned_target: Option<Encoding>) -> Segmen
         (Some(e), _) => e,
         (None, Some(e)) => e,
         (None, None) => {
+            // The pick comes from resident metadata alone; only the splice
+            // itself below faults the group's payloads in.
             let runs: u64 = parts.iter().map(|s| s.run_count()).sum();
             let rows: u64 = parts.iter().map(|s| s.rows()).sum();
             let mut distinct: Vec<u32> = parts
@@ -1648,12 +1708,12 @@ fn splice_group(parts: &[SegmentEnc], pinned_target: Option<Encoding>) -> Segmen
             choose_encoding_from_stats(runs, rows, distinct.len() as u64, 1)
         }
     };
-    match target {
+    let seg = match target {
         Encoding::Bitmap => {
             let converted: Vec<Arc<Segment>> = parts
                 .iter()
-                .map(|s| match s {
-                    SegmentEnc::Bitmap(b) => Arc::clone(b),
+                .map(|s| match s.enc() {
+                    SegmentEnc::Bitmap(b) => b,
                     SegmentEnc::Rle(r) => Arc::new(r.to_bitmap_segment()),
                 })
                 .collect();
@@ -1663,15 +1723,16 @@ fn splice_group(parts: &[SegmentEnc], pinned_target: Option<Encoding>) -> Segmen
         Encoding::Rle => {
             let converted: Vec<Arc<RleSegment>> = parts
                 .iter()
-                .map(|s| match s {
-                    SegmentEnc::Rle(r) => Arc::clone(r),
-                    SegmentEnc::Bitmap(b) => Arc::new(RleSegment::from_bitmap_segment(b)),
+                .map(|s| match s.enc() {
+                    SegmentEnc::Rle(r) => r,
+                    SegmentEnc::Bitmap(b) => Arc::new(RleSegment::from_bitmap_segment(&b)),
                 })
                 .collect();
             let refs: Vec<&RleSegment> = converted.iter().map(|s| s.as_ref()).collect();
             SegmentEnc::Rle(Arc::new(RleSegment::splice(&refs)))
         }
-    }
+    };
+    SegSlot::fresh(seg)
 }
 
 /// Incremental column builder: interns values and grows one
@@ -1917,15 +1978,12 @@ mod tests {
         assert_eq!(c.rows(), 1_000);
         assert_eq!(c.segment_count(), 10);
         // Left side stays bitmap, right side stays RLE — a mixed directory
-        // out of a mixed-encoding union, both reused by reference.
-        assert!(Arc::ptr_eq(
-            c.segments()[0].as_bitmap().unwrap(),
-            a.segments()[0].as_bitmap().unwrap()
-        ));
-        assert!(Arc::ptr_eq(
-            c.segments()[5].as_rle().unwrap(),
-            b.segments()[0].as_rle().unwrap()
-        ));
+        // out of a mixed-encoding union, both reused by reference (the
+        // shared slots mean a cached segment serves both table versions).
+        assert!(c.segments()[0].ptr_eq(&a.segments()[0]));
+        assert_eq!(c.segments()[0].encoding(), Encoding::Bitmap);
+        assert!(c.segments()[5].ptr_eq(&b.segments()[0]));
+        assert_eq!(c.segments()[5].encoding(), Encoding::Rle);
         assert_eq!(c.encoding_counts(), (5, 5));
         assert_eq!(c.uniform_encoding(), None);
         let mut expect = vals.clone();

@@ -23,9 +23,12 @@
 //! * [`Table`] — schema + `Arc`-shared columns.
 //! * [`Catalog`] — thread-safe table namespace.
 //! * [`RowIdCursor`] — streaming `row → value id` scans over compressed data.
+//! * [`SegSlot`] / [`SegmentStore`] — the demand-paged directory entry and
+//!   the process-wide, byte-budgeted buffer cache behind it (see
+//!   [`segment_cache`]).
 //! * [`load`] — delimited-text ingest; [`persist`] — versioned binary table
-//!   files (v5 carries a per-segment encoding tag; v1–v4 files are still
-//!   read).
+//!   files (v6 keeps segment payloads on disk behind a footer index for
+//!   lazy opens; v1–v5 files are still read).
 //!
 //! ```
 //! use cods_storage::{Schema, Table, Value, ValueType};
@@ -55,6 +58,7 @@ pub mod rle_segment;
 pub mod schema;
 pub mod segment;
 pub mod stats;
+pub mod store;
 pub mod table;
 pub mod value;
 
@@ -74,5 +78,6 @@ pub use segment::{
     DEFAULT_SEGMENT_ROWS,
 };
 pub use stats::{ColumnStats, TableStats};
+pub use store::{segment_cache, CacheStats, SegSlot, SegmentStore};
 pub use table::Table;
 pub use value::{OrderedF64, Value, ValueType};

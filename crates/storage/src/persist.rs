@@ -1,55 +1,82 @@
 //! Binary persistence of tables and catalogs.
 //!
-//! Version 5 layout (all little-endian) stores each column as the unified
-//! segment directory it is in memory: one dictionary, then every segment
-//! tagged with **its own** encoding (and pin), then the per-segment zone
-//! maps:
+//! Version 6 splits a file into a payload heap and a metadata region so a
+//! column opens as *metadata only* — schema, dictionary, per-segment stats,
+//! zone maps, encoding/pin tags — while segment payloads stay on disk
+//! behind a footer index and fault in through the buffer cache
+//! ([`crate::store`]) on first touch:
 //!
 //! ```text
-//! file       := magic:u32 version:u16 table
-//! catalog    := magic:u32 version:u16 table_count:u32 table*
-//! table      := name:str schema rows:u64 column*
-//! schema     := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
-//! column     := tag:u8 dict_len:u32 value* flags:u8 seg_rows:u64
-//!               seg_count:u32 (segtag:u8 segment)* zone*
-//! flags      := bit 0: whole column pinned by explicit recode
-//! segtag     := bit 0: encoding (0 bitmap, 1 rle); bit 1: segment pinned
-//! bitmap-seg := rows:u64 present:u32 (id:u32)* bitmap*
-//! rle-seg    := rle-seq encoding
-//! zone       := min_id:u32 max_id:u32         (one per segment)
-//! value      := kind:u8 payload
-//! str        := len:u32 utf8-bytes
+//! file     := preamble payload-heap metadata footer
+//! preamble := magic:u32 version:u16
+//! footer   := meta_off:u64 magic:u32               (the last 12 bytes)
+//! metadata := table                                (table file)
+//! metadata := table_count:u32 table*               (catalog file)
+//! table    := name:str schema rows:u64 column*
+//! schema   := arity:u16 (name:str tag:u8)* key_len:u16 key_idx:u16*
+//! column   := dict flags:u8 seg_rows:u64 seg_count:u32 segment* zone*
+//! dict     := tag:u8 dict_len:u32 value*
+//! flags    := bit 0: whole column pinned by explicit recode
+//! segment  := segtag:u8 off:u64 len:u64 rows:u64 runs:u64 bytes:u64
+//!             present:u32 (id:u32)* (ones:u64)*
+//! segtag   := bit 0: encoding (0 bitmap, 1 rle); bit 1: segment pinned
+//! zone     := min_id:u32 max_id:u32                (one per segment)
+//! value    := kind:u8 payload
+//! str      := len:u32 utf8-bytes
 //! ```
 //!
-//! Version 4 (one column-wide `enc` byte — homogeneous directories only),
-//! version 3 (no flags byte, no zones), version 2 (bitmap-only segment
-//! directory) and version 1 (the monolithic format: one full-length bitmap
-//! per dictionary value) are still decoded transparently — homogeneous
-//! columns come back as uniform directories, zone maps and choice metadata
-//! are reconstructed from segment stats where the file carries none, and
-//! v1 decoding re-segments at the default segment size. [`encode_table_v1`]
-//! writes the legacy layout for compatibility tests and downgrades —
-//! including for RLE or mixed columns, whose per-value bitmaps are
-//! materialized from their payloads.
+//! `off`/`len` locate the segment's payload in the heap (bitmap segments
+//! are the concatenation of each present id's WAH stream in id order, RLE
+//! segments the run-sequence codec); `rows`/`runs`/`bytes`/ids/ones are
+//! the resident stats scans prune on without faulting. The heap stores
+//! each distinct (`Arc`-shared) segment once, however many columns or
+//! table versions reference it, and a catalog decode re-shares slots with
+//! identical locations.
+//!
+//! Saving onto a file that already backs some of the table's segments is
+//! an *append*: reused payloads keep their offsets, only new segments'
+//! payloads are appended at the old metadata offset, and the metadata
+//! region plus footer are rewritten — O(new data + metadata), not O(file).
+//! After any save, freshly built segments adopt their new on-disk location
+//! and become evictable.
+//!
+//! Version 5 (eager per-segment payloads behind per-segment encoding
+//! tags), version 4 (one column-wide `enc` byte — homogeneous directories
+//! only), version 3 (no flags byte, no zones), version 2 (bitmap-only
+//! segment directory) and version 1 (the monolithic format: one
+//! full-length bitmap per dictionary value) are still decoded
+//! transparently — fully resident, since those files carry no payload
+//! index. [`encode_table_v1`] writes the legacy layout for compatibility
+//! tests and downgrades; on a lazily opened table it faults every segment
+//! in, since the monolithic layout needs all payloads.
 
 use crate::dictionary::Dictionary;
-use crate::encoded::{EncodedColumn, SegmentEnc};
+use crate::encoded::{EncodedColumn, Encoding, SegmentEnc};
 use crate::error::StorageError;
 use crate::rle_segment::RleSegment;
 use crate::schema::{ColumnDef, Schema};
 use crate::segment::{Segment, Zone};
+use crate::store::{
+    encode_payload, payload_encoded_len, segment_cache, DiskLoc, PayloadSource, SegMeta, SegSlot,
+};
 use crate::table::Table;
 use crate::value::{Value, ValueType};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cods_bitmap::{RleSeq, Wah};
-use std::path::Path;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: u32 = 0xC0D5_0001;
-/// Current on-disk format version (per-segment encoding tags).
-pub const VERSION: u16 = 5;
+/// Current on-disk format version (demand-paged payload heap + footer).
+pub const VERSION: u16 = 6;
 /// Oldest format version this build can read.
 pub const MIN_VERSION: u16 = 1;
+
+/// `magic:u32 version:u16`.
+const PREAMBLE_LEN: usize = 6;
+/// `meta_off:u64 magic:u32`.
+const FOOTER_LEN: usize = 12;
 
 const ENC_BITMAP: u8 = 0;
 const ENC_RLE: u8 = 1;
@@ -184,42 +211,15 @@ fn put_dict<B: BufMut>(buf: &mut B, ty: ValueType, dict: &Dictionary) {
     }
 }
 
-fn put_bitmap_segment<B: BufMut>(buf: &mut B, seg: &Segment) {
-    buf.put_u64_le(seg.rows());
-    buf.put_u32_le(seg.distinct_count() as u32);
-    for &id in seg.present_ids() {
-        buf.put_u32_le(id);
-    }
-    for bm in seg.bitmaps() {
-        bm.encode(buf);
-    }
-}
-
-/// Writes one column in the current (version-5) layout: per-segment
-/// encoding tags over one unified directory.
-fn put_column<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
+/// Writes a column in the legacy monolithic (version-1) layout: one
+/// full-length bitmap per dictionary value, whatever the in-memory
+/// per-segment encodings (the downgrade path). Faults lazily opened
+/// segments in, since the monolithic layout needs every payload.
+fn put_column_v1<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
     put_dict(buf, c.ty(), c.dict());
-    let flags = if c.encoding_pinned() { FLAG_PINNED } else { 0 };
-    buf.put_u8(flags);
-    buf.put_u64_le(c.nominal_segment_rows());
-    buf.put_u32_le(c.segment_count() as u32);
-    for (i, seg) in c.segments().iter().enumerate() {
-        let mut tag = match seg {
-            SegmentEnc::Bitmap(_) => ENC_BITMAP,
-            SegmentEnc::Rle(_) => ENC_RLE,
-        };
-        // Bit 1 records the *segment-range* pin only; the whole-column pin
-        // lives in the column flags byte, so the two survive independently.
-        if c.segment_pin_raw(i) {
-            tag |= SEG_FLAG_PINNED;
-        }
-        buf.put_u8(tag);
-        match seg {
-            SegmentEnc::Bitmap(s) => put_bitmap_segment(buf, s),
-            SegmentEnc::Rle(s) => s.seq().encode(buf),
-        }
+    for id in 0..c.dict().len() as u32 {
+        c.value_bitmap(id).encode(buf);
     }
-    put_zones(buf, c.zones());
 }
 
 fn put_zones<B: BufMut>(buf: &mut B, zones: &[Zone]) {
@@ -251,16 +251,6 @@ fn get_zones<B: Buf>(
     Ok(zones)
 }
 
-/// Writes a column in the legacy monolithic (version-1) layout: one
-/// full-length bitmap per dictionary value, whatever the in-memory
-/// per-segment encodings (the downgrade path).
-fn put_column_v1<B: BufMut>(buf: &mut B, c: &EncodedColumn) {
-    put_dict(buf, c.ty(), c.dict());
-    for id in 0..c.dict().len() as u32 {
-        c.value_bitmap(id).encode(buf);
-    }
-}
-
 fn get_dict<B: Buf>(buf: &mut B) -> Result<(ValueType, Dictionary), StorageError> {
     if buf.remaining() < 5 {
         return Err(eof());
@@ -276,7 +266,7 @@ fn get_dict<B: Buf>(buf: &mut B) -> Result<(ValueType, Dictionary), StorageError
     Ok((ty, dict))
 }
 
-/// Reads the `seg_rows`/`seg_count` directory header shared by v2–v5.
+/// Reads the `seg_rows`/`seg_count` directory header shared by v2–v6.
 fn get_dir_header<B: Buf>(buf: &mut B) -> Result<(u64, usize), StorageError> {
     if buf.remaining() < 12 {
         return Err(eof());
@@ -290,9 +280,10 @@ fn get_dir_header<B: Buf>(buf: &mut B) -> Result<(u64, usize), StorageError> {
     Ok((seg_rows, buf.get_u32_le() as usize))
 }
 
-/// Reads one bitmap segment, validating present ids against the dictionary
-/// up front — zone derivation indexes the rank table by id, so a corrupt
-/// file must be rejected here with an error, never by a panic downstream.
+/// Reads one eagerly stored bitmap segment (v2–v5), validating present ids
+/// against the dictionary up front — zone derivation indexes the rank table
+/// by id, so a corrupt file must be rejected here with an error, never by a
+/// panic downstream.
 fn get_bitmap_segment<B: Buf>(buf: &mut B, dict_len: usize) -> Result<Arc<Segment>, StorageError> {
     if buf.remaining() < 12 {
         return Err(eof());
@@ -336,8 +327,8 @@ fn get_bitmap_segment<B: Buf>(buf: &mut B, dict_len: usize) -> Result<Arc<Segmen
     Ok(Arc::new(Segment::new(srows, pairs)))
 }
 
-/// Reads one RLE segment, validating run ids against the dictionary (see
-/// [`get_bitmap_segment`]).
+/// Reads one eagerly stored RLE segment (v3–v5), validating run ids against
+/// the dictionary (see [`get_bitmap_segment`]).
 fn get_rle_segment<B: Buf>(buf: &mut B, dict_len: usize) -> Result<Arc<RleSegment>, StorageError> {
     let seq =
         RleSeq::decode(buf).map_err(|e| StorageError::PersistError(format!("rle segment: {e}")))?;
@@ -413,7 +404,7 @@ fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<EncodedCol
             col
         }
         _ => {
-            // v5: flags byte, then one tagged segment after another.
+            // v5: flags byte, then one tagged eager segment after another.
             if buf.remaining() < 1 {
                 return Err(eof());
             }
@@ -456,18 +447,515 @@ fn get_column<B: Buf>(buf: &mut B, rows: u64, version: u16) -> Result<EncodedCol
     Ok(col)
 }
 
-/// Serializes one table (current format version).
+// ---------------------------------------------------------------------------
+// v6 writer: payload heap + metadata region + footer.
+// ---------------------------------------------------------------------------
+
+/// A slot whose payload the current save placed (or will place) in the
+/// target file, with its heap location — the post-save adoption list.
+type Placement = (SegSlot, u64, u64);
+
+/// Accumulates the payload heap of one save: each distinct slot's payload
+/// is placed exactly once (keyed by slot identity), and on an append-save
+/// slots already backed by the target file keep their existing offsets
+/// without being read at all.
+struct HeapBuilder<'a> {
+    buf: BytesMut,
+    /// Absolute file offset of the next placed payload.
+    next: u64,
+    placed: HashMap<usize, (u64, u64)>,
+    /// Canonical path of the append target; slots whose payload source is
+    /// this file are reused in place.
+    reuse: Option<&'a Path>,
+    placements: Vec<Placement>,
+}
+
+impl<'a> HeapBuilder<'a> {
+    fn new(base: u64, reuse: Option<&'a Path>) -> HeapBuilder<'a> {
+        HeapBuilder {
+            buf: BytesMut::new(),
+            next: base,
+            placed: HashMap::new(),
+            reuse,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Returns the heap location of `slot`'s payload, placing it on first
+    /// sight. Disk-backed slots are raw-copied from their source without
+    /// decoding; fresh slots are encoded from their resident payload.
+    fn place(&mut self, slot: &SegSlot) -> Result<(u64, u64), StorageError> {
+        if let Some(loc) = slot.disk_loc() {
+            if self.reuse.is_some() && loc.source.path() == self.reuse {
+                return Ok((loc.offset, loc.len));
+            }
+        }
+        if let Some(&at) = self.placed.get(&slot.ident()) {
+            return Ok(at);
+        }
+        let raw = match slot.disk_loc() {
+            Some(loc) => loc.source.read_at(loc.offset, loc.len)?,
+            None => {
+                let enc = slot.try_enc()?;
+                let mut v = Vec::with_capacity(payload_encoded_len(&enc));
+                encode_payload(&enc, &mut v);
+                v
+            }
+        };
+        let at = (self.next, raw.len() as u64);
+        self.buf.put_slice(&raw);
+        self.next += at.1;
+        self.placed.insert(slot.ident(), at);
+        self.placements.push((slot.clone(), at.0, at.1));
+        Ok(at)
+    }
+}
+
+/// Writes one column's metadata record, placing its payloads in the heap.
+fn put_column_v6<B: BufMut>(
+    meta: &mut B,
+    heap: &mut HeapBuilder<'_>,
+    c: &EncodedColumn,
+) -> Result<(), StorageError> {
+    put_dict(meta, c.ty(), c.dict());
+    let flags = if c.encoding_pinned() { FLAG_PINNED } else { 0 };
+    meta.put_u8(flags);
+    meta.put_u64_le(c.nominal_segment_rows());
+    meta.put_u32_le(c.segment_count() as u32);
+    for (i, slot) in c.segments().iter().enumerate() {
+        let (off, len) = heap.place(slot)?;
+        let mut tag = match slot.encoding() {
+            Encoding::Bitmap => ENC_BITMAP,
+            Encoding::Rle => ENC_RLE,
+        };
+        // Bit 1 records the *segment-range* pin only; the whole-column pin
+        // lives in the column flags byte, so the two survive independently.
+        if c.segment_pin_raw(i) {
+            tag |= SEG_FLAG_PINNED;
+        }
+        meta.put_u8(tag);
+        meta.put_u64_le(off);
+        meta.put_u64_le(len);
+        meta.put_u64_le(slot.rows());
+        meta.put_u64_le(slot.run_count());
+        meta.put_u64_le(slot.compressed_bytes() as u64);
+        meta.put_u32_le(slot.distinct_count() as u32);
+        for &id in slot.present_ids() {
+            meta.put_u32_le(id);
+        }
+        for &n in slot.ones() {
+            meta.put_u64_le(n);
+        }
+    }
+    put_zones(meta, c.zones());
+    Ok(())
+}
+
+fn put_table_v6<B: BufMut>(
+    meta: &mut B,
+    heap: &mut HeapBuilder<'_>,
+    t: &Table,
+) -> Result<(), StorageError> {
+    put_str(meta, t.name());
+    put_schema(meta, t.schema());
+    meta.put_u64_le(t.rows());
+    for c in t.columns() {
+        put_column_v6(meta, heap, c)?;
+    }
+    Ok(())
+}
+
+/// What a save writes: one table, or a catalog snapshot.
+enum Content<'a> {
+    Table(&'a Table),
+    Catalog(Vec<Arc<Table>>),
+}
+
+impl Content<'_> {
+    fn tables(&self) -> Vec<&Table> {
+        match self {
+            Content::Table(t) => vec![t],
+            Content::Catalog(ts) => ts.iter().map(|t| t.as_ref()).collect(),
+        }
+    }
+}
+
+fn put_content<B: BufMut>(
+    meta: &mut B,
+    heap: &mut HeapBuilder<'_>,
+    what: &Content<'_>,
+) -> Result<(), StorageError> {
+    match what {
+        Content::Table(t) => put_table_v6(meta, heap, t),
+        Content::Catalog(ts) => {
+            meta.put_u32_le(ts.len() as u32);
+            for t in ts {
+                put_table_v6(meta, heap, t)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Builds a complete v6 image in memory (fresh saves and the in-memory
+/// encode path).
+fn build_image(what: &Content<'_>) -> Result<(Bytes, Vec<Placement>), StorageError> {
+    let mut heap = HeapBuilder::new(PREAMBLE_LEN as u64, None);
+    let mut meta = BytesMut::new();
+    put_content(&mut meta, &mut heap, what)?;
+    let meta_off = heap.next;
+    let HeapBuilder {
+        buf, placements, ..
+    } = heap;
+    let mut out = BytesMut::new();
+    out.put_u32_le(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_slice(buf.freeze().as_slice());
+    out.put_slice(meta.freeze().as_slice());
+    out.put_u64_le(meta_off);
+    out.put_u32_le(MAGIC);
+    Ok((out.freeze(), placements))
+}
+
+/// Builds the tail of an append-save: payloads new to the target file,
+/// the rewritten metadata region, and the footer — everything from the old
+/// metadata offset to the new end of file.
+fn build_append_tail(
+    what: &Content<'_>,
+    base: u64,
+    target: &Path,
+) -> Result<(Bytes, Vec<Placement>), StorageError> {
+    let mut heap = HeapBuilder::new(base, Some(target));
+    let mut meta = BytesMut::new();
+    put_content(&mut meta, &mut heap, what)?;
+    let meta_off = heap.next;
+    let HeapBuilder {
+        buf, placements, ..
+    } = heap;
+    let mut tail = BytesMut::new();
+    tail.put_slice(buf.freeze().as_slice());
+    tail.put_slice(meta.freeze().as_slice());
+    tail.put_u64_le(meta_off);
+    tail.put_u32_le(MAGIC);
+    Ok((tail.freeze(), placements))
+}
+
+/// Decides whether saving `what` onto `path` can append: the target must
+/// be a healthy v6 container that already backs at least one of the
+/// content's segments. Returns the old metadata offset (where appended
+/// payloads go) and the canonical target path. Any doubt falls back to a
+/// full rewrite.
+fn append_point(what: &Content<'_>, path: &Path) -> Option<(u64, PathBuf)> {
+    let canon = std::fs::canonicalize(path).ok()?;
+    let referenced = what.tables().iter().any(|t| {
+        t.columns().iter().any(|c| {
+            c.segments()
+                .iter()
+                .any(|s| s.disk_loc().map(|l| l.source.path()) == Some(Some(&canon)))
+        })
+    });
+    if !referenced {
+        return None;
+    }
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path).ok()?;
+    let len = f.metadata().ok()?.len();
+    if len < (PREAMBLE_LEN + FOOTER_LEN) as u64 {
+        return None;
+    }
+    let mut head = [0u8; PREAMBLE_LEN];
+    f.read_exact(&mut head).ok()?;
+    if u32::from_le_bytes(head[0..4].try_into().unwrap()) != MAGIC
+        || u16::from_le_bytes(head[4..6].try_into().unwrap()) != VERSION
+    {
+        return None;
+    }
+    f.seek(SeekFrom::Start(len - FOOTER_LEN as u64)).ok()?;
+    let mut foot = [0u8; FOOTER_LEN];
+    f.read_exact(&mut foot).ok()?;
+    if u32::from_le_bytes(foot[8..12].try_into().unwrap()) != MAGIC {
+        return None;
+    }
+    let meta_off = u64::from_le_bytes(foot[0..8].try_into().unwrap());
+    if meta_off < PREAMBLE_LEN as u64 || meta_off > len - FOOTER_LEN as u64 {
+        return None;
+    }
+    Some((meta_off, canon))
+}
+
+/// After a successful save: freshly built segments adopt their new on-disk
+/// location (and enrol in the buffer cache, becoming evictable). Slots
+/// already backed elsewhere keep their original source.
+fn adopt_placements(path: &Path, placements: Vec<Placement>) -> Result<(), StorageError> {
+    if placements.is_empty() {
+        return Ok(());
+    }
+    let file = std::fs::File::open(path)?;
+    let canon = std::fs::canonicalize(path)?;
+    let source = Arc::new(PayloadSource::File { file, path: canon });
+    let store = segment_cache();
+    for (slot, offset, len) in placements {
+        let loc = DiskLoc {
+            source: Arc::clone(&source),
+            offset,
+            len,
+        };
+        if slot.attach_disk(loc) {
+            store.adopt(&slot);
+        }
+    }
+    Ok(())
+}
+
+fn save_content(what: &Content<'_>, path: &Path) -> Result<(), StorageError> {
+    let placements = match append_point(what, path) {
+        Some((base, canon)) => {
+            let (tail, placements) = build_append_tail(what, base, &canon)?;
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(path)?;
+            f.seek(SeekFrom::Start(base))?;
+            f.write_all(tail.as_slice())?;
+            f.set_len(base + tail.len() as u64)?;
+            placements
+        }
+        None => {
+            let (image, placements) = build_image(what)?;
+            std::fs::write(path, image.as_slice())?;
+            placements
+        }
+    };
+    adopt_placements(path, placements)
+}
+
+// ---------------------------------------------------------------------------
+// v6 reader: footer, metadata region, paged-out slots.
+// ---------------------------------------------------------------------------
+
+/// Slots decoded so far in this file, keyed by heap location — records
+/// with identical locations (columns shared across catalog tables) come
+/// back `Arc`-shared, so a cached payload keeps serving every snapshot.
+type SlotDedup = HashMap<(u64, u64), SegSlot>;
+
+/// Reads one segment's metadata record into a paged-out slot.
+fn get_seg_slot<B: Buf>(
+    buf: &mut B,
+    dict_len: usize,
+    source: &Arc<PayloadSource>,
+    heap_end: u64,
+    dedup: &mut SlotDedup,
+) -> Result<(SegSlot, bool), StorageError> {
+    let corrupt = |m: String| StorageError::PersistError(m);
+    if buf.remaining() < 1 + 5 * 8 + 4 {
+        return Err(eof());
+    }
+    let tag = buf.get_u8();
+    if tag & !(ENC_RLE | SEG_FLAG_PINNED) != 0 {
+        return Err(corrupt(format!("unknown segment tag {tag:#04x}")));
+    }
+    let pinned = tag & SEG_FLAG_PINNED != 0;
+    let encoding = if tag & ENC_RLE != 0 {
+        Encoding::Rle
+    } else {
+        Encoding::Bitmap
+    };
+    let off = buf.get_u64_le();
+    let len = buf.get_u64_le();
+    let rows = buf.get_u64_le();
+    let runs = buf.get_u64_le();
+    let bytes = buf.get_u64_le();
+    let present = buf.get_u32_le() as usize;
+    let end = off
+        .checked_add(len)
+        .ok_or_else(|| corrupt("segment payload offset overflows".into()))?;
+    if off < PREAMBLE_LEN as u64 || len == 0 || end > heap_end {
+        return Err(corrupt(format!(
+            "segment payload [{off}, {end}) outside the heap [{}, {heap_end})",
+            PREAMBLE_LEN
+        )));
+    }
+    if rows == 0 {
+        return Err(corrupt("empty segment".into()));
+    }
+    if runs == 0 || runs > rows {
+        return Err(corrupt(format!(
+            "segment of {rows} rows claims {runs} runs"
+        )));
+    }
+    if present == 0 {
+        return Err(corrupt(format!(
+            "segment of {rows} rows with no present values"
+        )));
+    }
+    if buf.remaining() < present * (4 + 8) {
+        return Err(eof());
+    }
+    let mut ids = Vec::with_capacity(present);
+    for _ in 0..present {
+        let id = buf.get_u32_le();
+        if id as usize >= dict_len {
+            return Err(corrupt(format!(
+                "segment id {id} beyond dictionary of {dict_len}"
+            )));
+        }
+        if ids.last().is_some_and(|&prev| prev >= id) {
+            return Err(corrupt("present ids not strictly ascending".into()));
+        }
+        ids.push(id);
+    }
+    let mut ones = Vec::with_capacity(present);
+    let mut total = 0u64;
+    for _ in 0..present {
+        let n = buf.get_u64_le();
+        if n == 0 {
+            return Err(corrupt("present id with zero rows".into()));
+        }
+        total = total
+            .checked_add(n)
+            .ok_or_else(|| corrupt("per-id row counts overflow".into()))?;
+        ones.push(n);
+    }
+    if total != rows {
+        return Err(corrupt(format!(
+            "per-id row counts sum to {total}, segment has {rows} rows"
+        )));
+    }
+    let meta = SegMeta {
+        rows,
+        present_ids: ids.into(),
+        ones: ones.into(),
+        runs,
+        bytes: usize::try_from(bytes)
+            .map_err(|_| corrupt("segment byte size beyond address space".into()))?,
+        encoding,
+    };
+    if let Some(shared) = dedup.get(&(off, len)) {
+        // A previously decoded record (a column shared across catalog
+        // tables) already owns this payload; the stats must agree.
+        let m = shared.meta();
+        if m.rows != meta.rows
+            || m.encoding != meta.encoding
+            || *m.present_ids != *meta.present_ids
+            || *m.ones != *meta.ones
+        {
+            return Err(corrupt(
+                "records share a payload but disagree on its stats".into(),
+            ));
+        }
+        if pinned {
+            shared.set_pinned(true);
+        }
+        return Ok((shared.clone(), pinned));
+    }
+    let loc = DiskLoc {
+        source: Arc::clone(source),
+        offset: off,
+        len,
+    };
+    let slot = SegSlot::on_disk(meta, loc, pinned);
+    dedup.insert((off, len), slot.clone());
+    Ok((slot, pinned))
+}
+
+fn get_column_v6<B: Buf>(
+    buf: &mut B,
+    source: &Arc<PayloadSource>,
+    heap_end: u64,
+    dedup: &mut SlotDedup,
+) -> Result<EncodedColumn, StorageError> {
+    let (ty, dict) = get_dict(buf)?;
+    if buf.remaining() < 1 {
+        return Err(eof());
+    }
+    let flags = buf.get_u8();
+    let dict_len = dict.len();
+    let (seg_rows, seg_count) = get_dir_header(buf)?;
+    let mut slots = Vec::with_capacity(seg_count);
+    let mut pins = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        let (slot, pin) = get_seg_slot(buf, dict_len, source, heap_end, dedup)?;
+        pins.push(pin);
+        slots.push(slot);
+    }
+    let zones = get_zones(buf, seg_count, dict_len)?;
+    let mut col = EncodedColumn::from_slots_zoned(ty, dict, slots, zones, seg_rows);
+    col.set_segment_pins(pins);
+    col.set_encoding_pinned(flags & FLAG_PINNED != 0);
+    Ok(col)
+}
+
+/// Decodes one table's metadata record; its columns come back paged out.
+/// Runs the metadata tier of the invariants only — payloads are validated
+/// against their stats as they fault in.
+fn get_table_v6<B: Buf>(
+    buf: &mut B,
+    source: &Arc<PayloadSource>,
+    heap_end: u64,
+    dedup: &mut SlotDedup,
+) -> Result<Table, StorageError> {
+    let name = get_str(buf)?;
+    let schema = get_schema(buf)?;
+    if buf.remaining() < 8 {
+        return Err(eof());
+    }
+    let rows = buf.get_u64_le();
+    let mut columns = Vec::with_capacity(schema.arity());
+    for _ in 0..schema.arity() {
+        let col = get_column_v6(buf, source, heap_end, dedup)?;
+        if col.rows() != rows {
+            return Err(StorageError::PersistError(format!(
+                "column covers {} rows, table claims {rows}",
+                col.rows()
+            )));
+        }
+        col.check_meta_invariants()?;
+        columns.push(Arc::new(col));
+    }
+    Table::new(name, schema, columns)
+}
+
+/// Locates the metadata region of a v6 image: validates the footer and
+/// returns `(metadata slice, heap end)`.
+fn v6_regions(buf: &Bytes) -> Result<(Bytes, u64), StorageError> {
+    let n = buf.len();
+    if n < PREAMBLE_LEN + FOOTER_LEN {
+        return Err(eof());
+    }
+    let s = buf.as_slice();
+    let tail_magic = u32::from_le_bytes(s[n - 4..n].try_into().unwrap());
+    if tail_magic != MAGIC {
+        return Err(StorageError::PersistError(format!(
+            "bad footer magic 0x{tail_magic:08x}"
+        )));
+    }
+    let meta_off = u64::from_le_bytes(s[n - FOOTER_LEN..n - 4].try_into().unwrap());
+    if meta_off < PREAMBLE_LEN as u64 || meta_off > (n - FOOTER_LEN) as u64 {
+        return Err(StorageError::PersistError(format!(
+            "footer metadata offset {meta_off} outside file of {n} bytes"
+        )));
+    }
+    Ok((buf.slice(meta_off as usize..n - FOOTER_LEN), meta_off))
+}
+
+// ---------------------------------------------------------------------------
+// Public encode/decode/save/read entry points.
+// ---------------------------------------------------------------------------
+
+/// Serializes one table as a complete current-format image (payload heap,
+/// metadata region, footer).
+///
+/// # Panics
+/// Panics when a lazily opened segment's backing file can no longer be
+/// read (it changed or vanished under us) — the same contract as faulting
+/// the segment in. [`save_table`] reports such errors instead.
 pub fn encode_table(t: &Table) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
-    encode_table_body(&mut buf, t);
-    buf.freeze()
+    let (image, _) = build_image(&Content::Table(t))
+        .unwrap_or_else(|e| panic!("encode_table: cannot re-read segment payloads: {e}"));
+    image
 }
 
 /// Serializes one table in the legacy monolithic version-1 layout (one
 /// full-length bitmap per dictionary value). Kept for downgrade paths and
-/// the cross-version round-trip tests.
+/// the cross-version round-trip tests. Faults lazily opened segments in.
 pub fn encode_table_v1(t: &Table) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
@@ -481,23 +969,29 @@ pub fn encode_table_v1(t: &Table) -> Bytes {
     buf.freeze()
 }
 
-fn encode_table_body(buf: &mut BytesMut, t: &Table) {
-    put_str(buf, t.name());
-    put_schema(buf, t.schema());
-    buf.put_u64_le(t.rows());
-    for c in t.columns() {
-        put_column(buf, c);
+/// Deserializes one table (any supported format version). A v6 image
+/// opens lazily: columns carry metadata only, and payloads fault in from
+/// the image on first touch.
+pub fn decode_table(buf: Bytes) -> Result<Table, StorageError> {
+    let mut cursor = buf.clone();
+    let version = check_header(&mut cursor)?;
+    if version < 6 {
+        return decode_table_body(&mut cursor, version);
     }
-}
-
-/// Deserializes one table (any supported format version).
-pub fn decode_table(mut buf: impl Buf) -> Result<Table, StorageError> {
-    let version = check_header(&mut buf)?;
-    decode_table_body(&mut buf, version)
+    let (mut meta, heap_end) = v6_regions(&buf)?;
+    let source = Arc::new(PayloadSource::Bytes(buf));
+    let mut dedup = SlotDedup::new();
+    let t = get_table_v6(&mut meta, &source, heap_end, &mut dedup)?;
+    if meta.remaining() != 0 {
+        return Err(StorageError::PersistError(
+            "trailing bytes after table metadata".into(),
+        ));
+    }
+    Ok(t)
 }
 
 fn check_header(buf: &mut impl Buf) -> Result<u16, StorageError> {
-    if buf.remaining() < 6 {
+    if buf.remaining() < PREAMBLE_LEN {
         return Err(eof());
     }
     let magic = buf.get_u32_le();
@@ -529,58 +1023,157 @@ fn decode_table_body(buf: &mut impl Buf, version: u16) -> Result<Table, StorageE
     Table::new(name, schema, columns)
 }
 
-/// Writes a table to a file.
+/// Writes a table to a file. When the file already backs some of the
+/// table's segments (it was lazily opened from there, or saved there
+/// before), the save *appends*: reused payloads keep their offsets, new
+/// payloads go after the heap, and only the metadata region and footer are
+/// rewritten — O(new data + metadata). Freshly built segments then adopt
+/// their on-disk location and become evictable.
 pub fn save_table(t: &Table, path: impl AsRef<Path>) -> Result<(), StorageError> {
-    std::fs::write(path, encode_table(t))?;
-    Ok(())
+    save_content(&Content::Table(t), path.as_ref())
 }
 
-/// Reads a table from a file.
+/// Reads a table from a file. A v6 file opens as metadata only — segment
+/// payloads stay on disk and fault in through the buffer cache on first
+/// touch. Older versions load fully resident.
 pub fn read_table(path: impl AsRef<Path>) -> Result<Table, StorageError> {
-    let bytes = std::fs::read(path)?;
-    decode_table(Bytes::from(bytes))
-}
-
-/// Serializes all tables of a catalog.
-pub fn encode_catalog(cat: &crate::catalog::Catalog) -> Bytes {
-    let tables = cat.snapshot();
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(tables.len() as u32);
-    for t in &tables {
-        encode_table_body(&mut buf, t);
+    let path = path.as_ref();
+    match open_v6_file(path)? {
+        None => {
+            let bytes = std::fs::read(path)?;
+            decode_table(Bytes::from(bytes))
+        }
+        Some((mut meta, heap_end, source)) => {
+            let mut dedup = SlotDedup::new();
+            let t = get_table_v6(&mut meta, &source, heap_end, &mut dedup)?;
+            if meta.remaining() != 0 {
+                return Err(StorageError::PersistError(
+                    "trailing bytes after table metadata".into(),
+                ));
+            }
+            Ok(t)
+        }
     }
-    buf.freeze()
 }
 
-/// Deserializes a catalog (any supported format version).
-pub fn decode_catalog(mut buf: impl Buf) -> Result<crate::catalog::Catalog, StorageError> {
-    let version = check_header(&mut buf)?;
-    if buf.remaining() < 4 {
+/// Opens `path` and, when it is a v6 file, reads *only* the preamble,
+/// footer, and metadata region — never the payload heap. Returns `None`
+/// for older versions (whose whole-file decode path still applies).
+#[allow(clippy::type_complexity)]
+fn open_v6_file(path: &Path) -> Result<Option<(Bytes, u64, Arc<PayloadSource>)>, StorageError> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; PREAMBLE_LEN];
+    file.read_exact(&mut head)
+        .map_err(|_| eof())
+        .and_then(|()| check_header(&mut &head[..]).map(|_| ()))?;
+    let version = u16::from_le_bytes(head[4..6].try_into().unwrap());
+    if version < 6 {
+        return Ok(None);
+    }
+    let len = file.metadata()?.len();
+    if len < (PREAMBLE_LEN + FOOTER_LEN) as u64 {
         return Err(eof());
     }
-    let count = buf.get_u32_le();
+    file.seek(SeekFrom::Start(len - FOOTER_LEN as u64))?;
+    let mut foot = [0u8; FOOTER_LEN];
+    file.read_exact(&mut foot)?;
+    let tail_magic = u32::from_le_bytes(foot[8..12].try_into().unwrap());
+    if tail_magic != MAGIC {
+        return Err(StorageError::PersistError(format!(
+            "bad footer magic 0x{tail_magic:08x}"
+        )));
+    }
+    let meta_off = u64::from_le_bytes(foot[0..8].try_into().unwrap());
+    if meta_off < PREAMBLE_LEN as u64 || meta_off > len - FOOTER_LEN as u64 {
+        return Err(StorageError::PersistError(format!(
+            "footer metadata offset {meta_off} outside file of {len} bytes"
+        )));
+    }
+    file.seek(SeekFrom::Start(meta_off))?;
+    let mut meta = vec![0u8; (len - FOOTER_LEN as u64 - meta_off) as usize];
+    file.read_exact(&mut meta)?;
+    let canon = std::fs::canonicalize(path)?;
+    let source = Arc::new(PayloadSource::File { file, path: canon });
+    Ok(Some((Bytes::from(meta), meta_off, source)))
+}
+
+/// Serializes all tables of a catalog as one current-format image. Each
+/// distinct (`Arc`-shared) segment is stored once, however many table
+/// versions reference it.
+///
+/// # Panics
+/// See [`encode_table`].
+pub fn encode_catalog(cat: &crate::catalog::Catalog) -> Bytes {
+    let (image, _) = build_image(&Content::Catalog(cat.snapshot()))
+        .unwrap_or_else(|e| panic!("encode_catalog: cannot re-read segment payloads: {e}"));
+    image
+}
+
+/// Deserializes a catalog (any supported format version). In a v6 image,
+/// records with identical heap locations come back as one shared slot, so
+/// columns shared across table versions stay shared — and cached once.
+pub fn decode_catalog(buf: Bytes) -> Result<crate::catalog::Catalog, StorageError> {
+    let mut cursor = buf.clone();
+    let version = check_header(&mut cursor)?;
+    if version < 6 {
+        if cursor.remaining() < 4 {
+            return Err(eof());
+        }
+        let count = cursor.get_u32_le();
+        let cat = crate::catalog::Catalog::new();
+        for _ in 0..count {
+            cat.create(decode_table_body(&mut cursor, version)?)?;
+        }
+        return Ok(cat);
+    }
+    let (mut meta, heap_end) = v6_regions(&buf)?;
+    let source = Arc::new(PayloadSource::Bytes(buf));
+    decode_catalog_meta(&mut meta, heap_end, &source)
+}
+
+fn decode_catalog_meta(
+    meta: &mut Bytes,
+    heap_end: u64,
+    source: &Arc<PayloadSource>,
+) -> Result<crate::catalog::Catalog, StorageError> {
+    if meta.remaining() < 4 {
+        return Err(eof());
+    }
+    let count = meta.get_u32_le();
     let cat = crate::catalog::Catalog::new();
+    let mut dedup = SlotDedup::new();
     for _ in 0..count {
-        cat.create(decode_table_body(&mut buf, version)?)?;
+        cat.create(get_table_v6(meta, source, heap_end, &mut dedup)?)?;
+    }
+    if meta.remaining() != 0 {
+        return Err(StorageError::PersistError(
+            "trailing bytes after catalog metadata".into(),
+        ));
     }
     Ok(cat)
 }
 
-/// Writes a catalog to a file.
+/// Writes a catalog to a file (append-save semantics — see [`save_table`]).
+/// This is what makes the CLI's `save` O(new data + metadata) instead of
+/// O(catalog).
 pub fn save_catalog(
     cat: &crate::catalog::Catalog,
     path: impl AsRef<Path>,
 ) -> Result<(), StorageError> {
-    std::fs::write(path, encode_catalog(cat))?;
-    Ok(())
+    save_content(&Content::Catalog(cat.snapshot()), path.as_ref())
 }
 
-/// Reads a catalog from a file.
+/// Reads a catalog from a file (lazily for v6 — see [`read_table`]).
 pub fn read_catalog(path: impl AsRef<Path>) -> Result<crate::catalog::Catalog, StorageError> {
-    let bytes = std::fs::read(path)?;
-    decode_catalog(Bytes::from(bytes))
+    let path = path.as_ref();
+    match open_v6_file(path)? {
+        None => {
+            let bytes = std::fs::read(path)?;
+            decode_catalog(Bytes::from(bytes))
+        }
+        Some((mut meta, heap_end, source)) => decode_catalog_meta(&mut meta, heap_end, &source),
+    }
 }
 
 #[cfg(test)]
@@ -589,6 +1182,7 @@ mod tests {
     use crate::catalog::Catalog;
     use crate::encoded::Encoding;
     use crate::segment::DEFAULT_SEGMENT_ROWS;
+    use crate::store::budget_guard;
 
     fn sample() -> Table {
         let schema = Schema::build(
@@ -643,6 +1237,25 @@ mod tests {
             .unwrap()
     }
 
+    /// A unique temp path per test so parallel tests never collide.
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cods_v6_{name}_{}.tbl", std::process::id()))
+    }
+
+    /// Total `(resident, on_disk)` over every column of a table.
+    fn residency(t: &Table) -> (usize, usize) {
+        t.columns().iter().fold((0, 0), |(r, d), c| {
+            let (cr, cd) = c.residency_counts();
+            (r + cr, d + cd)
+        })
+    }
+
+    fn footer_meta_off(path: &Path) -> u64 {
+        let raw = std::fs::read(path).unwrap();
+        let n = raw.len();
+        u64::from_le_bytes(raw[n - 12..n - 4].try_into().unwrap())
+    }
+
     #[test]
     fn table_round_trip() {
         let t = sample();
@@ -666,7 +1279,40 @@ mod tests {
     }
 
     #[test]
-    fn mixed_directory_round_trips_v5() {
+    fn v6_open_is_metadata_only() {
+        let t = mixed_directory()
+            .with_column_encoding_pinned("v", Encoding::Rle)
+            .unwrap();
+        let back = decode_table(encode_table(&t)).unwrap();
+        // Nothing resident until something touches a payload...
+        let (resident, on_disk) = residency(&back);
+        assert_eq!(resident, 0, "a v6 decode must not fault payloads in");
+        assert!(on_disk > 0);
+        // ...yet the full metadata surface is there: zones, pins,
+        // per-segment encodings, stats.
+        for (a, b) in t.columns().iter().zip(back.columns()) {
+            assert_eq!(a.zones(), b.zones());
+            assert_eq!(a.encoding_counts(), b.encoding_counts());
+            assert_eq!(a.encoding_pinned(), b.encoding_pinned());
+            for i in 0..a.segment_count() {
+                assert_eq!(a.segment_encoding(i), b.segment_encoding(i));
+                assert_eq!(a.segment_pinned(i), b.segment_pinned(i), "segment {i} pin");
+                assert_eq!(a.segments()[i].present_ids(), b.segments()[i].present_ids());
+                assert_eq!(a.segments()[i].ones(), b.segments()[i].ones());
+                assert_eq!(
+                    a.segments()[i].compressed_bytes(),
+                    b.segments()[i].compressed_bytes()
+                );
+                assert_eq!(a.segments()[i].run_count(), b.segments()[i].run_count());
+            }
+        }
+        // Touching the data faults in and matches byte for byte.
+        assert_eq!(back.to_rows(), t.to_rows());
+        back.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mixed_directory_round_trips() {
         let t = mixed_directory();
         let before = t.column_by_name("k").unwrap();
         assert_eq!(before.uniform_encoding(), None, "directory must be mixed");
@@ -697,9 +1343,20 @@ mod tests {
         assert_eq!(back.column(0).nominal_segment_rows(), DEFAULT_SEGMENT_ROWS);
     }
 
+    fn put_bitmap_segment(buf: &mut BytesMut, seg: &Segment) {
+        buf.put_u64_le(seg.rows());
+        buf.put_u32_le(seg.distinct_count() as u32);
+        for &id in seg.present_ids() {
+            buf.put_u32_le(id);
+        }
+        for bm in seg.bitmaps() {
+            bm.encode(buf);
+        }
+    }
+
     /// Writes the version-2 layout (bitmap segment directory, no encoding
     /// byte) so the upgrade path stays covered now that the writer emits
-    /// version 5.
+    /// version 6.
     fn encode_table_v2(t: &Table) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u32_le(MAGIC);
@@ -712,27 +1369,30 @@ mod tests {
             buf.put_u64_le(c.nominal_segment_rows());
             buf.put_u32_le(c.segment_count() as u32);
             for seg in c.segments() {
-                put_bitmap_segment(&mut buf, seg.as_bitmap().expect("v2 writer is bitmap-only"));
+                let enc = seg.enc();
+                put_bitmap_segment(&mut buf, enc.as_bitmap().expect("v2 writer is bitmap-only"));
             }
         }
         buf.freeze()
     }
 
-    /// Writes the homogeneous directory shared by the v3/v4 test writers.
-    fn put_uniform_directory(buf: &mut BytesMut, c: &EncodedColumn) -> u8 {
-        let enc = match c.uniform_encoding().expect("legacy writers are uniform") {
-            Encoding::Bitmap => ENC_BITMAP,
-            Encoding::Rle => ENC_RLE,
-        };
+    /// Writes the eager tagless directory shared by the v3/v4 test writers.
+    fn put_uniform_directory(buf: &mut BytesMut, c: &EncodedColumn) {
         buf.put_u64_le(c.nominal_segment_rows());
         buf.put_u32_le(c.segment_count() as u32);
         for seg in c.segments() {
-            match seg {
-                SegmentEnc::Bitmap(s) => put_bitmap_segment(buf, s),
+            match seg.enc() {
+                SegmentEnc::Bitmap(s) => put_bitmap_segment(buf, &s),
                 SegmentEnc::Rle(s) => s.seq().encode(buf),
             }
         }
-        enc
+    }
+
+    fn uniform_enc_byte(c: &EncodedColumn) -> u8 {
+        match c.uniform_encoding().expect("legacy writers are uniform") {
+            Encoding::Bitmap => ENC_BITMAP,
+            Encoding::Rle => ENC_RLE,
+        }
     }
 
     /// Writes the version-3 layout (per-encoding segment directories, no
@@ -746,19 +1406,15 @@ mod tests {
         buf.put_u64_le(t.rows());
         for c in t.columns() {
             put_dict(&mut buf, c.ty(), c.dict());
-            let enc = match c.uniform_encoding().expect("v3 writer is uniform") {
-                Encoding::Bitmap => ENC_BITMAP,
-                Encoding::Rle => ENC_RLE,
-            };
-            buf.put_u8(enc);
+            buf.put_u8(uniform_enc_byte(c));
             put_uniform_directory(&mut buf, c);
         }
         buf.freeze()
     }
 
     /// Writes the version-4 layout (one column-wide `enc` byte + flags +
-    /// zones — homogeneous directories only) so the v4 → v5 upgrade path
-    /// stays covered now that the writer emits version 5.
+    /// zones — homogeneous directories only) so the v4 upgrade path stays
+    /// covered.
     fn encode_table_v4(t: &Table) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u32_le(MAGIC);
@@ -768,13 +1424,43 @@ mod tests {
         buf.put_u64_le(t.rows());
         for c in t.columns() {
             put_dict(&mut buf, c.ty(), c.dict());
-            let enc = match c.uniform_encoding().expect("v4 writer is uniform") {
-                Encoding::Bitmap => ENC_BITMAP,
-                Encoding::Rle => ENC_RLE,
-            };
-            buf.put_u8(enc);
+            buf.put_u8(uniform_enc_byte(c));
             buf.put_u8(if c.encoding_pinned() { FLAG_PINNED } else { 0 });
             put_uniform_directory(&mut buf, c);
+            put_zones(&mut buf, c.zones());
+        }
+        buf.freeze()
+    }
+
+    /// Writes the version-5 layout (eager payloads behind per-segment
+    /// encoding tags) so the v5 → v6 upgrade path stays covered.
+    fn encode_table_v5(t: &Table) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(5);
+        put_str(&mut buf, t.name());
+        put_schema(&mut buf, t.schema());
+        buf.put_u64_le(t.rows());
+        for c in t.columns() {
+            put_dict(&mut buf, c.ty(), c.dict());
+            buf.put_u8(if c.encoding_pinned() { FLAG_PINNED } else { 0 });
+            buf.put_u64_le(c.nominal_segment_rows());
+            buf.put_u32_le(c.segment_count() as u32);
+            for (i, slot) in c.segments().iter().enumerate() {
+                let enc = slot.enc();
+                let mut tag = match &enc {
+                    SegmentEnc::Bitmap(_) => ENC_BITMAP,
+                    SegmentEnc::Rle(_) => ENC_RLE,
+                };
+                if c.segment_pin_raw(i) {
+                    tag |= SEG_FLAG_PINNED;
+                }
+                buf.put_u8(tag);
+                match &enc {
+                    SegmentEnc::Bitmap(s) => put_bitmap_segment(&mut buf, s),
+                    SegmentEnc::Rle(s) => s.seq().encode(&mut buf),
+                }
+            }
             put_zones(&mut buf, c.zones());
         }
         buf.freeze()
@@ -804,8 +1490,8 @@ mod tests {
         back.check_invariants().unwrap();
         assert_eq!(back.to_rows(), t.to_rows());
         for (a, b) in t.columns().iter().zip(back.columns()) {
-            // A homogeneous v4 column decodes to a uniform v5 directory
-            // with its zones byte-exact and its pin preserved.
+            // A homogeneous v4 column decodes to a uniform directory with
+            // its zones byte-exact and its pin preserved.
             assert_eq!(a.uniform_encoding(), b.uniform_encoding());
             assert!(b.uniform_encoding().is_some());
             assert_eq!(a.zones(), b.zones());
@@ -815,12 +1501,37 @@ mod tests {
     }
 
     #[test]
-    fn v5_round_trip_preserves_zones_and_pins() {
+    fn v5_file_upgrades_preserving_zones_and_pins() {
         let t = mixed_encoding()
             .with_column_encoding_pinned("k", Encoding::Bitmap)
             .unwrap();
         assert!(t.column_by_name("k").unwrap().encoding_pinned());
         assert!(!t.column_by_name("v").unwrap().encoding_pinned());
+        let back = decode_table(encode_table_v5(&t)).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(back.to_rows(), t.to_rows());
+        // Eager formats decode fully resident.
+        let (resident, on_disk) = residency(&back);
+        assert_eq!(on_disk, 0, "v5 files carry no payload index");
+        assert!(resident > 0);
+        for (a, b) in t.columns().iter().zip(back.columns()) {
+            assert_eq!(a.zones(), b.zones(), "zones round-trip byte-exactly");
+            assert_eq!(a.encoding_pinned(), b.encoding_pinned());
+        }
+        // Corrupt zone ids are rejected, not silently accepted (the v5
+        // layout ends with the final column's last zone).
+        let bytes = encode_table_v5(&t);
+        let mut raw = bytes.as_slice().to_vec();
+        let n = raw.len();
+        raw[n - 8..n].copy_from_slice(&u32::MAX.to_le_bytes().repeat(2));
+        assert!(decode_table(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn v6_round_trip_preserves_zones_and_pins() {
+        let t = mixed_encoding()
+            .with_column_encoding_pinned("k", Encoding::Bitmap)
+            .unwrap();
         let back = decode_table(encode_table(&t)).unwrap();
         back.check_invariants().unwrap();
         assert_eq!(back.to_rows(), t.to_rows());
@@ -828,30 +1539,34 @@ mod tests {
             assert_eq!(a.zones(), b.zones(), "zones round-trip byte-exactly");
             assert_eq!(a.encoding_pinned(), b.encoding_pinned());
         }
-        // Corrupt zone ids are rejected, not silently accepted.
-        let bytes = encode_table(&t);
-        let mut raw = bytes.to_vec();
-        // The last 8 bytes of the table are the final column's last zone.
+    }
+
+    /// Finds the first segment record of the first column in a v6 image's
+    /// metadata region, returning the offset of its `segtag` byte. The
+    /// record is located by its distinctive `(off, len)` pair.
+    fn first_seg_record(raw: &[u8], t: &Table) -> usize {
         let n = raw.len();
-        raw[n - 8..n].copy_from_slice(&u32::MAX.to_le_bytes().repeat(2));
-        assert!(decode_table(Bytes::from(raw)).is_err());
+        let meta_off = u64::from_le_bytes(raw[n - 12..n - 4].try_into().unwrap()) as usize;
+        let first = &t.column(0).segments()[0];
+        let len0 = payload_encoded_len(&first.enc()) as u64;
+        let mut pat = Vec::new();
+        pat.extend_from_slice(&(PREAMBLE_LEN as u64).to_le_bytes());
+        pat.extend_from_slice(&len0.to_le_bytes());
+        let pos = raw[meta_off..]
+            .windows(16)
+            .position(|w| w == pat.as_slice())
+            .expect("first segment record");
+        meta_off + pos - 1
     }
 
     #[test]
     fn corrupt_segment_tag_is_rejected() {
-        // A v5 file whose per-segment tag carries unknown bits must fail
+        // A v6 record whose segment tag carries unknown bits must fail
         // decode with a PersistError, not be misread as some encoding.
         let t = multi_segment();
         let bytes = encode_table(&t);
-        let mut raw = bytes.to_vec();
-        // Locate the first directory header (seg_rows = 128 as u64 LE);
-        // the first segment tag sits right after seg_rows + seg_count.
-        let pat = 128u64.to_le_bytes();
-        let pos = raw
-            .windows(8)
-            .position(|w| w == pat)
-            .expect("first directory header");
-        let tag_off = pos + 12;
+        let mut raw = bytes.as_slice().to_vec();
+        let tag_off = first_seg_record(&raw, &t);
         assert!(raw[tag_off] & !(ENC_RLE | SEG_FLAG_PINNED) == 0, "sanity");
         raw[tag_off] = 0xFC;
         let err = decode_table(Bytes::from(raw));
@@ -862,13 +1577,55 @@ mod tests {
     }
 
     #[test]
+    fn out_of_bounds_segment_offset_is_rejected() {
+        // A record whose payload location falls outside the heap (or
+        // overflows) must fail at open, never at fault time.
+        let t = multi_segment();
+        let bytes = encode_table(&t);
+        for (field_at, bad) in [
+            (1usize, u64::MAX - 8), // off: overflows off + len
+            (1, 1u64 << 40),        // off: beyond the heap
+            (9, 1u64 << 40),        // len: runs past the heap end
+            (9, 0u64),              // len: empty payload
+        ] {
+            let mut raw = bytes.as_slice().to_vec();
+            let tag_off = first_seg_record(&raw, &t);
+            let at = tag_off + field_at;
+            raw[at..at + 8].copy_from_slice(&bad.to_le_bytes());
+            let err = decode_table(Bytes::from(raw));
+            assert!(
+                matches!(err, Err(StorageError::PersistError(_))),
+                "field at +{field_at} = {bad}: expected PersistError, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_footer_is_rejected() {
+        let bytes = encode_table(&multi_segment());
+        let n = bytes.len();
+        // Footer magic flipped.
+        let mut raw = bytes.as_slice().to_vec();
+        raw[n - 1] ^= 0xFF;
+        assert!(decode_table(Bytes::from(raw)).is_err());
+        // Metadata offset beyond the file.
+        let mut raw = bytes.as_slice().to_vec();
+        raw[n - 12..n - 4].copy_from_slice(&(n as u64).to_le_bytes());
+        assert!(decode_table(Bytes::from(raw)).is_err());
+        // Metadata offset inside the preamble.
+        let mut raw = bytes.as_slice().to_vec();
+        raw[n - 12..n - 4].copy_from_slice(&0u64.to_le_bytes());
+        assert!(decode_table(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
     fn corrupt_segment_ids_are_rejected_not_panicked() {
         // A v3 file whose segment references an id beyond the dictionary
         // must fail decode with a PersistError — zone derivation indexes
         // rank tables by id, so this used to be panic territory.
         let t = multi_segment();
         let bytes = encode_table_v3(&t);
-        let mut raw = bytes.to_vec();
+        let mut raw = bytes.as_slice().to_vec();
         let pat = 128u64.to_le_bytes();
         let pos = raw
             .windows(8)
@@ -887,15 +1644,17 @@ mod tests {
     #[test]
     fn in_range_but_wrong_zone_is_rejected_by_invariants() {
         // Zone ids that are valid dictionary indices but name the wrong
-        // extremes must still fail decode: check_invariants re-derives
-        // every zone from the segment's present ids and compares.
+        // extremes must still fail decode: the metadata invariants
+        // re-derive every zone from the segment's present ids and compare
+        // — without faulting any payload in.
         let t = mixed_encoding();
         let bytes = encode_table(&t);
-        let mut raw = bytes.to_vec();
-        // The file ends with the last column's zones; its final segment
-        // holds only v = 3, so zone (0, 0) is in-range but wrong.
+        let mut raw = bytes.as_slice().to_vec();
+        // The metadata region ends with the last column's zones, right
+        // before the 12-byte footer; its final segment holds only v = 3,
+        // so zone (0, 0) is in-range but wrong.
         let n = raw.len();
-        raw[n - 8..n].copy_from_slice(&[0u8; 8]);
+        raw[n - 20..n - 12].copy_from_slice(&[0u8; 8]);
         let err = decode_table(Bytes::from(raw));
         assert!(
             matches!(err, Err(StorageError::Corrupt(_))),
@@ -922,6 +1681,23 @@ mod tests {
             .columns()
             .iter()
             .all(|c| c.zones().len() == c.segment_count()));
+    }
+
+    #[test]
+    fn lazily_opened_tables_downgrade_to_v1_by_faulting_in() {
+        let _g = budget_guard();
+        let t = mixed_encoding();
+        let path = temp("downgrade");
+        save_table(&t, &path).unwrap();
+        let back = read_table(&path).unwrap();
+        assert_eq!(residency(&back).0, 0, "opened lazily");
+        // The monolithic layout needs every payload: the downgrade faults
+        // the whole table in, and the result decodes to equal rows.
+        let legacy = encode_table_v1(&back);
+        assert_eq!(residency(&back).1, 0, "downgrade faults everything in");
+        let again = decode_table(legacy).unwrap();
+        assert_eq!(again.to_rows(), t.to_rows());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -970,13 +1746,115 @@ mod tests {
     }
 
     #[test]
-    fn table_file_round_trip() {
+    fn table_file_round_trip_is_lazy() {
+        let _g = budget_guard();
         let t = sample();
-        let path = std::env::temp_dir().join("cods_persist_test.tbl");
+        let path = temp("file_round_trip");
         save_table(&t, &path).unwrap();
         let back = read_table(&path).unwrap();
+        let (resident, on_disk) = residency(&back);
+        assert_eq!(resident, 0, "read_table must open metadata-only");
+        assert!(on_disk > 0);
         assert_eq!(back.to_rows(), t.to_rows());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fresh_save_adopts_slots_into_the_cache() {
+        let _g = budget_guard();
+        let store = segment_cache();
+        let t = multi_segment();
+        assert!(t
+            .columns()
+            .iter()
+            .all(|c| c.segments().iter().all(|s| s.disk_loc().is_none())));
+        let path = temp("adopt");
+        save_table(&t, &path).unwrap();
+        // Every slot now knows where it lives on disk...
+        assert!(t
+            .columns()
+            .iter()
+            .all(|c| c.segments().iter().all(|s| s.disk_loc().is_some())));
+        // ...and is evictable under pressure, reloading from the file.
+        store.set_budget(0);
+        assert!(
+            residency(&t).1 > 0,
+            "adopted slots page out under a zero budget"
+        );
+        store.set_budget(u64::MAX);
+        assert_eq!(t.to_rows(), multi_segment().to_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resaving_a_lazily_opened_table_appends_only_metadata() {
+        let _g = budget_guard();
+        let t = multi_segment();
+        let path = temp("append_noop");
+        save_table(&t, &path).unwrap();
+        let meta_off = footer_meta_off(&path);
+        let back = read_table(&path).unwrap();
+        // Re-saving the unchanged table reuses every payload: the heap
+        // does not grow and nothing faults in — O(metadata), not O(data).
+        save_table(&back, &path).unwrap();
+        assert_eq!(footer_meta_off(&path), meta_off, "heap must not grow");
+        assert_eq!(residency(&back).0, 0, "append-save must not fault");
+        let again = read_table(&path).unwrap();
+        assert_eq!(again.to_rows(), t.to_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evolving_then_saving_appends_only_new_segments() {
+        let _g = budget_guard();
+        let t = multi_segment();
+        let path = temp("append_grow");
+        save_table(&t, &path).unwrap();
+        let meta_off = footer_meta_off(&path);
+        let back = read_table(&path).unwrap();
+        // Recode two segments: two fresh payloads, the rest reused.
+        let evolved = back
+            .with_column_segment_range_encoding("k", Encoding::Rle, 0..2)
+            .unwrap();
+        save_table(&evolved, &path).unwrap();
+        let new_meta_off = footer_meta_off(&path);
+        assert!(new_meta_off > meta_off, "new payloads are appended");
+        let appended = new_meta_off - meta_off;
+        let expected: u64 = evolved
+            .column_by_name("k")
+            .unwrap()
+            .segments()
+            .iter()
+            .take(2)
+            .map(|s| payload_encoded_len(&s.enc()) as u64)
+            .sum();
+        assert_eq!(appended, expected, "only the recoded payloads");
+        // The untouched segments were never read during the save.
+        let (_, on_disk) = residency(&back);
+        assert!(on_disk > 0, "reused segments stay on disk");
+        let again = read_table(&path).unwrap();
+        assert_eq!(again.to_rows(), evolved.to_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saving_a_lazy_table_elsewhere_raw_copies_without_faulting() {
+        let _g = budget_guard();
+        let t = mixed_directory();
+        let a = temp("copy_a");
+        let b = temp("copy_b");
+        save_table(&t, &a).unwrap();
+        let back = read_table(&a).unwrap();
+        save_table(&back, &b).unwrap();
+        assert_eq!(
+            residency(&back).0,
+            0,
+            "payloads are raw-copied between files, never decoded"
+        );
+        let from_b = read_table(&b).unwrap();
+        assert_eq!(from_b.to_rows(), t.to_rows());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]
@@ -991,6 +1869,34 @@ mod tests {
             back.get("users").unwrap().to_rows(),
             cat.get("users").unwrap().to_rows()
         );
+    }
+
+    #[test]
+    fn shared_columns_are_stored_once_and_reshared_on_decode() {
+        let cat = Catalog::new();
+        let t = multi_segment();
+        cat.create(t.clone()).unwrap();
+        cat.create(t.renamed("multi2")).unwrap();
+        let bytes = encode_catalog(&cat);
+        // Both tables reference the same slots, so the heap stores each
+        // payload once: the catalog image is far smaller than two tables.
+        let single = encode_table(&cat.get("multi").unwrap()).len();
+        assert!(
+            bytes.len() < 2 * single,
+            "catalog of two shared tables ({}) must dedup against 2 × {single}",
+            bytes.len()
+        );
+        // And the decode re-shares: identical heap locations become one
+        // slot, cached once for every snapshot.
+        let back = decode_catalog(bytes).unwrap();
+        let c1 = back.get("multi").unwrap();
+        let c2 = back.get("multi2").unwrap();
+        for (a, b) in c1.columns().iter().zip(c2.columns()) {
+            for (sa, sb) in a.segments().iter().zip(b.segments()) {
+                assert!(sa.ptr_eq(sb), "shared columns must come back shared");
+            }
+        }
+        assert_eq!(c1.to_rows(), c2.to_rows());
     }
 
     #[test]

@@ -14,16 +14,18 @@
 use crate::segment::Segment;
 use cods_bitmap::{RleSeq, Wah};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One immutable row-range segment in the RLE encoding: the run sequence of
 /// the segment's rows over global value ids, plus cached statistics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RleSegment {
     seq: RleSeq,
-    /// Ascending global value ids present in this segment.
-    ids: Vec<u32>,
+    /// Ascending global value ids present in this segment (`Arc`-shared so
+    /// the buffer manager's resident metadata can alias them zero-copy).
+    ids: Arc<[u32]>,
     /// Rows carrying each present id (parallel to `ids`).
-    ones: Vec<u64>,
+    ones: Arc<[u64]>,
 }
 
 impl RleSegment {
@@ -35,8 +37,12 @@ impl RleSegment {
         }
         let mut pairs: Vec<(u32, u64)> = counts.into_iter().collect();
         pairs.sort_unstable_by_key(|&(id, _)| id);
-        let (ids, ones) = pairs.into_iter().unzip();
-        RleSegment { seq, ids, ones }
+        let (ids, ones): (Vec<u32>, Vec<u64>) = pairs.into_iter().unzip();
+        RleSegment {
+            seq,
+            ids: ids.into(),
+            ones: ones.into(),
+        }
     }
 
     /// Number of rows covered.
@@ -76,6 +82,19 @@ impl RleSegment {
         &self.ones
     }
 
+    /// `Arc` handle on the present-id list (zero-copy stat sharing with the
+    /// buffer manager's resident metadata).
+    #[inline]
+    pub(crate) fn ids_arc(&self) -> Arc<[u32]> {
+        Arc::clone(&self.ids)
+    }
+
+    /// `Arc` handle on the per-id row counts.
+    #[inline]
+    pub(crate) fn ones_arc(&self) -> Arc<[u64]> {
+        Arc::clone(&self.ones)
+    }
+
     /// Returns `true` when `id` occurs in this segment (O(log present)).
     #[inline]
     pub fn contains_id(&self, id: u32) -> bool {
@@ -105,14 +124,18 @@ impl RleSegment {
         let mut counts: HashMap<u32, u64> = HashMap::new();
         for part in parts {
             seq.append_seq(&part.seq);
-            for (&id, &ones) in part.ids.iter().zip(&part.ones) {
+            for (&id, &ones) in part.ids.iter().zip(part.ones.iter()) {
                 *counts.entry(id).or_insert(0) += ones;
             }
         }
         let mut pairs: Vec<(u32, u64)> = counts.into_iter().collect();
         pairs.sort_unstable_by_key(|&(id, _)| id);
-        let (ids, ones) = pairs.into_iter().unzip();
-        RleSegment { seq, ids, ones }
+        let (ids, ones): (Vec<u32>, Vec<u64>) = pairs.into_iter().unzip();
+        RleSegment {
+            seq,
+            ids: ids.into(),
+            ones: ones.into(),
+        }
     }
 
     /// Rewrites the segment under an id translation (`map[old] = Some(new)`;

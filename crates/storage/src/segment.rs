@@ -18,6 +18,7 @@
 use cods_bitmap::Wah;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Default number of rows per segment (64 Ki).
 pub const DEFAULT_SEGMENT_ROWS: u64 = 64 * 1024;
@@ -221,12 +222,13 @@ pub(crate) fn position_spans(seg_sizes: &[u64], positions: &[u64]) -> Vec<(usize
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Segment {
     rows: u64,
-    /// Ascending global value ids present in this segment.
-    ids: Vec<u32>,
+    /// Ascending global value ids present in this segment (`Arc`-shared so
+    /// the buffer manager's resident metadata can alias them zero-copy).
+    ids: Arc<[u32]>,
     /// One bitmap per present id (parallel to `ids`), each of length `rows`.
     bitmaps: Vec<Wah>,
     /// Cached `count_ones` per bitmap (parallel to `ids`).
-    ones: Vec<u64>,
+    ones: Arc<[u64]>,
     /// Cached total compressed bytes of the bitmaps.
     bytes: usize,
     /// Cached total maximal constant-value runs (summed set-bit interval
@@ -256,9 +258,9 @@ impl Segment {
         }
         Segment {
             rows,
-            ids,
+            ids: ids.into(),
             bitmaps,
-            ones,
+            ones: ones.into(),
             bytes,
             runs,
         }
@@ -317,6 +319,19 @@ impl Segment {
         &self.ones
     }
 
+    /// `Arc` handle on the present-id list (zero-copy stat sharing with the
+    /// buffer manager's resident metadata).
+    #[inline]
+    pub(crate) fn ids_arc(&self) -> Arc<[u32]> {
+        Arc::clone(&self.ids)
+    }
+
+    /// `Arc` handle on the per-id ones counts.
+    #[inline]
+    pub(crate) fn ones_arc(&self) -> Arc<[u64]> {
+        Arc::clone(&self.ones)
+    }
+
     /// Total compressed bitmap bytes (cached).
     #[inline]
     pub fn compressed_bytes(&self) -> usize {
@@ -358,7 +373,7 @@ impl Segment {
         let mut acc: HashMap<u32, (Wah, u64, u64)> = HashMap::new();
         let mut offset = 0u64;
         for part in parts {
-            for ((&id, bm), &ones) in part.ids.iter().zip(&part.bitmaps).zip(&part.ones) {
+            for ((&id, bm), &ones) in part.ids.iter().zip(&part.bitmaps).zip(part.ones.iter()) {
                 let (out, emitted, total) = acc.entry(id).or_insert_with(|| (Wah::new(), 0, 0));
                 if *emitted < offset {
                     out.append_run(false, offset - *emitted);
@@ -396,9 +411,9 @@ impl Segment {
         }
         Segment {
             rows,
-            ids,
+            ids: ids.into(),
             bitmaps,
-            ones,
+            ones: ones.into(),
             bytes,
             runs,
         }
@@ -429,7 +444,7 @@ impl Segment {
     /// regrouping.
     pub fn to_chunk(&self) -> SegmentChunk {
         SegmentChunk {
-            ids: self.ids.clone(),
+            ids: self.ids.to_vec(),
             bitmaps: self.bitmaps.clone(),
             rows: self.rows,
         }
@@ -460,7 +475,7 @@ impl Segment {
         }
         let mut total_ones = 0u64;
         let mut bytes = 0usize;
-        for ((id, bm), &ones) in self.ids.iter().zip(&self.bitmaps).zip(&self.ones) {
+        for ((id, bm), &ones) in self.ids.iter().zip(&self.bitmaps).zip(self.ones.iter()) {
             bm.check_invariants()
                 .map_err(|e| format!("bitmap of id {id}: {e}"))?;
             if bm.len() != self.rows {

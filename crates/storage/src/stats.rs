@@ -23,6 +23,13 @@ pub struct ColumnStats {
     /// Segments pinned individually by a segment-range recode (or by the
     /// column pin).
     pub pinned_segments: usize,
+    /// Segments whose payload is currently decoded in memory.
+    pub resident_segments: usize,
+    /// Segments currently paged out to their backing file (metadata only).
+    pub on_disk_segments: usize,
+    /// Resident segments the buffer cache may not evict (pinned, or not
+    /// yet saved anywhere).
+    pub unevictable_segments: usize,
     /// Distinct values (dictionary size).
     pub distinct: usize,
     /// Number of row-range segments.
@@ -86,6 +93,7 @@ impl ColumnStats {
         let mut chooser_rle_segments = 0;
         let mut chooser_disagreements = 0;
         let mut pinned_segments = 0;
+        let mut unevictable_segments = 0;
         for (i, seg) in c.segments().iter().enumerate() {
             let pick = c.choose_segment_encoding(i);
             match pick {
@@ -97,7 +105,11 @@ impl ColumnStats {
             } else if pick != seg.encoding() {
                 chooser_disagreements += 1;
             }
+            if seg.is_resident() && (seg.pinned() || seg.disk_loc().is_none()) {
+                unevictable_segments += 1;
+            }
         }
+        let (resident_segments, on_disk_segments) = c.residency_counts();
         ColumnStats {
             rows: c.rows(),
             encoding: c.uniform_encoding(),
@@ -105,6 +117,9 @@ impl ColumnStats {
             rle_segments,
             encoding_pinned: c.encoding_pinned(),
             pinned_segments,
+            resident_segments,
+            on_disk_segments,
+            unevictable_segments,
             distinct: c.distinct_count(),
             segments: c.segment_count(),
             zoned_segments: zones.len(),
@@ -143,6 +158,11 @@ pub struct TableStats {
     pub columns: Vec<ColumnStats>,
     /// Total compressed bytes (bitmaps + dictionaries).
     pub total_bytes: usize,
+    /// Segments whose payload is currently decoded in memory, across all
+    /// columns.
+    pub resident_segments: usize,
+    /// Segments currently paged out to their backing file.
+    pub on_disk_segments: usize,
 }
 
 impl TableStats {
@@ -153,6 +173,8 @@ impl TableStats {
         TableStats {
             rows: t.rows(),
             arity: t.arity(),
+            resident_segments: columns.iter().map(|c| c.resident_segments).sum(),
+            on_disk_segments: columns.iter().map(|c| c.on_disk_segments).sum(),
             columns,
             total_bytes,
         }
@@ -242,6 +264,36 @@ mod tests {
         assert!(stats.columns[0].max_segment_distinct <= stats.columns[0].distinct);
         assert!(stats.columns[0].payload_bytes > 0);
     }
+    #[test]
+    fn stats_report_residency_without_faulting() {
+        let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..1_000).map(|i| vec![Value::int(i / 100)]).collect();
+        let t = Table::from_rows_with_segment_rows("t", schema, &rows, 125).unwrap();
+        // Fresh (never saved) segments are resident and unevictable.
+        let s = TableStats::of(&t);
+        assert_eq!((s.resident_segments, s.on_disk_segments), (8, 0));
+        assert_eq!(s.columns[0].unevictable_segments, 8);
+        // A lazy reopen is metadata-only, and computing stats must keep it
+        // that way — nothing here touches a payload.
+        let path =
+            std::env::temp_dir().join(format!("cods_stats_residency_{}.tbl", std::process::id()));
+        crate::persist::save_table(&t, &path).unwrap();
+        let back = crate::persist::read_table(&path).unwrap();
+        let s = TableStats::of(&back);
+        assert_eq!((s.resident_segments, s.on_disk_segments), (0, 8));
+        assert_eq!(s.columns[0].unevictable_segments, 0);
+        assert_eq!(
+            s.columns[0].payload_bytes,
+            TableStats::of(&t).columns[0].payload_bytes
+        );
+        assert_eq!(
+            back.column(0).residency_counts(),
+            (0, 8),
+            "stats computation faulted a payload in"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn mixed_directories_report_a_histogram() {
         let schema = Schema::build(&[("c", ValueType::Int)], &[]).unwrap();

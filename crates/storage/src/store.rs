@@ -1,0 +1,835 @@
+//! The segment buffer manager: demand-paged directory slots behind one
+//! process-wide, byte-budgeted cache.
+//!
+//! Since format v6 a column opens as *metadata only* — schema, dictionary,
+//! per-segment stats, zones, encoding/pin tags — while segment payloads stay
+//! on disk. Each directory entry is a [`SegSlot`]: resident metadata
+//! ([`SegMeta`]) plus a payload that is either decoded in memory or a
+//! [`DiskLoc`] into the file's payload heap. The first payload touch faults
+//! the segment in through the global [`SegmentStore`], which runs a clock
+//! (second-chance) eviction sweep over decoded segments whenever the
+//! configured byte budget is exceeded.
+//!
+//! Eviction rules:
+//! * fresh segments (built in memory, never saved) have no disk location and
+//!   are **never** evicted — there is nowhere to reload them from;
+//! * pinned segments are never evicted;
+//! * everything else is fair game, in clock order, with one second chance
+//!   for recently touched slots.
+//!
+//! Slots are `Arc`-shared across table versions (UNION concat, slices,
+//! catalog snapshots), so a cached segment serves every snapshot that
+//! references it and is charged to the budget once.
+
+use crate::encoded::{Encoding, SegmentEnc};
+use crate::error::StorageError;
+use crate::rle_segment::RleSegment;
+use crate::segment::Segment;
+use bytes::{Buf, BufMut, Bytes};
+use cods_bitmap::{RleSeq, Wah};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Resident per-segment metadata: everything scans need to prune a segment
+/// without touching its payload. The id/ones slices are `Arc`-shared with
+/// the decoded segment when one exists (zero-copy for fresh columns).
+#[derive(Clone, Debug)]
+pub struct SegMeta {
+    /// Rows covered by the segment.
+    pub rows: u64,
+    /// Ascending global value ids present in the segment.
+    pub present_ids: Arc<[u32]>,
+    /// Rows carrying each present id (parallel to `present_ids`).
+    pub ones: Arc<[u64]>,
+    /// Total maximal constant-value runs (the chooser's statistic).
+    pub runs: u64,
+    /// Compressed payload bytes — the cache charge of the decoded form.
+    pub bytes: usize,
+    /// The segment's physical encoding.
+    pub encoding: Encoding,
+}
+
+impl SegMeta {
+    /// Captures the metadata of a decoded segment (stat slices shared).
+    pub fn of(enc: &SegmentEnc) -> SegMeta {
+        match enc {
+            SegmentEnc::Bitmap(s) => SegMeta {
+                rows: s.rows(),
+                present_ids: s.ids_arc(),
+                ones: s.ones_arc(),
+                runs: s.run_count(),
+                bytes: s.compressed_bytes(),
+                encoding: Encoding::Bitmap,
+            },
+            SegmentEnc::Rle(s) => SegMeta {
+                rows: s.rows(),
+                present_ids: s.ids_arc(),
+                ones: s.ones_arc(),
+                runs: s.num_runs() as u64,
+                bytes: s.compressed_bytes(),
+                encoding: Encoding::Rle,
+            },
+        }
+    }
+}
+
+/// Where a segment payload lives when it is not decoded in memory.
+#[derive(Debug)]
+pub enum PayloadSource {
+    /// An in-memory v6 image (the `decode_table`/`decode_catalog` path).
+    Bytes(Bytes),
+    /// An open v6 file (the `read_table`/`read_catalog` path). The path is
+    /// canonical, so append-save can recognise saves onto the same file.
+    File {
+        /// The open file handle (positional reads, no shared cursor on unix).
+        file: std::fs::File,
+        /// Canonicalized path of the file.
+        path: std::path::PathBuf,
+    },
+}
+
+impl PayloadSource {
+    /// Reads `len` bytes at `offset`.
+    pub(crate) fn read_at(&self, offset: u64, len: u64) -> std::io::Result<Vec<u8>> {
+        match self {
+            PayloadSource::Bytes(b) => {
+                let lo = usize::try_from(offset).ok();
+                let hi = lo.and_then(|lo| lo.checked_add(len as usize));
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) if hi <= b.len() => Ok(b.as_slice()[lo..hi].to_vec()),
+                    _ => Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "segment payload outside the in-memory image",
+                    )),
+                }
+            }
+            #[cfg(unix)]
+            PayloadSource::File { file, .. } => {
+                use std::os::unix::fs::FileExt;
+                let mut buf = vec![0u8; len as usize];
+                file.read_exact_at(&mut buf, offset)?;
+                Ok(buf)
+            }
+            #[cfg(not(unix))]
+            PayloadSource::File { file, .. } => {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut f = file;
+                f.seek(SeekFrom::Start(offset))?;
+                let mut buf = vec![0u8; len as usize];
+                f.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// The canonical file path, when file-backed.
+    pub(crate) fn path(&self) -> Option<&std::path::Path> {
+        match self {
+            PayloadSource::Bytes(_) => None,
+            PayloadSource::File { path, .. } => Some(path),
+        }
+    }
+}
+
+/// The on-disk location of one segment payload.
+#[derive(Clone, Debug)]
+pub struct DiskLoc {
+    /// The backing image or file.
+    pub(crate) source: Arc<PayloadSource>,
+    /// Byte offset of the payload in the source.
+    pub(crate) offset: u64,
+    /// Payload length in bytes.
+    pub(crate) len: u64,
+}
+
+/// Shared innards of a [`SegSlot`].
+#[derive(Debug)]
+pub(crate) struct SlotInner {
+    meta: SegMeta,
+    /// Set once: where the payload can be reloaded from. Fresh slots gain a
+    /// location when the table is saved (and only then become evictable).
+    disk: OnceLock<DiskLoc>,
+    /// The decoded payload, `None` while paged out.
+    payload: RwLock<Option<SegmentEnc>>,
+    /// Pinned slots are never evicted.
+    pinned: AtomicBool,
+    /// Clock reference bit: set on every payload touch, cleared by the
+    /// sweep's second chance.
+    touched: AtomicBool,
+}
+
+impl Drop for SlotInner {
+    fn drop(&mut self) {
+        // A cache-managed (disk-backed) slot that dies while resident gives
+        // its bytes back to the gauge; ring entries are reaped lazily.
+        if self.disk.get().is_some() && self.payload.get_mut().is_some() {
+            segment_cache()
+                .resident
+                .fetch_sub(self.meta.bytes as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One entry of a column's segment directory: resident stats plus a payload
+/// that is either decoded or on disk. Cloning shares the slot.
+#[derive(Clone)]
+pub struct SegSlot(Arc<SlotInner>);
+
+impl SegSlot {
+    /// Wraps a freshly built (in-memory) segment. Fresh slots are resident
+    /// and stay resident: with no disk location they are never evicted.
+    pub(crate) fn fresh(enc: SegmentEnc) -> SegSlot {
+        SegSlot(Arc::new(SlotInner {
+            meta: SegMeta::of(&enc),
+            disk: OnceLock::new(),
+            payload: RwLock::new(Some(enc)),
+            pinned: AtomicBool::new(false),
+            touched: AtomicBool::new(false),
+        }))
+    }
+
+    /// Builds a paged-out slot from decoded metadata and a disk location
+    /// (the v6 open path).
+    pub(crate) fn on_disk(meta: SegMeta, loc: DiskLoc, pinned: bool) -> SegSlot {
+        let disk = OnceLock::new();
+        disk.set(loc).expect("fresh OnceLock");
+        SegSlot(Arc::new(SlotInner {
+            meta,
+            disk,
+            payload: RwLock::new(None),
+            pinned: AtomicBool::new(pinned),
+            touched: AtomicBool::new(false),
+        }))
+    }
+
+    /// The resident metadata.
+    #[inline]
+    pub(crate) fn meta(&self) -> &SegMeta {
+        &self.0.meta
+    }
+
+    /// Returns `true` while the payload is decoded in memory.
+    pub fn is_resident(&self) -> bool {
+        self.0.payload.read().is_some()
+    }
+
+    /// The payload's reload location, when the slot is disk-backed.
+    pub(crate) fn disk_loc(&self) -> Option<&DiskLoc> {
+        self.0.disk.get()
+    }
+
+    /// Attaches a reload location to a fresh slot after a save. Returns
+    /// `true` when newly attached (the caller then enrols the slot in the
+    /// cache); a second save is a no-op.
+    pub(crate) fn attach_disk(&self, loc: DiskLoc) -> bool {
+        self.0.disk.set(loc).is_ok()
+    }
+
+    /// Whether this slot is pinned against eviction.
+    pub(crate) fn pinned(&self) -> bool {
+        self.0.pinned.load(Ordering::Relaxed)
+    }
+
+    /// Pins or unpins the slot against eviction.
+    pub(crate) fn set_pinned(&self, pinned: bool) {
+        self.0.pinned.store(pinned, Ordering::Relaxed);
+    }
+
+    /// Identity comparison: do two directory entries share one slot?
+    pub fn ptr_eq(&self, other: &SegSlot) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// A stable identity key for dedup maps (the shared allocation's
+    /// address) — the persist writer uses it to place each distinct slot's
+    /// payload in the heap exactly once, however many directory entries
+    /// (or table versions) share it.
+    pub(crate) fn ident(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    /// The decoded payload, faulting it in from disk on first touch.
+    ///
+    /// # Panics
+    /// Panics when the payload cannot be reloaded (I/O error or corrupt
+    /// bytes under a valid footer — both indicate the file changed under
+    /// us). Use [`SegSlot::try_enc`] to observe the error instead.
+    pub fn enc(&self) -> SegmentEnc {
+        self.try_enc()
+            .unwrap_or_else(|e| panic!("segment fault failed: {e}"))
+    }
+
+    /// The decoded payload, faulting it in from disk on first touch.
+    pub fn try_enc(&self) -> Result<SegmentEnc, StorageError> {
+        let store = segment_cache();
+        {
+            let guard = self.0.payload.read();
+            if let Some(enc) = &*guard {
+                self.0.touched.store(true, Ordering::Relaxed);
+                if self.0.disk.get().is_some() {
+                    store.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(enc.clone());
+            }
+        }
+        let enc = {
+            let mut guard = self.0.payload.write();
+            if let Some(enc) = &*guard {
+                // Another thread faulted it in while we waited.
+                self.0.touched.store(true, Ordering::Relaxed);
+                store.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(enc.clone());
+            }
+            let loc = self
+                .0
+                .disk
+                .get()
+                .expect("paged-out slot without a disk location");
+            let raw = loc.source.read_at(loc.offset, loc.len)?;
+            let enc = decode_payload(&self.0.meta, raw)?;
+            *guard = Some(enc.clone());
+            self.0.touched.store(true, Ordering::Relaxed);
+            enc
+        };
+        store.record_fault(self);
+        Ok(enc)
+    }
+
+    /// Number of rows covered (metadata; never faults).
+    #[inline]
+    pub fn rows(&self) -> u64 {
+        self.0.meta.rows
+    }
+
+    /// The ascending value ids present in this segment (metadata).
+    #[inline]
+    pub fn present_ids(&self) -> &[u32] {
+        &self.0.meta.present_ids
+    }
+
+    /// Cached per-present-id row counts, parallel to
+    /// [`SegSlot::present_ids`] (metadata).
+    #[inline]
+    pub fn ones(&self) -> &[u64] {
+        &self.0.meta.ones
+    }
+
+    /// Number of distinct values present (metadata).
+    #[inline]
+    pub fn distinct_count(&self) -> usize {
+        self.0.meta.present_ids.len()
+    }
+
+    /// Returns `true` when `id` occurs in this segment (metadata,
+    /// O(log present)).
+    #[inline]
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.0.meta.present_ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of rows carrying `id` (0 when absent; metadata).
+    pub fn count_for(&self, id: u32) -> u64 {
+        self.0
+            .meta
+            .present_ids
+            .binary_search(&id)
+            .map_or(0, |i| self.0.meta.ones[i])
+    }
+
+    /// Compressed payload bytes (metadata).
+    #[inline]
+    pub fn compressed_bytes(&self) -> usize {
+        self.0.meta.bytes
+    }
+
+    /// Total maximal constant-value runs (metadata).
+    #[inline]
+    pub fn run_count(&self) -> u64 {
+        self.0.meta.runs
+    }
+
+    /// The segment's physical encoding (metadata).
+    #[inline]
+    pub fn encoding(&self) -> Encoding {
+        self.0.meta.encoding
+    }
+
+    /// What the stats-driven chooser would pick for this segment
+    /// (metadata; matches [`SegmentEnc::choose_encoding`]).
+    pub fn choose_encoding(&self) -> Encoding {
+        crate::encoded::choose_encoding_from_stats(
+            self.0.meta.runs,
+            self.0.meta.rows,
+            self.0.meta.present_ids.len() as u64,
+            1,
+        )
+    }
+
+    /// Re-encodes to `encoding`, sharing the slot when already there.
+    /// The result is a fresh (resident) slot when a transcode happens.
+    pub(crate) fn recoded(&self, encoding: Encoding) -> SegSlot {
+        if self.encoding() == encoding {
+            self.clone()
+        } else {
+            SegSlot::fresh(self.enc().recoded(encoding))
+        }
+    }
+
+    /// Rewrites the segment under an id translation (faults in; the result
+    /// is a fresh resident slot).
+    pub(crate) fn remap(&self, map: &[Option<u32>]) -> SegSlot {
+        SegSlot::fresh(self.enc().remap(map))
+    }
+
+    /// Validates the payload against the resident metadata and the
+    /// per-segment invariants (faults the payload in).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let enc = self.try_enc().map_err(|e| e.to_string())?;
+        enc.check_invariants()?;
+        let m = &self.0.meta;
+        if enc.rows() != m.rows
+            || enc.present_ids() != &*m.present_ids
+            || enc.ones() != &*m.ones
+            || enc.encoding() != m.encoding
+        {
+            return Err("resident metadata does not match payload".into());
+        }
+        if enc.compressed_bytes() != m.bytes || enc.run_count() != m.runs {
+            return Err("stale payload-size/run metadata".into());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SegSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegSlot")
+            .field("rows", &self.0.meta.rows)
+            .field("encoding", &self.0.meta.encoding)
+            .field("distinct", &self.0.meta.present_ids.len())
+            .field("resident", &self.is_resident())
+            .field("on_disk", &self.0.disk.get().is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for SegSlot {
+    /// Payload equality (faults both sides in — test/verification use).
+    fn eq(&self, other: &SegSlot) -> bool {
+        self.ptr_eq(other) || self.enc() == other.enc()
+    }
+}
+
+/// Serializes a segment payload in the v6 heap format: bitmap segments as
+/// the concatenation of each present id's WAH stream in id order, RLE
+/// segments as the run-sequence codec.
+pub(crate) fn encode_payload<B: BufMut>(enc: &SegmentEnc, buf: &mut B) {
+    match enc {
+        SegmentEnc::Bitmap(s) => {
+            for bm in s.bitmaps() {
+                bm.encode(buf);
+            }
+        }
+        SegmentEnc::Rle(s) => s.seq().encode(buf),
+    }
+}
+
+/// Encoded length of [`encode_payload`]'s output.
+pub(crate) fn payload_encoded_len(enc: &SegmentEnc) -> usize {
+    match enc {
+        SegmentEnc::Bitmap(s) => s.bitmaps().iter().map(|bm| bm.encoded_len()).sum(),
+        SegmentEnc::Rle(s) => s.seq().encoded_len(),
+    }
+}
+
+/// Decodes a payload against its resident metadata, validating that the
+/// recomputed stats match (a mismatch means the bytes are not the segment
+/// the footer index promised).
+pub(crate) fn decode_payload(meta: &SegMeta, raw: Vec<u8>) -> Result<SegmentEnc, StorageError> {
+    let corrupt = |m: &str| StorageError::PersistError(format!("segment payload: {m}"));
+    let mut buf = Bytes::from(raw);
+    let enc = match meta.encoding {
+        Encoding::Bitmap => {
+            let mut pairs = Vec::with_capacity(meta.present_ids.len());
+            for &id in meta.present_ids.iter() {
+                let bm = Wah::decode(&mut buf)?;
+                if bm.len() != meta.rows {
+                    return Err(corrupt("bitmap length does not match segment rows"));
+                }
+                if !bm.any() {
+                    return Err(corrupt("empty bitmap for a present id"));
+                }
+                pairs.push((id, bm));
+            }
+            SegmentEnc::Bitmap(Arc::new(Segment::new(meta.rows, pairs)))
+        }
+        Encoding::Rle => {
+            let seq = RleSeq::decode(&mut buf)?;
+            if seq.len() != meta.rows {
+                return Err(corrupt("run sequence does not cover segment rows"));
+            }
+            SegmentEnc::Rle(Arc::new(RleSegment::new(seq)))
+        }
+    };
+    if buf.remaining() != 0 {
+        return Err(corrupt("trailing bytes after payload"));
+    }
+    if enc.present_ids() != &*meta.present_ids || enc.ones() != &*meta.ones {
+        return Err(corrupt("decoded stats do not match the footer metadata"));
+    }
+    Ok(enc)
+}
+
+/// A snapshot of the buffer cache's telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Byte budget (`u64::MAX` = unlimited).
+    pub budget: u64,
+    /// Decoded bytes currently charged to the cache (disk-backed slots).
+    pub resident_bytes: u64,
+    /// Payload touches served from memory.
+    pub hits: u64,
+    /// Payload faults (reload + decode from disk).
+    pub misses: u64,
+    /// Paged-out segments.
+    pub evictions: u64,
+    /// Total bytes decoded by faults (the cold-open/IO-work meter).
+    pub decoded_bytes: u64,
+}
+
+/// Clock-ring state: weak handles on cache-managed slots plus the hand.
+#[derive(Debug, Default)]
+struct Ring {
+    slots: Vec<Weak<SlotInner>>,
+    hand: usize,
+}
+
+/// The process-wide segment buffer manager. Obtain it via
+/// [`segment_cache`]; all faults, adoptions, and evictions go through it.
+#[derive(Debug)]
+pub struct SegmentStore {
+    budget: AtomicU64,
+    resident: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    decoded_bytes: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl SegmentStore {
+    fn new() -> SegmentStore {
+        SegmentStore {
+            budget: AtomicU64::new(u64::MAX),
+            resident: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            decoded_bytes: AtomicU64::new(0),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Sets the byte budget (`u64::MAX` = unlimited) and immediately sweeps
+    /// down to it.
+    pub fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        self.maybe_evict();
+    }
+
+    /// The current byte budget (`u64::MAX` = unlimited).
+    pub fn budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// A telemetry snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            budget: self.budget.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss/eviction/decoded counters (benchmark bracketing;
+    /// the resident gauge and budget are left alone).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.decoded_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Books a fault: counters, the resident gauge, and clock enrolment.
+    fn record_fault(&self, slot: &SegSlot) {
+        let bytes = slot.0.meta.bytes as u64;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.decoded_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        self.ring.lock().slots.push(Arc::downgrade(&slot.0));
+        self.maybe_evict();
+    }
+
+    /// Enrols a formerly fresh slot that a save just made disk-backed: its
+    /// resident bytes now count against the budget and it becomes
+    /// evictable like any other cached segment.
+    pub(crate) fn adopt(&self, slot: &SegSlot) {
+        debug_assert!(slot.0.disk.get().is_some());
+        self.resident
+            .fetch_add(slot.0.meta.bytes as u64, Ordering::Relaxed);
+        slot.0.touched.store(true, Ordering::Relaxed);
+        self.ring.lock().slots.push(Arc::downgrade(&slot.0));
+        self.maybe_evict();
+    }
+
+    /// The clock sweep: while over budget, advance the hand, skipping
+    /// pinned slots, giving touched slots a second chance, and paging out
+    /// the first cold candidate. Bounded at two revolutions per call so a
+    /// ring full of pinned/busy slots cannot spin.
+    fn maybe_evict(&self) {
+        if self.budget.load(Ordering::Relaxed) == u64::MAX {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        let mut steps = 2 * ring.slots.len().max(1);
+        while self.resident.load(Ordering::Relaxed) > self.budget.load(Ordering::Relaxed)
+            && !ring.slots.is_empty()
+            && steps > 0
+        {
+            steps -= 1;
+            if ring.hand >= ring.slots.len() {
+                ring.hand = 0;
+            }
+            let idx = ring.hand;
+            let Some(inner) = ring.slots[idx].upgrade() else {
+                // The slot died (its resident bytes were returned by Drop);
+                // reap the entry without advancing past the swapped-in tail.
+                ring.slots.swap_remove(idx);
+                continue;
+            };
+            if inner.pinned.load(Ordering::Relaxed) {
+                ring.hand += 1;
+                continue;
+            }
+            if inner.touched.swap(false, Ordering::Relaxed) {
+                ring.hand += 1; // second chance
+                continue;
+            }
+            let Some(mut guard) = inner.payload.try_write() else {
+                ring.hand += 1; // someone is faulting/reading it right now
+                continue;
+            };
+            let evicted = guard.take().is_some();
+            drop(guard);
+            ring.slots.swap_remove(idx);
+            if evicted {
+                self.resident
+                    .fetch_sub(inner.meta.bytes as u64, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The process-wide segment cache.
+pub fn segment_cache() -> &'static SegmentStore {
+    static STORE: OnceLock<SegmentStore> = OnceLock::new();
+    STORE.get_or_init(SegmentStore::new)
+}
+
+#[cfg(test)]
+pub(crate) fn budget_guard() -> parking_lot::MutexGuard<'static, ()> {
+    // Serializes tests that shrink the global budget so parallel tests
+    // never observe each other's evictions.
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoded::EncodedColumn;
+    use crate::value::{Value, ValueType};
+
+    fn column(n: i64, seg_rows: u64) -> EncodedColumn {
+        let vals: Vec<Value> = (0..n).map(|i| Value::int(i / 16)).collect();
+        EncodedColumn::from_values_with(ValueType::Int, &vals, seg_rows).unwrap()
+    }
+
+    fn slot_on_bytes(enc: &SegmentEnc, pinned: bool) -> SegSlot {
+        let mut raw = Vec::new();
+        encode_payload(enc, &mut raw);
+        assert_eq!(raw.len(), payload_encoded_len(enc));
+        let len = raw.len() as u64;
+        let source = Arc::new(PayloadSource::Bytes(Bytes::from(raw)));
+        SegSlot::on_disk(
+            SegMeta::of(enc),
+            DiskLoc {
+                source,
+                offset: 0,
+                len,
+            },
+            pinned,
+        )
+    }
+
+    #[test]
+    fn fresh_slot_mirrors_its_payload_stats() {
+        let col = column(100, 64);
+        let slot = &col.segments()[0];
+        let enc = slot.enc();
+        assert!(slot.is_resident());
+        assert_eq!(slot.rows(), enc.rows());
+        assert_eq!(slot.present_ids(), enc.present_ids());
+        assert_eq!(slot.ones(), enc.ones());
+        assert_eq!(slot.distinct_count(), enc.distinct_count());
+        assert_eq!(slot.compressed_bytes(), enc.compressed_bytes());
+        assert_eq!(slot.run_count(), enc.run_count());
+        assert_eq!(slot.encoding(), enc.encoding());
+        assert_eq!(slot.choose_encoding(), enc.choose_encoding());
+        assert!(slot.contains_id(0));
+        assert_eq!(slot.count_for(0), enc.count_for(0));
+        slot.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn payload_round_trips_through_the_heap_format() {
+        let col = column(200, 64);
+        for slot in col.segments() {
+            for enc in [slot.enc(), slot.enc().recoded(Encoding::Rle)] {
+                let mut raw = Vec::new();
+                encode_payload(&enc, &mut raw);
+                let back = decode_payload(&SegMeta::of(&enc), raw).unwrap();
+                assert_eq!(back, enc);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let col = column(100, 64);
+        let enc = col.segments()[0].enc();
+        let mut raw = Vec::new();
+        encode_payload(&enc, &mut raw);
+        // Truncation and bit flips both fail decode or the stat check.
+        let cut = raw[..raw.len() / 2].to_vec();
+        assert!(decode_payload(&SegMeta::of(&enc), cut).is_err());
+        let mut flipped = raw.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(decode_payload(&SegMeta::of(&enc), flipped).is_err());
+    }
+
+    #[test]
+    fn paged_out_slot_faults_in_on_first_touch() {
+        let _g = budget_guard();
+        let col = column(100, 64);
+        let enc = col.segments()[0].enc();
+        let slot = slot_on_bytes(&enc, false);
+        assert!(!slot.is_resident());
+        // Metadata works without faulting.
+        assert_eq!(slot.rows(), enc.rows());
+        assert_eq!(slot.present_ids(), enc.present_ids());
+        assert!(!slot.is_resident(), "metadata access must not fault");
+        let before = segment_cache().stats();
+        assert_eq!(slot.enc(), enc);
+        assert!(slot.is_resident());
+        let after = segment_cache().stats();
+        assert!(after.misses > before.misses);
+        assert!(after.decoded_bytes >= before.decoded_bytes + enc.compressed_bytes() as u64);
+        // Second touch is a hit.
+        let _ = slot.enc();
+        assert!(segment_cache().stats().hits > after.hits);
+        slot.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tiny_budget_forces_eviction_and_reload() {
+        let _g = budget_guard();
+        let store = segment_cache();
+        let col = column(4096, 256);
+        let slots: Vec<SegSlot> = col
+            .segments()
+            .iter()
+            .map(|s| slot_on_bytes(&s.enc(), false))
+            .collect();
+        let one = slots[0].meta().bytes as u64;
+        store.set_budget(one); // room for about one segment
+        for s in &slots {
+            let _ = s.enc();
+        }
+        let resident = slots.iter().filter(|s| s.is_resident()).count();
+        assert!(
+            resident < slots.len(),
+            "a tiny budget must page something out"
+        );
+        assert!(store.stats().evictions > 0);
+        // Every slot still reloads to identical payload.
+        for (s, orig) in slots.iter().zip(col.segments()) {
+            assert_eq!(s.enc(), orig.enc());
+        }
+        store.set_budget(u64::MAX);
+    }
+
+    #[test]
+    fn pinned_and_fresh_slots_survive_pressure() {
+        let _g = budget_guard();
+        let store = segment_cache();
+        let col = column(4096, 256);
+        let pinned: Vec<SegSlot> = col
+            .segments()
+            .iter()
+            .map(|s| slot_on_bytes(&s.enc(), true))
+            .collect();
+        store.set_budget(1);
+        for s in &pinned {
+            let _ = s.enc();
+        }
+        assert!(
+            pinned.iter().all(|s| s.is_resident()),
+            "pinned slots are never evicted"
+        );
+        // Fresh slots (no disk location) are untouchable too.
+        let fresh = &col.segments()[0];
+        store.set_budget(1);
+        assert!(fresh.is_resident());
+        store.set_budget(u64::MAX);
+    }
+
+    #[test]
+    fn adopt_makes_a_fresh_slot_evictable() {
+        let _g = budget_guard();
+        let store = segment_cache();
+        let col = column(512, 256);
+        let slot = col.segments()[0].clone();
+        let enc = slot.enc();
+        let mut raw = Vec::new();
+        encode_payload(&enc, &mut raw);
+        let len = raw.len() as u64;
+        let loc = DiskLoc {
+            source: Arc::new(PayloadSource::Bytes(Bytes::from(raw))),
+            offset: 0,
+            len,
+        };
+        assert!(slot.attach_disk(loc.clone()), "first save attaches");
+        store.adopt(&slot);
+        assert!(!slot.attach_disk(loc), "second save is a no-op");
+        store.set_budget(0);
+        store.maybe_evict();
+        assert!(!slot.is_resident(), "adopted slot pages out under pressure");
+        assert_eq!(slot.enc(), enc, "and reloads from its new location");
+        store.set_budget(u64::MAX);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_an_error_not_a_panic() {
+        let src = PayloadSource::Bytes(Bytes::from(vec![1u8, 2, 3]));
+        assert!(src.read_at(2, 5).is_err());
+        assert!(src.read_at(u64::MAX, 1).is_err());
+        assert_eq!(src.read_at(1, 2).unwrap(), vec![2, 3]);
+    }
+}

@@ -393,6 +393,23 @@ impl Table {
         self.columns.iter().map(|c| c.size_bytes()).sum()
     }
 
+    /// Faults every segment of every column in — the explicit warm-up for
+    /// a lazily opened table (and the v1 downgrade path).
+    pub fn fault_in_all(&self) {
+        for c in &self.columns {
+            c.fault_in_all();
+        }
+    }
+
+    /// `(resident, on-disk)` segment counts over all columns —
+    /// buffer-cache telemetry.
+    pub fn residency_counts(&self) -> (usize, usize) {
+        self.columns.iter().fold((0, 0), |(r, d), c| {
+            let (cr, cd) = c.residency_counts();
+            (r + cr, d + cd)
+        })
+    }
+
     /// Returns `true` when the named column's data is shared (same `Arc`)
     /// with `other`'s column of the same name — the zero-copy reuse check
     /// used by evolution tests.

@@ -1,0 +1,249 @@
+//! Differential property tests of the demand-paged segment directory: a
+//! random mixed-encoding table saved in format v6 and reopened lazily —
+//! then starved by a tiny buffer-cache budget so segments page in and out
+//! on every touch — must be indistinguishable from the fully-resident
+//! original. Scan masks are byte-identical, row images match, and SMO
+//! results agree after compaction and after committed evolution plans.
+//! Runs in CI's differential proptest job at `PROPTEST_CASES=512`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cods::{Cods, Smo};
+use cods_query::bitmap_scan::{predicate_mask, predicate_mask_unpruned};
+use cods_query::{CmpOp, Predicate};
+use cods_storage::persist::{read_catalog, read_table, save_catalog, save_table};
+use cods_storage::{segment_cache, Catalog, Encoding, Schema, Table, Value, ValueType};
+use proptest::prelude::*;
+
+/// A per-process-unique scratch file so parallel test binaries and
+/// successive proptest cases never collide.
+fn temp(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "cods_proptest_lazy_{}_{tag}_{n}.tbl",
+        std::process::id()
+    ))
+}
+
+/// Random table R(k, v): clustered-ish k so zones have something to prune,
+/// scattered v with NULLs, random segment size.
+fn base_table() -> impl Strategy<Value = Table> {
+    (
+        prop::collection::vec((0i64..40, 0i64..12, 0u8..16), 1usize..300),
+        4u64..64,
+    )
+        .prop_map(|(trips, seg_rows)| {
+            let schema =
+                Schema::build(&[("k", ValueType::Int), ("v", ValueType::Int)], &[]).unwrap();
+            let mut rows: Vec<Vec<Value>> = trips
+                .into_iter()
+                .map(|(k, v, null)| {
+                    vec![
+                        Value::int(k),
+                        if null == 0 {
+                            Value::Null
+                        } else {
+                            Value::int(v)
+                        },
+                    ]
+                })
+                .collect();
+            rows.sort_by(|a, b| a[0].cmp(&b[0]));
+            Table::from_rows_with_segment_rows("R", schema, &rows, seg_rows).unwrap()
+        })
+}
+
+/// A random comparison or boolean combination over k and v, including
+/// literals outside every value range and NULL literals.
+fn pred() -> impl Strategy<Value = Predicate> {
+    let cmp = (0usize..6, 0usize..2, -5i64..50, 0u8..12).prop_map(|(op, col, lit, null)| {
+        let op = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ][op];
+        Predicate::Compare {
+            column: if col == 0 { "k" } else { "v" }.into(),
+            op,
+            literal: if null == 0 {
+                Value::Null
+            } else {
+                Value::int(lit)
+            },
+        }
+    });
+    (prop::collection::vec(cmp, 1usize..4), 0usize..3).prop_map(|(cmps, shape)| {
+        let mut it = cmps.into_iter();
+        let first = it.next().unwrap();
+        match shape {
+            0 => first,
+            1 => it.fold(first, |acc, c| acc.and(c)),
+            _ => it.fold(first, |acc, c| acc.or(c)),
+        }
+    })
+}
+
+/// Applies one of the per-column / per-segment encoding assignments so the
+/// saved directory is genuinely heterogeneous.
+fn encode_variant(table: Table, enc: usize, pattern: u64) -> Table {
+    fn mix_column(t: &Table, name: &str, pattern: u64) -> Table {
+        let mut out = t.clone();
+        let segs = out.column_by_name(name).unwrap().segment_count();
+        for i in 0..segs {
+            if pattern & (1 << (i % 64)) != 0 {
+                out = out
+                    .with_column_segment_range_encoding(name, Encoding::Rle, i..i + 1)
+                    .unwrap();
+            }
+        }
+        out
+    }
+    match enc {
+        0 => table,
+        1 => table.recoded(Encoding::Rle).unwrap(),
+        2 => table.with_column_encoding("k", Encoding::Rle).unwrap(),
+        3 => table.with_column_encoding("v", Encoding::Rle).unwrap(),
+        4 => mix_column(&table, "k", pattern),
+        _ => mix_column(
+            &mix_column(&table, "k", pattern),
+            "v",
+            pattern.rotate_left(23),
+        ),
+    }
+}
+
+/// Saves `t` in format v6 and reopens it demand-paged, checking that the
+/// reopen really was metadata-only. The caller owns (and removes) the file.
+fn save_reopen(t: &Table, path: &PathBuf) -> Table {
+    save_table(t, path).unwrap();
+    let lazy = read_table(path).unwrap();
+    let (resident, on_disk) = lazy.residency_counts();
+    assert_eq!(resident, 0, "lazy open faulted payloads in");
+    assert!(on_disk > 0 || t.rows() == 0);
+    lazy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Scans, row images, invariants, and compaction over a lazily opened
+    // table match the fully-resident oracle bit for bit, even when the
+    // budget forces eviction churn between (and during) operations.
+    #[test]
+    fn lazy_scans_match_the_resident_oracle(
+        table in base_table(),
+        p in pred(),
+        enc in 0usize..6,
+        pattern in proptest::prelude::any::<u64>(),
+        budget in 0u64..1500,
+    ) {
+        let oracle = encode_variant(table, enc, pattern);
+        let path = temp("scan");
+        let lazy = save_reopen(&oracle, &path);
+
+        // Starve the cache: a fresh (never-saved) oracle is unevictable,
+        // but the lazy table's segments now page in and out constantly.
+        segment_cache().set_budget(budget);
+
+        // Pruned scans run the zone and present-id metadata tiers without
+        // faulting; both pruned and exhaustive masks must agree with the
+        // resident table.
+        prop_assert_eq!(
+            predicate_mask(&lazy, &p).unwrap(),
+            predicate_mask(&oracle, &p).unwrap()
+        );
+        prop_assert_eq!(
+            predicate_mask_unpruned(&lazy, &p).unwrap(),
+            predicate_mask_unpruned(&oracle, &p).unwrap()
+        );
+        prop_assert_eq!(lazy.to_rows(), oracle.to_rows());
+        lazy.check_invariants().unwrap();
+
+        // Post-compaction: fragment the lazy directory through a
+        // slice/concat chain, then compact — every segment is faulted
+        // through the starved cache while being rewritten.
+        let rows = oracle.rows();
+        if rows >= 8 {
+            let half = rows / 2;
+            let cols: Vec<_> = lazy
+                .columns()
+                .iter()
+                .map(|c| {
+                    let acc = c.slice(0, half).concat(&c.slice(half, rows)).unwrap();
+                    std::sync::Arc::new(acc.compacted())
+                })
+                .collect();
+            let rebuilt = Table::new("C", oracle.schema().clone(), cols).unwrap();
+            rebuilt.check_invariants().unwrap();
+            prop_assert_eq!(rebuilt.to_rows(), oracle.to_rows());
+            prop_assert_eq!(
+                predicate_mask(&rebuilt, &p).unwrap(),
+                predicate_mask(&oracle, &p).unwrap()
+            );
+        }
+
+        segment_cache().set_budget(u64::MAX);
+        std::fs::remove_file(&path).ok();
+    }
+
+    // A committed evolution plan (partition + union through the
+    // validate-then-commit pipeline) over a lazily opened catalog produces
+    // the same tables as over a fully-resident one, and re-saving the
+    // evolved lazy catalog (the append path) round-trips.
+    #[test]
+    fn lazy_plan_commits_match_the_resident_oracle(
+        table in base_table(),
+        enc in 0usize..6,
+        pattern in proptest::prelude::any::<u64>(),
+        threshold in 0i64..40,
+        budget in 0u64..1500,
+    ) {
+        let oracle = encode_variant(table, enc, pattern);
+        let path = temp("plan");
+
+        let resident_cat = Catalog::new();
+        resident_cat.create(oracle.clone()).unwrap();
+        save_catalog(&resident_cat, &path).unwrap();
+        let lazy_cat = read_catalog(&path).unwrap();
+
+        segment_cache().set_budget(budget);
+
+        let smos = || vec![
+            Smo::PartitionTable {
+                input: "R".into(),
+                predicate: Predicate::lt("k", threshold),
+                satisfying: "lo".into(),
+                rest: "hi".into(),
+            },
+            Smo::UnionTables {
+                left: "lo".into(),
+                right: "hi".into(),
+                output: "back".into(),
+                drop_inputs: true,
+            },
+        ];
+        let resident = Cods::with_catalog(resident_cat);
+        resident.plan(smos()).unwrap().execute().unwrap();
+        let lazy = Cods::with_catalog(lazy_cat);
+        lazy.plan(smos()).unwrap().execute().unwrap();
+
+        let want = resident.table("back").unwrap();
+        let got = lazy.table("back").unwrap();
+        got.check_invariants().unwrap();
+        prop_assert_eq!(got.to_rows(), want.to_rows());
+
+        // Append-save the evolved catalog over the same file and reopen:
+        // the plan's outputs persist and still match the oracle.
+        save_catalog(lazy.catalog(), &path).unwrap();
+        let reread = read_catalog(&path).unwrap();
+        prop_assert_eq!(reread.get("back").unwrap().to_rows(), want.to_rows());
+
+        segment_cache().set_budget(u64::MAX);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -140,15 +140,9 @@ fn union_shares_segments_of_both_inputs() {
     let ua = u.column(0);
     // The union's column directory reuses both inputs' segments by Arc —
     // appends never rewrite existing bitmaps.
-    assert!(std::sync::Arc::ptr_eq(
-        ua.segments()[0].as_bitmap().unwrap(),
-        a.column(0).segments()[0].as_bitmap().unwrap()
-    ));
+    assert!(ua.segments()[0].ptr_eq(&a.column(0).segments()[0]));
     let a_segs = a.column(0).segment_count();
-    assert!(std::sync::Arc::ptr_eq(
-        ua.segments()[a_segs].as_bitmap().unwrap(),
-        b.column(0).segments()[0].as_bitmap().unwrap()
-    ));
+    assert!(ua.segments()[a_segs].ptr_eq(&b.column(0).segments()[0]));
 }
 
 /// A long UNION chain of small slices fragments the directory into
