@@ -1,0 +1,170 @@
+//! Heap compaction: append-save churn versus vacuum on a 128 Ki-row
+//! catalog persisted in format v6.
+//!
+//! Before timing, three properties are asserted:
+//!
+//! 1. **Churn strands dead heap.** Re-encoding one column and append-saving
+//!    it N times grows the file by ~N stale payload generations, and
+//!    [`heap_stats`] accounts every stranded byte (`live + dead = heap`).
+//! 2. **Vacuum shrinks the file to live size.** After [`vacuum_file`] the
+//!    heap is exactly the live payload bytes — zero dead — and the file is
+//!    smaller than the churned one. Scan masks over the compacted file are
+//!    byte-identical to the pre-vacuum masks.
+//! 3. **The background trigger fires.** Under a hair-trigger [`AutoVacuum`]
+//!    policy one more churn round schedules a compaction off the save path,
+//!    and after [`wait_for_auto_vacuum`] the heap is fully live again.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cods_query::bitmap_scan::predicate_mask;
+use cods_query::Predicate;
+use cods_storage::persist::{read_catalog, save_catalog};
+use cods_storage::{
+    heap_stats, set_auto_vacuum, vacuum_file, wait_for_auto_vacuum, AutoVacuum, Catalog, Encoding,
+    Schema, Table, Value, ValueType,
+};
+
+const ROWS: u64 = 1 << 17; // 131,072
+const CHURN_ROUNDS: usize = 6;
+
+fn scratch() -> PathBuf {
+    std::env::temp_dir().join(format!("cods_bench_vacuum_{}.catalog", std::process::id()))
+}
+
+/// One table: a clustered key (reused verbatim by every churn save) and a
+/// low-cardinality payload column (the one the churn re-encodes).
+fn build_catalog() -> Catalog {
+    let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Int)], &[]).unwrap();
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            vec![
+                Value::int((i / 16) as i64),
+                Value::int(((i.wrapping_mul(2_654_435_761)) % 64) as i64),
+            ]
+        })
+        .collect();
+    let cat = Catalog::new();
+    cat.create(Table::from_rows("C", schema, &rows).unwrap())
+        .unwrap();
+    cat
+}
+
+/// Transcode `v` (alternating target encodings so every round really
+/// replaces its payloads) and append-save.
+fn churn_once(cat: &Catalog, path: &PathBuf, round: usize) {
+    let enc = if round.is_multiple_of(2) {
+        Encoding::Rle
+    } else {
+        Encoding::Bitmap
+    };
+    let t = cat.get("C").unwrap();
+    cat.put(t.with_column_encoding("v", enc).unwrap());
+    save_catalog(cat, path).unwrap();
+}
+
+fn preds() -> Vec<Predicate> {
+    vec![
+        Predicate::eq("v", 7),
+        Predicate::ge("k", 1000).and(Predicate::lt("k", 2000)),
+        Predicate::eq("v", 32).and(Predicate::ge("k", 4000)),
+    ]
+}
+
+fn masks(path: &PathBuf) -> Vec<cods_bitmap::Wah> {
+    let t = read_catalog(path).unwrap().get("C").unwrap();
+    preds()
+        .iter()
+        .map(|p| predicate_mask(&t, p).unwrap())
+        .collect()
+}
+
+fn bench_vacuum(c: &mut Criterion) {
+    let path = scratch();
+    std::fs::remove_file(&path).ok();
+    // The churn phase *wants* to observe dead bytes accruing — keep the
+    // background compactor out of the way until step 3.
+    set_auto_vacuum(None);
+
+    let cat = build_catalog();
+    save_catalog(&cat, &path).unwrap();
+    let fresh = heap_stats(&path).unwrap();
+    assert_eq!(fresh.dead_bytes, 0, "{fresh:?}");
+
+    // -- 1. Churn: every round strands the previous `v` payloads.
+    let t0 = Instant::now();
+    for round in 0..CHURN_ROUNDS {
+        churn_once(&cat, &path, round);
+    }
+    let t_churn = t0.elapsed();
+    let churned = heap_stats(&path).unwrap();
+    assert!(churned.dead_bytes > 0, "{churned:?}");
+    assert_eq!(churned.live_bytes + churned.dead_bytes, churned.heap_bytes);
+    assert!(churned.file_bytes > fresh.file_bytes);
+    eprintln!("== vacuum ({ROWS} rows, {CHURN_ROUNDS} churn rounds) ==");
+    eprintln!(
+        "churn: {t_churn:?} for {CHURN_ROUNDS} append-saves; file {} -> {} bytes ({} dead of {} heap)",
+        fresh.file_bytes, churned.file_bytes, churned.dead_bytes, churned.heap_bytes
+    );
+
+    // -- 2. Vacuum shrinks to live size with byte-identical masks.
+    let before_masks = masks(&path);
+    let t0 = Instant::now();
+    let report = vacuum_file(&path).unwrap();
+    let t_vacuum = t0.elapsed();
+    assert!(report.reclaimed_bytes() >= churned.dead_bytes);
+    let compacted = heap_stats(&path).unwrap();
+    assert_eq!(compacted.dead_bytes, 0, "{compacted:?}");
+    assert_eq!(compacted.heap_bytes, compacted.live_bytes);
+    assert_eq!(compacted.live_bytes, report.live_payload_bytes);
+    assert!(compacted.file_bytes < churned.file_bytes);
+    assert_eq!(before_masks, masks(&path), "masks diverged across vacuum");
+    eprintln!(
+        "vacuum: {t_vacuum:?}; file {} -> {} bytes ({} reclaimed, heap now {} live bytes)",
+        report.before_bytes,
+        report.after_bytes,
+        report.reclaimed_bytes(),
+        report.live_payload_bytes
+    );
+
+    // -- 3. The background trigger compacts one more churn round.
+    set_auto_vacuum(Some(AutoVacuum {
+        dead_ratio: 0.01,
+        min_dead_bytes: 1,
+    }));
+    churn_once(&cat, &path, 0);
+    wait_for_auto_vacuum();
+    let auto = heap_stats(&path).unwrap();
+    assert_eq!(auto.dead_bytes, 0, "auto-vacuum did not land: {auto:?}");
+    assert_eq!(
+        before_masks,
+        masks(&path),
+        "masks diverged across auto-vacuum"
+    );
+    eprintln!(
+        "auto: background compaction landed, heap {} live bytes",
+        auto.live_bytes
+    );
+    set_auto_vacuum(Some(AutoVacuum::default()));
+
+    // -- Timed sections over the compacted file (both are size-stable
+    // across iterations, so the loop cannot snowball the scratch file).
+    let mut group = c.benchmark_group("vacuum");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("heap_stats", |b| {
+        b.iter(|| black_box(heap_stats(&path).unwrap()))
+    });
+    group.bench_function("compact/already_compact", |b| {
+        b.iter(|| black_box(vacuum_file(&path).unwrap()))
+    });
+    group.finish();
+
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_vacuum);
+criterion_main!(benches);

@@ -25,7 +25,8 @@ commands:
   stats <table>                                    storage statistics (per-segment encoding
                                                    histogram, zones, run/distinct ratios,
                                                    per-segment chooser picks, buffer-cache
-                                                   residency)
+                                                   residency, per-file heap occupancy with
+                                                   the dead bytes a vacuum would reclaim)
   cache [<bytes>|unlimited]                        show buffer-cache telemetry (budget,
                                                    resident bytes, hit/miss/eviction counts)
                                                    or set the byte budget (suffixes k/m/g)
@@ -51,6 +52,10 @@ commands:
   save <file> | open <file>                        persist / restore the catalog (open is
                                                    lazy: segment payloads load on demand;
                                                    re-saving appends only what changed)
+  vacuum <file>                                    compact a saved catalog's payload heap,
+                                                   reclaiming bytes append-saves left dead
+                                                   (re-open afterwards to pick up the
+                                                   compacted layout)
   help | quit
 ";
 
@@ -173,6 +178,42 @@ pub fn render_stats(name: &str, t: &cods_storage::Table) -> String {
                 String::new()
             }
         );
+    }
+    // Per-file heap occupancy: every v6 file this table's segments page
+    // from, with the dead bytes a `vacuum` of that file would reclaim.
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for c in t.columns() {
+        for s in c.segments() {
+            if let Some(p) = s.backing_path() {
+                if !files.contains(&p) {
+                    files.push(p);
+                }
+            }
+        }
+    }
+    for path in files {
+        match cods_storage::heap_stats(&path) {
+            Ok(h) => {
+                let _ = writeln!(
+                    out,
+                    "  file {}: {} bytes ({} heap = {} live + {} dead, {} meta); vacuum reclaims ~{} bytes",
+                    path.display(),
+                    h.file_bytes,
+                    h.heap_bytes,
+                    h.live_bytes,
+                    h.dead_bytes,
+                    h.meta_bytes,
+                    h.dead_bytes
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    out,
+                    "  file {}: heap stats unavailable ({e})",
+                    path.display()
+                );
+            }
+        }
     }
     out
 }
@@ -623,6 +664,20 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             *cods = Cods::with_catalog(catalog);
             println!("opened catalog from {file}");
         }
+        "vacuum" => {
+            let [file] = args.as_slice() else {
+                return Err("usage: vacuum <file>".into());
+            };
+            let report = cods_storage::vacuum_file(file).map_err(|e| e.to_string())?;
+            println!(
+                "vacuumed {file}: {} -> {} bytes ({} reclaimed; {} live payload bytes across {} segments)",
+                report.before_bytes,
+                report.after_bytes,
+                report.reclaimed_bytes(),
+                report.live_payload_bytes,
+                report.segments
+            );
+        }
         other => return Err(format!("unknown command {other:?} (try: help)")),
     }
     Ok(Outcome::Continue)
@@ -1024,6 +1079,48 @@ mod tests {
             out.contains("3 resident / 0 on-disk segments"),
             "stats: {out}"
         );
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn vacuum_command_compacts_and_stats_report_heap_occupancy() {
+        let dir = std::env::temp_dir().join("cods_cli_vacuum_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("churn.catalog");
+        std::fs::remove_file(&file).ok();
+        let mut cods = shell();
+        run(&mut cods, "demo");
+        run(&mut cods, &format!("save {}", file.display()));
+
+        // After the first save everything is live; `stats` reports the
+        // backing file's heap occupancy.
+        let out = render_stats("R", &cods.table("R").unwrap());
+        assert!(out.contains("file "), "stats: {out}");
+        assert!(out.contains("+ 0 dead"), "stats: {out}");
+
+        // Churn one column: the other columns' extents stay reused, so the
+        // saves take the append path and strand the recoded payloads.
+        run(&mut cods, "recode R skill rle");
+        run(&mut cods, &format!("save {}", file.display()));
+        run(&mut cods, "recode R skill bitmap");
+        run(&mut cods, &format!("save {}", file.display()));
+        let churned = cods_storage::heap_stats(&file).unwrap();
+        assert!(churned.dead_bytes > 0, "{churned:?}");
+        let out = render_stats("R", &cods.table("R").unwrap());
+        assert!(!out.contains("+ 0 dead"), "stats: {out}");
+
+        // `vacuum <file>` compacts; the file reopens equal and fully live.
+        run(&mut cods, &format!("vacuum {}", file.display()));
+        let after = cods_storage::heap_stats(&file).unwrap();
+        assert_eq!(after.dead_bytes, 0, "{after:?}");
+        assert!(after.file_bytes < churned.file_bytes);
+        let mut fresh = shell();
+        run(&mut fresh, &format!("open {}", file.display()));
+        assert_eq!(fresh.table("R").unwrap().rows(), 7);
+
+        // Bad arguments are rejected.
+        assert!(run_command(&mut cods, "vacuum").is_err());
+        assert!(run_command(&mut cods, "vacuum /nonexistent/x.catalog").is_err());
         std::fs::remove_file(&file).ok();
     }
 

@@ -9,10 +9,17 @@
 //! writes are real; only the fsync is elided (documented substitution —
 //! DESIGN.md §2 — because synchronous-I/O latency would measure the disk,
 //! not the algorithms).
+//!
+//! The on-disk records are [`cods_storage::wal::JournalWriter`] frames —
+//! the same checksummed format the column store's crash-safe save protocol
+//! journals with — with the page number as the frame tag and the 8 KiB
+//! before-image as the payload. This journal never *seals* (sealing is
+//! the fsync this model elides), which also means a leftover file is
+//! always read back as torn and discarded, exactly what rollback-journal
+//! semantics want for a journal whose transaction never committed.
 
 use crate::page::PAGE_SIZE;
-use std::fs::File;
-use std::io::{Seek, SeekFrom, Write};
+use cods_storage::wal::JournalWriter;
 use std::path::PathBuf;
 
 /// A rollback journal holding before-images of dirtied pages.
@@ -24,7 +31,7 @@ pub struct Journal {
     journaled: std::collections::HashSet<u32>,
     /// Journal file (SQLite-like persistent journal); `None` keeps the
     /// journal purely in memory.
-    file: Option<(PathBuf, File)>,
+    file: Option<(PathBuf, JournalWriter)>,
     /// Statistics: total pages journaled across all transactions.
     pub pages_journaled: u64,
     /// Statistics: committed transactions.
@@ -42,9 +49,10 @@ impl Journal {
     /// Creates a file-backed journal at `path` (truncating any previous
     /// content). The file is removed on drop.
     pub fn with_file(path: PathBuf) -> std::io::Result<Self> {
-        let file = File::create(&path)?;
+        let writer = JournalWriter::create(&path)?;
         let mut j = Journal::new();
-        j.file = Some((path, file));
+        j.bytes_written = writer.bytes_written();
+        j.file = Some((path, writer));
         Ok(j)
     }
 
@@ -72,14 +80,12 @@ impl Journal {
         // The actual 8 KiB copy — the cost the baseline pays per dirty page.
         let mut copy = Box::new([0u8; PAGE_SIZE]);
         copy.copy_from_slice(image);
-        if let Some((_, f)) = &mut self.file {
+        if let Some((_, w)) = &mut self.file {
             // SQLite writes the page number + page image to the journal
-            // before the page may be modified (one buffered record).
-            let mut record = Vec::with_capacity(4 + PAGE_SIZE);
-            record.extend_from_slice(&page_no.to_le_bytes());
-            record.extend_from_slice(&copy[..]);
-            f.write_all(&record).expect("journal write");
-            self.bytes_written += record.len() as u64;
+            // before the page may be modified (one buffered record): a
+            // frame tagged with the page number, carrying the image.
+            w.append(page_no, &copy[..]).expect("journal write");
+            self.bytes_written = w.bytes_written();
         }
         self.images.push((page_no, copy));
         self.pages_journaled += 1;
@@ -91,11 +97,11 @@ impl Journal {
     pub fn commit(&mut self) {
         self.images.clear();
         self.journaled.clear();
-        if let Some((_, f)) = &mut self.file {
+        if let Some((_, w)) = &mut self.file {
             // PERSIST journal mode: rewind and overwrite instead of
             // truncating (SQLite offers this exactly because per-commit
             // ftruncate is expensive; the journaled bytes are identical).
-            f.seek(SeekFrom::Start(0)).expect("journal seek");
+            w.rewind().expect("journal rewind");
         }
         self.commits += 1;
     }
@@ -145,16 +151,18 @@ mod tests {
 
     #[test]
     fn file_backed_journal_writes_and_rewinds() {
+        use cods_storage::wal::{FRAME_OVERHEAD_BYTES, JOURNAL_HEADER_BYTES};
+        let record = PAGE_SIZE as u64 + FRAME_OVERHEAD_BYTES;
         let mut j = Journal::with_temp_file().unwrap();
         assert!(j.is_file_backed());
         let img = Box::new([9u8; PAGE_SIZE]);
         j.record_before_image(1, &img);
         j.record_before_image(2, &img);
-        assert_eq!(j.bytes_written, 2 * (PAGE_SIZE as u64 + 4));
+        assert_eq!(j.bytes_written, JOURNAL_HEADER_BYTES + 2 * record);
         j.commit();
         j.record_before_image(1, &img);
         j.commit();
-        assert_eq!(j.bytes_written, 3 * (PAGE_SIZE as u64 + 4));
+        assert_eq!(j.bytes_written, JOURNAL_HEADER_BYTES + 3 * record);
         assert_eq!(j.commits, 2);
     }
 

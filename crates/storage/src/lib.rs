@@ -29,6 +29,11 @@
 //! * [`load`] — delimited-text ingest; [`persist`] — versioned binary table
 //!   files (v6 keeps segment payloads on disk behind a footer index for
 //!   lazy opens; v1–v5 files are still read).
+//! * [`wal`] — the rollback journal that makes every save crash-safe
+//!   (journal-then-overwrite appends, temp+rename rewrites, recovery on
+//!   open); [`vacuum`] — explicit and threshold-triggered background heap
+//!   compaction; [`fault`] — the crash-point injection layer the
+//!   durability suite sweeps.
 //!
 //! ```
 //! use cods_storage::{Schema, Table, Value, ValueType};
@@ -52,6 +57,7 @@ pub mod cursor;
 pub mod dictionary;
 pub mod encoded;
 pub mod error;
+pub mod fault;
 pub mod load;
 pub mod persist;
 pub mod rle_segment;
@@ -60,7 +66,9 @@ pub mod segment;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod vacuum;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use cursor::RowIdCursor;
@@ -80,4 +88,9 @@ pub use segment::{
 pub use stats::{ColumnStats, TableStats};
 pub use store::{segment_cache, CacheStats, SegSlot, SegmentStore};
 pub use table::Table;
+pub use vacuum::{
+    heap_stats, set_auto_vacuum, vacuum_catalog, vacuum_file, vacuum_table, wait_for_auto_vacuum,
+    AutoVacuum, HeapStats, VacuumReport,
+};
 pub use value::{OrderedF64, Value, ValueType};
+pub use wal::{JournalWriter, Recovery};

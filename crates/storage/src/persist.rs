@@ -53,14 +53,17 @@
 use crate::dictionary::Dictionary;
 use crate::encoded::{EncodedColumn, Encoding, SegmentEnc};
 use crate::error::StorageError;
+use crate::fault;
 use crate::rle_segment::RleSegment;
 use crate::schema::{ColumnDef, Schema};
 use crate::segment::{Segment, Zone};
 use crate::store::{
-    encode_payload, payload_encoded_len, segment_cache, DiskLoc, PayloadSource, SegMeta, SegSlot,
+    encode_payload, file_id_of, payload_encoded_len, segment_cache, DiskLoc, FileId, PayloadSource,
+    SegMeta, SegSlot,
 };
 use crate::table::Table;
 use crate::value::{Value, ValueType};
+use crate::wal;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cods_bitmap::{RleSeq, Wah};
 use std::collections::HashMap;
@@ -74,7 +77,7 @@ pub const VERSION: u16 = 6;
 pub const MIN_VERSION: u16 = 1;
 
 /// `magic:u32 version:u16`.
-const PREAMBLE_LEN: usize = 6;
+pub(crate) const PREAMBLE_LEN: usize = 6;
 /// `meta_off:u64 magic:u32`.
 const FOOTER_LEN: usize = 12;
 
@@ -467,18 +470,33 @@ struct HeapBuilder<'a> {
     /// Canonical path of the append target; slots whose payload source is
     /// this file are reused in place.
     reuse: Option<&'a Path>,
+    /// Inode identity of the append target. A slot whose source path
+    /// matches but whose handle is bound to a *different* inode (the file
+    /// was vacuumed/replaced since that slot was opened) must not donate
+    /// its stale offsets — it gets copied like any foreign payload.
+    reuse_id: Option<FileId>,
+    /// Distinct old-heap extents kept alive by this save (dead-space
+    /// accounting for the auto-vacuum trigger).
+    reused: std::collections::HashSet<(u64, u64)>,
     placements: Vec<Placement>,
 }
 
 impl<'a> HeapBuilder<'a> {
-    fn new(base: u64, reuse: Option<&'a Path>) -> HeapBuilder<'a> {
+    fn new(base: u64, reuse: Option<&'a Path>, reuse_id: Option<FileId>) -> HeapBuilder<'a> {
         HeapBuilder {
             buf: BytesMut::new(),
             next: base,
             placed: HashMap::new(),
             reuse,
+            reuse_id,
+            reused: std::collections::HashSet::new(),
             placements: Vec::new(),
         }
+    }
+
+    /// Old-heap bytes still referenced by the metadata this save writes.
+    fn reused_bytes(&self) -> u64 {
+        self.reused.iter().map(|&(_, len)| len).sum()
     }
 
     /// Returns the heap location of `slot`'s payload, placing it on first
@@ -486,7 +504,11 @@ impl<'a> HeapBuilder<'a> {
     /// decoding; fresh slots are encoded from their resident payload.
     fn place(&mut self, slot: &SegSlot) -> Result<(u64, u64), StorageError> {
         if let Some(loc) = slot.disk_loc() {
-            if self.reuse.is_some() && loc.source.path() == self.reuse {
+            if self.reuse.is_some()
+                && loc.source.path() == self.reuse
+                && (self.reuse_id.is_none() || loc.source.file_id() == self.reuse_id)
+            {
+                self.reused.insert((loc.offset, loc.len));
                 return Ok((loc.offset, loc.len));
             }
         }
@@ -566,8 +588,10 @@ fn put_table_v6<B: BufMut>(
 }
 
 /// What a save writes: one table, or a catalog snapshot.
-enum Content<'a> {
+pub(crate) enum Content<'a> {
+    /// A single-table file.
     Table(&'a Table),
+    /// A catalog file (table count + tables).
     Catalog(Vec<Arc<Table>>),
 }
 
@@ -576,6 +600,34 @@ impl Content<'_> {
         match self {
             Content::Table(t) => vec![t],
             Content::Catalog(ts) => ts.iter().map(|t| t.as_ref()).collect(),
+        }
+    }
+
+    /// An owning copy (cheap: tables share their columns by `Arc`) for the
+    /// background vacuum, which outlives the borrow a save holds.
+    pub(crate) fn to_owned_content(&self) -> OwnedContent {
+        match self {
+            Content::Table(t) => OwnedContent::Table((*t).clone()),
+            Content::Catalog(ts) => OwnedContent::Catalog(ts.clone()),
+        }
+    }
+}
+
+/// An owning [`Content`] — what a background vacuum task carries across
+/// threads.
+pub(crate) enum OwnedContent {
+    /// A single-table file.
+    Table(Table),
+    /// A catalog file.
+    Catalog(Vec<Arc<Table>>),
+}
+
+impl OwnedContent {
+    /// Borrows back as a [`Content`] for the writer paths.
+    pub(crate) fn as_content(&self) -> Content<'_> {
+        match self {
+            OwnedContent::Table(t) => Content::Table(t),
+            OwnedContent::Catalog(ts) => Content::Catalog(ts.clone()),
         }
     }
 }
@@ -600,7 +652,7 @@ fn put_content<B: BufMut>(
 /// Builds a complete v6 image in memory (fresh saves and the in-memory
 /// encode path).
 fn build_image(what: &Content<'_>) -> Result<(Bytes, Vec<Placement>), StorageError> {
-    let mut heap = HeapBuilder::new(PREAMBLE_LEN as u64, None);
+    let mut heap = HeapBuilder::new(PREAMBLE_LEN as u64, None, None);
     let mut meta = BytesMut::new();
     put_content(&mut meta, &mut heap, what)?;
     let meta_off = heap.next;
@@ -617,6 +669,18 @@ fn build_image(what: &Content<'_>) -> Result<(Bytes, Vec<Placement>), StorageErr
     Ok((out.freeze(), placements))
 }
 
+/// The product of [`build_append_tail`]: the bytes to write from the old
+/// metadata offset, the adoption list, and the heap accounting the
+/// auto-vacuum trigger wants.
+struct AppendTail {
+    tail: Bytes,
+    placements: Vec<Placement>,
+    /// Old-heap bytes the new metadata still references.
+    live_reused: u64,
+    /// Heap end (= new metadata offset) after this save.
+    heap_end: u64,
+}
+
 /// Builds the tail of an append-save: payloads new to the target file,
 /// the rewritten metadata region, and the footer — everything from the old
 /// metadata offset to the new end of file.
@@ -624,11 +688,13 @@ fn build_append_tail(
     what: &Content<'_>,
     base: u64,
     target: &Path,
-) -> Result<(Bytes, Vec<Placement>), StorageError> {
-    let mut heap = HeapBuilder::new(base, Some(target));
+    target_id: Option<FileId>,
+) -> Result<AppendTail, StorageError> {
+    let mut heap = HeapBuilder::new(base, Some(target), target_id);
     let mut meta = BytesMut::new();
     put_content(&mut meta, &mut heap, what)?;
     let meta_off = heap.next;
+    let live_reused = heap.reused_bytes();
     let HeapBuilder {
         buf, placements, ..
     } = heap;
@@ -637,7 +703,12 @@ fn build_append_tail(
     tail.put_slice(meta.freeze().as_slice());
     tail.put_u64_le(meta_off);
     tail.put_u32_le(MAGIC);
-    Ok((tail.freeze(), placements))
+    Ok(AppendTail {
+        tail: tail.freeze(),
+        placements,
+        live_reused,
+        heap_end: meta_off,
+    })
 }
 
 /// Decides whether saving `what` onto `path` can append: the target must
@@ -645,13 +716,20 @@ fn build_append_tail(
 /// content's segments. Returns the old metadata offset (where appended
 /// payloads go) and the canonical target path. Any doubt falls back to a
 /// full rewrite.
-fn append_point(what: &Content<'_>, path: &Path) -> Option<(u64, PathBuf)> {
+fn append_point(what: &Content<'_>, path: &Path) -> Option<(u64, PathBuf, Option<FileId>)> {
     let canon = std::fs::canonicalize(path).ok()?;
+    // Identity of the inode currently at the path: a slot opened before a
+    // vacuum replaced the file holds offsets into the *old* inode, and
+    // must not be treated as already-present in the new one.
+    let target_id = std::fs::metadata(&canon).ok().and_then(|m| file_id_of(&m));
     let referenced = what.tables().iter().any(|t| {
         t.columns().iter().any(|c| {
-            c.segments()
-                .iter()
-                .any(|s| s.disk_loc().map(|l| l.source.path()) == Some(Some(&canon)))
+            c.segments().iter().any(|s| {
+                s.disk_loc().is_some_and(|l| {
+                    l.source.path() == Some(canon.as_path())
+                        && (target_id.is_none() || l.source.file_id() == target_id)
+                })
+            })
         })
     });
     if !referenced {
@@ -680,7 +758,7 @@ fn append_point(what: &Content<'_>, path: &Path) -> Option<(u64, PathBuf)> {
     if meta_off < PREAMBLE_LEN as u64 || meta_off > len - FOOTER_LEN as u64 {
         return None;
     }
-    Some((meta_off, canon))
+    Some((meta_off, canon, target_id))
 }
 
 /// After a successful save: freshly built segments adopt their new on-disk
@@ -692,7 +770,7 @@ fn adopt_placements(path: &Path, placements: Vec<Placement>) -> Result<(), Stora
     }
     let file = std::fs::File::open(path)?;
     let canon = std::fs::canonicalize(path)?;
-    let source = Arc::new(PayloadSource::File { file, path: canon });
+    let source = Arc::new(PayloadSource::for_file(file, canon));
     let store = segment_cache();
     for (slot, offset, len) in placements {
         let loc = DiskLoc {
@@ -707,24 +785,215 @@ fn adopt_placements(path: &Path, placements: Vec<Placement>) -> Result<(), Stora
     Ok(())
 }
 
+/// Durable whole-file replacement: the image is written to a sibling temp
+/// file, synced, and atomically renamed over the target — the rename is
+/// the commit point, so a crash leaves either the old file or the new one,
+/// never a half-written hybrid.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    let res = (|| -> Result<(), StorageError> {
+        let mut f = fault::create(&tmp)?;
+        fault::write_all(&mut f, bytes)?;
+        fault::sync(&f)?;
+        drop(f);
+        fault::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if res.is_err() {
+        // Best-effort cleanup; under a simulated crash this fails too (as
+        // it would for real) and the stale temp file is simply re-created
+        // by the next save.
+        let _ = fault::remove_file(&tmp);
+    }
+    res
+}
+
+/// What an append-save leaves behind, for the auto-vacuum trigger: heap
+/// accounting plus the exact `(file_len, meta_off)` it committed (so the
+/// background task can tell whether it is still looking at this save).
+struct AppendStats {
+    dead_bytes: u64,
+    heap_bytes: u64,
+    file_len: u64,
+    meta_off: u64,
+}
+
+/// In-place tail overwrite under a rollback journal (the append-save
+/// commit protocol; see [`crate::wal`]).
+fn save_append(
+    what: &Content<'_>,
+    path: &Path,
+    base: u64,
+    canon: &Path,
+    target_id: Option<FileId>,
+) -> Result<AppendStats, StorageError> {
+    let AppendTail {
+        tail,
+        placements,
+        live_reused,
+        heap_end,
+    } = build_append_tail(what, base, canon, target_id)?;
+    // 1. Journal the old tail durably — before the target is touched.
+    let guard = wal::TailGuard::begin(path, base)?;
+    // 2. Overwrite the tail and sync.
+    let write = (|| -> Result<(), StorageError> {
+        use std::io::{Seek, SeekFrom};
+        let mut f = fault::open_rw(path)?;
+        f.seek(SeekFrom::Start(base))?;
+        fault::write_all(&mut f, tail.as_slice())?;
+        fault::set_len(&f, base + tail.len() as u64)?;
+        fault::sync(&f)?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        guard.abort(); // roll back in-process; or at next open if we "died"
+        return Err(e);
+    }
+    // 3. Commit point: delete the journal. If even this fails, the next
+    //    open rolls back to the old catalog — so adoption must not happen.
+    guard.commit()?;
+    // 4. Only now — the file is fully committed — may fresh slots adopt
+    //    their on-disk locations.
+    adopt_placements(path, placements)?;
+    let old_heap = base - PREAMBLE_LEN as u64;
+    Ok(AppendStats {
+        dead_bytes: old_heap.saturating_sub(live_reused),
+        heap_bytes: heap_end - PREAMBLE_LEN as u64,
+        file_len: base + tail.len() as u64,
+        meta_off: heap_end,
+    })
+}
+
+/// Full-rewrite save: a fresh image through [`write_atomic`].
+fn save_rewrite(what: &Content<'_>, path: &Path) -> Result<(), StorageError> {
+    let (image, placements) = build_image(what)?;
+    write_atomic(path, image.as_slice())?;
+    adopt_placements(path, placements)
+}
+
 fn save_content(what: &Content<'_>, path: &Path) -> Result<(), StorageError> {
-    let placements = match append_point(what, path) {
-        Some((base, canon)) => {
-            let (tail, placements) = build_append_tail(what, base, &canon)?;
-            use std::io::{Seek, SeekFrom, Write};
-            let mut f = std::fs::OpenOptions::new().write(true).open(path)?;
-            f.seek(SeekFrom::Start(base))?;
-            f.write_all(tail.as_slice())?;
-            f.set_len(base + tail.len() as u64)?;
-            placements
+    let lock = wal::path_lock(path);
+    let stats = {
+        let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        // A previous save may have died here: honor its journal first, so
+        // `append_point` sees the last committed footer.
+        if path.exists() {
+            wal::recover(path)?;
         }
-        None => {
-            let (image, placements) = build_image(what)?;
-            std::fs::write(path, image.as_slice())?;
-            placements
+        match append_point(what, path) {
+            Some((base, canon, id)) => Some(save_append(what, path, base, &canon, id)?),
+            None => {
+                save_rewrite(what, path)?;
+                None
+            }
         }
     };
-    adopt_placements(path, placements)
+    // Outside the lock: the background vacuum takes it itself.
+    if let Some(s) = stats {
+        crate::vacuum::consider_auto(
+            what,
+            path,
+            s.dead_bytes,
+            s.heap_bytes,
+            (s.file_len, s.meta_off),
+        );
+    }
+    Ok(())
+}
+
+/// Compacts `what` into a fresh heap at `path` via [`write_atomic`], then
+/// *rebinds* every live slot to its location in the compacted file (the
+/// vacuum path — offsets move, so this overwrites existing `DiskLoc`s
+/// rather than attach-once). The caller must hold the file's
+/// [`wal::path_lock`]. Returns `(before_bytes, after_bytes,
+/// live_payload_bytes, segments)`.
+pub(crate) fn rewrite_compacted(
+    what: &Content<'_>,
+    path: &Path,
+) -> Result<(u64, u64, u64, usize), StorageError> {
+    if path.exists() {
+        wal::recover(path)?;
+    }
+    let before = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let (image, placements) = build_image(what)?;
+    let after = image.len() as u64;
+    write_atomic(path, image.as_slice())?;
+    // Rebind: every distinct slot was placed, so every live payload now
+    // points into the compacted file. Slots opened from the *old* inode by
+    // other snapshots keep their open handle (the unlinked inode stays
+    // readable on unix) and fall back to copy-on-save thanks to the
+    // file-identity check in `append_point`/`HeapBuilder::place`.
+    let file = std::fs::File::open(path)?;
+    let canon = std::fs::canonicalize(path)?;
+    let source = Arc::new(PayloadSource::for_file(file, canon));
+    let store = segment_cache();
+    let segments = placements.len();
+    let mut live = 0u64;
+    for (slot, offset, len) in placements {
+        live += len;
+        let loc = DiskLoc {
+            source: Arc::clone(&source),
+            offset,
+            len,
+        };
+        if slot.rebind_disk(loc) {
+            store.adopt(&slot);
+        }
+    }
+    Ok((before, after, live, segments))
+}
+
+/// Reads and validates the footer of a v6 file without decoding anything
+/// else. Returns `(file_len, meta_off)`.
+pub(crate) fn v6_footer(path: &Path) -> Result<(u64, u64), StorageError> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; PREAMBLE_LEN];
+    f.read_exact(&mut head).map_err(|_| eof())?;
+    check_header(&mut &head[..])?;
+    let version = u16::from_le_bytes(head[4..6].try_into().unwrap());
+    if version < 6 {
+        return Err(StorageError::PersistError(format!(
+            "version {version} file has no payload heap"
+        )));
+    }
+    let len = f.metadata()?.len();
+    if len < (PREAMBLE_LEN + FOOTER_LEN) as u64 {
+        return Err(torn_tail(path, format!("file is only {len} bytes")));
+    }
+    f.seek(SeekFrom::Start(len - FOOTER_LEN as u64))?;
+    let mut foot = [0u8; FOOTER_LEN];
+    f.read_exact(&mut foot)?;
+    let tail_magic = u32::from_le_bytes(foot[8..12].try_into().unwrap());
+    if tail_magic != MAGIC {
+        return Err(torn_tail(
+            path,
+            format!("bad footer magic 0x{tail_magic:08x}"),
+        ));
+    }
+    let meta_off = u64::from_le_bytes(foot[0..8].try_into().unwrap());
+    if meta_off < PREAMBLE_LEN as u64 || meta_off > len - FOOTER_LEN as u64 {
+        return Err(torn_tail(
+            path,
+            format!("footer metadata offset {meta_off} outside file of {len} bytes"),
+        ));
+    }
+    Ok((len, meta_off))
+}
+
+/// The typed corruption error for a file whose footer does not validate:
+/// an interrupted save tore the tail and no rollback journal survives to
+/// repair it. Carries a recovery hint.
+fn torn_tail(path: &Path, detail: String) -> StorageError {
+    StorageError::Corrupt(format!(
+        "{}: torn tail ({detail}); an interrupted save corrupted the footer and \
+         no rollback journal ({}) is present to roll it back — restore the file \
+         from a copy or re-create it with a fresh save",
+        path.display(),
+        wal::wal_path(path).display(),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -1033,11 +1302,32 @@ pub fn save_table(t: &Table, path: impl AsRef<Path>) -> Result<(), StorageError>
     save_content(&Content::Table(t), path.as_ref())
 }
 
+/// Runs crash recovery for `path` (under its save lock) before a read:
+/// a hot rollback journal from an interrupted save is applied — or, when
+/// torn, discarded — so the read sees the last committed state.
+fn recover_before_read(path: &Path) -> Result<(), StorageError> {
+    if !path.exists() && !wal::wal_path(path).exists() {
+        return Ok(());
+    }
+    let lock = wal::path_lock(path);
+    let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+    wal::recover(path)?;
+    Ok(())
+}
+
 /// Reads a table from a file. A v6 file opens as metadata only — segment
 /// payloads stay on disk and fault in through the buffer cache on first
-/// touch. Older versions load fully resident.
+/// touch. Older versions load fully resident. Detects an interrupted save
+/// first and rolls the file back to its last committed footer.
 pub fn read_table(path: impl AsRef<Path>) -> Result<Table, StorageError> {
     let path = path.as_ref();
+    recover_before_read(path)?;
+    read_table_raw(path)
+}
+
+/// [`read_table`] without the recovery step — for callers (vacuum) that
+/// already hold the file's save lock and have recovered it.
+pub(crate) fn read_table_raw(path: &Path) -> Result<Table, StorageError> {
     match open_v6_file(path)? {
         None => {
             let bytes = std::fs::read(path)?;
@@ -1073,28 +1363,30 @@ fn open_v6_file(path: &Path) -> Result<Option<(Bytes, u64, Arc<PayloadSource>)>,
     }
     let len = file.metadata()?.len();
     if len < (PREAMBLE_LEN + FOOTER_LEN) as u64 {
-        return Err(eof());
+        return Err(torn_tail(path, format!("file is only {len} bytes")));
     }
     file.seek(SeekFrom::Start(len - FOOTER_LEN as u64))?;
     let mut foot = [0u8; FOOTER_LEN];
     file.read_exact(&mut foot)?;
     let tail_magic = u32::from_le_bytes(foot[8..12].try_into().unwrap());
     if tail_magic != MAGIC {
-        return Err(StorageError::PersistError(format!(
-            "bad footer magic 0x{tail_magic:08x}"
-        )));
+        return Err(torn_tail(
+            path,
+            format!("bad footer magic 0x{tail_magic:08x}"),
+        ));
     }
     let meta_off = u64::from_le_bytes(foot[0..8].try_into().unwrap());
     if meta_off < PREAMBLE_LEN as u64 || meta_off > len - FOOTER_LEN as u64 {
-        return Err(StorageError::PersistError(format!(
-            "footer metadata offset {meta_off} outside file of {len} bytes"
-        )));
+        return Err(torn_tail(
+            path,
+            format!("footer metadata offset {meta_off} outside file of {len} bytes"),
+        ));
     }
     file.seek(SeekFrom::Start(meta_off))?;
     let mut meta = vec![0u8; (len - FOOTER_LEN as u64 - meta_off) as usize];
     file.read_exact(&mut meta)?;
     let canon = std::fs::canonicalize(path)?;
-    let source = Arc::new(PayloadSource::File { file, path: canon });
+    let source = Arc::new(PayloadSource::for_file(file, canon));
     Ok(Some((Bytes::from(meta), meta_off, source)))
 }
 
@@ -1165,8 +1457,17 @@ pub fn save_catalog(
 }
 
 /// Reads a catalog from a file (lazily for v6 — see [`read_table`]).
+/// Detects an interrupted save first and rolls the file back to its last
+/// committed footer.
 pub fn read_catalog(path: impl AsRef<Path>) -> Result<crate::catalog::Catalog, StorageError> {
     let path = path.as_ref();
+    recover_before_read(path)?;
+    read_catalog_raw(path)
+}
+
+/// [`read_catalog`] without the recovery step — for callers (vacuum) that
+/// already hold the file's save lock and have recovered it.
+pub(crate) fn read_catalog_raw(path: &Path) -> Result<crate::catalog::Catalog, StorageError> {
     match open_v6_file(path)? {
         None => {
             let bytes = std::fs::read(path)?;

@@ -74,6 +74,27 @@ impl SegMeta {
     }
 }
 
+/// A stable identity for an open file: `(device, inode)` on unix. Saves
+/// and vacuums compare it against the file currently at a path to detect
+/// stale handles — after a vacuum rewrote a file via rename, slots opened
+/// from the *old* inode must not donate their (now meaningless) offsets to
+/// an append-save onto the new one.
+pub(crate) type FileId = (u64, u64);
+
+/// The identity of the file behind `meta`, when the platform exposes one.
+#[cfg(unix)]
+pub(crate) fn file_id_of(meta: &std::fs::Metadata) -> Option<FileId> {
+    use std::os::unix::fs::MetadataExt;
+    Some((meta.dev(), meta.ino()))
+}
+
+/// Fallback for platforms without stable file identities: callers fall
+/// back to path equality (the pre-vacuum behavior).
+#[cfg(not(unix))]
+pub(crate) fn file_id_of(_meta: &std::fs::Metadata) -> Option<FileId> {
+    None
+}
+
 /// Where a segment payload lives when it is not decoded in memory.
 #[derive(Debug)]
 pub enum PayloadSource {
@@ -86,10 +107,25 @@ pub enum PayloadSource {
         file: std::fs::File,
         /// Canonicalized path of the file.
         path: std::path::PathBuf,
+        /// Identity of the inode the handle is bound to (see [`FileId`]).
+        id: Option<FileId>,
     },
 }
 
 impl PayloadSource {
+    /// Wraps an open file, capturing its identity.
+    pub(crate) fn for_file(file: std::fs::File, path: std::path::PathBuf) -> PayloadSource {
+        let id = file.metadata().ok().and_then(|m| file_id_of(&m));
+        PayloadSource::File { file, path, id }
+    }
+
+    /// The identity of the backing inode, when file-backed and known.
+    pub(crate) fn file_id(&self) -> Option<FileId> {
+        match self {
+            PayloadSource::Bytes(_) => None,
+            PayloadSource::File { id, .. } => *id,
+        }
+    }
     /// Reads `len` bytes at `offset`.
     pub(crate) fn read_at(&self, offset: u64, len: u64) -> std::io::Result<Vec<u8>> {
         match self {
@@ -147,9 +183,10 @@ pub struct DiskLoc {
 #[derive(Debug)]
 pub(crate) struct SlotInner {
     meta: SegMeta,
-    /// Set once: where the payload can be reloaded from. Fresh slots gain a
-    /// location when the table is saved (and only then become evictable).
-    disk: OnceLock<DiskLoc>,
+    /// Where the payload can be reloaded from. Fresh slots gain a location
+    /// when the table is saved (and only then become evictable); a vacuum
+    /// *rebinds* the location to the compacted file it just wrote.
+    disk: RwLock<Option<DiskLoc>>,
     /// The decoded payload, `None` while paged out.
     payload: RwLock<Option<SegmentEnc>>,
     /// Pinned slots are never evicted.
@@ -163,7 +200,7 @@ impl Drop for SlotInner {
     fn drop(&mut self) {
         // A cache-managed (disk-backed) slot that dies while resident gives
         // its bytes back to the gauge; ring entries are reaped lazily.
-        if self.disk.get().is_some() && self.payload.get_mut().is_some() {
+        if self.disk.get_mut().is_some() && self.payload.get_mut().is_some() {
             segment_cache()
                 .resident
                 .fetch_sub(self.meta.bytes as u64, Ordering::Relaxed);
@@ -182,7 +219,7 @@ impl SegSlot {
     pub(crate) fn fresh(enc: SegmentEnc) -> SegSlot {
         SegSlot(Arc::new(SlotInner {
             meta: SegMeta::of(&enc),
-            disk: OnceLock::new(),
+            disk: RwLock::new(None),
             payload: RwLock::new(Some(enc)),
             pinned: AtomicBool::new(false),
             touched: AtomicBool::new(false),
@@ -192,11 +229,9 @@ impl SegSlot {
     /// Builds a paged-out slot from decoded metadata and a disk location
     /// (the v6 open path).
     pub(crate) fn on_disk(meta: SegMeta, loc: DiskLoc, pinned: bool) -> SegSlot {
-        let disk = OnceLock::new();
-        disk.set(loc).expect("fresh OnceLock");
         SegSlot(Arc::new(SlotInner {
             meta,
-            disk,
+            disk: RwLock::new(Some(loc)),
             payload: RwLock::new(None),
             pinned: AtomicBool::new(pinned),
             touched: AtomicBool::new(false),
@@ -215,15 +250,41 @@ impl SegSlot {
     }
 
     /// The payload's reload location, when the slot is disk-backed.
-    pub(crate) fn disk_loc(&self) -> Option<&DiskLoc> {
-        self.0.disk.get()
+    /// (A clone: `DiskLoc` is an `Arc` plus two integers.)
+    pub(crate) fn disk_loc(&self) -> Option<DiskLoc> {
+        self.0.disk.read().clone()
     }
 
     /// Attaches a reload location to a fresh slot after a save. Returns
     /// `true` when newly attached (the caller then enrols the slot in the
     /// cache); a second save is a no-op.
     pub(crate) fn attach_disk(&self, loc: DiskLoc) -> bool {
-        self.0.disk.set(loc).is_ok()
+        let mut guard = self.0.disk.write();
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(loc);
+        true
+    }
+
+    /// Rebinds the reload location unconditionally — the vacuum path,
+    /// after it rewrote the backing file and every offset moved. Returns
+    /// `true` when the slot was fresh (had no location) before, in which
+    /// case the caller must enrol it in the cache like a first save.
+    pub(crate) fn rebind_disk(&self, loc: DiskLoc) -> bool {
+        let mut guard = self.0.disk.write();
+        let was_fresh = guard.is_none();
+        *guard = Some(loc);
+        was_fresh
+    }
+
+    /// Canonical path of the backing file, when the slot is file-backed.
+    pub fn backing_path(&self) -> Option<std::path::PathBuf> {
+        self.0
+            .disk
+            .read()
+            .as_ref()
+            .and_then(|loc| loc.source.path().map(|p| p.to_path_buf()))
     }
 
     /// Whether this slot is pinned against eviction.
@@ -267,7 +328,7 @@ impl SegSlot {
             let guard = self.0.payload.read();
             if let Some(enc) = &*guard {
                 self.0.touched.store(true, Ordering::Relaxed);
-                if self.0.disk.get().is_some() {
+                if self.0.disk.read().is_some() {
                     store.hits.fetch_add(1, Ordering::Relaxed);
                 }
                 return Ok(enc.clone());
@@ -284,7 +345,8 @@ impl SegSlot {
             let loc = self
                 .0
                 .disk
-                .get()
+                .read()
+                .clone()
                 .expect("paged-out slot without a disk location");
             let raw = loc.source.read_at(loc.offset, loc.len)?;
             let enc = decode_payload(&self.0.meta, raw)?;
@@ -409,7 +471,7 @@ impl std::fmt::Debug for SegSlot {
             .field("encoding", &self.0.meta.encoding)
             .field("distinct", &self.0.meta.present_ids.len())
             .field("resident", &self.is_resident())
-            .field("on_disk", &self.0.disk.get().is_some())
+            .field("on_disk", &self.0.disk.read().is_some())
             .finish()
     }
 }
@@ -578,7 +640,7 @@ impl SegmentStore {
     /// resident bytes now count against the budget and it becomes
     /// evictable like any other cached segment.
     pub(crate) fn adopt(&self, slot: &SegSlot) {
-        debug_assert!(slot.0.disk.get().is_some());
+        debug_assert!(slot.0.disk.read().is_some());
         self.resident
             .fetch_add(slot.0.meta.bytes as u64, Ordering::Relaxed);
         slot.0.touched.store(true, Ordering::Relaxed);

@@ -3,9 +3,16 @@
 //! never silently wrong data.
 
 use cods::{Cods, DecomposeSpec, EvolutionError, MergeStrategy, Smo};
-use cods_storage::persist::{decode_table, encode_table, read_table, save_table};
-use cods_storage::{load_str, LoadOptions, Schema, StorageError, ValueType};
+use cods_storage::persist::{
+    decode_table, encode_table, read_catalog, read_table, save_catalog, save_table,
+};
+use cods_storage::{
+    fault, load_str, wal, Catalog, Encoding, LoadOptions, Schema, StorageError, Table, Value,
+    ValueType,
+};
 use cods_workload::{figure1, GenConfig};
+use std::collections::HashMap;
+use std::path::Path;
 
 #[test]
 fn corrupted_table_files_are_rejected() {
@@ -135,4 +142,257 @@ fn unknown_columns_in_specs_error() {
         err,
         Err(EvolutionError::Storage(StorageError::UnknownColumn(_)))
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point sweeps: simulate a power cut at every byte boundary of a save
+// and assert the file always reopens to exactly the old or the new state.
+// ---------------------------------------------------------------------------
+
+/// A tiny table with mixed-cardinality columns so both bitmap and RLE
+/// segments appear (16-row segments keep the sweep short).
+fn tiny(name: &str, rows: i64) -> Table {
+    let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Str)], &[]).unwrap();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::str(if i % 3 == 0 { "x" } else { "y" }),
+            ]
+        })
+        .collect();
+    Table::from_rows_with_segment_rows(name, schema, &data, 16).unwrap()
+}
+
+fn sweep_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cods_it_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+type Tuples = HashMap<Vec<Value>, u64>;
+
+fn tuples(cat: &Catalog, table: &str) -> Tuples {
+    cat.get(table).unwrap().tuple_multiset()
+}
+
+/// Kill an append-save at every byte/syscall boundary. Whatever the crash
+/// point, reopening the file must recover to exactly the committed old
+/// state or the fully committed new state — never an error, never a blend —
+/// and payloads of the failed save must stay un-adopted.
+#[test]
+fn crash_sweep_append_save_reopens_old_or_new() {
+    let dir = sweep_dir("crash_append");
+    let path = dir.join("sweep.catalog");
+
+    // Old state: one table, committed normally.
+    let cat = Catalog::new();
+    cat.create(tiny("a", 32)).unwrap();
+    save_catalog(&cat, &path).unwrap();
+    let old_a = tuples(&read_catalog(&path).unwrap(), "a");
+    let pristine = std::fs::read(&path).unwrap();
+
+    // The evolved save under test: reopen from disk (so unchanged segments
+    // reuse their extents), recode a column (fresh payloads for an existing
+    // table) and create a brand-new table (fresh everything).
+    let evolve = |path: &Path| -> Catalog {
+        let cat = read_catalog(path).unwrap();
+        let a = cat.get("a").unwrap();
+        cat.put(a.with_column_encoding("v", Encoding::Rle).unwrap());
+        cat.create(tiny("b", 16)).unwrap();
+        cat
+    };
+
+    // Probe run: count the crash points of one full save, and capture the
+    // new state it commits.
+    let probe = evolve(&path);
+    fault::arm(u64::MAX);
+    save_catalog(&probe, &path).unwrap();
+    fault::disarm();
+    let total = fault::units();
+    assert!(total > 0, "append-save must pass through the fault layer");
+    // Positive control for adopt-after-commit: the committed save adopted
+    // the fresh table's payloads into the heap.
+    assert!(probe
+        .get("b")
+        .unwrap()
+        .columns()
+        .iter()
+        .flat_map(|c| c.segments())
+        .all(|s| s.backing_path().is_some()));
+    let reopened = read_catalog(&path).unwrap();
+    let new_a = tuples(&reopened, "a");
+    let new_b = tuples(&reopened, "b");
+
+    for budget in 0..total {
+        // Back to the pristine old file. Overwrite in place (same inode, so
+        // handles held by earlier opens stay coherent) and drop any journal
+        // the previous iteration's crash left behind.
+        std::fs::write(&path, &pristine).unwrap();
+        std::fs::remove_file(wal::wal_path(&path)).ok();
+
+        let cat = evolve(&path);
+        fault::arm(budget);
+        let res = save_catalog(&cat, &path);
+        fault::disarm();
+        assert!(
+            res.is_err(),
+            "budget {budget}/{total}: save survived the crash"
+        );
+
+        // A failed save must not have adopted the new table's payloads.
+        assert!(
+            cat.get("b")
+                .unwrap()
+                .columns()
+                .iter()
+                .flat_map(|c| c.segments())
+                .all(|s| s.backing_path().is_none()),
+            "budget {budget}/{total}: failed save adopted fresh payloads"
+        );
+
+        // Reopen = crash recovery. Must land on old or new, never an error.
+        let got = read_catalog(&path)
+            .unwrap_or_else(|e| panic!("budget {budget}/{total}: reopen failed: {e}"));
+        if got.contains("b") {
+            assert_eq!(tuples(&got, "a"), new_a, "budget {budget}: new state torn");
+            assert_eq!(tuples(&got, "b"), new_b, "budget {budget}: new state torn");
+        } else {
+            assert_eq!(tuples(&got, "a"), old_a, "budget {budget}: old state torn");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill a first-ever save (the temp-file + rename rewrite path) at every
+/// boundary: the target path must either not exist at all or be the
+/// complete new file — a partial image must never land under the real name.
+#[test]
+fn crash_sweep_fresh_save_is_atomic() {
+    let dir = sweep_dir("crash_fresh");
+    let path = dir.join("fresh.catalog");
+    let make = || {
+        let cat = Catalog::new();
+        cat.create(tiny("a", 32)).unwrap();
+        cat
+    };
+
+    fault::arm(u64::MAX);
+    save_catalog(&make(), &path).unwrap();
+    fault::disarm();
+    let total = fault::units();
+    assert!(total > 0);
+    let want = tuples(&read_catalog(&path).unwrap(), "a");
+    std::fs::remove_file(&path).unwrap();
+
+    for budget in 0..total {
+        let cat = make();
+        fault::arm(budget);
+        let res = save_catalog(&cat, &path);
+        fault::disarm();
+        assert!(
+            res.is_err(),
+            "budget {budget}/{total}: save survived the crash"
+        );
+        if path.exists() {
+            // Rename happened: the file must be the complete new image.
+            let got = read_catalog(&path)
+                .unwrap_or_else(|e| panic!("budget {budget}/{total}: partial file landed: {e}"));
+            assert_eq!(tuples(&got, "a"), want);
+            std::fs::remove_file(&path).unwrap();
+        } else {
+            assert!(matches!(
+                read_catalog(&path),
+                Err(StorageError::PersistError(_))
+            ));
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill a full-rewrite save over an *existing* file (new content that shares
+/// nothing with the old) at every boundary: the old file stays byte-intact
+/// until the atomic rename, after which the new file is complete.
+#[test]
+fn crash_sweep_rewrite_over_existing_keeps_old_until_rename() {
+    let dir = sweep_dir("crash_rewrite");
+    let path = dir.join("rewrite.catalog");
+
+    let old = Catalog::new();
+    old.create(tiny("a", 32)).unwrap();
+    save_catalog(&old, &path).unwrap();
+    let old_a = tuples(&read_catalog(&path).unwrap(), "a");
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Unrelated content: nothing references the target file, so the save
+    // takes the rewrite path, not the append path.
+    let make = || {
+        let cat = Catalog::new();
+        cat.create(tiny("c", 16)).unwrap();
+        cat
+    };
+    fault::arm(u64::MAX);
+    save_catalog(&make(), &path).unwrap();
+    fault::disarm();
+    let total = fault::units();
+    assert!(total > 0);
+    let new_c = tuples(&read_catalog(&path).unwrap(), "c");
+
+    for budget in 0..total {
+        std::fs::write(&path, &pristine).unwrap();
+        std::fs::remove_file(wal::wal_path(&path)).ok();
+        let cat = make();
+        fault::arm(budget);
+        let res = save_catalog(&cat, &path);
+        fault::disarm();
+        assert!(
+            res.is_err(),
+            "budget {budget}/{total}: save survived the crash"
+        );
+        let got = read_catalog(&path)
+            .unwrap_or_else(|e| panic!("budget {budget}/{total}: reopen failed: {e}"));
+        if got.contains("c") {
+            assert_eq!(tuples(&got, "c"), new_c, "budget {budget}: new state torn");
+        } else {
+            assert_eq!(tuples(&got, "a"), old_a, "budget {budget}: old state torn");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A torn tail with no rollback journal to honor (e.g. the journal itself
+/// was lost) is unrecoverable — the reader must say so with a typed
+/// [`StorageError::Corrupt`] carrying a recovery hint, not a panic and not
+/// a generic decode error.
+#[test]
+fn torn_tail_without_journal_is_typed_corrupt_with_hint() {
+    let dir = sweep_dir("torn_tail");
+    let path = dir.join("torn.catalog");
+    let cat = Catalog::new();
+    cat.create(tiny("a", 32)).unwrap();
+    save_catalog(&cat, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Cut mid-footer, just before the footer, and mid-metadata.
+    for cut in [
+        bytes.len() - 1,
+        bytes.len() - 5,
+        bytes.len() - 13,
+        bytes.len() - 40,
+    ] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match read_catalog(&path) {
+            Err(StorageError::Corrupt(msg)) => {
+                assert!(msg.contains("torn tail"), "cut {cut}: {msg}");
+                assert!(msg.contains(".wal"), "cut {cut}: hint missing from {msg}");
+            }
+            other => panic!("cut {cut}: wanted Corrupt, got {other:?}"),
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
 }
