@@ -1,0 +1,170 @@
+//! Streaming scan delivery: a 1 Mi-row selective scan materialized in one
+//! row vector vs streamed in segment-sized batches, in-process and over a
+//! loopback TCP connection through the serving layer.
+//!
+//! Before timing, the three paths are cross-checked for byte-identical
+//! results, and the streamed path's peak resident rows are asserted to be
+//! bounded by one segment — streaming trades a little per-batch overhead
+//! for peak memory that no longer grows with the result size. The TCP
+//! path adds frame encode/checksum/decode and loopback copies on top;
+//! printing all three makes the serving layer's delivery tax visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cods::Cods;
+use cods_query::{filter_table, Predicate, ScanStream};
+use cods_server::{Client, Server, ServerConfig};
+use cods_storage::{Schema, Table, Value, ValueType};
+
+const ROWS: u64 = 1 << 20; // 1,048,576
+const SEGMENT_ROWS: u64 = 1 << 16; // 65,536 → 16 segments
+/// The predicate keeps every fourth row: a large, multi-segment result.
+const KEEP_MOD: i64 = 4;
+
+fn median_of(mut f: impl FnMut() -> Duration, runs: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..runs).map(|_| f()).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn build_table() -> Table {
+    let schema = Schema::build(
+        &[
+            ("k", ValueType::Int),
+            ("bucket", ValueType::Int),
+            ("tag", ValueType::Str),
+        ],
+        &[],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            vec![
+                Value::int(i as i64),
+                Value::int((i % 16) as i64),
+                Value::str(format!("tag-{}", i % 11)),
+            ]
+        })
+        .collect();
+    Table::from_rows_with_segment_rows("s", schema, &rows, SEGMENT_ROWS).unwrap()
+}
+
+fn pred() -> Predicate {
+    // bucket ∈ {0..KEEP_MOD}: selects 1/4 of every segment.
+    Predicate::lt("bucket", KEEP_MOD)
+}
+
+/// Materialized path: filter to a temporary table, then decode every row.
+fn scan_materialized(t: &Arc<Table>) -> Vec<Vec<Value>> {
+    filter_table(t, &pred()).unwrap().to_rows()
+}
+
+/// Streamed path; returns the rows plus the largest single batch seen.
+fn scan_streamed(t: &Arc<Table>) -> (Vec<Vec<Value>>, usize) {
+    let stream = ScanStream::new(Arc::clone(t), &pred(), None).unwrap();
+    let mut rows = Vec::new();
+    let mut peak_batch = 0usize;
+    for batch in stream {
+        peak_batch = peak_batch.max(batch.rows.len());
+        rows.extend(batch.rows);
+    }
+    (rows, peak_batch)
+}
+
+fn bench_serve_stream(c: &mut Criterion) {
+    let cods = Arc::new(Cods::new());
+    cods.catalog().create(build_table()).unwrap();
+    let table = cods.table("s").unwrap();
+
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&cods), ServerConfig::default())
+        .expect("bind ephemeral loopback server");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Verified-identical rows on all three paths before any timing, and a
+    // peak-memory bound on the streamed ones: no batch ever exceeds one
+    // segment's rows, while the materialized path holds the full result.
+    let want = scan_materialized(&table);
+    let (streamed, peak_batch) = scan_streamed(&table);
+    assert_eq!(streamed, want, "streamed scan diverges from materialized");
+    assert!(
+        peak_batch as u64 <= SEGMENT_ROWS,
+        "streamed batch of {peak_batch} rows exceeds the {SEGMENT_ROWS}-row segment bound"
+    );
+    let mut wire_rows = Vec::new();
+    let mut wire_peak = 0usize;
+    let summary = client
+        .scan_with("s", pred(), None, |_, rows| {
+            wire_peak = wire_peak.max(rows.len());
+            wire_rows.extend(rows);
+        })
+        .unwrap();
+    assert_eq!(wire_rows, want, "TCP-streamed scan diverges from local");
+    assert!(wire_peak as u64 <= SEGMENT_ROWS);
+    assert!(summary.batches > 1, "expected a multi-batch stream");
+    eprintln!(
+        "verify: {} rows identical on materialized / streamed / TCP paths; \
+         peak batch {} rows vs {} materialized",
+        want.len(),
+        peak_batch.max(wire_peak),
+        want.len()
+    );
+
+    eprintln!(
+        "\n== serve_stream ({ROWS} rows, {SEGMENT_ROWS}-row segments, 1/{KEEP_MOD} selected) =="
+    );
+    let mat = median_of(
+        || {
+            let start = Instant::now();
+            black_box(scan_materialized(&table));
+            start.elapsed()
+        },
+        5,
+    );
+    let streamed = median_of(
+        || {
+            let start = Instant::now();
+            black_box(scan_streamed(&table));
+            start.elapsed()
+        },
+        5,
+    );
+    let wire = median_of(
+        || {
+            let start = Instant::now();
+            let mut n = 0u64;
+            client
+                .scan_with("s", pred(), None, |_, rows| n += rows.len() as u64)
+                .unwrap();
+            black_box(n);
+            start.elapsed()
+        },
+        5,
+    );
+    eprintln!("materialized {mat:>12?}   streamed {streamed:>12?}   tcp {wire:>12?}");
+
+    let mut group = c.benchmark_group("serve_stream");
+    group.sample_size(5);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("materialized", |b| {
+        b.iter(|| black_box(scan_materialized(&table)))
+    });
+    group.bench_function("streamed", |b| b.iter(|| black_box(scan_streamed(&table))));
+    group.bench_function("tcp", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            client
+                .scan_with("s", pred(), None, |_, rows| n += rows.len() as u64)
+                .unwrap();
+            black_box(n)
+        })
+    });
+    group.finish();
+    drop(handle);
+}
+
+criterion_group!(benches, bench_serve_stream);
+criterion_main!(benches);

@@ -8,5 +8,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod commands;
+pub mod remote;
 
 pub use commands::{run_command, Outcome, HELP};
+pub use remote::{connect_command, connect_repl, serve};

@@ -18,6 +18,34 @@ use cods_cli::{run_command, Outcome, HELP};
 use std::io::{BufRead, Write};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Network subcommands dispatch before the script-path fallback.
+    match args.get(1).map(String::as_str) {
+        Some("serve") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:4050");
+            let demo = args.iter().any(|a| a == "--demo");
+            if let Err(e) = cods_cli::serve(addr, demo) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("connect") => {
+            let Some(addr) = args.get(2) else {
+                eprintln!("usage: cods connect <addr>");
+                std::process::exit(1);
+            };
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            if let Err(e) = cods_cli::connect_repl(addr, stdin.lock(), &mut stdout, true) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
+
     let mut cods = Cods::new();
     let script = std::env::args().nth(1);
     let interactive = script.is_none();

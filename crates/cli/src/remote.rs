@@ -1,0 +1,372 @@
+//! The network side of the CLI: `cods serve <addr>` hosts a platform
+//! behind the framed TCP protocol, `cods connect <addr>` is a small
+//! client REPL over [`cods_server::Client`].
+//!
+//! The connect command language (one command per line):
+//!
+//! ```text
+//! ping                                    liveness probe
+//! refresh                                 re-pin the session snapshot
+//! metrics                                 server counters + buffer cache
+//! stats <table>                           table statistics at the snapshot
+//! tables? use `metrics` / `stats`; the catalog listing is script-side
+//! count <table> [where <col> <op> <lit>]  predicate-selected row count
+//! scan <table> [select c1,c2] [where …]   stream selected rows
+//! agg <table> by <c1,c2|-> <op:col,…> [where …]
+//! run <smo script>                        execute an SMO line remotely
+//! quit
+//! ```
+
+use cods_query::{AggOp, CmpOp, Predicate};
+use cods_server::{Client, ClientError, ServerConfig};
+use cods_storage::Value;
+use std::io::Write;
+
+/// Hosts `cods` behind `addr` until the process is killed. Pass
+/// `preload_demo` to start with the demo table (handy for quickstarts).
+pub fn serve(addr: &str, preload_demo: bool) -> Result<(), String> {
+    let mut cods = cods::Cods::new();
+    if preload_demo {
+        crate::run_command(&mut cods, "demo")?;
+    }
+    let handle =
+        cods_server::Server::bind(addr, std::sync::Arc::new(cods), ServerConfig::default())
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("serving on {}", handle.local_addr());
+    println!("connect with: cods connect {}", handle.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Runs the connect REPL against `addr`, reading commands from `input`
+/// and writing results to `out`.
+pub fn connect_repl(
+    addr: &str,
+    input: impl std::io::BufRead,
+    out: &mut impl Write,
+    interactive: bool,
+) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    writeln!(
+        out,
+        "connected to {addr} (catalog v{})",
+        client.catalog_version()
+    )
+    .ok();
+    if interactive {
+        write!(out, "cods@{addr}> ").ok();
+        out.flush().ok();
+    }
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if !line.is_empty() && !line.starts_with('#') {
+            match connect_command(&mut client, line, out) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(msg) => {
+                    writeln!(out, "error: {msg}").ok();
+                }
+            }
+        }
+        if interactive {
+            write!(out, "cods@{addr}> ").ok();
+            out.flush().ok();
+        }
+    }
+    Ok(())
+}
+
+/// Executes one connect-REPL command. Returns `true` to quit.
+pub fn connect_command(
+    client: &mut Client,
+    line: &str,
+    out: &mut impl Write,
+) -> Result<bool, String> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().unwrap_or("");
+    let rest: Vec<&str> = words.collect();
+    match cmd {
+        "quit" | "exit" => return Ok(true),
+        "ping" => {
+            client.ping().map_err(fmt_err)?;
+            writeln!(out, "pong").ok();
+        }
+        "refresh" => {
+            let v = client.refresh().map_err(fmt_err)?;
+            writeln!(out, "snapshot re-pinned at catalog v{v}").ok();
+        }
+        "metrics" => {
+            let m = client.metrics().map_err(fmt_err)?;
+            writeln!(
+                out,
+                "connections: {} open / {} total",
+                m.connections_open, m.connections_total
+            )
+            .ok();
+            writeln!(
+                out,
+                "requests: {} in flight, {} queued, {} admitted, {} rejected",
+                m.in_flight, m.queued, m.admitted_total, m.rejected_total
+            )
+            .ok();
+            writeln!(
+                out,
+                "streamed: {} rows, {} bytes",
+                m.rows_streamed, m.bytes_streamed
+            )
+            .ok();
+            writeln!(
+                out,
+                "cache: {} resident bytes, {} hits, {} misses, {} evictions",
+                m.cache.resident_bytes, m.cache.hits, m.cache.misses, m.cache.evictions
+            )
+            .ok();
+        }
+        "stats" => {
+            let table = rest.first().ok_or("usage: stats <table>")?;
+            let s = client.stats(table).map_err(fmt_err)?;
+            writeln!(
+                out,
+                "{table}@v{}: {} rows x {} cols, {} bytes, segments {} resident / {} on disk",
+                s.catalog_version,
+                s.rows,
+                s.arity,
+                s.total_bytes,
+                s.resident_segments,
+                s.on_disk_segments
+            )
+            .ok();
+        }
+        "count" => {
+            let (table, tail) = rest.split_first().ok_or("usage: count <table> [where …]")?;
+            let pred = parse_where(tail)?;
+            let (rows, selected, v) = client.mask(table, pred).map_err(fmt_err)?;
+            writeln!(out, "{selected} of {rows} rows satisfy (catalog v{v})").ok();
+        }
+        "scan" => {
+            let (table, tail) = rest.split_first().ok_or("usage: scan <table> …")?;
+            let (projection, tail) = parse_select(tail)?;
+            let pred = parse_where(tail)?;
+            let summary = client
+                .scan_with(table, pred, projection, |cols, rows| {
+                    for row in rows {
+                        let cells: Vec<String> = cols
+                            .iter()
+                            .zip(&row)
+                            .map(|((name, _), v)| format!("{name}={v}"))
+                            .collect();
+                        writeln!(out, "  {}", cells.join(", ")).ok();
+                    }
+                })
+                .map_err(fmt_err)?;
+            writeln!(
+                out,
+                "{} row(s) in {} batch(es)",
+                summary.rows, summary.batches
+            )
+            .ok();
+        }
+        "agg" => {
+            // agg <table> by <c1,c2|-> <op:col,…> [where …]
+            let (table, tail) = rest.split_first().ok_or(AGG_USAGE)?;
+            let tail = match tail.split_first() {
+                Some((&"by", t)) => t,
+                _ => return Err(AGG_USAGE.into()),
+            };
+            let (groups, tail) = tail.split_first().ok_or(AGG_USAGE)?;
+            let group_by: Vec<String> = if *groups == "-" {
+                Vec::new()
+            } else {
+                groups.split(',').map(str::to_string).collect()
+            };
+            let (specs, tail) = tail.split_first().ok_or(AGG_USAGE)?;
+            let aggs: Vec<(AggOp, String)> = specs
+                .split(',')
+                .map(parse_agg_spec)
+                .collect::<Result<_, String>>()?;
+            let pred = parse_where(tail)?;
+            let (cols, rows) = client.agg(table, pred, group_by, aggs).map_err(fmt_err)?;
+            let names: Vec<&str> = cols.iter().map(|(n, _)| n.as_str()).collect();
+            writeln!(out, "  {}", names.join(" | ")).ok();
+            for row in &rows {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                writeln!(out, "  {}", cells.join(" | ")).ok();
+            }
+            writeln!(out, "{} group(s)", rows.len()).ok();
+        }
+        "run" => {
+            if rest.is_empty() {
+                return Err("usage: run <smo script line>".into());
+            }
+            let script = rest.join(" ");
+            let msg = client.script(&script).map_err(fmt_err)?;
+            writeln!(out, "{msg}").ok();
+        }
+        "help" => {
+            writeln!(
+                out,
+                "commands: ping refresh metrics stats count scan agg run quit"
+            )
+            .ok();
+        }
+        other => return Err(format!("unknown command: {other} (try help)")),
+    }
+    Ok(false)
+}
+
+const AGG_USAGE: &str = "usage: agg <table> by <c1,c2|-> <op:col,…> [where …]";
+
+fn fmt_err(e: ClientError) -> String {
+    e.to_string()
+}
+
+/// `op:col` → aggregate spec; ops: count, distinct, sum, min, max.
+fn parse_agg_spec(spec: &str) -> Result<(AggOp, String), String> {
+    let (op, col) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad aggregate {spec:?}, want op:col"))?;
+    let op = match op {
+        "count" => AggOp::Count,
+        "distinct" => AggOp::CountDistinct,
+        "sum" => AggOp::Sum,
+        "min" => AggOp::Min,
+        "max" => AggOp::Max,
+        other => return Err(format!("unknown aggregate op {other:?}")),
+    };
+    Ok((op, col.to_string()))
+}
+
+/// Optional `select c1,c2` prefix; returns the projection and the rest.
+fn parse_select<'a>(words: &'a [&'a str]) -> Result<(Option<Vec<String>>, &'a [&'a str]), String> {
+    match words.split_first() {
+        Some((&"select", tail)) => {
+            let (cols, tail) = tail
+                .split_first()
+                .ok_or("select needs a column list: select c1,c2")?;
+            Ok((Some(cols.split(',').map(str::to_string).collect()), tail))
+        }
+        _ => Ok((None, words)),
+    }
+}
+
+/// Optional `where <col> <op> <literal>` suffix → predicate.
+fn parse_where(words: &[&str]) -> Result<Predicate, String> {
+    match words.split_first() {
+        None => Ok(Predicate::True),
+        Some((&"where", tail)) => match tail {
+            [col, op, lit @ ..] if !lit.is_empty() => {
+                let op = match *op {
+                    "=" | "==" => CmpOp::Eq,
+                    "!=" | "<>" => CmpOp::Ne,
+                    "<" => CmpOp::Lt,
+                    "<=" => CmpOp::Le,
+                    ">" => CmpOp::Gt,
+                    ">=" => CmpOp::Ge,
+                    other => return Err(format!("unknown comparison {other:?}")),
+                };
+                Ok(Predicate::Compare {
+                    column: (*col).to_string(),
+                    op,
+                    literal: parse_literal(&lit.join(" ")),
+                })
+            }
+            _ => Err("usage: where <column> <op> <literal>".into()),
+        },
+        Some((other, _)) => Err(format!("expected `where`, got {other:?}")),
+    }
+}
+
+/// Untyped literal parsing: null / bool / int / float, else string.
+fn parse_literal(s: &str) -> Value {
+    match s {
+        "null" | "NULL" => return Value::Null,
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::float(f);
+    }
+    Value::str(s.trim_matches('\''))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cods_server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    fn demo_server() -> cods_server::ServerHandle {
+        let mut cods = cods::Cods::new();
+        crate::run_command(&mut cods, "demo").unwrap();
+        Server::bind("127.0.0.1:0", Arc::new(cods), ServerConfig::default()).unwrap()
+    }
+
+    fn run(client: &mut Client, line: &str) -> String {
+        let mut out = Vec::new();
+        connect_command(client, line, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn literal_parsing_is_untyped_but_sensible() {
+        assert_eq!(parse_literal("null"), Value::Null);
+        assert_eq!(parse_literal("true"), Value::Bool(true));
+        assert_eq!(parse_literal("42"), Value::int(42));
+        assert_eq!(parse_literal("4.5"), Value::float(4.5));
+        assert_eq!(parse_literal("'Jones'"), Value::str("Jones"));
+        assert_eq!(parse_literal("Jones"), Value::str("Jones"));
+    }
+
+    #[test]
+    fn repl_surfaces_scan_count_and_metrics() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let count = run(&mut client, "count R where employee = Jones");
+        assert!(count.contains("3 of 7 rows"), "got: {count}");
+
+        let scan = run(&mut client, "scan R select skill where employee = Jones");
+        assert!(scan.contains("skill=Typing"), "got: {scan}");
+        assert!(scan.contains("3 row(s)"), "got: {scan}");
+
+        let agg = run(&mut client, "agg R by employee count:skill");
+        assert!(agg.contains("count(skill)"), "got: {agg}");
+        assert!(agg.contains("4 group(s)"), "got: {agg}");
+
+        let stats = run(&mut client, "stats R");
+        assert!(stats.contains("7 rows x 3 cols"), "got: {stats}");
+
+        // The metrics satellite: counters visible through the REPL, with
+        // the rows we just streamed accounted for.
+        let metrics = run(&mut client, "metrics");
+        assert!(metrics.contains("connections: 1 open"), "got: {metrics}");
+        assert!(metrics.contains("admitted"), "got: {metrics}");
+        assert!(metrics.contains("cache:"), "got: {metrics}");
+        let rows_line = metrics
+            .lines()
+            .find(|l| l.starts_with("streamed:"))
+            .expect("streamed line");
+        assert!(!rows_line.contains("streamed: 0 rows"), "got: {metrics}");
+    }
+
+    #[test]
+    fn repl_runs_scripts_and_sees_its_own_writes() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let msg = run(&mut client, "run COPY TABLE R TO R2");
+        assert!(msg.contains("1 operator(s) committed"), "got: {msg}");
+        // Read-your-writes: the session snapshot moved with the script.
+        let stats = run(&mut client, "stats R2");
+        assert!(stats.contains("7 rows"), "got: {stats}");
+        // Unknown commands and server-side errors surface as Err.
+        let mut out = Vec::new();
+        assert!(connect_command(&mut client, "bogus", &mut out).is_err());
+        assert!(connect_command(&mut client, "stats nope", &mut out).is_err());
+    }
+}

@@ -58,6 +58,15 @@ impl From<StorageError> for EvolutionError {
     }
 }
 
+impl cods_storage::Retryable for EvolutionError {
+    /// Only an optimistic catalog-commit loss is transient; every other
+    /// evolution error (validation, data, persistence) is deterministic
+    /// and would fail again identically.
+    fn should_retry(&self) -> bool {
+        matches!(self, EvolutionError::Storage(StorageError::Conflict(_)))
+    }
+}
+
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, EvolutionError>;
 

@@ -7,12 +7,12 @@
 //! one-operator-at-a-time [`Cods::execute`] / [`Cods::execute_all`] remain
 //! as a compatibility path implemented over single-operator plans.
 
-use crate::error::{EvolutionError, Result};
+use crate::error::Result;
 use crate::exec::PlanReport;
 use crate::plan::EvolutionPlan;
 use crate::smo::Smo;
 use crate::status::EvolutionStatus;
-use cods_storage::{Catalog, StorageError, Table};
+use cods_storage::{Catalog, RetryPolicy, Table};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -123,25 +123,41 @@ impl Cods {
     /// recording the status log. Returns the status.
     ///
     /// Compatibility path: this is a thin wrapper over a single-operator
-    /// [`Cods::plan`] (retried transparently if a concurrent writer
-    /// invalidates the snapshot). Scripts should prefer `plan(...)` +
+    /// [`Cods::plan`], retried with bounded exponential backoff
+    /// ([`RetryPolicy::default`]) if a concurrent writer invalidates the
+    /// snapshot — the old eager path's serialized semantics, minus its
+    /// unbounded spin. Scripts should prefer `plan(...)` +
     /// [`EvolutionPlan::execute`], which validates the whole chain up
     /// front and commits atomically.
     pub fn execute(&self, smo: Smo) -> Result<EvolutionStatus> {
-        loop {
-            let report = self.plan(vec![smo.clone()])?.execute();
-            match report {
-                Ok(report) => {
-                    let rec = report.records.into_iter().next().expect("single-op plan");
-                    return Ok(rec.status);
-                }
-                // Another writer committed between snapshot and commit:
-                // re-plan against the fresh catalog, preserving the old
-                // eager path's serialized semantics.
-                Err(EvolutionError::Storage(StorageError::Conflict(_))) => continue,
-                Err(e) => return Err(e),
-            }
-        }
+        self.execute_with_retry(smo, &RetryPolicy::default())
+    }
+
+    /// [`Cods::execute`] with an explicit conflict-retry policy. Each
+    /// attempt re-plans against the then-current catalog, so a retry sees
+    /// (and validates against) whatever the winning writer committed.
+    pub fn execute_with_retry(&self, smo: Smo, policy: &RetryPolicy) -> Result<EvolutionStatus> {
+        let report = self
+            .catalog
+            .commit_with_retry(policy, |_| self.plan(vec![smo.clone()])?.execute())?;
+        let rec = report.records.into_iter().next().expect("single-op plan");
+        Ok(rec.status)
+    }
+
+    /// Plans and executes a whole SMO script atomically, retrying the
+    /// plan-validate-execute-commit cycle with bounded backoff when a
+    /// concurrent writer wins the optimistic commit race. This is the
+    /// serving layer's script surface: many sessions submit scripts
+    /// against one catalog and conflicts resolve by re-planning rather
+    /// than surfacing raw [`StorageError::Conflict`] — which is still
+    /// returned once `policy.max_attempts` is exhausted.
+    ///
+    /// Parse and validation errors are deterministic and surface
+    /// immediately, without consuming retry attempts.
+    pub fn run_script_with_retry(&self, text: &str, policy: &RetryPolicy) -> Result<PlanReport> {
+        let smos = crate::parser::parse_script(text)?;
+        self.catalog
+            .commit_with_retry(policy, |_| self.plan(smos.clone())?.execute())
     }
 
     /// Executes a sequence of operators, stopping at the first failure.
@@ -293,6 +309,38 @@ mod tests {
         })
         .unwrap();
         assert_eq!(cods.table("R").unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn run_script_with_retry_survives_contention() {
+        use std::sync::Arc;
+        let cods = Arc::new(platform_with_figure1());
+        let policy = RetryPolicy::no_backoff(16).with_seed(7);
+        // Hammer the catalog from a rival thread while the script path
+        // commits; every conflict must be absorbed by re-planning.
+        let rival = {
+            let cods = Arc::clone(&cods);
+            std::thread::spawn(move || {
+                for i in 0..24 {
+                    let name = format!("noise_{i}");
+                    let schema = Schema::build(&[("x", ValueType::Int)], &[]).unwrap();
+                    cods.execute(Smo::CreateTable { name, schema }).unwrap();
+                }
+            })
+        };
+        let report = cods
+            .run_script_with_retry(
+                "DECOMPOSE TABLE R INTO S (employee, skill), T (employee, address)",
+                &policy,
+            )
+            .unwrap();
+        rival.join().unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert!(cods.catalog().contains("S"));
+        assert!(cods.catalog().contains("T"));
+        assert!(!cods.catalog().contains("R"));
+        // Parse errors are deterministic: no retries, immediate surface.
+        assert!(cods.run_script_with_retry("FROBNICATE y", &policy).is_err());
     }
 
     #[test]

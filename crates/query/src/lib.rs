@@ -24,9 +24,10 @@ pub mod bitmap_scan;
 pub mod evolution;
 pub mod plan;
 pub mod pred;
+pub mod stream;
 pub mod tuple;
 
-pub use agg::{aggregate, AggExpr, AggOp};
+pub use agg::{aggregate, aggregate_table, AggExpr, AggOp};
 pub use bitmap_scan::{filter_table, predicate_mask};
 pub use evolution::{
     decompose_column_level, decompose_row_level, merge_column_level, merge_row_level,
@@ -34,3 +35,4 @@ pub use evolution::{
 };
 pub use plan::{execute, ExecContext, Plan, ResultSet};
 pub use pred::{CmpOp, CompiledPredicate, Predicate};
+pub use stream::{RowBatch, ScanStream};

@@ -1,0 +1,214 @@
+//! Admission control: a semaphore-bounded execution pool with a bounded
+//! wait queue and **typed rejection** past the queue cap.
+//!
+//! Every data-plane request must acquire a [`Permit`] before touching
+//! table data. At most `max_in_flight` permits exist; up to `max_queued`
+//! further requests block waiting for one; anything beyond that is
+//! rejected immediately with the gate's current occupancy, which the
+//! server turns into a [`crate::proto::Reply::Overloaded`] frame. The
+//! client keeps its connection — overload is a response, not a hang-up.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the in-tree `parking_lot` shim
+//! carries no condvar). Permits release on [`Drop`], so an executing
+//! request that panics or errors still frees its slot.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Occupancy counters guarded by the gate's mutex.
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: u64,
+    queued: u64,
+    closed: bool,
+}
+
+/// The admission gate. Cheap to clone via [`Arc`]; one per server.
+#[derive(Debug)]
+pub struct Gate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    max_in_flight: u64,
+    max_queued: u64,
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// Execution slots and the wait queue are both full. Carries the
+    /// occupancy observed at rejection time.
+    Overloaded {
+        /// Requests executing at rejection time.
+        in_flight: u64,
+        /// Requests queued at rejection time.
+        queued: u64,
+    },
+    /// The server is shutting down.
+    Closed,
+}
+
+/// An execution slot. Dropping it frees the slot and wakes one queued
+/// waiter.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut s = self.gate.state.lock().unwrap();
+        s.in_flight -= 1;
+        drop(s);
+        self.gate.freed.notify_one();
+    }
+}
+
+impl Gate {
+    /// Creates a gate admitting `max_in_flight` concurrent executions with
+    /// at most `max_queued` waiters. `max_in_flight` is clamped to ≥ 1 —
+    /// a gate that can never admit would deadlock every client.
+    pub fn new(max_in_flight: u64, max_queued: u64) -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+            max_in_flight: max_in_flight.max(1),
+            max_queued,
+        })
+    }
+
+    /// Acquires an execution slot, waiting in the bounded queue if
+    /// necessary. Returns [`Rejected::Overloaded`] without blocking when
+    /// the queue is full, [`Rejected::Closed`] once the gate shuts.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, Rejected> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(Rejected::Closed);
+        }
+        if s.in_flight < self.max_in_flight {
+            s.in_flight += 1;
+            return Ok(Permit {
+                gate: Arc::clone(self),
+            });
+        }
+        if s.queued >= self.max_queued {
+            return Err(Rejected::Overloaded {
+                in_flight: s.in_flight,
+                queued: s.queued,
+            });
+        }
+        s.queued += 1;
+        while s.in_flight >= self.max_in_flight && !s.closed {
+            s = self.freed.wait(s).unwrap();
+        }
+        s.queued -= 1;
+        if s.closed {
+            // Pass the wake-up on so every other waiter drains too.
+            drop(s);
+            self.freed.notify_one();
+            return Err(Rejected::Closed);
+        }
+        s.in_flight += 1;
+        Ok(Permit {
+            gate: Arc::clone(self),
+        })
+    }
+
+    /// Current `(in_flight, queued)` occupancy.
+    pub fn occupancy(&self) -> (u64, u64) {
+        let s = self.state.lock().unwrap();
+        (s.in_flight, s.queued)
+    }
+
+    /// Shuts the gate: queued waiters return [`Rejected::Closed`], new
+    /// admissions are refused. Already-issued permits stay valid until
+    /// dropped.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects_past_queue() {
+        let gate = Gate::new(2, 0);
+        let a = gate.admit().unwrap();
+        let _b = gate.admit().unwrap();
+        match gate.admit() {
+            Err(Rejected::Overloaded { in_flight, queued }) => {
+                assert_eq!((in_flight, queued), (2, 0));
+            }
+            other => panic!("expected overload, got {other:?}"),
+        }
+        drop(a);
+        let _c = gate.admit().unwrap();
+    }
+
+    #[test]
+    fn queued_waiter_gets_the_freed_slot() {
+        let gate = Gate::new(1, 1);
+        let held = gate.admit().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let p = gate.admit();
+                tx.send(()).unwrap();
+                p.map(|_| ())
+            })
+        };
+        // The waiter parks in the queue rather than being rejected.
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(gate.occupancy(), (1, 1));
+        // Queue full now: a third caller bounces with both gauges visible.
+        assert_eq!(
+            gate.admit().map(|_| ()),
+            Err(Rejected::Overloaded {
+                in_flight: 1,
+                queued: 1
+            })
+        );
+        drop(held);
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn close_drains_every_waiter() {
+        let gate = Gate::new(1, 8);
+        let held = gate.admit().unwrap();
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || gate.admit().map(|_| ()))
+            })
+            .collect();
+        while gate.occupancy().1 < 4 {
+            std::thread::yield_now();
+        }
+        gate.close();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Err(Rejected::Closed));
+        }
+        drop(held);
+        assert_eq!(gate.admit().map(|_| ()), Err(Rejected::Closed));
+    }
+
+    #[test]
+    fn permit_drop_is_panic_safe() {
+        let gate = Gate::new(1, 0);
+        let g2 = Arc::clone(&gate);
+        let _ = std::thread::spawn(move || {
+            let _p = g2.admit().unwrap();
+            panic!("request blew up");
+        })
+        .join();
+        // The panicking thread's permit must have been returned.
+        assert_eq!(gate.occupancy(), (0, 0));
+        let _p = gate.admit().unwrap();
+    }
+}

@@ -1,0 +1,453 @@
+//! The server: TCP accept loop, thread-per-connection request dispatch,
+//! snapshot sessions, admission control and streaming execution.
+
+use crate::admission::{Gate, Rejected};
+use crate::frame::{read_frame, write_frame, write_preamble, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::metrics::ServerMetrics;
+use crate::proto::{decode_command, encode_reply, error_code, Command, Reply, StatsReply};
+use crate::session::Session;
+use cods::{Cods, EvolutionError};
+use cods_query::{aggregate_table, predicate_mask, AggOp, Predicate, ScanStream};
+use cods_storage::{RetryPolicy, StorageError, Table, TableStats, ValueType};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Data-plane requests executing concurrently (execution slots).
+    pub max_in_flight: u64,
+    /// Data-plane requests allowed to wait for a slot; one more is
+    /// rejected with a typed `Overloaded` reply.
+    pub max_queued: u64,
+    /// Per-frame payload cap enforced on reads.
+    pub max_frame_bytes: u32,
+    /// Conflict-retry policy for `Script` commands.
+    pub retry: RetryPolicy,
+    /// Test knob: hold each admitted data-plane request for this long
+    /// before executing, making admission states observable
+    /// deterministically. `None` in production.
+    pub debug_hold: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_in_flight: 4,
+            max_queued: 16,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            retry: RetryPolicy::default(),
+            debug_hold: None,
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    cods: Arc<Cods>,
+    config: ServerConfig,
+    gate: Arc<Gate>,
+    metrics: ServerMetrics,
+    /// Clones of live connection streams, so shutdown can unblock reads.
+    conns: Mutex<Vec<TcpStream>>,
+    stopping: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// The serving entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `cods`. Returns immediately; the
+    /// accept loop and every connection run on their own threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cods: Arc<Cods>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            gate: Gate::new(config.max_in_flight, config.max_queued),
+            cods,
+            config,
+            metrics: ServerMetrics::default(),
+            conns: Mutex::new(Vec::new()),
+            stopping: AtomicBool::new(false),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stopping.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    ServerMetrics::add(&shared.metrics.connections_total, 1);
+                    ServerMetrics::add(&shared.metrics.connections_open, 1);
+                    if let Ok(clone) = stream.try_clone() {
+                        shared.conns.lock().unwrap().push(clone);
+                    }
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || {
+                        let _ = Connection::run(&shared, stream);
+                        ServerMetrics::dec(&shared.metrics.connections_open);
+                    });
+                    conn_threads.lock().unwrap().push(handle);
+                }
+            })
+        };
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains queued admissions, unblocks every
+    /// connection read, and joins all serving threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.gate.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Unblock connection threads parked in read_frame.
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection's serving loop.
+struct Connection<'a> {
+    shared: &'a Shared,
+    session: Session,
+    writer: BufWriter<TcpStream>,
+}
+
+impl<'a> Connection<'a> {
+    fn run(shared: &'a Shared, stream: TcpStream) -> Result<(), FrameError> {
+        let mut reader = BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
+        let mut conn = Connection {
+            shared,
+            session: Session::open(&shared.cods),
+            writer: BufWriter::new(stream),
+        };
+        write_preamble(&mut conn.writer)?;
+        let hello = Reply::Hello {
+            catalog_version: conn.session.version(),
+        };
+        conn.reply(&hello)?;
+        loop {
+            let (kind, payload) = match read_frame(&mut reader, shared.config.max_frame_bytes) {
+                Ok(f) => f,
+                // Polite hang-up: the session ends.
+                Err(FrameError::Eof) => return Ok(()),
+                // A torn or unreadable stream cannot carry an error reply.
+                Err(e @ (FrameError::Torn | FrameError::Io(_))) => return Err(e),
+                // The stream is alive but desynchronized or hostile: say
+                // why, then drop the connection.
+                Err(e @ (FrameError::Corrupt | FrameError::TooLarge { .. })) => {
+                    let _ = conn.reply(&Reply::Error {
+                        code: error_code::BAD_REQUEST,
+                        message: e.to_string(),
+                    });
+                    return Err(e);
+                }
+            };
+            let cmd = match decode_command(kind, &payload) {
+                Ok(cmd) => cmd,
+                Err(e) => {
+                    let _ = conn.reply(&Reply::Error {
+                        code: error_code::BAD_REQUEST,
+                        message: e.to_string(),
+                    });
+                    return Err(FrameError::Corrupt);
+                }
+            };
+            conn.dispatch(cmd)?;
+        }
+    }
+
+    /// Encodes, frames, sends and flushes one reply, counting its bytes.
+    fn reply(&mut self, reply: &Reply) -> Result<(), FrameError> {
+        let bytes = write_frame(&mut self.writer, reply.kind(), &encode_reply(reply))?;
+        // A blocking flush per frame is the backpressure mechanism: a slow
+        // client stalls only its own connection thread (and the one
+        // admission slot it holds), never the server.
+        self.writer.flush()?;
+        ServerMetrics::add(&self.shared.metrics.bytes_streamed, bytes);
+        Ok(())
+    }
+
+    fn dispatch(&mut self, cmd: Command) -> Result<(), FrameError> {
+        if !cmd.is_data_plane() {
+            let reply = match cmd {
+                Command::Ping => Reply::Pong,
+                Command::Refresh => Reply::Refreshed {
+                    catalog_version: self.session.refresh(&self.shared.cods),
+                },
+                Command::Metrics => {
+                    let (in_flight, queued) = self.shared.gate.occupancy();
+                    Reply::Metrics(self.shared.metrics.snapshot(in_flight, queued))
+                }
+                _ => unreachable!("control-plane commands only"),
+            };
+            return self.reply(&reply);
+        }
+        let permit = match self.shared.gate.admit() {
+            Ok(p) => p,
+            Err(Rejected::Overloaded { in_flight, queued }) => {
+                ServerMetrics::add(&self.shared.metrics.rejected_total, 1);
+                return self.reply(&Reply::Overloaded { in_flight, queued });
+            }
+            Err(Rejected::Closed) => {
+                return self.reply(&Reply::Error {
+                    code: error_code::INTERNAL,
+                    message: "server shutting down".into(),
+                });
+            }
+        };
+        ServerMetrics::add(&self.shared.metrics.admitted_total, 1);
+        if let Some(hold) = self.shared.config.debug_hold {
+            std::thread::sleep(hold);
+        }
+        let result = self.execute(cmd);
+        drop(permit);
+        result
+    }
+
+    fn execute(&mut self, cmd: Command) -> Result<(), FrameError> {
+        match cmd {
+            Command::Stats { table } => match self.session.table(&table) {
+                Ok(t) => {
+                    let s = TableStats::of(&t);
+                    let reply = Reply::Stats(StatsReply {
+                        rows: s.rows,
+                        arity: s.arity as u64,
+                        total_bytes: s.total_bytes as u64,
+                        resident_segments: s.resident_segments as u64,
+                        on_disk_segments: s.on_disk_segments as u64,
+                        catalog_version: self.session.version(),
+                    });
+                    self.reply(&reply)
+                }
+                Err(e) => self.storage_error(&e),
+            },
+            Command::Script { text } => {
+                match self
+                    .shared
+                    .cods
+                    .run_script_with_retry(&text, &self.shared.config.retry)
+                {
+                    Ok(report) => {
+                        // Read-your-writes: the session moves to (at
+                        // least) the version its own script produced.
+                        let version = self.session.refresh(&self.shared.cods);
+                        self.reply(&Reply::Ok {
+                            message: format!(
+                                "{} operator(s) committed; catalog v{version}",
+                                report.records.len()
+                            ),
+                        })
+                    }
+                    Err(e) => {
+                        let code = match &e {
+                            EvolutionError::Storage(StorageError::Conflict(_)) => {
+                                error_code::CONFLICT
+                            }
+                            EvolutionError::Storage(StorageError::UnknownTable(_))
+                            | EvolutionError::Storage(StorageError::UnknownColumn(_)) => {
+                                error_code::NOT_FOUND
+                            }
+                            _ => error_code::EVOLUTION,
+                        };
+                        self.reply(&Reply::Error {
+                            code,
+                            message: e.to_string(),
+                        })
+                    }
+                }
+            }
+            Command::Scan {
+                table,
+                predicate,
+                projection,
+            } => {
+                let t = match self.session.table(&table) {
+                    Ok(t) => t,
+                    Err(e) => return self.storage_error(&e),
+                };
+                let stream = match ScanStream::new(t, &predicate, projection.as_deref()) {
+                    Ok(s) => s,
+                    Err(e) => return self.storage_error(&e),
+                };
+                self.stream_scan(stream)
+            }
+            Command::Mask { table, predicate } => {
+                let t = match self.session.table(&table) {
+                    Ok(t) => t,
+                    Err(e) => return self.storage_error(&e),
+                };
+                match predicate_mask(&t, &predicate) {
+                    Ok(mask) => self.reply(&Reply::MaskSummary {
+                        rows: t.rows(),
+                        selected: mask.count_ones(),
+                        catalog_version: self.session.version(),
+                    }),
+                    Err(e) => self.storage_error(&e),
+                }
+            }
+            Command::Agg {
+                table,
+                predicate,
+                group_by,
+                aggs,
+            } => {
+                let t = match self.session.table(&table) {
+                    Ok(t) => t,
+                    Err(e) => return self.storage_error(&e),
+                };
+                match run_agg(&t, &predicate, &group_by, &aggs) {
+                    Ok((columns, rows)) => {
+                        let total = rows.len() as u64;
+                        self.reply(&Reply::RowHeader {
+                            columns,
+                            total_rows: total,
+                        })?;
+                        if total > 0 {
+                            ServerMetrics::add(&self.shared.metrics.rows_streamed, total);
+                            self.reply(&Reply::Rows { rows })?;
+                        }
+                        self.reply(&Reply::Done {
+                            batches: u64::from(total > 0),
+                            rows: total,
+                        })
+                    }
+                    Err(e) => self.storage_error(&e),
+                }
+            }
+            Command::Ping | Command::Refresh | Command::Metrics => {
+                unreachable!("data-plane commands only")
+            }
+        }
+    }
+
+    /// Streams one scan: header, one `Rows` frame per non-empty
+    /// segment-aligned batch, closer with totals. Peak memory is one
+    /// batch, whatever the result size.
+    fn stream_scan(&mut self, stream: ScanStream) -> Result<(), FrameError> {
+        let t = stream.table();
+        let columns: Vec<(String, ValueType)> = stream
+            .projection()
+            .iter()
+            .map(|&ci| {
+                let def = &t.schema().columns()[ci];
+                (def.name.clone(), def.ty)
+            })
+            .collect();
+        self.reply(&Reply::RowHeader {
+            columns,
+            total_rows: stream.total_selected(),
+        })?;
+        let mut batches = 0u64;
+        let mut rows_sent = 0u64;
+        for batch in stream {
+            batches += 1;
+            rows_sent += batch.rows.len() as u64;
+            ServerMetrics::add(&self.shared.metrics.rows_streamed, batch.rows.len() as u64);
+            self.reply(&Reply::Rows { rows: batch.rows })?;
+        }
+        self.reply(&Reply::Done {
+            batches,
+            rows: rows_sent,
+        })
+    }
+
+    /// Maps a storage error onto an error reply, keeping the session.
+    fn storage_error(&mut self, e: &StorageError) -> Result<(), FrameError> {
+        let code = match e {
+            StorageError::UnknownTable(_) | StorageError::UnknownColumn(_) => error_code::NOT_FOUND,
+            StorageError::Conflict(_) => error_code::CONFLICT,
+            _ => error_code::INTERNAL,
+        };
+        self.reply(&Reply::Error {
+            code,
+            message: e.to_string(),
+        })
+    }
+}
+
+/// Aggregation over the predicate-selected rows: output schema plus
+/// result rows (group keys first, aggregates after, both in request
+/// order).
+#[allow(clippy::type_complexity)]
+fn run_agg(
+    t: &Table,
+    predicate: &Predicate,
+    group_by: &[String],
+    aggs: &[(AggOp, String)],
+) -> Result<(Vec<(String, ValueType)>, Vec<Vec<cods_storage::Value>>), StorageError> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| t.schema().index_of(g))
+        .collect::<Result<_, _>>()?;
+    let agg_specs: Vec<(AggOp, usize, ValueType)> = aggs
+        .iter()
+        .map(|(op, col)| {
+            let idx = t.schema().index_of(col)?;
+            Ok((*op, idx, t.schema().columns()[idx].ty))
+        })
+        .collect::<Result<_, StorageError>>()?;
+    let mut columns: Vec<(String, ValueType)> = group_idx
+        .iter()
+        .map(|&g| {
+            let def = &t.schema().columns()[g];
+            (def.name.clone(), def.ty)
+        })
+        .collect();
+    for (op, idx, ty) in &agg_specs {
+        let name = format!("{:?}({})", op, t.schema().columns()[*idx].name).to_lowercase();
+        columns.push((name, op.output_type(*ty)));
+    }
+    let filtered = cods_query::filter_table(t, predicate)?;
+    let rows = aggregate_table(&filtered, &group_idx, &agg_specs)?;
+    Ok((columns, rows))
+}

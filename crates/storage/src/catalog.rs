@@ -2,11 +2,73 @@
 //! schema-level operations (create/drop/rename/copy) that SMOs delegate to.
 
 use crate::error::StorageError;
+use crate::retry::{RetryPolicy, Retryable};
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A consistent, immutable view of the whole catalog, pinned at one
+/// version. Cloning the name → table map is O(tables) pointer copies —
+/// every table (and, transitively, every column segment) is `Arc`-shared
+/// with the live catalog, so a snapshot is copy-on-write for free:
+/// evolution plans committing concurrently replace entries in the live
+/// map without disturbing any reader holding a snapshot.
+///
+/// This is the isolation unit of the serving layer: each connection's
+/// session pins one `CatalogSnapshot`, so a long streaming scan sees the
+/// same catalog version from its first batch to its last no matter how
+/// many plans commit in between.
+#[derive(Clone, Debug)]
+pub struct CatalogSnapshot {
+    version: u64,
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl CatalogSnapshot {
+    /// The catalog version this snapshot was pinned at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Fetches a table from the pinned view.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownTable`] if the table did not exist at the
+    /// pinned version (it may well exist in the live catalog by now).
+    pub fn get(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Returns `true` if the table existed at the pinned version.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Sorted table names at the pinned version.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Number of tables at the pinned version.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Returns `true` when the snapshot holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates `(name, table)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Table>)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+}
 
 /// A named collection of tables. All methods are thread-safe; tables are
 /// immutable snapshots, so readers never block behind evolution.
@@ -73,6 +135,33 @@ impl Catalog {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
         self.bump();
         Ok(t)
+    }
+
+    /// Pins a copy-on-write snapshot of the whole namespace at the current
+    /// version — the read-isolation primitive of the serving layer (see
+    /// [`CatalogSnapshot`]). O(tables) `Arc` clones; no data is copied.
+    pub fn snapshot_view(&self) -> CatalogSnapshot {
+        let map = self.tables.read();
+        CatalogSnapshot {
+            version: self.version.load(Ordering::Acquire),
+            tables: map.clone(),
+        }
+    }
+
+    /// Runs an optimistic snapshot-work-commit closure with bounded,
+    /// jittered retry on [`StorageError::Conflict`] (see [`RetryPolicy`]).
+    /// The closure must re-read the catalog on every call — typically
+    /// [`begin_evolution`](Catalog::begin_evolution) …
+    /// [`commit_evolution`](Catalog::commit_evolution) — because a retry
+    /// only succeeds against the freshly committed state. Non-conflict
+    /// errors surface immediately; a conflict on the final attempt
+    /// surfaces as-is.
+    pub fn commit_with_retry<T, E: Retryable>(
+        &self,
+        policy: &RetryPolicy,
+        attempt: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        policy.run(attempt)
     }
 
     /// Starts an optimistic evolution transaction: one consistent snapshot
@@ -279,6 +368,65 @@ mod tests {
         assert!(matches!(err, Err(StorageError::Conflict(_))));
         assert!(!cat.contains("loser"));
         assert!(cat.contains("racer"));
+    }
+
+    #[test]
+    fn snapshot_view_is_isolated_and_shares_data() {
+        let cat = Catalog::new();
+        cat.create(tiny("t")).unwrap();
+        let snap = cat.snapshot_view();
+        let live = cat.get("t").unwrap();
+        assert_eq!(snap.version(), cat.version());
+        assert!(Arc::ptr_eq(&snap.get("t").unwrap(), &live), "COW sharing");
+        assert_eq!(snap.table_names(), vec!["t"]);
+        assert_eq!(snap.len(), 1);
+        assert!(!snap.is_empty());
+
+        // Mutations after the pin are invisible to the snapshot…
+        cat.create(tiny("later")).unwrap();
+        cat.drop_table("t").unwrap();
+        cat.put(tiny("t"));
+        assert!(!snap.contains("later"));
+        assert!(Arc::ptr_eq(&snap.get("t").unwrap(), &live), "old version");
+        assert_ne!(snap.version(), cat.version());
+        // …and iteration walks the pinned view.
+        assert_eq!(snap.iter().count(), 1);
+        // A fresh snapshot sees the new state.
+        let snap2 = cat.snapshot_view();
+        assert!(snap2.contains("later"));
+        assert!(!Arc::ptr_eq(&snap2.get("t").unwrap(), &live));
+    }
+
+    #[test]
+    fn commit_with_retry_resolves_contention() {
+        use crate::retry::RetryPolicy;
+        let cat = Catalog::new();
+        cat.create(tiny("seed")).unwrap();
+        // First attempt races and conflicts (another writer mutates between
+        // snapshot and commit); the retry re-snapshots and lands.
+        let mut raced = false;
+        let policy = RetryPolicy::no_backoff(4);
+        cat.commit_with_retry(&policy, |_| {
+            let (base, _snap) = cat.begin_evolution();
+            if !raced {
+                raced = true;
+                cat.create(tiny("racer")).unwrap(); // invalidates `base`
+            }
+            cat.commit_evolution(base, &[], vec![Arc::new(tiny("winner"))])
+        })
+        .unwrap();
+        assert!(cat.contains("winner"));
+        assert!(cat.contains("racer"));
+
+        // A policy of one attempt surfaces the conflict unchanged.
+        let policy = RetryPolicy::no_backoff(1);
+        let err = cat.commit_with_retry(&policy, |_| {
+            let (base, _snap) = cat.begin_evolution();
+            cat.create(tiny(&format!("noise{}", cat.version())))
+                .unwrap();
+            cat.commit_evolution(base, &[], vec![])
+        });
+        assert!(matches!(err, Err(StorageError::Conflict(_))));
     }
 
     #[test]

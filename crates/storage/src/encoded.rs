@@ -1102,6 +1102,62 @@ impl EncodedColumn {
         ids
     }
 
+    /// Materializes the row → value-id array of `range` only, decoding
+    /// just the segments that overlap it — the batch-decode primitive of
+    /// the streaming scan surface: a server streaming a table in
+    /// segment-sized batches touches (and faults in) one batch worth of
+    /// payload at a time, never the whole column.
+    pub fn ids_range(&self, range: Range<u64>) -> Vec<u32> {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "range {range:?} out of bounds for {} rows",
+            self.rows
+        );
+        let mut out = vec![u32::MAX; (range.end - range.start) as usize];
+        for (seg, &start) in self.segments.iter().zip(&self.starts) {
+            let seg_end = start + seg.rows();
+            if seg_end <= range.start {
+                continue;
+            }
+            if start >= range.end {
+                break;
+            }
+            let lo = range.start.max(start);
+            let hi = range.end.min(seg_end);
+            let dst = &mut out[(lo - range.start) as usize..(hi - range.start) as usize];
+            match seg.enc() {
+                SegmentEnc::Bitmap(s) => {
+                    if lo == start && hi == seg_end {
+                        s.fill_ids(dst);
+                    } else {
+                        // Partial overlap: bitmap payloads decode whole
+                        // segments; clip through a scratch buffer.
+                        let mut scratch = vec![u32::MAX; seg.rows() as usize];
+                        s.fill_ids(&mut scratch);
+                        dst.copy_from_slice(&scratch[(lo - start) as usize..(hi - start) as usize]);
+                    }
+                }
+                SegmentEnc::Rle(s) => {
+                    let mut pos = start;
+                    for &(id, n) in s.seq().runs() {
+                        let run_end = pos + n;
+                        if run_end > lo && pos < hi {
+                            let a = lo.max(pos);
+                            let b = hi.min(run_end);
+                            dst[(a - lo) as usize..(b - lo) as usize].fill(id);
+                        }
+                        pos = run_end;
+                        if pos >= hi {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(out.iter().all(|&i| i != u32::MAX), "uncovered row");
+        out
+    }
+
     /// Decodes all rows to values (display/test helper).
     pub fn values(&self) -> Vec<Value> {
         self.value_ids()
@@ -1856,6 +1912,38 @@ mod tests {
             out = out.recode_segments(i..i + 1, Encoding::Rle).unwrap();
         }
         out
+    }
+
+    #[test]
+    fn ids_range_matches_value_ids_on_mixed_directories() {
+        let values: Vec<Value> = (0..500).map(|i| Value::int(i / 7 % 11)).collect();
+        let col = mixed(&values, 64);
+        assert!(col.encoding_counts().0 > 0 && col.encoding_counts().1 > 0);
+        let full = col.value_ids();
+        // Aligned, partial, cross-segment, empty, and total ranges.
+        for range in [
+            0..64,
+            64..128,
+            10..20,
+            60..70,
+            100..317,
+            0..0,
+            499..500,
+            0..500,
+        ] {
+            assert_eq!(
+                col.ids_range(range.clone()),
+                full[range.start as usize..range.end as usize],
+                "{range:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ids_range_rejects_out_of_bounds() {
+        let (bitmap, _) = both(&vals(10));
+        bitmap.ids_range(5..11);
     }
 
     #[test]

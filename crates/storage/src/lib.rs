@@ -60,6 +60,7 @@ pub mod error;
 pub mod fault;
 pub mod load;
 pub mod persist;
+pub mod retry;
 pub mod rle_segment;
 pub mod schema;
 pub mod segment;
@@ -70,7 +71,7 @@ pub mod vacuum;
 pub mod value;
 pub mod wal;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogSnapshot};
 pub use cursor::RowIdCursor;
 pub use dictionary::{Dictionary, ValueOrder};
 pub use encoded::{
@@ -79,6 +80,7 @@ pub use encoded::{
 };
 pub use error::StorageError;
 pub use load::{load_file, load_str, LoadOptions};
+pub use retry::{RetryPolicy, Retryable};
 pub use rle_segment::RleSegment;
 pub use schema::{ColumnDef, Schema};
 pub use segment::{
