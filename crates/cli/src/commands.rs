@@ -56,6 +56,9 @@ commands:
                                                    reclaiming bytes append-saves left dead
                                                    (re-open afterwards to pick up the
                                                    compacted layout)
+  wal <file>                                       durability status of a saved catalog:
+                                                   rollback-journal state plus the commit
+                                                   log's records / torn bytes / spill files
   help | quit
 ";
 
@@ -663,6 +666,39 @@ pub fn run_command(cods: &mut Cods, line: &str) -> Result<Outcome, String> {
             let catalog = read_catalog(file).map_err(|e| e.to_string())?;
             *cods = Cods::with_catalog(catalog);
             println!("opened catalog from {file}");
+        }
+        "wal" => {
+            let [file] = args.as_slice() else {
+                return Err("usage: wal <file>".into());
+            };
+            let path = std::path::Path::new(file);
+            match cods_storage::journal_status(path) {
+                cods_storage::JournalStatus::Absent => {
+                    println!("journal: none (no save in progress)")
+                }
+                cods_storage::JournalStatus::Sealed { bytes } => println!(
+                    "journal: sealed, {bytes} bytes (an interrupted save will roll back on open)"
+                ),
+                cods_storage::JournalStatus::Torn { bytes } => println!(
+                    "journal: torn, {bytes} bytes (crashed before seal; discarded on open)"
+                ),
+            }
+            let s = cods_storage::log_status(path).map_err(|e| e.to_string())?;
+            if !s.exists {
+                println!("commit log: none (catalog not opened durably)");
+            } else {
+                println!(
+                    "commit log: {} record(s) pending checkpoint, {} valid bytes{}",
+                    s.records,
+                    s.valid_bytes,
+                    if s.torn_bytes > 0 {
+                        format!(" (+{} torn tail bytes, discarded on open)", s.torn_bytes)
+                    } else {
+                        String::new()
+                    }
+                );
+                println!("spills: {} file(s), {} bytes", s.spill_files, s.spill_bytes);
+            }
         }
         "vacuum" => {
             let [file] = args.as_slice() else {

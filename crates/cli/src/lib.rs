@@ -11,4 +11,4 @@ pub mod commands;
 pub mod remote;
 
 pub use commands::{run_command, Outcome, HELP};
-pub use remote::{connect_command, connect_repl, serve};
+pub use remote::{connect_command, connect_repl, serve, ServeOptions};

@@ -17,14 +17,49 @@ use cods::Cods;
 use cods_cli::{run_command, Outcome, HELP};
 use std::io::{BufRead, Write};
 
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: cods serve [addr] [--demo] [--durable <file>] \
+         [--idle-timeout <secs>] [--write-timeout <secs>]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_secs(arg: Option<&String>) -> std::time::Duration {
+    let Some(arg) = arg else {
+        usage_exit("serve: timeout flags need a seconds value");
+    };
+    match arg.parse::<u64>() {
+        Ok(s) if s > 0 => std::time::Duration::from_secs(s),
+        _ => usage_exit(&format!("serve: bad timeout {arg:?}, want seconds > 0")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // Network subcommands dispatch before the script-path fallback.
     match args.get(1).map(String::as_str) {
         Some("serve") => {
-            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:4050");
-            let demo = args.iter().any(|a| a == "--demo");
-            if let Err(e) = cods_cli::serve(addr, demo) {
+            let mut addr = "127.0.0.1:4050".to_string();
+            let mut opts = cods_cli::ServeOptions::default();
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--demo" => opts.preload_demo = true,
+                    "--durable" => match rest.next() {
+                        Some(file) => opts.durable = Some(file.clone()),
+                        None => usage_exit("serve: --durable needs a catalog file"),
+                    },
+                    "--idle-timeout" => opts.idle_timeout = Some(parse_secs(rest.next())),
+                    "--write-timeout" => opts.write_timeout = Some(parse_secs(rest.next())),
+                    a if a.starts_with('-') => {
+                        usage_exit(&format!("serve: unknown flag {a}"));
+                    }
+                    a => addr = a.to_string(),
+                }
+            }
+            if let Err(e) = cods_cli::serve(&addr, &opts) {
                 eprintln!("{e}");
                 std::process::exit(1);
             }

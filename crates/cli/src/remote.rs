@@ -21,17 +21,80 @@ use cods_query::{AggOp, CmpOp, Predicate};
 use cods_server::{Client, ClientError, ServerConfig};
 use cods_storage::Value;
 use std::io::Write;
+use std::time::Duration;
 
-/// Hosts `cods` behind `addr` until the process is killed. Pass
-/// `preload_demo` to start with the demo table (handy for quickstarts).
-pub fn serve(addr: &str, preload_demo: bool) -> Result<(), String> {
-    let mut cods = cods::Cods::new();
-    if preload_demo {
+/// How `cods serve` should host the platform, parsed from the command
+/// line by `main`.
+#[derive(Debug, Default, Clone)]
+pub struct ServeOptions {
+    /// Start with the paper's demo table loaded.
+    pub preload_demo: bool,
+    /// Open this catalog file durably ([`cods_storage::open_durable`]):
+    /// replay its commit log, and acknowledge every script only after the
+    /// group fsync covering its commit. A `kill -9` at any point loses no
+    /// acknowledged commit.
+    pub durable: Option<String>,
+    /// Evict connections idle longer than this.
+    pub idle_timeout: Option<Duration>,
+    /// Fail writes to clients that stop reading for longer than this.
+    pub write_timeout: Option<Duration>,
+}
+
+/// In durable mode, how often the background checkpointer folds the
+/// commit log into a full save.
+const CHECKPOINT_INTERVAL: Duration = Duration::from_secs(30);
+
+/// Hosts `cods` behind `addr` until the process is killed.
+pub fn serve(addr: &str, opts: &ServeOptions) -> Result<(), String> {
+    let (mut cods, log) = match &opts.durable {
+        Some(file) => {
+            let (catalog, log, replay) = cods_storage::open_durable(std::path::Path::new(file))
+                .map_err(|e| format!("cannot open {file} durably: {e}"))?;
+            println!(
+                "opened {file} durably: {} commit(s) replayed{}{}",
+                replay.replayed,
+                if replay.discarded_torn {
+                    ", torn tail discarded"
+                } else {
+                    ""
+                },
+                if replay.orphan_spills > 0 {
+                    format!(", {} orphan spill(s) removed", replay.orphan_spills)
+                } else {
+                    String::new()
+                },
+            );
+            (cods::Cods::with_catalog(catalog), Some(log))
+        }
+        None => (cods::Cods::new(), None),
+    };
+    if opts.preload_demo {
         crate::run_command(&mut cods, "demo")?;
     }
-    let handle =
-        cods_server::Server::bind(addr, std::sync::Arc::new(cods), ServerConfig::default())
-            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let config = ServerConfig {
+        idle_timeout: opts.idle_timeout,
+        write_timeout: opts.write_timeout,
+        commit_log: log.clone(),
+        ..ServerConfig::default()
+    };
+    let cods = std::sync::Arc::new(cods);
+    // Periodic checkpointing keeps the log short; recovery does not need
+    // it (a kill at any moment replays the log), it only bounds replay
+    // work and disk growth.
+    if let Some(log) = log {
+        let cods = std::sync::Arc::clone(&cods);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(CHECKPOINT_INTERVAL);
+            if log.stats().pending_records > 0 {
+                match log.checkpoint(cods.catalog()) {
+                    Ok(n) => println!("checkpoint: {n} commit record(s) folded into the save"),
+                    Err(e) => eprintln!("checkpoint failed: {e}"),
+                }
+            }
+        });
+    }
+    let handle = cods_server::Server::bind(addr, cods, config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("serving on {}", handle.local_addr());
     println!("connect with: cods connect {}", handle.local_addr());
     loop {
@@ -123,6 +186,19 @@ pub fn connect_command(
                 m.cache.resident_bytes, m.cache.hits, m.cache.misses, m.cache.evictions
             )
             .ok();
+            if m.idle_evicted > 0 {
+                writeln!(out, "idle-evicted: {} connection(s)", m.idle_evicted).ok();
+            }
+            if m.durability.enabled == 1 {
+                let d = &m.durability;
+                writeln!(
+                    out,
+                    "durability: {} commit(s) over {} fsync(s) (max batch {}, {} us fsync time); \
+                     {} record(s) pending checkpoint, {} log bytes",
+                    d.commits, d.fsyncs, d.max_batch, d.fsync_micros, d.log_pending, d.log_bytes
+                )
+                .ok();
+            }
         }
         "stats" => {
             let table = rest.first().ok_or("usage: stats <table>")?;

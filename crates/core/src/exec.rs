@@ -338,11 +338,14 @@ pub(crate) fn run(plan: &EvolutionPlan<'_>) -> Result<PlanReport> {
     // A plan whose net diff is empty (e.g. an empty script) commits
     // nothing: no version bump, no spurious conflicts for other in-flight
     // snapshots.
+    let mut durable = false;
     if !drops.is_empty() || !puts.is_empty() {
-        plan.cods
+        let receipt = plan
+            .cods
             .catalog()
             .commit_evolution(plan.base_version, &drops, puts)
             .map_err(EvolutionError::Storage)?;
+        durable = receipt.durable;
     }
     let commit = commit_start.elapsed();
 
@@ -356,6 +359,7 @@ pub(crate) fn run(plan: &EvolutionPlan<'_>) -> Result<PlanReport> {
             stages,
             commit,
             total: plan.planning + t0.elapsed(),
+            durable,
         },
         staged_puts,
         committed_puts,

@@ -142,6 +142,9 @@ pub struct PlanLog {
     pub commit: Duration,
     /// Total wall time from plan to commit.
     pub total: Duration,
+    /// `true` when the commit was acknowledged by a durability sink (the
+    /// catalog's commit log fsynced it) rather than being memory-only.
+    pub durable: bool,
 }
 
 impl PlanLog {
@@ -168,8 +171,9 @@ impl PlanLog {
             }
         }
         out.push_str(&format!(
-            "commit: {:.3} ms\ntotal: {:.3} ms\n",
+            "commit: {:.3} ms{}\ntotal: {:.3} ms\n",
             self.commit.as_secs_f64() * 1e3,
+            if self.durable { " (durable)" } else { "" },
             self.total.as_secs_f64() * 1e3
         ));
         out
@@ -190,11 +194,13 @@ mod tests {
             }],
             commit: Duration::from_millis(2),
             total: Duration::from_millis(4),
+            durable: true,
         };
         let text = log.render();
         assert!(text.contains("stage 0 (1 operator)"));
         assert!(text.contains("DROP TABLE t"));
         assert!(text.contains("commit:"));
+        assert!(text.contains("(durable)"));
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum ClientError {
     /// The server broke the protocol state machine (e.g. a `Rows` frame
     /// with no preceding header).
     Protocol(String),
+    /// The connection died mid-stream: a row stream was cut (server
+    /// crash, network drop) after `rows_seen` rows but before its closing
+    /// `Done` frame. The rows received so far are a valid prefix, never a
+    /// complete result.
+    TornStream {
+        /// Rows received before the stream was cut.
+        rows_seen: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -48,6 +56,10 @@ impl std::fmt::Display for ClientError {
                 "server overloaded ({in_flight} in flight, {queued} queued); retry later"
             ),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::TornStream { rows_seen } => write!(
+                f,
+                "stream torn after {rows_seen} row(s): connection lost before Done"
+            ),
         }
     }
 }
@@ -297,7 +309,16 @@ impl Client {
         let mut batches = 0u64;
         let mut rows_seen = 0u64;
         loop {
-            match self.expect_reply()? {
+            // Mid-stream, a dead transport is not a generic frame error:
+            // type it as a torn stream carrying how far the prefix got.
+            let reply = match self.expect_reply() {
+                Err(ClientError::Frame(FrameError::Eof | FrameError::Torn))
+                | Err(ClientError::Frame(FrameError::Io(_))) => {
+                    return Err(ClientError::TornStream { rows_seen })
+                }
+                other => other?,
+            };
+            match reply {
                 Reply::Rows { rows } => {
                     batches += 1;
                     rows_seen += rows.len() as u64;

@@ -44,6 +44,6 @@ pub use admission::{Gate, Permit, Rejected};
 pub use client::{Client, ClientError, ScanSummary};
 pub use frame::{FrameError, DEFAULT_MAX_FRAME_BYTES, PROTO_VERSION};
 pub use metrics::ServerMetrics;
-pub use proto::{error_code, Command, MetricsReply, Reply, StatsReply, WireError};
+pub use proto::{error_code, Command, DurabilityReply, MetricsReply, Reply, StatsReply, WireError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::Session;

@@ -1,8 +1,8 @@
 //! Server-wide counters, updated lock-free by connection threads and
 //! snapshotted into a [`MetricsReply`] on demand.
 
-use crate::proto::MetricsReply;
-use cods_storage::segment_cache;
+use crate::proto::{DurabilityReply, MetricsReply};
+use cods_storage::{segment_cache, CommitLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic (and two gauge) counters shared by every connection thread.
@@ -22,12 +22,30 @@ pub struct ServerMetrics {
     pub bytes_streamed: AtomicU64,
     /// Result rows streamed to clients since start.
     pub rows_streamed: AtomicU64,
+    /// Connections evicted for idling past the server's deadline.
+    pub idle_evicted: AtomicU64,
 }
 
 impl ServerMetrics {
-    /// Builds the wire reply, folding in the admission gate's live gauges
-    /// and the process-wide segment buffer cache counters.
-    pub fn snapshot(&self, in_flight: u64, queued: u64) -> MetricsReply {
+    /// Builds the wire reply, folding in the admission gate's live gauges,
+    /// the process-wide segment buffer cache counters, and — when the
+    /// server runs durably — the commit log's group-commit counters.
+    pub fn snapshot(&self, in_flight: u64, queued: u64, log: Option<&CommitLog>) -> MetricsReply {
+        let durability = match log {
+            Some(log) => {
+                let s = log.stats();
+                DurabilityReply {
+                    enabled: 1,
+                    commits: s.commits,
+                    fsyncs: s.fsyncs,
+                    max_batch: s.max_batch,
+                    fsync_micros: s.fsync_micros,
+                    log_pending: s.pending_records,
+                    log_bytes: s.log_bytes,
+                }
+            }
+            None => DurabilityReply::default(),
+        };
         MetricsReply {
             connections_open: self.connections_open.load(Ordering::Relaxed),
             connections_total: self.connections_total.load(Ordering::Relaxed),
@@ -37,7 +55,9 @@ impl ServerMetrics {
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
             bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
             rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
+            idle_evicted: self.idle_evicted.load(Ordering::Relaxed),
             cache: segment_cache().stats(),
+            durability,
         }
     }
 

@@ -143,8 +143,32 @@ pub struct MetricsReply {
     pub bytes_streamed: u64,
     /// Result rows streamed to clients since start.
     pub rows_streamed: u64,
+    /// Connections evicted for idling past the server's deadline.
+    pub idle_evicted: u64,
     /// The segment buffer cache's counters at snapshot time.
     pub cache: CacheStats,
+    /// Commit-log durability counters (all zero without a commit log).
+    pub durability: DurabilityReply,
+}
+
+/// Commit-log counters inside a [`MetricsReply`]. All zero when the
+/// server runs memory-only (no `--durable` catalog attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityReply {
+    /// 1 when a commit log is attached, else 0.
+    pub enabled: u64,
+    /// Commits acknowledged durable since start.
+    pub commits: u64,
+    /// Group fsyncs issued — `commits / fsyncs` is the batching factor.
+    pub fsyncs: u64,
+    /// Largest number of commits covered by one fsync.
+    pub max_batch: u64,
+    /// Cumulative wall time inside group fsyncs, microseconds.
+    pub fsync_micros: u64,
+    /// Commit records awaiting a checkpoint.
+    pub log_pending: u64,
+    /// Bytes of the commit-log file.
+    pub log_bytes: u64,
 }
 
 /// Table statistics on the wire (a subset of
@@ -247,6 +271,9 @@ pub mod error_code {
     pub const EVOLUTION: u16 = 4;
     /// Anything else.
     pub const INTERNAL: u16 = 5;
+    /// The connection idled past the server's deadline and is being
+    /// closed.
+    pub const TIMEOUT: u16 = 6;
 }
 
 impl Reply {
@@ -661,12 +688,20 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             e.u64(m.rejected_total);
             e.u64(m.bytes_streamed);
             e.u64(m.rows_streamed);
+            e.u64(m.idle_evicted);
             e.u64(m.cache.budget);
             e.u64(m.cache.resident_bytes);
             e.u64(m.cache.hits);
             e.u64(m.cache.misses);
             e.u64(m.cache.evictions);
             e.u64(m.cache.decoded_bytes);
+            e.u64(m.durability.enabled);
+            e.u64(m.durability.commits);
+            e.u64(m.durability.fsyncs);
+            e.u64(m.durability.max_batch);
+            e.u64(m.durability.fsync_micros);
+            e.u64(m.durability.log_pending);
+            e.u64(m.durability.log_bytes);
         }
         Reply::Stats(s) => {
             e.u64(s.rows);
@@ -731,6 +766,7 @@ pub fn decode_reply(kind: u8, payload: &[u8]) -> DecResult<Reply> {
             rejected_total: d.u64()?,
             bytes_streamed: d.u64()?,
             rows_streamed: d.u64()?,
+            idle_evicted: d.u64()?,
             cache: CacheStats {
                 budget: d.u64()?,
                 resident_bytes: d.u64()?,
@@ -738,6 +774,15 @@ pub fn decode_reply(kind: u8, payload: &[u8]) -> DecResult<Reply> {
                 misses: d.u64()?,
                 evictions: d.u64()?,
                 decoded_bytes: d.u64()?,
+            },
+            durability: DurabilityReply {
+                enabled: d.u64()?,
+                commits: d.u64()?,
+                fsyncs: d.u64()?,
+                max_batch: d.u64()?,
+                fsync_micros: d.u64()?,
+                log_pending: d.u64()?,
+                log_bytes: d.u64()?,
             },
         }),
         0x8C => Reply::Stats(StatsReply {
@@ -848,6 +893,7 @@ mod tests {
             rejected_total: 6,
             bytes_streamed: 7,
             rows_streamed: 8,
+            idle_evicted: 14,
             cache: CacheStats {
                 budget: u64::MAX,
                 resident_bytes: 9,
@@ -855,6 +901,15 @@ mod tests {
                 misses: 11,
                 evictions: 12,
                 decoded_bytes: 13,
+            },
+            durability: DurabilityReply {
+                enabled: 1,
+                commits: 15,
+                fsyncs: 16,
+                max_batch: 17,
+                fsync_micros: 18,
+                log_pending: 19,
+                log_bytes: 20,
             },
         }));
         rt_reply(Reply::Stats(StatsReply {

@@ -8,7 +8,7 @@ use crate::proto::{decode_command, encode_reply, error_code, Command, Reply, Sta
 use crate::session::Session;
 use cods::{Cods, EvolutionError};
 use cods_query::{aggregate_table, predicate_mask, AggOp, Predicate, ScanStream};
-use cods_storage::{RetryPolicy, StorageError, Table, TableStats, ValueType};
+use cods_storage::{CommitLog, RetryPolicy, StorageError, Table, TableStats, ValueType};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,6 +28,19 @@ pub struct ServerConfig {
     pub max_frame_bytes: u32,
     /// Conflict-retry policy for `Script` commands.
     pub retry: RetryPolicy,
+    /// Evict a connection whose socket stays silent this long — a hung or
+    /// vanished client releases its thread (and the socket-level read
+    /// deadline also unwedges reads stuck mid-frame). `None` waits
+    /// forever.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write deadline: a client that stops draining its socket
+    /// errors the connection instead of wedging it. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// The catalog's commit log when serving durably: `Script` replies are
+    /// then acknowledged only after the group fsync (the commit path waits
+    /// on the log), and metrics expose the fsync counters. `None` serves
+    /// memory-only.
+    pub commit_log: Option<CommitLog>,
     /// Test knob: hold each admitted data-plane request for this long
     /// before executing, making admission states observable
     /// deterministically. `None` in production.
@@ -41,6 +54,9 @@ impl Default for ServerConfig {
             max_queued: 16,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             retry: RetryPolicy::default(),
+            idle_timeout: None,
+            write_timeout: None,
+            commit_log: None,
             debug_hold: None,
         }
     }
@@ -97,6 +113,8 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    let _ = stream.set_read_timeout(shared.config.idle_timeout);
+                    let _ = stream.set_write_timeout(shared.config.write_timeout);
                     ServerMetrics::add(&shared.metrics.connections_total, 1);
                     ServerMetrics::add(&shared.metrics.connections_open, 1);
                     if let Ok(clone) = stream.try_clone() {
@@ -180,6 +198,22 @@ impl<'a> Connection<'a> {
                 Ok(f) => f,
                 // Polite hang-up: the session ends.
                 Err(FrameError::Eof) => return Ok(()),
+                // Socket deadline fired: the client idled (or hung
+                // mid-frame) past the configured timeout. Evict it — tell
+                // it why if its socket still listens, then close.
+                Err(FrameError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    ServerMetrics::add(&shared.metrics.idle_evicted, 1);
+                    let _ = conn.reply(&Reply::Error {
+                        code: error_code::TIMEOUT,
+                        message: "connection idle past deadline, closing".into(),
+                    });
+                    return Ok(());
+                }
                 // A torn or unreadable stream cannot carry an error reply.
                 Err(e @ (FrameError::Torn | FrameError::Io(_))) => return Err(e),
                 // The stream is alive but desynchronized or hostile: say
@@ -226,7 +260,11 @@ impl<'a> Connection<'a> {
                 },
                 Command::Metrics => {
                     let (in_flight, queued) = self.shared.gate.occupancy();
-                    Reply::Metrics(self.shared.metrics.snapshot(in_flight, queued))
+                    Reply::Metrics(self.shared.metrics.snapshot(
+                        in_flight,
+                        queued,
+                        self.shared.config.commit_log.as_ref(),
+                    ))
                 }
                 _ => unreachable!("control-plane commands only"),
             };
@@ -280,11 +318,15 @@ impl<'a> Connection<'a> {
                     Ok(report) => {
                         // Read-your-writes: the session moves to (at
                         // least) the version its own script produced.
+                        // With a commit log attached this reply is the
+                        // durability ack: the commit path already waited
+                        // for the group fsync covering this script.
                         let version = self.session.refresh(&self.shared.cods);
                         self.reply(&Reply::Ok {
                             message: format!(
-                                "{} operator(s) committed; catalog v{version}",
-                                report.records.len()
+                                "{} operator(s) committed{}; catalog v{version}",
+                                report.records.len(),
+                                if report.log.durable { " durably" } else { "" }
                             ),
                         })
                     }
@@ -296,6 +338,13 @@ impl<'a> Connection<'a> {
                             EvolutionError::Storage(StorageError::UnknownTable(_))
                             | EvolutionError::Storage(StorageError::UnknownColumn(_)) => {
                                 error_code::NOT_FOUND
+                            }
+                            // A commit the log could not fsync never
+                            // entered the catalog, but the server can no
+                            // longer guarantee durability: that is an
+                            // operator problem, not a script problem.
+                            EvolutionError::Storage(StorageError::Durability(_)) => {
+                                error_code::INTERNAL
                             }
                             _ => error_code::EVOLUTION,
                         };

@@ -5,8 +5,8 @@
 
 use cods_query::{AggOp, CmpOp, Predicate};
 use cods_server::proto::{
-    decode_command, decode_reply, encode_command, encode_reply, Command, MetricsReply, Reply,
-    StatsReply,
+    decode_command, decode_reply, encode_command, encode_reply, Command, DurabilityReply,
+    MetricsReply, Reply, StatsReply,
 };
 use cods_server::{frame, FrameError};
 use cods_storage::{CacheStats, OrderedF64, Value, ValueType};
@@ -152,7 +152,7 @@ fn reply() -> BoxedStrategy<Reply> {
                 catalog_version,
             }
         }),
-        prop::collection::vec(any::<u64>(), 14).prop_map(|v| {
+        prop::collection::vec(any::<u64>(), 22).prop_map(|v| {
             Reply::Metrics(MetricsReply {
                 connections_open: v[0],
                 connections_total: v[1],
@@ -162,6 +162,7 @@ fn reply() -> BoxedStrategy<Reply> {
                 rejected_total: v[5],
                 bytes_streamed: v[6],
                 rows_streamed: v[7],
+                idle_evicted: v[14],
                 cache: CacheStats {
                     budget: v[8],
                     resident_bytes: v[9],
@@ -169,6 +170,15 @@ fn reply() -> BoxedStrategy<Reply> {
                     misses: v[11],
                     evictions: v[12],
                     decoded_bytes: v[13],
+                },
+                durability: DurabilityReply {
+                    enabled: v[15],
+                    commits: v[16],
+                    fsyncs: v[17],
+                    max_batch: v[18],
+                    fsync_micros: v[19],
+                    log_pending: v[20],
+                    log_bytes: v[21],
                 },
             })
         }),

@@ -70,6 +70,40 @@ impl CatalogSnapshot {
     }
 }
 
+/// Where acknowledged evolution commits go to become durable — implemented
+/// by the catalog commit log ([`crate::commitlog::CommitLog`]).
+///
+/// The two-phase shape exists for ordering: [`stage`](DurabilitySink::stage)
+/// runs *under the catalog write lock*, so records are sequenced in exactly
+/// the order their commits were applied (it must only enqueue — no I/O);
+/// [`wait`](DurabilitySink::wait) runs after the lock is released and blocks
+/// until the staged record is on disk (typically riding a group `fsync`
+/// shared with concurrent committers).
+pub trait DurabilitySink: Send + Sync + std::fmt::Debug {
+    /// Sequences the commit diff for appending. `version` is the catalog
+    /// version the commit produced. Returns an opaque ticket for
+    /// [`wait`](DurabilitySink::wait).
+    fn stage(
+        &self,
+        version: u64,
+        drops: &[String],
+        puts: &[Arc<Table>],
+    ) -> Result<u64, StorageError>;
+
+    /// Blocks until the staged record is durable (or the log has failed).
+    fn wait(&self, ticket: u64) -> Result<(), StorageError>;
+}
+
+/// What [`Catalog::commit_evolution`] hands back for a successful commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The catalog version the commit produced.
+    pub version: u64,
+    /// `true` when a [`DurabilitySink`] acknowledged the commit on disk —
+    /// the commit survives a crash. `false` means memory-only.
+    pub durable: bool,
+}
+
 /// A named collection of tables. All methods are thread-safe; tables are
 /// immutable snapshots, so readers never block behind evolution.
 ///
@@ -85,6 +119,11 @@ pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     /// Bumped on every successful mutation, always under the write lock.
     version: AtomicU64,
+    /// Optional durability hook: when set, every successful
+    /// [`commit_evolution`](Catalog::commit_evolution) is staged with the
+    /// sink before the write lock is released and acknowledged only after
+    /// the sink reports it durable.
+    sink: RwLock<Option<Arc<dyn DurabilitySink>>>,
 }
 
 impl Catalog {
@@ -173,25 +212,72 @@ impl Catalog {
     }
 
     /// Atomically applies a staged evolution: every drop and put lands in
-    /// one write-locked step, or none do.
+    /// one write-locked step, or none do. When a [`DurabilitySink`] is
+    /// attached (see [`set_durability`](Catalog::set_durability)) the commit
+    /// is staged under the write lock — sequencing it after every earlier
+    /// commit — and this call returns only once the sink has made it
+    /// durable, so a successful return *is* the acknowledgment.
     ///
     /// # Errors
     /// [`StorageError::Conflict`] if the catalog has been mutated since
     /// `base_version` was observed; the staged state is then discarded and
-    /// the catalog is untouched.
+    /// the catalog is untouched. [`StorageError::Durability`] if the sink
+    /// failed: the commit is applied in memory but **not** durable — a
+    /// caller that required durability must treat it as failed.
     pub fn commit_evolution(
         &self,
         base_version: u64,
         drops: &[String],
         puts: Vec<Arc<Table>>,
-    ) -> Result<(), StorageError> {
-        let mut map = self.tables.write();
-        let now = self.version.load(Ordering::Acquire);
-        if now != base_version {
-            return Err(StorageError::Conflict(format!(
-                "catalog at version {now}, snapshot taken at {base_version}"
-            )));
+    ) -> Result<CommitReceipt, StorageError> {
+        let staged = {
+            let mut map = self.tables.write();
+            let now = self.version.load(Ordering::Acquire);
+            if now != base_version {
+                return Err(StorageError::Conflict(format!(
+                    "catalog at version {now}, snapshot taken at {base_version}"
+                )));
+            }
+            // Stage before mutating: a sink that refuses (e.g. a failed
+            // log) vetoes the commit while the catalog is still untouched.
+            let staged = match &*self.sink.read() {
+                Some(sink) => Some((Arc::clone(sink), sink.stage(now + 1, drops, &puts)?)),
+                None => None,
+            };
+            for name in drops {
+                map.remove(name);
+            }
+            for t in puts {
+                map.insert(t.name().to_string(), t);
+            }
+            self.bump();
+            staged
+        };
+        let durable = staged.is_some();
+        let version = base_version + 1;
+        if let Some((sink, ticket)) = staged {
+            sink.wait(ticket)?;
         }
+        Ok(CommitReceipt { version, durable })
+    }
+
+    /// Attaches (or detaches) the durability sink consulted by
+    /// [`commit_evolution`](Catalog::commit_evolution).
+    pub fn set_durability(&self, sink: Option<Arc<dyn DurabilitySink>>) {
+        *self.sink.write() = sink;
+    }
+
+    /// `true` when a durability sink is attached.
+    pub fn is_durable(&self) -> bool {
+        self.sink.read().is_some()
+    }
+
+    /// Re-applies a recovered commit record during replay: the same
+    /// write-locked drop/put step as a commit, but with no conflict check
+    /// and no staging (the record *came from* the log). Returns the catalog
+    /// version the replayed commit produced in this process.
+    pub(crate) fn apply_replay(&self, drops: &[String], puts: Vec<Arc<Table>>) -> u64 {
+        let mut map = self.tables.write();
         for name in drops {
             map.remove(name);
         }
@@ -199,7 +285,7 @@ impl Catalog {
             map.insert(t.name().to_string(), t);
         }
         self.bump();
-        Ok(())
+        self.version.load(Ordering::Acquire)
     }
 
     /// Fetches a table snapshot.

@@ -1,0 +1,945 @@
+//! The catalog commit log: SMO-commit-granularity durability.
+//!
+//! PR 7's rollback journal ([`crate::wal`]) makes *saves* crash-safe; this
+//! module makes *commits* crash-safe. Every successful
+//! [`Catalog::commit_evolution`] appends one checksummed commit record to a
+//! sidecar log (`<file>.clog`) describing the catalog diff — the tables the
+//! commit dropped and the full images of the tables it put — and the commit
+//! is acknowledged only once the record is on disk. On the next open,
+//! [`open_durable`] loads the checkpoint (the catalog file itself) and
+//! replays every sealed record past it, so an acknowledged commit survives
+//! any crash.
+//!
+//! ## Record format
+//!
+//! The log reuses the WAL's frame format (`tag len payload fnv`, FNV-1a-64
+//! checksums — see [`crate::wal`]) behind a distinct magic:
+//!
+//! ```text
+//! log     := magic:u32 version:u16 frame*
+//! frame   := COMMIT_TAG:u32 len:u64 record fnv:u64
+//! record  := version:u64 drops:u32 str* puts:u32 put*
+//! put     := str(name) mode:u8 body
+//! body    := 0 img_len:u64 image                      (inline)
+//!          | 1 str(file) img_len:u64 img_fnv:u64      (spilled)
+//! str     := len:u32 bytes
+//! ```
+//!
+//! A put's `image` is a self-contained v6 table image
+//! ([`crate::persist::encode_table`]): payloads travel in the image's own
+//! payload heap, so records never reference offsets inside the catalog
+//! file — a checkpoint or a vacuum can rewrite and rebind the catalog heap
+//! freely without stranding a pending record. Images at or below the spill
+//! threshold ride inline in the record; larger ones are spilled to
+//! `<file>.clog.d/sN.spill` (written and fsynced *before* the record that
+//! references them, and verified by length + checksum at replay).
+//!
+//! ## Group commit
+//!
+//! Concurrent committers stage records under the catalog write lock (which
+//! sequences them in commit order) and then park in [`CommitLog::wait`].
+//! The first waiter becomes the leader: it drains the whole queue, writes
+//! every staged record in one buffer, and issues **one** fsync for the
+//! batch — N commits, one `fsync(2)`. Followers wake when the leader
+//! advances the durable ticket.
+//!
+//! ## Recovery state machine
+//!
+//! ```text
+//! append → seal (checksummed frame + group fsync) → ack
+//!        → checkpoint (full save = the new recovery base)
+//!        → truncate (drop records the checkpoint covers)
+//! ```
+//!
+//! Replay applies sealed records in log order; the first torn or
+//! mis-checksummed frame ends the valid prefix and everything past it is
+//! discarded and physically truncated — **acknowledged-prefix semantics**:
+//! every acknowledged commit is in the valid prefix (its fsync covered it),
+//! and no torn record can ever apply (its checksum cannot seal). A crash
+//! between checkpoint and truncate merely leaves records the checkpoint
+//! already covers; re-applying them is idempotent because records carry
+//! full table images, not deltas.
+
+use crate::catalog::{Catalog, DurabilitySink};
+use crate::error::StorageError;
+use crate::fault;
+use crate::persist;
+use crate::table::Table;
+use crate::wal;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::Instant;
+
+/// Commit-log file magic ("CODS CLOG").
+const CLOG_MAGIC: u32 = 0xC0D5_C106;
+/// Commit-log format version.
+const CLOG_VERSION: u16 = 1;
+/// Frame tag of a commit record.
+const COMMIT_TAG: u32 = 2;
+/// Bytes of the log file header (magic + version).
+const CLOG_HEADER_BYTES: u64 = 6;
+/// Default inline-vs-spill threshold for put images.
+pub const DEFAULT_SPILL_THRESHOLD: usize = 64 * 1024;
+
+/// The sidecar commit-log path for a catalog file: `<file>.clog`.
+pub fn clog_path(target: &Path) -> PathBuf {
+    let mut name = target.file_name().unwrap_or_default().to_os_string();
+    name.push(".clog");
+    target.with_file_name(name)
+}
+
+/// The spill directory for a catalog file: `<file>.clog.d`.
+pub fn spill_dir(target: &Path) -> PathBuf {
+    let mut name = target.file_name().unwrap_or_default().to_os_string();
+    name.push(".clog.d");
+    target.with_file_name(name)
+}
+
+/// Counters of a live [`CommitLog`], all monotonic except the gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitLogStats {
+    /// Commit records made durable (acknowledged commits).
+    pub commits: u64,
+    /// Group fsyncs issued — `commits / fsyncs` is the batching factor.
+    pub fsyncs: u64,
+    /// Largest number of commits covered by one fsync.
+    pub max_batch: u64,
+    /// Cumulative wall time spent inside the group fsyncs, microseconds.
+    pub fsync_micros: u64,
+    /// Records currently in the log, i.e. not yet checkpointed (gauge).
+    pub pending_records: u64,
+    /// Bytes of the log file (gauge).
+    pub log_bytes: u64,
+}
+
+/// What [`open_durable`] found and did during recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Sealed commit records replayed onto the checkpoint.
+    pub replayed: u64,
+    /// `true` when a torn tail (a record whose append was cut by the
+    /// crash) was discarded and truncated away.
+    pub discarded_torn: bool,
+    /// Orphan spill files (spilled images whose record never sealed)
+    /// removed.
+    pub orphan_spills: u64,
+}
+
+/// Read-only inspection of a catalog file's commit log — the data behind
+/// the CLI's `wal` status command. Produced by [`log_status`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStatus {
+    /// `true` when `<file>.clog` exists.
+    pub exists: bool,
+    /// Sealed commit records in the valid prefix.
+    pub records: u64,
+    /// Bytes of the valid prefix (header included).
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix — non-zero means a torn tail that the
+    /// next open will discard.
+    pub torn_bytes: u64,
+    /// Spill files currently on disk.
+    pub spill_files: u64,
+    /// Total bytes of those spill files.
+    pub spill_bytes: u64,
+}
+
+/// One record staged by a committer, waiting for the group fsync.
+#[derive(Debug)]
+struct Pending {
+    ticket: u64,
+    version: u64,
+    drops: Vec<String>,
+    puts: Vec<Arc<Table>>,
+}
+
+/// Scheduler state: the staging queue and the group-commit protocol.
+#[derive(Debug, Default)]
+struct Sched {
+    queue: Vec<Pending>,
+    next_ticket: u64,
+    /// Highest ticket whose record is durable.
+    durable: u64,
+    /// A leader is writing a batch right now.
+    writing: bool,
+    /// Set on the first append/checkpoint failure: the modeled process can
+    /// no longer guarantee durability, so every later stage/wait fails.
+    poisoned: Option<String>,
+}
+
+/// Index entry for one durable record in the log file.
+#[derive(Debug)]
+struct Entry {
+    /// Catalog version the commit produced *in this process* — compared
+    /// against the checkpoint's snapshot version to decide truncation.
+    version: u64,
+    offset: u64,
+    len: u64,
+    spills: Vec<PathBuf>,
+}
+
+/// File-side state, guarded separately from the scheduler so a leader
+/// writes without blocking stagers.
+#[derive(Debug)]
+struct LogIo {
+    file: File,
+    len: u64,
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    target: PathBuf,
+    log_path: PathBuf,
+    spill_dir: PathBuf,
+    spill_threshold: usize,
+    sched: Mutex<Sched>,
+    done: Condvar,
+    io: Mutex<LogIo>,
+    spill_seq: AtomicU64,
+    commits: AtomicU64,
+    fsyncs: AtomicU64,
+    max_batch: AtomicU64,
+    fsync_micros: AtomicU64,
+}
+
+/// A live commit log attached to one catalog file. Cheap to clone (shared
+/// handle); implements [`DurabilitySink`] so it plugs straight into
+/// [`Catalog::set_durability`] — [`open_durable`] does that wiring.
+#[derive(Debug, Clone)]
+pub struct CommitLog {
+    inner: Arc<Inner>,
+}
+
+/// Opens `target` durably: recovers any interrupted save, loads the
+/// checkpoint, replays the commit log's sealed records onto it (discarding
+/// and truncating a torn tail), removes orphan spills, and attaches the
+/// log to the catalog as its [`DurabilitySink`]. Returns the recovered
+/// catalog, the live log, and what replay found.
+pub fn open_durable(target: &Path) -> Result<(Catalog, CommitLog, ReplayReport), StorageError> {
+    open_durable_with(target, DEFAULT_SPILL_THRESHOLD)
+}
+
+/// [`open_durable`] with an explicit inline-vs-spill threshold (bytes).
+pub fn open_durable_with(
+    target: &Path,
+    spill_threshold: usize,
+) -> Result<(Catalog, CommitLog, ReplayReport), StorageError> {
+    let lock = wal::path_lock(target);
+    let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Checkpoint: the catalog file itself, save-recovered first.
+    wal::recover(target)?;
+    let catalog = if target.exists() {
+        persist::read_catalog_raw(target)?
+    } else {
+        Catalog::new()
+    };
+
+    let log_path = clog_path(target);
+    let spills = spill_dir(target);
+    let mut report = ReplayReport::default();
+    let mut entries: Vec<Entry> = Vec::new();
+    let len;
+    if log_path.exists() {
+        let bytes = std::fs::read(&log_path)?;
+        if bytes.len() < CLOG_HEADER_BYTES as usize {
+            // The initial header write itself was torn: an empty log.
+            recreate_header(&log_path)?;
+            report.discarded_torn = !bytes.is_empty();
+            len = CLOG_HEADER_BYTES;
+        } else if u32::from_le_bytes(bytes[..4].try_into().unwrap()) != CLOG_MAGIC
+            || u16::from_le_bytes(bytes[4..6].try_into().unwrap()) != CLOG_VERSION
+        {
+            return Err(StorageError::Corrupt(format!(
+                "{} is not a commit log (bad magic/version)",
+                log_path.display()
+            )));
+        } else {
+            let (frames, used) = wal::scan_frame_prefix(&bytes[CLOG_HEADER_BYTES as usize..]);
+            let valid_len = CLOG_HEADER_BYTES + used as u64;
+            report.discarded_torn = valid_len < bytes.len() as u64;
+            let mut offset = CLOG_HEADER_BYTES;
+            for (tag, payload) in frames {
+                let frame_len = wal::FRAME_OVERHEAD_BYTES + payload.len() as u64;
+                if tag != COMMIT_TAG {
+                    return Err(StorageError::Corrupt(format!(
+                        "unexpected frame tag {tag} in {}",
+                        log_path.display()
+                    )));
+                }
+                let record = decode_record(&payload)?;
+                let mut puts = Vec::with_capacity(record.puts.len());
+                let mut rec_spills = Vec::new();
+                for put in record.puts {
+                    let image = match put.body {
+                        PutBody::Inline(img) => img,
+                        PutBody::Spill { file, len, fnv } => {
+                            let path = spills.join(&file);
+                            let img = std::fs::read(&path).map_err(|e| {
+                                StorageError::Corrupt(format!(
+                                    "sealed record references missing spill {}: {e}",
+                                    path.display()
+                                ))
+                            })?;
+                            if img.len() as u64 != len || wal::fnv1a64(&[&img]) != fnv {
+                                return Err(StorageError::Corrupt(format!(
+                                    "spill {} does not match its sealed record",
+                                    path.display()
+                                )));
+                            }
+                            rec_spills.push(path);
+                            Bytes::from(img)
+                        }
+                    };
+                    // Decode from owned bytes: the replayed table is backed
+                    // by memory, never by the (deletable) spill file.
+                    puts.push(Arc::new(persist::decode_table(image)?));
+                }
+                let version = catalog.apply_replay(&record.drops, puts);
+                entries.push(Entry {
+                    version,
+                    offset,
+                    len: frame_len,
+                    spills: rec_spills,
+                });
+                offset += frame_len;
+                report.replayed += 1;
+            }
+            if report.discarded_torn {
+                let f = fault::open_rw(&log_path)?;
+                fault::set_len(&f, valid_len)?;
+                fault::sync(&f)?;
+            }
+            len = valid_len;
+        }
+    } else {
+        recreate_header(&log_path)?;
+        len = CLOG_HEADER_BYTES;
+    }
+
+    // Spilled images whose record never sealed (or whose record was
+    // checkpointed away before a crash could delete them) are orphans.
+    let mut max_seq = 0u64;
+    for e in &entries {
+        for s in &e.spills {
+            if let Some(seq) = parse_spill_seq(s) {
+                max_seq = max_seq.max(seq);
+            }
+        }
+    }
+    if spills.is_dir() {
+        let referenced: std::collections::HashSet<PathBuf> =
+            entries.iter().flat_map(|e| e.spills.clone()).collect();
+        for dirent in std::fs::read_dir(&spills)?.flatten() {
+            let path = dirent.path();
+            if !referenced.contains(&path) {
+                fault::remove_file(&path)?;
+                report.orphan_spills += 1;
+            }
+        }
+    }
+
+    let file = fault::open_rw(&log_path)?;
+    let log = CommitLog {
+        inner: Arc::new(Inner {
+            target: target.to_path_buf(),
+            log_path,
+            spill_dir: spills,
+            spill_threshold,
+            sched: Mutex::new(Sched::default()),
+            done: Condvar::new(),
+            io: Mutex::new(LogIo { file, len, entries }),
+            spill_seq: AtomicU64::new(max_seq + 1),
+            commits: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            fsync_micros: AtomicU64::new(0),
+        }),
+    };
+    catalog.set_durability(Some(Arc::new(log.clone())));
+    Ok((catalog, log, report))
+}
+
+/// (Re)creates the log file as a bare header, durably.
+fn recreate_header(log_path: &Path) -> Result<(), StorageError> {
+    let mut f = fault::create(log_path)?;
+    let mut header = [0u8; CLOG_HEADER_BYTES as usize];
+    header[..4].copy_from_slice(&CLOG_MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&CLOG_VERSION.to_le_bytes());
+    fault::write_all(&mut f, &header)?;
+    fault::sync(&f)?;
+    Ok(())
+}
+
+/// Inspects the commit log of `target` without opening or mutating it.
+pub fn log_status(target: &Path) -> Result<LogStatus, StorageError> {
+    let log_path = clog_path(target);
+    let mut status = LogStatus::default();
+    if let Ok(bytes) = std::fs::read(&log_path) {
+        status.exists = true;
+        if bytes.len() >= CLOG_HEADER_BYTES as usize
+            && u32::from_le_bytes(bytes[..4].try_into().unwrap()) == CLOG_MAGIC
+            && u16::from_le_bytes(bytes[4..6].try_into().unwrap()) == CLOG_VERSION
+        {
+            let (frames, used) = wal::scan_frame_prefix(&bytes[CLOG_HEADER_BYTES as usize..]);
+            status.records = frames.len() as u64;
+            status.valid_bytes = CLOG_HEADER_BYTES + used as u64;
+            status.torn_bytes = bytes.len() as u64 - status.valid_bytes;
+        } else {
+            status.torn_bytes = bytes.len() as u64;
+        }
+    }
+    if let Ok(dir) = std::fs::read_dir(spill_dir(target)) {
+        for dirent in dir.flatten() {
+            status.spill_files += 1;
+            status.spill_bytes += dirent.metadata().map(|m| m.len()).unwrap_or(0);
+        }
+    }
+    Ok(status)
+}
+
+impl CommitLog {
+    /// The catalog file this log protects.
+    pub fn target(&self) -> &Path {
+        &self.inner.target
+    }
+
+    /// Snapshot of the log's counters.
+    pub fn stats(&self) -> CommitLogStats {
+        let inner = &self.inner;
+        let (pending_records, log_bytes) = {
+            let io = inner.io.lock();
+            (io.entries.len() as u64, io.len)
+        };
+        CommitLogStats {
+            commits: inner.commits.load(Ordering::Relaxed),
+            fsyncs: inner.fsyncs.load(Ordering::Relaxed),
+            max_batch: inner.max_batch.load(Ordering::Relaxed),
+            fsync_micros: inner.fsync_micros.load(Ordering::Relaxed),
+            pending_records,
+            log_bytes,
+        }
+    }
+
+    /// Checkpoints the catalog: a full durable save of `catalog` to the
+    /// target file, then truncation of every log record the save covers.
+    /// Returns the number of records truncated.
+    ///
+    /// The snapshot version is read *before* the save, so a commit racing
+    /// the checkpoint can only leave its record in the log (to be replayed
+    /// idempotently or truncated next time) — never be truncated without
+    /// being in the save.
+    pub fn checkpoint(&self, catalog: &Catalog) -> Result<u64, StorageError> {
+        let inner = &self.inner;
+        if let Some(msg) = &inner.sched.lock().poisoned {
+            return Err(StorageError::Durability(msg.clone()));
+        }
+        let snap_version = catalog.version();
+        persist::save_catalog(catalog, &inner.target)?;
+        let res = self.truncate_covered(snap_version);
+        if let Err(e) = &res {
+            let mut sched = inner.sched.lock();
+            sched.poisoned = Some(e.to_string());
+            inner.done.notify_all();
+        }
+        res
+    }
+
+    /// Drops every entry with `version <= snap_version` from the log file.
+    fn truncate_covered(&self, snap_version: u64) -> Result<u64, StorageError> {
+        let inner = &self.inner;
+        let mut io = inner.io.lock();
+        let (keep, drop): (Vec<Entry>, Vec<Entry>) = std::mem::take(&mut io.entries)
+            .into_iter()
+            .partition(|e| e.version > snap_version);
+        let truncated = drop.len() as u64;
+        if truncated == 0 {
+            io.entries = keep;
+            return Ok(0);
+        }
+        if keep.is_empty() {
+            // Nothing survives: truncate in place to a bare header.
+            fault::set_len(&io.file, CLOG_HEADER_BYTES)?;
+            fault::sync(&io.file)?;
+            io.len = CLOG_HEADER_BYTES;
+        } else {
+            // Some records postdate the snapshot: rebuild the log as
+            // header + retained records in a temp file and rename it over
+            // the old one — atomic, like a rewrite save.
+            use std::io::Read;
+            let mut old = File::open(&inner.log_path)?;
+            let mut retained = Vec::new();
+            let mut new_entries = Vec::with_capacity(keep.len());
+            let mut offset = CLOG_HEADER_BYTES;
+            for mut e in keep {
+                let mut buf = vec![0u8; e.len as usize];
+                old.seek(SeekFrom::Start(e.offset))?;
+                old.read_exact(&mut buf)?;
+                retained.extend_from_slice(&buf);
+                e.offset = offset;
+                offset += e.len;
+                new_entries.push(e);
+            }
+            let tmp = inner.log_path.with_extension("clog.tmp");
+            let mut f = fault::create(&tmp)?;
+            let mut header = [0u8; CLOG_HEADER_BYTES as usize];
+            header[..4].copy_from_slice(&CLOG_MAGIC.to_le_bytes());
+            header[4..6].copy_from_slice(&CLOG_VERSION.to_le_bytes());
+            fault::write_all(&mut f, &header)?;
+            fault::write_all(&mut f, &retained)?;
+            fault::sync(&f)?;
+            drop_file(f);
+            fault::rename(&tmp, &inner.log_path)?;
+            io.file = fault::open_rw(&inner.log_path)?;
+            io.len = offset;
+            io.entries = new_entries;
+        }
+        // Only after the truncated log is durable may the spills of the
+        // dropped records go — the other order could lose acknowledged
+        // commits to a crash between the two steps.
+        for e in &drop {
+            for s in &e.spills {
+                fault::remove_file(s)?;
+            }
+        }
+        Ok(truncated)
+    }
+
+    /// Serializes one staged record, spilling oversized images. Spill files
+    /// are durable before this returns — a sealed record never references
+    /// an unsynced spill.
+    fn encode_record(&self, p: &Pending) -> Result<(Vec<u8>, Vec<PathBuf>), StorageError> {
+        let inner = &self.inner;
+        let mut out = Vec::new();
+        out.extend_from_slice(&p.version.to_le_bytes());
+        out.extend_from_slice(&(p.drops.len() as u32).to_le_bytes());
+        for d in &p.drops {
+            put_str(&mut out, d);
+        }
+        out.extend_from_slice(&(p.puts.len() as u32).to_le_bytes());
+        let mut spills = Vec::new();
+        for t in &p.puts {
+            put_str(&mut out, t.name());
+            let img = persist::encode_table(t);
+            if img.len() <= inner.spill_threshold {
+                out.push(0);
+                out.extend_from_slice(&(img.len() as u64).to_le_bytes());
+                out.extend_from_slice(&img);
+            } else {
+                let name = format!("s{}.spill", inner.spill_seq.fetch_add(1, Ordering::Relaxed));
+                if !inner.spill_dir.is_dir() {
+                    fault::create_dir_all(&inner.spill_dir)?;
+                }
+                let path = inner.spill_dir.join(&name);
+                let mut f = fault::create(&path)?;
+                fault::write_all(&mut f, &img)?;
+                fault::sync(&f)?;
+                out.push(1);
+                put_str(&mut out, &name);
+                out.extend_from_slice(&(img.len() as u64).to_le_bytes());
+                out.extend_from_slice(&wal::fnv1a64(&[&img]).to_le_bytes());
+                spills.push(path);
+            }
+        }
+        Ok((out, spills))
+    }
+
+    /// Leader path: encodes and appends a whole batch of staged records,
+    /// covering all of them with a single fsync.
+    fn write_batch(&self, batch: &[Pending]) -> Result<(), StorageError> {
+        let inner = &self.inner;
+        let mut buf = Vec::new();
+        let mut metas = Vec::with_capacity(batch.len());
+        for p in batch {
+            let (payload, spills) = self.encode_record(p)?;
+            let frame = wal::encode_frame(COMMIT_TAG, &payload);
+            metas.push((p.version, buf.len() as u64, frame.len() as u64, spills));
+            buf.extend_from_slice(&frame);
+        }
+        let mut io = inner.io.lock();
+        let base = io.len;
+        io.file.seek(SeekFrom::Start(base))?;
+        fault::write_all(&mut io.file, &buf)?;
+        let t0 = Instant::now();
+        fault::sync(&io.file)?;
+        inner
+            .fsync_micros
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+        inner
+            .commits
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        inner
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        for (version, off, len, spills) in metas {
+            io.entries.push(Entry {
+                version,
+                offset: base + off,
+                len,
+                spills,
+            });
+        }
+        io.len = base + buf.len() as u64;
+        Ok(())
+    }
+}
+
+impl DurabilitySink for CommitLog {
+    fn stage(
+        &self,
+        version: u64,
+        drops: &[String],
+        puts: &[Arc<Table>],
+    ) -> Result<u64, StorageError> {
+        let mut sched = self.inner.sched.lock();
+        if let Some(msg) = &sched.poisoned {
+            return Err(StorageError::Durability(msg.clone()));
+        }
+        sched.next_ticket += 1;
+        let ticket = sched.next_ticket;
+        sched.queue.push(Pending {
+            ticket,
+            version,
+            drops: drops.to_vec(),
+            puts: puts.to_vec(),
+        });
+        Ok(ticket)
+    }
+
+    fn wait(&self, ticket: u64) -> Result<(), StorageError> {
+        let inner = &self.inner;
+        loop {
+            let batch = {
+                let mut sched = inner.sched.lock();
+                loop {
+                    if sched.durable >= ticket {
+                        return Ok(());
+                    }
+                    if let Some(msg) = &sched.poisoned {
+                        return Err(StorageError::Durability(msg.clone()));
+                    }
+                    if !sched.writing && !sched.queue.is_empty() {
+                        sched.writing = true;
+                        break std::mem::take(&mut sched.queue);
+                    }
+                    sched = inner.done.wait(sched).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // This thread is the leader for `batch` (which contains its own
+            // ticket or an earlier one): write it outside the scheduler
+            // lock so later committers can keep staging.
+            let last = batch.last().map(|p| p.ticket).unwrap_or(0);
+            let res = self.write_batch(&batch);
+            let mut sched = inner.sched.lock();
+            sched.writing = false;
+            match res {
+                Ok(()) => sched.durable = sched.durable.max(last),
+                Err(e) => sched.poisoned = Some(e.to_string()),
+            }
+            inner.done.notify_all();
+        }
+    }
+}
+
+/// `len:u32 bytes` string encoding.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Parses the `N` out of a `sN.spill` file name.
+fn parse_spill_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix('s')?.strip_suffix(".spill")?.parse().ok()
+}
+
+fn drop_file(f: File) {
+    drop(f);
+}
+
+enum PutBody {
+    Inline(Bytes),
+    Spill { file: String, len: u64, fnv: u64 },
+}
+
+struct PutRef {
+    body: PutBody,
+}
+
+struct RecordDiff {
+    drops: Vec<String>,
+    puts: Vec<PutRef>,
+}
+
+/// Decodes a sealed record payload. A sealed-but-undecodable record is a
+/// hard corruption, never silently skipped — the frame checksum already
+/// passed, so the bytes are what was written.
+fn decode_record(payload: &[u8]) -> Result<RecordDiff, StorageError> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let _version = c.u64()?;
+    let drops = (0..c.u32()?)
+        .map(|_| c.str())
+        .collect::<Result<Vec<_>, _>>()?;
+    let n_puts = c.u32()?;
+    let mut puts = Vec::with_capacity(n_puts.min(1 << 16) as usize);
+    for _ in 0..n_puts {
+        let _name = c.str()?;
+        let body = match c.u8()? {
+            0 => {
+                let len = c.u64()? as usize;
+                PutBody::Inline(Bytes::from(c.take(len)?.to_vec()))
+            }
+            1 => PutBody::Spill {
+                file: c.str()?,
+                len: c.u64()?,
+                fnv: c.u64()?,
+            },
+            m => {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown commit-record put mode {m}"
+                )))
+            }
+        };
+        puts.push(PutRef { body });
+    }
+    if c.at != payload.len() {
+        return Err(StorageError::Corrupt(
+            "trailing bytes after commit record".into(),
+        ));
+    }
+    Ok(RecordDiff { drops, puts })
+}
+
+/// Bounds-checked little-endian reader over a record payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| StorageError::Corrupt("truncated commit record".into()))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, StorageError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| StorageError::Corrupt("non-UTF-8 name in commit record".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cods-clog-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn tiny(name: &str, rows: i64) -> Table {
+        let schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Str)], &[]).unwrap();
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "x" } else { "y" }),
+                ]
+            })
+            .collect();
+        Table::from_rows(name, schema, &data).unwrap()
+    }
+
+    fn commit_put(cat: &Catalog, t: Table) {
+        let (base, _) = cat.begin_evolution();
+        cat.commit_evolution(base, &[], vec![Arc::new(t)]).unwrap();
+    }
+
+    #[test]
+    fn acked_commits_survive_reopen_and_checkpoint_truncates() {
+        let path = scratch("a.catalog");
+        let (cat, log, replay) = open_durable(&path).unwrap();
+        assert_eq!(replay, ReplayReport::default());
+        commit_put(&cat, tiny("r", 10));
+        commit_put(&cat, tiny("s", 4));
+        let stats = log.stats();
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.pending_records, 2);
+        assert!(stats.fsyncs >= 1);
+
+        // Reopen (simulated restart before any checkpoint): both commits
+        // replay from the log alone.
+        let (cat2, log2, replay2) = open_durable(&path).unwrap();
+        assert_eq!(replay2.replayed, 2);
+        assert!(!replay2.discarded_torn);
+        assert_eq!(cat2.table_names(), vec!["r", "s"]);
+        assert_eq!(
+            persist::encode_table(&cat2.get("r").unwrap()).as_slice(),
+            persist::encode_table(&cat.get("r").unwrap()).as_slice()
+        );
+
+        // Checkpoint: the save covers both records; the log empties.
+        assert_eq!(log2.checkpoint(&cat2).unwrap(), 2);
+        assert_eq!(log2.stats().pending_records, 0);
+        let (cat3, _log3, replay3) = open_durable(&path).unwrap();
+        assert_eq!(replay3.replayed, 0);
+        assert_eq!(cat3.table_names(), vec!["r", "s"]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let path = scratch("b.catalog");
+        let (cat, _log, _r) = open_durable(&path).unwrap();
+        commit_put(&cat, tiny("r", 8));
+        commit_put(&cat, tiny("s", 8));
+        // Tear the last record mid-frame.
+        let log_path = clog_path(&path);
+        let bytes = std::fs::read(&log_path).unwrap();
+        std::fs::write(&log_path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (cat2, _log2, replay) = open_durable(&path).unwrap();
+        assert_eq!(replay.replayed, 1);
+        assert!(replay.discarded_torn);
+        assert_eq!(cat2.table_names(), vec!["r"]);
+        // The tear was physically truncated: a further reopen is clean.
+        let (_cat3, _log3, replay3) = open_durable(&path).unwrap();
+        assert_eq!(replay3.replayed, 1);
+        assert!(!replay3.discarded_torn);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn large_images_spill_and_replay_verified() {
+        let path = scratch("c.catalog");
+        let (cat, log, _r) = open_durable_with(&path, 64).unwrap();
+        commit_put(&cat, tiny("big", 500));
+        let status = log_status(&path).unwrap();
+        assert_eq!(status.spill_files, 1, "image above threshold must spill");
+        assert!(status.spill_bytes > 64);
+
+        let (cat2, _log2, replay) = open_durable_with(&path, 64).unwrap();
+        assert_eq!(replay.replayed, 1);
+        assert_eq!(
+            cat2.get("big").unwrap().tuple_multiset(),
+            cat.get("big").unwrap().tuple_multiset()
+        );
+
+        // Checkpoint removes the spill with its record.
+        let (cat3, log3, _r) = open_durable_with(&path, 64).unwrap();
+        log3.checkpoint(&cat3).unwrap();
+        assert_eq!(log_status(&path).unwrap().spill_files, 0);
+        drop(log);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupted_spill_is_typed_corrupt() {
+        let path = scratch("d.catalog");
+        let (cat, _log, _r) = open_durable_with(&path, 64).unwrap();
+        commit_put(&cat, tiny("big", 500));
+        let spill = std::fs::read_dir(spill_dir(&path))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&spill).unwrap();
+        bytes[10] ^= 0xFF;
+        std::fs::write(&spill, &bytes).unwrap();
+        assert!(matches!(
+            open_durable_with(&path, 64),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn orphan_spills_are_swept_at_open() {
+        let path = scratch("e.catalog");
+        let (cat, _log, _r) = open_durable(&path).unwrap();
+        commit_put(&cat, tiny("r", 4));
+        let dir = spill_dir(&path);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("s999.spill"), b"never sealed").unwrap();
+        let (_cat2, _log2, replay) = open_durable(&path).unwrap();
+        assert_eq!(replay.orphan_spills, 1);
+        assert!(!dir.join("s999.spill").exists());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn commit_after_failed_log_is_refused() {
+        let path = scratch("f.catalog");
+        let (cat, log, _r) = open_durable(&path).unwrap();
+        commit_put(&cat, tiny("r", 4));
+        // Poison the log the way a crashed append would.
+        log.inner.sched.lock().poisoned = Some("injected".into());
+        let (base, _) = cat.begin_evolution();
+        let err = cat.commit_evolution(base, &[], vec![Arc::new(tiny("s", 4))]);
+        assert!(matches!(err, Err(StorageError::Durability(_))));
+        // The refused commit never entered the catalog: stage vetoed it.
+        assert_eq!(cat.table_names(), vec!["r"]);
+        assert!(log.checkpoint(&cat).is_err());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn rename_and_drop_survive_replay() {
+        let path = scratch("g.catalog");
+        let (cat, _log, _r) = open_durable(&path).unwrap();
+        commit_put(&cat, tiny("a", 4));
+        commit_put(&cat, tiny("b", 4));
+        // A commit that renames a → c (drop a, put c) and drops b.
+        let (base, snap) = cat.begin_evolution();
+        let renamed = snap.get("a").unwrap().renamed("c");
+        cat.commit_evolution(
+            base,
+            &["a".to_string(), "b".to_string()],
+            vec![Arc::new(renamed)],
+        )
+        .unwrap();
+        assert_eq!(cat.table_names(), vec!["c"]);
+        let (cat2, _log2, replay) = open_durable(&path).unwrap();
+        assert_eq!(replay.replayed, 3);
+        assert_eq!(cat2.table_names(), vec!["c"]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -26,6 +26,9 @@ pub enum StorageError {
     /// An optimistic catalog transaction lost the race: the catalog was
     /// mutated between snapshot and commit.
     Conflict(String),
+    /// The commit log could not make an acknowledged commit durable (a
+    /// failed append, group fsync, or a log poisoned by an earlier crash).
+    Durability(String),
 }
 
 impl fmt::Display for StorageError {
@@ -41,6 +44,7 @@ impl fmt::Display for StorageError {
             StorageError::PersistError(m) => write!(f, "persistence error: {m}"),
             StorageError::Corrupt(m) => write!(f, "corrupt storage state: {m}"),
             StorageError::Conflict(m) => write!(f, "catalog transaction conflict: {m}"),
+            StorageError::Durability(m) => write!(f, "durability failure: {m}"),
         }
     }
 }

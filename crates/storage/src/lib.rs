@@ -31,9 +31,11 @@
 //!   lazy opens; v1–v5 files are still read).
 //! * [`wal`] — the rollback journal that makes every save crash-safe
 //!   (journal-then-overwrite appends, temp+rename rewrites, recovery on
-//!   open); [`vacuum`] — explicit and threshold-triggered background heap
-//!   compaction; [`fault`] — the crash-point injection layer the
-//!   durability suite sweeps.
+//!   open); [`commitlog`] — the SMO-granularity commit log that makes every
+//!   *evolution commit* crash-safe (group-commit appends, checkpoint +
+//!   replay recovery via [`open_durable`]); [`vacuum`] — explicit and
+//!   threshold-triggered background heap compaction; [`fault`] — the
+//!   crash-point injection layer the durability suite sweeps.
 //!
 //! ```
 //! use cods_storage::{Schema, Table, Value, ValueType};
@@ -53,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
+pub mod commitlog;
 pub mod cursor;
 pub mod dictionary;
 pub mod encoded;
@@ -71,7 +74,11 @@ pub mod vacuum;
 pub mod value;
 pub mod wal;
 
-pub use catalog::{Catalog, CatalogSnapshot};
+pub use catalog::{Catalog, CatalogSnapshot, CommitReceipt, DurabilitySink};
+pub use commitlog::{
+    clog_path, log_status, open_durable, open_durable_with, CommitLog, CommitLogStats, LogStatus,
+    ReplayReport,
+};
 pub use cursor::RowIdCursor;
 pub use dictionary::{Dictionary, ValueOrder};
 pub use encoded::{
@@ -95,4 +102,4 @@ pub use vacuum::{
     AutoVacuum, HeapStats, VacuumReport,
 };
 pub use value::{OrderedF64, Value, ValueType};
-pub use wal::{JournalWriter, Recovery};
+pub use wal::{journal_status, JournalStatus, JournalWriter, Recovery};

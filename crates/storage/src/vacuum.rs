@@ -25,6 +25,14 @@
 //! handle to the old inode, which the rename unlinks but does not destroy.
 //! Their slots' stale offsets are harmless too — the file-identity check
 //! in the append path refuses to reuse extents of a replaced inode.
+//!
+//! The commit log ([`crate::commitlog`]) is likewise immune to vacuums by
+//! construction: its records carry *self-contained* table images whose
+//! payloads live in the record (or its spill file), never offsets into the
+//! catalog heap — so a vacuum that rewrites and rebinds the whole heap can
+//! neither strand nor reorder a pending, un-checkpointed record. The
+//! vacuum touches only `<file>` (and its `.wal`); `<file>.clog` and
+//! `<file>.clog.d/` pass through untouched.
 
 use crate::catalog::Catalog;
 use crate::error::StorageError;

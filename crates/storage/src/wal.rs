@@ -67,7 +67,7 @@ pub const FRAME_OVERHEAD_BYTES: u64 = 20;
 pub const SEAL_BYTES: u64 = FRAME_OVERHEAD_BYTES;
 
 /// FNV-1a 64-bit over a list of byte chunks.
-fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+pub(crate) fn fnv1a64(chunks: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for chunk in chunks {
         for &b in *chunk {
@@ -76,6 +76,89 @@ fn fnv1a64(chunks: &[&[u8]]) -> u64 {
         }
     }
     h
+}
+
+/// Serializes one frame (`tag len payload fnv`) — the unit both the
+/// rollback journal and the catalog commit log append.
+pub(crate) fn encode_frame(tag: u32, payload: &[u8]) -> Vec<u8> {
+    let tag_b = tag.to_le_bytes();
+    let len_b = (payload.len() as u64).to_le_bytes();
+    let sum = fnv1a64(&[&tag_b, &len_b, payload]).to_le_bytes();
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD_BYTES as usize + payload.len());
+    frame.extend_from_slice(&tag_b);
+    frame.extend_from_slice(&len_b);
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&sum);
+    frame
+}
+
+/// Scans a frame area (file header already stripped) for the longest valid
+/// frame prefix: frames are accepted until the first one that is
+/// incomplete or fails its checksum. Returns the accepted frames and the
+/// byte length of the valid prefix — anything past it is a torn tail.
+///
+/// This is the acknowledged-prefix reader of the commit log
+/// ([`crate::commitlog`]): unlike [`read_frames`], it requires no seal and
+/// never rejects the whole file because of a torn append at the end.
+pub(crate) fn scan_frame_prefix(bytes: &[u8]) -> (Vec<(u32, Vec<u8>)>, usize) {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    loop {
+        if bytes.len().saturating_sub(at) < FRAME_OVERHEAD_BYTES as usize {
+            return (frames, at);
+        }
+        let tag = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap());
+        let Some(end) = (at as u64)
+            .checked_add(FRAME_OVERHEAD_BYTES)
+            .and_then(|v| v.checked_add(len))
+            .and_then(|v| usize::try_from(v).ok())
+        else {
+            return (frames, at);
+        };
+        if bytes.len() < end {
+            return (frames, at);
+        }
+        let payload = &bytes[at + 12..end - 8];
+        let sum = u64::from_le_bytes(bytes[end - 8..end].try_into().unwrap());
+        if sum != fnv1a64(&[&bytes[at..at + 4], &bytes[at + 4..at + 12], payload]) {
+            return (frames, at);
+        }
+        frames.push((tag, payload.to_vec()));
+        at = end;
+    }
+}
+
+/// What [`journal_status`] found next to a target file — the read-only
+/// inspection behind the CLI's `wal` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalStatus {
+    /// No `<file>.wal` sidecar: the last save committed cleanly.
+    Absent,
+    /// A sealed rollback journal: a save died mid-overwrite and the next
+    /// open will roll the target back.
+    Sealed {
+        /// Bytes of the journal file.
+        bytes: u64,
+    },
+    /// A torn journal: the save died while journaling, before the target
+    /// was touched; the next open discards it.
+    Torn {
+        /// Bytes of the journal file.
+        bytes: u64,
+    },
+}
+
+/// Inspects the rollback journal of `target` without recovering it.
+pub fn journal_status(target: &Path) -> JournalStatus {
+    let wal = wal_path(target);
+    let Ok(meta) = std::fs::metadata(&wal) else {
+        return JournalStatus::Absent;
+    };
+    match read_frames(&wal) {
+        Some(_) => JournalStatus::Sealed { bytes: meta.len() },
+        None => JournalStatus::Torn { bytes: meta.len() },
+    }
 }
 
 /// Appends checksummed frames to a journal file. Writes go through the
@@ -103,14 +186,7 @@ impl JournalWriter {
     /// kind, …) but must not collide with the seal tag `u32::MAX`.
     pub fn append(&mut self, tag: u32, payload: &[u8]) -> std::io::Result<()> {
         debug_assert_ne!(tag, SEAL_TAG);
-        let tag_b = tag.to_le_bytes();
-        let len_b = (payload.len() as u64).to_le_bytes();
-        let sum = fnv1a64(&[&tag_b, &len_b, payload]).to_le_bytes();
-        let mut frame = Vec::with_capacity(FRAME_OVERHEAD_BYTES as usize + payload.len());
-        frame.extend_from_slice(&tag_b);
-        frame.extend_from_slice(&len_b);
-        frame.extend_from_slice(payload);
-        frame.extend_from_slice(&sum);
+        let frame = encode_frame(tag, payload);
         fault::write_all(&mut self.file, &frame)?;
         self.bytes += frame.len() as u64;
         Ok(())
@@ -119,13 +195,7 @@ impl JournalWriter {
     /// Writes the seal frame and `fsync`s: after this returns, the journal
     /// is durably valid and will be honored by [`recover`].
     pub fn seal(&mut self) -> std::io::Result<()> {
-        let tag_b = SEAL_TAG.to_le_bytes();
-        let len_b = 0u64.to_le_bytes();
-        let sum = fnv1a64(&[&tag_b, &len_b]).to_le_bytes();
-        let mut frame = Vec::with_capacity(SEAL_BYTES as usize);
-        frame.extend_from_slice(&tag_b);
-        frame.extend_from_slice(&len_b);
-        frame.extend_from_slice(&sum);
+        let frame = encode_frame(SEAL_TAG, &[]);
         fault::write_all(&mut self.file, &frame)?;
         self.bytes += frame.len() as u64;
         fault::sync(&self.file)

@@ -3,16 +3,18 @@
 //! never silently wrong data.
 
 use cods::{Cods, DecomposeSpec, EvolutionError, MergeStrategy, Smo};
+use cods_storage::commitlog::spill_dir;
 use cods_storage::persist::{
     decode_table, encode_table, read_catalog, read_table, save_catalog, save_table,
 };
 use cods_storage::{
-    fault, load_str, wal, Catalog, Encoding, LoadOptions, Schema, StorageError, Table, Value,
-    ValueType,
+    clog_path, fault, load_str, open_durable_with, wal, Catalog, Encoding, LoadOptions, Schema,
+    StorageError, Table, Value, ValueType,
 };
 use cods_workload::{figure1, GenConfig};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 #[test]
 fn corrupted_table_files_are_rejected() {
@@ -359,6 +361,219 @@ fn crash_sweep_rewrite_over_existing_keeps_old_until_rename() {
         } else {
             assert_eq!(tuples(&got, "a"), old_a, "budget {budget}: old state torn");
         }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Everything the commit-log sweeps need to rewind one crash iteration:
+/// the catalog file (if any), the log, and the spill directory.
+struct DurableState {
+    catalog: Option<Vec<u8>>,
+    log: Vec<u8>,
+    spills: Vec<(std::ffi::OsString, Vec<u8>)>,
+}
+
+fn capture_durable(path: &Path) -> DurableState {
+    let mut spills = Vec::new();
+    if let Ok(dir) = std::fs::read_dir(spill_dir(path)) {
+        for e in dir.flatten() {
+            spills.push((e.file_name(), std::fs::read(e.path()).unwrap()));
+        }
+    }
+    DurableState {
+        catalog: std::fs::read(path).ok(),
+        log: std::fs::read(clog_path(path)).unwrap(),
+        spills,
+    }
+}
+
+fn restore_durable(path: &Path, s: &DurableState) {
+    match &s.catalog {
+        Some(bytes) => std::fs::write(path, bytes).unwrap(),
+        None => {
+            std::fs::remove_file(path).ok();
+        }
+    }
+    std::fs::remove_file(wal::wal_path(path)).ok();
+    let log = clog_path(path);
+    std::fs::write(&log, &s.log).unwrap();
+    std::fs::remove_file(log.with_extension("clog.tmp")).ok();
+    let dir = spill_dir(path);
+    std::fs::remove_dir_all(&dir).ok();
+    if !s.spills.is_empty() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in &s.spills {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+    }
+}
+
+/// One evolution commit of `t` through the catalog's optimistic path —
+/// the same route the planner's atomic commit takes.
+fn durable_put(cat: &Catalog, t: Table) -> Result<(), StorageError> {
+    let (base, _) = cat.begin_evolution();
+    cat.commit_evolution(base, &[], vec![Arc::new(t)])?;
+    Ok(())
+}
+
+/// Spill threshold small enough that every tiny-table image spills, so the
+/// sweeps cross the spill-file write/sync crash points too.
+const SWEEP_SPILL: usize = 64;
+
+/// Kill a durable commit (spill write, record append, group fsync) at
+/// every byte/syscall boundary: every *acknowledged* commit must survive
+/// the reopen, and the crashed commit — never acknowledged — may appear
+/// only as its complete self, never torn.
+#[test]
+fn crash_sweep_commit_append_preserves_acknowledged_prefix() {
+    let dir = sweep_dir("crash_clog_append");
+    let path = dir.join("sweep.catalog");
+
+    // Acknowledged prefix: two commits, fsynced and acked.
+    let (cat, _log, _r) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+    durable_put(&cat, tiny("a", 32)).unwrap();
+    durable_put(&cat, tiny("b", 16)).unwrap();
+    drop(cat);
+    let state = capture_durable(&path);
+    let want_a = tiny("a", 32).tuple_multiset();
+    let want_b = tiny("b", 16).tuple_multiset();
+    let want_c = tiny("c", 16).tuple_multiset();
+
+    // Probe: count the crash points of one full durable commit.
+    let (cat, _log, _r) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+    fault::arm(u64::MAX);
+    durable_put(&cat, tiny("c", 16)).unwrap();
+    fault::disarm();
+    let total = fault::units();
+    assert!(
+        total > 0,
+        "durable commit must pass through the fault layer"
+    );
+    println!("commit-append sweep: {total} kill points");
+    drop(cat);
+
+    for budget in 0..total {
+        restore_durable(&path, &state);
+        let (cat, log, replay) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+        assert_eq!(replay.replayed, 2, "budget {budget}: bad starting state");
+        fault::arm(budget);
+        let res = durable_put(&cat, tiny("c", 16));
+        fault::disarm();
+        assert!(
+            res.is_err(),
+            "budget {budget}/{total}: commit survived the crash"
+        );
+        drop((cat, log));
+
+        // Reopen = crash recovery. The acknowledged prefix must be intact;
+        // the unacknowledged commit may have reached its commit point
+        // (record fully on disk) or not — but never a torn in-between.
+        let (got, _log, _r) = open_durable_with(&path, SWEEP_SPILL)
+            .unwrap_or_else(|e| panic!("budget {budget}/{total}: recovery failed: {e}"));
+        assert_eq!(tuples(&got, "a"), want_a, "budget {budget}: ack lost");
+        assert_eq!(tuples(&got, "b"), want_b, "budget {budget}: ack lost");
+        if got.contains("c") {
+            assert_eq!(tuples(&got, "c"), want_c, "budget {budget}: torn commit");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill a checkpoint (full save, log truncation, spill cleanup) at every
+/// boundary: whatever the crash point, the reopened catalog holds every
+/// acknowledged commit — from the checkpoint, the log, or both (replay of
+/// already-checkpointed records is idempotent).
+#[test]
+fn crash_sweep_checkpoint_keeps_every_acknowledged_commit() {
+    let dir = sweep_dir("crash_clog_ckpt");
+    let path = dir.join("sweep.catalog");
+
+    let (cat, _log, _r) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+    durable_put(&cat, tiny("a", 32)).unwrap();
+    durable_put(&cat, tiny("b", 16)).unwrap();
+    drop(cat);
+    let state = capture_durable(&path);
+    let want_a = tiny("a", 32).tuple_multiset();
+    let want_b = tiny("b", 16).tuple_multiset();
+
+    let (cat, log, _r) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+    fault::arm(u64::MAX);
+    log.checkpoint(&cat).unwrap();
+    fault::disarm();
+    let total = fault::units();
+    assert!(total > 0, "checkpoint must pass through the fault layer");
+    println!("checkpoint sweep: {total} kill points");
+    drop((cat, log));
+
+    for budget in 0..total {
+        restore_durable(&path, &state);
+        let (cat, log, _r) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+        fault::arm(budget);
+        let res = log.checkpoint(&cat);
+        fault::disarm();
+        assert!(
+            res.is_err(),
+            "budget {budget}/{total}: checkpoint survived the crash"
+        );
+        drop((cat, log));
+
+        let (got, _log, _r) = open_durable_with(&path, SWEEP_SPILL)
+            .unwrap_or_else(|e| panic!("budget {budget}/{total}: recovery failed: {e}"));
+        assert_eq!(tuples(&got, "a"), want_a, "budget {budget}: ack lost");
+        assert_eq!(tuples(&got, "b"), want_b, "budget {budget}: ack lost");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill *recovery itself* (torn-tail truncation, orphan-spill sweep) at
+/// every boundary: a crash during replay must leave the state re-openable
+/// with the full acknowledged prefix — recovery is idempotent.
+#[test]
+fn crash_sweep_replay_recovery_is_idempotent() {
+    let dir = sweep_dir("crash_clog_replay");
+    let path = dir.join("sweep.catalog");
+
+    let (cat, _log, _r) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+    durable_put(&cat, tiny("a", 32)).unwrap();
+    durable_put(&cat, tiny("b", 16)).unwrap();
+    drop(cat);
+    // Model a crash mid-append: a torn half-record at the tail, plus a
+    // spill whose record never sealed.
+    let log_path = clog_path(&path);
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    bytes.extend_from_slice(&[0xAB; 11]);
+    std::fs::write(&log_path, &bytes).unwrap();
+    std::fs::write(spill_dir(&path).join("s999.spill"), b"orphan").unwrap();
+    let state = capture_durable(&path);
+    let want_a = tiny("a", 32).tuple_multiset();
+    let want_b = tiny("b", 16).tuple_multiset();
+
+    fault::arm(u64::MAX);
+    let (_cat, _log, replay) = open_durable_with(&path, SWEEP_SPILL).unwrap();
+    fault::disarm();
+    let total = fault::units();
+    assert!(replay.discarded_torn && replay.orphan_spills == 1);
+    assert!(total > 0, "recovery must pass through the fault layer");
+    println!("replay-recovery sweep: {total} kill points");
+
+    for budget in 0..total {
+        restore_durable(&path, &state);
+        fault::arm(budget);
+        let res = open_durable_with(&path, SWEEP_SPILL);
+        fault::disarm();
+        assert!(
+            res.is_err(),
+            "budget {budget}/{total}: recovery survived the crash"
+        );
+        drop(res);
+
+        let (got, _log, _r) = open_durable_with(&path, SWEEP_SPILL)
+            .unwrap_or_else(|e| panic!("budget {budget}/{total}: re-recovery failed: {e}"));
+        assert_eq!(tuples(&got, "a"), want_a, "budget {budget}: ack lost");
+        assert_eq!(tuples(&got, "b"), want_b, "budget {budget}: ack lost");
     }
 
     std::fs::remove_dir_all(&dir).ok();

@@ -238,6 +238,75 @@ fn hostile_bytes_are_contained_to_their_connection() {
 }
 
 #[test]
+fn idle_connections_are_evicted_without_disturbing_healthy_sessions() {
+    let cods = platform(500, 256);
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::bind("127.0.0.1:0", Arc::clone(&cods), config).unwrap();
+    let addr = handle.local_addr();
+
+    // A client that handshakes, issues one request, then goes silent.
+    let mut lazy = Client::connect(addr).unwrap();
+    lazy.ping().unwrap();
+
+    // A healthy session keeps talking (each poll resets its own idle
+    // clock) until the server reports the eviction.
+    let mut observer = Client::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = observer.metrics().unwrap();
+        if metrics.idle_evicted >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle connection was never evicted"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The evicted peer finds its connection closed (a typed TIMEOUT
+    // farewell or a dead socket, depending on when it looks)...
+    assert!(lazy.ping().is_err(), "evicted connection must not answer");
+
+    // ...while the healthy session still gets full service.
+    let (rows, selected, _) = observer.mask("t", Predicate::True).unwrap();
+    assert_eq!((rows, selected), (500, 500));
+    handle.shutdown();
+}
+
+#[test]
+fn server_death_mid_scan_surfaces_typed_torn_stream() {
+    let cods = platform(20_000, 1_024);
+    let mut handle =
+        Server::bind("127.0.0.1:0", Arc::clone(&cods), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Kill the server from inside the stream callback: the first batch
+    // has arrived intact, then every socket is shut down mid-stream.
+    let mut scanner = Client::connect(addr).unwrap();
+    let mut delivered = 0u64;
+    let result = scanner.scan_with("t", Predicate::True, None, |_, rows| {
+        delivered += rows.len() as u64;
+        handle.shutdown();
+    });
+
+    match result {
+        Err(ClientError::TornStream { rows_seen }) => {
+            assert_eq!(rows_seen, delivered, "rows_seen counts delivered rows");
+            assert!(rows_seen > 0, "the kill landed after the first batch");
+            assert!(rows_seen < 20_000, "the stream must not have completed");
+            let msg = ClientError::TornStream { rows_seen }.to_string();
+            assert!(msg.contains(&rows_seen.to_string()));
+            assert!(msg.contains("torn"));
+        }
+        other => panic!("expected TornStream, got {other:?}"),
+    }
+}
+
+#[test]
 fn aggregation_over_the_wire_matches_local_execution() {
     let cods = platform(5_000, 512);
     let mut handle =
