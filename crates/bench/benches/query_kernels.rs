@@ -1,0 +1,259 @@
+//! Vectorized query kernels: dictionary-native group-by over a 1 Mi-row
+//! table (clustered/uniform key × bitmap/RLE encoding) and a partition-wise
+//! hash join forced over the buffer-cache budget.
+//!
+//! Before timing, four properties are asserted:
+//!
+//! 1. **Byte-identical aggregation.** Every (distribution × encoding)
+//!    combination of the columnar group-by returns exactly the rows, in
+//!    exactly the order, of the row-at-a-time `aggregate` oracle.
+//! 2. **The id-keyed kernel beats the row path.** On the clustered RLE
+//!    table the run-stream kernel must be strictly faster than hashing
+//!    1 Mi materialized rows, and the cost model must rank it first.
+//! 3. **The join respects the budget.** With the cache starved under the
+//!    estimated build bytes, the planner chooses more than one partition
+//!    pass, the streamed result is multiset-identical to the nested-loop
+//!    oracle, and `CacheStats.resident_bytes` never ends above the budget.
+//! 4. **Cost estimates are visible.** The ranked strategy tables behind
+//!    both decisions are printed with every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cods_query::cost::groupby_ranking;
+use cods_query::{aggregate, aggregate_table, join_stream, plan_join, tuple, AggOp};
+use cods_storage::persist::{read_table, save_table};
+use cods_storage::{segment_cache, Encoding, Schema, Table, Value, ValueType};
+
+const ROWS: u64 = 1 << 20; // 1,048,576
+const GROUPS: u64 = 512;
+const SEG_ROWS: u64 = 1 << 14;
+/// Join probe rows — smaller than the group-by table so the nested-loop
+/// oracle and the multiset sort stay cheap.
+const JOIN_ROWS: u64 = 200_000;
+const DIM_ROWS: u64 = 4_096;
+/// Starvation budget for the join: well under the estimated build bytes.
+const JOIN_BUDGET: u64 = 32 << 10;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cods_bench_query_kernels_{}_{tag}.tbl",
+        std::process::id()
+    ))
+}
+
+/// The 1 Mi-row fact table: group key either clustered (sorted, mean run
+/// ROWS/GROUPS) or uniform (stride-scattered, runs of 1), plus an int
+/// measure and a nullable string measure.
+fn fact(clustered: bool) -> Table {
+    let schema = Schema::build(
+        &[
+            ("g", ValueType::Int),
+            ("v", ValueType::Int),
+            ("s", ValueType::Str),
+        ],
+        &[],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            let g = if clustered {
+                i * GROUPS / ROWS
+            } else {
+                i.wrapping_mul(2_654_435_761) % GROUPS
+            };
+            vec![
+                Value::int(g as i64),
+                Value::int((i % 1_000) as i64),
+                if i % 17 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(format!("s{}", i % 23))
+                },
+            ]
+        })
+        .collect();
+    Table::from_rows_with_segment_rows("F", schema, &rows, SEG_ROWS).unwrap()
+}
+
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn bench_query_kernels(c: &mut Criterion) {
+    let aggs = [
+        (AggOp::Count, 1, ValueType::Int),
+        (AggOp::Sum, 1, ValueType::Int),
+        (AggOp::CountDistinct, 2, ValueType::Str),
+        (AggOp::Max, 1, ValueType::Int),
+    ];
+
+    // -- 1. Byte-identical aggregation across distribution × encoding.
+    eprintln!("== query_kernels: group-by ({ROWS} rows, {GROUPS} groups) ==");
+    let mut timed: Vec<(String, Duration)> = Vec::new();
+    let mut row_path = Duration::MAX;
+    let mut tables = Vec::new();
+    for clustered in [true, false] {
+        let base = fact(clustered);
+        let rows = base.to_rows();
+        let want = aggregate(&rows, &[0], &aggs).unwrap();
+        assert_eq!(want.len(), GROUPS as usize);
+        let (t_row, _) = best_of(3, || black_box(aggregate(&rows, &[0], &aggs).unwrap()));
+        row_path = row_path.min(t_row);
+        for enc in [Encoding::Bitmap, Encoding::Rle] {
+            let t = base.recoded(enc).unwrap();
+            let label = format!(
+                "{}/{enc:?}",
+                if clustered { "clustered" } else { "uniform" }
+            );
+            let (t_col, got) = best_of(3, || aggregate_table(&t, &[0], &aggs).unwrap());
+            assert_eq!(got, want, "{label}: columnar group-by diverged byte-wise");
+            eprintln!("  {label:<22} columnar {t_col:>10.2?}   row path {t_row:>10.2?}");
+            timed.push((label, t_col));
+            tables.push(t);
+        }
+    }
+
+    // -- 2. The id-keyed kernel beats the row path; the cost model agrees.
+    let clustered_rle = &tables[1];
+    let ranking = groupby_ranking(clustered_rle, &[0], 1.0);
+    eprintln!("cost model (clustered/Rle):\n{}", ranking.describe());
+    assert!(
+        ranking.chosen().label.contains("packed"),
+        "cost model did not pick the id-keyed kernel: {}",
+        ranking.chosen().label
+    );
+    let (label, t_col) = &timed[1];
+    assert!(
+        *t_col < row_path,
+        "id-keyed kernel ({label}: {t_col:?}) not faster than row path ({row_path:?})"
+    );
+    eprintln!(
+        "speedup ({label} vs row path): {:.1}x",
+        row_path.as_secs_f64() / t_col.as_secs_f64()
+    );
+
+    // -- 3. Over-budget join: multi-pass, multiset-identical, within budget.
+    let probe_schema = Schema::build(&[("k", ValueType::Int), ("v", ValueType::Int)], &[]).unwrap();
+    let probe_rows: Vec<Vec<Value>> = (0..JOIN_ROWS)
+        .map(|i| {
+            vec![
+                Value::int((i.wrapping_mul(48_271) % (DIM_ROWS + 64)) as i64),
+                Value::int((i % 97) as i64),
+            ]
+        })
+        .collect();
+    let dim_schema =
+        Schema::build(&[("k", ValueType::Int), ("label", ValueType::Str)], &[]).unwrap();
+    let dim_rows: Vec<Vec<Value>> = (0..DIM_ROWS)
+        .map(|i| vec![Value::int(i as i64), Value::str(format!("dim-{i}"))])
+        .collect();
+    let mut want = tuple::hash_join(&probe_rows, &dim_rows, &[0], &[0]);
+    want.sort();
+
+    // Only saved-and-reopened segments participate in cache accounting, so
+    // the budgeted run works on demand-paged copies.
+    let (lp, rp) = (scratch("probe"), scratch("dim"));
+    save_table(
+        &Table::from_rows_with_segment_rows("P", probe_schema, &probe_rows, SEG_ROWS).unwrap(),
+        &lp,
+    )
+    .unwrap();
+    save_table(
+        &Table::from_rows_with_segment_rows("D", dim_schema, &dim_rows, 256).unwrap(),
+        &rp,
+    )
+    .unwrap();
+    let probe = Arc::new(read_table(&lp).unwrap());
+    let dim = Arc::new(read_table(&rp).unwrap());
+
+    let cache = segment_cache();
+    cache.set_budget(JOIN_BUDGET);
+    cache.reset_counters();
+    let plan = plan_join(&probe, &dim, &[0], &[0], cache.stats().budget);
+    eprintln!(
+        "== query_kernels: join ({JOIN_ROWS} probe x {DIM_ROWS} build rows, budget {JOIN_BUDGET} bytes) =="
+    );
+    eprintln!("{}", plan.ranking.describe());
+    eprintln!(
+        "build={:?} partitions={} est_build_bytes={}",
+        plan.build, plan.partitions, plan.est_build_bytes
+    );
+    assert!(
+        plan.partitions > 1,
+        "budget {JOIN_BUDGET} did not force multi-pass partitioning \
+         (est_build_bytes={})",
+        plan.est_build_bytes
+    );
+    let (t_join, mut got) = best_of(2, || {
+        join_stream(probe.clone(), dim.clone(), &[0], &[0], &plan).collect::<Vec<_>>()
+    });
+    got.sort();
+    assert_eq!(got, want, "partitioned join diverged from the row oracle");
+    let stats = cache.stats();
+    assert!(
+        stats.resident_bytes <= stats.budget,
+        "join left {} resident bytes over the {} byte budget",
+        stats.resident_bytes,
+        stats.budget
+    );
+    eprintln!(
+        "multi-pass join: {} rows in {t_join:.2?}, {} evictions, resident {} <= budget {}",
+        got.len(),
+        stats.evictions,
+        stats.resident_bytes,
+        stats.budget
+    );
+    cache.set_budget(u64::MAX);
+
+    // -- Timed sections.
+    let mut group = c.benchmark_group("query_kernels");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for (label, t) in [("clustered", &tables[1]), ("uniform", &tables[2])] {
+        group.bench_function(format!("groupby/columnar/{label}"), |b| {
+            b.iter(|| black_box(aggregate_table(t, &[0], &aggs).unwrap()))
+        });
+    }
+    let oracle_rows = tables[0].to_rows();
+    group.bench_function("groupby/row_path", |b| {
+        b.iter(|| black_box(aggregate(&oracle_rows, &[0], &aggs).unwrap()))
+    });
+    group.bench_function("join/single_pass", |b| {
+        let plan = plan_join(&probe, &dim, &[0], &[0], u64::MAX);
+        b.iter(|| {
+            black_box(
+                join_stream(probe.clone(), dim.clone(), &[0], &[0], &plan).collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.bench_function("join/multi_pass", |b| {
+        cache.set_budget(JOIN_BUDGET);
+        let plan = plan_join(&probe, &dim, &[0], &[0], JOIN_BUDGET);
+        b.iter(|| {
+            black_box(
+                join_stream(probe.clone(), dim.clone(), &[0], &[0], &plan).collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.finish();
+
+    cache.set_budget(u64::MAX);
+    std::fs::remove_file(&lp).ok();
+    std::fs::remove_file(&rp).ok();
+}
+
+criterion_group!(benches, bench_query_kernels);
+criterion_main!(benches);

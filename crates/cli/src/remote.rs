@@ -13,6 +13,7 @@
 //! count <table> [where <col> <op> <lit>]  predicate-selected row count
 //! scan <table> [select c1,c2] [where …]   stream selected rows
 //! agg <table> by <c1,c2|-> <op:col,…> [where …]
+//! join <left> <right> on <lcol=rcol,…>    partition-wise hash join
 //! run <smo script>                        execute an SMO line remotely
 //! quit
 //! ```
@@ -263,7 +264,11 @@ pub fn connect_command(
                 .map(parse_agg_spec)
                 .collect::<Result<_, String>>()?;
             let pred = parse_where(tail)?;
-            let (cols, rows) = client.agg(table, pred, group_by, aggs).map_err(fmt_err)?;
+            // The chunked GroupBy command: identical results to Agg, but
+            // group batches arrive in bounded frames.
+            let (cols, rows) = client
+                .group_by(table, pred, group_by, aggs)
+                .map_err(fmt_err)?;
             let names: Vec<&str> = cols.iter().map(|(n, _)| n.as_str()).collect();
             writeln!(out, "  {}", names.join(" | ")).ok();
             for row in &rows {
@@ -271,6 +276,40 @@ pub fn connect_command(
                 writeln!(out, "  {}", cells.join(" | ")).ok();
             }
             writeln!(out, "{} group(s)", rows.len()).ok();
+        }
+        "join" => {
+            // join <left> <right> on <lcol=rcol,…>
+            let (left, right, pairs) = match rest.as_slice() {
+                [l, r, on, p] if *on == "on" => (*l, *r, *p),
+                _ => return Err(JOIN_USAGE.into()),
+            };
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            for pair in pairs.split(',') {
+                let (lk, rk) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad key pair {pair:?}, want lcol=rcol"))?;
+                left_keys.push(lk.to_string());
+                right_keys.push(rk.to_string());
+            }
+            let summary = client
+                .join_with(left, right, left_keys, right_keys, |cols, rows| {
+                    for row in rows {
+                        let cells: Vec<String> = cols
+                            .iter()
+                            .zip(&row)
+                            .map(|((name, _), v)| format!("{name}={v}"))
+                            .collect();
+                        writeln!(out, "  {}", cells.join(", ")).ok();
+                    }
+                })
+                .map_err(fmt_err)?;
+            writeln!(
+                out,
+                "{} match(es) in {} batch(es)",
+                summary.rows, summary.batches
+            )
+            .ok();
         }
         "run" => {
             if rest.is_empty() {
@@ -283,7 +322,7 @@ pub fn connect_command(
         "help" => {
             writeln!(
                 out,
-                "commands: ping refresh metrics stats count scan agg run quit"
+                "commands: ping refresh metrics stats count scan agg join run quit"
             )
             .ok();
         }
@@ -293,6 +332,7 @@ pub fn connect_command(
 }
 
 const AGG_USAGE: &str = "usage: agg <table> by <c1,c2|-> <op:col,…> [where …]";
+const JOIN_USAGE: &str = "usage: join <left> <right> on <lcol=rcol,…>";
 
 fn fmt_err(e: ClientError) -> String {
     e.to_string()
@@ -429,6 +469,22 @@ mod tests {
             .find(|l| l.starts_with("streamed:"))
             .expect("streamed line");
         assert!(!rows_line.contains("streamed: 0 rows"), "got: {metrics}");
+    }
+
+    #[test]
+    fn repl_streams_joins() {
+        let server = demo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // Second table to join against: a copy of the demo table.
+        run(&mut client, "run COPY TABLE R TO R2");
+        let joined = run(&mut client, "join R R2 on employee=employee");
+        // Jones has 3 skill rows on each side: 9 Jones matches, plus
+        // Ellis 1x1 and the remaining singletons.
+        assert!(joined.contains("match(es)"), "got: {joined}");
+        assert!(joined.contains("employee=Jones"), "got: {joined}");
+        let mut out = Vec::new();
+        assert!(connect_command(&mut client, "join R R2 on", &mut out).is_err());
+        assert!(connect_command(&mut client, "join R R2 on employee", &mut out).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use cods_storage::{EncodedColumn, SegmentEnc, StorageError, Table, Value, Zone};
 /// The satisfying value set of one comparison, in whichever form the
 /// operator admits: a rank interval in value order (everything except
 /// `Ne`), or a per-id boolean table.
-enum SatSet<'a> {
+pub(crate) enum SatSet<'a> {
     /// Ids whose value-order rank lies in `[lo, hi)` satisfy.
     Interval {
         /// `ranks[id]` = value-order rank (borrowed from the dictionary's
@@ -47,7 +47,7 @@ enum SatSet<'a> {
 
 impl SatSet<'_> {
     #[inline]
-    fn contains(&self, id: u32) -> bool {
+    pub(crate) fn contains(&self, id: u32) -> bool {
         match self {
             SatSet::Interval { ranks, lo, hi } => {
                 let r = ranks[id as usize];
@@ -62,7 +62,7 @@ impl SatSet<'_> {
     /// satisfying set is a rank interval and every present id's rank lies
     /// within the zone's span. The boolean fallback never zone-prunes.
     #[inline]
-    fn zone_may_match(&self, zone: Zone) -> bool {
+    pub(crate) fn zone_may_match(&self, zone: Zone) -> bool {
         match self {
             SatSet::Interval { ranks, lo, hi } => {
                 let zone_lo = ranks[zone.min_id as usize];
@@ -160,7 +160,7 @@ fn fused_range_mask(
 
 /// Resolves one comparison's satisfying set against a column's dictionary:
 /// rank interval when the operator admits one, per-value booleans otherwise.
-fn sat_set<'a>(col: &'a EncodedColumn, op: CmpOp, literal: &Value) -> SatSet<'a> {
+pub(crate) fn sat_set<'a>(col: &'a EncodedColumn, op: CmpOp, literal: &Value) -> SatSet<'a> {
     let dict = col.dict();
     match op.sat_rank_interval(dict, literal) {
         Some((lo, hi)) => SatSet::Interval {

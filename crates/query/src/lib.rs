@@ -9,6 +9,12 @@
 //! * [`tuple`](mod@tuple) — project / distinct / hash join / union over materialized rows;
 //! * [`pred`] — the predicate language shared with PARTITION TABLE;
 //! * [`plan`] — a small logical-plan layer over both storage engines;
+//! * [`agg`] — grouped aggregation: a row kernel plus a vectorized,
+//!   dictionary-native columnar kernel (`aggregate_table_masked`);
+//! * [`join`] — the partition-wise hash join over dictionary-encoded
+//!   columns, with a buffer-budget-aware multi-pass fallback;
+//! * [`cost`] — per-operator cost estimates from resident segment
+//!   metadata, used to rank kernel strategies and plan alternatives;
 //! * [`evolution`] — the four baseline drivers behind Figure 3:
 //!   row-level decompose/merge (policies C, C+I, S) and column-level
 //!   decompose/merge (M).
@@ -21,18 +27,25 @@
 
 pub mod agg;
 pub mod bitmap_scan;
+pub mod cost;
 pub mod evolution;
+pub mod join;
+mod par;
 pub mod plan;
 pub mod pred;
 pub mod stream;
 pub mod tuple;
 
-pub use agg::{aggregate, aggregate_table, AggExpr, AggOp};
+pub use agg::{
+    aggregate, aggregate_table, aggregate_table_masked, validity, AggExpr, AggOp, GroupKeySpace,
+};
 pub use bitmap_scan::{filter_table, predicate_mask};
+pub use cost::{CostEstimate, RankedChoice};
 pub use evolution::{
     decompose_column_level, decompose_row_level, merge_column_level, merge_row_level,
     EvolutionReport,
 };
-pub use plan::{execute, ExecContext, Plan, ResultSet};
+pub use join::{join_collect, join_stream, plan_join, BuildSide, JoinPlan, JoinStream};
+pub use plan::{execute, explain, ExecContext, Plan, ResultSet};
 pub use pred::{CmpOp, CompiledPredicate, Predicate};
 pub use stream::{RowBatch, ScanStream};

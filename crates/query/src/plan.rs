@@ -6,7 +6,8 @@
 use crate::pred::Predicate;
 use crate::tuple;
 use cods_rowstore::RowDb;
-use cods_storage::{Catalog, ColumnDef, Schema, StorageError, Value};
+use cods_storage::{Catalog, ColumnDef, Schema, StorageError, Table, Value};
+use std::sync::Arc;
 
 /// A logical query plan node.
 #[derive(Clone, Debug)]
@@ -243,6 +244,37 @@ pub fn execute(plan: &Plan, ctx: ExecContext<'_>) -> Result<ResultSet, StorageEr
             left_keys,
             right_keys,
         } => {
+            // Columnar pushdown: joining two column-store scans runs the
+            // partition-wise dictionary join (cost-model build side,
+            // buffer-budget-aware multi-pass) instead of materializing
+            // both inputs into tuples first.
+            if let (Plan::ScanColumn { table: lt }, Plan::ScanColumn { table: rt }) =
+                (left.as_ref(), right.as_ref())
+            {
+                if let Some(cat) = ctx.catalog {
+                    let l = cat.get(lt)?;
+                    let r = cat.get(rt)?;
+                    let lk: Vec<usize> = left_keys
+                        .iter()
+                        .map(|n| l.schema().index_of(n))
+                        .collect::<Result<_, _>>()?;
+                    let rk: Vec<usize> = right_keys
+                        .iter()
+                        .map(|n| r.schema().index_of(n))
+                        .collect::<Result<_, _>>()?;
+                    let (_plan, rows) = crate::join::join_collect(&l, &r, &lk, &rk);
+                    let mut cols: Vec<ColumnDef> = l.schema().columns().to_vec();
+                    for (i, c) in r.schema().columns().iter().enumerate() {
+                        if !rk.contains(&i) {
+                            cols.push(c.clone());
+                        }
+                    }
+                    return Ok(ResultSet {
+                        schema: Schema::new(cols)?,
+                        rows,
+                    });
+                }
+            }
             let l = execute(left, ctx)?;
             let r = execute(right, ctx)?;
             let lk: Vec<usize> = left_keys
@@ -285,6 +317,26 @@ pub fn execute(plan: &Plan, ctx: ExecContext<'_>) -> Result<ResultSet, StorageEr
                     });
                 }
             }
+            // Mask pushdown: an aggregate over a filtered column-store scan
+            // never materializes the filtered table — the predicate compiles
+            // to a WAH mask and the columnar kernel aggregates under it.
+            if let Plan::Filter {
+                input: scan,
+                predicate,
+            } = input.as_ref()
+            {
+                if let (Plan::ScanColumn { table }, Some(cat)) = (scan.as_ref(), ctx.catalog) {
+                    let t = cat.get(table)?;
+                    let mask = crate::bitmap_scan::predicate_mask(&t, predicate)?;
+                    let (compiled, out_cols, group_idx) = compile_aggs(t.schema(), group_by, aggs)?;
+                    let rows =
+                        crate::agg::aggregate_table_masked(&t, &group_idx, &compiled, Some(&mask))?;
+                    return Ok(ResultSet {
+                        schema: Schema::new(out_cols)?,
+                        rows,
+                    });
+                }
+            }
             let input = execute(input, ctx)?;
             let (compiled, out_cols, group_idx) = compile_aggs(&input.schema, group_by, aggs)?;
             let rows = crate::agg::aggregate(&input.rows, &group_idx, &compiled)?;
@@ -307,6 +359,205 @@ pub fn execute(plan: &Plan, ctx: ExecContext<'_>) -> Result<ResultSet, StorageEr
             })
         }
     }
+}
+
+/// Resolves a plan subtree down to a single column-store base table when it
+/// is a `ScanColumn` under any stack of `Project`/`Filter` nodes, returning
+/// the table and the combined estimated selectivity of the filters on the
+/// way down. Non-columnar subtrees return `None`.
+fn scan_base(plan: &Plan, ctx: ExecContext<'_>) -> Result<Option<(Arc<Table>, f64)>, StorageError> {
+    match plan {
+        Plan::ScanColumn { table } => match ctx.catalog {
+            Some(cat) => Ok(Some((cat.get(table)?, 1.0))),
+            None => Ok(None),
+        },
+        Plan::Filter { input, predicate } => Ok(scan_base(input, ctx)?.map(|(t, s)| {
+            let sel = crate::cost::predicate_selectivity(&t, predicate);
+            (t, s * sel)
+        })),
+        Plan::Project { input, .. } => scan_base(input, ctx),
+        _ => Ok(None),
+    }
+}
+
+fn explain_node(
+    plan: &Plan,
+    ctx: ExecContext<'_>,
+    depth: usize,
+    out: &mut String,
+) -> Result<f64, StorageError> {
+    use std::fmt::Write as _;
+    let pad = "  ".repeat(depth);
+    let line = |out: &mut String, s: String, est: f64| {
+        let _ = writeln!(out, "{pad}{s}  ~{est:.0} rows");
+    };
+    let indent_block = |out: &mut String, text: &str| {
+        for l in text.lines() {
+            let _ = writeln!(out, "{pad}    {l}");
+        }
+    };
+    Ok(match plan {
+        Plan::ScanColumn { table } => {
+            let est = match ctx.catalog {
+                Some(cat) => {
+                    let t = cat.get(table)?;
+                    t.rows() as f64
+                }
+                None => 0.0,
+            };
+            line(out, format!("ScanColumn {table}"), est);
+            est
+        }
+        Plan::ScanRow { table } => {
+            let est = match ctx.row_db {
+                Some(db) => db.table(table)?.scan().count() as f64,
+                None => 0.0,
+            };
+            line(out, format!("ScanRow {table}"), est);
+            est
+        }
+        Plan::Values { rows, .. } => {
+            let est = rows.len() as f64;
+            line(out, "Values".to_string(), est);
+            est
+        }
+        Plan::Project { input, columns } => {
+            let mut child = String::new();
+            let est = explain_node(input, ctx, depth + 1, &mut child)?;
+            line(out, format!("Project [{}]", columns.join(", ")), est);
+            out.push_str(&child);
+            est
+        }
+        Plan::Filter { input, predicate } => {
+            let mut child = String::new();
+            let in_est = explain_node(input, ctx, depth + 1, &mut child)?;
+            let sel = match scan_base(input, ctx)? {
+                Some((t, _)) => crate::cost::predicate_selectivity(&t, predicate),
+                None => 1.0,
+            };
+            let est = in_est * sel;
+            line(
+                out,
+                format!("Filter {predicate:?} (selectivity {sel:.3})"),
+                est,
+            );
+            out.push_str(&child);
+            est
+        }
+        Plan::Distinct { input } => {
+            let mut child = String::new();
+            let est = explain_node(input, ctx, depth + 1, &mut child)?;
+            line(out, "Distinct".to_string(), est);
+            out.push_str(&child);
+            est
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let mut children = String::new();
+            let le = explain_node(left, ctx, depth + 1, &mut children)?;
+            let re = explain_node(right, ctx, depth + 1, &mut children)?;
+            let est = le.max(re);
+            line(
+                out,
+                format!(
+                    "HashJoin on {} = {}",
+                    left_keys.join(","),
+                    right_keys.join(",")
+                ),
+                est,
+            );
+            if let (Some((lt, _)), Some((rt, _))) = (scan_base(left, ctx)?, scan_base(right, ctx)?)
+            {
+                let lk: Vec<usize> = left_keys
+                    .iter()
+                    .map(|n| lt.schema().index_of(n))
+                    .collect::<Result<_, _>>()?;
+                let rk: Vec<usize> = right_keys
+                    .iter()
+                    .map(|n| rt.schema().index_of(n))
+                    .collect::<Result<_, _>>()?;
+                let budget = cods_storage::segment_cache().stats().budget;
+                let jp = crate::join::plan_join(&lt, &rt, &lk, &rk, budget);
+                indent_block(out, &jp.ranking.describe());
+                indent_block(
+                    out,
+                    &format!(
+                        "partitions={} est_build_bytes={} budget={}",
+                        jp.partitions,
+                        jp.est_build_bytes,
+                        if jp.budget_bytes == u64::MAX {
+                            "unlimited".to_string()
+                        } else {
+                            jp.budget_bytes.to_string()
+                        }
+                    ),
+                );
+            }
+            out.push_str(&children);
+            est
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let mut child = String::new();
+            let in_est = explain_node(input, ctx, depth + 1, &mut child)?;
+            let mut est = in_est;
+            line(
+                out,
+                format!(
+                    "Aggregate [{}] by [{}]",
+                    aggs.iter()
+                        .map(|a| a.alias.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    group_by.join(", ")
+                ),
+                est,
+            );
+            if let Some((t, sel)) = scan_base(input, ctx)? {
+                let group_idx: Vec<usize> = group_by
+                    .iter()
+                    .map(|n| t.schema().index_of(n))
+                    .collect::<Result<_, _>>()?;
+                let distinct: f64 = group_idx
+                    .iter()
+                    .map(|&g| t.column(g).dict().len() as f64)
+                    .product();
+                est = est.min(distinct.max(1.0));
+                indent_block(
+                    out,
+                    &crate::cost::groupby_ranking(&t, &group_idx, sel).describe(),
+                );
+            }
+            out.push_str(&child);
+            est
+        }
+        Plan::UnionAll { left, right } => {
+            let mut children = String::new();
+            let le = explain_node(left, ctx, depth + 1, &mut children)?;
+            let re = explain_node(right, ctx, depth + 1, &mut children)?;
+            line(out, "UnionAll".to_string(), le + re);
+            out.push_str(&children);
+            le + re
+        }
+    })
+}
+
+/// Renders a plan tree with per-operator row estimates from resident
+/// segment metadata, including — for the columnar pushdown operators — the
+/// cost model's ranked strategy alternatives (group-by key representation,
+/// join build side and partition passes) with the rejected options listed
+/// under the chosen one.
+pub fn explain(plan: &Plan, ctx: ExecContext<'_>) -> Result<String, StorageError> {
+    let mut out = String::new();
+    explain_node(plan, ctx, 0, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -434,6 +685,122 @@ mod tests {
             .collect();
         assert_eq!(m[&Value::str("Jones")], Value::int(2));
         assert_eq!(m[&Value::str("Ellis")], Value::int(1));
+    }
+
+    #[test]
+    fn aggregate_over_filter_pushes_mask_into_columnar_kernel() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let filtered_agg = |input: Plan| Plan::Aggregate {
+            input: Box::new(input.filter(Predicate::eq("employee", "Jones"))),
+            group_by: vec!["employee".into()],
+            aggs: vec![crate::agg::AggExpr::new(
+                crate::agg::AggOp::Count,
+                "skill",
+                "skills",
+            )],
+        };
+        let pushed = execute(&filtered_agg(Plan::ScanColumn { table: "R".into() }), ctx).unwrap();
+        // Same query through the row path (Values blocks every pushdown).
+        let base = execute(&Plan::ScanColumn { table: "R".into() }, ctx).unwrap();
+        let row_path = execute(
+            &filtered_agg(Plan::Values {
+                schema: base.schema,
+                rows: base.rows,
+            }),
+            ctx,
+        )
+        .unwrap();
+        assert_eq!(pushed, row_path);
+        assert_eq!(pushed.rows, vec![vec![Value::str("Jones"), Value::int(2)]]);
+    }
+
+    #[test]
+    fn join_pushdown_matches_row_oracle_multiset() {
+        let cat = setup_catalog();
+        let teams =
+            Schema::build(&[("name", ValueType::Str), ("team", ValueType::Str)], &[]).unwrap();
+        let rows: Vec<Vec<Value>> = [("Jones", "ops"), ("Ellis", "lab"), ("Nobody", "void")]
+            .iter()
+            .map(|&(n, t)| vec![Value::str(n), Value::str(t)])
+            .collect();
+        cat.create(Table::from_rows("T", teams, &rows).unwrap())
+            .unwrap();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let keyed = |left: Plan, right: Plan| Plan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys: vec!["employee".into()],
+            right_keys: vec!["name".into()],
+        };
+        let pushed = execute(
+            &keyed(
+                Plan::ScanColumn { table: "R".into() },
+                Plan::ScanColumn { table: "T".into() },
+            ),
+            ctx,
+        )
+        .unwrap();
+        // Row oracle through Values inputs (blocks the pushdown).
+        let as_values = |t: &str| {
+            let rs = execute(&Plan::ScanColumn { table: t.into() }, ctx).unwrap();
+            Plan::Values {
+                schema: rs.schema,
+                rows: rs.rows,
+            }
+        };
+        let oracle = execute(&keyed(as_values("R"), as_values("T")), ctx).unwrap();
+        assert_eq!(pushed.schema, oracle.schema);
+        assert_eq!(
+            pushed.schema.names(),
+            vec!["employee", "skill", "address", "team"]
+        );
+        let mut a = pushed.rows;
+        let mut b = oracle.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn explain_ranks_kernel_strategies() {
+        let cat = setup_catalog();
+        let ctx = ExecContext {
+            catalog: Some(&cat),
+            row_db: None,
+        };
+        let plan = Plan::Aggregate {
+            input: Box::new(
+                Plan::ScanColumn { table: "R".into() }.filter(Predicate::eq("employee", "Jones")),
+            ),
+            group_by: vec!["employee".into()],
+            aggs: vec![crate::agg::AggExpr::new(
+                crate::agg::AggOp::Count,
+                "skill",
+                "skills",
+            )],
+        };
+        let text = explain(&plan, ctx).unwrap();
+        assert!(text.contains("Aggregate"), "{text}");
+        assert!(text.contains("group-by strategy"), "{text}");
+        assert!(text.contains("keys=packed-u64"), "{text}");
+        assert!(text.contains("x "), "rejected options listed: {text}");
+        let join = Plan::HashJoin {
+            left: Box::new(Plan::ScanColumn { table: "R".into() }),
+            right: Box::new(Plan::ScanColumn { table: "R".into() }),
+            left_keys: vec!["employee".into()],
+            right_keys: vec!["employee".into()],
+        };
+        let text = explain(&join, ctx).unwrap();
+        assert!(text.contains("join build side"), "{text}");
+        assert!(text.contains("partitions="), "{text}");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! CLI's `connect` REPL and the integration tests.
 
 use crate::frame::{read_frame, read_preamble, write_frame, FrameError};
-use crate::proto::{decode_reply, encode_command, Command, MetricsReply, Reply, StatsReply};
+use crate::proto::{
+    decode_reply, encode_command, Command, MetricsReply, Reply, StatsReply, TOTAL_UNKNOWN,
+};
 use cods_query::{AggOp, Predicate};
 use cods_storage::{Value, ValueType};
 use std::io::{BufReader, Write};
@@ -296,6 +298,68 @@ impl Client {
         Ok((header, all))
     }
 
+    /// [`Client::agg`] over the chunked `GroupBy` command: identical
+    /// results, but large group counts arrive in bounded batches.
+    #[allow(clippy::type_complexity)]
+    pub fn group_by(
+        &mut self,
+        table: &str,
+        predicate: Predicate,
+        group_by: Vec<String>,
+        aggs: Vec<(AggOp, String)>,
+    ) -> Result<(Vec<(String, ValueType)>, Vec<Vec<Value>>), ClientError> {
+        self.send(&Command::GroupBy {
+            table: table.to_string(),
+            predicate,
+            group_by,
+            aggs,
+        })?;
+        let mut all = Vec::new();
+        let summary =
+            self.drain_stream(&mut |_: &[(String, ValueType)], rows: Vec<Vec<Value>>| {
+                all.extend(rows);
+            })?;
+        Ok((summary.columns, all))
+    }
+
+    /// Streams a partition-wise hash equi-join of two server tables,
+    /// handing each batch to `on_batch`. The header's `total_rows` is
+    /// [`TOTAL_UNKNOWN`] (match counts are not known up front); the
+    /// closing `Done` frame is still verified against the rows received.
+    pub fn join_with(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_keys: Vec<String>,
+        right_keys: Vec<String>,
+        mut on_batch: impl FnMut(&[(String, ValueType)], Vec<Vec<Value>>),
+    ) -> Result<ScanSummary, ClientError> {
+        self.send(&Command::Join {
+            left: left.to_string(),
+            right: right.to_string(),
+            left_keys,
+            right_keys,
+        })?;
+        self.drain_stream(&mut on_batch)
+    }
+
+    /// [`Client::join_with`], materialized: collects every batch and
+    /// returns the output schema with the rows.
+    #[allow(clippy::type_complexity)]
+    pub fn join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_keys: Vec<String>,
+        right_keys: Vec<String>,
+    ) -> Result<(Vec<(String, ValueType)>, Vec<Vec<Value>>), ClientError> {
+        let mut all = Vec::new();
+        let summary = self.join_with(left, right, left_keys, right_keys, |_, rows| {
+            all.extend(rows);
+        })?;
+        Ok((summary.columns, all))
+    }
+
     /// Drains one RowHeader / Rows* / Done exchange, verifying the totals
     /// the server promised — any mismatch is a protocol violation.
     fn drain_stream(&mut self, on_batch: &mut BatchFn<'_>) -> Result<ScanSummary, ClientError> {
@@ -328,7 +392,10 @@ impl Client {
                     batches: b,
                     rows: r,
                 } => {
-                    if b != batches || r != rows_seen || r != total_rows {
+                    // An unknown-total header can only be checked against
+                    // the closing frame, not against a promised count.
+                    let total_mismatch = total_rows != TOTAL_UNKNOWN && r != total_rows;
+                    if b != batches || r != rows_seen || total_mismatch {
                         return Err(ClientError::Protocol(format!(
                             "stream totals mismatch: saw {batches} batches / {rows_seen} rows, \
                              Done said {b} / {r}, header promised {total_rows}"
@@ -336,7 +403,11 @@ impl Client {
                     }
                     return Ok(ScanSummary {
                         columns,
-                        total_rows,
+                        total_rows: if total_rows == TOTAL_UNKNOWN {
+                            rows_seen
+                        } else {
+                            total_rows
+                        },
                         batches,
                         rows: rows_seen,
                     });

@@ -51,6 +51,12 @@ impl From<WireError> for FrameError {
 /// hostile input while being far above anything a sane client sends.
 pub const MAX_PRED_DEPTH: u32 = 64;
 
+/// `total_rows` sentinel in a [`Reply::RowHeader`] for streams whose size
+/// is unknown up front (joins stream matches as they are produced). The
+/// closing `Done` frame still carries the exact totals, so integrity
+/// checking degrades only from "known in advance" to "known at the end".
+pub const TOTAL_UNKNOWN: u64 = u64::MAX;
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -99,6 +105,34 @@ pub enum Command {
         /// Aggregate expressions as `(op, input column)` pairs.
         aggs: Vec<(AggOp, String)>,
     },
+    /// [`Command::Agg`] with a chunked reply stream: the same columnar
+    /// kernel, but result groups arrive in bounded `Rows` batches instead
+    /// of one frame — large group counts never need one giant frame.
+    GroupBy {
+        /// Table name.
+        table: String,
+        /// Row filter applied before grouping (pushed into the kernel as
+        /// a WAH mask, never materialized).
+        predicate: Predicate,
+        /// Grouping column names.
+        group_by: Vec<String>,
+        /// Aggregate expressions as `(op, input column)` pairs.
+        aggs: Vec<(AggOp, String)>,
+    },
+    /// Partition-wise hash equi-join of two tables at the pinned
+    /// snapshot; output = left columns ++ right non-key columns, streamed
+    /// with a [`TOTAL_UNKNOWN`] header.
+    Join {
+        /// Left table name.
+        left: String,
+        /// Right table name.
+        right: String,
+        /// Join key column names on the left, paired positionally with
+        /// `right_keys`.
+        left_keys: Vec<String>,
+        /// Join key column names on the right.
+        right_keys: Vec<String>,
+    },
 }
 
 impl Command {
@@ -113,6 +147,8 @@ impl Command {
             Command::Scan { .. } => 0x06,
             Command::Mask { .. } => 0x07,
             Command::Agg { .. } => 0x08,
+            Command::GroupBy { .. } => 0x09,
+            Command::Join { .. } => 0x0A,
         }
     }
 
@@ -559,6 +595,12 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             predicate,
             group_by,
             aggs,
+        }
+        | Command::GroupBy {
+            table,
+            predicate,
+            group_by,
+            aggs,
         } => {
             e.str(table);
             e.pred(predicate);
@@ -570,6 +612,23 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             for (op, col) in aggs {
                 e.u8(agg_op_tag(*op));
                 e.str(col);
+            }
+        }
+        Command::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            e.str(left);
+            e.str(right);
+            e.u32(left_keys.len() as u32);
+            for k in left_keys {
+                e.str(k);
+            }
+            e.u32(right_keys.len() as u32);
+            for k in right_keys {
+                e.str(k);
             }
         }
     }
@@ -610,7 +669,7 @@ pub fn decode_command(kind: u8, payload: &[u8]) -> DecResult<Command> {
             table: d.str()?,
             predicate: d.pred(0)?,
         },
-        0x08 => {
+        0x08 | 0x09 => {
             let table = d.str()?;
             let predicate = d.pred(0)?;
             let n = d.u32()? as usize;
@@ -624,11 +683,40 @@ pub fn decode_command(kind: u8, payload: &[u8]) -> DecResult<Command> {
                 let op = agg_op_from(d.u8()?)?;
                 aggs.push((op, d.str()?));
             }
-            Command::Agg {
-                table,
-                predicate,
-                group_by,
-                aggs,
+            if kind == 0x08 {
+                Command::Agg {
+                    table,
+                    predicate,
+                    group_by,
+                    aggs,
+                }
+            } else {
+                Command::GroupBy {
+                    table,
+                    predicate,
+                    group_by,
+                    aggs,
+                }
+            }
+        }
+        0x0A => {
+            let left = d.str()?;
+            let right = d.str()?;
+            let n = d.u32()? as usize;
+            let mut left_keys = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                left_keys.push(d.str()?);
+            }
+            let n = d.u32()? as usize;
+            let mut right_keys = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                right_keys.push(d.str()?);
+            }
+            Command::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
             }
         }
         b => return Err(WireError::BadTag("command kind", b)),
@@ -843,6 +931,54 @@ mod tests {
             predicate: Predicate::True,
             group_by: vec!["dept".into()],
             aggs: vec![(AggOp::Count, "dept".into()), (AggOp::Sum, "pay".into())],
+        });
+        rt_cmd(Command::GroupBy {
+            table: "t".into(),
+            predicate: Predicate::lt("pay", 100i64),
+            group_by: vec!["dept".into(), "site".into()],
+            aggs: vec![
+                (AggOp::CountDistinct, "emp".into()),
+                (AggOp::Max, "pay".into()),
+            ],
+        });
+        rt_cmd(Command::GroupBy {
+            table: "t".into(),
+            predicate: Predicate::True,
+            group_by: vec![],
+            aggs: vec![(AggOp::Count, "dept".into())],
+        });
+        rt_cmd(Command::Join {
+            left: "orders".into(),
+            right: "people".into(),
+            left_keys: vec!["who".into(), "region".into()],
+            right_keys: vec!["name".into(), "region".into()],
+        });
+    }
+
+    #[test]
+    fn agg_and_group_by_share_a_body_but_not_a_kind() {
+        let agg = Command::Agg {
+            table: "t".into(),
+            predicate: Predicate::True,
+            group_by: vec!["g".into()],
+            aggs: vec![(AggOp::Count, "g".into())],
+        };
+        let gb = Command::GroupBy {
+            table: "t".into(),
+            predicate: Predicate::True,
+            group_by: vec!["g".into()],
+            aggs: vec![(AggOp::Count, "g".into())],
+        };
+        assert_eq!(encode_command(&agg), encode_command(&gb));
+        assert_ne!(agg.kind(), gb.kind());
+        assert_eq!(decode_command(0x09, &encode_command(&agg)).unwrap(), gb);
+    }
+
+    #[test]
+    fn unknown_total_header_round_trips() {
+        rt_reply(Reply::RowHeader {
+            columns: vec![("k".into(), ValueType::Int)],
+            total_rows: TOTAL_UNKNOWN,
         });
     }
 

@@ -4,11 +4,17 @@
 use crate::admission::{Gate, Rejected};
 use crate::frame::{read_frame, write_frame, write_preamble, FrameError, DEFAULT_MAX_FRAME_BYTES};
 use crate::metrics::ServerMetrics;
-use crate::proto::{decode_command, encode_reply, error_code, Command, Reply, StatsReply};
+use crate::proto::{
+    decode_command, encode_reply, error_code, Command, Reply, StatsReply, TOTAL_UNKNOWN,
+};
 use crate::session::Session;
 use cods::{Cods, EvolutionError};
-use cods_query::{aggregate_table, predicate_mask, AggOp, Predicate, ScanStream};
-use cods_storage::{CommitLog, RetryPolicy, StorageError, Table, TableStats, ValueType};
+use cods_query::{
+    aggregate_table_masked, join_stream, plan_join, predicate_mask, AggOp, Predicate, ScanStream,
+};
+use cods_storage::{
+    segment_cache, CommitLog, RetryPolicy, StorageError, Table, TableStats, ValueType,
+};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -413,6 +419,112 @@ impl<'a> Connection<'a> {
                     Err(e) => self.storage_error(&e),
                 }
             }
+            Command::GroupBy {
+                table,
+                predicate,
+                group_by,
+                aggs,
+            } => {
+                let t = match self.session.table(&table) {
+                    Ok(t) => t,
+                    Err(e) => return self.storage_error(&e),
+                };
+                match run_agg(&t, &predicate, &group_by, &aggs) {
+                    // Same kernel as Agg, chunked reply stream: bounded
+                    // frames however many groups come back.
+                    Ok((columns, rows)) => {
+                        let total = rows.len() as u64;
+                        self.reply(&Reply::RowHeader {
+                            columns,
+                            total_rows: total,
+                        })?;
+                        let mut batches = 0u64;
+                        for chunk in rows.chunks(STREAM_BATCH_ROWS) {
+                            batches += 1;
+                            ServerMetrics::add(
+                                &self.shared.metrics.rows_streamed,
+                                chunk.len() as u64,
+                            );
+                            self.reply(&Reply::Rows {
+                                rows: chunk.to_vec(),
+                            })?;
+                        }
+                        self.reply(&Reply::Done {
+                            batches,
+                            rows: total,
+                        })
+                    }
+                    Err(e) => self.storage_error(&e),
+                }
+            }
+            Command::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let l = match self.session.table(&left) {
+                    Ok(t) => t,
+                    Err(e) => return self.storage_error(&e),
+                };
+                let r = match self.session.table(&right) {
+                    Ok(t) => t,
+                    Err(e) => return self.storage_error(&e),
+                };
+                let resolve = |t: &Table, names: &[String]| -> Result<Vec<usize>, StorageError> {
+                    names.iter().map(|n| t.schema().index_of(n)).collect()
+                };
+                let lk = match resolve(&l, &left_keys) {
+                    Ok(v) => v,
+                    Err(e) => return self.storage_error(&e),
+                };
+                let rk = match resolve(&r, &right_keys) {
+                    Ok(v) => v,
+                    Err(e) => return self.storage_error(&e),
+                };
+                if lk.len() != rk.len() {
+                    return self.reply(&Reply::Error {
+                        code: error_code::BAD_REQUEST,
+                        message: "join key lists differ in length".into(),
+                    });
+                }
+                // Output schema: left columns ++ right non-key columns.
+                let mut columns: Vec<(String, ValueType)> = l
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| (c.name.clone(), c.ty))
+                    .collect();
+                for (i, c) in r.schema().columns().iter().enumerate() {
+                    if !rk.contains(&i) {
+                        columns.push((c.name.clone(), c.ty));
+                    }
+                }
+                // The match count is unknown until the probe finishes —
+                // stream under the sentinel total; Done carries the truth.
+                self.reply(&Reply::RowHeader {
+                    columns,
+                    total_rows: TOTAL_UNKNOWN,
+                })?;
+                let plan = plan_join(&l, &r, &lk, &rk, segment_cache().stats().budget);
+                let mut stream = join_stream(l, r, &lk, &rk, &plan);
+                let mut batches = 0u64;
+                let mut rows_sent = 0u64;
+                loop {
+                    let chunk: Vec<_> = stream.by_ref().take(STREAM_BATCH_ROWS).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    batches += 1;
+                    rows_sent += chunk.len() as u64;
+                    ServerMetrics::add(&self.shared.metrics.rows_streamed, chunk.len() as u64);
+                    self.reply(&Reply::Rows { rows: chunk })?;
+                }
+                self.reply(&Reply::Done {
+                    batches,
+                    rows: rows_sent,
+                })
+            }
             Command::Ping | Command::Refresh | Command::Metrics => {
                 unreachable!("data-plane commands only")
             }
@@ -464,6 +576,9 @@ impl<'a> Connection<'a> {
     }
 }
 
+/// Rows per `Rows` frame for chunked result streams (GroupBy, Join).
+const STREAM_BATCH_ROWS: usize = 4096;
+
 /// Aggregation over the predicate-selected rows: output schema plus
 /// result rows (group keys first, aggregates after, both in request
 /// order).
@@ -496,7 +611,14 @@ fn run_agg(
         let name = format!("{:?}({})", op, t.schema().columns()[*idx].name).to_lowercase();
         columns.push((name, op.output_type(*ty)));
     }
-    let filtered = cods_query::filter_table(t, predicate)?;
-    let rows = aggregate_table(&filtered, &group_idx, &agg_specs)?;
+    // Mask pushdown: the predicate becomes a WAH mask and the columnar
+    // kernel aggregates under it — the filtered table is never built.
+    let rows = match predicate {
+        Predicate::True => aggregate_table_masked(t, &group_idx, &agg_specs, None)?,
+        p => {
+            let mask = predicate_mask(t, p)?;
+            aggregate_table_masked(t, &group_idx, &agg_specs, Some(&mask))?
+        }
+    };
     Ok((columns, rows))
 }

@@ -187,6 +187,15 @@ impl Dictionary {
         (merged, mapping)
     }
 
+    /// Maps every id in this dictionary to the id of the same value in
+    /// `target` (`None` when `target` lacks the value). This is the hash
+    /// join's dictionary-reconciliation step: computed once per join-key
+    /// column pair, after which probing works entirely in the build side's
+    /// id space with no value comparisons on the per-row path.
+    pub fn remap_to(&self, target: &Dictionary) -> Vec<Option<u32>> {
+        self.values.iter().map(|v| target.id_of(v)).collect()
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         let value_bytes: usize = self
@@ -255,6 +264,21 @@ mod tests {
         let (merged, map) = a.merge(&b);
         assert_eq!(merged.len(), 3);
         assert_eq!(map, vec![1, 2]); // y → 1 (existing), z → 2 (new)
+    }
+
+    #[test]
+    fn remap_to_reconciles_id_spaces() {
+        let mut a = Dictionary::new();
+        a.intern(Value::str("x"));
+        a.intern(Value::str("y"));
+        a.intern(Value::Null);
+        let mut b = Dictionary::new();
+        b.intern(Value::str("y"));
+        b.intern(Value::Null);
+        b.intern(Value::str("w"));
+        assert_eq!(a.remap_to(&b), vec![None, Some(0), Some(1)]);
+        assert_eq!(b.remap_to(&a), vec![Some(1), Some(2), None]);
+        assert_eq!(Dictionary::new().remap_to(&a), Vec::<Option<u32>>::new());
     }
 
     #[test]

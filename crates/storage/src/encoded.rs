@@ -1158,6 +1158,70 @@ impl EncodedColumn {
         out
     }
 
+    /// Decodes `range` as maximal `(value id, length)` runs, coalesced
+    /// across segment boundaries. RLE segments contribute their runs in
+    /// O(overlapping runs) without touching per-row data; bitmap segments
+    /// decode and coalesce. This is the accessor the vectorized group-by
+    /// kernel aggregates over: clustered columns cost O(runs), not O(rows).
+    pub fn runs_range(&self, range: Range<u64>) -> Vec<(u32, u64)> {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "range {range:?} out of bounds for {} rows",
+            self.rows
+        );
+        fn push(out: &mut Vec<(u32, u64)>, id: u32, n: u64) {
+            if n == 0 {
+                return;
+            }
+            match out.last_mut() {
+                Some((last, len)) if *last == id => *len += n,
+                _ => out.push((id, n)),
+            }
+        }
+        let mut out: Vec<(u32, u64)> = Vec::new();
+        for (seg, &start) in self.segments.iter().zip(&self.starts) {
+            let seg_end = start + seg.rows();
+            if seg_end <= range.start {
+                continue;
+            }
+            if start >= range.end {
+                break;
+            }
+            let lo = range.start.max(start);
+            let hi = range.end.min(seg_end);
+            match seg.enc() {
+                SegmentEnc::Bitmap(s) => {
+                    let mut scratch = vec![u32::MAX; seg.rows() as usize];
+                    s.fill_ids(&mut scratch);
+                    for &id in &scratch[(lo - start) as usize..(hi - start) as usize] {
+                        push(&mut out, id, 1);
+                    }
+                }
+                SegmentEnc::Rle(s) => {
+                    let mut pos = start;
+                    for &(id, n) in s.seq().runs() {
+                        let run_end = pos + n;
+                        if run_end > lo && pos < hi {
+                            let a = lo.max(pos);
+                            let b = hi.min(run_end);
+                            push(&mut out, id, b - a);
+                        }
+                        pos = run_end;
+                        if pos >= hi {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            out.iter().map(|&(_, n)| n).sum::<u64>(),
+            range.end - range.start,
+            "runs must cover the range"
+        );
+        out
+    }
+
     /// Decodes all rows to values (display/test helper).
     pub fn values(&self) -> Vec<Value> {
         self.value_ids()
@@ -1944,6 +2008,26 @@ mod tests {
     fn ids_range_rejects_out_of_bounds() {
         let (bitmap, _) = both(&vals(10));
         bitmap.ids_range(5..11);
+    }
+
+    #[test]
+    fn runs_range_coalesces_and_matches_ids_range() {
+        // Clustered values so runs span segment boundaries.
+        let values: Vec<Value> = (0..500).map(|i| Value::int(i / 90)).collect();
+        let col = mixed(&values, 64);
+        assert!(col.encoding_counts().0 > 0 && col.encoding_counts().1 > 0);
+        for range in [0..64, 64..128, 10..20, 60..70, 100..317, 0..0, 0..500] {
+            let runs = col.runs_range(range.clone());
+            // Maximal: no two adjacent runs share an id.
+            for pair in runs.windows(2) {
+                assert_ne!(pair[0].0, pair[1].0, "{range:?} not coalesced");
+            }
+            let expanded: Vec<u32> = runs
+                .iter()
+                .flat_map(|&(id, n)| std::iter::repeat_n(id, n as usize))
+                .collect();
+            assert_eq!(expanded, col.ids_range(range.clone()), "{range:?}");
+        }
     }
 
     #[test]

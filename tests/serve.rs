@@ -342,3 +342,102 @@ fn aggregation_over_the_wire_matches_local_execution() {
     assert_eq!(rows, local);
     handle.shutdown();
 }
+
+#[test]
+fn chunked_group_by_streams_large_group_counts_in_batches() {
+    let cods = platform(10_000, 1_024);
+    let mut handle =
+        Server::bind("127.0.0.1:0", Arc::clone(&cods), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Group on the unique key: 10_000 groups, more than one 4096-row
+    // reply frame — the chunked GroupBy stream must reassemble exactly.
+    let (cols, rows) = client
+        .group_by(
+            "t",
+            Predicate::True,
+            vec!["k".into()],
+            vec![(cods_query::AggOp::Count, "v".into())],
+        )
+        .unwrap();
+    assert_eq!(cols.len(), 2);
+    assert_eq!(rows.len(), 10_000);
+
+    let t = cods.table("t").unwrap();
+    let local =
+        cods_query::aggregate_table(&t, &[0], &[(cods_query::AggOp::Count, 2, ValueType::Str)])
+            .unwrap();
+    assert_eq!(rows, local);
+
+    // The filtered variant matches Agg (single frame) bit for bit.
+    let pred = Predicate::lt("grp", 2i64);
+    let spec = vec![(cods_query::AggOp::CountDistinct, "v".into())];
+    let via_agg = client
+        .agg("t", pred.clone(), vec!["grp".into()], spec.clone())
+        .unwrap();
+    let via_group_by = client
+        .group_by("t", pred, vec!["grp".into()], spec)
+        .unwrap();
+    assert_eq!(via_agg, via_group_by);
+    handle.shutdown();
+}
+
+#[test]
+fn join_streams_over_the_wire_with_verified_totals() {
+    let cods = platform(5_000, 512);
+    // A dimension table keyed by grp, including a key no fact row has.
+    let dim_schema =
+        Schema::build(&[("grp", ValueType::Int), ("label", ValueType::Str)], &[]).unwrap();
+    let dim_rows: Vec<Vec<Value>> = (0..8)
+        .map(|g| vec![Value::int(g), Value::str(format!("group-{g}"))])
+        .collect();
+    cods.catalog()
+        .create(Table::from_rows_with_segment_rows("dim", dim_schema, &dim_rows, 4).unwrap())
+        .unwrap();
+    let mut handle =
+        Server::bind("127.0.0.1:0", Arc::clone(&cods), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let mut batch_count = 0u64;
+    let mut got: Vec<Vec<Value>> = Vec::new();
+    let summary = client
+        .join_with(
+            "t",
+            "dim",
+            vec!["grp".into()],
+            vec!["grp".into()],
+            |_, rows| {
+                batch_count += 1;
+                got.extend(rows);
+            },
+        )
+        .unwrap();
+    // Every fact row matches exactly one dimension row; drain_stream has
+    // already verified the Done totals against what actually arrived.
+    assert_eq!(summary.rows, 5_000);
+    assert_eq!(summary.total_rows, 5_000, "summary resolves the sentinel");
+    assert_eq!(summary.batches, batch_count);
+    assert!(summary.batches > 1, "expected a multi-batch join stream");
+    assert_eq!(got.len(), 5_000);
+
+    // Multiset-identical to the local row oracle.
+    let t = cods.table("t").unwrap();
+    let dim = cods.table("dim").unwrap();
+    let mut local = cods_query::tuple::hash_join(&t.to_rows(), &dim.to_rows(), &[1], &[0]);
+    local.sort();
+    got.sort();
+    assert_eq!(got, local);
+
+    // Unknown tables and mismatched key lists answer with typed errors,
+    // not dead connections.
+    let err = client
+        .join("t", "nope", vec!["grp".into()], vec!["grp".into()])
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Server { .. }), "{err:?}");
+    let err = client
+        .join("t", "dim", vec!["grp".into()], vec![])
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Server { .. }), "{err:?}");
+    client.ping().expect("connection survives typed errors");
+    handle.shutdown();
+}
